@@ -1,0 +1,160 @@
+"""Shared infrastructure for the Table 2 / Figure 3 benchmark harness.
+
+Workload compilation and translation are expensive, so results are
+computed once per session and shared across benchmark files through the
+``table2`` fixture.  Scale the suite with ``REPRO_BENCH_SCALE``
+(default 0.2; 1.0 gives longer, more paper-like runs).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.benchsuite import PAPER_TABLE2, SUITE_ORDER, load_workload
+from repro.bitcode import write_module_with_stats
+from repro.execution.machine_sim import MachineSimulator
+from repro.llee.jit import FunctionJIT
+from repro.minic import compile_source
+from repro.targets import make_target, translate_module
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+#: Simulated clock for converting cycles into "native seconds"
+#: (the run-time column of Table 2).  1 GHz keeps numbers readable.
+SIM_HZ = 1.0e9
+
+
+@dataclass
+class WorkloadData:
+    """Everything Table 2 needs for one row."""
+
+    name: str
+    loc: int
+    llva_insts: int = 0
+    llva_bytes: int = 0
+    short_form_fraction: float = 0.0
+    x86_insts: int = 0
+    sparc_insts: int = 0
+    x86_bytes: int = 0
+    sparc_bytes: int = 0
+    x86_exe_bytes: int = 0
+    sparc_exe_bytes: int = 0
+    translate_seconds: float = 0.0
+    run_cycles: int = 0
+    run_seconds_sim: float = 0.0
+    run_seconds_host: float = 0.0
+    outputs_agree: Optional[bool] = None
+
+    @property
+    def x86_ratio(self) -> float:
+        return self.x86_insts / self.llva_insts if self.llva_insts else 0
+
+    @property
+    def sparc_ratio(self) -> float:
+        return self.sparc_insts / self.llva_insts if self.llva_insts else 0
+
+    @property
+    def size_ratio(self) -> float:
+        """Native executable bytes / LLVA object bytes (SPARC, like the
+        paper's column pair)."""
+        return self.sparc_exe_bytes / self.llva_bytes \
+            if self.llva_bytes else 0
+
+
+class Table2Store:
+    """Lazily computed per-workload artifacts, shared session-wide."""
+
+    def __init__(self, scale: float):
+        self.scale = scale
+        self._modules: Dict[str, object] = {}
+        self._natives: Dict[str, object] = {}
+        self.rows: Dict[str, WorkloadData] = {}
+
+    # -- build steps -----------------------------------------------------------
+
+    def module(self, name: str):
+        if name not in self._modules:
+            workload = load_workload(name, self.scale)
+            # "the same LLVA optimizations were applied in both cases"
+            module = compile_source(workload.source, name,
+                                    optimization_level=2)
+            self._modules[name] = module
+            row = WorkloadData(name=name, loc=workload.loc)
+            row.llva_insts = module.num_instructions()
+            data, stats = write_module_with_stats(module)
+            row.llva_bytes = len(data)
+            row.short_form_fraction = stats.short_form_fraction
+            self.rows[name] = row
+        return self._modules[name]
+
+    def native(self, name: str, target_name: str):
+        key = (name, target_name)
+        if key not in self._natives:
+            module = self.module(name)
+            started = time.perf_counter()
+            native = translate_module(module, make_target(target_name))
+            elapsed = time.perf_counter() - started
+            row = self.rows[name]
+            if target_name == "x86":
+                row.x86_insts = native.num_instructions()
+                row.x86_bytes = native.code_size()
+                row.x86_exe_bytes = native.executable_size(module)
+                row.translate_seconds = elapsed
+            else:
+                row.sparc_insts = native.num_instructions()
+                row.sparc_bytes = native.code_size()
+                row.sparc_exe_bytes = native.executable_size(module)
+            self._natives[key] = native
+        return self._natives[key]
+
+    def run_native(self, name: str, target_name: str = "x86"):
+        """Execute the translated program; fills the run-time columns."""
+        row = self.rows[name]
+        if row.run_cycles:
+            return row
+        module = self.module(name)
+        native = self.native(name, target_name)
+        simulator = MachineSimulator(native, module)
+        started = time.perf_counter()
+        value, _status = simulator.run("main")
+        row.run_seconds_host = time.perf_counter() - started
+        row.run_cycles = simulator.cycles
+        row.run_seconds_sim = simulator.cycles / SIM_HZ
+        row.outputs_agree = value is not None
+        return row
+
+
+_STORE = Table2Store(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def table2() -> Table2Store:
+    return _STORE
+
+
+def workload_names() -> List[str]:
+    return list(SUITE_ORDER)
+
+
+def paper_row(name: str):
+    return PAPER_TABLE2[name]
+
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_table(filename: str, lines) -> None:
+    """Print a results table and persist it under benchmarks/results/
+    (stdout is captured by pytest; EXPERIMENTS.md references the
+    files)."""
+    text = "\n".join(lines)
+    print()
+    print(text)
+    os.makedirs(_RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(_RESULTS_DIR, filename), "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,73 @@
+"""Table 2, columns 3-4: native executable size vs LLVA object size.
+
+Paper claim: "the virtual object code is significantly smaller than the
+native code, roughly 1.3x to 2x for the larger programs ... most
+instructions usually fit in a single 32-bit word [and] the virtual code
+does not include verbose machine-specific code for argument passing,
+register saves and restores, loading large immediate constants, etc."
+
+Each benchmark times the virtual-object-code encoder on one workload;
+the assertions check the size relationship, and the closing test prints
+the measured table next to the paper's numbers.
+"""
+
+import pytest
+
+from conftest import paper_row, workload_names
+from repro.bitcode import write_module, write_module_with_stats
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_code_size(benchmark, table2, name):
+    module = table2.module(name)
+    table2.native(name, "sparc")  # fills the native-size columns
+
+    data = benchmark(write_module, module)
+
+    row = table2.rows[name]
+    # row.llva_bytes was measured on the module as shipped; translation
+    # afterwards splits critical edges in place, so a re-encode can be
+    # slightly larger.  The shipped size is the honest column.
+    assert row.llva_bytes <= len(data) <= row.llva_bytes * 1.1
+    # The headline claim: virtual object code is smaller than native.
+    assert row.llva_bytes < row.sparc_exe_bytes, (
+        "{0}: LLVA {1}B should be below native {2}B".format(
+            name, row.llva_bytes, row.sparc_exe_bytes))
+    # And by a factor in the paper's neighbourhood (1.3x - 2x for large
+    # programs; small ones run higher there and here).
+    assert 1.1 <= row.size_ratio <= 6.0, row.size_ratio
+
+
+@pytest.mark.parametrize("name", workload_names()[:3])
+def test_short_form_hit_rate(benchmark, table2, name):
+    """Ablation for the fixed 32-bit short instruction form: most
+    instructions must fit it, or the compactness claim collapses."""
+    module = table2.module(name)
+    _data, stats = benchmark(write_module_with_stats, module)
+    assert stats.short_form_fraction >= 0.5
+
+
+def test_print_code_size_table(benchmark, table2):
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+    """Render the measured columns beside the paper's."""
+    from conftest import emit_table
+
+    lines = ["Table 2 (code size): measured at scale={0}".format(
+        table2.scale)]
+    lines.append("{0:<9} {1:>7} {2:>9} {3:>9} {4:>7} {5:>9}".format(
+        "program", "loc", "nativeB", "llvaB", "ratio", "paper"))
+    for name in workload_names():
+        if name not in table2.rows:
+            continue
+        row = table2.rows[name]
+        paper = paper_row(name)
+        lines.append(
+            "{0:<9} {1:>7} {2:>9} {3:>9} {4:>7.2f} {5:>9.2f}".format(
+                name, row.loc, row.sparc_exe_bytes, row.llva_bytes,
+                row.size_ratio, paper.size_ratio))
+    emit_table("table2_code_size.txt", lines)
+    measured = [table2.rows[n].size_ratio for n in workload_names()
+                if n in table2.rows and table2.rows[n].llva_bytes]
+    assert measured, "no size rows were computed"
+    # Shape: native bigger than virtual on every single row.
+    assert min(measured) > 1.0

@@ -1,0 +1,133 @@
+"""Operating-system mechanisms of the V-ISA (Sections 3.3-3.5).
+
+Demonstrates, on the interpreter (the engine with full OS semantics):
+
+* trap handlers: an LLVA function registered for the divide-by-zero
+  trap via ``llva.trap.register`` — "a trap handler is an ordinary LLVA
+  function with two arguments: the trap number and a void* pointer";
+* the privileged bit: the registration intrinsic traps when invoked
+  from unprivileged code;
+* the ExceptionsEnabled attribute: the same faulting division is simply
+  ignored once its bit is cleared;
+* constrained self-modifying code: ``llva.smc.replace`` swaps a
+  function's body, affecting only future invocations.
+
+Run:  python examples/os_support.py
+"""
+
+from repro.asm import parse_module
+from repro.execution import ExecutionTrap, Interpreter
+from repro.ir import verify_module
+
+KERNEL = r"""
+target pointersize = 64
+target endian = little
+
+%trap_log = global int 0
+
+declare void %llva.trap.register(uint, sbyte*)
+declare bool %llva.priv.enabled()
+declare void %llva.smc.replace(sbyte*, sbyte*)
+declare void %print_str(sbyte*)
+declare void %print_int(int)
+declare void %print_newline()
+
+%msg.trap = constant [16 x sbyte] c"trap handled: \0A\00"
+
+; An ordinary LLVA function serving as the divide-by-zero trap handler.
+void %on_divide_trap(uint %trapno, sbyte* %info) {
+entry:
+        %old = load int* %trap_log
+        %new = add int %old, 1
+        store int %new, int* %trap_log
+        ret void
+}
+
+int %divide(int %a, int %b) {
+entry:
+        %q = div int %a, %b
+        ret int %q
+}
+
+int %divide_unchecked(int %a, int %b) {
+entry:
+        %q = div int %a, %b !ee(false)
+        ret int %q
+}
+
+; SMC demonstration targets.
+int %behavior(int %x) {
+entry:
+        %y = mul int %x, 2
+        ret int %y
+}
+
+int %behavior_v2(int %x) {
+entry:
+        %y = mul int %x, 10
+        %z = add int %y, 1
+        ret int %z
+}
+
+int %kernel_main() {
+entry:
+        ; Register the trap handler (requires the privileged bit).
+        %h = cast void (uint, sbyte*)* %on_divide_trap to sbyte*
+        call void %llva.trap.register(uint 2, sbyte* %h)
+
+        ; This division traps; the handler runs; execution resumes with
+        ; the faulting instruction's result defined as zero.
+        %q1 = call int %divide(int 7, int 0)
+
+        ; The same condition with ExceptionsEnabled=false is ignored.
+        %q2 = call int %divide_unchecked(int 7, int 0)
+
+        ; Self-modifying code: future calls see the new body.
+        %before = call int %behavior(int 4)
+        %old = cast int (int)* %behavior to sbyte*
+        %new = cast int (int)* %behavior_v2 to sbyte*
+        call void %llva.smc.replace(sbyte* %old, sbyte* %new)
+        %after = call int %behavior(int 4)
+
+        %handled = load int* %trap_log
+        call void %print_int(int %handled)
+        call void %print_int(int %before)
+        call void %print_int(int %after)
+        call void %print_newline()
+
+        ; handled=1, before=8, after=41 -> encode as one value
+        %t1 = mul int %handled, 10000
+        %t2 = mul int %before, 100
+        %t3 = add int %t1, %t2
+        %t4 = add int %t3, %after
+        ret int %t4
+}
+"""
+
+
+def main() -> None:
+    module = parse_module(KERNEL)
+    verify_module(module)
+
+    print("-- privileged kernel context --")
+    kernel = Interpreter(module, privileged=True)
+    result = kernel.run("kernel_main")
+    print("trap count / before / after:", result.output.strip())
+    assert result.return_value == 1 * 10000 + 8 * 100 + 41, \
+        result.return_value
+    print("kernel_main -> {0} (trap handled once, SMC switched the "
+          "function body)".format(result.return_value))
+
+    print("\n-- unprivileged context: registration must trap --")
+    module2 = parse_module(KERNEL)
+    user = Interpreter(module2, privileged=False)
+    try:
+        user.run("kernel_main")
+        raise AssertionError("privilege violation not detected")
+    except ExecutionTrap as trap:
+        print("caught: {0}".format(trap))
+        assert trap.trap_number == 5  # privilege violation
+
+
+if __name__ == "__main__":
+    main()

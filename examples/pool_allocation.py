@@ -1,0 +1,108 @@
+"""Data Structure Analysis and Automatic Pool Allocation (Section 5.1).
+
+"Automatic Pool Allocation is a powerful interprocedural transformation
+that uses Data Structure Analysis to partition the heap into separate
+pools for each data structure instance."
+
+Flow: compile a list-building workload, show what DSA finds (disjoint
+heap instances and their flags), run Automatic Pool Allocation, and
+compare allocator traffic — individual mallocs/frees versus pool bump
+allocation with bulk teardown.
+
+Run:  python examples/pool_allocation.py
+"""
+
+from repro.analysis.dsa import DSGraph
+from repro.execution import Interpreter
+from repro.ir import verify_module
+from repro.minic import compile_source
+from repro.transforms import AutomaticPoolAllocation
+
+PROGRAM = r"""
+struct Cell {
+    int value;
+    struct Cell* next;
+};
+
+int sum_and_discard(int n, int seed) {
+    // Builds a private list, folds it, frees it node by node: the
+    // classic candidate for a pool — one disjoint, non-escaping
+    // data structure instance.
+    struct Cell* head = null;
+    int i;
+    for (i = 0; i < n; i++) {
+        struct Cell* c = (struct Cell*) malloc(sizeof(struct Cell));
+        c->value = (seed + i * 7) % 1000;
+        c->next = head;
+        head = c;
+    }
+    int total = 0;
+    while (head != null) {
+        total += head->value;
+        struct Cell* dead = head;
+        head = head->next;
+        free((char*) dead);
+    }
+    return total;
+}
+
+int main() {
+    int total = 0;
+    int round;
+    for (round = 0; round < 60; round++) {
+        total = (total + sum_and_discard(40, round)) % 1000003;
+    }
+    print_str("total="); print_int(total); print_newline();
+    return total;
+}
+"""
+
+
+def allocator_traffic(module):
+    interpreter = Interpreter(module)
+    result = interpreter.run("main")
+    runtime = interpreter.runtime
+    return result, runtime
+
+
+def main() -> None:
+    module = compile_source(PROGRAM, "pools", optimization_level=1)
+
+    # What DSA sees inside sum_and_discard.
+    function = module.get_function("sum_and_discard")
+    graph = DSGraph(function)
+    print("DSA on sum_and_discard:")
+    for node in graph.nodes():
+        if node.allocation_sites:
+            print("   heap instance {0!r}: {1} allocation site(s), "
+                  "types {2}".format(node, len(node.allocation_sites),
+                                     sorted(node.observed_types)))
+    local = graph.local_heap_instances()
+    print("   -> {0} disjoint non-escaping heap instance(s) eligible "
+          "for pools".format(len(local)))
+
+    result, runtime = allocator_traffic(module)
+    print("\nbefore pool allocation: result={0}".format(
+        result.return_value))
+    print("   malloc calls: {0:5d}   free calls: {1:5d}".format(
+        runtime.malloc_calls, runtime.free_calls))
+
+    AutomaticPoolAllocation().run_module(module)
+    verify_module(module)
+
+    result2, runtime2 = allocator_traffic(module)
+    assert result2.return_value == result.return_value
+    assert result2.output == result.output
+    print("\nafter pool allocation: result={0}".format(
+        result2.return_value))
+    print("   malloc calls: {0:5d}   free calls: {1:5d}".format(
+        runtime2.malloc_calls, runtime2.free_calls))
+    print("   pool allocations: {0}   slab mallocs: {1}".format(
+        runtime2.pool_allocs, runtime2.pool_slab_mallocs))
+    print("\ngeneral-purpose allocator operations: {0} -> {1}".format(
+        runtime.malloc_calls + runtime.free_calls,
+        runtime2.malloc_calls + runtime2.free_calls))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Runtime profiling, the software trace cache, and idle-time PGO
+(Section 4.2, items 3 and 4).
+
+Flow:
+
+1. compile a branchy MiniC workload and statically instrument every
+   basic block with an LLVA counter update;
+2. run it once under the interpreter (a stand-in for the end-user's
+   machine) and read the profile out of simulated memory;
+3. strip the instrumentation, form hot traces, and reoptimize
+   idle-time-style (hot-call inlining + trace-order block layout);
+4. translate before/after versions for x86 and compare executed native
+   instructions and cycles.
+
+Run:  python examples/profile_guided.py
+"""
+
+from repro.execution import Interpreter
+from repro.execution.machine_sim import MachineSimulator
+from repro.llee import (
+    SoftwareTraceCache,
+    idle_time_reoptimize,
+    instrument_module,
+    read_profile,
+    strip_instrumentation,
+)
+from repro.llee.jit import FunctionJIT
+from repro.minic import compile_source
+from repro.targets import make_target
+
+PROGRAM = r"""
+int classify(int value) {
+    // A skewed branch: ~90% of inputs take the small-value path.
+    if (value % 10 != 0) {
+        return value * 3 + 1;
+    }
+    // Cold path: rarely executed, deliberately bulky.
+    int acc = value;
+    int i;
+    for (i = 0; i < 5; i++) {
+        acc = acc * 7 + i;
+        acc = acc % 10007;
+    }
+    return acc;
+}
+
+int hot_helper(int x) {
+    return (x * x + 3) % 8191;
+}
+
+int main() {
+    int total = 0;
+    int i;
+    for (i = 0; i < 4000; i++) {
+        total = (total + classify(i)) % 1000003;
+        total = (total + hot_helper(i)) % 1000003;
+    }
+    print_str("total="); print_int(total); print_newline();
+    return total;
+}
+"""
+
+
+def run_native(module, label):
+    native = FunctionJIT(module, make_target("x86")).translate_all()
+    simulator = MachineSimulator(native, module)
+    value, _ = simulator.run("main")
+    print("{0:>9}: result={1}, {2} native instructions executed, "
+          "{3} cycles".format(label, value,
+                              simulator.instructions_executed,
+                              simulator.cycles))
+    return value, simulator.cycles
+
+
+def main() -> None:
+    # Baseline module (what shipped to the user).
+    module = compile_source(PROGRAM, "pgo-demo", optimization_level=1)
+    baseline_value, baseline_cycles = run_native(module, "baseline")
+
+    # Instrumented run on the user's machine.
+    profiled = compile_source(PROGRAM, "pgo-demo", optimization_level=1)
+    profile_map = instrument_module(profiled)
+    interp = Interpreter(profiled)
+    result = interp.run("main")
+    assert result.return_value == baseline_value
+    profile = read_profile(profile_map, interp)
+    print("\nhottest blocks on the user's system:")
+    for (function, block), count in profile.hottest_blocks(5):
+        print("   {0}:{1:<14} {2}".format(function, block, count))
+
+    # Idle-time reoptimization with that profile.
+    strip_instrumentation(profiled)
+    cache = SoftwareTraceCache(profiled)
+    traces = cache.form_traces(profile)
+    print("\nformed {0} traces covering {1:.0%} of execution".format(
+        len(traces), cache.coverage(profile)))
+    report = idle_time_reoptimize(profiled, profile, hot_calls=500)
+    print("PGO: inlined {0} hot calls, relaid {1} functions".format(
+        report.hot_calls_inlined, report.functions_relaid))
+
+    value, cycles = run_native(profiled, "after PGO")
+    assert value == baseline_value
+    print("\ncycle change: {0} -> {1} ({2:+.1f}%)".format(
+        baseline_cycles, cycles,
+        100.0 * (cycles - baseline_cycles) / baseline_cycles))
+
+
+if __name__ == "__main__":
+    main()

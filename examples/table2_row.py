@@ -1,0 +1,72 @@
+"""Regenerate one row of the paper's Table 2, end to end.
+
+Picks a workload from the suite (default: mcf), compiles it with the
+same optimizations on both sides, and measures every column the paper
+reports: code sizes, instruction counts, expansion ratios, JIT
+translation time, and (simulated) run time — printed next to the
+paper's numbers for the original benchmark.
+
+Run:  python examples/table2_row.py [workload] [scale]
+"""
+
+import sys
+import time
+
+from repro.benchsuite import PAPER_TABLE2, load_workload
+from repro.bitcode import write_module_with_stats
+from repro.execution.machine_sim import MachineSimulator
+from repro.llee.jit import FunctionJIT
+from repro.minic import compile_source
+from repro.targets import make_target
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.2
+    paper = PAPER_TABLE2[name]
+    workload = load_workload(name, scale)
+    print("workload {0!r} at scale {1} ({2} LOC of MiniC; the paper's "
+          "{3} was {4} LOC of C)".format(name, scale, workload.loc,
+                                         name, paper.loc))
+
+    module = compile_source(workload.source, name, optimization_level=2)
+    object_code, stats = write_module_with_stats(module)
+    llva_insts = module.num_instructions()
+    print("\nvirtual object code: {0} bytes, {1} LLVA instructions, "
+          "{2:.0%} in the 32-bit short form".format(
+              len(object_code), llva_insts, stats.short_form_fraction))
+
+    natives = {}
+    for target_name in ("x86", "sparc"):
+        target = make_target(target_name)
+        jit = FunctionJIT(module, target)
+        started = time.perf_counter()
+        native = jit.translate_all()
+        translate_seconds = time.perf_counter() - started
+        natives[target_name] = (native, translate_seconds)
+        paper_ratio = paper.x86_ratio if target_name == "x86" \
+            else paper.sparc_ratio
+        print("{0:>6}: {1} instructions ({2:.2f}x expansion; paper "
+              "{3:.2f}x), {4} code bytes, translated in {5:.4f}s".format(
+                  target_name, native.num_instructions(),
+                  native.num_instructions() / llva_insts, paper_ratio,
+                  native.code_size(), translate_seconds))
+
+    native, translate_seconds = natives["x86"]
+    simulator = MachineSimulator(native, module)
+    started = time.perf_counter()
+    value, _status = simulator.run("main")
+    run_seconds = time.perf_counter() - started
+    print("\nnative run: result={0}, {1} cycles, {2:.2f}s host time"
+          .format(value, simulator.cycles, run_seconds))
+    print("program output: {0}".format(
+        simulator.output_text().strip()))
+    ratio = translate_seconds / run_seconds
+    print("\ntranslate/run ratio: {0:.4f} (paper: {1:.3f}) — "
+          "\"JIT compilation times are negligible, except for large "
+          "codes with short running time\"".format(
+              ratio, paper.translate_ratio))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — a reproduction of "LLVA: A Low-level Virtual Instruction Set
+Architecture" (Adve, Lattner, Brukman, Shukla, Gaeke; MICRO-36, 2003).
+
+The package implements the paper's full system:
+
+* :mod:`repro.ir` — the LLVA V-ISA: typed SSA instruction set, explicit
+  CFGs, verifier, assembly printer (the core contribution).
+* :mod:`repro.asm` — textual assembly parser.
+* :mod:`repro.bitcode` — compact virtual object code encoding.
+* :mod:`repro.analysis` — alias analysis, call graphs, loops, DSA.
+* :mod:`repro.transforms` — the optimizer (mem2reg, SCCP, GVN, LICM,
+  inlining, link-time interprocedural passes, pool allocation).
+* :mod:`repro.targets` — translators to two simulated hardware I-ISAs
+  (x86-like CISC, SPARC-V9-like RISC).
+* :mod:`repro.execution` — the LLVA interpreter (semantic oracle) and the
+  native machine simulator, with the paper's exception model.
+* :mod:`repro.llee` — the LLEE execution manager: JIT, offline caching
+  through the OS-independent storage API, profiling, trace cache.
+* :mod:`repro.minic` — a small C-like front-end used to author workloads.
+* :mod:`repro.benchsuite` — the 17 synthetic Table 2 workloads.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

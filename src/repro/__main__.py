@@ -1,0 +1,7 @@
+"""``python -m repro`` — the LLVA toolchain entry point."""
+
+import sys
+
+from repro.tools import main
+
+sys.exit(main())

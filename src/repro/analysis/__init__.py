@@ -1,0 +1,23 @@
+"""Program analyses over LLVA IR: liveness, loops, alias analysis, call
+graphs, and (simplified) Data Structure Analysis — the capabilities
+Section 5.1 uses to argue the V-ISA supports "sophisticated program
+analysis and transformations"."""
+
+from repro.analysis.alias import AliasAnalysis, AliasResult, underlying_object
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.dsa import DSGraph, DSNode, ModuleDSA
+from repro.analysis.liveness import LivenessInfo
+from repro.analysis.loops import Loop, LoopInfo
+
+__all__ = [
+    "AliasAnalysis",
+    "AliasResult",
+    "underlying_object",
+    "CallGraph",
+    "DSGraph",
+    "DSNode",
+    "ModuleDSA",
+    "LivenessInfo",
+    "Loop",
+    "LoopInfo",
+]

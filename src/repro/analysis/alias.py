@@ -1,0 +1,221 @@
+"""Alias analysis over LLVA pointers.
+
+Section 3.3: "the type, control-flow, and SSA information enable
+sophisticated alias analysis algorithms in the translator" — this is the
+paper's answer to the load/store-dependence problem that plagued DAISY
+and Crusoe.  Two cooperating analyses are provided:
+
+* **Basic AA** — tracks pointers to their underlying objects through
+  ``getelementptr`` and pointer casts: distinct stack/heap/global objects
+  never alias; geps off the same base with different constant leading
+  indices never alias.
+
+* **Type-based AA** — exploits LLVA's typed loads/stores: accesses
+  through pointers to differently-sized primitives cannot alias unless
+  one of the pointers was manufactured by a non-pointer cast (the escape
+  hatch non-type-safe code uses).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.ir import instructions as insts
+from repro.ir import types
+from repro.ir.module import Function, GlobalVariable
+from repro.ir.values import Argument, Constant, ConstantNull, Value
+
+
+class AliasResult:
+    NO_ALIAS = "no"
+    MAY_ALIAS = "may"
+    MUST_ALIAS = "must"
+
+
+def underlying_object(pointer: Value, max_depth: int = 32) -> Value:
+    """Trace *pointer* through geps and pointer-to-pointer casts to the
+    object that produced it (an alloca, global, argument, call, ...)."""
+    current = pointer
+    for _ in range(max_depth):
+        if isinstance(current, insts.GetElementPtrInst):
+            current = current.pointer
+        elif isinstance(current, insts.CastInst) and current.is_noop:
+            current = current.value
+        else:
+            return current
+    return current
+
+
+def _is_identified_object(value: Value) -> bool:
+    """Objects with a unique, known allocation site."""
+    if isinstance(value, insts.AllocaInst):
+        return True
+    if isinstance(value, GlobalVariable):
+        return True
+    if isinstance(value, insts.CallInst):
+        callee = value.callee
+        return isinstance(callee, Function) and callee.name == "malloc"
+    return False
+
+
+class AliasAnalysis:
+    """Combined basic + type-based alias analysis."""
+
+    def __init__(self, use_tbaa: bool = True):
+        self.use_tbaa = use_tbaa
+
+    def alias(self, a: Value, b: Value) -> str:
+        """Classify the relationship of two pointer values."""
+        if a is b:
+            return AliasResult.MUST_ALIAS
+        if isinstance(a, ConstantNull) or isinstance(b, ConstantNull):
+            return AliasResult.NO_ALIAS
+
+        base_a = underlying_object(a)
+        base_b = underlying_object(b)
+
+        if base_a is not base_b:
+            if _is_identified_object(base_a) and _is_identified_object(base_b):
+                return AliasResult.NO_ALIAS
+            # An identified local object cannot alias a pointer that came
+            # in from outside the function (argument or load), unless its
+            # address escaped — conservatively require non-escaping.
+            for local, other in ((base_a, base_b), (base_b, base_a)):
+                if isinstance(local, insts.AllocaInst) \
+                        and isinstance(other, (Argument, insts.LoadInst)) \
+                        and not _address_escapes(local):
+                    return AliasResult.NO_ALIAS
+        else:
+            result = self._same_base_geps(a, b)
+            if result is not None:
+                return result
+
+        if self.use_tbaa:
+            result = self._type_based(a, b)
+            if result is not None:
+                return result
+        return AliasResult.MAY_ALIAS
+
+    # -- helpers -----------------------------------------------------------
+
+    def _same_base_geps(self, a: Value, b: Value) -> Optional[str]:
+        """Compare two pointers derived from the same underlying object
+        by computing their constant byte offsets under both V-ABI
+        layouts; byte-disjoint access intervals cannot alias."""
+        verdict: Optional[str] = None
+        for layout in (types.TARGET_32_LE, types.TARGET_64_LE):
+            offset_a = _constant_offset(a, layout)
+            offset_b = _constant_offset(b, layout)
+            if offset_a is None or offset_b is None:
+                return None
+            size_a = _access_size(a, layout)
+            size_b = _access_size(b, layout)
+            if size_a is None or size_b is None:
+                return None
+            disjoint = (offset_a + size_a <= offset_b
+                        or offset_b + size_b <= offset_a)
+            exact = offset_a == offset_b and size_a == size_b
+            if disjoint:
+                step = AliasResult.NO_ALIAS
+            elif exact:
+                step = AliasResult.MUST_ALIAS
+            else:
+                return None
+            if verdict is None:
+                verdict = step
+            elif verdict != step:
+                return None  # layouts disagree: stay conservative
+        return verdict
+
+    def _type_based(self, a: Value, b: Value) -> Optional[str]:
+        if _was_cast_from_non_pointer(a) or _was_cast_from_non_pointer(b):
+            return None
+        pointee_a = a.type.pointee if a.type.is_pointer else None
+        pointee_b = b.type.pointee if b.type.is_pointer else None
+        if pointee_a is None or pointee_b is None:
+            return None
+        if not (pointee_a.is_scalar and pointee_b.is_scalar):
+            return None
+        if pointee_a is pointee_b:
+            return None
+        # Distinctly-typed scalar accesses: LLVA's typed memory rules say
+        # type-safe code never overlays them.
+        return AliasResult.NO_ALIAS
+
+
+def _constant_offset(pointer: Value,
+                     layout: types.TargetData) -> Optional[int]:
+    """Byte offset of *pointer* from its underlying object, if every gep
+    step on the way is constant and no cast intervenes."""
+    offset = 0
+    current = pointer
+    for _ in range(32):
+        if isinstance(current, insts.GetElementPtrInst):
+            indices = current.constant_indices()
+            if indices is None:
+                return None
+            pointee = current.pointer.type.pointee
+            offset += layout.gep_offset(pointee, list(indices))
+            current = current.pointer
+        elif isinstance(current, insts.CastInst):
+            return None
+        else:
+            return offset
+    return None
+
+
+def _access_size(pointer: Value,
+                 layout: types.TargetData) -> Optional[int]:
+    pointee = pointer.type.pointee if pointer.type.is_pointer else None
+    if pointee is None:
+        return None
+    try:
+        return layout.size_of(pointee)
+    except types.LlvaTypeError:
+        return None
+
+
+def _was_cast_from_non_pointer(pointer: Value) -> bool:
+    current = pointer
+    for _ in range(32):
+        if isinstance(current, insts.GetElementPtrInst):
+            current = current.pointer
+        elif isinstance(current, insts.CastInst):
+            if not current.value.type.is_pointer:
+                return True
+            current = current.value
+        else:
+            return False
+    return True  # too deep: be conservative
+
+
+def _address_escapes(alloca: insts.AllocaInst) -> bool:
+    """Does the alloca's address flow somewhere we cannot see?
+
+    Follows gep/cast derivations; an address escapes if it is stored,
+    passed to a call/invoke, returned, or compared (pointer identity can
+    be laundered through comparisons only in contrived code, but stay
+    safe).
+    """
+    worklist = [alloca]
+    seen = set()
+    while worklist:
+        value = worklist.pop()
+        if id(value) in seen:
+            continue
+        seen.add(id(value))
+        for user in value.users():
+            if isinstance(user, (insts.GetElementPtrInst, insts.CastInst)):
+                worklist.append(user)
+            elif isinstance(user, insts.LoadInst):
+                continue
+            elif isinstance(user, insts.StoreInst):
+                if user.value is value:
+                    return True  # the address itself is stored
+            elif isinstance(user, (insts.CallInst, insts.InvokeInst,
+                                   insts.RetInst, insts.PhiInst,
+                                   insts.CompareInst)):
+                return True
+            else:
+                return True
+    return False

@@ -1,0 +1,150 @@
+"""Call-graph construction.
+
+Direct calls are read off the instruction stream; indirect calls (through
+function-pointer registers) are resolved conservatively to every
+address-taken function of a compatible type.  Data Structure Analysis
+(:mod:`repro.analysis.dsa`) refines this — "Data Structure Analysis ...
+computes both an accurate call graph and points-to information"
+(Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.ir import instructions as insts
+from repro.ir import types
+from repro.ir.module import Function, Module
+
+
+class CallGraphNode:
+    """One function plus its outgoing call edges."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.callees: List[Function] = []
+        self.callers: List[Function] = []
+        #: Whether this node contains an unresolved indirect call.
+        self.calls_unknown = False
+
+    def __repr__(self) -> str:
+        return "<CallGraphNode %{0} -> {1}>".format(
+            self.function.name, [c.name for c in self.callees])
+
+
+class CallGraph:
+    """The module call graph."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.nodes: Dict[str, CallGraphNode] = {
+            f.name: CallGraphNode(f) for f in module.functions.values()}
+        self._address_taken = self._find_address_taken()
+        self._build()
+
+    def node(self, function: Function) -> CallGraphNode:
+        return self.nodes[function.name]
+
+    def address_taken_functions(self) -> Set[str]:
+        return set(self._address_taken)
+
+    # -- construction --------------------------------------------------------
+
+    def _find_address_taken(self) -> Set[str]:
+        """Functions whose address is used other than as a direct callee."""
+        taken: Set[str] = set()
+        for function in self.module.functions.values():
+            for use in function.uses:
+                user = use.user
+                if isinstance(user, (insts.CallInst, insts.InvokeInst)) \
+                        and use.index == 0:
+                    continue  # direct call
+                taken.add(function.name)
+        # Functions referenced from global initializers (vtables etc.).
+        for variable in self.module.globals.values():
+            if variable.initializer is not None:
+                for name in _functions_in_constant(variable.initializer):
+                    taken.add(name)
+        return taken
+
+    def _compatible_indirect_targets(
+            self, signature: types.FunctionType) -> List[Function]:
+        return [
+            f for f in self.module.functions.values()
+            if f.name in self._address_taken
+            and f.function_type is signature
+        ]
+
+    def _build(self) -> None:
+        for function in self.module.functions.values():
+            node = self.nodes[function.name]
+            seen: Set[int] = set()
+            for inst in function.instructions():
+                if not isinstance(inst, (insts.CallInst, insts.InvokeInst)):
+                    continue
+                callee = inst.callee
+                if isinstance(callee, Function):
+                    targets = [callee]
+                else:
+                    node.calls_unknown = True
+                    targets = self._compatible_indirect_targets(
+                        inst.signature)
+                for target in targets:
+                    if id(target) not in seen:
+                        seen.add(id(target))
+                        node.callees.append(target)
+                        self.nodes[target.name].callers.append(function)
+
+    # -- queries -----------------------------------------------------------------
+
+    def post_order(self) -> List[Function]:
+        """Functions in bottom-up (callee before caller) order; cycles
+        (recursion) are broken at the back edge."""
+        out: List[Function] = []
+        visited: Set[str] = set()
+
+        def visit(name: str) -> None:
+            stack: List[Tuple[str, int]] = [(name, 0)]
+            visited.add(name)
+            while stack:
+                current, index = stack[-1]
+                callees = self.nodes[current].callees
+                if index < len(callees):
+                    stack[-1] = (current, index + 1)
+                    callee = callees[index].name
+                    if callee not in visited:
+                        visited.add(callee)
+                        stack.append((callee, 0))
+                else:
+                    stack.pop()
+                    out.append(self.nodes[current].function)
+
+        for function_name in self.nodes:
+            if function_name not in visited:
+                visit(function_name)
+        return out
+
+    def is_recursive(self, function: Function) -> bool:
+        """Whether *function* can (transitively) call itself."""
+        target = function.name
+        seen: Set[str] = set()
+        worklist = [c.name for c in self.nodes[target].callees]
+        while worklist:
+            name = worklist.pop()
+            if name == target:
+                return True
+            if name in seen:
+                continue
+            seen.add(name)
+            worklist.extend(c.name for c in self.nodes[name].callees)
+        return False
+
+
+def _functions_in_constant(constant) -> Iterator[str]:
+    from repro.ir.values import ConstantAggregate
+
+    if isinstance(constant, Function):
+        yield constant.name
+    elif isinstance(constant, ConstantAggregate):
+        for element in constant.elements:
+            yield from _functions_in_constant(element)

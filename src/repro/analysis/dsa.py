@@ -1,0 +1,252 @@
+"""Data Structure Analysis (simplified).
+
+Section 5.1: "Data Structure Analysis is an efficient, context-sensitive
+pointer analysis, which computes both an accurate call graph and
+points-to information.  Most importantly, it is able to identify
+information about logical data structures (e.g., an entire list,
+hashtable, or graph), including disjoint instances of such structures."
+
+This reproduction implements the unification-based core of DSA:
+
+* one **DS graph** per function: every pointer value maps to a *DS node*
+  standing for the set of memory objects it may reference;
+* nodes carry the classic flags — Heap, Stack, Global, Unknown (from
+  int-to-pointer casts), Modified, Read, Escaping;
+* ``store``/``phi``/``cast`` unify nodes (union-find), ``load`` follows
+  the node's points-to edge, ``getelementptr`` stays within the node
+  (objects are the granularity at which *disjoint instances* matter);
+* calls mark argument nodes escaping, except for ``malloc``/``free``
+  whose semantics are modelled directly.
+
+The headline client is Automatic Pool Allocation
+(:mod:`repro.transforms.poolalloc`), which needs exactly what this
+computes: heap nodes that form disjoint, non-escaping data-structure
+instances.  The full bottom-up/top-down context-sensitive propagation of
+the original is out of scope (the paper only *uses* DSA; its algorithm is
+a separate publication), and its absence only makes results more
+conservative, never wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir import instructions as insts
+from repro.ir import types
+from repro.ir.module import Function, GlobalVariable, Module
+from repro.ir.values import Argument, Constant, ConstantNull, Value
+
+
+class DSNode:
+    """One points-to equivalence class (union-find element)."""
+
+    HEAP = "H"
+    STACK = "S"
+    GLOBAL = "G"
+    UNKNOWN = "U"
+    MODIFIED = "M"
+    READ = "R"
+    ESCAPING = "E"
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.flags: Set[str] = set()
+        self._parent: Optional["DSNode"] = None
+        self._pointee: Optional["DSNode"] = None
+        #: Allocation sites folded into this node.
+        self.allocation_sites: List[Value] = []
+        #: Declared pointee types observed (for instance typing).
+        self.observed_types: Set[str] = set()
+
+    # -- union-find ---------------------------------------------------------
+
+    def find(self) -> "DSNode":
+        root = self
+        while root._parent is not None:
+            root = root._parent
+        # Path compression.
+        walk = self
+        while walk._parent is not None:
+            walk._parent, walk = root, walk._parent
+        return root
+
+    def union(self, other: "DSNode") -> "DSNode":
+        a, b = self.find(), other.find()
+        if a is b:
+            return a
+        b._parent = a
+        a.flags |= b.flags
+        a.allocation_sites.extend(b.allocation_sites)
+        a.observed_types |= b.observed_types
+        pointee_a, pointee_b = a._pointee, b._pointee
+        b._pointee = None
+        if pointee_a is not None and pointee_b is not None:
+            pointee_a.union(pointee_b)
+        elif pointee_b is not None:
+            a._pointee = pointee_b
+        return a
+
+    # -- edges ------------------------------------------------------------------
+
+    def pointee(self, graph: "DSGraph") -> "DSNode":
+        root = self.find()
+        if root._pointee is None:
+            root._pointee = graph._new_node()
+        return root._pointee.find()
+
+    def has_flag(self, flag: str) -> bool:
+        return flag in self.find().flags
+
+    def add_flag(self, flag: str) -> None:
+        self.find().flags.add(flag)
+
+    def __repr__(self) -> str:
+        root = self.find()
+        return "<DSNode #{0} [{1}]>".format(
+            root.node_id, "".join(sorted(root.flags)))
+
+
+class DSGraph:
+    """The DS graph of one function."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self._nodes: List[DSNode] = []
+        self._value_nodes: Dict[int, DSNode] = {}
+        self._build()
+
+    # -- node plumbing ---------------------------------------------------------
+
+    def _new_node(self) -> DSNode:
+        node = DSNode(len(self._nodes))
+        self._nodes.append(node)
+        return node
+
+    def node_for(self, value: Value) -> DSNode:
+        existing = self._value_nodes.get(id(value))
+        if existing is not None:
+            return existing.find()
+        node = self._new_node()
+        self._value_nodes[id(value)] = node
+        if isinstance(value, Argument):
+            node.add_flag(DSNode.ESCAPING)  # callers hold it too
+        if value.type.is_pointer:
+            node.observed_types.add(str(value.type.pointee))
+        return node
+
+    def _merge(self, a: Value, b: Value) -> None:
+        self.node_for(a).union(self.node_for(b))
+
+    # -- construction --------------------------------------------------------------
+
+    def _build(self) -> None:
+        for inst in self.function.instructions():
+            self._visit(inst)
+
+    def _visit(self, inst: insts.Instruction) -> None:
+        if isinstance(inst, insts.AllocaInst):
+            node = self.node_for(inst)
+            node.add_flag(DSNode.STACK)
+            node.allocation_sites.append(inst)
+        elif isinstance(inst, insts.GetElementPtrInst):
+            # Field steps stay inside the object: same node.
+            self._merge(inst, inst.pointer)
+            self._note_global(inst.pointer)
+        elif isinstance(inst, insts.CastInst):
+            if inst.type.is_pointer:
+                node = self.node_for(inst)
+                if inst.value.type.is_pointer:
+                    node.union(self.node_for(inst.value))
+                else:
+                    node.add_flag(DSNode.UNKNOWN)
+        elif isinstance(inst, insts.LoadInst):
+            self._note_global(inst.pointer)
+            pointer_node = self.node_for(inst.pointer)
+            pointer_node.add_flag(DSNode.READ)
+            if inst.type.is_pointer:
+                self.node_for(inst).union(pointer_node.pointee(self))
+        elif isinstance(inst, insts.StoreInst):
+            self._note_global(inst.pointer)
+            pointer_node = self.node_for(inst.pointer)
+            pointer_node.add_flag(DSNode.MODIFIED)
+            if inst.value.type.is_pointer:
+                pointer_node.pointee(self).union(
+                    self.node_for(inst.value))
+        elif isinstance(inst, insts.PhiInst):
+            if inst.type.is_pointer:
+                node = self.node_for(inst)
+                for value, _block in inst.incoming():
+                    if not isinstance(value, ConstantNull):
+                        node.union(self.node_for(value))
+        elif isinstance(inst, (insts.CallInst, insts.InvokeInst)):
+            self._visit_call(inst)
+
+    def _visit_call(self, inst) -> None:
+        callee = inst.callee
+        callee_name = callee.name if isinstance(callee, Function) else None
+        if callee_name == "malloc":
+            node = self.node_for(inst)
+            node.add_flag(DSNode.HEAP)
+            node.allocation_sites.append(inst)
+            return
+        if callee_name == "free":
+            return  # deallocation keeps the node local
+        for arg in inst.args:
+            if arg.type.is_pointer:
+                node = self.node_for(arg)
+                node.add_flag(DSNode.ESCAPING)
+                node.pointee(self).add_flag(DSNode.ESCAPING)
+        if inst.produces_value and inst.type.is_pointer:
+            self.node_for(inst).add_flag(DSNode.UNKNOWN)
+
+    def _note_global(self, pointer: Value) -> None:
+        if isinstance(pointer, GlobalVariable):
+            self.node_for(pointer).add_flag(DSNode.GLOBAL)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def nodes(self) -> List[DSNode]:
+        """All distinct root nodes."""
+        seen: Set[int] = set()
+        out: List[DSNode] = []
+        for node in self._nodes:
+            root = node.find()
+            if id(root) not in seen:
+                seen.add(id(root))
+                out.append(root)
+        return out
+
+    def heap_instances(self) -> List[DSNode]:
+        """Disjoint heap data-structure instances: distinct root nodes
+        with the Heap flag.  Each is a candidate pool for Automatic Pool
+        Allocation (Section 5.1)."""
+        return [n for n in self.nodes() if n.has_flag(DSNode.HEAP)]
+
+    def local_heap_instances(self) -> List[DSNode]:
+        """Heap instances that never escape this function."""
+        return [n for n in self.heap_instances()
+                if not n.has_flag(DSNode.ESCAPING)
+                and not n.has_flag(DSNode.UNKNOWN)]
+
+    def points_to_same(self, a: Value, b: Value) -> bool:
+        """May *a* and *b* reference the same data-structure instance?"""
+        if id(a) not in self._value_nodes or id(b) not in self._value_nodes:
+            return True  # unknown values: be conservative
+        return self._value_nodes[id(a)].find() \
+            is self._value_nodes[id(b)].find()
+
+
+class ModuleDSA:
+    """Per-function DS graphs for a whole module."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.graphs: Dict[str, DSGraph] = {
+            f.name: DSGraph(f)
+            for f in module.functions.values() if not f.is_declaration}
+
+    def graph(self, function: Function) -> DSGraph:
+        return self.graphs[function.name]
+
+    def total_heap_instances(self) -> int:
+        return sum(len(g.heap_instances()) for g in self.graphs.values())

@@ -1,0 +1,105 @@
+"""Per-block liveness analysis over LLVA virtual registers.
+
+A backwards dataflow analysis producing live-in/live-out sets, used by the
+register allocators in :mod:`repro.targets.regalloc` — the paper's claim
+that "this type information and the SSA representation together provide
+the information needed for simple or aggressive register allocation
+algorithms" (Section 3.1) is exactly this computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set
+
+from repro.ir.instructions import Instruction, PhiInst
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import Argument, Constant, Value
+
+
+def _is_register(value: Value) -> bool:
+    """Virtual-register values: instruction results and arguments."""
+    if isinstance(value, Constant):
+        return False
+    return isinstance(value, (Instruction, Argument))
+
+
+class LivenessInfo:
+    """Live-in/live-out register sets for every block of a function."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.live_in: Dict[int, Set[Value]] = {}
+        self.live_out: Dict[int, Set[Value]] = {}
+        self._compute()
+
+    def _block_local_sets(self, block: BasicBlock):
+        """(use, def) sets: `use` holds registers read before any local
+        definition.  Phi operands count as uses in the *predecessor*, so
+        they are excluded here and added on the CFG edge instead."""
+        uses: Set[Value] = set()
+        defs: Set[Value] = set()
+        for inst in block.instructions:
+            if not isinstance(inst, PhiInst):
+                for operand in inst.operands:
+                    if _is_register(operand) and operand not in defs:
+                        uses.add(operand)
+            if inst.produces_value:
+                defs.add(inst)
+        return uses, defs
+
+    def _compute(self) -> None:
+        blocks = self.function.blocks
+        use_sets: Dict[int, Set[Value]] = {}
+        def_sets: Dict[int, Set[Value]] = {}
+        for block in blocks:
+            uses, defs = self._block_local_sets(block)
+            use_sets[id(block)] = uses
+            def_sets[id(block)] = defs
+            self.live_in[id(block)] = set()
+            self.live_out[id(block)] = set()
+        # Phi inputs are live-out of the corresponding predecessor.
+        phi_edge_uses: Dict[int, Set[Value]] = {
+            id(block): set() for block in blocks}
+        for block in blocks:
+            for phi in block.phis():
+                for value, pred in phi.incoming():
+                    if _is_register(value) and id(pred) in phi_edge_uses:
+                        phi_edge_uses[id(pred)].add(value)
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(blocks):
+                key = id(block)
+                out: Set[Value] = set(phi_edge_uses[key])
+                for successor in block.successors():
+                    out |= self.live_in.get(id(successor), set())
+                    # Phi results become live at the head of the successor
+                    # but their operands were handled above.
+                new_in = use_sets[key] | (out - def_sets[key])
+                if out != self.live_out[key] or new_in != self.live_in[key]:
+                    self.live_out[key] = out
+                    self.live_in[key] = new_in
+                    changed = True
+
+    def live_out_of(self, block: BasicBlock) -> FrozenSet[Value]:
+        return frozenset(self.live_out[id(block)])
+
+    def live_in_of(self, block: BasicBlock) -> FrozenSet[Value]:
+        return frozenset(self.live_in[id(block)])
+
+    def max_pressure(self) -> int:
+        """Upper bound on simultaneously-live registers, a proxy for
+        spill pressure used by the register-allocation ablation bench."""
+        best = 0
+        for block in self.function.blocks:
+            live = set(self.live_out[id(block)])
+            best = max(best, len(live))
+            for inst in reversed(block.instructions):
+                if inst.produces_value:
+                    live.discard(inst)
+                if not isinstance(inst, PhiInst):
+                    for operand in inst.operands:
+                        if _is_register(operand):
+                            live.add(operand)
+                best = max(best, len(live))
+        return best

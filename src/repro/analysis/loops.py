@@ -1,0 +1,141 @@
+"""Natural-loop detection from the explicit CFG.
+
+The paper's runtime-optimization strategy uses the CFG "to perform path
+profiling within frequently executed loop regions while avoiding
+interpretation" (Section 4.2); loop structure also drives LICM and the
+software trace cache's region selection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.cfg import DominatorTree
+from repro.ir.module import BasicBlock, Function
+
+
+class Loop:
+    """One natural loop: a header plus the blocks of its body."""
+
+    def __init__(self, header: BasicBlock):
+        self.header = header
+        self.blocks: List[BasicBlock] = [header]
+        self._block_ids: Set[int] = {id(header)}
+        self.parent: Optional["Loop"] = None
+        self.children: List["Loop"] = []
+        #: Back-edge source blocks (latches).
+        self.latches: List[BasicBlock] = []
+
+    def contains(self, block: BasicBlock) -> bool:
+        return id(block) in self._block_ids
+
+    def add_block(self, block: BasicBlock) -> None:
+        if id(block) not in self._block_ids:
+            self._block_ids.add(id(block))
+            self.blocks.append(block)
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        walk = self.parent
+        while walk is not None:
+            depth += 1
+            walk = walk.parent
+        return depth
+
+    def exit_edges(self):
+        """(inside_block, outside_successor) pairs leaving the loop."""
+        for block in self.blocks:
+            for successor in block.successors():
+                if not self.contains(successor):
+                    yield block, successor
+
+    def preheader(self) -> Optional[BasicBlock]:
+        """The unique out-of-loop predecessor of the header, if any."""
+        outside = [p for p in self.header.predecessors()
+                   if not self.contains(p)]
+        if len(outside) == 1 and len(outside[0].successors()) == 1:
+            return outside[0]
+        return None
+
+    def __repr__(self) -> str:
+        return "<Loop header=%{0} blocks={1} depth={2}>".format(
+            self.header.name, len(self.blocks), self.depth)
+
+
+class LoopInfo:
+    """All natural loops of a function, nested."""
+
+    def __init__(self, function: Function,
+                 domtree: Optional[DominatorTree] = None):
+        self.function = function
+        self.domtree = domtree or DominatorTree(function)
+        self.top_level: List[Loop] = []
+        self._loop_of: Dict[int, Loop] = {}
+        self._discover()
+
+    def loop_for(self, block: BasicBlock) -> Optional[Loop]:
+        """The innermost loop containing *block*."""
+        return self._loop_of.get(id(block))
+
+    def depth_of(self, block: BasicBlock) -> int:
+        loop = self.loop_for(block)
+        return loop.depth if loop is not None else 0
+
+    def all_loops(self) -> List[Loop]:
+        out: List[Loop] = []
+        stack = list(self.top_level)
+        while stack:
+            loop = stack.pop()
+            out.append(loop)
+            stack.extend(loop.children)
+        return out
+
+    # -- construction ---------------------------------------------------------
+
+    def _discover(self) -> None:
+        # Find back edges (tail -> header where header dominates tail),
+        # innermost-first by processing headers in reverse RPO order.
+        headers: Dict[int, Loop] = {}
+        order = self.domtree.rpo
+        for block in order:
+            for successor in block.successors():
+                if self.domtree.dominates(successor, block):
+                    loop = headers.get(id(successor))
+                    if loop is None:
+                        loop = Loop(successor)
+                        headers[id(successor)] = loop
+                    loop.latches.append(block)
+        # Fill loop bodies by walking back from each latch to the header.
+        for loop in headers.values():
+            for latch in loop.latches:
+                self._fill_body(loop, latch)
+        loops = list(headers.values())
+        # Parent(L) = the smallest other loop whose body contains L's
+        # header (loops sharing a header were already merged above).
+        for loop in loops:
+            candidates = [
+                other for other in loops
+                if other is not loop and other.contains(loop.header)
+            ]
+            if candidates:
+                parent = min(candidates, key=lambda lp: len(lp.blocks))
+                loop.parent = parent
+                parent.children.append(loop)
+        # The innermost-loop map: assign blocks starting from the
+        # biggest loops so nested (smaller) loops overwrite their share.
+        for loop in sorted(loops, key=lambda lp: -len(lp.blocks)):
+            for block in loop.blocks:
+                self._loop_of[id(block)] = loop
+        self.top_level = [lp for lp in loops if lp.parent is None]
+
+    def _fill_body(self, loop: Loop, latch: BasicBlock) -> None:
+        stack = [latch]
+        while stack:
+            block = stack.pop()
+            if loop.contains(block):
+                continue
+            loop.add_block(block)
+            for pred in block.predecessors():
+                if not loop.contains(pred):
+                    stack.append(pred)

@@ -1,0 +1,17 @@
+"""Textual LLVA assembly front end (lexer + parser).
+
+Round-trips with :mod:`repro.ir.printer`:
+
+>>> from repro.asm import parse_module
+>>> from repro.ir import print_module
+>>> module = parse_module(print_module(other_module))   # doctest: +SKIP
+
+Known limitation: a ``call`` through a function-pointer *register* must be
+textually preceded by the register's definition (the paper's syntax does
+not distinguish global from local names).
+"""
+
+from repro.asm.lexer import LexerError, tokenize
+from repro.asm.parser import ParseError, parse_module
+
+__all__ = ["LexerError", "tokenize", "ParseError", "parse_module"]

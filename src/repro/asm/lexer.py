@@ -1,0 +1,141 @@
+"""Tokenizer for textual LLVA assembly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+PUNCTUATION = ("...", "=", ",", "(", ")", "{", "}", "[", "]", "*", ":")
+
+
+class LexerError(Exception):
+    """Raised on malformed assembly input."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__("line {0}: {1}".format(line, message))
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``word`` (bare identifier/keyword), ``local``
+    (``%name``), ``int``, ``float``, ``string`` (``c"..."``), ``bang``
+    (``!ee(...)`` attribute), or a punctuation literal.
+    """
+
+    kind: str
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return "<{0} {1!r} @{2}>".format(self.kind, self.text, self.line)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split *source* into tokens, dropping comments and whitespace."""
+    tokens: List[Token] = []
+    line = 1
+    position = 0
+    length = len(source)
+    while position < length:
+        char = source[position]
+        if char == "\n":
+            line += 1
+            position += 1
+            continue
+        if char in " \t\r":
+            position += 1
+            continue
+        if char == ";":
+            while position < length and source[position] != "\n":
+                position += 1
+            continue
+        if char == "%":
+            start = position + 1
+            end = start
+            while end < length and (source[end].isalnum()
+                                    or source[end] in "._-"):
+                end += 1
+            if end == start:
+                raise LexerError("empty %name", line)
+            tokens.append(Token("local", source[start:end], line))
+            position = end
+            continue
+        if char == "!":
+            # !ee(true) / !ee(false)
+            end = source.find(")", position)
+            if end < 0:
+                raise LexerError("unterminated ! attribute", line)
+            tokens.append(Token("bang", source[position:end + 1], line))
+            position = end + 1
+            continue
+        if char == "c" and position + 1 < length \
+                and source[position + 1] == '"':
+            end = position + 2
+            while end < length and source[end] != '"':
+                if source[end] == "\\":
+                    end += 1
+                end += 1
+            if end >= length:
+                raise LexerError("unterminated string", line)
+            tokens.append(Token("string", source[position + 2:end], line))
+            position = end + 1
+            continue
+        if char.isdigit() or (char == "-" and position + 1 < length
+                              and (source[position + 1].isdigit()
+                                   or source[position + 1] == ".")):
+            token, position = _lex_number(source, position, line)
+            tokens.append(token)
+            continue
+        if char == "-" and source.startswith("-inf", position):
+            tokens.append(Token("float", "-inf", line))
+            position += 4
+            continue
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (source[end].isalnum()
+                                    or source[end] in "._"):
+                end += 1
+            tokens.append(Token("word", source[position:end], line))
+            position = end
+            continue
+        matched = False
+        for punct in PUNCTUATION:
+            if source.startswith(punct, position):
+                tokens.append(Token(punct, punct, line))
+                position += len(punct)
+                matched = True
+                break
+        if not matched:
+            raise LexerError("unexpected character {0!r}".format(char), line)
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _lex_number(source: str, position: int, line: int):
+    start = position
+    length = len(source)
+    if source[position] == "-":
+        position += 1
+    while position < length and source[position].isdigit():
+        position += 1
+    is_float = False
+    if position < length and source[position] == ".":
+        is_float = True
+        position += 1
+        while position < length and source[position].isdigit():
+            position += 1
+    if position < length and source[position] in "eE":
+        lookahead = position + 1
+        if lookahead < length and source[lookahead] in "+-":
+            lookahead += 1
+        if lookahead < length and source[lookahead].isdigit():
+            is_float = True
+            position = lookahead
+            while position < length and source[position].isdigit():
+                position += 1
+    text = source[start:position]
+    kind = "float" if is_float else "int"
+    return Token(kind, text, line), position

@@ -1,0 +1,638 @@
+"""Recursive-descent parser for textual LLVA assembly.
+
+Accepts exactly what :mod:`repro.ir.printer` emits (plus insignificant
+whitespace and comments), reconstructing a verified
+:class:`~repro.ir.module.Module`.  Forward references — to basic blocks
+and to registers defined later in a function — are resolved with
+placeholder values that are patched once the function is complete.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.asm.lexer import Token, tokenize
+from repro.ir import instructions as insts
+from repro.ir import types, values
+from repro.ir.module import BasicBlock, Function, GlobalVariable, Module
+from repro.ir.values import Constant, Value
+
+
+class ParseError(Exception):
+    """Raised on syntactically or semantically invalid assembly."""
+
+    def __init__(self, message: str, token: Token):
+        super().__init__("line {0}: {1} (at {2!r})"
+                         .format(token.line, message, token.text))
+
+
+class _Placeholder(Value):
+    """Stand-in for a register referenced before its definition."""
+
+    __slots__ = ()
+
+
+def parse_module(source: str, name: str = "module") -> Module:
+    """Parse *source* into a new module."""
+    return _Parser(source, name).parse()
+
+
+class _Parser:
+    def __init__(self, source: str, name: str):
+        self.tokens = tokenize(source)
+        self.position = 0
+        self.module = Module(name)
+
+    # -- token plumbing ------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.advance()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise ParseError("expected {0!r}".format(wanted), token)
+        return token
+
+    def accept(self, kind: str, text: Optional[str] = None
+               ) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    # -- module level ----------------------------------------------------------
+
+    def parse(self) -> Module:
+        while self.peek().kind != "eof":
+            token = self.peek()
+            if token.kind == "word" and token.text == "target":
+                self._parse_target()
+            elif token.kind == "word" and token.text == "declare":
+                self._parse_declare()
+            elif token.kind == "local":
+                self._parse_named_definition()
+            elif token.kind == "word":
+                self._parse_function_definition()
+            else:
+                raise ParseError("unexpected token at module level", token)
+        return self.module
+
+    def _parse_target(self) -> None:
+        self.expect("word", "target")
+        key = self.expect("word")
+        self.expect("=")
+        if key.text == "pointersize":
+            bits = int(self.expect("int").text)
+            self.module.pointer_size = bits // 8
+        elif key.text == "endian":
+            self.module.endianness = self.expect("word").text
+        else:
+            raise ParseError("unknown target key", key)
+
+    def _parse_declare(self) -> None:
+        self.expect("word", "declare")
+        return_type = self.parse_type()
+        name = self.expect("local").text
+        params, vararg = self._parse_param_types()
+        fn_type = types.function_of(return_type, params, vararg)
+        self.module.get_or_declare_function(name, fn_type)
+
+    def _parse_param_types(self) -> Tuple[List[types.Type], bool]:
+        self.expect("(")
+        params: List[types.Type] = []
+        vararg = False
+        if not self.accept(")"):
+            while True:
+                if self.accept("..."):
+                    vararg = True
+                    break
+                params.append(self.parse_type())
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        return params, vararg
+
+    def _parse_named_definition(self) -> None:
+        """``%name = type ...`` or ``%name = [internal] global/constant``."""
+        name = self.expect("local").text
+        self.expect("=")
+        if self.accept("word", "type"):
+            struct = self._named_struct(name)
+            body = self.parse_type()
+            if not isinstance(body, types.StructType):
+                raise ParseError("named types must be structs", self.peek())
+            struct.set_body(body.fields)
+            self.module.named_types.setdefault(name, struct)
+            return
+        internal = bool(self.accept("word", "internal"))
+        external = bool(self.accept("word", "external"))
+        keyword = self.expect("word")
+        if keyword.text not in ("global", "constant"):
+            raise ParseError("expected 'global' or 'constant'", keyword)
+        is_constant = keyword.text == "constant"
+        if external:
+            value_type = self.parse_type()
+            self.module.create_global(name, value_type, None,
+                                      is_constant, internal)
+            return
+        value_type, initializer = self.parse_typed_constant()
+        existing = self.module.globals.get(name)
+        if existing is not None and existing.initializer is None:
+            # Definition for a forward-synthesized declaration.
+            if existing.value_type is not value_type:
+                raise ParseError(
+                    "global %{0} type conflicts with earlier use"
+                    .format(name), keyword)
+            existing.initializer = initializer
+            existing.is_constant = is_constant
+            existing.internal = internal
+        else:
+            self.module.create_global(name, value_type, initializer,
+                                      is_constant, internal)
+
+    def _named_struct(self, name: str) -> types.StructType:
+        existing = self.module.named_types.get(name)
+        if existing is not None:
+            return existing
+        struct = types.named_struct(name)
+        self.module.named_types[name] = struct
+        return struct
+
+    # -- types --------------------------------------------------------------------
+
+    def parse_type(self) -> types.Type:
+        token = self.advance()
+        base: types.Type
+        if token.kind == "word" and token.text in types.PRIMITIVES:
+            base = types.PRIMITIVES[token.text]
+        elif token.kind == "local":
+            base = self._named_struct(token.text)
+        elif token.kind == "[":
+            length = int(self.expect("int").text)
+            self.expect("word", "x")
+            element = self.parse_type()
+            self.expect("]")
+            base = types.array_of(element, length)
+        elif token.kind == "{":
+            fields: List[types.Type] = []
+            if not self.accept("}"):
+                while True:
+                    fields.append(self.parse_type())
+                    if not self.accept(","):
+                        break
+                self.expect("}")
+            base = types.struct_of(fields)
+        else:
+            raise ParseError("expected a type", token)
+        # Suffixes: function '(...)' and pointer '*', repeatable.
+        while True:
+            if self.peek().kind == "(":
+                params, vararg = self._parse_param_types()
+                base = types.function_of(base, params, vararg)
+            elif self.peek().kind == "*":
+                self.advance()
+                base = types.pointer_to(base)
+            else:
+                break
+        return base
+
+    # -- constants ---------------------------------------------------------------
+
+    def parse_typed_constant(self) -> Tuple[types.Type, Constant]:
+        """Parse ``<type> <literal>`` (global initializers)."""
+        type_ = self.parse_type()
+        return type_, self.parse_constant_literal(type_)
+
+    def parse_constant_literal(self, type_: types.Type) -> Constant:
+        token = self.peek()
+        if token.kind == "int":
+            self.advance()
+            if type_.is_floating_point:
+                return values.const_fp(type_, float(token.text))
+            return values.const_int(type_, int(token.text))
+        if token.kind == "float":
+            self.advance()
+            return values.const_fp(type_, float(token.text))
+        if token.kind == "word" and token.text in ("inf", "nan"):
+            self.advance()
+            return values.const_fp(type_, float(token.text))
+        if token.kind == "word" and token.text in ("true", "false"):
+            self.advance()
+            return values.const_bool(token.text == "true")
+        if token.kind == "word" and token.text == "null":
+            self.advance()
+            return values.const_null(type_)
+        if token.kind == "word" and token.text == "undef":
+            self.advance()
+            return values.const_undef(type_)
+        if token.kind == "word" and token.text == "zeroinitializer":
+            self.advance()
+            return values.const_zero(type_)
+        if token.kind == "local":
+            self.advance()
+            return self._global_symbol(token, type_)
+        if token.kind == "string":
+            # c"..." is the literal byte content: no implicit NUL (write
+            # \00 explicitly when one is wanted).
+            self.advance()
+            return values.make_byte_array(_unescape(token.text))
+        if token.kind == "[":
+            self.advance()
+            if not isinstance(type_, types.ArrayType):
+                raise ParseError("array literal for non-array type", token)
+            elements: List[Constant] = []
+            if not self.accept("]"):
+                while True:
+                    _t, element = self.parse_typed_constant()
+                    elements.append(element)
+                    if not self.accept(","):
+                        break
+                self.expect("]")
+            return values.ConstantArray(type_.element, elements)
+        if token.kind == "{":
+            self.advance()
+            if not isinstance(type_, types.StructType):
+                raise ParseError("struct literal for non-struct type", token)
+            elements = []
+            if not self.accept("}"):
+                while True:
+                    _t, element = self.parse_typed_constant()
+                    elements.append(element)
+                    if not self.accept(","):
+                        break
+                self.expect("}")
+            return values.ConstantStruct(type_, elements)
+        raise ParseError("expected a constant", token)
+
+    def _global_symbol(self, token: Token,
+                       type_: Optional[types.Type] = None) -> Constant:
+        name = token.text
+        if name in self.module.functions:
+            return self.module.functions[name]
+        if name in self.module.globals:
+            return self.module.globals[name]
+        # Forward reference from an initializer; synthesize a declaration
+        # from the expected type (the definition later adopts it).
+        if type_ is not None and type_.is_pointer:
+            pointee = type_.pointee
+            if pointee.is_function:
+                return self.module.get_or_declare_function(name, pointee)
+            return self.module.create_global(name, pointee)
+        raise ParseError("unknown global symbol", token)
+
+    # -- function bodies -------------------------------------------------------------
+
+    def _parse_function_definition(self) -> None:
+        internal = bool(self.accept("word", "internal"))
+        return_type = self.parse_type()
+        name = self.expect("local").text
+        self.expect("(")
+        param_types: List[types.Type] = []
+        param_names: List[str] = []
+        vararg = False
+        if not self.accept(")"):
+            while True:
+                if self.accept("..."):
+                    vararg = True
+                    break
+                param_types.append(self.parse_type())
+                param_names.append(self.expect("local").text)
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        fn_type = types.function_of(return_type, param_types, vararg)
+        existing = self.module.functions.get(name)
+        if existing is not None:
+            # A body for an earlier declaration (possibly implicit, from a
+            # forward call).  Reuse the object so existing operand
+            # references stay valid; adopt the definition's argument names.
+            if not existing.is_declaration:
+                raise ParseError("redefinition of function %" + name,
+                                 self.peek())
+            if existing.function_type is not fn_type:
+                raise ParseError(
+                    "definition of %{0} conflicts with earlier "
+                    "declaration".format(name), self.peek())
+            function = existing
+            for arg, arg_name in zip(function.args, param_names):
+                arg.name = arg_name
+            function.internal = internal
+        else:
+            function = self.module.create_function(
+                name, fn_type, param_names, internal)
+        self.expect("{")
+        _FunctionBodyParser(self, function).parse()
+
+    def parse_instruction_body_end(self) -> None:
+        self.expect("}")
+
+
+class _FunctionBodyParser:
+    """Parses the block list of one function."""
+
+    def __init__(self, parser: _Parser, function: Function):
+        self.p = parser
+        self.function = function
+        self.blocks: Dict[str, BasicBlock] = {}
+        self.locals: Dict[str, Value] = {
+            arg.name: arg for arg in function.args}
+        self.placeholders: Dict[str, _Placeholder] = {}
+        self.builder_block: Optional[BasicBlock] = None
+
+    # -- entry ------------------------------------------------------------------
+
+    def parse(self) -> None:
+        while not self.p.accept("}"):
+            token = self.p.peek()
+            if token.kind == "word" and self.p.peek(1).kind == ":":
+                label = self.p.advance().text
+                self.p.expect(":")
+                self._start_block(label)
+            elif token.kind == "local" and self.p.peek(1).kind == ":":
+                label = self.p.advance().text
+                self.p.expect(":")
+                self._start_block(label)
+            else:
+                self._parse_instruction()
+        if self.placeholders:
+            missing = ", ".join(sorted(self.placeholders))
+            raise ParseError("undefined registers: " + missing,
+                             self.p.peek())
+
+    def _start_block(self, label: str) -> None:
+        block = self._block(label)
+        if block.parent is not None:
+            raise ParseError("duplicate block label %" + label,
+                             self.p.peek())
+        block.parent = self.function
+        self.function.blocks.append(block)
+        self.builder_block = block
+
+    def _block(self, label: str) -> BasicBlock:
+        block = self.blocks.get(label)
+        if block is None:
+            block = BasicBlock(label)
+            self.blocks[label] = block
+        return block
+
+    def _define(self, name: str, value: Value) -> None:
+        if name in self.locals:
+            raise ParseError("redefinition of %" + name, self.p.peek())
+        value.name = name
+        self.locals[name] = value
+        placeholder = self.placeholders.pop(name, None)
+        if placeholder is not None:
+            if placeholder.type is not value.type:
+                raise ParseError(
+                    "type mismatch for %{0}: forward uses said {1}, "
+                    "definition is {2}".format(
+                        name, placeholder.type, value.type),
+                    self.p.peek())
+            placeholder.replace_all_uses_with(value)
+
+    def _local(self, name: str, type_: types.Type) -> Value:
+        value = self.locals.get(name)
+        if value is not None:
+            if value.type is not type_:
+                raise ParseError(
+                    "%{0} has type {1}, operand says {2}"
+                    .format(name, value.type, type_), self.p.peek())
+            return value
+        if name in self.p.module.functions:
+            return self.p.module.functions[name]
+        if name in self.p.module.globals:
+            return self.p.module.globals[name]
+        if type_.is_pointer and type_.pointee.is_function:
+            # Forward reference to a function used as a value (function
+            # pointer): implicitly declare it, as for forward calls.
+            return self.p.module.get_or_declare_function(
+                name, type_.pointee)
+        placeholder = self.placeholders.get(name)
+        if placeholder is None:
+            placeholder = _Placeholder(type_, name)
+            self.placeholders[name] = placeholder
+        return placeholder
+
+    # -- operands ------------------------------------------------------------------
+
+    def _typed_operand(self) -> Value:
+        """``<type> <value>`` — including ``label %block``."""
+        if self.p.accept("word", "label"):
+            return self._block(self.p.expect("local").text)
+        type_ = self.p.parse_type()
+        return self._untyped_operand(type_)
+
+    def _untyped_operand(self, type_: types.Type) -> Value:
+        token = self.p.peek()
+        if token.kind == "local":
+            self.p.advance()
+            return self._local(token.text, type_)
+        return self.p.parse_constant_literal(type_)
+
+    # -- instructions --------------------------------------------------------------
+
+    def _append(self, inst: insts.Instruction,
+                result_name: Optional[str]) -> None:
+        if self.builder_block is None:
+            raise ParseError("instruction outside any block", self.p.peek())
+        bang = self.p.accept("bang")
+        if bang is not None:
+            if bang.text not in ("!ee(true)", "!ee(false)"):
+                raise ParseError("unknown attribute", bang)
+            inst.exceptions_enabled = bang.text == "!ee(true)"
+        self.builder_block.append(inst)
+        if result_name is not None:
+            self._define(result_name, inst)
+
+    def _parse_instruction(self) -> None:
+        result_name: Optional[str] = None
+        if self.p.peek().kind == "local" and self.p.peek(1).kind == "=":
+            result_name = self.p.advance().text
+            self.p.expect("=")
+        opcode_token = self.p.expect("word")
+        opcode = opcode_token.text
+        if opcode in insts.BINARY_CLASSES or opcode in (
+                "seteq", "setne", "setlt", "setgt", "setle", "setge"):
+            self._parse_binary(opcode, result_name)
+        elif opcode == "ret":
+            self._parse_ret(result_name)
+        elif opcode == "br":
+            self._parse_br()
+        elif opcode == "mbr":
+            self._parse_mbr()
+        elif opcode == "call":
+            self._parse_call(result_name)
+        elif opcode == "invoke":
+            self._parse_invoke(result_name)
+        elif opcode == "unwind":
+            self._append(insts.UnwindInst(), None)
+        elif opcode == "load":
+            pointer = self._typed_operand()
+            self._append(insts.LoadInst(pointer), result_name)
+        elif opcode == "store":
+            value = self._typed_operand()
+            self.p.expect(",")
+            pointer = self._typed_operand()
+            self._append(insts.StoreInst(value, pointer), None)
+        elif opcode == "getelementptr":
+            self._parse_gep(result_name)
+        elif opcode == "alloca":
+            self._parse_alloca(result_name)
+        elif opcode == "cast":
+            value = self._typed_operand()
+            self.p.expect("word", "to")
+            target = self.p.parse_type()
+            self._append(insts.CastInst(value, target), result_name)
+        elif opcode == "phi":
+            self._parse_phi(result_name)
+        else:
+            raise ParseError("unknown opcode", opcode_token)
+
+    def _parse_binary(self, opcode: str,
+                      result_name: Optional[str]) -> None:
+        type_ = self.p.parse_type()
+        lhs = self._untyped_operand(type_)
+        self.p.expect(",")
+        # Shifts print their ubyte amount with an explicit type.
+        if opcode in ("shl", "shr") and _starts_type(self.p):
+            rhs = self._typed_operand()
+        else:
+            rhs = self._untyped_operand(type_)
+        if opcode in insts.BINARY_CLASSES:
+            inst: insts.Instruction = insts.BINARY_CLASSES[opcode](lhs, rhs)
+        else:
+            inst = insts.COMPARE_CLASSES[opcode[3:]](lhs, rhs)
+        self._append(inst, result_name)
+
+    def _parse_ret(self, result_name: Optional[str]) -> None:
+        if self.p.accept("word", "void"):
+            self._append(insts.RetInst(None), None)
+            return
+        value = self._typed_operand()
+        self._append(insts.RetInst(value), None)
+
+    def _parse_br(self) -> None:
+        first = self._typed_operand()
+        if isinstance(first, BasicBlock):
+            self._append(insts.BranchInst(target=first), None)
+            return
+        self.p.expect(",")
+        if_true = self._typed_operand()
+        self.p.expect(",")
+        if_false = self._typed_operand()
+        self._append(insts.BranchInst(condition=first, if_true=if_true,
+                                      if_false=if_false), None)
+
+    def _parse_mbr(self) -> None:
+        selector = self._typed_operand()
+        self.p.expect(",")
+        default = self._typed_operand()
+        cases: List[Tuple[values.ConstantInt, BasicBlock]] = []
+        while self.p.accept(","):
+            self.p.expect("[")
+            _type, constant = self.p.parse_typed_constant()
+            self.p.expect(",")
+            label = self._typed_operand()
+            self.p.expect("]")
+            cases.append((constant, label))  # type: ignore[arg-type]
+        self._append(insts.MultiwayBranchInst(selector, default, cases),
+                     None)
+
+    def _parse_call_operands(self):
+        return_type = self.p.parse_type()
+        callee_token = self.p.expect("local")
+        args: List[Value] = []
+        self.p.expect("(")
+        if not self.p.accept(")"):
+            while True:
+                args.append(self._typed_operand())
+                if not self.p.accept(","):
+                    break
+            self.p.expect(")")
+        callee = self._resolve_callee(callee_token, return_type, args)
+        return callee, args
+
+    def _resolve_callee(self, token: Token, return_type: types.Type,
+                        args: List[Value]) -> Value:
+        name = token.text
+        if name in self.p.module.functions:
+            return self.p.module.functions[name]
+        if name in self.locals:
+            return self.locals[name]
+        # A forward reference to a function defined later in the module:
+        # implicitly declare it with the signature the call site implies
+        # (the later definition adopts this object).  Calls through local
+        # function-pointer registers were caught by the `locals` lookup.
+        fn_type = types.function_of(return_type, [a.type for a in args])
+        return self.p.module.get_or_declare_function(name, fn_type)
+
+    def _parse_call(self, result_name: Optional[str]) -> None:
+        callee, args = self._parse_call_operands()
+        self._append(insts.CallInst(callee, args), result_name)
+
+    def _parse_invoke(self, result_name: Optional[str]) -> None:
+        callee, args = self._parse_call_operands()
+        self.p.expect("word", "to")
+        normal = self._typed_operand()
+        self.p.expect("word", "unwind")
+        unwind = self._typed_operand()
+        self._append(insts.InvokeInst(callee, args, normal, unwind),
+                     result_name)
+
+    def _parse_gep(self, result_name: Optional[str]) -> None:
+        pointer = self._typed_operand()
+        indices: List[Value] = []
+        while self.p.accept(","):
+            indices.append(self._typed_operand())
+        self._append(insts.GetElementPtrInst(pointer, indices), result_name)
+
+    def _parse_alloca(self, result_name: Optional[str]) -> None:
+        allocated = self.p.parse_type()
+        count: Optional[Value] = None
+        if self.p.accept(","):
+            count = self._typed_operand()
+        self._append(insts.AllocaInst(allocated, count), result_name)
+
+    def _parse_phi(self, result_name: Optional[str]) -> None:
+        type_ = self.p.parse_type()
+        incoming: List[Tuple[Value, Value]] = []
+        while True:
+            self.p.expect("[")
+            value = self._untyped_operand(type_)
+            self.p.expect(",")
+            block = self._block(self.p.expect("local").text)
+            self.p.expect("]")
+            incoming.append((value, block))
+            if not self.p.accept(","):
+                break
+        self._append(insts.PhiInst(type_, incoming), result_name)
+
+
+def _starts_type(parser: _Parser) -> bool:
+    token = parser.peek()
+    if token.kind == "word" and token.text in types.PRIMITIVES:
+        return True
+    return token.kind in ("[", "{")
+
+
+def _unescape(text: str) -> bytes:
+    out = bytearray()
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "\\" and index + 2 < len(text) + 1:
+            out.append(int(text[index + 1:index + 3], 16))
+            index += 3
+        else:
+            out.append(ord(char))
+            index += 1
+    return bytes(out)

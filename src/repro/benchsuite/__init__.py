@@ -1,0 +1,19 @@
+"""The Table 2 workload suite (17 synthetic PtrDist/SPEC analogues)."""
+
+from repro.benchsuite.suite import (
+    PAPER_TABLE2,
+    SUITE_ORDER,
+    PaperRow,
+    Workload,
+    load_suite,
+    load_workload,
+)
+
+__all__ = [
+    "PAPER_TABLE2",
+    "SUITE_ORDER",
+    "PaperRow",
+    "Workload",
+    "load_suite",
+    "load_workload",
+]

@@ -1,0 +1,1 @@
+"""Workload generator modules, one per Table 2 row."""

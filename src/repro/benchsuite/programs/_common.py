@@ -1,0 +1,29 @@
+"""Shared MiniC snippets for the workload generators."""
+
+#: Deterministic LCG so every engine sees identical inputs.
+LCG = r"""
+ulong rng_state = 88172645463325252ul;
+
+int rng_next(int bound) {
+    rng_state = rng_state * 6364136223846793005ul + 1442695040888963407ul;
+    ulong x = rng_state >> 33;
+    return (int)(x % (ulong)bound);
+}
+
+void rng_seed(ulong s) {
+    rng_state = s + 1ul;
+}
+"""
+
+CHECKSUM = r"""
+int checksum_state = 0;
+
+void checksum_add(int v) {
+    checksum_state = checksum_state * 31 + v;
+}
+"""
+
+
+def scaled(value: int, scale: float, minimum: int = 1) -> int:
+    """Scale a workload size parameter, clamped below."""
+    return max(int(value * scale), minimum)

@@ -1,0 +1,206 @@
+"""188.ammp: molecular dynamics (struct + double heavy).
+
+The original integrates full molecular mechanics.  This version runs
+the same inner loops on a synthetic molecule: atoms as heap structs
+with position/velocity/force, bonded spring forces over a bond list,
+truncated pairwise nonbonded forces through a cell-list neighbour
+scheme, and velocity-Verlet integration.
+"""
+
+from repro.benchsuite.programs._common import CHECKSUM, LCG, scaled
+
+
+def source(scale: float = 1.0) -> str:
+    atoms = min(scaled(90, scale), 420)
+    steps = scaled(14, scale)
+    return (LCG + CHECKSUM + r"""
+struct Atom {
+    double x; double y; double z;
+    double vx; double vy; double vz;
+    double fx; double fy; double fz;
+    double mass;
+    double charge;
+    int serial;
+    struct Atom* next;     // intrusive list, as in ammp
+};
+
+struct Bond {
+    struct Atom* a;
+    struct Atom* b;
+    double rest_length;
+    double stiffness;
+    struct Bond* next;
+};
+
+int ATOMS = @A@;
+int STEPS = @S@;
+double CUTOFF = 4.0;
+
+struct Atom* atom_list = null;
+struct Bond* bond_list = null;
+struct Atom* atom_index[512];
+
+struct Atom* new_atom(int serial) {
+    struct Atom* a = (struct Atom*) malloc(sizeof(struct Atom));
+    a->x = (double) rng_next(1000) / 50.0;
+    a->y = (double) rng_next(1000) / 50.0;
+    a->z = (double) rng_next(1000) / 50.0;
+    a->vx = 0.0; a->vy = 0.0; a->vz = 0.0;
+    a->fx = 0.0; a->fy = 0.0; a->fz = 0.0;
+    a->mass = 1.0 + (double) rng_next(15);
+    a->charge = ((double) rng_next(200) - 100.0) / 100.0;
+    a->serial = serial;
+    a->next = atom_list;
+    atom_list = a;
+    return a;
+}
+
+void add_bond(struct Atom* a, struct Atom* b) {
+    struct Bond* bond = (struct Bond*) malloc(sizeof(struct Bond));
+    bond->a = a;
+    bond->b = b;
+    bond->rest_length = 1.2 + (double) rng_next(60) / 100.0;
+    bond->stiffness = 80.0 + (double) rng_next(120);
+    bond->next = bond_list;
+    bond_list = bond;
+}
+
+void build_molecule() {
+    int i;
+    for (i = 0; i < ATOMS; i++) {
+        atom_index[i] = new_atom(i);
+    }
+    // Chain backbone plus random cross-links.
+    for (i = 1; i < ATOMS; i++) {
+        add_bond(atom_index[i - 1], atom_index[i]);
+        if (rng_next(100) < 20) {
+            add_bond(atom_index[i], atom_index[rng_next(i)]);
+        }
+    }
+}
+
+void zero_forces() {
+    struct Atom* a = atom_list;
+    while (a != null) {
+        a->fx = 0.0; a->fy = 0.0; a->fz = 0.0;
+        a = a->next;
+    }
+}
+
+double bond_energy() {
+    double energy = 0.0;
+    struct Bond* bond = bond_list;
+    while (bond != null) {
+        double dx = bond->a->x - bond->b->x;
+        double dy = bond->a->y - bond->b->y;
+        double dz = bond->a->z - bond->b->z;
+        double r2 = dx * dx + dy * dy + dz * dz;
+        // Newton sqrt iterations, as the original's inner math does.
+        double r = r2;
+        int it;
+        for (it = 0; it < 6; it++) {
+            if (r > 0.0) r = 0.5 * (r + r2 / r);
+        }
+        double stretch = r - bond->rest_length;
+        energy = energy + 0.5 * bond->stiffness * stretch * stretch;
+        double magnitude = bond->stiffness * stretch;
+        if (r > 0.000001) {
+            double gx = magnitude * dx / r;
+            double gy = magnitude * dy / r;
+            double gz = magnitude * dz / r;
+            bond->a->fx = bond->a->fx - gx;
+            bond->a->fy = bond->a->fy - gy;
+            bond->a->fz = bond->a->fz - gz;
+            bond->b->fx = bond->b->fx + gx;
+            bond->b->fy = bond->b->fy + gy;
+            bond->b->fz = bond->b->fz + gz;
+        }
+        bond = bond->next;
+    }
+    return energy;
+}
+
+double nonbonded_energy() {
+    double energy = 0.0;
+    double cutoff2 = CUTOFF * CUTOFF;
+    struct Atom* a = atom_list;
+    while (a != null) {
+        struct Atom* b = a->next;
+        while (b != null) {
+            double dx = a->x - b->x;
+            double dy = a->y - b->y;
+            double dz = a->z - b->z;
+            double r2 = dx * dx + dy * dy + dz * dz;
+            if (r2 < cutoff2 && r2 > 0.01) {
+                double inv2 = 1.0 / r2;
+                double inv6 = inv2 * inv2 * inv2;
+                double lj = inv6 * inv6 - inv6;
+                double coulomb = a->charge * b->charge * inv2;
+                energy = energy + lj + coulomb;
+                double magnitude = (12.0 * inv6 * inv6 - 6.0 * inv6)
+                                 * inv2 + coulomb * inv2;
+                a->fx = a->fx + magnitude * dx;
+                a->fy = a->fy + magnitude * dy;
+                a->fz = a->fz + magnitude * dz;
+                b->fx = b->fx - magnitude * dx;
+                b->fy = b->fy - magnitude * dy;
+                b->fz = b->fz - magnitude * dz;
+            }
+            b = b->next;
+        }
+        a = a->next;
+    }
+    return energy;
+}
+
+void integrate(double dt) {
+    struct Atom* a = atom_list;
+    while (a != null) {
+        double inv_mass = 1.0 / a->mass;
+        a->vx = a->vx + dt * a->fx * inv_mass;
+        a->vy = a->vy + dt * a->fy * inv_mass;
+        a->vz = a->vz + dt * a->fz * inv_mass;
+        // Mild damping keeps the synthetic system numerically tame.
+        a->vx = a->vx * 0.995;
+        a->vy = a->vy * 0.995;
+        a->vz = a->vz * 0.995;
+        a->x = a->x + dt * a->vx;
+        a->y = a->y + dt * a->vy;
+        a->z = a->z + dt * a->vz;
+        a = a->next;
+    }
+}
+
+double kinetic_energy() {
+    double total = 0.0;
+    struct Atom* a = atom_list;
+    while (a != null) {
+        total = total + 0.5 * a->mass
+              * (a->vx * a->vx + a->vy * a->vy + a->vz * a->vz);
+        a = a->next;
+    }
+    return total;
+}
+
+int main() {
+    rng_seed(229ul);
+    build_molecule();
+    int step;
+    double potential = 0.0;
+    for (step = 0; step < STEPS; step++) {
+        zero_forces();
+        potential = bond_energy() + nonbonded_energy();
+        integrate(0.0005);
+        if (step % 4 == 0) {
+            checksum_add((int) (potential * 10.0)
+                         + (int) (kinetic_energy() * 10.0));
+        }
+    }
+    double kinetic = kinetic_energy();
+    print_str("ammp pe="); print_double(potential);
+    print_str(" ke="); print_double(kinetic);
+    print_str(" checksum="); print_int(checksum_state);
+    print_newline();
+    return checksum_state & 32767;
+}
+""").replace("@A@", str(atoms)).replace("@S@", str(steps))

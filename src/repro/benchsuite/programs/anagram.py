@@ -1,0 +1,82 @@
+"""ptrdist-anagram: dictionary anagram search.
+
+The original finds anagrams of a phrase against a dictionary using
+letter-count signatures.  This version synthesizes a deterministic
+dictionary of packed 5-letter words, builds 26-bucket letter-frequency
+signatures, and counts signature-compatible word pairs — the same
+hashing + bitmask + small-array access pattern.
+"""
+
+from repro.benchsuite.programs._common import CHECKSUM, LCG, scaled
+
+
+def source(scale: float = 1.0) -> str:
+    words = scaled(420, scale)
+    queries = scaled(160, scale)
+    return LCG + CHECKSUM + r"""
+int WORDS = @WORDS@;
+int QUERIES = @QUERIES@;
+
+int dict_letters[16384];     // WORDS x 5 letters, flattened
+int dict_mask[4096];         // letter bitmask per word
+int dict_counts[4096];       // packed letter counts (5 x 5 bits)
+
+int word_letter(int w, int i) {
+    return dict_letters[w * 5 + i];
+}
+
+void make_word(int w) {
+    int i;
+    int mask = 0;
+    int packed = 0;
+    for (i = 0; i < 5; i++) {
+        int letter = rng_next(26);
+        dict_letters[w * 5 + i] = letter;
+        mask = mask | (1 << (letter % 26));
+        packed = packed + (1 << ((letter % 5) * 5));
+    }
+    dict_mask[w] = mask;
+    dict_counts[w] = packed;
+}
+
+int signature_compatible(int a, int b) {
+    // b's letters must be a subset of a's letter set.
+    int need = dict_mask[b];
+    if ((dict_mask[a] & need) != need) return 0;
+    return 1;
+}
+
+int count_anagram_pairs(int query) {
+    int hits = 0;
+    int w;
+    for (w = 0; w < WORDS; w++) {
+        if (w == query) continue;
+        if (signature_compatible(query, w)) {
+            if (dict_counts[query] == dict_counts[w]) {
+                hits++;
+            }
+        }
+    }
+    return hits;
+}
+
+int main() {
+    rng_seed(17ul);
+    int w;
+    for (w = 0; w < WORDS; w++) {
+        make_word(w);
+    }
+    int q;
+    int total = 0;
+    for (q = 0; q < QUERIES; q++) {
+        int query = rng_next(WORDS);
+        int hits = count_anagram_pairs(query);
+        total = total + hits;
+        checksum_add(hits);
+    }
+    print_str("anagram pairs="); print_int(total);
+    print_str(" checksum="); print_int(checksum_state);
+    print_newline();
+    return checksum_state & 32767;
+}
+""".replace("@WORDS@", str(min(words, 3200))).replace("@QUERIES@", str(queries))

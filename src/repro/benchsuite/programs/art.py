@@ -1,0 +1,175 @@
+"""179.art: Adaptive Resonance Theory neural network (FP-heavy).
+
+The original runs an ART-2 image recognizer.  This version trains the
+same style of network: an F1/F2 two-layer net with bottom-up and
+top-down weight matrices, winner-take-all competition, vigilance reset,
+and weight adaptation — dense double-precision array math throughout.
+"""
+
+from repro.benchsuite.programs._common import CHECKSUM, LCG, scaled
+
+
+def source(scale: float = 1.0) -> str:
+    inputs = min(scaled(48, scale), 256)
+    features = 64
+    categories = 24
+    epochs = scaled(4, scale)
+    return (LCG + CHECKSUM + r"""
+int FEATURES = @F@;
+int CATEGORIES = @C@;
+int INPUTS = @I@;
+int EPOCHS = @E@;
+
+double bottom_up[64][24];
+double top_down[24][64];
+double f1_activation[64];
+double f2_activation[24];
+double patterns[256][64];
+int assignments[256];
+
+double vigilance = 0.62;
+double learning_rate = 0.45;
+
+void init_network() {
+    int i;
+    int j;
+    for (i = 0; i < FEATURES; i++) {
+        for (j = 0; j < CATEGORIES; j++) {
+            bottom_up[i][j] = 1.0 / (1.0 + (double) FEATURES);
+            top_down[j][i] = 1.0;
+        }
+    }
+}
+
+void make_patterns() {
+    int p;
+    int i;
+    for (p = 0; p < INPUTS; p++) {
+        int archetype = rng_next(8);
+        for (i = 0; i < FEATURES; i++) {
+            int on = 0;
+            if ((i * 8 / FEATURES) == archetype) on = 1;
+            if (rng_next(100) < 10) on = 1 - on;   // noise
+            patterns[p][i] = (double) on;
+        }
+    }
+}
+
+double norm1(double* v, int n) {
+    double s = 0.0;
+    int i;
+    for (i = 0; i < n; i++) s = s + v[i];
+    return s;
+}
+
+int compete(int p) {
+    int j;
+    int best = -1;
+    double best_score = -1.0;
+    for (j = 0; j < CATEGORIES; j++) {
+        double score = 0.0;
+        int i;
+        for (i = 0; i < FEATURES; i++) {
+            score = score + patterns[p][i] * bottom_up[i][j];
+        }
+        f2_activation[j] = score;
+        if (score > best_score) {
+            best_score = score;
+            best = j;
+        }
+    }
+    return best;
+}
+
+int resonates(int p, int winner) {
+    int i;
+    double match = 0.0;
+    double total = 0.0;
+    for (i = 0; i < FEATURES; i++) {
+        double masked = patterns[p][i] * top_down[winner][i];
+        f1_activation[i] = masked;
+        match = match + masked;
+        total = total + patterns[p][i];
+    }
+    if (total == 0.0) return 1;
+    if (match / total >= vigilance) return 1;
+    return 0;
+}
+
+void adapt(int p, int winner) {
+    int i;
+    double norm = norm1(f1_activation, FEATURES);
+    for (i = 0; i < FEATURES; i++) {
+        double target = f1_activation[i];
+        top_down[winner][i] = (1.0 - learning_rate) * top_down[winner][i]
+                            + learning_rate * target;
+        double denominator = 0.5 + norm;
+        bottom_up[i][winner] = (1.0 - learning_rate) * bottom_up[i][winner]
+                             + learning_rate * (target / denominator);
+    }
+}
+
+int classify(int p) {
+    int tried[24];
+    int j;
+    for (j = 0; j < CATEGORIES; j++) tried[j] = 0;
+    int round;
+    for (round = 0; round < CATEGORIES; round++) {
+        int winner = -1;
+        double best_score = -1.0;
+        for (j = 0; j < CATEGORIES; j++) {
+            if (tried[j] == 0 && f2_activation[j] >= 0.0) {
+                double score = 0.0;
+                int i;
+                for (i = 0; i < FEATURES; i++) {
+                    score = score + patterns[p][i] * bottom_up[i][j];
+                }
+                if (score > best_score) {
+                    best_score = score;
+                    winner = j;
+                }
+            }
+        }
+        if (winner < 0) return CATEGORIES - 1;
+        if (resonates(p, winner)) {
+            adapt(p, winner);
+            return winner;
+        }
+        tried[winner] = 1;   // vigilance reset: exclude and re-compete
+    }
+    return CATEGORIES - 1;
+}
+
+int main() {
+    rng_seed(101ul);
+    init_network();
+    make_patterns();
+    int e;
+    int p;
+    int moves = 0;
+    for (e = 0; e < EPOCHS; e++) {
+        for (p = 0; p < INPUTS; p++) {
+            compete(p);
+            int category = classify(p);
+            if (e > 0 && assignments[p] != category) moves++;
+            assignments[p] = category;
+        }
+    }
+    for (p = 0; p < INPUTS; p++) checksum_add(assignments[p]);
+    double weight_mass = 0.0;
+    int i;
+    int j;
+    for (i = 0; i < FEATURES; i++) {
+        for (j = 0; j < CATEGORIES; j++) {
+            weight_mass = weight_mass + bottom_up[i][j];
+        }
+    }
+    checksum_add((int) (weight_mass * 1000.0));
+    print_str("art moves="); print_int(moves);
+    print_str(" mass="); print_double(weight_mass);
+    print_str(" checksum="); print_int(checksum_state);
+    print_newline();
+    return checksum_state & 32767;
+}
+""").replace("@F@", str(features)).replace("@C@", str(categories)) \
+    .replace("@I@", str(inputs)).replace("@E@", str(epochs))

@@ -1,0 +1,173 @@
+"""ptrdist-bc: an arbitrary-precision calculator.
+
+Reproduces bc's core: bignums as digit arrays with add / subtract /
+multiply / small division, driven by a deterministic stream of
+calculator operations (including factorials and power towers) instead
+of parsed script text.
+"""
+
+from repro.benchsuite.programs._common import CHECKSUM, LCG, scaled
+
+
+def source(scale: float = 1.0) -> str:
+    operations = scaled(60, scale)
+    return (LCG + CHECKSUM + r"""
+int DIGITS = 160;             // base-10000 limbs per number
+int OPS = @OPS@;
+
+// A small bank of bignum registers, each DIGITS limbs, limb 0 = LSB.
+int bank[16][160];
+int bank_len[16];
+
+void big_zero(int r) {
+    int i;
+    for (i = 0; i < DIGITS; i++) bank[r][i] = 0;
+    bank_len[r] = 1;
+}
+
+void big_set(int r, int value) {
+    big_zero(r);
+    int i = 0;
+    while (value > 0 && i < DIGITS) {
+        bank[r][i] = value % 10000;
+        value = value / 10000;
+        i++;
+    }
+    if (i == 0) i = 1;
+    bank_len[r] = i;
+}
+
+void big_copy(int dst, int src) {
+    int i;
+    for (i = 0; i < DIGITS; i++) bank[dst][i] = bank[src][i];
+    bank_len[dst] = bank_len[src];
+}
+
+// dst = a + b
+void big_add(int dst, int a, int b) {
+    int carry = 0;
+    int i;
+    int n = bank_len[a];
+    if (bank_len[b] > n) n = bank_len[b];
+    for (i = 0; i < n || carry > 0; i++) {
+        if (i >= DIGITS) break;
+        int s = bank[a][i] + bank[b][i] + carry;
+        bank[dst][i] = s % 10000;
+        carry = s / 10000;
+    }
+    bank_len[dst] = i;
+    if (bank_len[dst] < 1) bank_len[dst] = 1;
+    for (i = bank_len[dst]; i < DIGITS; i++) bank[dst][i] = 0;
+}
+
+// dst = a * small (small < 10000)
+void big_mul_small(int dst, int a, int small) {
+    int carry = 0;
+    int i;
+    for (i = 0; i < DIGITS; i++) {
+        int p = bank[a][i] * small + carry;
+        bank[dst][i] = p % 10000;
+        carry = p / 10000;
+    }
+    bank_len[dst] = DIGITS;
+    while (bank_len[dst] > 1 && bank[dst][bank_len[dst] - 1] == 0) {
+        bank_len[dst] = bank_len[dst] - 1;
+    }
+}
+
+// dst = a * b (schoolbook, truncated at DIGITS limbs)
+int scratch[160];
+
+void big_mul(int dst, int a, int b) {
+    int i;
+    int j;
+    for (i = 0; i < DIGITS; i++) scratch[i] = 0;
+    for (i = 0; i < bank_len[a]; i++) {
+        int carry = 0;
+        int ai = bank[a][i];
+        if (ai == 0) continue;
+        for (j = 0; j + i < DIGITS; j++) {
+            int p = scratch[i + j] + ai * bank[b][j] + carry;
+            scratch[i + j] = p % 10000;
+            carry = p / 10000;
+        }
+    }
+    for (i = 0; i < DIGITS; i++) bank[dst][i] = scratch[i];
+    bank_len[dst] = DIGITS;
+    while (bank_len[dst] > 1 && bank[dst][bank_len[dst] - 1] == 0) {
+        bank_len[dst] = bank_len[dst] - 1;
+    }
+}
+
+// dst = a / small; returns remainder
+int big_div_small(int dst, int a, int small) {
+    int remainder = 0;
+    int i;
+    for (i = DIGITS - 1; i >= 0; i--) {
+        int cur = remainder * 10000 + bank[a][i];
+        bank[dst][i] = cur / small;
+        remainder = cur % small;
+    }
+    bank_len[dst] = DIGITS;
+    while (bank_len[dst] > 1 && bank[dst][bank_len[dst] - 1] == 0) {
+        bank_len[dst] = bank_len[dst] - 1;
+    }
+    return remainder;
+}
+
+int big_mod_hash(int r) {
+    // Fold the number into a small checksum.
+    int h = 0;
+    int i;
+    for (i = 0; i < bank_len[r]; i++) {
+        h = (h * 7 + bank[r][i]) % 1000003;
+    }
+    return h;
+}
+
+void factorial(int dst, int n) {
+    big_set(dst, 1);
+    int k;
+    for (k = 2; k <= n; k++) {
+        big_mul_small(dst, dst, k);
+    }
+}
+
+void power(int dst, int base, int exponent) {
+    big_set(dst, 1);
+    big_set(15, base);
+    int k;
+    for (k = 0; k < exponent; k++) {
+        big_mul(dst, dst, 15);
+    }
+}
+
+int main() {
+    rng_seed(71ul);
+    int op;
+    int r;
+    for (r = 0; r < 16; r++) big_zero(r);
+    for (op = 0; op < OPS; op++) {
+        int kind = rng_next(5);
+        int a = rng_next(8);
+        int b = rng_next(8);
+        int dst = 8 + rng_next(6);
+        if (kind == 0) {
+            big_set(dst, 1 + rng_next(99999));
+        } else if (kind == 1) {
+            big_add(dst, a, b);
+        } else if (kind == 2) {
+            big_mul(dst, a, b);
+        } else if (kind == 3) {
+            factorial(dst, 5 + rng_next(40));
+        } else {
+            power(dst, 2 + rng_next(9), 3 + rng_next(17));
+        }
+        big_copy(rng_next(8), dst);
+        checksum_add(big_mod_hash(dst));
+    }
+    print_str("bc checksum="); print_int(checksum_state);
+    print_newline();
+    return checksum_state & 32767;
+}
+""").replace("@OPS@", str(operations))

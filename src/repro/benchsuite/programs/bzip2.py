@@ -1,0 +1,180 @@
+"""256.bzip2: block compression.
+
+The original does BWT + MTF + Huffman.  This version compresses
+deterministic blocks with the same stage structure at simulator scale:
+run-length pre-pass, move-to-front transform over a 256-symbol
+alphabet, and frequency-based recoding, then verifies by decompressing.
+"""
+
+from repro.benchsuite.programs._common import CHECKSUM, LCG, scaled
+
+
+def source(scale: float = 1.0) -> str:
+    block_size = min(scaled(2200, scale), 16000)
+    blocks = 3
+    return (LCG + CHECKSUM + r"""
+int BLOCK = @B@;
+int BLOCKS = @N@;
+
+int raw[16384];
+int rle[32768];
+int mtf[32768];
+int decoded_mtf[32768];
+int decoded_rle[32768];
+int decoded[32768];
+int mtf_table[256];
+int frequency[256];
+
+void make_block(int b) {
+    int i;
+    int value = rng_next(256);
+    for (i = 0; i < BLOCK; i++) {
+        if (rng_next(100) < 55) {
+            // runs are common in bzip2 inputs
+        } else {
+            value = rng_next(64) + (b * 16) % 128;
+        }
+        raw[i] = value;
+    }
+}
+
+int run_length_encode(int n) {
+    int out = 0;
+    int i = 0;
+    while (i < n) {
+        int value = raw[i];
+        int run = 1;
+        while (i + run < n && raw[i + run] == value && run < 255) {
+            run++;
+        }
+        if (run >= 4) {
+            rle[out] = 256; out++;        // escape symbol
+            rle[out] = value; out++;
+            rle[out] = run; out++;
+            i += run;
+        } else {
+            int k;
+            for (k = 0; k < run; k++) {
+                rle[out] = value; out++;
+            }
+            i += run;
+        }
+    }
+    return out;
+}
+
+void mtf_init() {
+    int i;
+    for (i = 0; i < 256; i++) mtf_table[i] = i;
+}
+
+int mtf_encode_symbol(int value) {
+    int position = 0;
+    while (mtf_table[position] != value) position++;
+    int p;
+    for (p = position; p > 0; p--) {
+        mtf_table[p] = mtf_table[p - 1];
+    }
+    mtf_table[0] = value;
+    return position;
+}
+
+int mtf_decode_symbol(int position) {
+    int value = mtf_table[position];
+    int p;
+    for (p = position; p > 0; p--) {
+        mtf_table[p] = mtf_table[p - 1];
+    }
+    mtf_table[0] = value;
+    return value;
+}
+
+int move_to_front(int n) {
+    mtf_init();
+    int i;
+    for (i = 0; i < n; i++) {
+        if (rle[i] == 256) {
+            mtf[i] = 256;       // escape passes through
+        } else {
+            mtf[i] = mtf_encode_symbol(rle[i]);
+        }
+    }
+    return n;
+}
+
+int entropy_estimate(int n) {
+    // Frequency census — the stand-in for the Huffman stage.
+    int i;
+    for (i = 0; i < 256; i++) frequency[i] = 0;
+    int bits = 0;
+    for (i = 0; i < n; i++) {
+        if (mtf[i] < 256) {
+            frequency[mtf[i]]++;
+            // small positions get short codes: cost ~ position magnitude
+            int v = mtf[i];
+            int cost = 1;
+            while (v > 0) { cost++; v = v >> 1; }
+            bits += cost;
+        } else {
+            bits += 9;
+        }
+    }
+    return bits;
+}
+
+void decompress(int n, int original_length) {
+    mtf_init();
+    int i;
+    for (i = 0; i < n; i++) {
+        if (mtf[i] == 256) {
+            decoded_mtf[i] = 256;
+        } else {
+            decoded_mtf[i] = mtf_decode_symbol(mtf[i]);
+        }
+    }
+    int out = 0;
+    i = 0;
+    while (i < n) {
+        if (decoded_mtf[i] == 256) {
+            int value = decoded_mtf[i + 1];
+            int run = decoded_mtf[i + 2];
+            int k;
+            for (k = 0; k < run; k++) {
+                decoded[out] = value; out++;
+            }
+            i += 3;
+        } else {
+            decoded[out] = decoded_mtf[i]; out++;
+            i++;
+        }
+    }
+    if (out != original_length) {
+        checksum_add(-999);
+    }
+}
+
+int main() {
+    rng_seed(173ul);
+    int b;
+    int total_bits = 0;
+    for (b = 0; b < BLOCKS; b++) {
+        make_block(b);
+        int rle_length = run_length_encode(BLOCK);
+        int mtf_length = move_to_front(rle_length);
+        int bits = entropy_estimate(mtf_length);
+        total_bits += bits;
+        decompress(mtf_length, BLOCK);
+        int i;
+        int ok = 1;
+        for (i = 0; i < BLOCK; i++) {
+            if (decoded[i] != raw[i]) ok = 0;
+        }
+        checksum_add(ok * 1000 + rle_length % 1000);
+        checksum_add(bits);
+    }
+    print_str("bzip2 bits="); print_int(total_bits);
+    print_str(" checksum="); print_int(checksum_state);
+    print_newline();
+    return checksum_state & 32767;
+}
+""").replace("@B@", str(block_size)).replace("@N@", str(blocks))

@@ -1,0 +1,182 @@
+"""186.crafty: chess bitboards (64-bit integer heavy).
+
+Crafty's signature workload is 64-bit bitboard manipulation: attack
+generation by shifting occupancy masks, population counts, and a small
+alpha-beta search.  This version plays a simplified rook/knight/king
+endgame search over real bitboard operations (``ulong`` shifts, masks,
+popcounts) with a material+mobility evaluation.
+"""
+
+from repro.benchsuite.programs._common import CHECKSUM, LCG, scaled
+
+
+def source(scale: float = 1.0) -> str:
+    positions = scaled(36, scale)
+    depth = 3
+    return (LCG + CHECKSUM + r"""
+int POSITIONS = @P@;
+int DEPTH = @D@;
+
+ulong FILE_A = 72340172838076673ul;     // 0x0101010101010101
+ulong FILE_H = 9259542123273814144ul;   // 0x8080808080808080
+ulong not_a;
+ulong not_h;
+
+int popcount(ulong x) {
+    int count = 0;
+    while (x != 0ul) {
+        x = x & (x - 1ul);
+        count++;
+    }
+    return count;
+}
+
+int bit_scan(ulong x) {
+    // Index of the lowest set bit (x must be nonzero).
+    int index = 0;
+    while ((x & 1ul) == 0ul) {
+        x = x >> 1;
+        index++;
+    }
+    return index;
+}
+
+ulong knight_attacks(ulong knights) {
+    ulong l1 = (knights >> 1) & not_h;
+    ulong l2 = (knights >> 2) & (not_h >> 1) & not_h;
+    ulong r1 = (knights << 1) & not_a;
+    ulong r2 = (knights << 2) & (not_a << 1) & not_a;
+    ulong h1 = l1 | r1;
+    ulong h2 = l2 | r2;
+    return (h1 << 16) | (h1 >> 16) | (h2 << 8) | (h2 >> 8);
+}
+
+ulong king_attacks(ulong king) {
+    ulong attacks = ((king << 1) & not_a) | ((king >> 1) & not_h);
+    ulong row = king | attacks;
+    return (attacks | (row << 8) | (row >> 8)) & ~king;
+}
+
+ulong rook_attacks(ulong rook, ulong occupied) {
+    // Ray walks in four directions, stopping at blockers.
+    ulong attacks = 0ul;
+    ulong ray = rook;
+    while ((ray & FILE_H) == 0ul) {
+        ray = ray << 1;
+        attacks = attacks | ray;
+        if ((ray & occupied) != 0ul) break;
+    }
+    ray = rook;
+    while ((ray & FILE_A) == 0ul) {
+        ray = ray >> 1;
+        attacks = attacks | ray;
+        if ((ray & occupied) != 0ul) break;
+    }
+    ray = rook;
+    while (ray != 0ul && (ray >> 56) == 0ul) {
+        ray = ray << 8;
+        attacks = attacks | ray;
+        if ((ray & occupied) != 0ul) break;
+    }
+    ray = rook;
+    while (ray != 0ul && (ray & 255ul) == 0ul) {
+        ray = ray >> 8;
+        attacks = attacks | ray;
+        if ((ray & occupied) != 0ul) break;
+    }
+    return attacks;
+}
+
+// Board state: piece bitboards for both sides.
+ulong white_rooks; ulong white_knights; ulong white_king;
+ulong black_rooks; ulong black_knights; ulong black_king;
+int nodes_searched = 0;
+
+ulong white_pieces() { return white_rooks | white_knights | white_king; }
+ulong black_pieces() { return black_rooks | black_knights | black_king; }
+
+int evaluate() {
+    ulong occupied = white_pieces() | black_pieces();
+    int material = 5 * (popcount(white_rooks) - popcount(black_rooks))
+                 + 3 * (popcount(white_knights) - popcount(black_knights));
+    int mobility = 0;
+    if (white_rooks != 0ul) {
+        mobility += popcount(rook_attacks(white_rooks, occupied));
+    }
+    if (black_rooks != 0ul) {
+        mobility -= popcount(rook_attacks(black_rooks, occupied));
+    }
+    mobility += popcount(knight_attacks(white_knights));
+    mobility -= popcount(knight_attacks(black_knights));
+    return material * 100 + mobility * 3;
+}
+
+int search(int depth, int side_to_move, int alpha, int beta) {
+    nodes_searched++;
+    if (depth == 0) return evaluate();
+    ulong own_knights = white_knights;
+    if (side_to_move == 1) own_knights = black_knights;
+    ulong moves = knight_attacks(own_knights)
+                & ~(white_pieces() | black_pieces());
+    int best = -100000;
+    if (moves == 0ul) {
+        int stand = evaluate();
+        if (side_to_move == 1) stand = 0 - stand;
+        return stand;
+    }
+    int tried = 0;
+    while (moves != 0ul && tried < 6) {
+        int square = bit_scan(moves);
+        ulong bit = 1ul << square;
+        moves = moves & ~bit;
+        // Make the move: relocate one knight (simplified).
+        ulong saved_white = white_knights;
+        ulong saved_black = black_knights;
+        if (side_to_move == 0 && white_knights != 0ul) {
+            ulong from = 1ul << bit_scan(white_knights);
+            white_knights = (white_knights & ~from) | bit;
+        } else if (black_knights != 0ul) {
+            ulong from = 1ul << bit_scan(black_knights);
+            black_knights = (black_knights & ~from) | bit;
+        }
+        int score = 0 - search(depth - 1, 1 - side_to_move,
+                               0 - beta, 0 - alpha);
+        white_knights = saved_white;
+        black_knights = saved_black;
+        if (score > best) best = score;
+        if (best > alpha) alpha = best;
+        if (alpha >= beta) break;      // beta cutoff
+        tried++;
+    }
+    return best;
+}
+
+void random_position() {
+    white_rooks = 1ul << rng_next(16);
+    white_knights = 1ul << (16 + rng_next(16));
+    white_king = 1ul << rng_next(8);
+    black_rooks = 1ul << (48 + rng_next(16));
+    black_knights = 1ul << (32 + rng_next(16));
+    black_king = 1ul << (56 + rng_next(8));
+}
+
+int main() {
+    rng_seed(313ul);
+    not_a = ~FILE_A;
+    not_h = ~FILE_H;
+    int p;
+    int total_score = 0;
+    for (p = 0; p < POSITIONS; p++) {
+        random_position();
+        int score = search(DEPTH, 0, -100000, 100000);
+        total_score += score;
+        checksum_add(score);
+    }
+    checksum_add(nodes_searched);
+    print_str("crafty nodes="); print_int(nodes_searched);
+    print_str(" score="); print_int(total_score);
+    print_str(" checksum="); print_int(checksum_state);
+    print_newline();
+    return checksum_state & 32767;
+}
+""").replace("@P@", str(positions)).replace("@D@", str(depth))

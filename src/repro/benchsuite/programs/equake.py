@@ -1,0 +1,112 @@
+"""183.equake: seismic wave propagation (sparse FP).
+
+The original integrates a finite-element earthquake model.  This
+version keeps its computational core: a sparse symmetric stiffness
+matrix in CSR form, explicit time stepping of displacement/velocity
+vectors, and an excitation source — sparse double-precision
+matrix-vector products against irregular index arrays.
+"""
+
+from repro.benchsuite.programs._common import CHECKSUM, LCG, scaled
+
+
+def source(scale: float = 1.0) -> str:
+    grid = min(scaled(22, scale), 64)          # grid x grid nodes
+    steps = scaled(36, scale)
+    return (LCG + CHECKSUM + r"""
+int GRID = @G@;
+int NODES = @G@ * @G@;
+int STEPS = @S@;
+
+// CSR sparse matrix: 5-point stencil => at most 5 entries per row.
+int row_start[4160];
+int col_index[20800];
+double matrix_value[20800];
+int nnz = 0;
+
+double displacement[4160];
+double velocity[4160];
+double acceleration[4160];
+double force[4160];
+
+void add_entry(int column, double value) {
+    col_index[nnz] = column;
+    matrix_value[nnz] = value;
+    nnz++;
+}
+
+void assemble() {
+    int r;
+    int c;
+    for (r = 0; r < GRID; r++) {
+        for (c = 0; c < GRID; c++) {
+            int node = r * GRID + c;
+            row_start[node] = nnz;
+            double stiffness = 2.0 + (double) rng_next(100) / 100.0;
+            add_entry(node, 4.0 * stiffness);
+            if (r > 0)        add_entry(node - GRID, 0.0 - stiffness);
+            if (r < GRID - 1) add_entry(node + GRID, 0.0 - stiffness);
+            if (c > 0)        add_entry(node - 1, 0.0 - stiffness);
+            if (c < GRID - 1) add_entry(node + 1, 0.0 - stiffness);
+        }
+    }
+    row_start[NODES] = nnz;
+}
+
+void spmv(double* y, double* x) {
+    int node;
+    for (node = 0; node < NODES; node++) {
+        double sum = 0.0;
+        int k;
+        for (k = row_start[node]; k < row_start[node + 1]; k++) {
+            sum = sum + matrix_value[k] * x[col_index[k]];
+        }
+        y[node] = sum;
+    }
+}
+
+void time_step(int step) {
+    double dt = 0.004;
+    int source = (GRID / 2) * GRID + GRID / 2;
+    spmv(acceleration, displacement);
+    int node;
+    for (node = 0; node < NODES; node++) {
+        double f = 0.0 - acceleration[node] - 0.12 * velocity[node];
+        if (node == source && step < 10) {
+            f = f + 50.0;   // excitation pulse
+        }
+        force[node] = f;
+        velocity[node] = velocity[node] + dt * f;
+        displacement[node] = displacement[node] + dt * velocity[node];
+    }
+}
+
+double energy() {
+    double total = 0.0;
+    int node;
+    for (node = 0; node < NODES; node++) {
+        total = total + velocity[node] * velocity[node]
+              + displacement[node] * displacement[node];
+    }
+    return total;
+}
+
+int main() {
+    rng_seed(131ul);
+    assemble();
+    int step;
+    for (step = 0; step < STEPS; step++) {
+        time_step(step);
+        if (step % 8 == 0) {
+            checksum_add((int) (energy() * 100000.0));
+        }
+    }
+    double final_energy = energy();
+    checksum_add((int) (final_energy * 100000.0));
+    print_str("equake energy="); print_double(final_energy);
+    print_str(" nnz="); print_int(nnz);
+    print_str(" checksum="); print_int(checksum_state);
+    print_newline();
+    return checksum_state & 32767;
+}
+""").replace("@G@", str(grid)).replace("@S@", str(steps))

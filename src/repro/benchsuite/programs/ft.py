@@ -1,0 +1,131 @@
+"""ptrdist-ft: minimum spanning tree over a sparse random graph.
+
+The original uses Fibonacci heaps; this version keeps the same
+pointer-structure flavour with a pairing-style lazy heap of linked
+nodes (insert / extract-min / decrease-key by relink) driving Prim's
+algorithm over an adjacency-list graph.
+"""
+
+from repro.benchsuite.programs._common import CHECKSUM, LCG, scaled
+
+
+def source(scale: float = 1.0) -> str:
+    vertices = min(scaled(220, scale), 1500)
+    degree = 6
+    return (LCG + CHECKSUM + r"""
+struct Edge {
+    int to;
+    int weight;
+    struct Edge* next;
+};
+
+struct HeapNode {
+    int vertex;
+    int key;
+    struct HeapNode* next;
+};
+
+int V = @V@;
+struct Edge* adjacency[2048];
+int best_key[2048];
+int in_tree[2048];
+
+struct HeapNode* heap_head = null;
+
+void heap_insert(int vertex, int key) {
+    struct HeapNode* n = (struct HeapNode*) malloc(sizeof(struct HeapNode));
+    n->vertex = vertex;
+    n->key = key;
+    n->next = heap_head;
+    heap_head = n;
+}
+
+int heap_extract_min() {
+    // Lazy heap: scan for the minimum live entry, unlink it.
+    struct HeapNode* best = null;
+    struct HeapNode* walk = heap_head;
+    while (walk != null) {
+        if (in_tree[walk->vertex] == 0) {
+            if (best == null || walk->key < best->key) {
+                if (walk->key == best_key[walk->vertex]) {
+                    best = walk;
+                }
+            }
+        }
+        walk = walk->next;
+    }
+    if (best == null) return -1;
+    return best->vertex;
+}
+
+void add_edge(int a, int b, int w) {
+    struct Edge* e = (struct Edge*) malloc(sizeof(struct Edge));
+    e->to = b;
+    e->weight = w;
+    e->next = adjacency[a];
+    adjacency[a] = e;
+}
+
+void build_graph() {
+    int i;
+    int d;
+    for (i = 0; i < V; i++) {
+        adjacency[i] = null;
+        best_key[i] = 1000000;
+        in_tree[i] = 0;
+    }
+    for (i = 1; i < V; i++) {
+        // Guarantee connectivity with a random back edge, then extras.
+        int back = rng_next(i);
+        int w = 1 + rng_next(97);
+        add_edge(i, back, w);
+        add_edge(back, i, w);
+        for (d = 0; d < @DEGREE@ - 1; d++) {
+            int other = rng_next(V);
+            if (other != i) {
+                int w2 = 1 + rng_next(97);
+                add_edge(i, other, w2);
+                add_edge(other, i, w2);
+            }
+        }
+    }
+}
+
+int prim_mst() {
+    int total = 0;
+    best_key[0] = 0;
+    heap_insert(0, 0);
+    int remaining = V;
+    while (remaining > 0) {
+        int u = heap_extract_min();
+        if (u < 0) break;
+        in_tree[u] = 1;
+        total += best_key[u];
+        remaining--;
+        struct Edge* e = adjacency[u];
+        while (e != null) {
+            if (in_tree[e->to] == 0 && e->weight < best_key[e->to]) {
+                best_key[e->to] = e->weight;
+                heap_insert(e->to, e->weight);   // decrease-key by relink
+            }
+            e = e->next;
+        }
+    }
+    return total;
+}
+
+int main() {
+    rng_seed(43ul);
+    build_graph();
+    int total = prim_mst();
+    checksum_add(total);
+    int i;
+    for (i = 0; i < V; i++) {
+        checksum_add(best_key[i]);
+    }
+    print_str("ft mst="); print_int(total);
+    print_str(" checksum="); print_int(checksum_state);
+    print_newline();
+    return checksum_state & 32767;
+}
+""").replace("@V@", str(vertices)).replace("@DEGREE@", str(degree))

@@ -1,0 +1,166 @@
+"""164.gzip: LZ77 compression with hash chains.
+
+The deflate core: a sliding window, 3-byte hash heads with chained
+previous positions, greedy longest-match search with an early-exit
+chain limit, and literal/match token emission — then decompression to
+verify round-trip fidelity.
+"""
+
+from repro.benchsuite.programs._common import CHECKSUM, LCG, scaled
+
+
+def source(scale: float = 1.0) -> str:
+    input_size = min(scaled(5200, scale), 30000)
+    return (LCG + CHECKSUM + r"""
+int INPUT = @N@;
+int HASH_SIZE = 4096;
+int MAX_CHAIN = 32;
+int MIN_MATCH = 3;
+int MAX_MATCH = 64;
+
+int data[32768];
+int head[4096];          // hash -> most recent position
+int previous[32768];     // position -> previous position in chain
+int tokens[65536];       // (kind, a, b) triples
+int token_count = 0;
+int decoded[32768];
+
+void make_input() {
+    int i;
+    // English-ish: sample from a skewed alphabet with repeats.
+    for (i = 0; i < INPUT; i++) {
+        if (i > 64 && rng_next(100) < 30) {
+            // replay an earlier phrase to create matches
+            int back = 8 + rng_next(56);
+            data[i] = data[i - back];
+        } else {
+            int r = rng_next(100);
+            if (r < 40)      data[i] = rng_next(6);
+            else if (r < 75) data[i] = 6 + rng_next(10);
+            else             data[i] = 16 + rng_next(48);
+        }
+    }
+}
+
+int hash3(int position) {
+    int h = data[position] * 2654435;
+    h = h + data[position + 1] * 40503;
+    h = h + data[position + 2] * 70913;
+    h = h % HASH_SIZE;
+    if (h < 0) h = h + HASH_SIZE;
+    return h;
+}
+
+void insert_position(int position) {
+    int h = hash3(position);
+    previous[position] = head[h];
+    head[h] = position;
+}
+
+int match_length(int a, int b, int limit) {
+    int n = 0;
+    while (n < limit && data[a + n] == data[b + n]) n++;
+    return n;
+}
+
+int longest_match(int position, int* best_distance) {
+    int h = hash3(position);
+    int candidate = head[h];
+    int best = 0;
+    int chain = 0;
+    int limit = MAX_MATCH;
+    if (position + limit > INPUT) limit = INPUT - position;
+    while (candidate >= 0 && chain < MAX_CHAIN) {
+        int length = match_length(candidate, position, limit);
+        if (length > best) {
+            best = length;
+            *best_distance = position - candidate;
+        }
+        candidate = previous[candidate];
+        chain++;
+    }
+    return best;
+}
+
+void emit(int kind, int a, int b) {
+    tokens[token_count * 3] = kind;
+    tokens[token_count * 3 + 1] = a;
+    tokens[token_count * 3 + 2] = b;
+    token_count++;
+}
+
+int deflate() {
+    int i;
+    for (i = 0; i < HASH_SIZE; i++) head[i] = -1;
+    token_count = 0;
+    int position = 0;
+    int matched_bytes = 0;
+    while (position < INPUT) {
+        int distance = 0;
+        int length = 0;
+        if (position + MIN_MATCH <= INPUT) {
+            length = longest_match(position, &distance);
+        }
+        if (length >= MIN_MATCH) {
+            emit(1, distance, length);
+            matched_bytes += length;
+            int k;
+            for (k = 0; k < length; k++) {
+                if (position + MIN_MATCH <= INPUT) {
+                    insert_position(position);
+                }
+                position++;
+            }
+        } else {
+            emit(0, data[position], 0);
+            if (position + MIN_MATCH <= INPUT) {
+                insert_position(position);
+            }
+            position++;
+        }
+    }
+    return matched_bytes;
+}
+
+int inflate() {
+    int out = 0;
+    int t;
+    for (t = 0; t < token_count; t++) {
+        int kind = tokens[t * 3];
+        int a = tokens[t * 3 + 1];
+        int b = tokens[t * 3 + 2];
+        if (kind == 0) {
+            decoded[out] = a; out++;
+        } else {
+            int k;
+            for (k = 0; k < b; k++) {
+                decoded[out] = decoded[out - a];
+                out++;
+            }
+        }
+    }
+    return out;
+}
+
+int main() {
+    rng_seed(191ul);
+    make_input();
+    int matched = deflate();
+    int out = inflate();
+    int ok = 1;
+    if (out != INPUT) ok = 0;
+    int i;
+    for (i = 0; i < INPUT; i++) {
+        if (decoded[i] != data[i]) ok = 0;
+    }
+    checksum_add(ok);
+    checksum_add(token_count);
+    checksum_add(matched);
+    print_str("gzip tokens="); print_int(token_count);
+    print_str(" matched="); print_int(matched);
+    print_str(" ok="); print_int(ok);
+    print_str(" checksum="); print_int(checksum_state);
+    print_newline();
+    return checksum_state & 32767;
+}
+""").replace("@N@", str(input_size))

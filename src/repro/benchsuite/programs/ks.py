@@ -1,0 +1,147 @@
+"""ptrdist-ks: Kernighan-Schweikert/Lin-style graph partitioning.
+
+Linked-list-heavy: nodes live in two partitions as singly linked lists;
+each pass computes swap gains over the (synthetic, LCG-random) netlist
+and greedily exchanges the best pair — the original's list splicing and
+pointer-walk behaviour.
+"""
+
+from repro.benchsuite.programs._common import CHECKSUM, LCG, scaled
+
+
+def source(scale: float = 1.0) -> str:
+    nodes = min(scaled(96, scale), 512)
+    passes = scaled(6, scale)
+    return LCG + CHECKSUM + r"""
+struct KsNode {
+    int id;
+    int side;
+    struct KsNode* next;
+};
+
+int NODES = @NODES@;
+int PASSES = @PASSES@;
+int edge_weight[262144];      // NODES x NODES (max 512 x 512)
+
+struct KsNode* side_a = null;
+struct KsNode* side_b = null;
+
+int weight(int a, int b) {
+    return edge_weight[a * NODES + b];
+}
+
+struct KsNode* make_node(int id, int side) {
+    struct KsNode* n = (struct KsNode*) malloc(sizeof(struct KsNode));
+    n->id = id;
+    n->side = side;
+    n->next = null;
+    return n;
+}
+
+void build_graph() {
+    int i;
+    int j;
+    for (i = 0; i < NODES; i++) {
+        for (j = 0; j < NODES; j++) {
+            if (i < j && rng_next(100) < 8) {
+                int w = 1 + rng_next(9);
+                edge_weight[i * NODES + j] = w;
+                edge_weight[j * NODES + i] = w;
+            }
+        }
+    }
+    for (i = NODES - 1; i >= 0; i--) {
+        struct KsNode* n = make_node(i, i % 2);
+        if (i % 2 == 0) {
+            n->next = side_a;
+            side_a = n;
+        } else {
+            n->next = side_b;
+            side_b = n;
+        }
+    }
+}
+
+int external_cost(struct KsNode* n) {
+    // Cost of edges crossing the cut for node n.
+    int cost = 0;
+    struct KsNode* other = side_b;
+    if (n->side == 1) other = side_a;
+    struct KsNode* walk = other;
+    while (walk != null) {
+        cost += weight(n->id, walk->id);
+        walk = walk->next;
+    }
+    return cost;
+}
+
+int internal_cost(struct KsNode* n) {
+    int cost = 0;
+    struct KsNode* own = side_a;
+    if (n->side == 1) own = side_b;
+    struct KsNode* walk = own;
+    while (walk != null) {
+        if (walk != n) cost += weight(n->id, walk->id);
+        walk = walk->next;
+    }
+    return cost;
+}
+
+int cut_size() {
+    int cut = 0;
+    struct KsNode* a = side_a;
+    while (a != null) {
+        struct KsNode* b = side_b;
+        while (b != null) {
+            cut += weight(a->id, b->id);
+            b = b->next;
+        }
+        a = a->next;
+    }
+    return cut;
+}
+
+void swap_best() {
+    struct KsNode* best_a = null;
+    struct KsNode* best_b = null;
+    int best_gain = 0;
+    struct KsNode* a = side_a;
+    while (a != null) {
+        struct KsNode* b = side_b;
+        while (b != null) {
+            int gain = external_cost(a) - internal_cost(a)
+                     + external_cost(b) - internal_cost(b)
+                     - 2 * weight(a->id, b->id);
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_a = a;
+                best_b = b;
+            }
+            b = b->next;
+        }
+        a = a->next;
+    }
+    if (best_a != null && best_b != null) {
+        int tmp = best_a->id;
+        best_a->id = best_b->id;
+        best_b->id = tmp;
+    }
+}
+
+int main() {
+    rng_seed(29ul);
+    build_graph();
+    int before = cut_size();
+    int p;
+    for (p = 0; p < PASSES; p++) {
+        swap_best();
+        checksum_add(cut_size());
+    }
+    int after = cut_size();
+    print_str("ks cut "); print_int(before);
+    print_str(" -> "); print_int(after);
+    print_str(" checksum="); print_int(checksum_state);
+    print_newline();
+    return checksum_state & 32767;
+}
+""".replace("@NODES@", str(nodes)).replace("@PASSES@", str(passes))

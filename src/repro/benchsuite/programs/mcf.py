@@ -1,0 +1,161 @@
+"""181.mcf: minimum-cost flow (pointer-chasing network code).
+
+The original runs network simplex for vehicle scheduling.  This version
+solves min-cost max-flow on a random layered network with successive
+shortest paths (Bellman-Ford over adjacency lists with residual arcs)
+— the same irregular pointer-walk profile over arc structures.
+"""
+
+from repro.benchsuite.programs._common import CHECKSUM, LCG, scaled
+
+
+def source(scale: float = 1.0) -> str:
+    layer_width = min(scaled(14, scale), 48)
+    layers = 5
+    rounds = scaled(10, scale)
+    return (LCG + CHECKSUM + r"""
+struct Arc {
+    int to;
+    int capacity;
+    int cost;
+    int flow;
+    struct Arc* reverse;
+    struct Arc* next;
+};
+
+int WIDTH = @W@;
+int LAYERS = @L@;
+int ROUNDS = @R@;
+
+struct Arc* adjacency[256];
+int node_count = 0;
+
+int distance_to[256];
+struct Arc* parent_arc[256];
+
+struct Arc* add_arc(int from, int to, int capacity, int cost) {
+    struct Arc* forward = (struct Arc*) malloc(sizeof(struct Arc));
+    struct Arc* backward = (struct Arc*) malloc(sizeof(struct Arc));
+    forward->to = to;        forward->capacity = capacity;
+    forward->cost = cost;    forward->flow = 0;
+    forward->reverse = backward;
+    forward->next = adjacency[from];
+    adjacency[from] = forward;
+    backward->to = from;     backward->capacity = 0;
+    backward->cost = 0 - cost; backward->flow = 0;
+    backward->reverse = forward;
+    backward->next = adjacency[to];
+    adjacency[to] = backward;
+    return forward;
+}
+
+void build_network() {
+    // Node 0 = source, last = sink; LAYERS layers of WIDTH nodes.
+    node_count = LAYERS * WIDTH + 2;
+    int sink = node_count - 1;
+    int i;
+    for (i = 0; i < WIDTH; i++) {
+        add_arc(0, 1 + i, 2 + rng_next(4), 1 + rng_next(8));
+    }
+    int layer;
+    for (layer = 0; layer + 1 < LAYERS; layer++) {
+        int a;
+        for (a = 0; a < WIDTH; a++) {
+            int from = 1 + layer * WIDTH + a;
+            int fanout = 2 + rng_next(3);
+            int f;
+            for (f = 0; f < fanout; f++) {
+                int b = rng_next(WIDTH);
+                add_arc(from, 1 + (layer + 1) * WIDTH + b,
+                        1 + rng_next(5), 1 + rng_next(12));
+            }
+        }
+    }
+    for (i = 0; i < WIDTH; i++) {
+        add_arc(1 + (LAYERS - 1) * WIDTH + i, sink,
+                2 + rng_next(4), 1 + rng_next(8));
+    }
+}
+
+int find_augmenting_path() {
+    // Bellman-Ford on residual costs.
+    int INF = 1000000000;
+    int i;
+    for (i = 0; i < node_count; i++) {
+        distance_to[i] = INF;
+        parent_arc[i] = null;
+    }
+    distance_to[0] = 0;
+    int changed = 1;
+    int pass = 0;
+    while (changed == 1 && pass < node_count) {
+        changed = 0;
+        pass++;
+        for (i = 0; i < node_count; i++) {
+            if (distance_to[i] == INF) continue;
+            struct Arc* arc = adjacency[i];
+            while (arc != null) {
+                if (arc->capacity - arc->flow > 0) {
+                    int candidate = distance_to[i] + arc->cost;
+                    if (candidate < distance_to[arc->to]) {
+                        distance_to[arc->to] = candidate;
+                        parent_arc[arc->to] = arc;
+                        changed = 1;
+                    }
+                }
+                arc = arc->next;
+            }
+        }
+    }
+    if (distance_to[node_count - 1] == INF) return 0;
+    return 1;
+}
+
+int push_along_path() {
+    int sink = node_count - 1;
+    // Find the bottleneck.
+    int bottleneck = 1000000000;
+    int node = sink;
+    while (node != 0) {
+        struct Arc* arc = parent_arc[node];
+        int residual = arc->capacity - arc->flow;
+        if (residual < bottleneck) bottleneck = residual;
+        node = arc->reverse->to;
+    }
+    // Apply it.
+    int cost = 0;
+    node = sink;
+    while (node != 0) {
+        struct Arc* arc = parent_arc[node];
+        arc->flow += bottleneck;
+        arc->reverse->flow -= bottleneck;
+        cost += bottleneck * arc->cost;
+        node = arc->reverse->to;
+    }
+    checksum_add(bottleneck);
+    return cost;
+}
+
+int main() {
+    rng_seed(151ul);
+    int total_flow_cost = 0;
+    int round;
+    for (round = 0; round < ROUNDS; round++) {
+        int n;
+        for (n = 0; n < 256; n++) adjacency[n] = null;
+        rng_seed((ulong) (151 + round));
+        build_network();
+        int pushed = 0;
+        while (find_augmenting_path() == 1) {
+            total_flow_cost += push_along_path();
+            pushed++;
+        }
+        checksum_add(pushed);
+    }
+    print_str("mcf cost="); print_int(total_flow_cost);
+    print_str(" checksum="); print_int(checksum_state);
+    print_newline();
+    return checksum_state & 32767;
+}
+""").replace("@W@", str(layer_width)).replace("@L@", str(layers)) \
+    .replace("@R@", str(rounds))

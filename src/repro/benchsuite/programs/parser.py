@@ -1,0 +1,188 @@
+"""197.parser: natural-language link parsing.
+
+The original parses English against a link grammar with a word
+dictionary.  This version generates deterministic sentences over a
+synthetic vocabulary, looks words up in a chained hash dictionary,
+tags them, and runs a chart-style connector-matching parse that counts
+valid linkages — dictionary hashing plus nested parse loops, the
+original's profile.
+"""
+
+from repro.benchsuite.programs._common import CHECKSUM, LCG, scaled
+
+
+def source(scale: float = 1.0) -> str:
+    vocabulary = 240
+    sentences = scaled(90, scale)
+    return (LCG + CHECKSUM + r"""
+// Word classes (connector types).
+int CLASS_DET = 0;
+int CLASS_NOUN = 1;
+int CLASS_VERB = 2;
+int CLASS_ADJ = 3;
+int CLASS_ADV = 4;
+int CLASS_PREP = 5;
+
+struct DictEntry {
+    int word_id;
+    int word_class;
+    int frequency;
+    struct DictEntry* next;
+};
+
+int VOCAB = @V@;
+int SENTENCES = @S@;
+int HASH_SIZE = 64;
+
+struct DictEntry* dictionary[64];
+int sentence[32];
+int tags[32];
+int chart[32][32];
+
+int hash_word(int word_id) {
+    int h = (word_id * 2654435) % HASH_SIZE;
+    if (h < 0) h = h + HASH_SIZE;
+    return h;
+}
+
+void dict_insert(int word_id, int word_class) {
+    struct DictEntry* e =
+        (struct DictEntry*) malloc(sizeof(struct DictEntry));
+    e->word_id = word_id;
+    e->word_class = word_class;
+    e->frequency = 0;
+    int h = hash_word(word_id);
+    e->next = dictionary[h];
+    dictionary[h] = e;
+}
+
+struct DictEntry* dict_lookup(int word_id) {
+    struct DictEntry* e = dictionary[hash_word(word_id)];
+    while (e != null) {
+        if (e->word_id == word_id) return e;
+        e = e->next;
+    }
+    return null;
+}
+
+void build_dictionary() {
+    int w;
+    for (w = 0; w < VOCAB; w++) {
+        int cls = CLASS_NOUN;
+        int r = w % 10;
+        if (r < 2) cls = CLASS_DET;
+        else if (r < 5) cls = CLASS_NOUN;
+        else if (r < 7) cls = CLASS_VERB;
+        else if (r < 8) cls = CLASS_ADJ;
+        else if (r < 9) cls = CLASS_ADV;
+        else cls = CLASS_PREP;
+        dict_insert(w, cls);
+    }
+}
+
+int make_sentence() {
+    // Template: DET (ADJ)* NOUN VERB (ADV)? DET (ADJ)* NOUN (PREP ...)?
+    int n = 0;
+    int clauses = 1 + rng_next(3);
+    int c;
+    for (c = 0; c < clauses && n < 28; c++) {
+        sentence[n] = rng_next(VOCAB / 10) * 10; n++;               // DET
+        while (rng_next(100) < 30 && n < 28) {
+            sentence[n] = rng_next(VOCAB / 10) * 10 + 7; n++;       // ADJ
+        }
+        sentence[n] = rng_next(VOCAB / 10) * 10 + 3; n++;           // NOUN
+        sentence[n] = rng_next(VOCAB / 10) * 10 + 5; n++;           // VERB
+        if (rng_next(100) < 25 && n < 28) {
+            sentence[n] = rng_next(VOCAB / 10) * 10 + 8; n++;       // ADV
+        }
+        sentence[n] = rng_next(VOCAB / 10) * 10; n++;               // DET
+        sentence[n] = rng_next(VOCAB / 10) * 10 + 3; n++;           // NOUN
+        if (c + 1 < clauses && n < 28) {
+            sentence[n] = rng_next(VOCAB / 10) * 10 + 9; n++;       // PREP
+        }
+    }
+    return n;
+}
+
+int can_link(int left_class, int right_class) {
+    if (left_class == CLASS_DET && right_class == CLASS_NOUN) return 1;
+    if (left_class == CLASS_DET && right_class == CLASS_ADJ) return 1;
+    if (left_class == CLASS_ADJ && right_class == CLASS_NOUN) return 1;
+    if (left_class == CLASS_ADJ && right_class == CLASS_ADJ) return 1;
+    if (left_class == CLASS_NOUN && right_class == CLASS_VERB) return 1;
+    if (left_class == CLASS_VERB && right_class == CLASS_NOUN) return 1;
+    if (left_class == CLASS_VERB && right_class == CLASS_ADV) return 1;
+    if (left_class == CLASS_ADV && right_class == CLASS_DET) return 1;
+    if (left_class == CLASS_VERB && right_class == CLASS_DET) return 1;
+    if (left_class == CLASS_NOUN && right_class == CLASS_PREP) return 1;
+    if (left_class == CLASS_PREP && right_class == CLASS_DET) return 1;
+    return 0;
+}
+
+int parse_sentence(int n) {
+    // CKY-flavoured chart: chart[i][j] = number of linkages spanning
+    // [i, j), capped to keep arithmetic bounded.
+    int i;
+    int j;
+    for (i = 0; i < n; i++) {
+        struct DictEntry* e = dict_lookup(sentence[i]);
+        if (e == null) {
+            tags[i] = CLASS_NOUN;
+        } else {
+            tags[i] = e->word_class;
+            e->frequency++;
+        }
+        for (j = 0; j <= n; j++) chart[i][j] = 0;
+        chart[i][i + 1] = 1;
+    }
+    int span;
+    for (span = 2; span <= n; span++) {
+        for (i = 0; i + span <= n; i++) {
+            int total = 0;
+            int split;
+            for (split = i + 1; split < i + span; split++) {
+                int left = chart[i][split];
+                int right = chart[split][i + span];
+                if (left > 0 && right > 0) {
+                    if (can_link(tags[split - 1], tags[split])) {
+                        total += left * right;
+                        if (total > 10000) total = 10000;
+                    }
+                }
+            }
+            chart[i][i + span] = total;
+        }
+    }
+    return chart[0][n];
+}
+
+int main() {
+    rng_seed(211ul);
+    build_dictionary();
+    int s;
+    int parsed = 0;
+    int linkages = 0;
+    for (s = 0; s < SENTENCES; s++) {
+        int n = make_sentence();
+        int count = parse_sentence(n);
+        if (count > 0) parsed++;
+        linkages += count;
+        checksum_add(count);
+    }
+    // Fold dictionary frequencies into the checksum (hash walk).
+    int h;
+    for (h = 0; h < HASH_SIZE; h++) {
+        struct DictEntry* e = dictionary[h];
+        while (e != null) {
+            checksum_add(e->frequency);
+            e = e->next;
+        }
+    }
+    print_str("parser parsed="); print_int(parsed);
+    print_str("/"); print_int(SENTENCES);
+    print_str(" linkages="); print_int(linkages);
+    print_str(" checksum="); print_int(checksum_state);
+    print_newline();
+    return checksum_state & 32767;
+}
+""").replace("@V@", str(vocabulary)).replace("@S@", str(sentences))

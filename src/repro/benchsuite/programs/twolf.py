@@ -1,0 +1,172 @@
+"""300.twolf: standard-cell placement and global routing.
+
+Row-based standard-cell placement: cells with widths sit in rows; the
+optimizer anneals cell swaps and inter-row moves against a cost with
+wirelength *and* row-overflow penalty terms, then a greedy channel
+assignment routes the nets — the original's two phases at simulator
+scale.
+"""
+
+from repro.benchsuite.programs._common import CHECKSUM, LCG, scaled
+
+
+def source(scale: float = 1.0) -> str:
+    cells = min(scaled(130, scale), 800)
+    rows = 8
+    nets = min(scaled(180, scale), 1400)
+    iterations = scaled(550, scale)
+    return (LCG + CHECKSUM + r"""
+int CELLS = @C@;
+int ROWS = @R@;
+int NETS = @N@;
+int ITERATIONS = @I@;
+int ROW_CAPACITY = 0;
+
+int cell_width[1024];
+int cell_row[1024];
+int cell_offset[1024];
+int row_usage[8];
+int net_a[2048];
+int net_b[2048];
+int channel_load[8];
+
+void build_cells() {
+    int c;
+    int total_width = 0;
+    for (c = 0; c < CELLS; c++) {
+        cell_width[c] = 2 + rng_next(7);
+        total_width += cell_width[c];
+    }
+    ROW_CAPACITY = total_width / ROWS + 12;
+    int r;
+    for (r = 0; r < ROWS; r++) row_usage[r] = 0;
+    for (c = 0; c < CELLS; c++) {
+        int row = rng_next(ROWS);
+        cell_row[c] = row;
+        cell_offset[c] = row_usage[row];
+        row_usage[row] += cell_width[c];
+    }
+}
+
+void build_nets() {
+    int n;
+    for (n = 0; n < NETS; n++) {
+        net_a[n] = rng_next(CELLS);
+        net_b[n] = rng_next(CELLS);
+    }
+}
+
+int wire_cost(int n) {
+    int a = net_a[n];
+    int b = net_b[n];
+    int dx = cell_offset[a] - cell_offset[b];
+    if (dx < 0) dx = 0 - dx;
+    int dy = cell_row[a] - cell_row[b];
+    if (dy < 0) dy = 0 - dy;
+    return dx + dy * 10;     // crossing rows is expensive
+}
+
+int overflow_penalty() {
+    int penalty = 0;
+    int r;
+    for (r = 0; r < ROWS; r++) {
+        if (row_usage[r] > ROW_CAPACITY) {
+            penalty += (row_usage[r] - ROW_CAPACITY) * 25;
+        }
+    }
+    return penalty;
+}
+
+int total_cost() {
+    int cost = overflow_penalty();
+    int n;
+    for (n = 0; n < NETS; n++) cost += wire_cost(n);
+    return cost;
+}
+
+void move_cell(int c, int row, int offset) {
+    row_usage[cell_row[c]] -= cell_width[c];
+    cell_row[c] = row;
+    cell_offset[c] = offset;
+    row_usage[row] += cell_width[c];
+}
+
+int anneal() {
+    int cost = total_cost();
+    int temperature = 40;
+    int iteration = 0;
+    while (iteration < ITERATIONS) {
+        int c = rng_next(CELLS);
+        int old_row = cell_row[c];
+        int old_offset = cell_offset[c];
+        int new_row = rng_next(ROWS);
+        int new_offset = rng_next(ROW_CAPACITY);
+        int before = total_cost();
+        move_cell(c, new_row, new_offset);
+        int after = total_cost();
+        int delta = after - before;
+        int accept = 0;
+        if (delta <= 0) accept = 1;
+        else if (temperature > 0
+                 && rng_next(100) < 50 / (1 + delta / (temperature + 1))) {
+            accept = 1;
+        }
+        if (accept == 0) {
+            move_cell(c, old_row, old_offset);
+        } else {
+            cost = after;
+        }
+        iteration++;
+        if (iteration % 300 == 0) {
+            temperature = temperature * 4 / 5;
+            checksum_add(cost);
+        }
+    }
+    return cost;
+}
+
+int route() {
+    // Greedy channel assignment: each inter-row net takes the least
+    // loaded channel between its rows.
+    int r;
+    for (r = 0; r < ROWS; r++) channel_load[r] = 0;
+    int congestion = 0;
+    int n;
+    for (n = 0; n < NETS; n++) {
+        int lo = cell_row[net_a[n]];
+        int hi = cell_row[net_b[n]];
+        if (lo > hi) { int t = lo; lo = hi; hi = t; }
+        int best = lo;
+        int best_load = 1000000;
+        for (r = lo; r < hi; r++) {
+            if (channel_load[r] < best_load) {
+                best_load = channel_load[r];
+                best = r;
+            }
+        }
+        if (hi > lo) {
+            channel_load[best] += 1;
+            if (channel_load[best] > NETS / ROWS) congestion++;
+        }
+    }
+    return congestion;
+}
+
+int main() {
+    rng_seed(271ul);
+    build_cells();
+    build_nets();
+    int before = total_cost();
+    int after = anneal();
+    int congestion = route();
+    checksum_add(after);
+    checksum_add(congestion);
+    print_str("twolf cost "); print_int(before);
+    print_str(" -> "); print_int(after);
+    print_str(" congestion="); print_int(congestion);
+    print_str(" checksum="); print_int(checksum_state);
+    print_newline();
+    return checksum_state & 32767;
+}
+""").replace("@C@", str(cells)).replace("@R@", str(rows)) \
+    .replace("@N@", str(nets)).replace("@I@", str(iterations))

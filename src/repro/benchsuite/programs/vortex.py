@@ -1,0 +1,167 @@
+"""255.vortex: object-oriented in-memory database.
+
+The original exercises an OO database: object creation, three indexed
+"portions" (person / draw / emp databases), lookups, and integrity
+traversals.  This version builds record objects with schema-tagged
+fields, maintains a chained hash primary index plus an ordered
+secondary index (skip-list-flavoured linked levels), and runs a
+transaction mix of inserts / lookups / range scans / deletes with an
+integrity check pass.
+"""
+
+from repro.benchsuite.programs._common import CHECKSUM, LCG, scaled
+
+
+def source(scale: float = 1.0) -> str:
+    transactions = scaled(900, scale)
+    return (LCG + CHECKSUM + r"""
+int TRANSACTIONS = @T@;
+int HASH_SIZE = 256;
+
+struct Record {
+    int key;
+    int kind;             // 0 = person, 1 = draw, 2 = emp
+    int field_a;
+    int field_b;
+    double field_c;
+    int alive;
+    struct Record* hash_next;
+    struct Record* ordered_next;
+};
+
+struct Record* hash_index[256];
+struct Record* ordered_head = null;
+int live_records = 0;
+int total_inserts = 0;
+
+int hash_key(int key) {
+    int h = (key * 40503) % HASH_SIZE;
+    if (h < 0) h = h + HASH_SIZE;
+    return h;
+}
+
+struct Record* db_lookup(int key) {
+    struct Record* r = hash_index[hash_key(key)];
+    while (r != null) {
+        if (r->key == key && r->alive == 1) return r;
+        r = r->hash_next;
+    }
+    return null;
+}
+
+struct Record* db_insert(int key, int kind) {
+    struct Record* existing = db_lookup(key);
+    if (existing != null) return existing;
+    struct Record* r = (struct Record*) malloc(sizeof(struct Record));
+    r->key = key;
+    r->kind = kind;
+    r->field_a = rng_next(1000);
+    r->field_b = rng_next(1000);
+    r->field_c = (double) rng_next(10000) / 100.0;
+    r->alive = 1;
+    int h = hash_key(key);
+    r->hash_next = hash_index[h];
+    hash_index[h] = r;
+    // Ordered index: insert by key into the sorted list.
+    if (ordered_head == null || ordered_head->key >= key) {
+        r->ordered_next = ordered_head;
+        ordered_head = r;
+    } else {
+        struct Record* walk = ordered_head;
+        while (walk->ordered_next != null
+               && walk->ordered_next->key < key) {
+            walk = walk->ordered_next;
+        }
+        r->ordered_next = walk->ordered_next;
+        walk->ordered_next = r;
+    }
+    live_records++;
+    total_inserts++;
+    return r;
+}
+
+int db_delete(int key) {
+    struct Record* r = db_lookup(key);
+    if (r == null) return 0;
+    r->alive = 0;       // tombstone, like vortex's delete
+    live_records--;
+    return 1;
+}
+
+int range_scan(int low, int high) {
+    int aggregate = 0;
+    struct Record* r = ordered_head;
+    while (r != null && r->key <= high) {
+        if (r->key >= low && r->alive == 1) {
+            aggregate += r->field_a - r->field_b + r->kind;
+        }
+        r = r->ordered_next;
+    }
+    return aggregate;
+}
+
+int integrity_check() {
+    // Every live ordered-index record must be hash-reachable, keys
+    // ascending.
+    int errors = 0;
+    int last_key = -1;
+    struct Record* r = ordered_head;
+    int live_seen = 0;
+    while (r != null) {
+        if (r->key < last_key) errors++;
+        last_key = r->key;
+        if (r->alive == 1) {
+            live_seen++;
+            if (db_lookup(r->key) != r) errors++;
+        }
+        r = r->ordered_next;
+    }
+    if (live_seen != live_records) errors++;
+    return errors;
+}
+
+int main() {
+    rng_seed(337ul);
+    int t;
+    int lookups_hit = 0;
+    int scans = 0;
+    int deletes = 0;
+    for (t = 0; t < TRANSACTIONS; t++) {
+        int op = rng_next(100);
+        if (op < 45) {
+            int key = rng_next(4000);
+            struct Record* r = db_insert(key, rng_next(3));
+            checksum_add(r->field_a);
+        } else if (op < 80) {
+            struct Record* r = db_lookup(rng_next(4000));
+            if (r != null) {
+                lookups_hit++;
+                r->field_b = (r->field_b + 17) % 1000;
+            }
+        } else if (op < 92) {
+            int low = rng_next(3500);
+            int aggregate = range_scan(low, low + 300);
+            checksum_add(aggregate);
+            scans++;
+        } else {
+            deletes += db_delete(rng_next(4000));
+        }
+        if (t % 200 == 199) {
+            int errors = integrity_check();
+            checksum_add(errors);
+            if (errors > 0) {
+                print_str("vortex INTEGRITY FAILURE\n");
+            }
+        }
+    }
+    checksum_add(live_records);
+    checksum_add(lookups_hit);
+    print_str("vortex live="); print_int(live_records);
+    print_str(" inserts="); print_int(total_inserts);
+    print_str(" hits="); print_int(lookups_hit);
+    print_str(" deletes="); print_int(deletes);
+    print_str(" checksum="); print_int(checksum_state);
+    print_newline();
+    return checksum_state & 32767;
+}
+""").replace("@T@", str(transactions))

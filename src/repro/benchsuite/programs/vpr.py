@@ -1,0 +1,157 @@
+"""175.vpr: FPGA placement by simulated annealing.
+
+The original places netlist blocks on an FPGA grid minimizing
+bounding-box wirelength under a cooling schedule.  Same here: blocks on
+a grid, nets as block lists, half-perimeter wirelength cost,
+swap-accept/reject annealing with a deterministic LCG in place of
+``random()``.
+"""
+
+from repro.benchsuite.programs._common import CHECKSUM, LCG, scaled
+
+
+def source(scale: float = 1.0) -> str:
+    grid = min(scaled(13, scale), 40)
+    nets = min(scaled(150, scale), 1200)
+    moves_per_temp = scaled(260, scale)
+    return (LCG + CHECKSUM + r"""
+int GRID = @G@;
+int BLOCKS = @G@ * @G@;
+int NETS = @N@;
+int MOVES = @M@;
+int PINS = 4;
+
+int block_x[1600];
+int block_y[1600];
+int cell_block[40][40];
+int net_pins[4800];            // NETS x PINS block ids
+int net_cost_cache[4800];
+
+void initial_placement() {
+    int b = 0;
+    int x;
+    int y;
+    for (x = 0; x < GRID; x++) {
+        for (y = 0; y < GRID; y++) {
+            block_x[b] = x;
+            block_y[b] = y;
+            cell_block[x][y] = b;
+            b++;
+        }
+    }
+}
+
+void make_nets() {
+    int n;
+    int p;
+    for (n = 0; n < NETS; n++) {
+        for (p = 0; p < PINS; p++) {
+            net_pins[n * PINS + p] = rng_next(BLOCKS);
+        }
+    }
+}
+
+int net_cost(int n) {
+    // Half-perimeter bounding box of the net's pins.
+    int min_x = GRID; int max_x = 0;
+    int min_y = GRID; int max_y = 0;
+    int p;
+    for (p = 0; p < PINS; p++) {
+        int b = net_pins[n * PINS + p];
+        if (block_x[b] < min_x) min_x = block_x[b];
+        if (block_x[b] > max_x) max_x = block_x[b];
+        if (block_y[b] < min_y) min_y = block_y[b];
+        if (block_y[b] > max_y) max_y = block_y[b];
+    }
+    return (max_x - min_x) + (max_y - min_y);
+}
+
+int total_cost() {
+    int cost = 0;
+    int n;
+    for (n = 0; n < NETS; n++) {
+        net_cost_cache[n] = net_cost(n);
+        cost += net_cost_cache[n];
+    }
+    return cost;
+}
+
+int nets_touching(int block, int* out) {
+    int count = 0;
+    int n;
+    int p;
+    for (n = 0; n < NETS && count < 64; n++) {
+        for (p = 0; p < PINS; p++) {
+            if (net_pins[n * PINS + p] == block) {
+                out[count] = n;
+                count++;
+                break;
+            }
+        }
+    }
+    return count;
+}
+
+void swap_blocks(int a, int b) {
+    int ax = block_x[a]; int ay = block_y[a];
+    int bx = block_x[b]; int by = block_y[b];
+    block_x[a] = bx; block_y[a] = by;
+    block_x[b] = ax; block_y[b] = ay;
+    cell_block[bx][by] = a;
+    cell_block[ax][ay] = b;
+}
+
+int anneal() {
+    int touched[64];
+    int cost = total_cost();
+    int temperature = GRID * 2;
+    while (temperature > 0) {
+        int m;
+        for (m = 0; m < MOVES; m++) {
+            int a = rng_next(BLOCKS);
+            int b = rng_next(BLOCKS);
+            if (a == b) continue;
+            // Delta cost of the swap over affected nets only.
+            int before = 0;
+            int after = 0;
+            int na = nets_touching(a, touched);
+            int i;
+            for (i = 0; i < na; i++) before += net_cost(touched[i]);
+            swap_blocks(a, b);
+            for (i = 0; i < na; i++) after += net_cost(touched[i]);
+            int delta = after - before;
+            int accept = 0;
+            if (delta <= 0) accept = 1;
+            else if (rng_next(1000) < 1000 / (1 + delta * 8 / (temperature + 1))) {
+                accept = 1;
+            }
+            if (accept == 1) {
+                cost += delta;
+            } else {
+                swap_blocks(a, b);   // undo
+            }
+        }
+        checksum_add(cost);
+        temperature = temperature * 3 / 4;
+        if (temperature <= 1) temperature = 0;
+    }
+    return cost;
+}
+
+int main() {
+    rng_seed(251ul);
+    initial_placement();
+    make_nets();
+    int before = total_cost();
+    int after = anneal();
+    int verify = total_cost();
+    checksum_add(verify);
+    print_str("vpr cost "); print_int(before);
+    print_str(" -> "); print_int(after);
+    print_str(" verify="); print_int(verify);
+    print_str(" checksum="); print_int(checksum_state);
+    print_newline();
+    return checksum_state & 32767;
+}
+""").replace("@G@", str(grid)).replace("@N@", str(nets)) \
+    .replace("@M@", str(moves_per_temp))

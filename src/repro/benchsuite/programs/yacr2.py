@@ -1,0 +1,124 @@
+"""ptrdist-yacr2: VLSI channel routing.
+
+Nets with left/right terminal columns are assigned to horizontal
+tracks subject to (a) horizontal overlap constraints within a track and
+(b) vertical constraints between nets sharing a column — the original's
+greedy left-edge algorithm with constraint scanning over dense arrays.
+"""
+
+from repro.benchsuite.programs._common import CHECKSUM, LCG, scaled
+
+
+def source(scale: float = 1.0) -> str:
+    nets = min(scaled(260, scale), 1800)
+    columns = min(scaled(160, scale), 1200)
+    return (LCG + CHECKSUM + r"""
+int NETS = @NETS@;
+int COLS = @COLS@;
+
+int net_left[2048];
+int net_right[2048];
+int net_track[2048];
+int track_end[2048];          // rightmost occupied column per track
+int top_terminal[1536];       // net id at the top of each column (or -1)
+int bottom_terminal[1536];    // net id at the bottom of each column
+
+void build_nets() {
+    int i;
+    for (i = 0; i < COLS; i++) {
+        top_terminal[i] = 0 - 1;
+        bottom_terminal[i] = 0 - 1;
+    }
+    for (i = 0; i < NETS; i++) {
+        int a = rng_next(COLS);
+        int span = 1 + rng_next(20);
+        int b = a + span;
+        if (b >= COLS) b = COLS - 1;
+        if (a > b) { int t = a; a = b; b = t; }
+        net_left[i] = a;
+        net_right[i] = b;
+        net_track[i] = 0 - 1;
+        if (rng_next(2) == 0) {
+            top_terminal[a] = i;
+            bottom_terminal[b] = i;
+        } else {
+            bottom_terminal[a] = i;
+            top_terminal[b] = i;
+        }
+    }
+}
+
+int vertical_conflict(int net, int track, int tracks_used) {
+    // A net entering from the top of a column must sit above any net
+    // leaving at the bottom of the same column.
+    int c;
+    for (c = net_left[net]; c <= net_right[net]; c++) {
+        int top = top_terminal[c];
+        int bottom = bottom_terminal[c];
+        if (top >= 0 && top != net && net_track[top] >= 0) {
+            if (net_track[top] >= track) return 1;
+        }
+        if (bottom >= 0 && bottom != net && net_track[bottom] >= 0) {
+            if (net_track[bottom] <= track) return 1;
+        }
+    }
+    return 0;
+}
+
+// Sort net ids by left edge (insertion sort over an index array).
+int order[2048];
+
+void sort_by_left_edge() {
+    int i;
+    for (i = 0; i < NETS; i++) order[i] = i;
+    for (i = 1; i < NETS; i++) {
+        int key = order[i];
+        int j = i - 1;
+        while (j >= 0 && net_left[order[j]] > net_left[key]) {
+            order[j + 1] = order[j];
+            j--;
+        }
+        order[j + 1] = key;
+    }
+}
+
+int route() {
+    int tracks_used = 0;
+    int i;
+    for (i = 0; i < NETS; i++) {
+        int net = order[i];
+        int placed = 0;
+        int t;
+        for (t = 0; t < tracks_used && placed == 0; t++) {
+            if (track_end[t] < net_left[net]) {
+                if (vertical_conflict(net, t, tracks_used) == 0) {
+                    net_track[net] = t;
+                    track_end[t] = net_right[net];
+                    placed = 1;
+                }
+            }
+        }
+        if (placed == 0) {
+            net_track[net] = tracks_used;
+            track_end[tracks_used] = net_right[net];
+            tracks_used++;
+        }
+    }
+    return tracks_used;
+}
+
+int main() {
+    rng_seed(59ul);
+    build_nets();
+    sort_by_left_edge();
+    int tracks = route();
+    int i;
+    for (i = 0; i < NETS; i++) {
+        checksum_add(net_track[i]);
+    }
+    print_str("yacr2 tracks="); print_int(tracks);
+    print_str(" checksum="); print_int(checksum_state);
+    print_newline();
+    return checksum_state & 32767;
+}
+""").replace("@NETS@", str(nets)).replace("@COLS@", str(columns))

@@ -1,0 +1,122 @@
+"""The Table 2 workload suite.
+
+Seventeen synthetic MiniC programs, one per row of the paper's Table 2
+(PtrDist + SPEC CINT2000), each reproducing the original benchmark's
+dominant behaviour — pointer chasing, hashing, compression, annealing,
+bitboards — at laptop-simulator scale.  Every program is deterministic
+(LCG-generated inputs) and prints a checksum, so the same program
+validates the interpreter, both translators, and the optimizer against
+each other.
+
+``PAPER`` rows carry the original Table 2 measurements for side-by-side
+reporting in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of the paper's Table 2."""
+
+    name: str
+    loc: int
+    native_kb: float
+    llva_kb: float
+    llva_insts: int
+    x86_insts: int
+    x86_ratio: float
+    sparc_insts: int
+    sparc_ratio: float
+    translate_s: float
+    run_s: float
+    translate_ratio: float
+
+    @property
+    def size_ratio(self) -> float:
+        return self.native_kb / self.llva_kb
+
+
+#: Table 2 of the paper, verbatim.
+PAPER_TABLE2: Dict[str, PaperRow] = {
+    row.name: row for row in (
+        PaperRow("anagram", 647, 21.7, 10.7, 776, 1817, 2.34,
+                 2550, 3.29, 0.0078, 1.317, 0.006),
+        PaperRow("ks", 782, 24.9, 12.1, 1059, 2732, 2.58,
+                 4446, 4.20, 0.0039, 1.694, 0.002),
+        PaperRow("ft", 1803, 20.9, 10.1, 799, 1990, 2.49,
+                 2818, 3.53, 0.0117, 2.797, 0.004),
+        PaperRow("yacr2", 3982, 58.3, 36.5, 4279, 10881, 2.54,
+                 12252, 2.86, 0.0429, 2.686, 0.016),
+        PaperRow("bc", 7297, 112.0, 74.4, 7276, 19286, 2.65,
+                 25697, 3.53, 0.1308, 1.307, 0.100),
+        PaperRow("art", 1283, 37.8, 17.9, 2027, 5385, 2.66,
+                 7031, 3.47, 0.0253, 114.723, 0.000),
+        PaperRow("equake", 1513, 44.4, 23.9, 2863, 6409, 3.14,
+                 8275, 2.89, 0.0273, 18.005, 0.002),
+        PaperRow("mcf", 2412, 32.0, 17.3, 2039, 4707, 2.31,
+                 4601, 2.26, 0.0175, 24.516, 0.001),
+        PaperRow("bzip2", 4647, 73.5, 55.7, 5103, 11984, 2.35,
+                 14157, 2.77, 0.0371, 20.896, 0.002),
+        PaperRow("gzip", 8616, 94.0, 68.6, 7594, 17500, 2.30,
+                 20880, 2.75, 0.0527, 19.332, 0.003),
+        PaperRow("parser", 11391, 223.0, 175.3, 17138, 41671, 2.43,
+                 57274, 3.34, 0.1601, 4.718, 0.034),
+        PaperRow("ammp", 13483, 265.1, 163.2, 21961, 53529, 2.44,
+                 67679, 3.08, 0.1074, 58.758, 0.002),
+        PaperRow("vpr", 17729, 331.0, 184.4, 18041, 58982, 3.27,
+                 74696, 4.14, 0.1425, 7.924, 0.018),
+        PaperRow("twolf", 20459, 487.7, 330.0, 45017, 104613, 2.32,
+                 119691, 2.66, 0.0156, 9.680, 0.002),
+        PaperRow("crafty", 20650, 555.5, 336.4, 34080, 104093, 3.05,
+                 110630, 3.25, 0.4531, 15.408, 0.029),
+        PaperRow("vortex", 67223, 976.3, 719.3, 72039, 195648, 2.72,
+                 224488, 3.12, 0.7773, 6.753, 0.115),
+        PaperRow("gap", 71363, 1088.1, 854.4, 111482, 246102, 2.21,
+                 272483, 2.44, 0.4824, 3.729, 0.129),
+    )
+}
+
+#: Suite order (PtrDist first, then SPEC, as in the table).
+SUITE_ORDER: List[str] = [
+    "anagram", "ks", "ft", "yacr2", "bc",
+    "art", "equake", "mcf", "bzip2", "gzip",
+    "parser", "ammp", "vpr", "twolf", "crafty", "vortex", "gap",
+]
+
+
+@dataclass
+class Workload:
+    """One runnable suite entry."""
+
+    name: str
+    paper: PaperRow
+    source: str
+    #: Scale knob used (1.0 = the bench default).
+    scale: float
+
+    @property
+    def loc(self) -> int:
+        return sum(1 for line in self.source.splitlines()
+                   if line.strip() and not line.strip().startswith("//"))
+
+
+def load_workload(name: str, scale: float = 1.0) -> Workload:
+    """Import the generator module for *name* and build its source."""
+    if name not in PAPER_TABLE2:
+        raise KeyError("unknown workload {0!r}".format(name))
+    module = importlib.import_module(
+        "repro.benchsuite.programs." + name)
+    return Workload(name=name, paper=PAPER_TABLE2[name],
+                    source=module.source(scale), scale=scale)
+
+
+def load_suite(scale: float = 1.0,
+               names: Optional[List[str]] = None) -> List[Workload]:
+    """Build the whole suite (or the *names* subset), in table order."""
+    selected = names if names is not None else SUITE_ORDER
+    return [load_workload(name, scale) for name in selected]

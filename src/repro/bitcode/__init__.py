@@ -1,0 +1,18 @@
+"""Virtual object code: the persistent, compact encoding of LLVA modules
+(Section 3.1's self-extending encoding with a fixed 32-bit short form)."""
+
+from repro.bitcode.encoding import BitcodeError
+from repro.bitcode.reader import read_module
+from repro.bitcode.writer import (
+    WriteStats,
+    write_module,
+    write_module_with_stats,
+)
+
+__all__ = [
+    "BitcodeError",
+    "read_module",
+    "WriteStats",
+    "write_module",
+    "write_module_with_stats",
+]

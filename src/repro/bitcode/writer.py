@@ -1,0 +1,355 @@
+"""Virtual object code writer.
+
+File layout::
+
+    magic "LLVA" | version u8 | pointer_size u8 | endian u8 | flags u8
+    type table          (named-struct names first, then all records)
+    symbol table        (globals with initializers, function signatures)
+    function bodies     (constant pool + blocks + instructions)
+    [name table]        (optional, when names are not stripped)
+
+Value ids within a function body are assigned in one unified space::
+
+    [function constant pool] [arguments] [basic blocks] [instructions]
+
+so every operand of every instruction is a single integer, which is what
+lets most instructions hit the fixed 32-bit short form (the compactness
+property measured in Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.bitcode.encoding import BitcodeError, Writer
+from repro.ir import instructions as insts
+from repro.ir import types, values
+from repro.ir.module import Function, GlobalVariable, Module
+
+MAGIC = b"LLVA"
+VERSION = 1
+
+#: Fixed primitive indices 0..12, in this order.
+PRIMITIVE_ORDER: Tuple[types.PrimitiveType, ...] = (
+    types.VOID, types.LABEL, types.BOOL,
+    types.UBYTE, types.SBYTE, types.USHORT, types.SHORT,
+    types.UINT, types.INT, types.ULONG, types.LONG,
+    types.FLOAT, types.DOUBLE,
+)
+
+KIND_POINTER = 0
+KIND_ARRAY = 1
+KIND_STRUCT = 2
+KIND_FUNCTION = 3
+
+CONST_INT = 0
+CONST_FP = 1
+CONST_BOOL = 2
+CONST_NULL = 3
+CONST_UNDEF = 4
+CONST_SYMBOL = 5
+CONST_ARRAY = 6
+CONST_STRUCT = 7
+CONST_ZERO = 8
+
+OPCODE_INDEX: Dict[str, int] = {
+    opcode: index for index, opcode in enumerate(insts.ALL_OPCODES)}
+
+
+@dataclass
+class WriteStats:
+    """Size accounting for the Table 2 code-size experiment."""
+
+    total_bytes: int = 0
+    short_instructions: int = 0
+    long_instructions: int = 0
+
+    @property
+    def short_form_fraction(self) -> float:
+        total = self.short_instructions + self.long_instructions
+        return self.short_instructions / total if total else 1.0
+
+
+class _TypeTable:
+    """Assigns indices to every type reachable from the module."""
+
+    def __init__(self):
+        self.index: Dict[int, int] = {
+            id(t): i for i, t in enumerate(PRIMITIVE_ORDER)}
+        self.entries: List[types.Type] = list(PRIMITIVE_ORDER)
+        self.named: List[types.StructType] = []
+
+    def add(self, type_: types.Type) -> int:
+        existing = self.index.get(id(type_))
+        if existing is not None:
+            return existing
+        if isinstance(type_, types.StructType) and type_.name is not None:
+            # Allocate the index before visiting fields so recursive
+            # types terminate.
+            index = self._allocate(type_)
+            self.named.append(type_)
+            for fieldtype in type_.fields:
+                self.add(fieldtype)
+            return index
+        if isinstance(type_, types.PointerType):
+            self.add(type_.pointee)
+        elif isinstance(type_, types.ArrayType):
+            self.add(type_.element)
+        elif isinstance(type_, types.StructType):
+            for fieldtype in type_.fields:
+                self.add(fieldtype)
+        elif isinstance(type_, types.FunctionType):
+            self.add(type_.return_type)
+            for param in type_.params:
+                self.add(param)
+        else:
+            raise BitcodeError("unknown type {0}".format(type_))
+        return self._allocate(type_)
+
+    def _allocate(self, type_: types.Type) -> int:
+        index = len(self.entries)
+        self.index[id(type_)] = index
+        self.entries.append(type_)
+        return index
+
+    def of(self, type_: types.Type) -> int:
+        return self.index[id(type_)]
+
+
+def write_module(module: Module, strip_names: bool = True) -> bytes:
+    """Serialize *module*; returns the object-code bytes.
+
+    ``strip_names`` drops local value/block names (the production
+    configuration whose size Table 2 reports); keep them for debugging
+    round trips.
+    """
+    return _ModuleWriter(module, strip_names).write()
+
+
+def write_module_with_stats(module: Module,
+                            strip_names: bool = True
+                            ) -> Tuple[bytes, WriteStats]:
+    """Like :func:`write_module` but also returns size statistics."""
+    writer = _ModuleWriter(module, strip_names)
+    data = writer.write()
+    stats = WriteStats(
+        total_bytes=len(data),
+        short_instructions=writer.out.short_instructions,
+        long_instructions=writer.out.long_instructions,
+    )
+    return data, stats
+
+
+class _ModuleWriter:
+    def __init__(self, module: Module, strip_names: bool):
+        self.module = module
+        self.strip_names = strip_names
+        self.out = Writer()
+        self.types = _TypeTable()
+        # Symbol indices: globals first, then functions (file order).
+        self.symbols: List = (list(module.globals.values())
+                              + list(module.functions.values()))
+        self.symbol_index = {id(s): i for i, s in enumerate(self.symbols)}
+
+    # -- driver ------------------------------------------------------------
+
+    def write(self) -> bytes:
+        self._collect_types()
+        out = self.out
+        out.raw(MAGIC)
+        out.u8(VERSION)
+        out.u8(self.module.pointer_size)
+        out.u8(0 if self.module.endianness == "little" else 1)
+        out.u8(0 if self.strip_names else 1)
+        self._write_type_table()
+        self._write_symbol_table()
+        self._write_bodies()
+        return out.getvalue()
+
+    # -- type table -----------------------------------------------------------
+
+    def _collect_types(self) -> None:
+        for variable in self.module.globals.values():
+            self.types.add(variable.value_type)
+        for function in self.module.functions.values():
+            self.types.add(function.function_type)
+            for block in function.blocks:
+                for inst in block.instructions:
+                    self.types.add(inst.type)
+                    if isinstance(inst, insts.AllocaInst):
+                        self.types.add(inst.allocated_type)
+                    for operand in inst.operands:
+                        self.types.add(operand.type)
+
+    def _write_type_table(self) -> None:
+        out = self.out
+        table = self.types
+        # Named structs first (names + indices), then all derived records
+        # in index order; primitives are implicit.
+        out.vbr(len(table.named))
+        for struct in table.named:
+            out.string(struct.name or "")
+            out.vbr(table.of(struct))
+        derived = [t for t in table.entries[len(PRIMITIVE_ORDER):]]
+        out.vbr(len(derived))
+        for type_ in derived:
+            self._write_type_record(type_)
+
+    def _write_type_record(self, type_: types.Type) -> None:
+        out = self.out
+        table = self.types
+        if isinstance(type_, types.PointerType):
+            out.u8(KIND_POINTER)
+            out.vbr(table.of(type_.pointee))
+        elif isinstance(type_, types.ArrayType):
+            out.u8(KIND_ARRAY)
+            out.vbr(table.of(type_.element))
+            out.vbr(type_.length)
+        elif isinstance(type_, types.StructType):
+            out.u8(KIND_STRUCT)
+            out.vbr(len(type_.fields))
+            for fieldtype in type_.fields:
+                out.vbr(table.of(fieldtype))
+        elif isinstance(type_, types.FunctionType):
+            out.u8(KIND_FUNCTION)
+            out.vbr(table.of(type_.return_type))
+            out.vbr(len(type_.params))
+            for param in type_.params:
+                out.vbr(table.of(param))
+            out.u8(1 if type_.vararg else 0)
+        else:
+            raise BitcodeError("cannot encode type {0}".format(type_))
+
+    # -- symbols -----------------------------------------------------------------
+
+    def _write_symbol_table(self) -> None:
+        out = self.out
+        out.vbr(len(self.module.globals))
+        for variable in self.module.globals.values():
+            out.string(variable.name or "")
+            out.vbr(self.types.of(variable.value_type))
+            flags = (1 if variable.is_constant else 0) \
+                | (2 if variable.internal else 0) \
+                | (4 if variable.initializer is not None else 0)
+            out.u8(flags)
+            if variable.initializer is not None:
+                self._write_constant(variable.initializer,
+                                     variable.value_type)
+        out.vbr(len(self.module.functions))
+        for function in self.module.functions.values():
+            out.string(function.name or "")
+            out.vbr(self.types.of(function.function_type))
+            flags = (1 if function.internal else 0) \
+                | (2 if not function.is_declaration else 0)
+            out.u8(flags)
+            if not self.strip_names:
+                for arg in function.args:
+                    out.string(arg.name or "")
+
+    def _write_constant(self, constant: values.Constant,
+                        type_: types.Type) -> None:
+        out = self.out
+        if isinstance(constant, values.ConstantInt):
+            out.u8(CONST_INT)
+            out.vbr(self.types.of(constant.type))
+            out.svbr(constant.value)
+        elif isinstance(constant, values.ConstantFP):
+            out.u8(CONST_FP)
+            out.vbr(self.types.of(constant.type))
+            out.f64(constant.value)
+        elif isinstance(constant, values.ConstantBool):
+            out.u8(CONST_BOOL)
+            out.u8(1 if constant.value else 0)
+        elif isinstance(constant, values.ConstantNull):
+            out.u8(CONST_NULL)
+            out.vbr(self.types.of(constant.type))
+        elif isinstance(constant, values.UndefValue):
+            out.u8(CONST_UNDEF)
+            out.vbr(self.types.of(constant.type))
+        elif isinstance(constant, (GlobalVariable, Function)):
+            out.u8(CONST_SYMBOL)
+            out.vbr(self.symbol_index[id(constant)])
+        elif isinstance(constant, values.ConstantArray):
+            out.u8(CONST_ARRAY)
+            out.vbr(self.types.of(constant.type))
+            element_type = constant.type.element
+            out.vbr(len(constant.elements))
+            for element in constant.elements:
+                self._write_constant(element, element_type)
+        elif isinstance(constant, values.ConstantStruct):
+            out.u8(CONST_STRUCT)
+            out.vbr(self.types.of(constant.type))
+            out.vbr(len(constant.elements))
+            for element, fieldtype in zip(constant.elements,
+                                          constant.type.fields):
+                self._write_constant(element, fieldtype)
+        elif isinstance(constant, values.ConstantZero):
+            out.u8(CONST_ZERO)
+            out.vbr(self.types.of(type_))
+        else:
+            raise BitcodeError(
+                "cannot encode constant {0!r}".format(constant))
+
+    # -- bodies ---------------------------------------------------------------------
+
+    def _write_bodies(self) -> None:
+        for function in self.module.functions.values():
+            if not function.is_declaration:
+                self._write_body(function)
+
+    def _write_body(self, function: Function) -> None:
+        out = self.out
+        # Build the unified value-id space.
+        pool: List[values.Constant] = []
+        pool_index: Dict[int, int] = {}
+        for block in function.blocks:
+            for inst in block.instructions:
+                for operand in inst.operands:
+                    if isinstance(operand, values.Constant) \
+                            and id(operand) not in pool_index:
+                        pool_index[id(operand)] = len(pool)
+                        pool.append(operand)
+        value_ids: Dict[int, int] = dict(pool_index)
+        next_id = len(pool)
+        for arg in function.args:
+            value_ids[id(arg)] = next_id
+            next_id += 1
+        for block in function.blocks:
+            value_ids[id(block)] = next_id
+            next_id += 1
+        instruction_list: List[insts.Instruction] = []
+        for block in function.blocks:
+            for inst in block.instructions:
+                value_ids[id(inst)] = next_id
+                next_id += 1
+                instruction_list.append(inst)
+        # Emit.
+        out.vbr(len(pool))
+        for constant in pool:
+            self._write_constant(constant, constant.type)
+        out.vbr(len(function.blocks))
+        for block in function.blocks:
+            out.vbr(len(block.instructions))
+            for inst in block.instructions:
+                self._write_instruction(inst, value_ids)
+        if not self.strip_names:
+            named = [(value_ids[id(v)], v.name)
+                     for v in instruction_list if v.name]
+            named += [(value_ids[id(b)], b.name)
+                      for b in function.blocks if b.name]
+            out.vbr(len(named))
+            for value_id, name in sorted(named):
+                out.vbr(value_id)
+                out.string(name)
+
+    def _write_instruction(self, inst: insts.Instruction,
+                           value_ids: Dict[int, int]) -> None:
+        opcode_index = OPCODE_INDEX[inst.opcode]
+        ee_default = inst.opcode in insts.DEFAULT_EXCEPTIONS_ENABLED
+        ee_flag = inst.exceptions_enabled != ee_default
+        # The stored type is always the result type; implicit types (an
+        # alloca's allocated type, a cast's target) are recovered from it.
+        type_index = self.types.of(inst.type)
+        operands = tuple(value_ids[id(op)] for op in inst.operands)
+        self.out.instruction(opcode_index, ee_flag, type_index, operands)

@@ -1,0 +1,26 @@
+"""Execution engines: the LLVA interpreter and the native machine
+simulator, sharing one memory model and the Section 3.3 exception model."""
+
+from repro.execution.events import (
+    ExecutionTrap,
+    ExitRequest,
+    TrapKind,
+    UnwindSignal,
+)
+from repro.execution.interpreter import (
+    ExecutionResult,
+    Interpreter,
+    StepLimitExceeded,
+)
+from repro.execution.memory import Memory
+
+__all__ = [
+    "ExecutionTrap",
+    "ExitRequest",
+    "TrapKind",
+    "UnwindSignal",
+    "ExecutionResult",
+    "Interpreter",
+    "StepLimitExceeded",
+    "Memory",
+]

@@ -1,0 +1,241 @@
+"""Simulated memory for LLVA execution.
+
+One flat virtual address space with the three regions the V-ISA
+distinguishes (Section 3.1: "memory is partitioned into stack, heap, and
+global memory, and all memory is explicitly allocated"):
+
+* globals at :data:`GLOBAL_BASE`,
+* heap growing upward from :data:`HEAP_BASE`,
+* stack growing downward from :data:`STACK_TOP`.
+
+All accesses are bounds-checked; a reference outside an allocated region
+(including the unmapped null page) is a memory fault — the condition the
+paper's ``ExceptionsEnabled`` bit controls for ``load``/``store``.
+
+Scalar encoding honours the :class:`~repro.ir.types.TargetData` endianness
+and pointer size, so the same program state serializes differently on the
+two V-ABI configurations — which the differential tests exercise.
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from typing import Dict, List, Tuple
+
+from repro.execution.events import ExecutionTrap, TrapKind
+from repro.ir import types
+from repro.ir.types import TargetData, Type
+
+GLOBAL_BASE = 0x0001_0000
+FUNCTION_BASE = 0x0000_1000  # addresses standing for functions
+HEAP_BASE = 0x0100_0000
+STACK_TOP = 0x7FFF_0000
+DEFAULT_STACK_LIMIT = 8 * 1024 * 1024
+
+_FP_FORMAT = {(4, "little"): "<f", (4, "big"): ">f",
+              (8, "little"): "<d", (8, "big"): ">d"}
+
+
+class MemoryError_(ExecutionTrap):
+    """A memory fault, as an :class:`ExecutionTrap` subclass."""
+
+    def __init__(self, detail: str, address: int):
+        super().__init__(TrapKind.MEMORY_FAULT, detail, address)
+
+
+_GLOBAL_ARENA_LIMIT = 32 * 1024 * 1024
+_HEAP_CHUNK = 4 * 1024 * 1024
+
+
+class Memory:
+    """Flat byte-addressable memory built from three growable arenas
+    (globals, heap, stack) plus explicitly mapped extra pages.
+
+    Arenas keep every access O(1): the heap arena in particular grows in
+    large chunks instead of one region per ``malloc`` (a program making
+    thousands of allocations would otherwise pay a per-access scan).
+    """
+
+    def __init__(self, target: TargetData,
+                 stack_limit: int = DEFAULT_STACK_LIMIT):
+        self.target = target
+        self._global_cursor = GLOBAL_BASE
+        self._global_arena = bytearray(64 * 1024)
+        self._heap_cursor = HEAP_BASE
+        self._heap_arena = bytearray(_HEAP_CHUNK)
+        self._free_lists: Dict[int, List[int]] = {}
+        self._alloc_sizes: Dict[int, int] = {}
+        self.stack_pointer = STACK_TOP
+        self.stack_limit = stack_limit
+        self._stack_arena = bytearray(stack_limit)
+        self._stack_base = STACK_TOP - stack_limit
+        # Extra regions (llva.pagetable.map): few, scanned linearly.
+        self._regions: List[Tuple[int, bytearray]] = []
+        #: Running count of heap bytes allocated (pool-allocation bench).
+        self.heap_allocated = 0
+
+    # -- region management ---------------------------------------------------
+
+    def add_region(self, base: int, size: int) -> None:
+        """Map a fresh zero-filled region at [base, base+size)."""
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        self._regions.append((base, bytearray(size)))
+
+    def _find_region(self, address: int,
+                     size: int) -> Tuple[int, bytearray]:
+        if self._stack_base <= address \
+                and address + size <= STACK_TOP:
+            return self._stack_base, self._stack_arena
+        if HEAP_BASE <= address \
+                and address + size <= self._heap_cursor:
+            return HEAP_BASE, self._heap_arena
+        if GLOBAL_BASE <= address \
+                and address + size <= self._global_cursor:
+            return GLOBAL_BASE, self._global_arena
+        for base, data in self._regions:
+            if base <= address and address + size <= base + len(data):
+                return base, data
+        raise MemoryError_(
+            "access of {0} bytes at 0x{1:x} outside mapped memory"
+            .format(size, address), address)
+
+    def is_mapped(self, address: int, size: int = 1) -> bool:
+        try:
+            self._find_region(address, size)
+            return True
+        except MemoryError_:
+            return False
+
+    # -- raw bytes -------------------------------------------------------------
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        base, data = self._find_region(address, size)
+        offset = address - base
+        return bytes(data[offset:offset + size])
+
+    def write_bytes(self, address: int, payload: bytes) -> None:
+        base, data = self._find_region(address, len(payload))
+        offset = address - base
+        data[offset:offset + len(payload)] = payload
+
+    # -- typed access ------------------------------------------------------------
+
+    def read_typed(self, address: int, type_: Type):
+        """Load one scalar of *type_* from *address*."""
+        size = self.target.size_of(type_)
+        raw = self.read_bytes(address, size)
+        if type_.is_pointer:
+            return int.from_bytes(raw, self.target.endianness)
+        if type_.is_bool:
+            return raw[0] != 0
+        if isinstance(type_, types.IntegerType):
+            return int.from_bytes(raw, self.target.endianness,
+                                  signed=type_.signed)
+        if type_.is_floating_point:
+            fmt = _FP_FORMAT[(size, self.target.endianness)]
+            return _struct.unpack(fmt, raw)[0]
+        raise MemoryError_("cannot load type {0}".format(type_), address)
+
+    def write_typed(self, address: int, type_: Type, value) -> None:
+        """Store one scalar of *type_* at *address*."""
+        size = self.target.size_of(type_)
+        if type_.is_pointer:
+            raw = int(value).to_bytes(size, self.target.endianness)
+        elif type_.is_bool:
+            raw = b"\x01" if value else b"\x00"
+        elif isinstance(type_, types.IntegerType):
+            raw = int(value).to_bytes(size, self.target.endianness,
+                                      signed=type_.signed)
+        elif type_.is_floating_point:
+            fmt = _FP_FORMAT[(size, self.target.endianness)]
+            raw = _struct.pack(fmt, value)
+        else:
+            raise MemoryError_("cannot store type {0}".format(type_),
+                               address)
+        self.write_bytes(address, raw)
+
+    def read_cstring(self, address: int, limit: int = 1 << 20) -> bytes:
+        """Read a NUL-terminated byte string."""
+        out = bytearray()
+        cursor = address
+        while len(out) < limit:
+            byte = self.read_bytes(cursor, 1)[0]
+            if byte == 0:
+                return bytes(out)
+            out.append(byte)
+            cursor += 1
+        raise MemoryError_("unterminated string", address)
+
+    # -- globals ----------------------------------------------------------------
+
+    def allocate_global(self, size: int, align: int = 8) -> int:
+        """Reserve global space (module loading)."""
+        size = max(size, 1)
+        cursor = _align_up(self._global_cursor, align)
+        end = cursor + size
+        if end - GLOBAL_BASE > len(self._global_arena):
+            if end - GLOBAL_BASE > _GLOBAL_ARENA_LIMIT:
+                raise MemoryError_("global arena exhausted", cursor)
+            grown = max(len(self._global_arena) * 2, end - GLOBAL_BASE)
+            self._global_arena.extend(
+                bytearray(grown - len(self._global_arena)))
+        self._global_cursor = end
+        return cursor
+
+    # -- heap --------------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        """Allocate heap memory (runtime ``malloc``)."""
+        if size <= 0:
+            size = 1
+        size = _align_up(size, 16)
+        free_list = self._free_lists.get(size)
+        if free_list:
+            address = free_list.pop()
+            # Reuse stays mapped; zero it for determinism.
+            self.write_bytes(address, b"\x00" * size)
+        else:
+            address = self._heap_cursor
+            end = address + size - HEAP_BASE
+            if end > len(self._heap_arena):
+                grow = _align_up(end - len(self._heap_arena),
+                                 _HEAP_CHUNK)
+                self._heap_arena.extend(bytearray(grow))
+            self._heap_cursor += size
+        self._alloc_sizes[address] = size
+        self.heap_allocated += size
+        return address
+
+    def free(self, address: int) -> None:
+        """Release heap memory (runtime ``free``)."""
+        if address == 0:
+            return
+        size = self._alloc_sizes.pop(address, None)
+        if size is None:
+            raise MemoryError_("free of unallocated address", address)
+        self._free_lists.setdefault(size, []).append(address)
+
+    # -- stack --------------------------------------------------------------------
+
+    def push_frame(self, size: int, align: int = 16) -> int:
+        """Extend the stack downward by *size* bytes; returns the new
+        frame's base address (its lowest address)."""
+        new_sp = _align_down(self.stack_pointer - size, align)
+        if new_sp < self._stack_base:
+            raise ExecutionTrap(TrapKind.STACK_OVERFLOW,
+                                "stack limit {0} exceeded"
+                                .format(self.stack_limit))
+        self.stack_pointer = new_sp
+        return new_sp
+
+    def pop_frame(self, old_stack_pointer: int) -> None:
+        self.stack_pointer = old_stack_pointer
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align
+
+
+def _align_down(value: int, align: int) -> int:
+    return value // align * align

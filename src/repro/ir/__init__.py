@@ -1,0 +1,52 @@
+"""The LLVA virtual instruction set — the paper's core contribution.
+
+Public surface:
+
+* :mod:`repro.ir.types` — the type system and target layout rules.
+* :mod:`repro.ir.values` — values, constants, def-use chains.
+* :mod:`repro.ir.instructions` — the 28-instruction set of Table 1.
+* :mod:`repro.ir.module` — modules, functions, basic blocks, globals.
+* :mod:`repro.ir.builder` — :class:`IRBuilder` construction API.
+* :mod:`repro.ir.cfg` — CFG orderings, dominators, frontiers.
+* :mod:`repro.ir.verifier` — structural and SSA verification.
+* :mod:`repro.ir.printer` — textual assembly output.
+* :mod:`repro.ir.intrinsics` — the ``llva.*`` intrinsic registry.
+"""
+
+from repro.ir import types
+from repro.ir.builder import IRBuilder
+from repro.ir.module import BasicBlock, Function, GlobalVariable, Module
+from repro.ir.printer import print_function, print_module
+from repro.ir.types import Endianness, LlvaTypeError, TargetData
+from repro.ir.values import (
+    const_bool,
+    const_fp,
+    const_int,
+    const_null,
+    const_undef,
+    const_zero,
+)
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "types",
+    "IRBuilder",
+    "BasicBlock",
+    "Function",
+    "GlobalVariable",
+    "Module",
+    "print_function",
+    "print_module",
+    "Endianness",
+    "LlvaTypeError",
+    "TargetData",
+    "const_bool",
+    "const_fp",
+    "const_int",
+    "const_null",
+    "const_undef",
+    "const_zero",
+    "VerificationError",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,202 @@
+"""A convenience API for constructing LLVA IR.
+
+The builder holds an insertion point (a basic block) and appends typed,
+verified instructions.  It is the programmatic equivalent of writing the
+assembly of Figure 2 and is used by the MiniC front-end, the tests, and
+the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.ir import instructions as insts
+from repro.ir import types, values
+from repro.ir.module import BasicBlock, Function
+from repro.ir.types import Type
+from repro.ir.values import ConstantInt, Value
+
+
+class IRBuilder:
+    """Appends instructions at the end of a current basic block."""
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+        self._name_counter = 0
+
+    # -- positioning ---------------------------------------------------------
+
+    def set_block(self, block: BasicBlock) -> None:
+        self.block = block
+
+    @property
+    def function(self) -> Function:
+        if self.block is None or self.block.parent is None:
+            raise ValueError("builder has no insertion point")
+        return self.block.parent
+
+    def _insert(self, inst: insts.Instruction) -> insts.Instruction:
+        if self.block is None:
+            raise ValueError("builder has no insertion point")
+        if inst.produces_value and inst.name is None:
+            inst.name = self.fresh_name()
+        return self.block.append(inst)
+
+    def fresh_name(self, stem: str = "tmp") -> str:
+        name = "{0}.{1}".format(stem, self._name_counter)
+        self._name_counter += 1
+        return name
+
+    # -- arithmetic / bitwise ------------------------------------------------
+
+    def add(self, lhs: Value, rhs: Value, name: Optional[str] = None):
+        return self._insert(insts.AddInst(lhs, rhs, name))
+
+    def sub(self, lhs: Value, rhs: Value, name: Optional[str] = None):
+        return self._insert(insts.SubInst(lhs, rhs, name))
+
+    def mul(self, lhs: Value, rhs: Value, name: Optional[str] = None):
+        return self._insert(insts.MulInst(lhs, rhs, name))
+
+    def div(self, lhs: Value, rhs: Value, name: Optional[str] = None):
+        return self._insert(insts.DivInst(lhs, rhs, name))
+
+    def rem(self, lhs: Value, rhs: Value, name: Optional[str] = None):
+        return self._insert(insts.RemInst(lhs, rhs, name))
+
+    def and_(self, lhs: Value, rhs: Value, name: Optional[str] = None):
+        return self._insert(insts.AndInst(lhs, rhs, name))
+
+    def or_(self, lhs: Value, rhs: Value, name: Optional[str] = None):
+        return self._insert(insts.OrInst(lhs, rhs, name))
+
+    def xor(self, lhs: Value, rhs: Value, name: Optional[str] = None):
+        return self._insert(insts.XorInst(lhs, rhs, name))
+
+    def shl(self, lhs: Value, amount: Value, name: Optional[str] = None):
+        return self._insert(insts.ShlInst(lhs, amount, name))
+
+    def shr(self, lhs: Value, amount: Value, name: Optional[str] = None):
+        return self._insert(insts.ShrInst(lhs, amount, name))
+
+    def binary(self, opcode: str, lhs: Value, rhs: Value,
+               name: Optional[str] = None):
+        """Build any arithmetic/bitwise instruction by opcode name."""
+        return self._insert(insts.BINARY_CLASSES[opcode](lhs, rhs, name))
+
+    # -- comparisons -----------------------------------------------------------
+
+    def seteq(self, lhs: Value, rhs: Value, name: Optional[str] = None):
+        return self._insert(insts.SetEqInst(lhs, rhs, name))
+
+    def setne(self, lhs: Value, rhs: Value, name: Optional[str] = None):
+        return self._insert(insts.SetNeInst(lhs, rhs, name))
+
+    def setlt(self, lhs: Value, rhs: Value, name: Optional[str] = None):
+        return self._insert(insts.SetLtInst(lhs, rhs, name))
+
+    def setgt(self, lhs: Value, rhs: Value, name: Optional[str] = None):
+        return self._insert(insts.SetGtInst(lhs, rhs, name))
+
+    def setle(self, lhs: Value, rhs: Value, name: Optional[str] = None):
+        return self._insert(insts.SetLeInst(lhs, rhs, name))
+
+    def setge(self, lhs: Value, rhs: Value, name: Optional[str] = None):
+        return self._insert(insts.SetGeInst(lhs, rhs, name))
+
+    def compare(self, relation: str, lhs: Value, rhs: Value,
+                name: Optional[str] = None):
+        """Build a set* instruction from a relation (``eq``/``lt``/...)."""
+        return self._insert(insts.COMPARE_CLASSES[relation](lhs, rhs, name))
+
+    # -- control flow -----------------------------------------------------------
+
+    def ret(self, value: Optional[Value] = None):
+        return self._insert(insts.RetInst(value))
+
+    def br(self, target: BasicBlock):
+        return self._insert(insts.BranchInst(target=target))
+
+    def cond_br(self, condition: Value, if_true: BasicBlock,
+                if_false: BasicBlock):
+        return self._insert(insts.BranchInst(
+            condition=condition, if_true=if_true, if_false=if_false))
+
+    def mbr(self, value: Value, default: BasicBlock,
+            cases: Sequence[Tuple[ConstantInt, BasicBlock]] = ()):
+        return self._insert(insts.MultiwayBranchInst(value, default, cases))
+
+    def call(self, callee: Value, args: Sequence[Value] = (),
+             name: Optional[str] = None):
+        return self._insert(insts.CallInst(callee, args, name))
+
+    def invoke(self, callee: Value, args: Sequence[Value],
+               normal: BasicBlock, unwind: BasicBlock,
+               name: Optional[str] = None):
+        return self._insert(insts.InvokeInst(
+            callee, args, normal, unwind, name))
+
+    def unwind(self):
+        return self._insert(insts.UnwindInst())
+
+    # -- memory -----------------------------------------------------------------
+
+    def load(self, pointer: Value, name: Optional[str] = None):
+        return self._insert(insts.LoadInst(pointer, name))
+
+    def store(self, value: Value, pointer: Value):
+        return self._insert(insts.StoreInst(value, pointer))
+
+    def gep(self, pointer: Value, indices: Sequence[Value],
+            name: Optional[str] = None):
+        return self._insert(insts.GetElementPtrInst(pointer, indices, name))
+
+    def gep_const(self, pointer: Value, *raw_indices: int,
+                  name: Optional[str] = None):
+        """``gep`` with a literal index chain.
+
+        Indices are converted to the canonical types: ``long`` for
+        array/pointer steps and constant ``ubyte`` for struct fields,
+        chosen by walking the pointee type — the same convention as the
+        paper's ``long 0, ubyte 1, long 3`` example.
+        """
+        pointee = pointer.type.pointee
+        indices: list = []
+        current = pointee
+        for position, raw in enumerate(raw_indices):
+            if position == 0:
+                indices.append(values.const_int(types.LONG, raw))
+                continue
+            if current.is_struct:
+                indices.append(values.const_int(types.UBYTE, raw))
+                current = current.fields[raw]
+            else:
+                indices.append(values.const_int(types.LONG, raw))
+                current = current.element
+        return self.gep(pointer, indices, name)
+
+    def alloca(self, allocated_type: Type, count: Optional[Value] = None,
+               name: Optional[str] = None):
+        return self._insert(insts.AllocaInst(allocated_type, count, name))
+
+    # -- other --------------------------------------------------------------------
+
+    def cast(self, value: Value, target_type: Type,
+             name: Optional[str] = None):
+        if value.type is target_type:
+            return value
+        return self._insert(insts.CastInst(value, target_type, name))
+
+    def phi(self, type_: Type,
+            incoming: Sequence[Tuple[Value, BasicBlock]] = (),
+            name: Optional[str] = None):
+        inst = insts.PhiInst(type_, incoming, name)
+        if inst.name is None:
+            inst.name = self.fresh_name()
+        # Phis must precede all non-phi instructions in the block.
+        if self.block is None:
+            raise ValueError("builder has no insertion point")
+        index = self.block.first_non_phi_index()
+        self.block.instructions.insert(index, inst)
+        inst.parent = self.block
+        return inst

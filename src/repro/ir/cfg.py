@@ -1,0 +1,227 @@
+"""Control-flow-graph analyses: orderings, dominators, dominance frontiers.
+
+The explicit CFG is one of LLVA's two structural pillars (the other being
+SSA).  These analyses power SSA construction (mem2reg), the verifier's
+dominance checks, loop detection, and the trace cache's region formation.
+
+The dominator computation is the Cooper-Harvey-Kennedy iterative algorithm
+over reverse postorder — simple, and fast in practice for the CFG sizes a
+translator sees.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.instructions import Instruction, PhiInst
+from repro.ir.module import BasicBlock, Function
+
+
+def reachable_blocks(function: Function) -> List[BasicBlock]:
+    """Blocks reachable from the entry, in depth-first preorder."""
+    if not function.blocks:
+        return []
+    seen: Set[int] = set()
+    order: List[BasicBlock] = []
+    stack = [function.entry_block]
+    while stack:
+        block = stack.pop()
+        if id(block) in seen:
+            continue
+        seen.add(id(block))
+        order.append(block)
+        for successor in reversed(block.successors()):
+            if id(successor) not in seen:
+                stack.append(successor)
+    return order
+
+
+def postorder(function: Function) -> List[BasicBlock]:
+    """Reachable blocks in depth-first postorder."""
+    if not function.blocks:
+        return []
+    # Iterative DFS with explicit state to avoid recursion limits on the
+    # large generated benchmark functions.
+    out: List[BasicBlock] = []
+    seen: Set[int] = set()
+    stack: List[Tuple[BasicBlock, int]] = [(function.entry_block, 0)]
+    seen.add(id(function.entry_block))
+    while stack:
+        block, index = stack[-1]
+        successors = block.successors()
+        if index < len(successors):
+            stack[-1] = (block, index + 1)
+            successor = successors[index]
+            if id(successor) not in seen:
+                seen.add(id(successor))
+                stack.append((successor, 0))
+        else:
+            stack.pop()
+            out.append(block)
+    return out
+
+
+def reverse_postorder(function: Function) -> List[BasicBlock]:
+    """Reachable blocks in reverse postorder (a topological-ish order)."""
+    order = postorder(function)
+    order.reverse()
+    return order
+
+
+class DominatorTree:
+    """Immediate-dominator tree for one function's reachable CFG."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.rpo = reverse_postorder(function)
+        self._rpo_index: Dict[int, int] = {
+            id(block): index for index, block in enumerate(self.rpo)}
+        self.idom: Dict[int, Optional[BasicBlock]] = {}
+        self._children: Dict[int, List[BasicBlock]] = {
+            id(block): [] for block in self.rpo}
+        self._compute()
+        self._dom_depth: Dict[int, int] = {}
+        self._compute_depths()
+
+    # -- construction --------------------------------------------------------
+
+    def _compute(self) -> None:
+        if not self.rpo:
+            return
+        entry = self.rpo[0]
+        idom: Dict[int, BasicBlock] = {id(entry): entry}
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo[1:]:
+                new_idom: Optional[BasicBlock] = None
+                for pred in block.predecessors():
+                    if id(pred) not in self._rpo_index:
+                        continue  # unreachable predecessor
+                    if id(pred) not in idom:
+                        continue  # not yet processed this round
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = self._intersect(pred, new_idom, idom)
+                if new_idom is not None and idom.get(id(block)) is not new_idom:
+                    idom[id(block)] = new_idom
+                    changed = True
+        self.idom[id(entry)] = None
+        for block in self.rpo[1:]:
+            dominator = idom[id(block)]
+            self.idom[id(block)] = dominator
+            self._children[id(dominator)].append(block)
+
+    def _intersect(self, a: BasicBlock, b: BasicBlock,
+                   idom: Dict[int, BasicBlock]) -> BasicBlock:
+        index = self._rpo_index
+        while a is not b:
+            while index[id(a)] > index[id(b)]:
+                a = idom[id(a)]
+            while index[id(b)] > index[id(a)]:
+                b = idom[id(b)]
+        return a
+
+    def _compute_depths(self) -> None:
+        for block in self.rpo:  # rpo order guarantees idom comes first
+            dominator = self.idom.get(id(block))
+            if dominator is None:
+                self._dom_depth[id(block)] = 0
+            else:
+                self._dom_depth[id(block)] = self._dom_depth[id(dominator)] + 1
+
+    # -- queries -----------------------------------------------------------
+
+    def immediate_dominator(self, block: BasicBlock) -> Optional[BasicBlock]:
+        return self.idom.get(id(block))
+
+    def children(self, block: BasicBlock) -> List[BasicBlock]:
+        return self._children.get(id(block), [])
+
+    def depth(self, block: BasicBlock) -> int:
+        return self._dom_depth[id(block)]
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if *a* dominates *b* (reflexively)."""
+        if id(a) not in self._dom_depth or id(b) not in self._dom_depth:
+            return False
+        walk: Optional[BasicBlock] = b
+        target_depth = self._dom_depth[id(a)]
+        while walk is not None and self._dom_depth[id(walk)] > target_depth:
+            walk = self.idom.get(id(walk))
+        return walk is a
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def instruction_dominates(self, def_inst: Instruction,
+                              use_inst: Instruction,
+                              use_operand_index: int = -1) -> bool:
+        """SSA dominance: does *def_inst*'s value dominate the use?
+
+        Uses in phi nodes are considered to occur at the end of the
+        corresponding predecessor block, per standard SSA semantics.
+        """
+        def_block = def_inst.parent
+        use_block = use_inst.parent
+        if def_block is None or use_block is None:
+            return False
+        if isinstance(use_inst, PhiInst) and use_operand_index >= 0:
+            # Operand i's controlling block is operand i+1.
+            pred = use_inst.operand(use_operand_index + 1)
+            return self.dominates(def_block, pred)  # type: ignore[arg-type]
+        if def_block is use_block:
+            block_insts = def_block.instructions
+            return block_insts.index(def_inst) < block_insts.index(use_inst)
+        return self.strictly_dominates(def_block, use_block)
+
+
+def dominance_frontiers(function: Function,
+                        domtree: Optional[DominatorTree] = None
+                        ) -> Dict[int, Set[BasicBlock]]:
+    """Cytron-style dominance frontiers, keyed by ``id(block)``.
+
+    The frontier of B is the set of blocks where B's dominance stops —
+    exactly the phi-placement sites for definitions in B (used by
+    mem2reg).
+    """
+    if domtree is None:
+        domtree = DominatorTree(function)
+    frontiers: Dict[int, Set[BasicBlock]] = {
+        id(block): set() for block in domtree.rpo}
+    for block in domtree.rpo:
+        preds = [p for p in block.predecessors()
+                 if id(p) in domtree._rpo_index]
+        if len(preds) < 2:
+            continue
+        idom = domtree.immediate_dominator(block)
+        for pred in preds:
+            runner: Optional[BasicBlock] = pred
+            while runner is not None and runner is not idom:
+                frontiers[id(runner)].add(block)
+                runner = domtree.immediate_dominator(runner)
+    return frontiers
+
+
+def remove_unreachable_blocks(function: Function) -> int:
+    """Delete blocks not reachable from the entry; returns the count.
+
+    Phi nodes in surviving blocks drop their edges from deleted
+    predecessors.
+    """
+    reachable = {id(block) for block in reachable_blocks(function)}
+    doomed = [block for block in function.blocks
+              if id(block) not in reachable]
+    if not doomed:
+        return 0
+    doomed_ids = {id(block) for block in doomed}
+    for block in function.blocks:
+        if id(block) in reachable:
+            for phi in block.phis():
+                for _value, pred in list(phi.incoming()):
+                    if id(pred) in doomed_ids:
+                        phi.remove_incoming(pred)
+    for block in doomed:
+        block.erase_from_parent()
+    return len(doomed)

@@ -1,0 +1,134 @@
+"""Intrinsic functions — operations implemented by the translator.
+
+Section 3.5: "LLVA uses a small set of intrinsic functions to support
+operations like manipulating page tables and other kernel operations.
+These intrinsics are implemented by the translator for a particular
+target.  Intrinsics can be defined to be valid only if the privileged bit
+is set to true, otherwise causing a kernel trap."
+
+Section 3.4 adds the self-modifying-code intrinsics, and Section 4.1 the
+special storage-API registration intrinsic that bootstraps the
+OS-independent linkage between the translator and the operating system.
+
+All intrinsic names live in the ``llva.`` namespace.  They are declared
+like ordinary external functions and called with the ordinary ``call``
+instruction; the execution engines and code generators dispatch on the
+name.  A generic ``sbyte*`` stands in for "untyped pointer" throughout,
+as in the paper's ``void*`` trap-handler argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.ir import types
+from repro.ir.module import Function, Module
+
+#: Generic byte pointer — the V-ISA spelling of ``void*``.
+BYTE_PTR = types.pointer_to(types.SBYTE)
+
+
+@dataclass(frozen=True)
+class IntrinsicInfo:
+    """Static description of one intrinsic."""
+
+    name: str
+    function_type: types.FunctionType
+    privileged: bool
+    description: str
+
+
+def _info(name: str, return_type: types.Type,
+          params: Tuple[types.Type, ...], privileged: bool,
+          description: str) -> IntrinsicInfo:
+    return IntrinsicInfo(
+        name=name,
+        function_type=types.function_of(return_type, params),
+        privileged=privileged,
+        description=description,
+    )
+
+
+#: The intrinsic registry, keyed by name.
+INTRINSICS: Dict[str, IntrinsicInfo] = {
+    info.name: info
+    for info in (
+        # -- traps and exceptions (Section 3.5, 3.3) --
+        _info("llva.trap.register", types.VOID, (types.UINT, BYTE_PTR),
+              privileged=True,
+              description="Register the entry point of the LLVA trap "
+                          "handler for a trap number."),
+        _info("llva.trap.raise", types.VOID, (types.UINT, BYTE_PTR),
+              privileged=False,
+              description="Deliver a software trap to the registered "
+                          "handler."),
+        _info("llva.exceptions.set", types.VOID, (types.BOOL,),
+              privileged=False,
+              description="Dynamically enable/disable exception delivery "
+                          "for the current execution context (used inside "
+                          "trap handlers)."),
+        _info("llva.priv.enabled", types.BOOL, (),
+              privileged=False,
+              description="Query the processor privileged bit."),
+        _info("llva.priv.set", types.VOID, (types.BOOL,),
+              privileged=True,
+              description="Set the processor privileged bit."),
+        # -- registers and stack walking (Section 3.5) --
+        _info("llva.register.read", types.ULONG, (types.UINT,),
+              privileged=False,
+              description="Read a virtual register of the interrupted "
+                          "context via the standard register numbering."),
+        _info("llva.stack.depth", types.UINT, (),
+              privileged=False,
+              description="Number of LLVA frames on the current stack."),
+        _info("llva.stack.caller", BYTE_PTR, (types.UINT,),
+              privileged=False,
+              description="I-ISA-independent stack walking: the function "
+                          "address active N frames up."),
+        # -- kernel / memory management (Section 3.5) --
+        _info("llva.pagetable.map", types.VOID,
+              (types.ULONG, types.ULONG, types.UINT),
+              privileged=True,
+              description="Map a virtual page to a physical frame with "
+                          "protection bits."),
+        _info("llva.pagetable.unmap", types.VOID, (types.ULONG,),
+              privileged=True,
+              description="Remove a virtual page mapping."),
+        _info("llva.io.read", types.ULONG, (types.UINT,),
+              privileged=True,
+              description="Low-level device input channel read."),
+        _info("llva.io.write", types.VOID, (types.UINT, types.ULONG),
+              privileged=True,
+              description="Low-level device output channel write."),
+        # -- self-modifying code (Section 3.4) --
+        _info("llva.smc.replace", types.VOID, (BYTE_PTR, BYTE_PTR),
+              privileged=False,
+              description="Replace a function's virtual instructions with "
+                          "a donor's; affects only future invocations."),
+        _info("llva.sec.register", types.VOID, (BYTE_PTR,),
+              privileged=False,
+              description="Register newly generated code "
+                          "(self-extending code) with the translator."),
+        # -- storage API bootstrap (Section 4.1) --
+        _info("llva.storage.register", types.VOID, (BYTE_PTR,),
+              privileged=True,
+              description="Register the OS storage-API lookup routine "
+                          "with the translator at OS startup."),
+    )
+}
+
+
+def is_intrinsic_name(name: str) -> bool:
+    return name.startswith("llva.")
+
+
+def intrinsic_info(name: str) -> IntrinsicInfo:
+    """Look up an intrinsic, raising ``KeyError`` for unknown names."""
+    return INTRINSICS[name]
+
+
+def declare_intrinsic(module: Module, name: str) -> Function:
+    """Get-or-create the declaration of intrinsic *name* in *module*."""
+    info = intrinsic_info(name)
+    return module.get_or_declare_function(name, info.function_type)

@@ -1,0 +1,251 @@
+"""Textual LLVA assembly writer.
+
+Produces the human-readable syntax of the paper's Figure 2::
+
+    %struct.QuadTree = type { double, [4 x %QT*] }
+
+    void %Sum3rdChildren(%QT* %T, double* %Result) {
+    entry:
+            %V = alloca double
+            %tmp.0 = seteq %QT* %T, null
+            br bool %tmp.0, label %endif, label %else
+    ...
+
+Round-trips with :mod:`repro.asm.parser`.  Every value gets a unique
+function-local name; unnamed values are numbered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir import instructions as insts
+from repro.ir import types, values
+from repro.ir.module import BasicBlock, Function, GlobalVariable, Module
+from repro.ir.values import Constant, Value
+
+_INDENT = "        "
+
+
+class _Namer:
+    """Assigns unique printable names to function-local values."""
+
+    def __init__(self):
+        self._names: Dict[int, str] = {}
+        self._taken: Dict[str, int] = {}
+
+    def name_of(self, value: Value) -> str:
+        cached = self._names.get(id(value))
+        if cached is not None:
+            return cached
+        base = value.name if value.name else "v"
+        candidate = base
+        while candidate in self._taken:
+            self._taken[base] += 1
+            candidate = "{0}.{1}".format(base, self._taken[base])
+        self._taken.setdefault(base, 0)
+        self._taken[candidate] = 0
+        self._names[id(value)] = candidate
+        return candidate
+
+
+def print_module(module: Module) -> str:
+    """Render *module* as LLVA assembly text."""
+    lines: List[str] = []
+    lines.append("; module {0}".format(module.name))
+    lines.append("target pointersize = {0}".format(module.pointer_size * 8))
+    lines.append("target endian = {0}".format(module.endianness))
+    lines.append("")
+    for name, struct in module.named_types.items():
+        lines.append("%{0} = type {1}".format(name, struct.body_str()))
+    if module.named_types:
+        lines.append("")
+    for variable in module.globals.values():
+        lines.append(_format_global(variable))
+    if module.globals:
+        lines.append("")
+    for function in module.functions.values():
+        if function.is_intrinsic and function.is_declaration:
+            lines.append(_format_declaration(function))
+    for function in module.functions.values():
+        if function.is_intrinsic:
+            continue
+        if function.is_declaration:
+            lines.append(_format_declaration(function))
+        else:
+            lines.extend(_format_function(function))
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def print_function(function: Function) -> str:
+    """Render a single function as assembly text."""
+    return "\n".join(_format_function(function)) + "\n"
+
+
+def _format_global(variable: GlobalVariable) -> str:
+    keyword = "constant" if variable.is_constant else "global"
+    linkage = "internal " if variable.internal else ""
+    if variable.initializer is None:
+        return "%{0} = {1}external {2} {3}".format(
+            variable.name, linkage, keyword, variable.value_type)
+    return "%{0} = {1}{2} {3}".format(
+        variable.name, linkage, keyword,
+        _format_constant(variable.initializer))
+
+
+def _format_declaration(function: Function) -> str:
+    params = ", ".join(str(p) for p in function.function_type.params)
+    if function.function_type.vararg:
+        params = params + ", ..." if params else "..."
+    return "declare {0} %{1}({2})".format(
+        function.return_type, function.name, params)
+
+
+def _format_function(function: Function) -> List[str]:
+    namer = _Namer()
+    # Reserve argument and block names first so they keep their spelling.
+    for arg in function.args:
+        namer.name_of(arg)
+    for block in function.blocks:
+        namer.name_of(block)
+    linkage = "internal " if function.internal else ""
+    args = ", ".join(
+        "{0} %{1}".format(arg.type, namer.name_of(arg))
+        for arg in function.args)
+    if function.function_type.vararg:
+        args = args + ", ..." if args else "..."
+    lines = ["{0}{1} %{2}({3}) {{".format(
+        linkage, function.return_type, function.name, args)]
+    for block in function.blocks:
+        lines.append("{0}:".format(namer.name_of(block)))
+        for inst in block.instructions:
+            lines.append(_INDENT + format_instruction(inst, namer))
+    lines.append("}")
+    return lines
+
+
+def _format_constant(constant: Constant) -> str:
+    return constant.ref()
+
+
+def _operand(value: Value, namer: Optional[_Namer],
+             with_type: bool = True) -> str:
+    """Format one operand, ``<type> <ref>`` or bare ``<ref>``."""
+    if isinstance(value, BasicBlock):
+        name = namer.name_of(value) if namer else (value.name or "?")
+        return "label %{0}".format(name) if with_type else "%" + name
+    if isinstance(value, (Function, GlobalVariable)):
+        text = "%{0}".format(value.name)
+    elif isinstance(value, Constant):
+        return value.ref() if with_type else value.literal()
+    else:
+        name = namer.name_of(value) if namer else (value.name or "?")
+        text = "%{0}".format(name)
+    if with_type:
+        return "{0} {1}".format(value.type, text)
+    return text
+
+
+def format_instruction(inst: insts.Instruction,
+                       namer: Optional[_Namer] = None) -> str:
+    """Render one instruction (without indentation)."""
+    if namer is None:
+        namer = _Namer()
+        function = inst.function
+        if function is not None:
+            for arg in function.args:
+                namer.name_of(arg)
+            for block in function.blocks:
+                namer.name_of(block)
+    text = _instruction_body(inst, namer)
+    if inst.exceptions_enabled != (
+            inst.opcode in insts.DEFAULT_EXCEPTIONS_ENABLED):
+        flag = "true" if inst.exceptions_enabled else "false"
+        text += " !ee({0})".format(flag)
+    if inst.produces_value:
+        return "%{0} = {1}".format(namer.name_of(inst), text)
+    return text
+
+
+def _instruction_body(inst: insts.Instruction, namer: _Namer) -> str:
+    opcode = inst.opcode
+
+    if isinstance(inst, insts.CompareInst) or isinstance(
+            inst, insts.BinaryInst):
+        lhs, rhs = inst.operand(0), inst.operand(1)
+        return "{0} {1} {2}, {3}".format(
+            opcode, lhs.type, _operand(lhs, namer, with_type=False),
+            _operand(rhs, namer, with_type=False)
+            if rhs.type is lhs.type
+            else _operand(rhs, namer))
+
+    if isinstance(inst, insts.RetInst):
+        if inst.return_value is None:
+            return "ret void"
+        return "ret {0}".format(_operand(inst.return_value, namer))
+
+    if isinstance(inst, insts.BranchInst):
+        if inst.is_conditional:
+            return "br {0}, {1}, {2}".format(
+                _operand(inst.operand(0), namer),
+                _operand(inst.operand(1), namer),
+                _operand(inst.operand(2), namer))
+        return "br {0}".format(_operand(inst.operand(0), namer))
+
+    if isinstance(inst, insts.MultiwayBranchInst):
+        parts = ["mbr {0}, {1}".format(
+            _operand(inst.selector, namer), _operand(inst.default, namer))]
+        for case_value, case_label in inst.cases():
+            parts.append("[ {0}, {1} ]".format(
+                _operand(case_value, namer), _operand(case_label, namer)))
+        return ", ".join(parts)
+
+    if isinstance(inst, insts.InvokeInst):
+        args = ", ".join(_operand(a, namer) for a in inst.args)
+        return "invoke {0} {1}({2}) to {3} unwind {4}".format(
+            inst.signature.return_type,
+            _operand(inst.callee, namer, with_type=False), args,
+            _operand(inst.normal_dest, namer),
+            _operand(inst.unwind_dest, namer))
+
+    if isinstance(inst, insts.UnwindInst):
+        return "unwind"
+
+    if isinstance(inst, insts.CallInst):
+        args = ", ".join(_operand(a, namer) for a in inst.args)
+        return "call {0} {1}({2})".format(
+            inst.signature.return_type,
+            _operand(inst.callee, namer, with_type=False), args)
+
+    if isinstance(inst, insts.LoadInst):
+        return "load {0}".format(_operand(inst.pointer, namer))
+
+    if isinstance(inst, insts.StoreInst):
+        return "store {0}, {1}".format(
+            _operand(inst.value, namer), _operand(inst.pointer, namer))
+
+    if isinstance(inst, insts.GetElementPtrInst):
+        parts = ["getelementptr {0}".format(_operand(inst.pointer, namer))]
+        parts.extend(_operand(index, namer) for index in inst.indices)
+        return ", ".join(parts)
+
+    if isinstance(inst, insts.AllocaInst):
+        if inst.count is not None:
+            return "alloca {0}, {1}".format(
+                inst.allocated_type, _operand(inst.count, namer))
+        return "alloca {0}".format(inst.allocated_type)
+
+    if isinstance(inst, insts.CastInst):
+        return "cast {0} to {1}".format(
+            _operand(inst.value, namer), inst.type)
+
+    if isinstance(inst, insts.PhiInst):
+        pairs = ", ".join(
+            "[ {0}, {1} ]".format(
+                _operand(value, namer, with_type=False),
+                _operand(block, namer, with_type=False))
+            for value, block in inst.incoming())
+        return "phi {0} {1}".format(inst.type, pairs)
+
+    raise NotImplementedError("cannot print {0!r}".format(inst))

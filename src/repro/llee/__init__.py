@@ -1,0 +1,38 @@
+"""LLEE — the Low Level Execution Environment (paper Section 4).
+
+Orchestrates translation: offline caching through the OS-independent
+storage API, function-at-a-time JIT, profiling, the software trace
+cache, and idle-time profile-guided reoptimization.
+"""
+
+from repro.llee.jit import FunctionJIT, JITStats
+from repro.llee.manager import LLEE, RunReport
+from repro.llee.pgo import PGOReport, idle_time_reoptimize
+from repro.llee.profile import (
+    Profile,
+    ProfileMap,
+    instrument_module,
+    read_profile,
+    strip_instrumentation,
+)
+from repro.llee.storage import DiskStorage, InMemoryStorage, StorageAPI
+from repro.llee.tracecache import SoftwareTraceCache, Trace
+
+__all__ = [
+    "FunctionJIT",
+    "JITStats",
+    "LLEE",
+    "RunReport",
+    "PGOReport",
+    "idle_time_reoptimize",
+    "Profile",
+    "ProfileMap",
+    "instrument_module",
+    "read_profile",
+    "strip_instrumentation",
+    "DiskStorage",
+    "InMemoryStorage",
+    "StorageAPI",
+    "SoftwareTraceCache",
+    "Trace",
+]

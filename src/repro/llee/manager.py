@@ -1,0 +1,173 @@
+"""LLEE — the Low Level Execution Environment (Section 4.1).
+
+The translation strategy in one sentence: *offline translation when
+possible, online translation whenever necessary.*
+
+When asked to run a virtual executable, LLEE:
+
+1. looks for a cached native translation through the OS-provided
+   storage API (if one was registered), validating its timestamp
+   against the executable's;
+2. on a hit, relocates the cached native code and runs it directly —
+   no translation cost at all;
+3. on a miss (or with no storage API), invokes the function-at-a-time
+   JIT, then writes the new translation back to the cache for next
+   time;
+4. during idle time, the OS may request :meth:`LLEE.offline_translate`,
+   which populates the cache without executing ("initiating 'execution'
+   as above, but flagging it for translation and not actual
+   execution").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.bitcode.reader import read_module
+from repro.execution.machine_sim import MachineSimulator
+from repro.llee.jit import FunctionJIT, JITStats
+from repro.llee.storage import StorageAPI
+from repro.targets.native import (
+    NativeModule,
+    deserialize_native,
+    serialize_native,
+)
+
+_CACHE_NAME = "llee-native"
+
+
+@dataclass
+class RunReport:
+    """Everything one LLEE run observed."""
+
+    return_value: object
+    output: str
+    exit_status: int
+    cycles: int
+    native_instructions_executed: int
+    #: Did a valid cached translation exist before this run?
+    cache_hit: bool
+    #: Functions translated online during this run.
+    functions_jitted: int
+    translate_seconds: float
+    run_seconds: float
+
+    @property
+    def translate_run_ratio(self) -> float:
+        if self.run_seconds <= 0:
+            return float("inf")
+        return self.translate_seconds / self.run_seconds
+
+
+class LLEE:
+    """The execution manager for one target processor."""
+
+    def __init__(self, target, storage: Optional[StorageAPI] = None):
+        self.target = target
+        #: Registered via the OS at startup (the paper's
+        #: ``llva.storage.register`` bootstrap); None = no OS support,
+        #: every run translates online (the DAISY/Crusoe situation).
+        self.storage = storage
+
+    # -- the paper's Figure 3 flow -----------------------------------------
+
+    def run_executable(self, object_code: bytes, entry: str = "main",
+                       args: Sequence[object] = (),
+                       executable_timestamp: Optional[float] = None
+                       ) -> RunReport:
+        """Load and execute a virtual executable."""
+        module = read_module(object_code)
+        key = self._cache_key(object_code)
+        native, cache_hit = self._lookup_cache(key, executable_timestamp)
+        if native is None:
+            native = NativeModule(self.target, module.name)
+        jit = FunctionJIT(module, self.target)
+        simulator = MachineSimulator(native, module,
+                                     resolver=jit.translate)
+        simulator.smc_listeners.append(jit.on_smc_replace(native))
+        run_started = time.perf_counter()
+        value, status = simulator.run(entry, args)
+        run_seconds = time.perf_counter() - run_started \
+            - jit.stats.translate_seconds
+        if self.storage is not None and jit.stats.functions_translated:
+            # Write back any code the JIT had to generate.
+            self._store_cache(key, native)
+        return RunReport(
+            return_value=value,
+            output=simulator.output_text(),
+            exit_status=status,
+            cycles=simulator.cycles,
+            native_instructions_executed=simulator.instructions_executed,
+            cache_hit=cache_hit,
+            functions_jitted=jit.stats.functions_translated,
+            translate_seconds=jit.stats.translate_seconds,
+            run_seconds=max(run_seconds, 0.0),
+        )
+
+    def offline_translate(self, object_code: bytes,
+                          optimize_level: int = 0) -> JITStats:
+        """Idle-time translation: populate the cache, execute nothing.
+
+        A nonzero ``optimize_level`` is the paper's *install-time
+        optimization* (Section 4.2, item 2): since the rich code
+        representation is still available at install time, the
+        translator runs its optimizer before generating code for this
+        particular system, and the cache serves the tuned translation
+        on every subsequent launch.
+        """
+        if self.storage is None:
+            raise RuntimeError(
+                "offline translation requires the storage API")
+        module = read_module(object_code)
+        if optimize_level > 0:
+            from repro.transforms.pass_manager import optimize
+
+            optimize(module, level=optimize_level)
+        jit = FunctionJIT(module, self.target)
+        native = jit.translate_all()
+        self._store_cache(self._cache_key(object_code), native)
+        return jit.stats
+
+    def invalidate(self, object_code: bytes) -> None:
+        """Drop any cached translation of this executable."""
+        if self.storage is not None:
+            self.storage.write(_CACHE_NAME,
+                               self._cache_key(object_code), b"",
+                               timestamp=0.0)
+
+    # -- cache plumbing ---------------------------------------------------------
+
+    def _cache_key(self, object_code: bytes) -> str:
+        digest = hashlib.sha256(object_code).hexdigest()[:24]
+        return "{0}-{1}".format(self.target.name, digest)
+
+    def _lookup_cache(self, key: str,
+                      executable_timestamp: Optional[float]):
+        if self.storage is None:
+            return None, False
+        # The storage API is strictly optional; a failing implementation
+        # must degrade to online translation, never break execution
+        # (Section 4.1: "the system will operate correctly in their
+        # absence").
+        try:
+            data = self.storage.read(_CACHE_NAME, key)
+            if not data:
+                return None, False
+            if executable_timestamp is not None:
+                cached_at = self.storage.timestamp(_CACHE_NAME, key)
+                if cached_at is None or cached_at < executable_timestamp:
+                    return None, False  # stale translation
+            native = deserialize_native(data, self.target)
+        except Exception:
+            return None, False
+        return native, True
+
+    def _store_cache(self, key: str, native: NativeModule) -> None:
+        try:
+            self.storage.write(_CACHE_NAME, key,
+                               serialize_native(native))
+        except Exception:
+            pass  # cache write-back is best-effort

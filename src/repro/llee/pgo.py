@@ -1,0 +1,107 @@
+"""Idle-time profile-guided optimization (Section 4.2, item 4).
+
+"The rich information in LLVA also enables 'idle-time' profile-guided
+optimization using the translator's optimization and code generation
+capabilities ... using profile information gathered from executions on
+an end-user's system."
+
+The pipeline implemented here:
+
+1. inline *hot* call sites (call sites whose containing block executed
+   at least ``hot_calls`` times), regardless of the static size
+   threshold — this is also what produces the cross-procedure traces;
+2. re-run the machine-independent optimizer;
+3. form traces from the profile and lay blocks out in trace order,
+   straightening the hot paths for the translator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.ir import instructions as insts
+from repro.ir.module import Function, Module
+from repro.ir.verifier import verify_module
+from repro.llee.profile import Profile
+from repro.llee.tracecache import SoftwareTraceCache
+from repro.transforms.inline import inline_call
+from repro.transforms.pass_manager import optimize
+
+
+@dataclass
+class PGOReport:
+    hot_calls_inlined: int
+    traces_formed: int
+    trace_coverage: float
+    functions_relaid: int
+
+
+def idle_time_reoptimize(module: Module, profile: Profile,
+                         hot_calls: int = 200,
+                         max_callee_size: int = 400,
+                         hot_threshold: int = 50) -> PGOReport:
+    """Reoptimize *module* in place using *profile*."""
+    inlined = _inline_hot_calls(module, profile, hot_calls,
+                                max_callee_size)
+    # Traces are formed against the *profiled* CFG shape, before the
+    # optimizer merges or renames blocks; the cleanup pipeline afterwards
+    # preserves relative block order, so the straightened layout
+    # survives.
+    cache = SoftwareTraceCache(module, hot_threshold=hot_threshold)
+    traces = cache.form_traces(profile)
+    relaid = cache.apply_layout()
+    optimize(module, level=2)
+    verify_module(module)
+    return PGOReport(
+        hot_calls_inlined=inlined,
+        traces_formed=len(traces),
+        trace_coverage=cache.coverage(profile),
+        functions_relaid=relaid,
+    )
+
+
+def _inline_hot_calls(module: Module, profile: Profile,
+                      hot_calls: int, max_callee_size: int) -> int:
+    inlined = 0
+    for function in list(module.functions.values()):
+        if function.is_declaration:
+            continue
+        sites: List[insts.CallInst] = []
+        for block in function.blocks:
+            block_heat = profile.block_count(function.name,
+                                             block.name or "")
+            if block_heat < hot_calls:
+                continue
+            for inst in block.instructions:
+                if isinstance(inst, insts.CallInst) \
+                        and isinstance(inst.callee, Function) \
+                        and _inlinable(function, inst.callee,
+                                       max_callee_size):
+                    sites.append(inst)
+        for call in sites:
+            if call.parent is None:
+                continue
+            inline_call(call, call.callee)
+            inlined += 1
+    return inlined
+
+
+def _inlinable(caller: Function, callee: Function,
+               max_callee_size: int) -> bool:
+    if callee.is_declaration or callee.is_intrinsic:
+        return False
+    if callee is caller:
+        return False
+    if callee.function_type.vararg:
+        return False
+    if callee.num_instructions() > max_callee_size:
+        return False
+    for inst in callee.instructions():
+        if isinstance(inst, insts.UnwindInst):
+            return False
+        # Direct recursion in the callee would duplicate unboundedly.
+        if isinstance(inst, (insts.CallInst, insts.InvokeInst)) \
+                and inst.callee is callee:
+            return False
+    return True

@@ -1,0 +1,147 @@
+"""The OS-independent storage API (Section 4.1).
+
+"The V-ABI defines a standard, OS-independent storage API with a set of
+routines that enables LLEE to read, write, and validate data in offline
+storage ... the basic storage API includes routines to create, delete,
+and query the size of an offline cache, read or write a vector of N
+bytes tagged by a unique string name from/to a cache, and check a
+timestamp on an LLVA program or on a cached vector."
+
+Implementations are *strictly optional*: "they are strictly optional and
+the system will operate correctly in their absence" — LLEE falls back to
+pure online translation when constructed without one.
+
+Two implementations are provided, mirroring the paper's user-level
+prototype: an in-memory store (tests, and the "no OS support" baseline
+for cache-behaviour experiments) and a POSIX-directory store.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional, Tuple
+
+
+class StorageAPI:
+    """Abstract OS-provided offline storage."""
+
+    def create_cache(self, cache: str) -> None:
+        raise NotImplementedError
+
+    def delete_cache(self, cache: str) -> None:
+        raise NotImplementedError
+
+    def cache_size(self, cache: str) -> int:
+        """Total bytes stored under *cache* (0 if absent)."""
+        raise NotImplementedError
+
+    def read(self, cache: str, name: str) -> Optional[bytes]:
+        """Read the vector tagged *name*, or None."""
+        raise NotImplementedError
+
+    def write(self, cache: str, name: str, data: bytes,
+              timestamp: Optional[float] = None) -> None:
+        """Write a vector (creating the cache if needed)."""
+        raise NotImplementedError
+
+    def timestamp(self, cache: str, name: str) -> Optional[float]:
+        """The stored vector's timestamp, or None."""
+        raise NotImplementedError
+
+
+class InMemoryStorage(StorageAPI):
+    """Volatile storage — behaves like the paper's DAISY/Crusoe scenario
+    when discarded between 'boots', and like an OS cache when kept."""
+
+    def __init__(self):
+        self._caches: Dict[str, Dict[str, Tuple[bytes, float]]] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def create_cache(self, cache: str) -> None:
+        self._caches.setdefault(cache, {})
+
+    def delete_cache(self, cache: str) -> None:
+        self._caches.pop(cache, None)
+
+    def cache_size(self, cache: str) -> int:
+        entries = self._caches.get(cache, {})
+        return sum(len(data) for data, _ts in entries.values())
+
+    def read(self, cache: str, name: str) -> Optional[bytes]:
+        self.reads += 1
+        entry = self._caches.get(cache, {}).get(name)
+        return entry[0] if entry is not None else None
+
+    def write(self, cache: str, name: str, data: bytes,
+              timestamp: Optional[float] = None) -> None:
+        self.writes += 1
+        self.create_cache(cache)
+        self._caches[cache][name] = (
+            bytes(data), timestamp if timestamp is not None
+            else time.time())
+
+    def timestamp(self, cache: str, name: str) -> Optional[float]:
+        entry = self._caches.get(cache, {}).get(name)
+        return entry[1] if entry is not None else None
+
+
+class DiskStorage(StorageAPI):
+    """POSIX-directory-backed storage, like the paper's user-level LLEE
+    ("executes the cached native translations from the disk, using a
+    user-level version of our storage API")."""
+
+    def __init__(self, root: str):
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+
+    def _cache_dir(self, cache: str) -> str:
+        return os.path.join(self.root, _sanitize(cache))
+
+    def _entry_path(self, cache: str, name: str) -> str:
+        return os.path.join(self._cache_dir(cache), _sanitize(name))
+
+    def create_cache(self, cache: str) -> None:
+        os.makedirs(self._cache_dir(cache), exist_ok=True)
+
+    def delete_cache(self, cache: str) -> None:
+        directory = self._cache_dir(cache)
+        if not os.path.isdir(directory):
+            return
+        for entry in os.listdir(directory):
+            os.unlink(os.path.join(directory, entry))
+        os.rmdir(directory)
+
+    def cache_size(self, cache: str) -> int:
+        directory = self._cache_dir(cache)
+        if not os.path.isdir(directory):
+            return 0
+        return sum(os.path.getsize(os.path.join(directory, entry))
+                   for entry in os.listdir(directory))
+
+    def read(self, cache: str, name: str) -> Optional[bytes]:
+        path = self._entry_path(cache, name)
+        if not os.path.isfile(path):
+            return None
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def write(self, cache: str, name: str, data: bytes,
+              timestamp: Optional[float] = None) -> None:
+        self.create_cache(cache)
+        path = self._entry_path(cache, name)
+        with open(path, "wb") as handle:
+            handle.write(data)
+        if timestamp is not None:
+            os.utime(path, (timestamp, timestamp))
+
+    def timestamp(self, cache: str, name: str) -> Optional[float]:
+        path = self._entry_path(cache, name)
+        if not os.path.isfile(path):
+            return None
+        return os.path.getmtime(path)
+
+
+def _sanitize(name: str) -> str:
+    return "".join(c if c.isalnum() or c in "._-" else "_" for c in name)

@@ -1,0 +1,11 @@
+"""MiniC: a from-scratch C-subset front-end emitting LLVA.
+
+Stands in for the paper's GCC-based C front-end; used to author the
+Table 2 workloads and the examples.
+"""
+
+from repro.minic.driver import compile_source
+from repro.minic.lexer import MiniCSyntaxError
+from repro.minic.sema import MiniCTypeError
+
+__all__ = ["compile_source", "MiniCSyntaxError", "MiniCTypeError"]

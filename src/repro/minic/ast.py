@@ -1,0 +1,226 @@
+"""MiniC abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class TypeName:
+    """A syntactic type: base name + pointer depth + array dims."""
+
+    base: str                       # 'int', 'double', 'struct Foo', ...
+    pointer_depth: int = 0
+    array_dims: Tuple[int, ...] = ()
+    line: int = 0
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass
+class IntLiteral(Node):
+    value: int = 0
+    suffix: str = ""
+
+
+@dataclass
+class FloatLiteral(Node):
+    value: float = 0.0
+    is_single: bool = False
+
+
+@dataclass
+class CharLiteral(Node):
+    value: str = "\0"
+
+
+@dataclass
+class StringLiteral(Node):
+    value: str = ""
+
+
+@dataclass
+class BoolLiteral(Node):
+    value: bool = False
+
+
+@dataclass
+class NullLiteral(Node):
+    pass
+
+
+@dataclass
+class Identifier(Node):
+    name: str = ""
+
+
+@dataclass
+class Unary(Node):
+    op: str = ""
+    operand: Node = None
+
+
+@dataclass
+class Binary(Node):
+    op: str = ""
+    lhs: Node = None
+    rhs: Node = None
+
+
+@dataclass
+class Assign(Node):
+    op: str = "="           # '=', '+=', ...
+    target: Node = None
+    value: Node = None
+
+
+@dataclass
+class Conditional(Node):
+    condition: Node = None
+    if_true: Node = None
+    if_false: Node = None
+
+
+@dataclass
+class Call(Node):
+    name: str = ""
+    args: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class Index(Node):
+    base: Node = None
+    index: Node = None
+
+
+@dataclass
+class Member(Node):
+    base: Node = None
+    name: str = ""
+    arrow: bool = False
+
+
+@dataclass
+class CastExpr(Node):
+    type_name: TypeName = None
+    operand: Node = None
+
+
+@dataclass
+class SizeofExpr(Node):
+    type_name: TypeName = None
+
+
+@dataclass
+class InitializerList(Node):
+    elements: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class IncDec(Node):
+    op: str = "++"
+    target: Node = None
+    prefix: bool = True
+
+
+# -- statements -----------------------------------------------------------------
+
+@dataclass
+class Block(Node):
+    statements: List[Node] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Node):
+    type_name: TypeName = None
+    name: str = ""
+    init: Optional[Node] = None
+
+
+@dataclass
+class ExprStmt(Node):
+    expr: Node = None
+
+
+@dataclass
+class If(Node):
+    condition: Node = None
+    then_body: Node = None
+    else_body: Optional[Node] = None
+
+
+@dataclass
+class While(Node):
+    condition: Node = None
+    body: Node = None
+    is_do_while: bool = False
+
+
+@dataclass
+class For(Node):
+    init: Optional[Node] = None
+    condition: Optional[Node] = None
+    step: Optional[Node] = None
+    body: Node = None
+
+
+@dataclass
+class Return(Node):
+    value: Optional[Node] = None
+
+
+@dataclass
+class Break(Node):
+    pass
+
+
+@dataclass
+class Continue(Node):
+    pass
+
+
+@dataclass
+class Switch(Node):
+    selector: Node = None
+    cases: List[Tuple[Optional[int], List[Node]]] = \
+        field(default_factory=list)  # (value, stmts); None = default
+
+
+# -- declarations ----------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    type_name: TypeName = None
+    name: str = ""
+
+
+@dataclass
+class FunctionDecl(Node):
+    return_type: TypeName = None
+    name: str = ""
+    params: List[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+
+
+@dataclass
+class StructDecl(Node):
+    name: str = ""
+    fields: List[Tuple[TypeName, str]] = field(default_factory=list)
+
+
+@dataclass
+class GlobalDecl(Node):
+    type_name: TypeName = None
+    name: str = ""
+    init: Optional[Node] = None
+
+
+@dataclass
+class Program(Node):
+    declarations: List[Node] = field(default_factory=list)

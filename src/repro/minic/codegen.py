@@ -1,0 +1,969 @@
+"""MiniC → LLVA code generation.
+
+Emits exactly the patterns the paper attributes to its C front-end:
+an ``alloca`` per local variable accessed through loads and stores
+(mem2reg recovers SSA), ``getelementptr`` for every array/struct access,
+explicit casts for every conversion (LLVA has no implicit coercion),
+short-circuit control flow for ``&&``/``||``, and ordinary calls for
+``malloc``/``free``/output routines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.execution.runtime import RUNTIME_SIGNATURES
+from repro.ir import types, values
+from repro.ir.builder import IRBuilder
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Value, const_bool, const_fp, const_int, \
+    const_null, const_zero
+from repro.minic import ast
+from repro.minic.sema import (
+    MiniCTypeError,
+    TypeContext,
+    arithmetic_result_type,
+)
+
+_CMP_OPS = {"==": "eq", "!=": "ne", "<": "lt", ">": "gt",
+            "<=": "le", ">=": "ge"}
+_ARITH_OPS = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+              "&": "and", "|": "or", "^": "xor"}
+
+
+class CodeGenerator:
+    """Compiles one MiniC program into a fresh LLVA module."""
+
+    def __init__(self, module_name: str = "minic",
+                 pointer_size: int = 8, endianness: str = "little"):
+        self.module = Module(module_name, pointer_size, endianness)
+        self.context = TypeContext()
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, Tuple[Value, types.Type]] = {}
+        self._string_counter = 0
+
+    # ------------------------------------------------------------------
+    # Program structure
+    # ------------------------------------------------------------------
+
+    def generate(self, program: ast.Program) -> Module:
+        bodies: List[ast.FunctionDecl] = []
+        for decl in program.declarations:
+            if isinstance(decl, ast.StructDecl):
+                info = self.context.declare_struct(decl)
+                self.module.named_types.setdefault(
+                    info.llva_type.name, info.llva_type)
+            elif isinstance(decl, ast.GlobalDecl):
+                self._emit_global(decl)
+            elif isinstance(decl, ast.FunctionDecl):
+                self._declare_function(decl)
+                if decl.body is not None:
+                    bodies.append(decl)
+            else:
+                raise MiniCTypeError("bad top-level declaration",
+                                     decl.line)
+        for decl in bodies:
+            _FunctionEmitter(self, decl).emit()
+        return self.module
+
+    def _emit_global(self, decl: ast.GlobalDecl) -> None:
+        _infer_array_length(decl.type_name, decl.init)
+        value_type = self.context.resolve(decl.type_name)
+        if decl.init is not None:
+            initializer = self._constant_initializer(decl.init,
+                                                     value_type)
+        else:
+            initializer = const_zero(value_type)
+        variable = self.module.create_global(decl.name, value_type,
+                                             initializer)
+        self.globals[decl.name] = (variable, value_type)
+
+    def _constant_initializer(self, node: ast.Node,
+                              value_type: types.Type):
+        if isinstance(node, ast.InitializerList):
+            return self._aggregate_initializer(node, value_type)
+        if isinstance(node, ast.IntLiteral):
+            if value_type.is_floating_point:
+                return const_fp(value_type, float(node.value))
+            if value_type.is_integer:
+                return const_int(value_type,
+                                 value_type.wrap(node.value))
+        if isinstance(node, ast.FloatLiteral) \
+                and value_type.is_floating_point:
+            return const_fp(value_type, node.value)
+        if isinstance(node, ast.BoolLiteral) and value_type.is_bool:
+            return const_bool(node.value)
+        if isinstance(node, ast.NullLiteral) and value_type.is_pointer:
+            return const_null(value_type)
+        if isinstance(node, ast.Unary) and node.op == "-":
+            inner = self._constant_initializer(node.operand, value_type)
+            if isinstance(inner, values.ConstantInt):
+                return const_int(value_type,
+                                 value_type.wrap(-inner.value))
+            if isinstance(inner, values.ConstantFP):
+                return const_fp(value_type, -inner.value)
+        if isinstance(node, ast.Binary) and value_type.is_integer:
+            lhs = self._constant_initializer(node.lhs, value_type)
+            rhs = self._constant_initializer(node.rhs, value_type)
+            if isinstance(lhs, values.ConstantInt) \
+                    and isinstance(rhs, values.ConstantInt):
+                folded = _fold_int_init(node.op, lhs.value, rhs.value,
+                                        node.line)
+                return const_int(value_type, value_type.wrap(folded))
+        raise MiniCTypeError("unsupported global initializer", node.line)
+
+    def _aggregate_initializer(self, node: ast.InitializerList,
+                               value_type: types.Type):
+        """Brace initializer: arrays (padded with zeros, as in C) and
+        structs (one element per field)."""
+        if value_type.is_array:
+            if len(node.elements) > value_type.length:
+                raise MiniCTypeError(
+                    "too many initializers for array of {0}"
+                    .format(value_type.length), node.line)
+            elements = [
+                self._constant_initializer(element, value_type.element)
+                for element in node.elements
+            ]
+            while len(elements) < value_type.length:
+                elements.append(const_zero(value_type.element))
+            return values.ConstantArray(value_type.element, elements)
+        if value_type.is_struct:
+            if len(node.elements) != len(value_type.fields):
+                raise MiniCTypeError(
+                    "struct initializer must cover every field",
+                    node.line)
+            elements = [
+                self._constant_initializer(element, field)
+                for element, field in zip(node.elements,
+                                          value_type.fields)
+            ]
+            return values.ConstantStruct(value_type, elements)
+        raise MiniCTypeError(
+            "brace initializer for non-aggregate type", node.line)
+
+    def _declare_function(self, decl: ast.FunctionDecl) -> Function:
+        existing = self.functions.get(decl.name)
+        return_type = self.context.resolve(decl.return_type)
+        param_types = [self.context.resolve(p.type_name)
+                       for p in decl.params]
+        # Array parameters decay to pointers, as in C.
+        param_types = [
+            types.pointer_to(p.element) if p.is_array else p
+            for p in param_types
+        ]
+        fn_type = types.function_of(return_type, param_types)
+        if existing is not None:
+            if existing.function_type is not fn_type:
+                raise MiniCTypeError(
+                    "conflicting declarations of {0}".format(decl.name),
+                    decl.line)
+            return existing
+        function = self.module.create_function(
+            decl.name, fn_type, [p.name for p in decl.params])
+        self.functions[decl.name] = function
+        return function
+
+    def runtime_function(self, name: str) -> Function:
+        signature = RUNTIME_SIGNATURES[name]
+        function = self.module.get_or_declare_function(name, signature)
+        self.functions.setdefault(name, function)
+        return function
+
+    def intern_string(self, text: str) -> Value:
+        constant = values.make_string_constant(text.encode("latin-1"))
+        name = ".str{0}".format(self._string_counter)
+        self._string_counter += 1
+        variable = self.module.create_global(
+            name, constant.type, constant, is_constant=True,
+            internal=True)
+        return variable
+
+
+class _LoopContext:
+    def __init__(self, break_block: BasicBlock,
+                 continue_block: BasicBlock):
+        self.break_block = break_block
+        self.continue_block = continue_block
+
+
+class _FunctionEmitter:
+    """Emits the body of one function."""
+
+    def __init__(self, generator: CodeGenerator,
+                 decl: ast.FunctionDecl):
+        self.gen = generator
+        self.decl = decl
+        self.function = generator.functions[decl.name]
+        self.builder = IRBuilder()
+        self.scopes: List[Dict[str, Tuple[Value, types.Type]]] = []
+        self.loops: List[_LoopContext] = []
+        self._block_counter = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def module(self) -> Module:
+        return self.gen.module
+
+    @property
+    def context(self) -> TypeContext:
+        return self.gen.context
+
+    def new_block(self, stem: str) -> BasicBlock:
+        self._block_counter += 1
+        return self.function.add_block(
+            "{0}{1}".format(stem, self._block_counter))
+
+    def terminated(self) -> bool:
+        return self.builder.block.has_terminator()
+
+    def lookup(self, name: str, line: int) -> Tuple[Value, types.Type]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        if name in self.gen.globals:
+            return self.gen.globals[name]
+        raise MiniCTypeError("undefined variable {0!r}".format(name),
+                             line)
+
+    # -- entry ------------------------------------------------------------------
+
+    def emit(self) -> None:
+        entry = self.function.add_block("entry")
+        self.builder.set_block(entry)
+        self.scopes.append({})
+        # Spill parameters into allocas so they are ordinary lvalues.
+        for param, arg in zip(self.decl.params, self.function.args):
+            slot = self.builder.alloca(arg.type, name=param.name + ".addr")
+            self.builder.store(arg, slot)
+            self.scopes[-1][param.name] = (slot, arg.type)
+        self.emit_block(self.decl.body)
+        # Implicit return at the end of the function.
+        for block in self.function.blocks:
+            if not block.has_terminator():
+                self.builder.set_block(block)
+                return_type = self.function.return_type
+                if return_type.is_void:
+                    self.builder.ret()
+                else:
+                    self.builder.ret(const_zero(return_type))
+        self.scopes.pop()
+
+    # -- statements -----------------------------------------------------------------
+
+    def emit_block(self, block: ast.Block) -> None:
+        self.scopes.append({})
+        for statement in block.statements:
+            if self.terminated():
+                break  # unreachable code is dropped, like a compiler
+            self.emit_statement(statement)
+        self.scopes.pop()
+
+    def emit_statement(self, node: ast.Node) -> None:
+        if isinstance(node, ast.Block):
+            self.emit_block(node)
+        elif isinstance(node, ast.VarDecl):
+            self._emit_var_decl(node)
+        elif isinstance(node, ast.ExprStmt):
+            self.emit_expr(node.expr)
+        elif isinstance(node, ast.If):
+            self._emit_if(node)
+        elif isinstance(node, ast.While):
+            self._emit_while(node)
+        elif isinstance(node, ast.For):
+            self._emit_for(node)
+        elif isinstance(node, ast.Return):
+            self._emit_return(node)
+        elif isinstance(node, ast.Break):
+            if not self.loops:
+                raise MiniCTypeError("break outside loop", node.line)
+            self.builder.br(self.loops[-1].break_block)
+        elif isinstance(node, ast.Continue):
+            if not self.loops:
+                raise MiniCTypeError("continue outside loop", node.line)
+            self.builder.br(self.loops[-1].continue_block)
+        elif isinstance(node, ast.Switch):
+            self._emit_switch(node)
+        else:
+            raise MiniCTypeError("bad statement", node.line)
+
+    def _emit_var_decl(self, node: ast.VarDecl) -> None:
+        _infer_array_length(node.type_name, node.init)
+        value_type = self.context.resolve(node.type_name)
+        slot = self.builder.alloca(value_type, name=node.name)
+        self.scopes[-1][node.name] = (slot, value_type)
+        if isinstance(node.init, ast.InitializerList):
+            self._store_initializer_list(slot, value_type, node.init)
+        elif node.init is not None:
+            value, actual = self.emit_expr(node.init)
+            converted = self.convert(value, actual, value_type,
+                                     node.line)
+            self.builder.store(converted, slot)
+        # Without an initializer, locals start uninitialized, as in C.
+
+    def _store_initializer_list(self, address: Value,
+                                value_type: types.Type,
+                                node: ast.InitializerList) -> None:
+        """Element-by-element stores for a local brace initializer;
+        unlisted array elements are zeroed, as in C."""
+        if value_type.is_array:
+            if len(node.elements) > value_type.length:
+                raise MiniCTypeError("too many initializers", node.line)
+            for index in range(value_type.length):
+                element_address = self.builder.gep(
+                    address, [const_int(types.LONG, 0),
+                              const_int(types.LONG, index)])
+                if index < len(node.elements):
+                    element = node.elements[index]
+                    if isinstance(element, ast.InitializerList):
+                        self._store_initializer_list(
+                            element_address, value_type.element,
+                            element)
+                        continue
+                    value, actual = self.emit_expr(element)
+                    converted = self.convert(value, actual,
+                                             value_type.element,
+                                             node.line)
+                    self.builder.store(converted, element_address)
+                else:
+                    # C zero-initializes the unwritten tail.
+                    self._zero_fill(element_address,
+                                    value_type.element)
+            return
+        if value_type.is_struct:
+            if len(node.elements) != len(value_type.fields):
+                raise MiniCTypeError(
+                    "struct initializer must cover every field",
+                    node.line)
+            for index, (element, field) in enumerate(
+                    zip(node.elements, value_type.fields)):
+                field_address = self.builder.gep(
+                    address, [const_int(types.LONG, 0),
+                              const_int(types.UBYTE, index)])
+                if isinstance(element, ast.InitializerList):
+                    self._store_initializer_list(field_address, field,
+                                                 element)
+                    continue
+                value, actual = self.emit_expr(element)
+                converted = self.convert(value, actual, field,
+                                         node.line)
+                self.builder.store(converted, field_address)
+            return
+        raise MiniCTypeError(
+            "brace initializer for non-aggregate type", node.line)
+
+    def _zero_fill(self, address: Value, value_type: types.Type) -> None:
+        if value_type.is_scalar:
+            self.builder.store(const_zero(value_type), address)
+            return
+        if value_type.is_array:
+            for index in range(value_type.length):
+                element_address = self.builder.gep(
+                    address, [const_int(types.LONG, 0),
+                              const_int(types.LONG, index)])
+                self._zero_fill(element_address, value_type.element)
+            return
+        for index, field in enumerate(value_type.fields):
+            field_address = self.builder.gep(
+                address, [const_int(types.LONG, 0),
+                          const_int(types.UBYTE, index)])
+            self._zero_fill(field_address, field)
+
+    def _emit_if(self, node: ast.If) -> None:
+        condition = self.emit_condition(node.condition)
+        then_block = self.new_block("if.then")
+        merge_block = self.new_block("if.end")
+        else_block = merge_block
+        if node.else_body is not None:
+            else_block = self.new_block("if.else")
+        self.builder.cond_br(condition, then_block, else_block)
+        self.builder.set_block(then_block)
+        self.emit_statement(node.then_body)
+        if not self.terminated():
+            self.builder.br(merge_block)
+        if node.else_body is not None:
+            self.builder.set_block(else_block)
+            self.emit_statement(node.else_body)
+            if not self.terminated():
+                self.builder.br(merge_block)
+        self.builder.set_block(merge_block)
+
+    def _emit_while(self, node: ast.While) -> None:
+        header = self.new_block("while.cond")
+        body_block = self.new_block("while.body")
+        exit_block = self.new_block("while.end")
+        self.builder.br(body_block if node.is_do_while else header)
+        self.builder.set_block(header)
+        condition = self.emit_condition(node.condition)
+        self.builder.cond_br(condition, body_block, exit_block)
+        self.builder.set_block(body_block)
+        self.loops.append(_LoopContext(exit_block, header))
+        self.emit_statement(node.body)
+        self.loops.pop()
+        if not self.terminated():
+            self.builder.br(header)
+        self.builder.set_block(exit_block)
+
+    def _emit_for(self, node: ast.For) -> None:
+        self.scopes.append({})
+        if node.init is not None:
+            self.emit_statement(node.init)
+        header = self.new_block("for.cond")
+        body_block = self.new_block("for.body")
+        step_block = self.new_block("for.step")
+        exit_block = self.new_block("for.end")
+        self.builder.br(header)
+        self.builder.set_block(header)
+        if node.condition is not None:
+            condition = self.emit_condition(node.condition)
+            self.builder.cond_br(condition, body_block, exit_block)
+        else:
+            self.builder.br(body_block)
+        self.builder.set_block(body_block)
+        self.loops.append(_LoopContext(exit_block, step_block))
+        self.emit_statement(node.body)
+        self.loops.pop()
+        if not self.terminated():
+            self.builder.br(step_block)
+        self.builder.set_block(step_block)
+        if node.step is not None:
+            self.emit_expr(node.step)
+        self.builder.br(header)
+        self.builder.set_block(exit_block)
+        self.scopes.pop()
+
+    def _emit_return(self, node: ast.Return) -> None:
+        return_type = self.function.return_type
+        if return_type.is_void:
+            if node.value is not None:
+                raise MiniCTypeError("return with value in void function",
+                                     node.line)
+            self.builder.ret()
+            return
+        if node.value is None:
+            raise MiniCTypeError("return without value", node.line)
+        value, actual = self.emit_expr(node.value)
+        self.builder.ret(self.convert(value, actual, return_type,
+                                      node.line))
+
+    def _emit_switch(self, node: ast.Switch) -> None:
+        selector, selector_type = self.emit_expr(node.selector)
+        selector = self.convert(selector, selector_type, types.INT,
+                                node.line)
+        exit_block = self.new_block("switch.end")
+        case_blocks: List[BasicBlock] = [
+            self.new_block("switch.case") for _ in node.cases]
+        default_block = exit_block
+        mbr_cases = []
+        for (case_value, _stmts), block in zip(node.cases, case_blocks):
+            if case_value is None:
+                default_block = block
+            else:
+                mbr_cases.append(
+                    (const_int(types.INT, case_value), block))
+        self.builder.mbr(selector, default_block, mbr_cases)
+        # `break` exits the switch; `continue` still targets the
+        # enclosing loop (or is an error outside one).
+        enclosing_continue = self.loops[-1].continue_block \
+            if self.loops else exit_block
+        self.loops.append(_LoopContext(exit_block, enclosing_continue))
+        for index, ((_value, statements), block) in enumerate(
+                zip(node.cases, case_blocks)):
+            self.builder.set_block(block)
+            for statement in statements:
+                if self.terminated():
+                    break
+                self.emit_statement(statement)
+            if not self.terminated():
+                # C fallthrough into the next case body.
+                next_block = case_blocks[index + 1] \
+                    if index + 1 < len(case_blocks) else exit_block
+                self.builder.br(next_block)
+        self.loops.pop()
+        self.builder.set_block(exit_block)
+
+    # -- conversions --------------------------------------------------------------------
+
+    def convert(self, value: Value, actual: types.Type,
+                wanted: types.Type, line: int) -> Value:
+        if actual is wanted:
+            return value
+        if actual.is_array and wanted.is_pointer \
+                and actual.element is wanted.pointee:
+            raise MiniCTypeError("array rvalue cannot convert", line)
+        if not (actual.is_scalar and wanted.is_scalar):
+            raise MiniCTypeError(
+                "cannot convert {0} to {1}".format(actual, wanted), line)
+        if actual.is_floating_point and wanted.is_pointer \
+                or actual.is_pointer and wanted.is_floating_point:
+            raise MiniCTypeError(
+                "cannot convert {0} to {1}".format(actual, wanted), line)
+        return self.builder.cast(value, wanted)
+
+    def to_bool(self, value: Value, actual: types.Type,
+                line: int) -> Value:
+        if actual.is_bool:
+            return value
+        if actual.is_integer:
+            return self.builder.setne(value, const_int(actual, 0))
+        if actual.is_pointer:
+            return self.builder.setne(value, const_null(actual))
+        if actual.is_floating_point:
+            return self.builder.setne(value, const_fp(actual, 0.0))
+        raise MiniCTypeError("value is not testable", line)
+
+    def emit_condition(self, node: ast.Node) -> Value:
+        value, actual = self.emit_expr(node)
+        return self.to_bool(value, actual, node.line)
+
+    # -- lvalues --------------------------------------------------------------------------
+
+    def emit_lvalue(self, node: ast.Node) -> Tuple[Value, types.Type]:
+        """Returns (address, value type at that address)."""
+        if isinstance(node, ast.Identifier):
+            slot, value_type = self.lookup(node.name, node.line)
+            return slot, value_type
+        if isinstance(node, ast.Unary) and node.op == "*":
+            pointer, pointer_type = self.emit_expr(node.operand)
+            if not pointer_type.is_pointer:
+                raise MiniCTypeError("dereference of non-pointer",
+                                     node.line)
+            return pointer, pointer_type.pointee
+        if isinstance(node, ast.Index):
+            return self._emit_index_address(node)
+        if isinstance(node, ast.Member):
+            return self._emit_member_address(node)
+        raise MiniCTypeError("expression is not assignable", node.line)
+
+    def _emit_index_address(self, node: ast.Index
+                            ) -> Tuple[Value, types.Type]:
+        index_value, index_type = self.emit_expr(node.index)
+        index_long = self.convert(index_value, index_type, types.LONG,
+                                  node.line)
+        base = node.base
+        # Array lvalue: gep through the array type.
+        if self._is_array_lvalue(base):
+            address, array_type = self.emit_lvalue(base)
+            return (self.builder.gep(address,
+                                     [const_int(types.LONG, 0),
+                                      index_long]),
+                    array_type.element)
+        pointer, pointer_type = self.emit_expr(base)
+        if not pointer_type.is_pointer:
+            raise MiniCTypeError("indexing a non-pointer", node.line)
+        return (self.builder.gep(pointer, [index_long]),
+                pointer_type.pointee)
+
+    def _is_array_lvalue(self, node: ast.Node) -> bool:
+        """Named arrays index through the canonical two-index gep form
+        (Figure 2 style); everything else decays to a pointer first,
+        which is equally correct."""
+        if isinstance(node, ast.Identifier):
+            try:
+                _slot, value_type = self.lookup(node.name, node.line)
+            except MiniCTypeError:
+                return False
+            return value_type.is_array
+        return False
+
+    def _emit_member_address(self, node: ast.Member
+                             ) -> Tuple[Value, types.Type]:
+        if node.arrow:
+            pointer, pointer_type = self.emit_expr(node.base)
+            if not pointer_type.is_pointer \
+                    or not pointer_type.pointee.is_struct:
+                raise MiniCTypeError("-> on non-struct-pointer",
+                                     node.line)
+            struct_type = pointer_type.pointee
+            base_address = pointer
+        else:
+            base_address, struct_type = self.emit_lvalue(node.base)
+            if not struct_type.is_struct:
+                raise MiniCTypeError(". on non-struct", node.line)
+        info = self.context.struct_info_for(struct_type, node.line)
+        index, field_type = info.field(node.name, node.line)
+        address = self.builder.gep(
+            base_address,
+            [const_int(types.LONG, 0), const_int(types.UBYTE, index)])
+        return address, field_type
+
+    # -- expressions ------------------------------------------------------------------------
+
+    def emit_expr(self, node: ast.Node) -> Tuple[Value, types.Type]:
+        method = getattr(self, "_expr_" + type(node).__name__, None)
+        if method is None:
+            raise MiniCTypeError(
+                "bad expression {0}".format(type(node).__name__),
+                node.line)
+        return method(node)
+
+    # Literals ------------------------------------------------------------
+
+    def _expr_IntLiteral(self, node: ast.IntLiteral):
+        if "u" in node.suffix and "l" in node.suffix:
+            type_ = types.ULONG
+        elif "l" in node.suffix:
+            type_ = types.LONG
+        elif "u" in node.suffix:
+            type_ = types.UINT
+        elif node.value > types.INT.max_value:
+            type_ = types.LONG
+        else:
+            type_ = types.INT
+        return const_int(type_, type_.wrap(node.value)), type_
+
+    def _expr_FloatLiteral(self, node: ast.FloatLiteral):
+        type_ = types.FLOAT if node.is_single else types.DOUBLE
+        return const_fp(type_, node.value), type_
+
+    def _expr_CharLiteral(self, node: ast.CharLiteral):
+        return const_int(types.SBYTE,
+                         types.SBYTE.wrap(ord(node.value))), types.SBYTE
+
+    def _expr_BoolLiteral(self, node: ast.BoolLiteral):
+        return const_bool(node.value), types.BOOL
+
+    def _expr_NullLiteral(self, node: ast.NullLiteral):
+        pointer_type = types.pointer_to(types.SBYTE)
+        return const_null(pointer_type), pointer_type
+
+    def _expr_StringLiteral(self, node: ast.StringLiteral):
+        variable = self.gen.intern_string(node.value)
+        pointer = self.builder.gep(
+            variable, [const_int(types.LONG, 0), const_int(types.LONG, 0)])
+        return pointer, types.pointer_to(types.SBYTE)
+
+    # Identifiers and loads -------------------------------------------------
+
+    def _expr_Identifier(self, node: ast.Identifier):
+        # Section 3.2 V-ABI flags: properties the source compiler "can
+        # expose to the source program (currently, these are pointer
+        # size and endianness)" — compile-time constants from the
+        # module's target configuration.
+        if node.name == "__pointer_size":
+            return (const_int(types.INT, self.module.pointer_size),
+                    types.INT)
+        if node.name == "__big_endian":
+            return (const_bool(self.module.endianness == "big"),
+                    types.BOOL)
+        slot, value_type = self.lookup(node.name, node.line)
+        if value_type.is_array:
+            # Array-to-pointer decay.
+            pointer = self.builder.gep(
+                slot, [const_int(types.LONG, 0),
+                       const_int(types.LONG, 0)])
+            return pointer, types.pointer_to(value_type.element)
+        if value_type.is_struct:
+            raise MiniCTypeError(
+                "struct rvalues are not supported; use pointers",
+                node.line)
+        return self.builder.load(slot), value_type
+
+    def _load_from(self, address: Value, value_type: types.Type,
+                   line: int):
+        if value_type.is_array:
+            pointer = self.builder.gep(
+                address, [const_int(types.LONG, 0),
+                          const_int(types.LONG, 0)])
+            return pointer, types.pointer_to(value_type.element)
+        if value_type.is_struct:
+            raise MiniCTypeError(
+                "struct rvalues are not supported; use pointers", line)
+        return self.builder.load(address), value_type
+
+    def _expr_Index(self, node: ast.Index):
+        address, value_type = self._emit_index_address(node)
+        return self._load_from(address, value_type, node.line)
+
+    def _expr_Member(self, node: ast.Member):
+        address, value_type = self._emit_member_address(node)
+        return self._load_from(address, value_type, node.line)
+
+    # Unary -------------------------------------------------------------------
+
+    def _expr_Unary(self, node: ast.Unary):
+        op = node.op
+        if op == "&":
+            address, value_type = self.emit_lvalue(node.operand)
+            return address, types.pointer_to(value_type)
+        if op == "*":
+            address, value_type = self.emit_lvalue(node)
+            return self._load_from(address, value_type, node.line)
+        value, value_type = self.emit_expr(node.operand)
+        if op == "-":
+            if value_type.is_floating_point:
+                zero = const_fp(value_type, 0.0)
+            elif value_type.is_integer:
+                zero = const_int(value_type, 0)
+            else:
+                raise MiniCTypeError("bad operand to unary -", node.line)
+            return self.builder.sub(zero, value), value_type
+        if op == "!":
+            as_bool = self.to_bool(value, value_type, node.line)
+            return self.builder.xor(as_bool, const_bool(True)), types.BOOL
+        if op == "~":
+            if not value_type.is_integer:
+                raise MiniCTypeError("bad operand to ~", node.line)
+            all_ones = const_int(value_type, value_type.wrap(-1))
+            return self.builder.xor(value, all_ones), value_type
+        raise MiniCTypeError("bad unary operator", node.line)
+
+    # Binary -------------------------------------------------------------------
+
+    def _expr_Binary(self, node: ast.Binary):
+        op = node.op
+        if op in ("&&", "||"):
+            return self._emit_short_circuit(node)
+        lhs, lhs_type = self.emit_expr(node.lhs)
+        rhs, rhs_type = self.emit_expr(node.rhs)
+        if op in _CMP_OPS:
+            return self._emit_comparison(node, lhs, lhs_type, rhs,
+                                         rhs_type)
+        if op in ("<<", ">>"):
+            if not lhs_type.is_integer or not rhs_type.is_integer:
+                raise MiniCTypeError("bad shift operands", node.line)
+            amount = self.convert(rhs, rhs_type, types.UBYTE, node.line)
+            opcode = "shl" if op == "<<" else "shr"
+            return self.builder.binary(opcode, lhs, amount), lhs_type
+        # Pointer arithmetic.
+        if lhs_type.is_pointer or rhs_type.is_pointer:
+            return self._emit_pointer_arith(node, lhs, lhs_type, rhs,
+                                            rhs_type)
+        result_type = arithmetic_result_type(lhs_type, rhs_type,
+                                             node.line)
+        if op in ("&", "|", "^") and result_type.is_floating_point:
+            raise MiniCTypeError("bitwise op on floats", node.line)
+        lhs = self.convert(lhs, lhs_type, result_type, node.line)
+        rhs = self.convert(rhs, rhs_type, result_type, node.line)
+        return (self.builder.binary(_ARITH_OPS[op], lhs, rhs),
+                result_type)
+
+    def _emit_comparison(self, node, lhs, lhs_type, rhs, rhs_type):
+        if lhs_type.is_pointer and rhs_type.is_pointer:
+            if lhs_type is not rhs_type:
+                rhs = self.builder.cast(rhs, lhs_type)
+        elif lhs_type.is_pointer or rhs_type.is_pointer:
+            # pointer vs integer (usually a null test)
+            if lhs_type.is_pointer:
+                rhs = self.convert(rhs, rhs_type, lhs_type, node.line)
+            else:
+                lhs = self.convert(lhs, lhs_type, rhs_type, node.line)
+        else:
+            common = arithmetic_result_type(lhs_type, rhs_type,
+                                            node.line)
+            lhs = self.convert(lhs, lhs_type, common, node.line)
+            rhs = self.convert(rhs, rhs_type, common, node.line)
+        return (self.builder.compare(_CMP_OPS[node.op], lhs, rhs),
+                types.BOOL)
+
+    def _emit_pointer_arith(self, node, lhs, lhs_type, rhs, rhs_type):
+        op = node.op
+        if op == "+" and lhs_type.is_pointer and rhs_type.is_integer:
+            index = self.convert(rhs, rhs_type, types.LONG, node.line)
+            return self.builder.gep(lhs, [index]), lhs_type
+        if op == "+" and rhs_type.is_pointer and lhs_type.is_integer:
+            index = self.convert(lhs, lhs_type, types.LONG, node.line)
+            return self.builder.gep(rhs, [index]), rhs_type
+        if op == "-" and lhs_type.is_pointer and rhs_type.is_integer:
+            index = self.convert(rhs, rhs_type, types.LONG, node.line)
+            negated = self.builder.sub(const_int(types.LONG, 0), index)
+            return self.builder.gep(lhs, [negated]), lhs_type
+        if op == "-" and lhs_type.is_pointer and rhs_type.is_pointer:
+            left = self.builder.cast(lhs, types.LONG)
+            right = self.builder.cast(rhs, types.LONG)
+            byte_diff = self.builder.sub(left, right)
+            size = self.module.target_data.size_of(lhs_type.pointee)
+            return (self.builder.div(byte_diff,
+                                     const_int(types.LONG, size)),
+                    types.LONG)
+        raise MiniCTypeError("bad pointer arithmetic", node.line)
+
+    def _emit_short_circuit(self, node: ast.Binary):
+        is_and = node.op == "&&"
+        right_block = self.new_block("sc.rhs")
+        merge_block = self.new_block("sc.end")
+        left = self.emit_condition(node.lhs)
+        left_exit = self.builder.block
+        if is_and:
+            self.builder.cond_br(left, right_block, merge_block)
+        else:
+            self.builder.cond_br(left, merge_block, right_block)
+        self.builder.set_block(right_block)
+        right = self.emit_condition(node.rhs)
+        right_exit = self.builder.block
+        self.builder.br(merge_block)
+        self.builder.set_block(merge_block)
+        phi = self.builder.phi(types.BOOL)
+        phi.add_incoming(const_bool(not is_and), left_exit)
+        phi.add_incoming(right, right_exit)
+        return phi, types.BOOL
+
+    def _expr_Conditional(self, node: ast.Conditional):
+        condition = self.emit_condition(node.condition)
+        then_block = self.new_block("sel.then")
+        else_block = self.new_block("sel.else")
+        merge_block = self.new_block("sel.end")
+        self.builder.cond_br(condition, then_block, else_block)
+        self.builder.set_block(then_block)
+        then_value, then_type = self.emit_expr(node.if_true)
+        then_exit = self.builder.block
+        self.builder.set_block(else_block)
+        else_value, else_type = self.emit_expr(node.if_false)
+        else_exit = self.builder.block
+        if then_type is not else_type:
+            common = arithmetic_result_type(then_type, else_type,
+                                            node.line)
+            self.builder.set_block(then_exit)
+            then_value = self.convert(then_value, then_type, common,
+                                      node.line)
+            self.builder.set_block(else_exit)
+            else_value = self.convert(else_value, else_type, common,
+                                      node.line)
+            then_type = common
+        self.builder.set_block(then_exit)
+        self.builder.br(merge_block)
+        self.builder.set_block(else_exit)
+        self.builder.br(merge_block)
+        self.builder.set_block(merge_block)
+        phi = self.builder.phi(then_type)
+        phi.add_incoming(then_value, then_exit)
+        phi.add_incoming(else_value, else_exit)
+        return phi, then_type
+
+    # Assignment -----------------------------------------------------------------
+
+    def _expr_Assign(self, node: ast.Assign):
+        address, value_type = self.emit_lvalue(node.target)
+        if node.op == "=":
+            value, actual = self.emit_expr(node.value)
+            converted = self.convert(value, actual, value_type,
+                                     node.line)
+            self.builder.store(converted, address)
+            return converted, value_type
+        # Compound assignment: load-modify-store on one address.
+        binary_op = node.op[:-1]
+        current = self.builder.load(address)
+        value, actual = self.emit_expr(node.value)
+        synthetic = ast.Binary(line=node.line, op=binary_op,
+                               lhs=None, rhs=None)
+        result, result_type = self._apply_binary(
+            synthetic, current, value_type, value, actual)
+        converted = self.convert(result, result_type, value_type,
+                                 node.line)
+        self.builder.store(converted, address)
+        return converted, value_type
+
+    def _apply_binary(self, node, lhs, lhs_type, rhs, rhs_type):
+        op = node.op
+        if op in ("<<", ">>"):
+            amount = self.convert(rhs, rhs_type, types.UBYTE, node.line)
+            opcode = "shl" if op == "<<" else "shr"
+            return self.builder.binary(opcode, lhs, amount), lhs_type
+        if lhs_type.is_pointer:
+            return self._emit_pointer_arith(
+                ast.Binary(line=node.line, op=op, lhs=None, rhs=None),
+                lhs, lhs_type, rhs, rhs_type)
+        common = arithmetic_result_type(lhs_type, rhs_type, node.line)
+        lhs = self.convert(lhs, lhs_type, common, node.line)
+        rhs = self.convert(rhs, rhs_type, common, node.line)
+        return self.builder.binary(_ARITH_OPS[op], lhs, rhs), common
+
+    def _expr_IncDec(self, node: ast.IncDec):
+        address, value_type = self.emit_lvalue(node.target)
+        current = self.builder.load(address)
+        if value_type.is_pointer:
+            step = const_int(types.LONG, 1 if node.op == "++" else -1)
+            updated = self.builder.gep(current, [step])
+        else:
+            one = const_int(value_type, 1) if value_type.is_integer \
+                else const_fp(value_type, 1.0)
+            if node.op == "++":
+                updated = self.builder.add(current, one)
+            else:
+                updated = self.builder.sub(current, one)
+        self.builder.store(updated, address)
+        return (updated if node.prefix else current), value_type
+
+    # Calls, casts, sizeof -----------------------------------------------------------
+
+    def _expr_Call(self, node: ast.Call):
+        function = self.gen.functions.get(node.name)
+        if function is None:
+            if node.name in RUNTIME_SIGNATURES:
+                function = self.gen.runtime_function(node.name)
+            else:
+                raise MiniCTypeError(
+                    "call to undefined function {0!r}".format(node.name),
+                    node.line)
+        signature = function.function_type
+        if len(node.args) != len(signature.params):
+            raise MiniCTypeError(
+                "{0} expects {1} arguments".format(
+                    node.name, len(signature.params)), node.line)
+        args: List[Value] = []
+        for arg_node, param_type in zip(node.args, signature.params):
+            value, actual = self.emit_expr(arg_node)
+            args.append(self.convert(value, actual, param_type,
+                                     node.line))
+        result = self.builder.call(function, args)
+        return result, signature.return_type
+
+    def _expr_CastExpr(self, node: ast.CastExpr):
+        wanted = self.context.resolve(node.type_name)
+        value, actual = self.emit_expr(node.operand)
+        return self.convert(value, actual, wanted, node.line), wanted
+
+    def _expr_SizeofExpr(self, node: ast.SizeofExpr):
+        value_type = self.context.resolve(node.type_name)
+        size = self.module.target_data.size_of(value_type)
+        return const_int(types.UINT, size), types.UINT
+
+
+def _infer_array_length(type_name: ast.TypeName,
+                        init) -> None:
+    """Resolve `T name[] = {...}`: a 0 (inferred) leading dimension
+    takes its length from the initializer list."""
+    if not type_name.array_dims or type_name.array_dims[0] != 0:
+        return
+    if not isinstance(init, ast.InitializerList):
+        raise MiniCTypeError(
+            "array with inferred size needs a brace initializer",
+            type_name.line)
+    type_name.array_dims = ((len(init.elements),)
+                            + type_name.array_dims[1:])
+
+
+def _fold_int_init(op: str, lhs: int, rhs: int, line: int) -> int:
+    """Constant folding for integer global-initializer expressions."""
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/" and rhs != 0:
+        return int(lhs / rhs) if (lhs < 0) != (rhs < 0) else lhs // rhs
+    if op == "%" and rhs != 0:
+        return lhs - rhs * int(lhs / rhs)
+    if op == "&":
+        return lhs & rhs
+    if op == "|":
+        return lhs | rhs
+    if op == "^":
+        return lhs ^ rhs
+    if op == "<<":
+        return lhs << rhs
+    if op == ">>":
+        return lhs >> rhs
+    raise MiniCTypeError(
+        "unsupported operator {0!r} in global initializer".format(op),
+        line)
+
+
+def generate(program: ast.Program, module_name: str = "minic",
+             pointer_size: int = 8,
+             endianness: str = "little") -> Module:
+    """Compile a parsed MiniC program to an LLVA module."""
+    generator = CodeGenerator(module_name, pointer_size, endianness)
+    return generator.generate(program)

@@ -1,0 +1,33 @@
+"""MiniC compilation driver: source text to verified LLVA module."""
+
+from __future__ import annotations
+
+
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.minic.codegen import generate
+from repro.minic.parser import parse_program
+from repro.transforms.pass_manager import optimize
+
+
+def compile_source(source: str, module_name: str = "minic",
+                   optimization_level: int = 0,
+                   pointer_size: int = 8,
+                   endianness: str = "little",
+                   link_time: bool = False) -> Module:
+    """Compile MiniC *source* into a verified LLVA module.
+
+    ``optimization_level`` applies the standard machine-independent
+    pipeline (Section 4.2 item 1) after code generation; ``link_time``
+    additionally runs the interprocedural link-time pipeline.
+    """
+    program = parse_program(source)
+    module = generate(program, module_name, pointer_size, endianness)
+    verify_module(module)
+    if link_time:
+        optimize(module, link_time=True)
+        verify_module(module)
+    elif optimization_level > 0:
+        optimize(module, level=optimization_level)
+        verify_module(module)
+    return module

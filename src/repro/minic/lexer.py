@@ -1,0 +1,185 @@
+"""Tokenizer for MiniC, the C-subset front-end language.
+
+MiniC stands in for the paper's GCC-based C front-end: it exists to
+author realistic workloads (the Table 2 suite) that compile to LLVA the
+same way C does — explicit allocas, typed geps, calls, loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+KEYWORDS = {
+    "int", "long", "uint", "ulong", "short", "ushort", "char", "uchar",
+    "float", "double", "void", "bool", "true", "false",
+    "struct", "sizeof", "if", "else", "while", "for", "do", "return",
+    "break", "continue", "null", "switch", "case", "default",
+}
+
+# Longest first so '>>'/'>=' beat '>'.
+OPERATORS = (
+    "<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->", "++", "--",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+)
+
+
+class MiniCSyntaxError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__("line {0}: {1}".format(line, message))
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword' | 'ident' | 'int' | 'float' | 'char'
+    #          | 'string' | operator literal | 'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return "<{0} {1!r} @{2}>".format(self.kind, self.text, self.line)
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    line = 1
+    position = 0
+    length = len(source)
+    while position < length:
+        char = source[position]
+        if char == "\n":
+            line += 1
+            position += 1
+            continue
+        if char in " \t\r":
+            position += 1
+            continue
+        if source.startswith("//", position):
+            end = source.find("\n", position)
+            position = length if end < 0 else end
+            continue
+        if source.startswith("/*", position):
+            end = source.find("*/", position + 2)
+            if end < 0:
+                raise MiniCSyntaxError("unterminated comment", line)
+            line += source.count("\n", position, end)
+            position = end + 2
+            continue
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (source[end].isalnum()
+                                    or source[end] == "_"):
+                end += 1
+            text = source[position:end]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            position = end
+            continue
+        if char.isdigit():
+            token, position = _lex_number(source, position, line)
+            tokens.append(token)
+            continue
+        if char == "'":
+            token, position = _lex_char(source, position, line)
+            tokens.append(token)
+            continue
+        if char == '"':
+            token, position = _lex_string(source, position, line)
+            tokens.append(token)
+            continue
+        for operator in OPERATORS:
+            if source.startswith(operator, position):
+                tokens.append(Token(operator, operator, line))
+                position += len(operator)
+                break
+        else:
+            raise MiniCSyntaxError(
+                "unexpected character {0!r}".format(char), line)
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def _lex_number(source: str, position: int, line: int):
+    start = position
+    length = len(source)
+    if source.startswith("0x", position) or source.startswith("0X",
+                                                              position):
+        position += 2
+        while position < length and source[position] in \
+                "0123456789abcdefABCDEF":
+            position += 1
+        return Token("int", source[start:position], line), position
+    while position < length and source[position].isdigit():
+        position += 1
+    is_float = False
+    if position < length and source[position] == "." \
+            and position + 1 < length and source[position + 1].isdigit():
+        is_float = True
+        position += 1
+        while position < length and source[position].isdigit():
+            position += 1
+    if position < length and source[position] in "eE":
+        lookahead = position + 1
+        if lookahead < length and source[lookahead] in "+-":
+            lookahead += 1
+        if lookahead < length and source[lookahead].isdigit():
+            is_float = True
+            position = lookahead
+            while position < length and source[position].isdigit():
+                position += 1
+    suffix = ""
+    while position < length and source[position] in "uUlLfF":
+        suffix += source[position].lower()
+        position += 1
+    text = source[start:position]
+    if "f" in suffix:
+        is_float = True
+    return Token("float" if is_float else "int", text, line), position
+
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+            "'": "'", '"': '"'}
+
+
+def _lex_char(source: str, position: int, line: int):
+    position += 1  # opening quote
+    if position >= len(source):
+        raise MiniCSyntaxError("unterminated character literal", line)
+    char = source[position]
+    if char == "\\":
+        position += 1
+        if position >= len(source):
+            raise MiniCSyntaxError("unterminated character literal",
+                                   line)
+        char = _ESCAPES.get(source[position])
+        if char is None:
+            raise MiniCSyntaxError("bad escape", line)
+    position += 1
+    if position >= len(source) or source[position] != "'":
+        raise MiniCSyntaxError("unterminated character literal", line)
+    return Token("char", char, line), position + 1
+
+
+def _lex_string(source: str, position: int, line: int):
+    position += 1
+    out: List[str] = []
+    while position < len(source) and source[position] != '"':
+        char = source[position]
+        if char == "\\":
+            position += 1
+            if position >= len(source):
+                raise MiniCSyntaxError("unterminated string literal",
+                                       line)
+            char = _ESCAPES.get(source[position])
+            if char is None:
+                raise MiniCSyntaxError("bad escape", line)
+        elif char == "\n":
+            raise MiniCSyntaxError("newline in string literal", line)
+        out.append(char)
+        position += 1
+    if position >= len(source):
+        raise MiniCSyntaxError("unterminated string literal", line)
+    return Token("string", "".join(out), line), position + 1

@@ -1,0 +1,483 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.minic import ast
+from repro.minic.lexer import MiniCSyntaxError, Token, tokenize
+
+_TYPE_KEYWORDS = {
+    "int", "long", "uint", "ulong", "short", "ushort", "char", "uchar",
+    "float", "double", "void", "bool",
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
+
+# Binary precedence levels, loosest first.
+_BINARY_LEVELS = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", ">", "<=", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+
+def parse_program(source: str) -> ast.Program:
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.advance()
+        if token.kind != kind:
+            raise MiniCSyntaxError(
+                "expected {0!r}, found {1!r}".format(kind, token.text),
+                token.line)
+        return token
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.peek().kind == kind:
+            return self.advance()
+        return None
+
+    def accept_keyword(self, word: str) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == "keyword" and token.text == word:
+            return self.advance()
+        return None
+
+    # -- types ------------------------------------------------------------------
+
+    def at_type(self, offset: int = 0) -> bool:
+        token = self.peek(offset)
+        return token.kind == "keyword" and (
+            token.text in _TYPE_KEYWORDS or token.text == "struct")
+
+    def parse_type(self) -> ast.TypeName:
+        token = self.advance()
+        line = token.line
+        if token.kind != "keyword":
+            raise MiniCSyntaxError("expected a type", line)
+        if token.text == "struct":
+            name_token = self.expect("ident")
+            base = "struct " + name_token.text
+        elif token.text in _TYPE_KEYWORDS:
+            base = token.text
+        else:
+            raise MiniCSyntaxError(
+                "expected a type, found {0!r}".format(token.text), line)
+        depth = 0
+        while self.accept("*"):
+            depth += 1
+        return ast.TypeName(base=base, pointer_depth=depth, line=line)
+
+    def _parse_array_suffix(self, type_name: ast.TypeName
+                            ) -> ast.TypeName:
+        dims: List[int] = []
+        while self.accept("["):
+            if self.accept("]"):
+                dims.append(0)      # size inferred from initializer
+                continue
+            size_token = self.expect("int")
+            dims.append(_int_value(size_token.text))
+            self.expect("]")
+        if dims:
+            type_name.array_dims = tuple(dims)
+        return type_name
+
+    # -- top level -----------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program(line=1)
+        while self.peek().kind != "eof":
+            program.declarations.append(self._parse_top_level())
+        return program
+
+    def _parse_top_level(self) -> ast.Node:
+        token = self.peek()
+        if token.kind == "keyword" and token.text == "struct" \
+                and self.peek(1).kind == "ident" \
+                and self.peek(2).kind == "{":
+            return self._parse_struct_decl()
+        type_name = self.parse_type()
+        name = self.expect("ident").text
+        if self.peek().kind == "(":
+            return self._parse_function(type_name, name)
+        type_name = self._parse_array_suffix(type_name)
+        init: Optional[ast.Node] = None
+        if self.accept("="):
+            init = self._parse_initializer()
+        self.expect(";")
+        return ast.GlobalDecl(line=type_name.line, type_name=type_name,
+                              name=name, init=init)
+
+    def _parse_struct_decl(self) -> ast.StructDecl:
+        line = self.advance().line  # 'struct'
+        name = self.expect("ident").text
+        self.expect("{")
+        fields: List[Tuple[ast.TypeName, str]] = []
+        while not self.accept("}"):
+            field_type = self.parse_type()
+            field_name = self.expect("ident").text
+            field_type = self._parse_array_suffix(field_type)
+            self.expect(";")
+            fields.append((field_type, field_name))
+        self.expect(";")
+        return ast.StructDecl(line=line, name=name, fields=fields)
+
+    def _parse_function(self, return_type: ast.TypeName,
+                        name: str) -> ast.FunctionDecl:
+        self.expect("(")
+        params: List[ast.Param] = []
+        if not self.accept(")"):
+            if self.accept_keyword("void") and self.peek().kind == ")":
+                self.advance()
+            else:
+                while True:
+                    param_type = self.parse_type()
+                    param_name = self.expect("ident").text
+                    # Array parameters decay to pointers, as in C.
+                    param_type = self._parse_array_suffix(param_type)
+                    params.append(ast.Param(line=param_type.line,
+                                            type_name=param_type,
+                                            name=param_name))
+                    if not self.accept(","):
+                        break
+                self.expect(")")
+        body: Optional[ast.Block] = None
+        if self.peek().kind == "{":
+            body = self.parse_block()
+        else:
+            self.expect(";")
+        return ast.FunctionDecl(line=return_type.line,
+                                return_type=return_type, name=name,
+                                params=params, body=body)
+
+    # -- statements --------------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        open_token = self.expect("{")
+        block = ast.Block(line=open_token.line)
+        while not self.accept("}"):
+            block.statements.append(self.parse_statement())
+        return block
+
+    def parse_statement(self) -> ast.Node:
+        token = self.peek()
+        if token.kind == "{":
+            return self.parse_block()
+        if token.kind == "keyword":
+            keyword = token.text
+            if keyword == "if":
+                return self._parse_if()
+            if keyword == "while":
+                return self._parse_while()
+            if keyword == "do":
+                return self._parse_do_while()
+            if keyword == "for":
+                return self._parse_for()
+            if keyword == "return":
+                self.advance()
+                value = None
+                if self.peek().kind != ";":
+                    value = self.parse_expression()
+                self.expect(";")
+                return ast.Return(line=token.line, value=value)
+            if keyword == "break":
+                self.advance()
+                self.expect(";")
+                return ast.Break(line=token.line)
+            if keyword == "continue":
+                self.advance()
+                self.expect(";")
+                return ast.Continue(line=token.line)
+            if keyword == "switch":
+                return self._parse_switch()
+        if self.at_type() and not (token.text == "struct"
+                                   and self.peek(2).kind != "ident"
+                                   and self.peek(2).kind != "*"):
+            return self._parse_var_decl()
+        expr = self.parse_expression()
+        self.expect(";")
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def _parse_var_decl(self) -> ast.Node:
+        type_name = self.parse_type()
+        name = self.expect("ident").text
+        type_name = self._parse_array_suffix(type_name)
+        init: Optional[ast.Node] = None
+        if self.accept("="):
+            init = self._parse_initializer()
+        self.expect(";")
+        return ast.VarDecl(line=type_name.line, type_name=type_name,
+                           name=name, init=init)
+
+    def _parse_initializer(self) -> ast.Node:
+        """An expression, or a brace-enclosed initializer list."""
+        if self.peek().kind == "{":
+            open_token = self.advance()
+            elements: List[ast.Node] = []
+            if not self.accept("}"):
+                while True:
+                    elements.append(self._parse_initializer())
+                    if not self.accept(","):
+                        break
+                self.expect("}")
+            return ast.InitializerList(line=open_token.line,
+                                       elements=elements)
+        return self.parse_expression()
+
+    def _parse_if(self) -> ast.If:
+        line = self.advance().line
+        self.expect("(")
+        condition = self.parse_expression()
+        self.expect(")")
+        then_body = self.parse_statement()
+        else_body = None
+        if self.accept_keyword("else"):
+            else_body = self.parse_statement()
+        return ast.If(line=line, condition=condition,
+                      then_body=then_body, else_body=else_body)
+
+    def _parse_while(self) -> ast.While:
+        line = self.advance().line
+        self.expect("(")
+        condition = self.parse_expression()
+        self.expect(")")
+        body = self.parse_statement()
+        return ast.While(line=line, condition=condition, body=body)
+
+    def _parse_do_while(self) -> ast.While:
+        line = self.advance().line
+        body = self.parse_statement()
+        if not self.accept_keyword("while"):
+            raise MiniCSyntaxError("expected 'while' after do-body", line)
+        self.expect("(")
+        condition = self.parse_expression()
+        self.expect(")")
+        self.expect(";")
+        return ast.While(line=line, condition=condition, body=body,
+                         is_do_while=True)
+
+    def _parse_for(self) -> ast.For:
+        line = self.advance().line
+        self.expect("(")
+        init: Optional[ast.Node] = None
+        if not self.accept(";"):
+            if self.at_type():
+                init = self._parse_var_decl()  # consumes ';'
+            else:
+                expr = self.parse_expression()
+                self.expect(";")
+                init = ast.ExprStmt(line=line, expr=expr)
+        condition: Optional[ast.Node] = None
+        if not self.accept(";"):
+            condition = self.parse_expression()
+            self.expect(";")
+        step: Optional[ast.Node] = None
+        if self.peek().kind != ")":
+            step = self.parse_expression()
+        self.expect(")")
+        body = self.parse_statement()
+        return ast.For(line=line, init=init, condition=condition,
+                       step=step, body=body)
+
+    def _parse_switch(self) -> ast.Switch:
+        line = self.advance().line
+        self.expect("(")
+        selector = self.parse_expression()
+        self.expect(")")
+        self.expect("{")
+        cases: List[Tuple[Optional[int], List[ast.Node]]] = []
+        current: Optional[List[ast.Node]] = None
+        while not self.accept("}"):
+            if self.accept_keyword("case"):
+                sign = -1 if self.accept("-") else 1
+                value_token = self.expect("int")
+                self.expect(":")
+                current = []
+                cases.append((sign * _int_value(value_token.text),
+                              current))
+            elif self.accept_keyword("default"):
+                self.expect(":")
+                current = []
+                cases.append((None, current))
+            else:
+                if current is None:
+                    raise MiniCSyntaxError(
+                        "statement before first case label",
+                        self.peek().line)
+                current.append(self.parse_statement())
+        return ast.Switch(line=line, selector=selector, cases=cases)
+
+    # -- expressions ------------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Node:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Node:
+        left = self._parse_conditional()
+        token = self.peek()
+        if token.kind in _ASSIGN_OPS:
+            self.advance()
+            value = self._parse_assignment()
+            return ast.Assign(line=token.line, op=token.kind,
+                              target=left, value=value)
+        return left
+
+    def _parse_conditional(self) -> ast.Node:
+        condition = self._parse_binary(0)
+        if self.peek().kind == "?":
+            line = self.advance().line
+            if_true = self.parse_expression()
+            self.expect(":")
+            if_false = self._parse_conditional()
+            return ast.Conditional(line=line, condition=condition,
+                                   if_true=if_true, if_false=if_false)
+        return condition
+
+    def _parse_binary(self, level: int) -> ast.Node:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while self.peek().kind in ops:
+            token = self.advance()
+            right = self._parse_binary(level + 1)
+            left = ast.Binary(line=token.line, op=token.kind,
+                              lhs=left, rhs=right)
+        return left
+
+    def _parse_unary(self) -> ast.Node:
+        token = self.peek()
+        if token.kind in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self._parse_unary()
+            return ast.Unary(line=token.line, op=token.kind,
+                             operand=operand)
+        if token.kind in ("++", "--"):
+            self.advance()
+            target = self._parse_unary()
+            return ast.IncDec(line=token.line, op=token.kind,
+                              target=target, prefix=True)
+        if token.kind == "(" and self.at_type(1):
+            self.advance()
+            type_name = self.parse_type()
+            self.expect(")")
+            operand = self._parse_unary()
+            return ast.CastExpr(line=token.line, type_name=type_name,
+                                operand=operand)
+        if token.kind == "keyword" and token.text == "sizeof":
+            self.advance()
+            self.expect("(")
+            type_name = self.parse_type()
+            type_name = self._parse_array_suffix(type_name)
+            self.expect(")")
+            return ast.SizeofExpr(line=token.line, type_name=type_name)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Node:
+        expr = self._parse_primary()
+        while True:
+            token = self.peek()
+            if token.kind == "[":
+                self.advance()
+                index = self.parse_expression()
+                self.expect("]")
+                expr = ast.Index(line=token.line, base=expr, index=index)
+            elif token.kind == ".":
+                self.advance()
+                name = self.expect("ident").text
+                expr = ast.Member(line=token.line, base=expr, name=name,
+                                  arrow=False)
+            elif token.kind == "->":
+                self.advance()
+                name = self.expect("ident").text
+                expr = ast.Member(line=token.line, base=expr, name=name,
+                                  arrow=True)
+            elif token.kind in ("++", "--"):
+                self.advance()
+                expr = ast.IncDec(line=token.line, op=token.kind,
+                                  target=expr, prefix=False)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Node:
+        token = self.advance()
+        if token.kind == "int":
+            return ast.IntLiteral(line=token.line,
+                                  value=_int_value(token.text),
+                                  suffix=_int_suffix(token.text))
+        if token.kind == "float":
+            text = token.text.rstrip("fFlL")
+            return ast.FloatLiteral(line=token.line, value=float(text),
+                                    is_single="f" in token.text.lower())
+        if token.kind == "char":
+            return ast.CharLiteral(line=token.line, value=token.text)
+        if token.kind == "string":
+            return ast.StringLiteral(line=token.line, value=token.text)
+        if token.kind == "keyword" and token.text in ("true", "false"):
+            return ast.BoolLiteral(line=token.line,
+                                   value=token.text == "true")
+        if token.kind == "keyword" and token.text == "null":
+            return ast.NullLiteral(line=token.line)
+        if token.kind == "ident":
+            if self.peek().kind == "(":
+                self.advance()
+                args: List[ast.Node] = []
+                if not self.accept(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept(","):
+                            break
+                    self.expect(")")
+                return ast.Call(line=token.line, name=token.text,
+                                args=args)
+            return ast.Identifier(line=token.line, name=token.text)
+        if token.kind == "(":
+            expr = self.parse_expression()
+            self.expect(")")
+            return expr
+        raise MiniCSyntaxError(
+            "unexpected token {0!r}".format(token.text), token.line)
+
+
+def _int_value(text: str) -> int:
+    text = text.rstrip("uUlL")
+    if text.lower().startswith("0x"):
+        return int(text, 16)
+    return int(text)
+
+
+def _int_suffix(text: str) -> str:
+    suffix = ""
+    for char in reversed(text):
+        if char in "uUlL":
+            suffix = char.lower() + suffix
+        else:
+            break
+    return suffix

@@ -1,0 +1,146 @@
+"""MiniC semantic context: type resolution and symbol tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir import types
+from repro.minic import ast
+from repro.minic.lexer import MiniCSyntaxError
+
+_BASE_TYPES: Dict[str, types.Type] = {
+    "void": types.VOID,
+    "bool": types.BOOL,
+    "char": types.SBYTE,
+    "uchar": types.UBYTE,
+    "short": types.SHORT,
+    "ushort": types.USHORT,
+    "int": types.INT,
+    "uint": types.UINT,
+    "long": types.LONG,
+    "ulong": types.ULONG,
+    "float": types.FLOAT,
+    "double": types.DOUBLE,
+}
+
+#: Promotion rank for the usual arithmetic conversions.
+_RANK = {
+    types.BOOL: 0,
+    types.SBYTE: 1, types.UBYTE: 1,
+    types.SHORT: 2, types.USHORT: 2,
+    types.INT: 3, types.UINT: 3,
+    types.LONG: 4, types.ULONG: 4,
+    types.FLOAT: 5,
+    types.DOUBLE: 6,
+}
+
+
+class MiniCTypeError(MiniCSyntaxError):
+    """A MiniC type-checking failure."""
+
+
+class StructInfo:
+    """One declared struct: its LLVA type and field name table."""
+
+    def __init__(self, name: str, llva_type: types.StructType):
+        self.name = name
+        self.llva_type = llva_type
+        self.field_index: Dict[str, int] = {}
+        self.field_types: List[types.Type] = []
+
+    def field(self, name: str, line: int) -> Tuple[int, types.Type]:
+        index = self.field_index.get(name)
+        if index is None:
+            raise MiniCTypeError(
+                "struct {0} has no field {1!r}".format(self.name, name),
+                line)
+        return index, self.field_types[index]
+
+
+class TypeContext:
+    """Resolves syntactic MiniC types to LLVA types."""
+
+    def __init__(self):
+        self.structs: Dict[str, StructInfo] = {}
+        self._struct_of_type: Dict[int, StructInfo] = {}
+
+    def declare_struct(self, decl: ast.StructDecl) -> StructInfo:
+        if decl.name in self.structs:
+            info = self.structs[decl.name]
+            if not info.llva_type.is_opaque:
+                raise MiniCTypeError(
+                    "struct {0} redefined".format(decl.name), decl.line)
+        else:
+            info = StructInfo(
+                decl.name, types.named_struct("struct." + decl.name))
+            self.structs[decl.name] = info
+            self._struct_of_type[id(info.llva_type)] = info
+        fields: List[types.Type] = []
+        for index, (field_type, field_name) in enumerate(decl.fields):
+            resolved = self.resolve(field_type)
+            info.field_index[field_name] = index
+            fields.append(resolved)
+        info.field_types = fields
+        info.llva_type.set_body(fields)
+        return info
+
+    def struct_ref(self, name: str, line: int) -> StructInfo:
+        info = self.structs.get(name)
+        if info is None:
+            # Forward reference: an opaque struct is fine behind a
+            # pointer (linked data structures).
+            info = StructInfo(name, types.named_struct("struct." + name))
+            self.structs[name] = info
+            self._struct_of_type[id(info.llva_type)] = info
+        return info
+
+    def struct_info_for(self, llva_type: types.Type,
+                        line: int) -> StructInfo:
+        info = self._struct_of_type.get(id(llva_type))
+        if info is None:
+            raise MiniCTypeError("not a struct type", line)
+        return info
+
+    def resolve(self, type_name: ast.TypeName) -> types.Type:
+        if type_name.base.startswith("struct "):
+            struct_name = type_name.base[len("struct "):]
+            resolved: types.Type = self.struct_ref(
+                struct_name, type_name.line).llva_type
+        else:
+            resolved = _BASE_TYPES.get(type_name.base)
+            if resolved is None:
+                raise MiniCTypeError(
+                    "unknown type {0!r}".format(type_name.base),
+                    type_name.line)
+        for _ in range(type_name.pointer_depth):
+            if resolved.is_void:
+                resolved = types.SBYTE  # void* spelled as sbyte*
+            resolved = types.pointer_to(resolved)
+        for dim in reversed(type_name.array_dims):
+            resolved = types.array_of(resolved, dim)
+        return resolved
+
+
+def arithmetic_result_type(lhs: types.Type, rhs: types.Type,
+                           line: int) -> types.Type:
+    """The usual arithmetic conversions, simplified."""
+    if lhs is rhs:
+        return _promote_small(lhs)
+    rank_l, rank_r = _RANK.get(lhs), _RANK.get(rhs)
+    if rank_l is None or rank_r is None:
+        raise MiniCTypeError("invalid arithmetic operands", line)
+    winner = lhs if rank_l >= rank_r else rhs
+    if rank_l == rank_r and not winner.is_floating_point:
+        # Same-rank signed/unsigned: unsigned wins, as in C.
+        if lhs.is_unsigned or rhs.is_unsigned:
+            winner = lhs if lhs.is_unsigned else rhs
+    return _promote_small(winner)
+
+
+def _promote_small(type_: types.Type) -> types.Type:
+    """Integer promotion: sub-int operands compute at int width."""
+    if type_ in (types.BOOL, types.SBYTE, types.SHORT):
+        return types.INT
+    if type_ in (types.UBYTE, types.USHORT):
+        return types.INT  # values always fit
+    return type_

@@ -1,0 +1,232 @@
+"""Native object code: the output of translation.
+
+A :class:`NativeModule` holds the translated machine functions for one
+target plus size/count accounting (the "Native size" and "#X86/#SPARC
+Inst." columns of Table 2).  It serializes to a compact byte format so
+LLEE can cache translations offline through the storage API
+(Section 4.1) and reload them with a relocation step.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.ir import types
+from repro.ir.module import Module
+from repro.targets.machine import (
+    Imm,
+    LabelRef,
+    MachineBasicBlock,
+    MachineFunction,
+    MachineInstr,
+    Mem,
+    PhysReg,
+    Semantics,
+    SymRef,
+    TargetInfo,
+)
+
+NATIVE_MAGIC = "LLVA-NATIVE-1"
+
+
+class NativeModule:
+    """Translated code for one target."""
+
+    def __init__(self, target: TargetInfo, source_name: str = "module"):
+        self.target = target
+        self.source_name = source_name
+        self.functions: Dict[str, MachineFunction] = {}
+
+    def add_function(self, machine: MachineFunction) -> MachineFunction:
+        self.functions[machine.name] = machine
+        return machine
+
+    def num_instructions(self) -> int:
+        return sum(f.num_instructions() for f in self.functions.values())
+
+    def code_size(self) -> int:
+        """Total encoded bytes of machine code."""
+        return sum(f.code_size() for f in self.functions.values())
+
+    def data_size(self, module: Module) -> int:
+        """Bytes of *initialized* global data in the executable file.
+
+        Zero-initialized and uninitialized globals live in .bss: they
+        occupy address space but no file bytes, in the native executable
+        and in the virtual object code alike.
+        """
+        from repro.ir.values import ConstantZero
+
+        td = self.target.target_data
+        total = 0
+        for variable in module.globals.values():
+            if variable.initializer is None \
+                    or isinstance(variable.initializer, ConstantZero):
+                total += 16  # symbol + bss record overhead only
+                continue
+            try:
+                total += td.size_of(variable.value_type)
+            except types.LlvaTypeError:
+                pass
+        return total
+
+    def executable_size(self, module: Module,
+                        per_function_overhead: int = 32,
+                        base_overhead: int = 1024) -> int:
+        """A linked-executable size model: code + data + symbol/linkage
+        overhead (headers, plt-like stubs)."""
+        return (self.code_size() + self.data_size(module)
+                + per_function_overhead * len(self.functions)
+                + base_overhead)
+
+
+def translate_module(module: Module, target) -> NativeModule:
+    """Translate every defined function of *module* (the offline,
+    whole-module translation mode)."""
+    native = NativeModule(target, module.name)
+    for function in module.functions.values():
+        if function.is_declaration:
+            continue
+        native.add_function(target.translate_function(function))
+    return native
+
+
+# ---------------------------------------------------------------------------
+# Serialization (for the LLEE offline cache)
+# ---------------------------------------------------------------------------
+
+_TYPE_BY_NAME = dict(types.PRIMITIVES)
+
+
+def _type_tag(type_: Optional[types.Type], target: TargetInfo) -> str:
+    if type_ is None:
+        return ""
+    if type_.is_pointer:
+        # Machine code only needs a pointer's size and integer-ness.
+        return "ptr"
+    return str(type_)
+
+
+def _type_from_tag(tag: str, target: TargetInfo) -> Optional[types.Type]:
+    if not tag:
+        return None
+    if tag == "ptr":
+        return types.pointer_to(types.SBYTE)
+    primitive = _TYPE_BY_NAME.get(tag)
+    if primitive is not None:
+        return primitive
+    raise ValueError("bad native type tag {0!r}".format(tag))
+
+
+def _operand_to_json(operand, target: TargetInfo):
+    if isinstance(operand, PhysReg):
+        return ["r", operand.name, 1 if operand.is_float else 0]
+    if isinstance(operand, Imm):
+        return ["i", operand.value]
+    if isinstance(operand, Mem):
+        return ["m",
+                operand.base.name if operand.base is not None else None,
+                operand.offset,
+                operand.index.name if operand.index is not None else None,
+                operand.scale,
+                operand.symbol]
+    if isinstance(operand, LabelRef):
+        return ["l", operand.name]
+    if isinstance(operand, SymRef):
+        return ["s", operand.name]
+    raise TypeError(
+        "unserializable operand {0!r} (virtual registers must be "
+        "allocated before caching)".format(operand))
+
+
+def _operand_from_json(record, target: TargetInfo):
+    kind = record[0]
+    if kind == "r":
+        return PhysReg(record[1], bool(record[2]))
+    if kind == "i":
+        return Imm(record[1])
+    if kind == "m":
+        base = PhysReg(record[1]) if record[1] is not None else None
+        index = PhysReg(record[3]) if record[3] is not None else None
+        return Mem(base=base, offset=record[2], index=index,
+                   scale=record[4], symbol=record[5])
+    if kind == "l":
+        return LabelRef(record[1])
+    if kind == "s":
+        return SymRef(record[1])
+    raise ValueError("bad operand kind {0!r}".format(kind))
+
+_TYPE_ATTRS = ("value_type", "mem_value_type", "from_type", "to_type",
+               "return_type")
+
+
+def serialize_native(native: NativeModule) -> bytes:
+    """Encode a native module for the offline cache."""
+    target = native.target
+    payload = {
+        "magic": NATIVE_MAGIC,
+        "target": target.name,
+        "source": native.source_name,
+        "functions": [],
+    }
+    for machine in native.functions.values():
+        blocks = []
+        for block in machine.blocks:
+            instrs = []
+            for instr in block.instructions:
+                attrs = {}
+                for key, value in instr.attrs.items():
+                    if key in _TYPE_ATTRS:
+                        attrs[key] = _type_tag(value, target)
+                    else:
+                        attrs[key] = value
+                instrs.append([
+                    instr.mnemonic, instr.semantics,
+                    [_operand_to_json(op, target)
+                     for op in instr.operands],
+                    attrs,
+                ])
+            blocks.append([block.name, instrs])
+        payload["functions"].append({
+            "name": machine.name,
+            "frame_size": machine.frame_size,
+            "smc_version": machine.smc_version,
+            "blocks": blocks,
+        })
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def deserialize_native(data: bytes, target) -> NativeModule:
+    """Decode a cached native module; raises ``ValueError`` when the
+    cache was produced for a different target (the validation step of
+    Section 4.1's cache lookup)."""
+    payload = json.loads(data.decode("utf-8"))
+    if payload.get("magic") != NATIVE_MAGIC:
+        raise ValueError("not a native cache object")
+    if payload.get("target") != target.name:
+        raise ValueError(
+            "cached translation is for target {0!r}, not {1!r}"
+            .format(payload.get("target"), target.name))
+    native = NativeModule(target, payload.get("source", "module"))
+    for record in payload["functions"]:
+        machine = MachineFunction(record["name"], target)
+        machine.frame_size = record["frame_size"]
+        machine.smc_version = record.get("smc_version", 0)
+        for block_name, instr_records in record["blocks"]:
+            block = machine.add_block(block_name)
+            for mnemonic, semantics, operand_records, attrs in \
+                    instr_records:
+                operands = [_operand_from_json(r, target)
+                            for r in operand_records]
+                decoded_attrs = {}
+                for key, value in attrs.items():
+                    if key in _TYPE_ATTRS:
+                        decoded_attrs[key] = _type_from_tag(value, target)
+                    else:
+                        decoded_attrs[key] = value
+                block.append(MachineInstr(mnemonic, semantics, operands,
+                                          **decoded_attrs))
+        native.add_function(machine)
+    return native

@@ -1,0 +1,5 @@
+"""The simulated SPARC V9-flavoured I-ISA back end."""
+
+from repro.targets.sparc.target import SparcTarget, make_sparc_target
+
+__all__ = ["SparcTarget", "make_sparc_target"]

@@ -1,0 +1,182 @@
+"""Machine-code verification and disassembly listing.
+
+The machine verifier is the JIT's output check: after register
+allocation no virtual registers may remain, every branch target must
+resolve to a block of the same function, every block must end in
+control flow (or fall through to an existing next block), and operand
+shapes must match each semantic's contract.  LLEE runs it on
+deserialized cache entries in paranoid mode; the tests run it on every
+translation.
+
+The disassembler renders a :class:`MachineFunction` as an assembler-
+style listing for debugging and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.targets.machine import (
+    Imm,
+    LabelRef,
+    MachineError,
+    MachineFunction,
+    MachineInstr,
+    Mem,
+    PhysReg,
+    Semantics,
+    SymRef,
+    VirtualReg,
+)
+
+#: Minimum operand counts per semantic micro-op.
+_MIN_OPERANDS = {
+    Semantics.MOV: 2, Semantics.ALU: 3, Semantics.CMP: 3,
+    Semantics.LOAD: 2, Semantics.STORE: 2, Semantics.LEA: 2,
+    Semantics.JMP: 1, Semantics.JCC: 2, Semantics.CALL: 1,
+    Semantics.RET: 0, Semantics.PUSH: 1, Semantics.POP: 1,
+    Semantics.CVT: 2, Semantics.ADJSP: 1, Semantics.UNWIND: 0,
+    Semantics.NOP: 0,
+}
+
+_FLOW = {Semantics.JMP, Semantics.RET, Semantics.UNWIND}
+
+
+class MachineVerificationError(MachineError):
+    def __init__(self, errors: List[str]):
+        super().__init__("\n".join(errors))
+        self.errors = errors
+
+
+def verify_machine_function(machine: MachineFunction) -> None:
+    """Verify one translated function; raises on any violation."""
+    errors: List[str] = []
+    labels: Set[str] = {block.name for block in machine.blocks}
+    if not machine.blocks:
+        errors.append("{0}: no blocks".format(machine.name))
+    for index, block in enumerate(machine.blocks):
+        where = "{0}:{1}".format(machine.name, block.name)
+        for instr in block.instructions:
+            _verify_instr(instr, labels, where, errors)
+        if not _block_exits(block) \
+                and index + 1 >= len(machine.blocks):
+            errors.append(where + ": last block neither returns, "
+                                  "jumps, nor falls through anywhere")
+    if machine.frame_size % 8 != 0:
+        # The lowering driver 16-aligns the alloca area and both
+        # allocators append 8-byte spill slots, so 8 is the contract
+        # (doubles and pointers stay naturally aligned off fp).
+        errors.append("{0}: frame size {1} not 8-byte aligned"
+                      .format(machine.name, machine.frame_size))
+    if errors:
+        raise MachineVerificationError(errors)
+
+
+def _block_exits(block) -> bool:
+    for instr in reversed(block.instructions):
+        if instr.semantics == Semantics.NOP:
+            continue  # delay slots
+        return instr.semantics in _FLOW
+    return False
+
+
+def _verify_instr(instr: MachineInstr, labels: Set[str], where: str,
+                  errors: List[str]) -> None:
+    minimum = _MIN_OPERANDS.get(instr.semantics)
+    if minimum is None:
+        errors.append("{0}: unknown semantics {1!r} in {2!r}"
+                      .format(where, instr.semantics, instr.mnemonic))
+        return
+    if len(instr.operands) < minimum:
+        errors.append("{0}: {1} needs {2} operands, has {3}"
+                      .format(where, instr.semantics, minimum,
+                              len(instr.operands)))
+        return
+    for operand in instr.operands:
+        if isinstance(operand, VirtualReg):
+            errors.append(
+                "{0}: unallocated virtual register {1!r} in {2!r}"
+                .format(where, operand, instr))
+        elif isinstance(operand, Mem):
+            for reg in (operand.base, operand.index):
+                if isinstance(reg, VirtualReg):
+                    errors.append(
+                        "{0}: unallocated virtual register in memory "
+                        "operand of {1!r}".format(where, instr))
+        elif isinstance(operand, LabelRef):
+            if operand.name not in labels:
+                errors.append("{0}: branch to unknown label {1}"
+                              .format(where, operand.name))
+    if instr.semantics == Semantics.JCC:
+        target = instr.operands[1]
+        if not isinstance(target, LabelRef):
+            errors.append("{0}: jcc target must be a label".format(where))
+    if instr.semantics in (Semantics.LOAD, Semantics.STORE):
+        if not isinstance(instr.operands[1], Mem):
+            errors.append("{0}: {1} needs a memory operand"
+                          .format(where, instr.semantics))
+        if instr.attrs.get("value_type") is None:
+            errors.append("{0}: {1} missing value_type"
+                          .format(where, instr.semantics))
+    if instr.semantics == Semantics.CALL:
+        callee = instr.operands[0]
+        if not isinstance(callee, (SymRef, PhysReg)):
+            errors.append("{0}: call target must be a symbol or "
+                          "register".format(where))
+
+
+def verify_native_module(native) -> None:
+    """Verify every function of a native module."""
+    errors: List[str] = []
+    for machine in native.functions.values():
+        try:
+            verify_machine_function(machine)
+        except MachineVerificationError as failure:
+            errors.extend(failure.errors)
+    if errors:
+        raise MachineVerificationError(errors)
+
+
+# ---------------------------------------------------------------------------
+# Disassembly listing
+# ---------------------------------------------------------------------------
+
+def disassemble(machine: MachineFunction) -> str:
+    """Render a function as an assembler-style listing."""
+    lines = ["{0}:                        ; frame {1} bytes, {2} "
+             "instructions, {3} bytes".format(
+                 machine.name, machine.frame_size,
+                 machine.num_instructions(), machine.code_size())]
+    for block in machine.blocks:
+        lines.append(".{0}:".format(block.name))
+        for instr in block.instructions:
+            operand_text = ", ".join(_operand(op)
+                                     for op in instr.operands)
+            text = "        {0:<8} {1}".format(instr.mnemonic,
+                                               operand_text).rstrip()
+            lines.append(text)
+    return "\n".join(lines) + "\n"
+
+
+def _operand(operand) -> str:
+    if isinstance(operand, PhysReg):
+        return "%" + operand.name
+    if isinstance(operand, Imm):
+        return "${0}".format(operand.value)
+    if isinstance(operand, Mem):
+        inner = []
+        if operand.symbol:
+            inner.append(operand.symbol)
+        if operand.base is not None:
+            inner.append("%" + operand.base.name)
+        if operand.index is not None:
+            inner.append("%{0}*{1}".format(operand.index.name,
+                                           operand.scale))
+        if operand.offset:
+            inner.append("{0:+d}".format(operand.offset))
+        return "[" + "".join(inner) + "]"
+    if isinstance(operand, LabelRef):
+        return "." + operand.name
+    if isinstance(operand, SymRef):
+        return "@" + operand.name
+    return repr(operand)

@@ -1,0 +1,5 @@
+"""The simulated Intel IA-32-flavoured I-ISA back end."""
+
+from repro.targets.x86.target import X86Target, make_x86_target
+
+__all__ = ["X86Target", "make_x86_target"]

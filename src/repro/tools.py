@@ -1,0 +1,250 @@
+"""The LLVA command-line toolchain.
+
+One entry point, classic subcommands::
+
+    python -m repro cc  prog.c  -o prog.bc  [-O2]    # MiniC -> object code
+    python -m repro as  prog.ll -o prog.bc           # assembly -> object code
+    python -m repro dis prog.bc                      # object code -> assembly
+    python -m repro opt prog.bc -o out.bc -O2 [--link-time]
+    python -m repro run prog.bc [--target x86|sparc] [--entry main] [args...]
+    python -m repro llc prog.bc --target sparc       # native listing
+    python -m repro link a.bc b.bc -o out.bc         # module linker
+
+Sources are auto-detected by suffix where it matters: ``.ll`` is
+assembly, ``.c``/``.mc`` is MiniC, anything else is treated as virtual
+object code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.asm import parse_module
+from repro.bitcode import read_module, write_module
+from repro.execution import ExecutionTrap, Interpreter
+from repro.execution.machine_sim import MachineSimulator
+from repro.ir import print_module, verify_module
+from repro.ir.module import Module
+from repro.llee.jit import FunctionJIT
+from repro.minic import compile_source
+from repro.targets import disassemble, make_target, verify_native_module
+from repro.transforms import link_modules, optimize
+
+
+def _load_module(path: str) -> Module:
+    if path.endswith(".ll"):
+        with open(path) as handle:
+            module = parse_module(handle.read(), path)
+    elif path.endswith((".c", ".mc")):
+        with open(path) as handle:
+            module = compile_source(handle.read(), path)
+    else:
+        with open(path, "rb") as handle:
+            module = read_module(handle.read(), path)
+    verify_module(module)
+    return module
+
+
+def _write_output(module: Module, output: Optional[str],
+                  as_text: bool = False) -> None:
+    if as_text or (output and output.endswith(".ll")):
+        text = print_module(module)
+        if output:
+            with open(output, "w") as handle:
+                handle.write(text)
+        else:
+            sys.stdout.write(text)
+        return
+    data = write_module(module)
+    if output:
+        with open(output, "wb") as handle:
+            handle.write(data)
+    else:
+        sys.stdout.buffer.write(data)
+
+
+def _cmd_cc(args) -> int:
+    with open(args.input) as handle:
+        module = compile_source(handle.read(), args.input,
+                                optimization_level=args.optimize,
+                                pointer_size=args.pointer_size,
+                                endianness=args.endian)
+    verify_module(module)
+    _write_output(module, args.output)
+    return 0
+
+
+def _cmd_as(args) -> int:
+    module = _load_module(args.input)
+    _write_output(module, args.output)
+    return 0
+
+
+def _cmd_dis(args) -> int:
+    module = _load_module(args.input)
+    _write_output(module, args.output, as_text=True)
+    return 0
+
+
+def _cmd_opt(args) -> int:
+    module = _load_module(args.input)
+    optimize(module, level=args.optimize, link_time=args.link_time)
+    verify_module(module)
+    _write_output(module, args.output)
+    return 0
+
+
+def _cmd_link(args) -> int:
+    modules = [_load_module(path) for path in args.inputs]
+    linked = link_modules(modules, args.output or "linked")
+    verify_module(linked)
+    _write_output(linked, args.output)
+    return 0
+
+
+def _parse_program_args(raw: List[str]) -> List[object]:
+    out: List[object] = []
+    for text in raw:
+        try:
+            out.append(int(text))
+        except ValueError:
+            out.append(float(text))
+    return out
+
+
+def _cmd_run(args) -> int:
+    module = _load_module(args.input)
+    program_args = _parse_program_args(args.args)
+    try:
+        if args.target:
+            target = make_target(args.target)
+            from repro.targets import NativeModule
+
+            native = NativeModule(target, module.name)
+            jit = FunctionJIT(module, target)
+            simulator = MachineSimulator(native, module,
+                                         resolver=jit.translate)
+            value, status = simulator.run(args.entry, program_args)
+            sys.stdout.write(simulator.output_text())
+            if args.stats:
+                sys.stderr.write(
+                    "[{0}] result={1} cycles={2} instructions={3} "
+                    "jitted={4} translate={5:.4f}s\n".format(
+                        args.target, value, simulator.cycles,
+                        simulator.instructions_executed,
+                        jit.stats.functions_translated,
+                        jit.stats.translate_seconds))
+        else:
+            interpreter = Interpreter(module,
+                                      privileged=args.privileged)
+            result = interpreter.run(args.entry, program_args)
+            sys.stdout.write(result.output)
+            value, status = result.return_value, result.exit_status
+            if args.stats:
+                sys.stderr.write(
+                    "[interp] result={0} steps={1}\n".format(
+                        value, result.steps))
+    except ExecutionTrap as trap:
+        sys.stderr.write("trap: {0}\n".format(trap))
+        return 128 + trap.trap_number
+    if status:
+        return status
+    return int(value) & 0xFF if isinstance(value, (int, bool)) else 0
+
+
+def _cmd_llc(args) -> int:
+    module = _load_module(args.input)
+    target = make_target(args.target)
+    jit = FunctionJIT(module, target)
+    native = jit.translate_all()
+    verify_native_module(native)
+    chunks = [disassemble(machine)
+              for machine in native.functions.values()]
+    text = "\n".join(chunks)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+    else:
+        sys.stdout.write(text)
+    sys.stderr.write(
+        "; {0} LLVA instructions -> {1} {2} instructions "
+        "({3:.2f}x), {4} bytes\n".format(
+            module.num_instructions(), native.num_instructions(),
+            args.target,
+            native.num_instructions() / max(module.num_instructions(),
+                                            1),
+            native.code_size()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="The LLVA toolchain (MICRO 2003 reproduction).")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cc = commands.add_parser("cc", help="compile MiniC to object code")
+    cc.add_argument("input")
+    cc.add_argument("-o", "--output")
+    cc.add_argument("-O", "--optimize", type=int, default=0)
+    cc.add_argument("--pointer-size", type=int, default=8,
+                    choices=(4, 8))
+    cc.add_argument("--endian", default="little",
+                    choices=("little", "big"))
+    cc.set_defaults(func=_cmd_cc)
+
+    as_cmd = commands.add_parser(
+        "as", help="assemble .ll (or re-encode) to object code")
+    as_cmd.add_argument("input")
+    as_cmd.add_argument("-o", "--output")
+    as_cmd.set_defaults(func=_cmd_as)
+
+    dis = commands.add_parser("dis",
+                              help="disassemble object code to .ll")
+    dis.add_argument("input")
+    dis.add_argument("-o", "--output")
+    dis.set_defaults(func=_cmd_dis)
+
+    opt = commands.add_parser("opt", help="run the optimizer")
+    opt.add_argument("input")
+    opt.add_argument("-o", "--output")
+    opt.add_argument("-O", "--optimize", type=int, default=2)
+    opt.add_argument("--link-time", action="store_true")
+    opt.set_defaults(func=_cmd_opt)
+
+    link = commands.add_parser("link", help="link modules")
+    link.add_argument("inputs", nargs="+")
+    link.add_argument("-o", "--output")
+    link.set_defaults(func=_cmd_link)
+
+    run = commands.add_parser(
+        "run", help="execute (interpreter, or --target JIT)")
+    run.add_argument("input")
+    run.add_argument("--target", choices=("x86", "sparc"))
+    run.add_argument("--entry", default="main")
+    run.add_argument("--privileged", action="store_true")
+    run.add_argument("--stats", action="store_true")
+    run.add_argument("args", nargs="*")
+    run.set_defaults(func=_cmd_run)
+
+    llc = commands.add_parser(
+        "llc", help="translate to a native listing")
+    llc.add_argument("input")
+    llc.add_argument("--target", default="sparc",
+                     choices=("x86", "sparc"))
+    llc.add_argument("-o", "--output")
+    llc.set_defaults(func=_cmd_llc)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The LLVA optimizer: the machine-independent transformations of
+Section 4.2 (compile/link-time) and Section 5.1 (interprocedural)."""
+
+from repro.transforms.adce import AggressiveDCE
+from repro.transforms.constfold import fold_instruction, simplify_instruction
+from repro.transforms.dce import DeadCodeElimination, InstSimplify
+from repro.transforms.globalopt import GlobalOptimizer, internalize
+from repro.transforms.gvn import GlobalValueNumbering
+from repro.transforms.inline import FunctionInliner, inline_call
+from repro.transforms.licm import LoopInvariantCodeMotion
+from repro.transforms.linker import LinkError, link_modules
+from repro.transforms.mem2reg import PromoteMemoryToRegisters
+from repro.transforms.pass_manager import (
+    FunctionPass,
+    ModulePass,
+    PassManager,
+    PipelineReport,
+    link_time_pipeline,
+    optimize,
+    standard_pipeline,
+)
+from repro.transforms.poolalloc import AutomaticPoolAllocation
+from repro.transforms.sccp import SparseConditionalConstantProp
+from repro.transforms.simplifycfg import SimplifyCFG
+
+__all__ = [
+    "AggressiveDCE",
+    "fold_instruction",
+    "simplify_instruction",
+    "DeadCodeElimination",
+    "InstSimplify",
+    "GlobalOptimizer",
+    "internalize",
+    "GlobalValueNumbering",
+    "FunctionInliner",
+    "inline_call",
+    "LoopInvariantCodeMotion",
+    "LinkError",
+    "link_modules",
+    "PromoteMemoryToRegisters",
+    "FunctionPass",
+    "ModulePass",
+    "PassManager",
+    "PipelineReport",
+    "link_time_pipeline",
+    "optimize",
+    "standard_pipeline",
+    "AutomaticPoolAllocation",
+    "SparseConditionalConstantProp",
+    "SimplifyCFG",
+]

@@ -1,0 +1,63 @@
+"""Aggressive dead-code elimination.
+
+Where :class:`~repro.transforms.dce.DeadCodeElimination` deletes only
+locally-unused instructions, ADCE starts from the observable effects
+(stores, calls, returns, architecturally-enabled exceptions, control
+flow) and marks backwards through def-use chains; everything unmarked is
+deleted at once — so whole dead cycles of phi-connected computations
+disappear, which plain DCE can never achieve.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir import instructions as insts
+from repro.ir.module import Function
+from repro.transforms.pass_manager import FunctionPass
+
+
+def _is_root(inst: insts.Instruction) -> bool:
+    """Instructions whose effects are observable regardless of uses."""
+    if inst.is_terminator:
+        return True
+    if isinstance(inst, (insts.StoreInst, insts.CallInst)):
+        return True
+    if inst.may_raise():
+        return True
+    return False
+
+
+class AggressiveDCE(FunctionPass):
+    name = "adce"
+
+    def run(self, function: Function) -> bool:
+        live: Set[int] = set()
+        worklist: List[insts.Instruction] = []
+        for block in function.blocks:
+            for inst in block.instructions:
+                if _is_root(inst):
+                    live.add(id(inst))
+                    worklist.append(inst)
+        while worklist:
+            inst = worklist.pop()
+            for operand in inst.operands:
+                if isinstance(operand, insts.Instruction) \
+                        and id(operand) not in live:
+                    live.add(id(operand))
+                    worklist.append(operand)
+        dead: List[insts.Instruction] = [
+            inst for block in function.blocks
+            for inst in block.instructions
+            if id(inst) not in live
+        ]
+        if not dead:
+            return False
+        # Liveness propagates through operands, so no live instruction
+        # uses a dead one; dropping every dead instruction's operand
+        # references first leaves the dead set mutually unreferenced.
+        for inst in dead:
+            inst.drop_all_references()
+        for inst in dead:
+            inst.parent.remove(inst)
+        return True

@@ -1,0 +1,332 @@
+"""Constant folding and algebraic simplification of single instructions.
+
+Folding uses the *same* semantics as the interpreter (two's-complement
+wraparound, C-style division, IEEE floats), so a folded program is
+bit-identical to an unfolded one — the differential tests enforce this.
+
+Instructions that could trap (``div``/``rem`` by a zero constant) are
+never folded away: the paper's exception model makes the trap an
+architecturally-visible effect when ``ExceptionsEnabled`` is set.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.ir import instructions as insts
+from repro.ir import types, values
+from repro.ir.values import (
+    Constant,
+    ConstantBool,
+    ConstantFP,
+    ConstantInt,
+    ConstantNull,
+    UndefValue,
+    Value,
+)
+
+
+def fold_instruction(inst: insts.Instruction) -> Optional[Constant]:
+    """Fold *inst* to a constant if all operands are constants.
+
+    Returns None when the instruction cannot be folded (non-constant
+    operands, potential trap, or target-dependent result).
+    """
+    if isinstance(inst, insts.ArithmeticInst):
+        return _fold_arith(inst)
+    if isinstance(inst, insts.LogicalInst):
+        return _fold_logical(inst)
+    if isinstance(inst, insts.ShiftInst):
+        return _fold_shift(inst)
+    if isinstance(inst, insts.CompareInst):
+        return _fold_compare(inst)
+    if isinstance(inst, insts.CastInst):
+        return _fold_cast(inst)
+    return None
+
+
+def simplify_instruction(inst: insts.Instruction) -> Optional[Value]:
+    """Algebraic identities that need only one constant operand.
+
+    Returns a replacement value (possibly an existing register) or None.
+    """
+    folded = fold_instruction(inst)
+    if folded is not None:
+        return folded
+    opcode = inst.opcode
+    if opcode in ("add", "or", "xor"):
+        value, constant = _split_commutative(inst)
+        if constant is not None and _is_zero(constant):
+            return value
+        if opcode == "xor" and inst.operand(0) is inst.operand(1) \
+                and inst.type.is_integer:
+            return values.const_int(inst.type, 0)
+    elif opcode == "sub":
+        if _is_zero_constant(inst.operand(1)):
+            return inst.operand(0)
+        if inst.operand(0) is inst.operand(1) and inst.type.is_integer:
+            return values.const_int(inst.type, 0)
+    elif opcode == "mul":
+        value, constant = _split_commutative(inst)
+        if constant is not None and inst.type.is_integer:
+            if _is_zero(constant):
+                return values.const_int(inst.type, 0)
+            if isinstance(constant, ConstantInt) and constant.value == 1:
+                return value
+    elif opcode == "div":
+        divisor = inst.operand(1)
+        if isinstance(divisor, ConstantInt) and divisor.value == 1:
+            return inst.operand(0)
+    elif opcode == "and":
+        value, constant = _split_commutative(inst)
+        if constant is not None:
+            if _is_zero(constant):
+                return constant
+            if _is_all_ones(constant):
+                return value
+        if inst.operand(0) is inst.operand(1):
+            return inst.operand(0)
+    elif opcode == "or":
+        if inst.operand(0) is inst.operand(1):
+            return inst.operand(0)
+    elif opcode in ("shl", "shr"):
+        amount = inst.operand(1)
+        if isinstance(amount, ConstantInt) and amount.value == 0:
+            return inst.operand(0)
+    elif opcode == "phi":
+        return _simplify_phi(inst)
+    elif opcode == "cast":
+        if inst.value.type is inst.type:
+            return inst.value
+    elif opcode in ("seteq", "setne"):
+        if inst.operand(0) is inst.operand(1) \
+                and not inst.operand(0).type.is_floating_point:
+            return values.const_bool(opcode == "seteq")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Folding kernels
+# ---------------------------------------------------------------------------
+
+def _int_operands(inst) -> Optional[tuple]:
+    lhs, rhs = inst.operand(0), inst.operand(1)
+    if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
+        return lhs.value, rhs.value
+    return None
+
+
+def _fp_operands(inst) -> Optional[tuple]:
+    lhs, rhs = inst.operand(0), inst.operand(1)
+    if isinstance(lhs, ConstantFP) and isinstance(rhs, ConstantFP):
+        return lhs.value, rhs.value
+    return None
+
+
+def _fold_arith(inst: insts.ArithmeticInst) -> Optional[Constant]:
+    opcode = inst.opcode
+    if inst.type.is_integer:
+        pair = _int_operands(inst)
+        if pair is None:
+            return None
+        lhs, rhs = pair
+        if opcode == "add":
+            raw = lhs + rhs
+        elif opcode == "sub":
+            raw = lhs - rhs
+        elif opcode == "mul":
+            raw = lhs * rhs
+        else:
+            if rhs == 0:
+                return None  # a potential trap is not foldable
+            quotient = abs(lhs) // abs(rhs)
+            if (lhs < 0) != (rhs < 0):
+                quotient = -quotient
+            raw = quotient if opcode == "div" else lhs - quotient * rhs
+        return values.const_int(inst.type, inst.type.wrap(raw))
+    pair = _fp_operands(inst)
+    if pair is None:
+        return None
+    lhs, rhs = pair
+    if opcode == "add":
+        result = lhs + rhs
+    elif opcode == "sub":
+        result = lhs - rhs
+    elif opcode == "mul":
+        result = lhs * rhs
+    elif opcode == "div":
+        if rhs == 0.0:
+            if lhs == 0.0:
+                result = float("nan")
+            else:
+                result = float("inf") if lhs > 0 else float("-inf")
+        else:
+            result = lhs / rhs
+    else:
+        result = math.fmod(lhs, rhs) if rhs != 0.0 else float("nan")
+    return values.const_fp(inst.type, result)
+
+
+def _fold_logical(inst: insts.LogicalInst) -> Optional[Constant]:
+    lhs, rhs = inst.operand(0), inst.operand(1)
+    if inst.type.is_bool:
+        if not (isinstance(lhs, ConstantBool)
+                and isinstance(rhs, ConstantBool)):
+            return None
+        a, b = lhs.value, rhs.value
+        if inst.opcode == "and":
+            return values.const_bool(a and b)
+        if inst.opcode == "or":
+            return values.const_bool(a or b)
+        return values.const_bool(a != b)
+    pair = _int_operands(inst)
+    if pair is None:
+        return None
+    a, b = pair
+    if inst.opcode == "and":
+        raw = a & b
+    elif inst.opcode == "or":
+        raw = a | b
+    else:
+        raw = a ^ b
+    return values.const_int(inst.type, inst.type.wrap(raw))
+
+
+def _fold_shift(inst: insts.ShiftInst) -> Optional[Constant]:
+    pair = _int_operands(inst)
+    if pair is None:
+        return None
+    value, raw_amount = pair
+    amount = raw_amount & (inst.type.bits - 1)
+    if inst.opcode == "shl":
+        raw = value << amount
+    elif inst.type.is_signed:
+        raw = value >> amount
+    else:
+        raw = (value & ((1 << inst.type.bits) - 1)) >> amount
+    return values.const_int(inst.type, inst.type.wrap(raw))
+
+
+def _fold_compare(inst: insts.CompareInst) -> Optional[Constant]:
+    lhs, rhs = inst.operand(0), inst.operand(1)
+    pair: Optional[tuple] = None
+    if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
+        pair = (lhs.value, rhs.value)
+    elif isinstance(lhs, ConstantFP) and isinstance(rhs, ConstantFP):
+        pair = (lhs.value, rhs.value)
+    elif isinstance(lhs, ConstantBool) and isinstance(rhs, ConstantBool):
+        pair = (lhs.value, rhs.value)
+    elif isinstance(lhs, ConstantNull) and isinstance(rhs, ConstantNull):
+        pair = (0, 0)
+    if pair is None:
+        return None
+    a, b = pair
+    relation = inst.relation
+    if relation == "eq":
+        result = a == b
+    elif relation == "ne":
+        result = a != b
+    elif relation == "lt":
+        result = a < b
+    elif relation == "gt":
+        result = a > b
+    elif relation == "le":
+        result = a <= b
+    else:
+        result = a >= b
+    return values.const_bool(bool(result))
+
+
+def _fold_cast(inst: insts.CastInst) -> Optional[Constant]:
+    source = inst.value
+    dest = inst.type
+    if isinstance(source, UndefValue):
+        return values.const_undef(dest)
+    if isinstance(source, ConstantInt):
+        if dest.is_integer:
+            return values.const_int(dest, dest.wrap(source.value))
+        if dest.is_bool:
+            return values.const_bool(source.value != 0)
+        if dest.is_floating_point:
+            return values.const_fp(dest, float(source.value))
+        if dest.is_pointer and source.value == 0:
+            return values.const_null(dest)
+        return None  # non-zero int-to-pointer: target-dependent
+    if isinstance(source, ConstantBool):
+        if dest.is_integer:
+            return values.const_int(dest, 1 if source.value else 0)
+        if dest.is_bool:
+            return source
+        if dest.is_floating_point:
+            return values.const_fp(dest, 1.0 if source.value else 0.0)
+        return None
+    if isinstance(source, ConstantFP):
+        if dest.is_floating_point:
+            return values.const_fp(dest, source.value)
+        if dest.is_integer:
+            value = source.value
+            if value != value or value in (float("inf"), float("-inf")):
+                return values.const_int(dest, 0)
+            return values.const_int(dest, dest.wrap(int(value)))
+        if dest.is_bool:
+            return values.const_bool(source.value != 0.0)
+        return None
+    if isinstance(source, ConstantNull):
+        if dest.is_pointer:
+            return values.const_null(dest)
+        if dest.is_integer:
+            return values.const_int(dest, 0)
+        if dest.is_bool:
+            return values.const_bool(False)
+        return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Simplification helpers
+# ---------------------------------------------------------------------------
+
+def _split_commutative(inst):
+    """(value, constant) with the constant operand second, or (_, None)."""
+    lhs, rhs = inst.operand(0), inst.operand(1)
+    if isinstance(rhs, (ConstantInt, ConstantFP, ConstantBool)):
+        return lhs, rhs
+    if isinstance(lhs, (ConstantInt, ConstantFP, ConstantBool)):
+        return rhs, lhs
+    return lhs, None
+
+
+def _is_zero(constant: Constant) -> bool:
+    if isinstance(constant, ConstantInt):
+        return constant.value == 0
+    if isinstance(constant, ConstantBool):
+        return not constant.value
+    # Floating 0.0 is NOT an additive identity for -0.0 / NaN; skip.
+    return False
+
+
+def _is_zero_constant(value: Value) -> bool:
+    return isinstance(value, ConstantInt) and value.value == 0
+
+
+def _is_all_ones(constant: Constant) -> bool:
+    if isinstance(constant, ConstantInt):
+        return constant.value == constant.type.wrap(-1)
+    if isinstance(constant, ConstantBool):
+        return constant.value
+    return False
+
+
+def _simplify_phi(phi: insts.PhiInst) -> Optional[Value]:
+    """A phi whose incoming values are all identical (or itself) reduces
+    to that value."""
+    unique: Optional[Value] = None
+    for value, _block in phi.incoming():
+        if value is phi:
+            continue
+        if unique is None:
+            unique = value
+        elif unique is not value:
+            return None
+    return unique

@@ -1,0 +1,137 @@
+"""Dead-code elimination and local instruction simplification.
+
+Both are sparse worklist algorithms over the def-use chains — the "simple
+or aggressive" optimizations the SSA representation makes cheap
+(Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir import instructions as insts
+from repro.ir.module import Function
+from repro.transforms.constfold import simplify_instruction
+from repro.transforms.pass_manager import FunctionPass
+
+
+def is_trivially_dead(inst: insts.Instruction) -> bool:
+    """Value-producing, unused, and free of observable effects.
+
+    An instruction whose exception is architecturally deliverable
+    (``may_raise``) is an observable effect under the paper's precise-
+    exception rules and must be kept — this is exactly the optimization
+    the ``ExceptionsEnabled`` bit trades away when set (Section 3.3).
+    """
+    if inst.is_terminator:
+        return False
+    if isinstance(inst, (insts.StoreInst, insts.CallInst)):
+        return False
+    if inst.has_uses():
+        return False
+    if inst.may_raise():
+        return False
+    return True
+
+
+class DeadCodeElimination(FunctionPass):
+    """Deletes trivially dead instructions, cascading through operands."""
+
+    name = "dce"
+
+    def run(self, function: Function) -> bool:
+        worklist: List[insts.Instruction] = [
+            inst for block in function.blocks
+            for inst in block.instructions
+        ]
+        changed = False
+        while worklist:
+            inst = worklist.pop()
+            if inst.parent is None or not is_trivially_dead(inst):
+                continue
+            operands = [op for op in inst.operands
+                        if isinstance(op, insts.Instruction)]
+            inst.erase()
+            changed = True
+            worklist.extend(operands)
+        return changed
+
+
+class InstSimplify(FunctionPass):
+    """Folds constants, applies algebraic identities, and canonicalizes
+    gep-of-gep chains into single typed geps (producing exactly the
+    Figure 2 form, ``getelementptr %T, long 0, ubyte 1, long 3``),
+    iterating with a worklist so simplifications cascade."""
+
+    name = "instsimplify"
+
+    def run(self, function: Function) -> bool:
+        worklist: List[insts.Instruction] = [
+            inst for block in function.blocks
+            for inst in block.instructions
+        ]
+        changed = False
+        while worklist:
+            inst = worklist.pop()
+            if inst.parent is None:
+                continue
+            replacement = simplify_instruction(inst)
+            if replacement is None and isinstance(
+                    inst, insts.GetElementPtrInst):
+                replacement = _combine_gep(inst)
+            if replacement is None or replacement is inst:
+                continue
+            users = [use.user for use in inst.uses
+                     if isinstance(use.user, insts.Instruction)]
+            inst.replace_all_uses_with(replacement)
+            if is_trivially_dead(inst):
+                inst.erase()
+            changed = True
+            worklist.extend(users)
+            if isinstance(replacement, insts.Instruction):
+                worklist.append(replacement)
+        return changed
+
+
+def _combine_gep(outer: insts.GetElementPtrInst):
+    """Fold ``gep (gep p, ...), ...`` into one gep.
+
+    Two sound cases:
+
+    * the outer leading index is a constant 0 — it steps over zero whole
+      objects, so the chains concatenate directly;
+    * the inner trailing index is a constant 0 into an array — the outer
+      leading index replaces it (0 + i = i), which is how the canonical
+      ``long 0, ubyte 1, long 3`` chain of Figure 2 emerges from the
+      front-end's field + decay + index steps.
+    """
+    from repro.ir.values import ConstantInt, const_int
+    from repro.ir import types as _types
+
+    inner = outer.pointer
+    if not isinstance(inner, insts.GetElementPtrInst):
+        return None
+    if inner.parent is None:
+        return None
+    outer_first = outer.indices[0]
+    inner_last = inner.indices[-1]
+    if isinstance(outer_first, ConstantInt) and outer_first.value == 0:
+        merged = list(inner.indices) + list(outer.indices[1:])
+    elif isinstance(inner_last, ConstantInt) and inner_last.value == 0 \
+            and inner_last.type is not _types.UBYTE \
+            and outer_first.type.is_integer:
+        merged = list(inner.indices[:-1]) + [outer_first] \
+            + list(outer.indices[1:])
+    else:
+        return None
+    from repro.ir.types import LlvaTypeError
+    try:
+        combined = insts.GetElementPtrInst(inner.pointer, merged,
+                                           outer.name)
+    except LlvaTypeError:
+        return None
+    if combined.type is not outer.type:
+        combined.drop_all_references()
+        return None
+    outer.parent.insert_before(outer, combined)
+    return combined

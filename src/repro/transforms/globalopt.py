@@ -1,0 +1,98 @@
+"""Whole-program global cleanup (link time).
+
+After linking, internal functions and globals with no remaining
+references are dead; constant globals whose value is known fold into
+their loads.  This runs after inlining in the link-time pipeline of
+Section 4.2.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir import instructions as insts
+from repro.ir.module import Function, GlobalVariable, Module
+from repro.transforms.pass_manager import ModulePass
+
+
+class GlobalOptimizer(ModulePass):
+    name = "globalopt"
+
+    def run_module(self, module: Module) -> bool:
+        changed = False
+        if self._fold_constant_global_loads(module):
+            changed = True
+        if self._remove_dead_internals(module):
+            changed = True
+        return changed
+
+    # -- constant folding through globals ------------------------------------
+
+    def _fold_constant_global_loads(self, module: Module) -> bool:
+        from repro.ir.values import Constant
+
+        changed = False
+        for variable in module.globals.values():
+            if not variable.is_constant or variable.initializer is None:
+                continue
+            if not variable.value_type.is_scalar:
+                continue
+            initializer = variable.initializer
+            if not isinstance(initializer, Constant):
+                continue
+            if isinstance(initializer, (Function, GlobalVariable)):
+                pass  # symbol addresses are still constants; fold them too
+            for use in list(variable.uses):
+                user = use.user
+                if isinstance(user, insts.LoadInst) \
+                        and user.pointer is variable:
+                    user.replace_all_uses_with(initializer)
+                    user.erase()
+                    changed = True
+        return changed
+
+    # -- dead symbol removal -----------------------------------------------------
+
+    def _remove_dead_internals(self, module: Module) -> bool:
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for function in list(module.functions.values()):
+                if function.internal and not function.has_uses() \
+                        and function.name != "main":
+                    self._delete_function(module, function)
+                    progress = changed = True
+            for variable in list(module.globals.values()):
+                if variable.internal and not variable.has_uses():
+                    module.remove_global(variable)
+                    progress = changed = True
+        return changed
+
+    @staticmethod
+    def _delete_function(module: Module, function: Function) -> None:
+        for block in list(function.blocks):
+            for inst in list(block.instructions):
+                inst.drop_all_references()
+            block.instructions.clear()
+        function.blocks.clear()
+        module.remove_function(function)
+
+
+def internalize(module: Module, keep: List[str] = ("main",)) -> int:
+    """Mark every symbol except *keep* as internal — the step a linker
+    performs once it knows the whole program (enables dead-global
+    elimination and more aggressive inlining decisions)."""
+    count = 0
+    kept = set(keep)
+    for function in module.functions.values():
+        if function.name not in kept and not function.is_declaration \
+                and not function.internal:
+            function.internal = True
+            count += 1
+    for variable in module.globals.values():
+        if variable.name not in kept and not variable.internal \
+                and variable.initializer is not None:
+            variable.internal = True
+            count += 1
+    return count

@@ -1,0 +1,116 @@
+"""Global value numbering with redundant-load elimination.
+
+Pure expressions are numbered over the dominator tree: two instructions
+with the same opcode and value-numbered operands compute the same value,
+and a dominating occurrence replaces every dominated one.  This is sound
+precisely because pure LLVA expressions have no clobbering effects and
+SSA guarantees operand identity.
+
+Memory is handled *locally*: within a basic block, loads are available
+until a may-alias store or a call intervenes, enabling redundant-load
+elimination and store-to-load forwarding.  (Cross-block load
+availability would require a full dataflow over all paths — not just the
+dominator relation — so the translator keeps it local; this is where
+the type-based alias analysis of Section 3.3 earns its keep.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.alias import AliasAnalysis, AliasResult
+from repro.ir import instructions as insts
+from repro.ir.cfg import DominatorTree
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import Value
+from repro.transforms.dce import is_trivially_dead
+from repro.transforms.pass_manager import FunctionPass
+
+
+class GlobalValueNumbering(FunctionPass):
+    name = "gvn"
+
+    def __init__(self, alias_analysis: Optional[AliasAnalysis] = None):
+        self.alias = alias_analysis or AliasAnalysis()
+
+    def run(self, function: Function) -> bool:
+        domtree = DominatorTree(function)
+        changed = False
+        # Iterative pre-order walk of the dominator tree, each child
+        # receiving a copy of the parent's expression table.
+        stack: List[Tuple[BasicBlock, Dict[Tuple, insts.Instruction]]] = [
+            (function.entry_block, {})]
+        while stack:
+            block, inherited = stack.pop()
+            expressions = dict(inherited)
+            if self._process_block(block, expressions):
+                changed = True
+            for child in domtree.children(block):
+                stack.append((child, expressions))
+        return changed
+
+    # -- one block ------------------------------------------------------------
+
+    def _process_block(self, block: BasicBlock,
+                       expressions: Dict[Tuple, insts.Instruction]) -> bool:
+        changed = False
+        # (access instruction, value a matching load would produce)
+        available: List[Tuple[insts.Instruction, Value]] = []
+        for inst in list(block.instructions):
+            if isinstance(inst, insts.LoadInst):
+                hit = self._find_available_load(inst, available)
+                if hit is not None:
+                    inst.replace_all_uses_with(hit)
+                    inst.erase()
+                    changed = True
+                else:
+                    available.append((inst, inst))
+            elif isinstance(inst, insts.StoreInst):
+                available = self._kill_clobbered(inst, available)
+                available.append((inst, inst.value))
+            elif isinstance(inst, (insts.CallInst, insts.InvokeInst)):
+                available = []  # calls may write any memory
+            else:
+                key = self._expression_key(inst)
+                if key is None:
+                    continue
+                existing = expressions.get(key)
+                if existing is not None and existing.parent is not None:
+                    inst.replace_all_uses_with(existing)
+                    if is_trivially_dead(inst):
+                        inst.erase()
+                    changed = True
+                else:
+                    expressions[key] = inst
+        return changed
+
+    # -- expression hashing ---------------------------------------------------------
+
+    def _expression_key(self, inst: insts.Instruction) -> Optional[Tuple]:
+        if inst.opcode in ("alloca", "phi") or inst.is_terminator:
+            return None
+        if inst.may_raise():
+            return None  # a deliverable exception is an effect
+        operands = tuple(id(op) for op in inst.operands)
+        if isinstance(inst, insts.BinaryInst) and inst.is_commutative:
+            operands = tuple(sorted(operands))
+        return (inst.opcode, id(inst.type), operands)
+
+    # -- memory ------------------------------------------------------------------------
+
+    def _find_available_load(self, load: insts.LoadInst,
+                             available) -> Optional[Value]:
+        for prior, value in available:
+            if value.type is not load.type:
+                continue
+            if self.alias.alias(prior.pointer, load.pointer) \
+                    == AliasResult.MUST_ALIAS:
+                return value
+        return None
+
+    def _kill_clobbered(self, store: insts.StoreInst, available):
+        return [
+            (prior, value) for prior, value in available
+            if self.alias.alias(prior.pointer, store.pointer)
+            == AliasResult.NO_ALIAS
+        ]

@@ -1,0 +1,156 @@
+"""Link-time function inlining.
+
+The paper's Section 4.2 makes link-time interprocedural optimization the
+flagship benefit of shipping rich virtual object code ("it is the first
+time that most or all modules of an application are simultaneously
+available").  The inliner is the canonical such transformation: it runs
+bottom-up over the call graph and replaces direct calls to small,
+non-recursive callees with their bodies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.analysis.callgraph import CallGraph
+from repro.ir import instructions as insts
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import Value
+from repro.transforms.cloning import clone_blocks
+from repro.transforms.pass_manager import ModulePass
+
+DEFAULT_THRESHOLD = 40
+
+
+class FunctionInliner(ModulePass):
+    """Inline small direct calls, bottom-up over the call graph."""
+
+    name = "inline"
+
+    def __init__(self, threshold: int = DEFAULT_THRESHOLD):
+        self.threshold = threshold
+
+    def run_module(self, module: Module) -> bool:
+        callgraph = CallGraph(module)
+        changed = False
+        for function in callgraph.post_order():
+            if function.is_declaration:
+                continue
+            if self._inline_calls_in(function, callgraph):
+                changed = True
+        return changed
+
+    # -- per caller ----------------------------------------------------------
+
+    def _inline_calls_in(self, caller: Function,
+                         callgraph: CallGraph) -> bool:
+        changed = False
+        # Snapshot: inlining adds blocks/instructions we must not rescan.
+        sites = [
+            inst for block in list(caller.blocks)
+            for inst in list(block.instructions)
+            if isinstance(inst, insts.CallInst)
+        ]
+        for call in sites:
+            if call.parent is None:
+                continue
+            callee = call.callee
+            if not isinstance(callee, Function):
+                continue
+            if not self._should_inline(caller, callee, callgraph):
+                continue
+            inline_call(call, callee)
+            changed = True
+        return changed
+
+    def _should_inline(self, caller: Function, callee: Function,
+                       callgraph: CallGraph) -> bool:
+        if callee.is_declaration or callee.is_intrinsic:
+            return False
+        if callee is caller:
+            return False
+        if callee.function_type.vararg:
+            return False
+        if callee.num_instructions() > self.threshold:
+            return False
+        if callgraph.is_recursive(callee):
+            return False
+        # `unwind` needs the dynamic call stack; its frame must survive.
+        for inst in callee.instructions():
+            if isinstance(inst, insts.UnwindInst):
+                return False
+        return True
+
+
+def inline_call(call: insts.CallInst, callee: Function) -> None:
+    """Splice *callee*'s body in place of the direct call *call*."""
+    caller_block = call.parent
+    caller = caller_block.parent
+    call_index = caller_block.instructions.index(call)
+
+    # 1. Split the caller block after the call site.
+    continuation = caller.add_block(caller_block.name + ".cont")
+    tail = caller_block.instructions[call_index + 1:]
+    del caller_block.instructions[call_index + 1:]
+    for inst in tail:
+        inst.parent = continuation
+        continuation.instructions.append(inst)
+    # Phis downstream referencing caller_block as predecessor now come
+    # from the continuation.
+    _retarget_phi_preds(continuation, caller_block)
+
+    # 2. Clone the callee body, mapping formals to actuals.
+    value_map: Dict[int, Value] = {
+        id(formal): actual
+        for formal, actual in zip(callee.args, call.args)}
+    clones = clone_blocks(callee.blocks, value_map,
+                          name_suffix=".i." + callee.name)
+    insert_at = caller.blocks.index(caller_block) + 1
+    for offset, clone in enumerate(clones):
+        clone.parent = caller
+        clone.name = caller._unique_block_name(clone.name or "bb")
+        caller.blocks.insert(insert_at + offset, clone)
+
+    # 3. Rewrite cloned returns into branches to the continuation.
+    returned: List = []
+    for clone in clones:
+        terminator = clone.terminator
+        if isinstance(terminator, insts.RetInst):
+            value = terminator.return_value
+            terminator.erase()
+            clone.append(insts.BranchInst(target=continuation))
+            returned.append((value, clone))
+
+    # 4. Replace the call's value with the merged return value.
+    if call.produces_value and call.has_uses():
+        if not returned:
+            # The callee never returns; uses of the call are unreachable.
+            from repro.ir.values import const_undef
+            call.replace_all_uses_with(const_undef(call.type))
+        elif len(returned) == 1:
+            call.replace_all_uses_with(returned[0][0])
+        else:
+            phi = insts.PhiInst(call.type, returned, name=call.name)
+            continuation.instructions.insert(0, phi)
+            phi.parent = continuation
+            call.replace_all_uses_with(phi)
+
+    # 5. Replace the call instruction with a branch into the clone.
+    entry_clone = clones[0]
+    call.erase()
+    caller_block.append(insts.BranchInst(target=entry_clone))
+
+
+def _retarget_phi_preds(continuation: BasicBlock,
+                        old_block: BasicBlock) -> None:
+    for successor in set(_terminator_successors(continuation)):
+        for phi in successor.phis():
+            for index in range(1, phi.num_operands, 2):
+                if phi.operand(index) is old_block:
+                    phi.set_operand(index, continuation)
+
+
+def _terminator_successors(block: BasicBlock):
+    if block.has_terminator():
+        return block.terminator.successors()
+    return ()

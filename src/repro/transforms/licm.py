@@ -1,0 +1,177 @@
+"""Loop-invariant code motion.
+
+Hoists computations whose operands do not change within a loop into the
+loop's preheader.  The pass is a working demonstration of the paper's
+exception-model claim (Section 3.3): an instruction with
+``ExceptionsEnabled = false`` may be hoisted past the loop guard freely,
+while one with the bit set may only move when it is guaranteed to execute
+on every iteration (its block dominates every loop exit) — so static
+compilers that clear the bit directly unlock more reordering in the
+translator.
+
+Invariant loads additionally require that no store or call inside the
+loop may alias the loaded address (alias analysis again).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.analysis.alias import AliasAnalysis, AliasResult
+from repro.analysis.loops import Loop, LoopInfo
+from repro.ir import instructions as insts
+from repro.ir.cfg import DominatorTree
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import Value
+from repro.transforms.pass_manager import FunctionPass
+
+
+class LoopInvariantCodeMotion(FunctionPass):
+    name = "licm"
+
+    def __init__(self, alias_analysis: Optional[AliasAnalysis] = None):
+        self.alias = alias_analysis or AliasAnalysis()
+
+    def run(self, function: Function) -> bool:
+        domtree = DominatorTree(function)
+        loop_info = LoopInfo(function, domtree)
+        loops = sorted(loop_info.all_loops(),
+                       key=lambda lp: -lp.depth)  # innermost first
+        changed = False
+        for loop in loops:
+            if self._process_loop(function, loop, domtree):
+                changed = True
+                # Hoisting into a fresh preheader invalidates the trees.
+                domtree = DominatorTree(function)
+        return changed
+
+    # -- per loop ----------------------------------------------------------------
+
+    def _process_loop(self, function: Function, loop: Loop,
+                      domtree: DominatorTree) -> bool:
+        preheader = self._ensure_preheader(function, loop)
+        if preheader is None:
+            return False
+        invariant: Set[int] = set()
+        writes, has_calls = self._loop_memory_effects(loop)
+        exit_dominators = self._blocks_dominating_exits(loop, domtree)
+        changed = False
+        # Iterate to a fixpoint: hoisting one instruction can make its
+        # users invariant.
+        progress = True
+        while progress:
+            progress = False
+            for block in list(loop.blocks):
+                for inst in list(block.instructions):
+                    if id(inst) in invariant:
+                        continue
+                    if not self._hoistable(inst, loop, invariant, writes,
+                                           has_calls, exit_dominators):
+                        continue
+                    block.remove(inst)
+                    preheader.insert_before(preheader.terminator, inst)
+                    invariant.add(id(inst))
+                    progress = True
+                    changed = True
+        return changed
+
+    # -- classification ------------------------------------------------------------
+
+    def _hoistable(self, inst: insts.Instruction, loop: Loop,
+                   invariant: Set[int], writes: List[insts.StoreInst],
+                   has_calls: bool, exit_dominators: Set[int]) -> bool:
+        if inst.is_terminator or isinstance(
+                inst, (insts.PhiInst, insts.AllocaInst, insts.StoreInst,
+                       insts.CallInst, insts.InvokeInst)):
+            return False
+        if not self._operands_invariant(inst, loop, invariant):
+            return False
+        if isinstance(inst, insts.LoadInst):
+            if has_calls:
+                return False
+            for store in writes:
+                if self.alias.alias(store.pointer, inst.pointer) \
+                        != AliasResult.NO_ALIAS:
+                    return False
+        if inst.may_raise():
+            # Precise exceptions: moving a potentially-trapping
+            # instruction before the loop guard is only legal when it was
+            # going to execute anyway.
+            if id(inst.parent) not in exit_dominators:
+                return False
+        return True
+
+    def _operands_invariant(self, inst: insts.Instruction, loop: Loop,
+                            invariant: Set[int]) -> bool:
+        for operand in inst.operands:
+            if isinstance(operand, insts.Instruction):
+                if id(operand) in invariant:
+                    continue
+                if operand.parent is not None \
+                        and loop.contains(operand.parent):
+                    return False
+        return True
+
+    # -- loop facts --------------------------------------------------------------------
+
+    def _loop_memory_effects(self, loop: Loop):
+        writes: List[insts.StoreInst] = []
+        has_calls = False
+        for block in loop.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, insts.StoreInst):
+                    writes.append(inst)
+                elif isinstance(inst, (insts.CallInst, insts.InvokeInst)):
+                    has_calls = True
+        return writes, has_calls
+
+    def _blocks_dominating_exits(self, loop: Loop,
+                                 domtree: DominatorTree) -> Set[int]:
+        exits = [inside for inside, _outside in loop.exit_edges()]
+        out: Set[int] = set()
+        for block in loop.blocks:
+            if all(domtree.dominates(block, exit_block)
+                   for exit_block in exits):
+                out.add(id(block))
+        return out
+
+    # -- preheader creation ---------------------------------------------------------------
+
+    def _ensure_preheader(self, function: Function,
+                          loop: Loop) -> Optional[BasicBlock]:
+        existing = loop.preheader()
+        if existing is not None:
+            return existing
+        header = loop.header
+        outside_preds = [p for p in header.predecessors()
+                         if not loop.contains(p)]
+        if not outside_preds:
+            return None  # unreachable loop
+        preheader = function.add_block(header.name + ".preheader",
+                                       before=header)
+        # Migrate phi edges: the header's phis merge the outside values in
+        # the preheader only if there are several outside predecessors —
+        # with one, simply retarget.
+        for phi in header.phis():
+            if len(outside_preds) == 1:
+                value = phi.incoming_for_block(outside_preds[0])
+                if value is not None:
+                    phi.remove_incoming(outside_preds[0])
+                    phi.add_incoming(value, preheader)
+            else:
+                merged = insts.PhiInst(phi.type, name=phi.name)
+                preheader.instructions.insert(0, merged)
+                merged.parent = preheader
+                for pred in outside_preds:
+                    value = phi.incoming_for_block(pred)
+                    if value is not None:
+                        merged.add_incoming(value, pred)
+                        phi.remove_incoming(pred)
+                phi.add_incoming(merged, preheader)
+        preheader.append(insts.BranchInst(target=header))
+        for pred in outside_preds:
+            terminator = pred.terminator
+            for index, operand in enumerate(terminator.operands):
+                if operand is header:
+                    terminator.set_operand(index, preheader)
+        return preheader

@@ -1,0 +1,139 @@
+"""The LLVA module linker.
+
+Links several virtual object code modules into one whole program —
+the precondition for the link-time interprocedural optimization that
+Section 4.2 identifies as "particularly important because it is the
+first time that most or all modules of an application are simultaneously
+available".
+
+Linking resolves declarations against definitions by symbol name: a
+declaration in one module binds to the definition in another, with
+type-checked signatures.  Internal symbols never cross module
+boundaries; colliding internal names are renamed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.ir import types
+from repro.ir.module import Function, GlobalVariable, Module
+from repro.ir.types import LlvaTypeError
+
+
+class LinkError(Exception):
+    """Symbol conflicts or signature mismatches between modules."""
+
+
+def link_modules(modules: Sequence[Module],
+                 name: str = "linked") -> Module:
+    """Link *modules* into a fresh module (the inputs are consumed)."""
+    if not modules:
+        raise LinkError("nothing to link")
+    for module in modules[1:]:
+        if module.pointer_size != modules[0].pointer_size \
+                or module.endianness != modules[0].endianness:
+            raise LinkError("V-ABI flag mismatch between modules")
+    output = Module(name,
+                    pointer_size=modules[0].pointer_size,
+                    endianness=modules[0].endianness)
+    for module in modules:
+        _absorb(output, module)
+    _check_unresolved(output)
+    return output
+
+
+def _absorb(output: Module, source: Module) -> None:
+    for type_name, struct in source.named_types.items():
+        output.named_types.setdefault(type_name, struct)
+    for variable in list(source.globals.values()):
+        source.remove_global(variable)
+        _absorb_global(output, variable)
+    for function in list(source.functions.values()):
+        source.remove_function(function)
+        _absorb_function(output, function)
+
+
+def _absorb_global(output: Module, variable: GlobalVariable) -> None:
+    if variable.internal:
+        variable.name = _fresh_name(output, variable.name)
+        output.add_global(variable)
+        return
+    existing = output.globals.get(variable.name)
+    if existing is None:
+        if variable.name in output.functions:
+            raise LinkError(
+                "symbol %{0} is a function in another module"
+                .format(variable.name))
+        output.add_global(variable)
+        return
+    if existing.value_type is not variable.value_type:
+        raise LinkError("global %{0} type mismatch".format(variable.name))
+    if existing.initializer is None:
+        # Existing is a declaration: adopt the definition's body.
+        existing.initializer = variable.initializer
+        existing.is_constant = variable.is_constant
+        variable.replace_all_uses_with(existing)
+    elif variable.initializer is None:
+        variable.replace_all_uses_with(existing)
+    else:
+        raise LinkError(
+            "duplicate definition of global %{0}".format(variable.name))
+
+
+def _absorb_function(output: Module, function: Function) -> None:
+    if function.internal:
+        function.name = _fresh_name(output, function.name)
+        output.add_function(function)
+        return
+    existing = output.functions.get(function.name)
+    if existing is None:
+        if function.name in output.globals:
+            raise LinkError(
+                "symbol %{0} is a global in another module"
+                .format(function.name))
+        output.add_function(function)
+        return
+    if existing.function_type is not function.function_type:
+        raise LinkError(
+            "function %{0} signature mismatch".format(function.name))
+    if existing.is_declaration and not function.is_declaration:
+        # Adopt the definition into the existing declaration object so
+        # all references in already-linked code bind to the body.
+        existing.blocks = function.blocks
+        for block in existing.blocks:
+            block.parent = existing
+        old_args = existing.args
+        existing.args = function.args
+        for arg in existing.args:
+            arg.function = existing
+        function.blocks = []
+        function.args = old_args
+        function.replace_all_uses_with(existing)
+    elif not existing.is_declaration and function.is_declaration:
+        function.replace_all_uses_with(existing)
+    elif existing.is_declaration and function.is_declaration:
+        function.replace_all_uses_with(existing)
+    else:
+        raise LinkError(
+            "duplicate definition of function %{0}".format(function.name))
+
+
+def _check_unresolved(output: Module) -> None:
+    """Calls to undefined non-runtime, non-intrinsic symbols are link
+    errors only when no definition could ever be supplied; external
+    library functions remain legal (Section 4.1: 'LLVA executables can
+    invoke native libraries')."""
+    # Nothing fatal here by design; LLEE resolves runtime externals.
+
+
+def _fresh_name(output: Module, base: str) -> str:
+    if base not in output.functions and base not in output.globals:
+        return base
+    counter = 1
+    while True:
+        candidate = "{0}.{1}".format(base, counter)
+        if candidate not in output.functions \
+                and candidate not in output.globals:
+            return candidate
+        counter += 1

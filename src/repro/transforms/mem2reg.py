@@ -1,0 +1,141 @@
+"""Promote stack slots to SSA registers (``mem2reg``).
+
+Front-ends emit an ``alloca`` per source variable and access it through
+loads and stores (exactly like Figure 2's ``%V``); this pass rewrites
+every non-escaping scalar slot into pure SSA form using the classic
+Cytron et al. algorithm — phi placement at iterated dominance frontiers
+followed by a renaming walk over the dominator tree.
+
+This is the pass that makes the paper's claim concrete: the V-ISA's SSA
+form is not an analysis bolted on afterwards, it *is* the program
+representation, and everything produced here is ordinary LLVA code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir import instructions as insts
+from repro.ir.cfg import DominatorTree, dominance_frontiers
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import Value, const_undef
+from repro.transforms.pass_manager import FunctionPass
+
+
+def is_promotable(alloca: insts.AllocaInst) -> bool:
+    """A slot is promotable when it is a fixed single scalar whose
+    address never escapes: every use is a load or a store *through* it."""
+    if alloca.count is not None:
+        return False
+    if not alloca.allocated_type.is_scalar:
+        return False
+    for use in alloca.uses:
+        user = use.user
+        if isinstance(user, insts.LoadInst):
+            continue
+        if isinstance(user, insts.StoreInst) and user.pointer is alloca \
+                and user.value is not alloca:
+            continue
+        return False
+    return True
+
+
+class PromoteMemoryToRegisters(FunctionPass):
+    """The mem2reg pass."""
+
+    name = "mem2reg"
+
+    def run(self, function: Function) -> bool:
+        allocas = [
+            inst for block in function.blocks
+            for inst in block.instructions
+            if isinstance(inst, insts.AllocaInst) and is_promotable(inst)
+        ]
+        if not allocas:
+            return False
+        domtree = DominatorTree(function)
+        frontiers = dominance_frontiers(function, domtree)
+        reachable_ids = {id(block) for block in domtree.rpo}
+
+        # Drop loads/stores of promotable slots in unreachable code first;
+        # the renaming walk never visits them.
+        for alloca in allocas:
+            for use in list(alloca.uses):
+                user = use.user
+                if user.parent is not None \
+                        and id(user.parent) not in reachable_ids:
+                    user.erase()
+
+        block_phis = self._place_phis(allocas, frontiers, reachable_ids)
+        self._rename(function, domtree, allocas, block_phis)
+        for alloca in allocas:
+            alloca.erase()
+        return True
+
+    # -- phi placement ---------------------------------------------------------
+
+    def _place_phis(self, allocas, frontiers, reachable_ids
+                    ) -> Dict[int, List[Tuple[int, insts.PhiInst]]]:
+        """Iterated dominance frontier of each slot's store blocks.
+
+        Returns block-id -> [(alloca-id, phi)] for the renaming walk.
+        """
+        block_phis: Dict[int, List[Tuple[int, insts.PhiInst]]] = {}
+        for alloca in allocas:
+            def_blocks: List[BasicBlock] = []
+            for use in alloca.uses:
+                user = use.user
+                if isinstance(user, insts.StoreInst) \
+                        and user.parent is not None:
+                    def_blocks.append(user.parent)
+            worklist = list(def_blocks)
+            placed = set()
+            while worklist:
+                block = worklist.pop()
+                if id(block) not in reachable_ids:
+                    continue
+                for frontier_block in frontiers[id(block)]:
+                    if id(frontier_block) in placed:
+                        continue
+                    placed.add(id(frontier_block))
+                    phi = insts.PhiInst(alloca.allocated_type,
+                                        name=alloca.name)
+                    frontier_block.instructions.insert(0, phi)
+                    phi.parent = frontier_block
+                    block_phis.setdefault(id(frontier_block), []).append(
+                        (id(alloca), phi))
+                    worklist.append(frontier_block)
+        return block_phis
+
+    # -- renaming ------------------------------------------------------------------
+
+    def _rename(self, function: Function, domtree: DominatorTree,
+                allocas, block_phis) -> None:
+        alloca_ids = {id(a): a for a in allocas}
+        undef = {id(a): const_undef(a.allocated_type) for a in allocas}
+        entry = function.entry_block
+        # (block, current value of each slot) over the dominator tree.
+        stack: List[Tuple[BasicBlock, Dict[int, Value]]] = [
+            (entry, dict(undef))]
+        while stack:
+            block, current = stack.pop()
+            for alloca_id, phi in block_phis.get(id(block), ()):
+                current[alloca_id] = phi
+            for inst in list(block.instructions):
+                if isinstance(inst, insts.LoadInst) \
+                        and id(inst.pointer) in alloca_ids:
+                    inst.replace_all_uses_with(current[id(inst.pointer)])
+                    inst.erase()
+                elif isinstance(inst, insts.StoreInst) \
+                        and id(inst.pointer) in alloca_ids:
+                    current[id(inst.pointer)] = inst.value
+                    inst.erase()
+            seen_successors = set()
+            for successor in block.successors():
+                if id(successor) in seen_successors:
+                    continue  # one phi entry per CFG predecessor
+                seen_successors.add(id(successor))
+                for alloca_id, phi in block_phis.get(id(successor), ()):
+                    phi.add_incoming(current[alloca_id], block)
+            for child in domtree.children(block):
+                stack.append((child, dict(current)))

@@ -1,0 +1,153 @@
+"""The optimization pass pipeline.
+
+Section 4.2 enumerates where LLVA code gets optimized: compile/link time
+(machine-independent), install time, run time (traces), and idle time
+(profile-guided).  All of those stages drive the same pass manager; what
+differs is the pipeline they request (:func:`standard_pipeline`,
+:func:`link_time_pipeline`) and when they run it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.ir.module import Function, Module
+from repro.ir.verifier import verify_module
+
+
+class FunctionPass:
+    """Base class: transforms one function, returns True if changed."""
+
+    name = "function-pass"
+
+    def run(self, function: Function) -> bool:
+        raise NotImplementedError
+
+
+class ModulePass:
+    """Base class: transforms a whole module, returns True if changed."""
+
+    name = "module-pass"
+
+    def run_module(self, module: Module) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class PassStats:
+    """Per-pass accounting from one pipeline run."""
+
+    runs: int = 0
+    changes: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class PipelineReport:
+    """What a pipeline run did — surfaced by the optimization benches."""
+
+    stats: Dict[str, PassStats] = field(default_factory=dict)
+
+    def record(self, name: str, changed: bool, seconds: float) -> None:
+        entry = self.stats.setdefault(name, PassStats())
+        entry.runs += 1
+        entry.changes += 1 if changed else 0
+        entry.seconds += seconds
+
+    @property
+    def total_changes(self) -> int:
+        return sum(s.changes for s in self.stats.values())
+
+
+class PassManager:
+    """Runs a sequence of passes over a module.
+
+    ``verify_each`` re-verifies the module after every pass — on by
+    default in tests, off in the timed benchmarks.
+    """
+
+    def __init__(self, passes: Sequence[object] = (),
+                 verify_each: bool = False):
+        self.passes: List[object] = list(passes)
+        self.verify_each = verify_each
+
+    def add(self, pass_: object) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: Module) -> PipelineReport:
+        report = PipelineReport()
+        for pass_ in self.passes:
+            started = time.perf_counter()
+            if isinstance(pass_, ModulePass):
+                changed = pass_.run_module(module)
+            elif isinstance(pass_, FunctionPass):
+                changed = False
+                for function in list(module.functions.values()):
+                    if function.is_declaration:
+                        continue
+                    if pass_.run(function):
+                        changed = True
+            else:
+                raise TypeError(
+                    "not a pass: {0!r}".format(pass_))
+            report.record(pass_.name, changed,
+                          time.perf_counter() - started)
+            if self.verify_each:
+                verify_module(module)
+        return report
+
+
+def standard_pipeline(level: int = 2) -> List[object]:
+    """The per-module pipeline at a given -O level.
+
+    * ``-O0`` — nothing.
+    * ``-O1`` — mem2reg, local folding, CFG cleanup, DCE.
+    * ``-O2`` — adds SCCP, GVN, LICM, and aggressive DCE.
+    """
+    from repro.transforms.adce import AggressiveDCE
+    from repro.transforms.dce import DeadCodeElimination, InstSimplify
+    from repro.transforms.gvn import GlobalValueNumbering
+    from repro.transforms.licm import LoopInvariantCodeMotion
+    from repro.transforms.mem2reg import PromoteMemoryToRegisters
+    from repro.transforms.sccp import SparseConditionalConstantProp
+    from repro.transforms.simplifycfg import SimplifyCFG
+
+    if level <= 0:
+        return []
+    passes: List[object] = [
+        PromoteMemoryToRegisters(),
+        InstSimplify(),
+        SimplifyCFG(),
+        DeadCodeElimination(),
+    ]
+    if level >= 2:
+        passes += [
+            SparseConditionalConstantProp(),
+            SimplifyCFG(),
+            GlobalValueNumbering(),
+            LoopInvariantCodeMotion(),
+            AggressiveDCE(),
+            SimplifyCFG(),
+        ]
+    return passes
+
+
+def link_time_pipeline() -> List[object]:
+    """The whole-program, link-time pipeline of Section 4.2 (item 1):
+    interprocedural inlining and global cleanup, then -O2 per function."""
+    from repro.transforms.globalopt import GlobalOptimizer
+    from repro.transforms.inline import FunctionInliner
+
+    return [FunctionInliner(), GlobalOptimizer()] + standard_pipeline(2) \
+        + [GlobalOptimizer()]
+
+
+def optimize(module: Module, level: int = 2,
+             link_time: bool = False,
+             verify_each: bool = False) -> PipelineReport:
+    """One-call optimization entry point."""
+    passes = link_time_pipeline() if link_time else standard_pipeline(level)
+    return PassManager(passes, verify_each=verify_each).run(module)

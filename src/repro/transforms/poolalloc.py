@@ -1,0 +1,135 @@
+"""Automatic Pool Allocation (Section 5.1).
+
+"Automatic Pool Allocation is a powerful interprocedural transformation
+that uses Data Structure Analysis to partition the heap into separate
+pools for each data structure instance."
+
+The reproduction implements the core transformation for function-local
+data structures: for every disjoint, non-escaping heap instance that DSA
+identifies, the pass
+
+1. creates a pool descriptor on the function's stack frame,
+2. rewrites every ``malloc`` feeding that instance into ``poolalloc``
+   and every ``free`` into ``poolfree``, and
+3. destroys the pool (releasing everything at once) before each return.
+
+The pool runtime (``poolinit``/``poolalloc``/``poolfree``/
+``pooldestroy``) is provided by :mod:`repro.execution.runtime` as bump
+allocation over page-sized slabs, so pooled programs run measurably
+fewer allocator operations — the effect the pool-allocation bench
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.dsa import DSGraph, DSNode
+from repro.ir import instructions as insts
+from repro.ir import types
+from repro.ir.module import Function, Module
+from repro.ir.values import const_int
+from repro.transforms.pass_manager import ModulePass
+
+BYTE_PTR = types.pointer_to(types.SBYTE)
+
+#: LLVA signatures of the pool runtime.
+POOL_RUNTIME_SIGNATURES = {
+    "poolinit": types.function_of(types.VOID, (BYTE_PTR, types.UINT)),
+    "poolalloc": types.function_of(BYTE_PTR, (BYTE_PTR, types.UINT)),
+    "poolfree": types.function_of(types.VOID, (BYTE_PTR, BYTE_PTR)),
+    "pooldestroy": types.function_of(types.VOID, (BYTE_PTR,)),
+}
+
+#: Size in bytes of the opaque pool descriptor object.
+POOL_DESCRIPTOR_BYTES = 64
+
+
+class AutomaticPoolAllocation(ModulePass):
+    name = "poolalloc"
+
+    def run_module(self, module: Module) -> bool:
+        changed = False
+        for function in list(module.functions.values()):
+            if function.is_declaration:
+                continue
+            if self._pool_allocate_function(module, function):
+                changed = True
+        return changed
+
+    # -- per function -----------------------------------------------------------
+
+    def _pool_allocate_function(self, module: Module,
+                                function: Function) -> bool:
+        graph = DSGraph(function)
+        instances = graph.local_heap_instances()
+        if not instances:
+            return False
+        changed = False
+        for instance in instances:
+            mallocs = [site for site in instance.allocation_sites
+                       if isinstance(site, insts.CallInst)
+                       and site.parent is not None]
+            if not mallocs:
+                continue
+            self._rewrite_instance(module, function, graph,
+                                   instance, mallocs)
+            changed = True
+        return changed
+
+    def _rewrite_instance(self, module: Module, function: Function,
+                          graph: DSGraph, instance: DSNode,
+                          mallocs: List[insts.CallInst]) -> None:
+        poolinit = module.get_or_declare_function(
+            "poolinit", POOL_RUNTIME_SIGNATURES["poolinit"])
+        poolalloc = module.get_or_declare_function(
+            "poolalloc", POOL_RUNTIME_SIGNATURES["poolalloc"])
+        poolfree = module.get_or_declare_function(
+            "poolfree", POOL_RUNTIME_SIGNATURES["poolfree"])
+        pooldestroy = module.get_or_declare_function(
+            "pooldestroy", POOL_RUNTIME_SIGNATURES["pooldestroy"])
+
+        # 1. Pool descriptor in the entry block; initialize it there.
+        entry = function.entry_block
+        descriptor_type = types.array_of(types.SBYTE,
+                                         POOL_DESCRIPTOR_BYTES)
+        descriptor = insts.AllocaInst(descriptor_type, name="pool")
+        pool_ptr = insts.GetElementPtrInst(
+            descriptor,
+            [const_int(types.LONG, 0), const_int(types.LONG, 0)],
+            name="pool.ptr")
+        init = insts.CallInst(
+            poolinit, [pool_ptr, const_int(types.UINT, 16)])
+        for position, inst in enumerate((descriptor, pool_ptr, init)):
+            entry.instructions.insert(position, inst)
+            inst.parent = entry
+
+        # 2. Rewrite allocation and deallocation sites of this instance.
+        for malloc in mallocs:
+            replacement = insts.CallInst(
+                poolalloc, [pool_ptr, malloc.args[0]], malloc.name)
+            malloc.parent.insert_before(malloc, replacement)
+            malloc.replace_all_uses_with(replacement)
+            malloc.erase()
+        for block in function.blocks:
+            for inst in list(block.instructions):
+                if isinstance(inst, insts.CallInst) \
+                        and isinstance(inst.callee, Function) \
+                        and inst.callee.name == "free" \
+                        and graph.points_to_same(inst.args[0],
+                                                 _any_site(instance)):
+                    replacement = insts.CallInst(
+                        poolfree, [pool_ptr, inst.args[0]])
+                    block.insert_before(inst, replacement)
+                    inst.erase()
+
+        # 3. Destroy the pool before every return.
+        for block in function.blocks:
+            terminator = block.terminator if block.has_terminator() else None
+            if isinstance(terminator, insts.RetInst):
+                destroy = insts.CallInst(pooldestroy, [pool_ptr])
+                block.insert_before(terminator, destroy)
+
+
+def _any_site(instance: DSNode):
+    return instance.allocation_sites[0]

@@ -1,0 +1,220 @@
+"""Sparse Conditional Constant Propagation (Wegman-Zadeck).
+
+The canonical "sparse algorithm for global dataflow problems" the paper
+credits SSA with enabling (Section 3.1).  Lattice: TOP (undefined) →
+constant → BOTTOM (overdefined); propagation runs over SSA edges and CFG
+edges simultaneously, so code guarded by constant conditions is never
+even evaluated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir import instructions as insts
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import (
+    Constant,
+    ConstantBool,
+    ConstantInt,
+    UndefValue,
+    Value,
+)
+from repro.transforms.constfold import fold_instruction
+from repro.transforms.dce import is_trivially_dead
+from repro.transforms.pass_manager import FunctionPass
+
+_TOP = "top"
+_BOTTOM = "bottom"
+
+
+class _Lattice:
+    """Per-value lattice state."""
+
+    def __init__(self):
+        self.state: Dict[int, object] = {}  # id(value) -> TOP/Constant/BOT
+
+    def value_of(self, value: Value):
+        if isinstance(value, UndefValue):
+            return _TOP
+        if isinstance(value, Constant):
+            return value
+        if not isinstance(value, insts.Instruction):
+            # Arguments (and anything else defined outside the lattice)
+            # can hold any runtime value.
+            return _BOTTOM
+        return self.state.get(id(value), _TOP)
+
+    def mark(self, value: Value, new_state) -> bool:
+        """Lower *value*; returns True if the state changed."""
+        old = self.state.get(id(value), _TOP)
+        if old == _BOTTOM:
+            return False
+        if new_state is _TOP:
+            return False
+        if old is _TOP:
+            self.state[id(value)] = new_state
+            return True
+        if new_state is _BOTTOM or not _same_constant(old, new_state):
+            self.state[id(value)] = _BOTTOM
+            return True
+        return False
+
+
+def _same_constant(a, b) -> bool:
+    if a is b:
+        return True
+    if isinstance(a, ConstantInt) and isinstance(b, ConstantInt):
+        return a.type is b.type and a.value == b.value
+    if isinstance(a, ConstantBool) and isinstance(b, ConstantBool):
+        return a.value == b.value
+    return False
+
+
+class SparseConditionalConstantProp(FunctionPass):
+    name = "sccp"
+
+    def run(self, function: Function) -> bool:
+        lattice = _Lattice()
+        executable_edges: Set[Tuple[int, int]] = set()
+        executable_blocks: Set[int] = set()
+        block_worklist: List[BasicBlock] = [function.entry_block]
+        ssa_worklist: List[insts.Instruction] = []
+
+        def mark_edge(source: BasicBlock, dest: BasicBlock) -> None:
+            key = (id(source), id(dest))
+            if key in executable_edges:
+                return
+            executable_edges.add(key)
+            if id(dest) not in executable_blocks:
+                block_worklist.append(dest)
+            else:
+                # Re-evaluate the phis: a new edge brings a new operand.
+                for phi in dest.phis():
+                    visit(phi)
+
+        def visit(inst: insts.Instruction) -> None:
+            if isinstance(inst, insts.PhiInst):
+                merged = _TOP
+                for value, pred in inst.incoming():
+                    if (id(pred), id(inst.parent)) not in executable_edges:
+                        continue
+                    incoming = lattice.value_of(value)
+                    if incoming is _TOP:
+                        continue
+                    if merged is _TOP:
+                        merged = incoming
+                    elif incoming is _BOTTOM \
+                            or not _same_constant(merged, incoming):
+                        merged = _BOTTOM
+                        break
+                if lattice.mark(inst, merged):
+                    enqueue_users(inst)
+                return
+            if isinstance(inst, insts.BranchInst) and inst.is_conditional:
+                condition = lattice.value_of(inst.condition)
+                if isinstance(condition, ConstantBool):
+                    mark_edge(inst.parent,
+                              inst.operand(1) if condition.value
+                              else inst.operand(2))
+                elif condition is _BOTTOM:
+                    mark_edge(inst.parent, inst.operand(1))
+                    mark_edge(inst.parent, inst.operand(2))
+                return
+            if isinstance(inst, insts.MultiwayBranchInst):
+                selector = lattice.value_of(inst.selector)
+                if isinstance(selector, ConstantInt):
+                    target = inst.default
+                    for case_value, case_label in inst.cases():
+                        if case_value.value == selector.value:
+                            target = case_label
+                            break
+                    mark_edge(inst.parent, target)
+                elif selector is _BOTTOM:
+                    for successor in inst.successors():
+                        mark_edge(inst.parent, successor)
+                return
+            if inst.is_terminator:
+                for successor in inst.successors():
+                    mark_edge(inst.parent, successor)
+                return
+            if not inst.produces_value:
+                return
+            # Ordinary instruction: fold if every operand is constant.
+            if any(lattice.value_of(op) is _BOTTOM
+                   for op in inst.operands):
+                if lattice.mark(inst, _BOTTOM):
+                    enqueue_users(inst)
+                return
+            if isinstance(inst, (insts.LoadInst, insts.CallInst,
+                                 insts.InvokeInst, insts.AllocaInst,
+                                 insts.GetElementPtrInst)):
+                # Memory and calls are outside the lattice.
+                if lattice.mark(inst, _BOTTOM):
+                    enqueue_users(inst)
+                return
+            if any(lattice.value_of(op) is _TOP for op in inst.operands):
+                return  # wait for operands
+            folded = _fold_with(lattice, inst)
+            state = folded if folded is not None else _BOTTOM
+            if lattice.mark(inst, state):
+                enqueue_users(inst)
+
+        def enqueue_users(value: Value) -> None:
+            for user in value.users():
+                if isinstance(user, insts.Instruction) \
+                        and user.parent is not None \
+                        and id(user.parent) in executable_blocks:
+                    ssa_worklist.append(user)
+
+        while block_worklist or ssa_worklist:
+            while ssa_worklist:
+                visit(ssa_worklist.pop())
+            if block_worklist:
+                block = block_worklist.pop()
+                if id(block) in executable_blocks:
+                    continue
+                executable_blocks.add(id(block))
+                for inst in block.instructions:
+                    visit(inst)
+
+        return self._apply(function, lattice, executable_blocks)
+
+    # -- rewriting -----------------------------------------------------------
+
+    def _apply(self, function: Function, lattice: _Lattice,
+               executable_blocks: Set[int]) -> bool:
+        changed = False
+        for block in function.blocks:
+            if id(block) not in executable_blocks:
+                continue  # left for simplifycfg's unreachable removal
+            for inst in list(block.instructions):
+                if not inst.produces_value:
+                    continue
+                state = lattice.state.get(id(inst), _TOP)
+                if isinstance(state, Constant):
+                    inst.replace_all_uses_with(state)
+                    if is_trivially_dead(inst):
+                        inst.erase()
+                    changed = True
+        # Rewrite branches whose conditions became constants so that
+        # simplifycfg can delete the dead arms.
+        return changed
+
+
+def _fold_with(lattice: _Lattice, inst: insts.Instruction
+               ) -> Optional[Constant]:
+    """Fold *inst* substituting lattice constants for its operands."""
+    original: List[Value] = list(inst.operands)
+    substituted = False
+    try:
+        for index, operand in enumerate(original):
+            known = lattice.value_of(operand)
+            if isinstance(known, Constant) and known is not operand:
+                inst.set_operand(index, known)
+                substituted = True
+        return fold_instruction(inst)
+    finally:
+        if substituted:
+            for index, operand in enumerate(original):
+                inst.set_operand(index, operand)

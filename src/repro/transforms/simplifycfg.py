@@ -1,0 +1,173 @@
+"""CFG simplification: fold constant branches, merge straight-line block
+chains, and delete unreachable code.
+
+Cleans up after SCCP/instsimplify and keeps the CFG the code generators
+see small, which directly affects the Table 2 native-instruction counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir import instructions as insts
+from repro.ir.cfg import remove_unreachable_blocks
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import ConstantBool, ConstantInt
+from repro.transforms.pass_manager import FunctionPass
+
+
+class SimplifyCFG(FunctionPass):
+    name = "simplifycfg"
+
+    def run(self, function: Function) -> bool:
+        changed = False
+        keep_going = True
+        while keep_going:
+            keep_going = False
+            if self._fold_constant_branches(function):
+                keep_going = changed = True
+            if remove_unreachable_blocks(function):
+                keep_going = changed = True
+            if self._merge_chains(function):
+                keep_going = changed = True
+            if self._remove_empty_forwarders(function):
+                keep_going = changed = True
+        return changed
+
+    # -- constant branches ---------------------------------------------------
+
+    def _fold_constant_branches(self, function: Function) -> bool:
+        changed = False
+        for block in function.blocks:
+            if not block.has_terminator():
+                continue
+            terminator = block.terminator
+            replacement: Optional[insts.Instruction] = None
+            if isinstance(terminator, insts.BranchInst) \
+                    and terminator.is_conditional \
+                    and isinstance(terminator.condition, ConstantBool):
+                taken = terminator.operand(1) if terminator.condition.value \
+                    else terminator.operand(2)
+                dropped = terminator.operand(2) if terminator.condition.value \
+                    else terminator.operand(1)
+                replacement = insts.BranchInst(target=taken)
+                if dropped is not taken:
+                    _remove_phi_edges(dropped, block)
+            elif isinstance(terminator, insts.MultiwayBranchInst) \
+                    and isinstance(terminator.selector, ConstantInt):
+                selector = terminator.selector.value
+                target = terminator.default
+                for case_value, case_label in terminator.cases():
+                    if case_value.value == selector:
+                        target = case_label
+                        break
+                for successor in set(terminator.successors()):
+                    if successor is not target:
+                        _remove_phi_edges(successor, block)
+                replacement = insts.BranchInst(target=target)
+            if replacement is not None:
+                terminator.erase()
+                block.append(replacement)
+                changed = True
+        return changed
+
+    # -- merging ---------------------------------------------------------------
+
+    def _merge_chains(self, function: Function) -> bool:
+        """Merge B into A when A's only successor is B and B's only
+        predecessor is A."""
+        changed = False
+        for block in list(function.blocks):
+            if block.parent is None or not block.has_terminator():
+                continue
+            terminator = block.terminator
+            if not (isinstance(terminator, insts.BranchInst)
+                    and not terminator.is_conditional):
+                continue
+            successor = terminator.operand(0)
+            if successor is block:
+                continue
+            preds = successor.predecessors()
+            if len(preds) != 1 or preds[0] is not block:
+                continue
+            if successor is function.entry_block:
+                continue
+            # Phis in the successor have exactly one incoming value now.
+            for phi in successor.phis():
+                incoming = phi.incoming_for_block(block)
+                phi.replace_all_uses_with(incoming)
+                phi.erase()
+            terminator.erase()
+            for inst in list(successor.instructions):
+                successor.remove(inst)
+                block.instructions.append(inst)
+                inst.parent = block
+            # Successor is now empty; redirect nothing (no preds besides
+            # block) and delete it.
+            successor.replace_all_uses_with(block)
+            successor.erase_from_parent()
+            changed = True
+        return changed
+
+    # -- empty forwarding blocks ---------------------------------------------------
+
+    def _remove_empty_forwarders(self, function: Function) -> bool:
+        """Delete blocks containing only ``br label %next`` by pointing
+        their predecessors directly at the target."""
+        changed = False
+        for block in list(function.blocks):
+            if block.parent is None or block is function.entry_block:
+                continue
+            if len(block.instructions) != 1:
+                continue
+            terminator = block.instructions[0]
+            if not (isinstance(terminator, insts.BranchInst)
+                    and not terminator.is_conditional):
+                continue
+            target = terminator.operand(0)
+            if target is block:
+                continue
+            if not self._forwarding_is_safe(block, target):
+                continue
+            # Retarget predecessors and migrate phi edges.
+            preds = block.predecessors()
+            for phi in target.phis():
+                forwarded = phi.incoming_for_block(block)
+                if forwarded is None:
+                    continue
+                phi.remove_incoming(block)
+                for pred in preds:
+                    phi.add_incoming(forwarded, pred)
+            terminator.erase()
+            block.replace_all_uses_with(target)
+            block.erase_from_parent()
+            changed = True
+        return changed
+
+    @staticmethod
+    def _forwarding_is_safe(block: BasicBlock,
+                            target: BasicBlock) -> bool:
+        """Retargeting must not give the target two edges from one
+        predecessor with *different* phi values, nor duplicate edges."""
+        target_pred_ids = {id(p) for p in target.predecessors()}
+        for pred in block.predecessors():
+            if id(pred) in target_pred_ids:
+                # pred would now reach target twice; only safe if target
+                # has no phis whose values would conflict.
+                if target.phis():
+                    return False
+        # A phi in the target must be able to receive block's forwarded
+        # value from every new predecessor; that is always true since the
+        # value is per-edge constant here.
+        return True
+
+
+def _remove_phi_edges(block_value, predecessor: BasicBlock) -> None:
+    """Drop *predecessor*'s incoming entries from phis in *block_value*
+    when the CFG edge predecessor->block disappears — unless another edge
+    between the same pair of blocks survives."""
+    if not isinstance(block_value, BasicBlock):
+        return
+    for phi in block_value.phis():
+        if phi.incoming_for_block(predecessor) is not None:
+            phi.remove_incoming(predecessor)

@@ -1,0 +1,439 @@
+"""Analysis tests: alias analysis, loops, liveness, call graph, DSA."""
+
+import pytest
+
+from repro.analysis import (
+    AliasAnalysis,
+    AliasResult,
+    CallGraph,
+    DSGraph,
+    LivenessInfo,
+    LoopInfo,
+    ModuleDSA,
+    underlying_object,
+)
+from repro.analysis.dsa import DSNode
+from repro.asm import parse_module
+from repro.ir import verify_module
+
+
+def _function(source: str, name: str):
+    module = parse_module(source)
+    verify_module(module)
+    return module, module.get_function(name)
+
+
+class TestAliasAnalysis:
+    def test_distinct_allocas_no_alias(self):
+        _module, f = _function("""
+        int %f() {
+        entry:
+                %a = alloca int
+                %b = alloca int
+                store int 1, int* %a
+                store int 2, int* %b
+                %v = load int* %a
+                ret int %v
+        }
+        """, "f")
+        insts = list(f.instructions())
+        a, b = insts[0], insts[1]
+        aa = AliasAnalysis()
+        assert aa.alias(a, b) == AliasResult.NO_ALIAS
+        assert aa.alias(a, a) == AliasResult.MUST_ALIAS
+
+    def test_distinct_struct_fields_no_alias(self):
+        _module, f = _function("""
+        %struct.P = type { int, int }
+        int %f(%struct.P* %p) {
+        entry:
+                %f0 = getelementptr %struct.P* %p, long 0, ubyte 0
+                %f1 = getelementptr %struct.P* %p, long 0, ubyte 1
+                store int 1, int* %f0
+                %v = load int* %f1
+                ret int %v
+        }
+        """, "f")
+        insts = list(f.instructions())
+        f0, f1 = insts[0], insts[1]
+        aa = AliasAnalysis()
+        assert aa.alias(f0, f1) == AliasResult.NO_ALIAS
+
+    def test_same_field_must_alias(self):
+        _module, f = _function("""
+        %struct.P = type { int, int }
+        int %f(%struct.P* %p) {
+        entry:
+                %x = getelementptr %struct.P* %p, long 0, ubyte 1
+                %y = getelementptr %struct.P* %p, long 0, ubyte 1
+                store int 1, int* %x
+                %v = load int* %y
+                ret int %v
+        }
+        """, "f")
+        insts = list(f.instructions())
+        aa = AliasAnalysis()
+        assert aa.alias(insts[0], insts[1]) == AliasResult.MUST_ALIAS
+
+    def test_unknown_pointers_may_alias(self):
+        _module, f = _function("""
+        int %f(int* %p, int* %q) {
+        entry:
+                store int 1, int* %p
+                %v = load int* %q
+                ret int %v
+        }
+        """, "f")
+        aa = AliasAnalysis()
+        assert aa.alias(f.args[0], f.args[1]) == AliasResult.MAY_ALIAS
+
+    def test_nonescaping_alloca_vs_argument(self):
+        _module, f = _function("""
+        int %f(int* %q) {
+        entry:
+                %a = alloca int
+                store int 1, int* %a
+                store int 2, int* %q
+                %v = load int* %a
+                ret int %v
+        }
+        """, "f")
+        alloca = next(f.instructions())
+        aa = AliasAnalysis()
+        assert aa.alias(alloca, f.args[0]) == AliasResult.NO_ALIAS
+
+    def test_escaped_alloca_may_alias_argument(self):
+        _module, f = _function("""
+        declare void %sink(int*)
+        int %f(int* %q) {
+        entry:
+                %a = alloca int
+                call void %sink(int* %a)
+                store int 2, int* %q
+                %v = load int* %a
+                ret int %v
+        }
+        """, "f")
+        alloca = next(f.instructions())
+        aa = AliasAnalysis()
+        assert aa.alias(alloca, f.args[0]) == AliasResult.MAY_ALIAS
+
+    def test_tbaa_distinct_scalar_types(self):
+        """LLVA's typed memory: an int* and a double* access cannot
+        overlap in type-safe code (Section 3.3's alias enabler)."""
+        _module, f = _function("""
+        double %f(int* %p, double* %q) {
+        entry:
+                store int 1, int* %p
+                %v = load double* %q
+                ret double %v
+        }
+        """, "f")
+        aa = AliasAnalysis()
+        assert aa.alias(f.args[0], f.args[1]) == AliasResult.NO_ALIAS
+        conservative = AliasAnalysis(use_tbaa=False)
+        assert conservative.alias(f.args[0], f.args[1]) \
+            == AliasResult.MAY_ALIAS
+
+    def test_tbaa_defeated_by_int_cast(self):
+        _module, f = _function("""
+        double %f(ulong %addr, double* %q) {
+        entry:
+                %p = cast ulong %addr to int*
+                store int 1, int* %p
+                %v = load double* %q
+                ret double %v
+        }
+        """, "f")
+        cast = next(f.instructions())
+        aa = AliasAnalysis()
+        assert aa.alias(cast, f.args[1]) == AliasResult.MAY_ALIAS
+
+    def test_underlying_object_traces_geps(self):
+        _module, f = _function("""
+        %struct.P = type { int, [4 x int] }
+        int %f() {
+        entry:
+                %a = alloca %struct.P
+                %g1 = getelementptr %struct.P* %a, long 0, ubyte 1
+                %g2 = getelementptr [4 x int]* %g1, long 0, long 2
+                %v = load int* %g2
+                ret int %v
+        }
+        """, "f")
+        insts = list(f.instructions())
+        assert underlying_object(insts[2]) is insts[0]
+
+
+class TestLoops:
+    def test_simple_loop(self):
+        _module, f = _function("""
+        int %f(int %n) {
+        entry:
+                br label %header
+        header:
+                %i = phi int [ 0, %entry ], [ %i2, %body ]
+                %c = setlt int %i, %n
+                br bool %c, label %body, label %exit
+        body:
+                %i2 = add int %i, 1
+                br label %header
+        exit:
+                ret int %i
+        }
+        """, "f")
+        info = LoopInfo(f)
+        assert len(info.top_level) == 1
+        loop = info.top_level[0]
+        assert loop.header.name == "header"
+        assert {b.name for b in loop.blocks} == {"header", "body"}
+        assert loop.depth == 1
+        assert info.depth_of(f.entry_block) == 0
+        assert loop.preheader().name == "entry"
+
+    def test_nested_loops(self):
+        _module, f = _function("""
+        int %f(int %n) {
+        entry:
+                br label %outer
+        outer:
+                %i = phi int [ 0, %entry ], [ %i2, %outer_latch ]
+                br label %inner
+        inner:
+                %j = phi int [ 0, %outer ], [ %j2, %inner ]
+                %j2 = add int %j, 1
+                %jc = setlt int %j2, %n
+                br bool %jc, label %inner, label %outer_latch
+        outer_latch:
+                %i2 = add int %i, 1
+                %ic = setlt int %i2, %n
+                br bool %ic, label %outer, label %exit
+        exit:
+                ret int %i
+        }
+        """, "f")
+        info = LoopInfo(f)
+        assert len(info.all_loops()) == 2
+        inner_block = [b for b in f.blocks if b.name == "inner"][0]
+        inner = info.loop_for(inner_block)
+        assert inner.depth == 2
+        assert inner.parent is not None
+        assert inner.parent.header.name == "outer"
+
+    def test_exit_edges(self):
+        _module, f = _function("""
+        int %f(int %n) {
+        entry:
+                br label %header
+        header:
+                %i = phi int [ 0, %entry ], [ %i2, %header ]
+                %i2 = add int %i, 1
+                %c = setlt int %i2, %n
+                br bool %c, label %header, label %exit
+        exit:
+                ret int %i2
+        }
+        """, "f")
+        info = LoopInfo(f)
+        edges = list(info.top_level[0].exit_edges())
+        assert len(edges) == 1
+        inside, outside = edges[0]
+        assert inside.name == "header" and outside.name == "exit"
+
+
+class TestLiveness:
+    def test_loop_carried_values_live_through(self):
+        _module, f = _function("""
+        int %f(int %n, int %k) {
+        entry:
+                br label %loop
+        loop:
+                %i = phi int [ 0, %entry ], [ %i2, %loop ]
+                %i2 = add int %i, %k
+                %c = setlt int %i2, %n
+                br bool %c, label %loop, label %done
+        done:
+                ret int %i2
+        }
+        """, "f")
+        liveness = LivenessInfo(f)
+        loop = [b for b in f.blocks if b.name == "loop"][0]
+        live_out = liveness.live_out_of(loop)
+        names = {v.name for v in live_out}
+        assert "i2" in names      # used by phi on back edge and by done
+        assert "k" in names       # read every iteration
+        assert liveness.max_pressure() >= 3
+
+    def test_dead_after_last_use(self):
+        _module, f = _function("""
+        int %f(int %a) {
+        entry:
+                %t = add int %a, 1
+                br label %next
+        next:
+                ret int 5
+        }
+        """, "f")
+        liveness = LivenessInfo(f)
+        entry = f.entry_block
+        assert not liveness.live_out_of(entry)
+
+
+class TestCallGraph:
+    SOURCE = """
+    declare void %external(int)
+    %table = constant [1 x void (int)*] [ void (int)* %taken ]
+    void %taken(int %x) {
+    entry:
+            ret void
+    }
+    void %leaf(int %x) {
+    entry:
+            ret void
+    }
+    void %middle(int %x) {
+    entry:
+            call void %leaf(int %x)
+            %p = getelementptr [1 x void (int)*]* %table, long 0, long 0
+            %fp = load void (int)** %p
+            call void %fp(int %x)
+            ret void
+    }
+    void %top(int %x) {
+    entry:
+            call void %middle(int %x)
+            call void %leaf(int %x)
+            ret void
+    }
+    """
+
+    def test_edges_and_address_taken(self):
+        module = parse_module(self.SOURCE)
+        graph = CallGraph(module)
+        top = graph.node(module.get_function("top"))
+        assert {f.name for f in top.callees} == {"middle", "leaf"}
+        middle = graph.node(module.get_function("middle"))
+        # Indirect call resolves to the compatible address-taken set.
+        assert "taken" in {f.name for f in middle.callees}
+        assert graph.address_taken_functions() == {"taken"}
+        assert middle.calls_unknown
+
+    def test_post_order_is_bottom_up(self):
+        module = parse_module(self.SOURCE)
+        graph = CallGraph(module)
+        order = [f.name for f in graph.post_order()]
+        assert order.index("leaf") < order.index("middle")
+        assert order.index("middle") < order.index("top")
+
+    def test_recursion_detection(self):
+        module = parse_module("""
+        int %even(int %n) {
+        entry:
+                %z = seteq int %n, 0
+                br bool %z, label %y, label %no
+        y:
+                ret int 1
+        no:
+                %m = sub int %n, 1
+                %r = call int %odd(int %m)
+                ret int %r
+        }
+        int %odd(int %n) {
+        entry:
+                %m = sub int %n, 1
+                %r = call int %even(int %m)
+                ret int %r
+        }
+        int %plain(int %n) {
+        entry:
+                ret int %n
+        }
+        """)
+        graph = CallGraph(module)
+        assert graph.is_recursive(module.get_function("even"))
+        assert graph.is_recursive(module.get_function("odd"))
+        assert not graph.is_recursive(module.get_function("plain"))
+
+
+class TestDSA:
+    def test_disjoint_instances(self):
+        """Two independent lists must land in two DS nodes — the
+        'disjoint instances' the paper highlights (Section 5.1)."""
+        _module, f = _function("""
+        %struct.N = type { int, %struct.N* }
+        declare sbyte* %malloc(uint)
+        int %f() {
+        entry:
+                %r1 = call sbyte* %malloc(uint 16)
+                %a = cast sbyte* %r1 to %struct.N*
+                %r2 = call sbyte* %malloc(uint 16)
+                %b = cast sbyte* %r2 to %struct.N*
+                %an = getelementptr %struct.N* %a, long 0, ubyte 1
+                store %struct.N* %a, %struct.N** %an
+                %bn = getelementptr %struct.N* %b, long 0, ubyte 1
+                store %struct.N* %b, %struct.N** %bn
+                ret int 0
+        }
+        """, "f")
+        graph = DSGraph(f)
+        heap = graph.heap_instances()
+        assert len(heap) == 2
+        assert len(graph.local_heap_instances()) == 2
+
+    def test_linked_nodes_unify(self):
+        _module, f = _function("""
+        %struct.N = type { int, %struct.N* }
+        declare sbyte* %malloc(uint)
+        int %f() {
+        entry:
+                %r1 = call sbyte* %malloc(uint 16)
+                %a = cast sbyte* %r1 to %struct.N*
+                %r2 = call sbyte* %malloc(uint 16)
+                %b = cast sbyte* %r2 to %struct.N*
+                %an = getelementptr %struct.N* %a, long 0, ubyte 1
+                store %struct.N* %b, %struct.N** %an
+                ret int 0
+        }
+        """, "f")
+        graph = DSGraph(f)
+        # a points to b: they form one data structure... but note the
+        # *nodes* unify only through the points-to edge; the instance
+        # count collapses to 1 once b is stored reachable from a.
+        assert len(graph.heap_instances()) <= 2
+        insts = list(f.instructions())
+        a_cast, b_cast = insts[1], insts[3]
+        assert graph.node_for(a_cast).pointee(graph) \
+            .find() is graph.node_for(b_cast).find()
+
+    def test_escaping_blocks_pool_eligibility(self):
+        _module, f = _function("""
+        declare sbyte* %malloc(uint)
+        declare void %publish(sbyte*)
+        int %f() {
+        entry:
+                %p = call sbyte* %malloc(uint 8)
+                call void %publish(sbyte* %p)
+                ret int 0
+        }
+        """, "f")
+        graph = DSGraph(f)
+        assert len(graph.heap_instances()) == 1
+        assert graph.local_heap_instances() == []
+
+    def test_module_dsa(self):
+        module = parse_module("""
+        declare sbyte* %malloc(uint)
+        int %a() {
+        entry:
+                %p = call sbyte* %malloc(uint 8)
+                ret int 0
+        }
+        int %b() {
+        entry:
+                %p = call sbyte* %malloc(uint 8)
+                %q = call sbyte* %malloc(uint 8)
+                ret int 0
+        }
+        """)
+        dsa = ModuleDSA(module)
+        assert dsa.total_heap_instances() == 3

@@ -1,0 +1,72 @@
+"""Lexer/parser robustness: arbitrary input must produce a clean,
+typed error or a valid module — never an unhandled exception."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm import LexerError, ParseError, parse_module, tokenize
+from repro.asm.lexer import Token
+from repro.ir.types import LlvaTypeError
+from repro.ir.verifier import VerificationError
+from repro.minic import MiniCSyntaxError
+from repro.minic.lexer import tokenize as minic_tokenize
+from repro.minic.parser import parse_program
+
+_CLEAN = (LexerError, ParseError, LlvaTypeError, VerificationError)
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32,
+                                      max_codepoint=126),
+               max_size=120))
+@settings(max_examples=200, deadline=None)
+def test_llva_lexer_total(source):
+    try:
+        tokens = tokenize(source)
+    except LexerError:
+        return
+    assert tokens[-1].kind == "eof"
+    for token in tokens:
+        assert isinstance(token, Token)
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32,
+                                      max_codepoint=126),
+               max_size=120))
+@settings(max_examples=150, deadline=None)
+def test_llva_parser_fails_cleanly(source):
+    try:
+        parse_module(source)
+    except _CLEAN:
+        pass
+
+
+@given(st.text(alphabet="%intbol adsrucejmp{}()[]*,;=<>0123456789.\n\"'",
+               max_size=200))
+@settings(max_examples=150, deadline=None)
+def test_llva_parser_structured_noise(source):
+    try:
+        parse_module(source)
+    except _CLEAN:
+        pass
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=32,
+                                      max_codepoint=126),
+               max_size=120))
+@settings(max_examples=150, deadline=None)
+def test_minic_front_end_fails_cleanly(source):
+    try:
+        parse_program(source)
+    except MiniCSyntaxError:
+        pass
+
+
+@given(st.text(alphabet="intcharfovwhileburdsg {}()[];=+-*/%<>!&|,0123456789'\"\n",
+               max_size=200))
+@settings(max_examples=150, deadline=None)
+def test_minic_structured_noise(source):
+    try:
+        minic_tokenize(source)
+        parse_program(source)
+    except MiniCSyntaxError:
+        pass

@@ -1,0 +1,209 @@
+"""Assembly parser/printer round-trip and error tests."""
+
+import pytest
+
+from helpers import build_factorial, build_loop_sum, build_quadtree_module
+from repro.asm import ParseError, parse_module, tokenize
+from repro.asm.lexer import LexerError
+from repro.ir import print_module, types, verify_module
+from repro.ir.values import ConstantArray
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("%x = add int %y, -5 ; comment\n")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["local", "=", "word", "word", "local", ",",
+                         "int", "eof"]
+
+    def test_float_and_attrs(self):
+        tokens = tokenize("0.5 -1.25e3 !ee(false) c\"hi\\00\"")
+        assert [t.kind for t in tokens[:4]] == [
+            "float", "float", "bang", "string"]
+
+    def test_error_reports_line(self):
+        with pytest.raises(LexerError) as info:
+            tokenize("ok\n$bad")
+        assert info.value.line == 2
+
+
+def _round_trip(module):
+    verify_module(module)
+    text1 = print_module(module)
+    module2 = parse_module(text1, module.name)
+    verify_module(module2)
+    text2 = print_module(module2)
+    assert text1 == text2
+    return module2
+
+
+class TestRoundTrip:
+    def test_factorial(self):
+        _round_trip(build_factorial())
+
+    def test_loop_with_phis_and_geps(self):
+        _round_trip(build_loop_sum())
+
+    def test_figure2(self):
+        module, _f = build_quadtree_module()
+        _round_trip(module)
+
+    def test_all_instruction_kinds(self):
+        source = """
+        target pointersize = 64
+        target endian = little
+        %g = global int 7
+        %tbl = constant [2 x sbyte] c"a\\00"
+        declare void %print_int(int)
+        int %callee(int %x) {
+        entry:
+                ret int %x
+        }
+        int %kitchen_sink(int %a, int %b, double %d, int* %p) {
+        entry:
+                %s1 = add int %a, %b
+                %s2 = sub int %s1, 1
+                %s3 = mul int %s2, %s2
+                %s4 = div int %s3, 3
+                %s5 = rem int %s4, 7
+                %b1 = and int %s5, 255
+                %b2 = or int %b1, 16
+                %b3 = xor int %b2, %a
+                %sh1 = shl int %b3, ubyte 2
+                %sh2 = shr int %sh1, ubyte 1
+                %c1 = seteq int %sh2, %a
+                %c2 = setne int %sh2, %a
+                %c3 = setlt int %sh2, %a
+                %c4 = setgt int %sh2, %a
+                %c5 = setle int %sh2, %a
+                %c6 = setge int %sh2, %a
+                %f1 = add double %d, 1.5
+                %slot = alloca int
+                store int %sh2, int* %slot
+                %back = load int* %slot
+                %arr = alloca int, uint 4
+                %elem = getelementptr int* %arr, long 2
+                store int %back, int* %elem
+                %gv = load int* %g
+                %cast1 = cast int %gv to long
+                %cast2 = cast long %cast1 to int
+                %cv = call int %callee(int %cast2)
+                call void %print_int(int %cv)
+                br bool %c1, label %two, label %three
+        two:
+                %mb = add int %cv, 1
+                mbr int %mb, label %three, [ int 5, label %four ]
+        three:
+                %ph = phi int [ %cv, %entry ], [ %mb, %two ]
+                ret int %ph
+        four:
+                %iv = invoke int %callee(int 9) to label %five
+                       unwind label %six
+        five:
+                ret int %iv
+        six:
+                unwind
+        }
+        """
+        module = parse_module(source)
+        _round_trip(module)
+
+    def test_mutual_recursion_forward_reference(self):
+        source = """
+        int %is_even(int %n) {
+        entry:
+                %z = seteq int %n, 0
+                br bool %z, label %yes, label %no
+        yes:
+                ret int 1
+        no:
+                %m = sub int %n, 1
+                %r = call int %is_odd(int %m)
+                ret int %r
+        }
+        int %is_odd(int %n) {
+        entry:
+                %z = seteq int %n, 0
+                br bool %z, label %yes, label %no
+        yes:
+                ret int 0
+        no:
+                %m = sub int %n, 1
+                %r = call int %is_even(int %m)
+                ret int %r
+        }
+        """
+        module = _round_trip(parse_module(source))
+        from repro.execution import Interpreter
+        from repro.ir.values import const_int
+        # Sanity: run it.
+        interp = Interpreter(module)
+        assert interp.run("is_even", [10]).return_value == 1
+        interp2 = Interpreter(module)
+        assert interp2.run("is_even", [7]).return_value == 0
+
+
+class TestForwardReferences:
+    def test_register_forward_reference_within_function(self):
+        source = """
+        int %f(bool %c) {
+        entry:
+                br bool %c, label %a, label %b
+        a:
+                %early = add int %late, 0
+                ret int %early
+        b:
+                ret int 0
+        }
+        """
+        # %late never defined: must be a parse error.
+        with pytest.raises(ParseError) as info:
+            parse_module(source)
+        assert "undefined registers" in str(info.value)
+
+    def test_string_constant_is_literal_bytes(self):
+        module = parse_module(
+            '%s = constant [3 x sbyte] c"ab\\00"\n')
+        initializer = module.globals["s"].initializer
+        assert isinstance(initializer, ConstantArray)
+        assert [e.value for e in initializer.elements] == [97, 98, 0]
+
+
+class TestErrors:
+    def test_type_mismatch_detected(self):
+        with pytest.raises(Exception):
+            parse_module("""
+            int %f() {
+            entry:
+                    %x = add int 1, 2
+                    %y = add long %x, 3
+                    ret int %x
+            }
+            """)
+
+    def test_initializer_type_checked(self):
+        with pytest.raises(types.LlvaTypeError):
+            parse_module('%s = constant [2 x sbyte] c"abc"\n')
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ParseError):
+            parse_module("""
+            int %f() {
+            entry:
+                    %x = frobnicate int 1, 2
+                    ret int %x
+            }
+            """)
+
+    def test_duplicate_block_label(self):
+        with pytest.raises(ParseError):
+            parse_module("""
+            int %f() {
+            entry:
+                    br label %entry2
+            entry2:
+                    ret int 0
+            entry2:
+                    ret int 1
+            }
+            """)

@@ -1,0 +1,112 @@
+"""Benchmark-suite registry and workload-generator tests."""
+
+import pytest
+
+from repro.benchsuite import (
+    PAPER_TABLE2,
+    SUITE_ORDER,
+    load_suite,
+    load_workload,
+)
+
+
+class TestRegistry:
+    def test_seventeen_rows_like_the_paper(self):
+        assert len(SUITE_ORDER) == 17
+        assert set(SUITE_ORDER) == set(PAPER_TABLE2)
+
+    def test_paper_numbers_sanity(self):
+        """Spot-check the transcription of Table 2."""
+        anagram = PAPER_TABLE2["anagram"]
+        assert anagram.loc == 647
+        assert anagram.llva_insts == 776
+        assert anagram.x86_ratio == 2.34
+        gap = PAPER_TABLE2["gap"]
+        assert gap.llva_insts == 111482
+        assert gap.translate_ratio == 0.129
+
+    def test_paper_size_ratio_band(self):
+        """'roughly 1.3x to 2x for the larger programs.'"""
+        for name in ("parser", "ammp", "vpr", "twolf", "crafty",
+                     "vortex", "gap"):
+            row = PAPER_TABLE2[name]
+            assert 1.2 <= row.size_ratio <= 2.1, name
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            load_workload("nonexistent")
+
+
+class TestGenerators:
+    def test_sources_are_deterministic(self):
+        a = load_workload("mcf", 0.3).source
+        b = load_workload("mcf", 0.3).source
+        assert a == b
+
+    def test_scale_changes_parameters(self):
+        small = load_workload("anagram", 0.1).source
+        large = load_workload("anagram", 1.0).source
+        assert small != large
+
+    def test_loc_grows_monotonically_through_suite(self):
+        """The suite spans small to large programs, like the paper's
+        progression from anagram (647 LOC) to gap (71 kLOC)."""
+        workloads = load_suite(0.2)
+        first_five = sum(w.loc for w in workloads[:5]) / 5
+        last_five = sum(w.loc for w in workloads[-5:]) / 5
+        assert last_five > first_five
+
+    def test_subset_loading(self):
+        subset = load_suite(0.1, names=["ks", "gap"])
+        assert [w.name for w in subset] == ["ks", "gap"]
+
+    @pytest.mark.parametrize("name", SUITE_ORDER)
+    def test_every_workload_compiles(self, name):
+        from repro.ir import verify_module
+        from repro.minic import compile_source
+
+        workload = load_workload(name, 0.05)
+        module = compile_source(workload.source, name)
+        verify_module(module)
+        assert "main" in module.functions
+
+    @pytest.mark.parametrize("name", ["anagram", "vortex", "gzip"])
+    def test_workloads_self_check(self, name):
+        """Workloads with built-in round-trip verification must report
+        success (ok=1 markers / no INTEGRITY FAILURE)."""
+        from repro.execution import Interpreter
+        from repro.minic import compile_source
+
+        workload = load_workload(name, 0.08)
+        module = compile_source(workload.source, name,
+                                optimization_level=1)
+        result = Interpreter(module).run("main")
+        assert "FAILURE" not in result.output
+        if name == "gzip":
+            assert "ok=1" in result.output
+
+
+class TestGoldenOutputs:
+    """Workload behaviour is pinned: any change to a generator, the
+    front-end, or the interpreter that alters results shows up here."""
+
+    def test_all_workloads_match_golden(self):
+        import json
+        import os
+
+        from repro.execution import Interpreter
+        from repro.minic import compile_source
+
+        path = os.path.join(os.path.dirname(__file__),
+                            "golden_outputs.json")
+        with open(path) as handle:
+            golden = json.load(handle)
+        assert set(golden) == set(SUITE_ORDER)
+        for name in SUITE_ORDER:
+            workload = load_workload(name, 0.08)
+            module = compile_source(workload.source, name,
+                                    optimization_level=1)
+            result = Interpreter(module).run("main")
+            assert result.return_value == golden[name]["return_value"], \
+                name
+            assert result.output == golden[name]["output"], name

@@ -1,0 +1,154 @@
+"""Virtual object code: encoding primitives and module round trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from helpers import build_factorial, build_loop_sum, build_quadtree_module
+from repro.asm import parse_module
+from repro.bitcode import (
+    BitcodeError,
+    read_module,
+    write_module,
+    write_module_with_stats,
+)
+from repro.bitcode.encoding import Reader, Writer
+from repro.ir import print_module, verify_module
+
+
+class TestPrimitiveEncodings:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_vbr_round_trip(self, value):
+        writer = Writer()
+        writer.vbr(value)
+        assert Reader(writer.getvalue()).vbr() == value
+
+    @given(st.integers(min_value=-2**62, max_value=2**62))
+    def test_svbr_round_trip(self, value):
+        writer = Writer()
+        writer.svbr(value)
+        assert Reader(writer.getvalue()).svbr() == value
+
+    @given(st.text(max_size=60))
+    def test_string_round_trip(self, text):
+        writer = Writer()
+        writer.string(text)
+        assert Reader(writer.getvalue()).string() == text
+
+    @given(st.integers(min_value=0, max_value=27),
+           st.booleans(),
+           st.integers(min_value=0, max_value=63),
+           st.lists(st.integers(min_value=0, max_value=0x1FE),
+                    max_size=2))
+    def test_short_instruction_round_trip(self, opcode, ee, type_index,
+                                          operands):
+        writer = Writer()
+        writer.instruction(opcode, ee, type_index, tuple(operands))
+        assert writer.short_instructions == 1
+        decoded = Reader(writer.getvalue()).instruction()
+        assert decoded == (opcode, ee, type_index, tuple(operands))
+
+    @given(st.integers(min_value=0, max_value=27),
+           st.booleans(),
+           st.integers(min_value=0, max_value=5000),
+           st.lists(st.integers(min_value=0, max_value=100000),
+                    max_size=6))
+    def test_any_instruction_round_trip(self, opcode, ee, type_index,
+                                        operands):
+        writer = Writer()
+        writer.instruction(opcode, ee, type_index, tuple(operands))
+        decoded = Reader(writer.getvalue()).instruction()
+        assert decoded == (opcode, ee, type_index, tuple(operands))
+
+    def test_truncated_stream_detected(self):
+        writer = Writer()
+        writer.u32(12345)
+        with pytest.raises(BitcodeError):
+            Reader(writer.getvalue()[:2]).u32()
+
+
+def _module_round_trip(module):
+    verify_module(module)
+    data = write_module(module, strip_names=False)
+    module2 = read_module(data, module.name)
+    verify_module(module2)
+    assert print_module(module) == print_module(module2)
+    return module2
+
+
+class TestModuleRoundTrip:
+    def test_factorial(self):
+        _module_round_trip(build_factorial())
+
+    def test_loops_and_memory(self):
+        _module_round_trip(build_loop_sum())
+
+    def test_recursive_types(self):
+        module, _f = build_quadtree_module()
+        _module_round_trip(module)
+
+    def test_execution_equivalence(self):
+        from repro.execution import Interpreter
+
+        module = build_factorial()
+        before = Interpreter(module).run("main")
+        module2 = read_module(write_module(module, strip_names=True))
+        after = Interpreter(module2).run("main")
+        assert before.return_value == after.return_value
+
+    def test_target_flags_preserved(self):
+        module = build_factorial()
+        module.pointer_size = 4
+        module.endianness = "big"
+        module2 = read_module(write_module(module))
+        assert module2.pointer_size == 4
+        assert module2.endianness == "big"
+
+    def test_exceptions_enabled_bit_preserved(self):
+        module = build_factorial()
+        fac = module.get_function("fac")
+        div_like = [i for i in fac.instructions() if i.opcode == "mul"][0]
+        div_like.exceptions_enabled = True  # non-default
+        module2 = read_module(write_module(module, strip_names=True))
+        fac2 = module2.get_function("fac")
+        mul2 = [i for i in fac2.instructions() if i.opcode == "mul"][0]
+        assert mul2.exceptions_enabled
+
+    def test_globals_and_aggregates(self):
+        source = """
+        %struct.Pair = type { int, double }
+        %scalars = global int 42
+        %negative = global long -7
+        %fp = global double 2.5
+        %flag = global bool true
+        %vec = constant [3 x int] [ int 1, int 2, int 3 ]
+        %pair = global %struct.Pair { int 9, double 1.5 }
+        %zero = global [8 x int] zeroinitializer
+        %table = constant [2 x int (int)*] [ int (int)* %id,
+                                             int (int)* %id ]
+        int %id(int %x) {
+        entry:
+                ret int %x
+        }
+        """
+        module = parse_module(source)
+        _module_round_trip(module)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(BitcodeError):
+            read_module(b"NOPE" + b"\x00" * 20)
+
+
+class TestCompactness:
+    def test_short_form_dominates(self):
+        """The Section 3.1 design point: most instructions fit the
+        fixed 32-bit form."""
+        module = build_loop_sum(50)
+        _data, stats = write_module_with_stats(module)
+        assert stats.short_form_fraction > 0.6
+
+    def test_stripping_names_shrinks_code(self):
+        module, _f = build_quadtree_module()
+        kept = write_module(module, strip_names=False)
+        stripped = write_module(module, strip_names=True)
+        assert len(stripped) < len(kept)

@@ -1,0 +1,6 @@
+"""Pytest configuration: make `tests.helpers` importable as `helpers`."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,338 @@
+"""The Section 3.3 exception model and Section 3.5 OS mechanisms."""
+
+import pytest
+
+from repro.asm import parse_module
+from repro.execution import (
+    ExecutionTrap,
+    Interpreter,
+    TrapKind,
+)
+from repro.ir import verify_module
+
+
+def _interp(source: str, privileged: bool = False) -> Interpreter:
+    module = parse_module(source)
+    verify_module(module)
+    return Interpreter(module, privileged=privileged)
+
+
+class TestExceptionsEnabled:
+    DIV = """
+    int %main() {{
+    entry:
+            %r = div int 5, 0 {0}
+            ret int %r
+    }}
+    """
+
+    def test_enabled_division_traps(self):
+        with pytest.raises(ExecutionTrap) as info:
+            _interp(self.DIV.format("")).run("main")
+        assert info.value.trap_number == TrapKind.DIVIDE_BY_ZERO
+
+    def test_masked_division_yields_zero(self):
+        result = _interp(self.DIV.format("!ee(false)")).run("main")
+        assert result.return_value == 0
+
+    def test_masked_load_fault_yields_zero(self):
+        result = _interp("""
+        int %main() {
+        entry:
+                %p = cast ulong 64 to int*
+                %v = load int* %p !ee(false)
+                ret int %v
+        }
+        """).run("main")
+        assert result.return_value == 0
+
+    def test_enabled_load_fault_traps(self):
+        with pytest.raises(ExecutionTrap) as info:
+            _interp("""
+            int %main() {
+            entry:
+                    %p = cast ulong 64 to int*
+                    %v = load int* %p
+                    ret int %v
+            }
+            """).run("main")
+        assert info.value.trap_number == TrapKind.MEMORY_FAULT
+
+    def test_null_store_traps(self):
+        with pytest.raises(ExecutionTrap):
+            _interp("""
+            int %main() {
+            entry:
+                    %p = cast ulong 0 to int*
+                    store int 1, int* %p
+                    ret int 0
+            }
+            """).run("main")
+
+    def test_overflow_silent_by_default(self):
+        """Arithmetic exceptions are off by default (Section 3.3),
+        so overflow wraps silently."""
+        result = _interp("""
+        int %main() {
+        entry:
+                %r = add int 2147483647, 1
+                ret int %r
+        }
+        """).run("main")
+        assert result.return_value == -2147483648
+
+    def test_overflow_traps_when_enabled(self):
+        with pytest.raises(ExecutionTrap) as info:
+            _interp("""
+            int %main() {
+            entry:
+                    %r = add int 2147483647, 1 !ee(true)
+                    ret int %r
+            }
+            """).run("main")
+        assert info.value.trap_number == TrapKind.INTEGER_OVERFLOW
+
+    def test_dynamic_masking_via_intrinsic(self):
+        """llva.exceptions.set disables delivery at runtime — 'provided
+        in addition to other mechanisms ... to disable exceptions
+        dynamically at runtime (e.g. for use in trap handlers)'."""
+        result = _interp("""
+        declare void %llva.exceptions.set(bool)
+        int %main() {
+        entry:
+                call void %llva.exceptions.set(bool false)
+                %r = div int 5, 0
+                call void %llva.exceptions.set(bool true)
+                ret int %r
+        }
+        """).run("main")
+        assert result.return_value == 0
+
+
+class TestTrapHandlers:
+    KERNEL = """
+    %log = global int 0
+    declare void %llva.trap.register(uint, sbyte*)
+    void %handler(uint %trapno, sbyte* %info) {
+    entry:
+            %old = load int* %log
+            %n = cast uint %trapno to int
+            %new = add int %old, %n
+            store int %new, int* %log
+            ret void
+    }
+    int %main() {
+    entry:
+            %h = cast void (uint, sbyte*)* %handler to sbyte*
+            call void %llva.trap.register(uint 2, sbyte* %h)
+            %q = div int 9, 0
+            %v = load int* %log
+            %r = add int %v, %q
+            ret int %r
+    }
+    """
+
+    def test_handler_runs_and_execution_resumes(self):
+        result = _interp(self.KERNEL, privileged=True).run("main")
+        # handler added trap number 2 to the log; faulting div yields 0.
+        assert result.return_value == 2
+
+    def test_registration_requires_privilege(self):
+        with pytest.raises(ExecutionTrap) as info:
+            _interp(self.KERNEL, privileged=False).run("main")
+        assert info.value.trap_number == TrapKind.PRIVILEGE_VIOLATION
+
+    def test_software_trap_raise(self):
+        result = _interp("""
+        %seen = global int 0
+        declare void %llva.trap.register(uint, sbyte*)
+        declare void %llva.trap.raise(uint, sbyte*)
+        void %handler(uint %trapno, sbyte* %info) {
+        entry:
+                %v = cast sbyte* %info to ulong
+                %i = cast ulong %v to int
+                store int %i, int* %seen
+                ret void
+        }
+        int %main() {
+        entry:
+                %h = cast void (uint, sbyte*)* %handler to sbyte*
+                call void %llva.trap.register(uint 6, sbyte* %h)
+                %payload = cast ulong 777 to sbyte*
+                call void %llva.trap.raise(uint 6, sbyte* %payload)
+                %r = load int* %seen
+                ret int %r
+        }
+        """, privileged=True).run("main")
+        assert result.return_value == 777
+
+    def test_stack_walking_intrinsics(self):
+        result = _interp("""
+        declare uint %llva.stack.depth()
+        int %inner() {
+        entry:
+                %d = call uint %llva.stack.depth()
+                %r = cast uint %d to int
+                ret int %r
+        }
+        int %outer() {
+        entry:
+                %r = call int %inner()
+                ret int %r
+        }
+        int %main() {
+        entry:
+                %deep = call int %outer()
+                %here = call uint %llva.stack.depth()
+                %h = cast uint %here to int
+                %diff = sub int %deep, %h
+                ret int %diff
+        }
+        """).run("main")
+        assert result.return_value == 2  # outer + inner above main
+
+
+class TestInvokeUnwind:
+    SOURCE = """
+    int %may_throw(int %x) {
+    entry:
+            %bad = setgt int %x, 10
+            br bool %bad, label %throw, label %fine
+    throw:
+            unwind
+    fine:
+            %r = mul int %x, 2
+            ret int %r
+    }
+    int %middle(int %x) {
+    entry:
+            %r = call int %may_throw(int %x)
+            %s = add int %r, 1
+            ret int %s
+    }
+    int %main(int %x) {
+    entry:
+            %v = invoke int %middle(int %x) to label %ok
+                  unwind label %handler
+    ok:
+            ret int %v
+    handler:
+            ret int -1
+    }
+    """
+
+    def test_normal_path(self):
+        result = _interp(self.SOURCE).run("main", [4])
+        assert result.return_value == 9
+
+    def test_unwind_skips_intermediate_frames(self):
+        result = _interp(self.SOURCE).run("main", [50])
+        assert result.return_value == -1
+
+    def test_unwind_without_invoke_traps(self):
+        with pytest.raises(ExecutionTrap):
+            _interp("""
+            int %main() {
+            entry:
+                    unwind
+            }
+            """).run("main")
+
+    def test_nested_invokes_catch_at_nearest(self):
+        result = _interp("""
+        int %thrower() {
+        entry:
+                unwind
+        }
+        int %inner() {
+        entry:
+                %v = invoke int %thrower() to label %ok
+                      unwind label %caught
+        ok:
+                ret int %v
+        caught:
+                ret int 100
+        }
+        int %main() {
+        entry:
+                %v = invoke int %inner() to label %ok
+                      unwind label %outer_caught
+        ok:
+                ret int %v
+        outer_caught:
+                ret int 200
+        }
+        """).run("main")
+        assert result.return_value == 100  # nearest invoke wins
+
+
+class TestSelfModifyingCode:
+    SOURCE = """
+    declare void %llva.smc.replace(sbyte*, sbyte*)
+    int %f(int %x) {
+    entry:
+            %r = add int %x, 1
+            ret int %r
+    }
+    int %g(int %x) {
+    entry:
+            %r = mul int %x, 100
+            ret int %r
+    }
+    int %main() {
+    entry:
+            %before = call int %f(int 5)
+            %old = cast int (int)* %f to sbyte*
+            %new = cast int (int)* %g to sbyte*
+            call void %llva.smc.replace(sbyte* %old, sbyte* %new)
+            %after = call int %f(int 5)
+            %r = sub int %after, %before
+            ret int %r
+    }
+    """
+
+    def test_future_invocations_see_new_body(self):
+        result = _interp(self.SOURCE).run("main")
+        assert result.return_value == 500 - 6
+
+    def test_active_invocation_unaffected(self):
+        """Section 3.4: 'such a change only affects future invocations
+        of that function, not any currently active invocations.'"""
+        result = _interp("""
+        declare void %llva.smc.replace(sbyte*, sbyte*)
+        int %target(int %depth) {
+        entry:
+                %stop = seteq int %depth, 0
+                br bool %stop, label %leaf, label %recurse
+        leaf:
+                ret int 1
+        recurse:
+                ; On the way down, the *first* call rewrites target;
+                ; the active frames must keep their old bodies.
+                %is_first = seteq int %depth, 3
+                br bool %is_first, label %patch, label %continue
+        patch:
+                %old = cast int (int)* %target to sbyte*
+                %new = cast int (int)* %replacement to sbyte*
+                call void %llva.smc.replace(sbyte* %old, sbyte* %new)
+                br label %continue
+        continue:
+                %m = sub int %depth, 1
+                %r = call int %target(int %m)
+                %s = add int %r, 10
+                ret int %s
+        }
+        int %replacement(int %depth) {
+        entry:
+                ret int 1000
+        }
+        int %main() {
+        entry:
+                %r = call int %target(int 3)
+                ret int %r
+        }
+        """).run("main")
+        # Frame depth=3 is active when the patch happens, so it runs its
+        # old body; the recursive call at depth 2 is a *future*
+        # invocation and gets the replacement: 1000 + 10.
+        assert result.return_value == 1010

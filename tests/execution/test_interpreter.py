@@ -1,0 +1,257 @@
+"""Interpreter semantics: arithmetic, memory, control flow."""
+
+import pytest
+
+from helpers import build_factorial, build_loop_sum, build_quadtree_module
+from repro.asm import parse_module
+from repro.execution import ExecutionTrap, Interpreter, StepLimitExceeded
+from repro.ir import IRBuilder, Module, types, verify_module
+from repro.ir.values import const_fp, const_int
+
+
+def _run_expr(body: str, return_type: str = "int"):
+    """Run a one-function module whose body computes %r."""
+    module = parse_module("""
+    {0} %main() {{
+    entry:
+    {1}
+            ret {0} %r
+    }}
+    """.format(return_type, body))
+    verify_module(module)
+    return Interpreter(module).run("main").return_value
+
+
+class TestArithmetic:
+    def test_wraparound(self):
+        assert _run_expr("        %r = add int 2147483647, 1") \
+            == -2147483648
+        assert _run_expr("        %r = mul int 65536, 65536") == 0
+        assert _run_expr("        %r = sub int -2147483648, 1") \
+            == 2147483647
+
+    def test_c_style_division(self):
+        assert _run_expr("        %r = div int 7, 2") == 3
+        assert _run_expr("        %r = div int -7, 2") == -3
+        assert _run_expr("        %r = div int 7, -2") == -3
+        assert _run_expr("        %r = rem int -7, 2") == -1
+        assert _run_expr("        %r = rem int 7, -2") == 1
+
+    def test_unsigned_division(self):
+        module = parse_module("""
+        uint %main() {
+        entry:
+                %big = cast int -1 to uint
+                %r = div uint %big, 2
+                ret uint %r
+        }
+        """)
+        assert Interpreter(module).run("main").return_value \
+            == (2**32 - 1) // 2
+
+    def test_shift_semantics(self):
+        assert _run_expr("        %r = shl int 1, ubyte 10") == 1024
+        assert _run_expr("        %r = shr int -16, ubyte 2") == -4
+        module = parse_module("""
+        uint %main() {
+        entry:
+                %x = cast int -16 to uint
+                %r = shr uint %x, ubyte 2
+                ret uint %r
+        }
+        """)
+        assert Interpreter(module).run("main").return_value \
+            == (2**32 - 16) >> 2
+
+    def test_float_arithmetic(self):
+        assert _run_expr("        %r = add double 1.5, 2.25",
+                         "double") == 3.75
+        assert _run_expr("        %r = div double 1.0, 0.0",
+                         "double") == float("inf")
+
+    def test_float_single_precision_rounds(self):
+        module = parse_module("""
+        bool %main() {
+        entry:
+                %a = cast double 0.1 to float
+                %b = cast float %a to double
+                %r = seteq double %b, 0.1
+                ret bool %r
+        }
+        """)
+        assert Interpreter(module).run("main").return_value is False
+
+    def test_comparisons(self):
+        assert _run_expr("""
+                %c = setlt int -1, 1
+                %r = cast bool %c to int""") == 1
+        assert _run_expr("""
+                %c = setge double 2.0, 2.0
+                %r = cast bool %c to int""") == 1
+
+
+class TestCasts:
+    def test_narrowing_wraps(self):
+        assert _run_expr("""
+                %w = cast int 300 to ubyte
+                %r = cast ubyte %w to int""") == 44
+
+    def test_sign_extension(self):
+        assert _run_expr("""
+                %b = cast int -1 to sbyte
+                %r = cast sbyte %b to int""") == -1
+
+    def test_float_to_int_truncates(self):
+        assert _run_expr("        %r = cast double 2.9 to int") == 2
+        assert _run_expr("        %r = cast double -2.9 to int") == -2
+
+    def test_bool_conversions(self):
+        assert _run_expr("""
+                %b = cast int 42 to bool
+                %r = cast bool %b to int""") == 1
+
+    def test_int_pointer_round_trip(self):
+        module = parse_module("""
+        bool %main() {
+        entry:
+                %slot = alloca int
+                %addr = cast int* %slot to ulong
+                %back = cast ulong %addr to int*
+                store int 77, int* %back
+                %v = load int* %slot
+                %r = seteq int %v, 77
+                ret bool %r
+        }
+        """)
+        assert Interpreter(module).run("main").return_value is True
+
+
+class TestMemoryAndControl:
+    def test_factorial(self):
+        result = Interpreter(build_factorial()).run("main")
+        assert result.return_value == 3628800
+
+    def test_loop_sum_with_arrays(self):
+        result = Interpreter(build_loop_sum(25)).run("main")
+        assert result.return_value == sum(range(25))
+
+    def test_quadtree_fig2(self):
+        module, function = build_quadtree_module()
+        # Build a 3-level chain in simulated memory by hand.
+        interp = Interpreter(module)
+        node_size = interp.target.size_of(
+            module.named_types["struct.QuadTree"])
+        nodes = [interp.memory.malloc(node_size) for _ in range(3)]
+        for depth, address in enumerate(nodes):
+            interp.memory.write_typed(address, types.DOUBLE,
+                                      float(depth + 1))
+            child = nodes[depth + 1] if depth + 1 < len(nodes) else 0
+            # Children[3] is at offset 8 + 3*8 = 32 on the 64-bit layout.
+            interp.memory.write_typed(address + 32,
+                                      types.pointer_to(types.SBYTE),
+                                      child)
+        result_slot = interp.memory.malloc(8)
+        interp.run("Sum3rdChildren", [nodes[0], result_slot])
+        total = interp.memory.read_typed(result_slot, types.DOUBLE)
+        assert total == 6.0
+
+    def test_global_initializers(self):
+        module = parse_module("""
+        %counter = global int 5
+        %vec = constant [3 x int] [ int 10, int 20, int 30 ]
+        int %main() {
+        entry:
+                %c = load int* %counter
+                %p = getelementptr [3 x int]* %vec, long 0, long 2
+                %v = load int* %p
+                %r = add int %c, %v
+                ret int %r
+        }
+        """)
+        assert Interpreter(module).run("main").return_value == 35
+
+    def test_endianness_visible_through_casts(self):
+        source = """
+        int %main() {
+        entry:
+                %slot = alloca uint
+                store uint 305419896, uint* %slot   ; 0x12345678
+                %bytes = cast uint* %slot to ubyte*
+                %b0 = load ubyte* %bytes
+                %r = cast ubyte %b0 to int
+                ret int %r
+        }
+        """
+        little = parse_module(source)
+        assert Interpreter(little).run("main").return_value == 0x78
+        big = parse_module("target endian = big\n" + source)
+        assert Interpreter(big).run("main").return_value == 0x12
+
+    def test_pointer_size_flag_changes_layout(self):
+        module, _f = build_quadtree_module()
+        qt = module.named_types["struct.QuadTree"]
+        assert types.TargetData(4).size_of(qt) == 24
+        assert types.TargetData(8).size_of(qt) == 40
+
+    def test_mbr_dispatch(self):
+        module = parse_module("""
+        int %pick(int %x) {
+        entry:
+                mbr int %x, label %other, [ int 1, label %one ],
+                    [ int 2, label %two ]
+        one:
+                ret int 100
+        two:
+                ret int 200
+        other:
+                ret int -1
+        }
+        """)
+        interp = Interpreter(module)
+        assert interp.run("pick", [1]).return_value == 100
+        assert Interpreter(module).run("pick", [2]).return_value == 200
+        assert Interpreter(module).run("pick", [9]).return_value == -1
+
+    def test_deep_recursion_no_host_limit(self):
+        """The explicit frame stack must survive recursion far beyond
+        Python's own recursion limit."""
+        module = parse_module("""
+        int %down(int %n) {
+        entry:
+                %z = seteq int %n, 0
+                br bool %z, label %stop, label %go
+        stop:
+                ret int 0
+        go:
+                %m = sub int %n, 1
+                %r = call int %down(int %m)
+                %s = add int %r, 1
+                ret int %s
+        }
+        """)
+        result = Interpreter(module).run("down", [5000])
+        assert result.return_value == 5000
+
+    def test_step_limit(self):
+        module = parse_module("""
+        int %main() {
+        entry:
+                br label %entry2
+        entry2:
+                br label %entry2
+        }
+        """)
+        with pytest.raises(StepLimitExceeded):
+            Interpreter(module, max_steps=1000).run("main")
+
+    def test_exit_request(self):
+        module = parse_module("""
+        declare void %exit(int)
+        int %main() {
+        entry:
+                call void %exit(int 3)
+                ret int 0
+        }
+        """)
+        result = Interpreter(module).run("main")
+        assert result.exit_status == 3

@@ -1,0 +1,183 @@
+"""Machine-simulator internals: cycle model, frames, argument slots."""
+
+import pytest
+
+from repro.asm import parse_module
+from repro.execution import ExecutionTrap, Interpreter
+from repro.execution.machine_sim import CYCLES, MachineSimulator
+from repro.ir import verify_module
+from repro.targets import make_target, translate_module
+from repro.targets.machine import Semantics
+
+
+def _simulate(source: str, target_name="x86", entry="main", args=()):
+    module = parse_module(source)
+    verify_module(module)
+    native = translate_module(module, make_target(target_name))
+    simulator = MachineSimulator(native, module)
+    value, status = simulator.run(entry, args)
+    return simulator, value
+
+
+class TestCycleModel:
+    def test_loads_cost_more_than_moves(self):
+        assert CYCLES[Semantics.LOAD] > CYCLES[Semantics.MOV]
+        assert CYCLES[Semantics.CALL] > CYCLES[Semantics.JMP]
+
+    def test_cycles_scale_with_work(self):
+        template = """
+        int %main() {{
+        entry:
+                br label %loop
+        loop:
+                %i = phi int [ 0, %entry ], [ %i2, %loop ]
+                %i2 = add int %i, 1
+                %c = setlt int %i2, {0}
+                br bool %c, label %loop, label %done
+        done:
+                ret int %i2
+        }}
+        """
+        short_sim, _ = _simulate(template.format(10))
+        long_sim, _ = _simulate(template.format(100))
+        assert long_sim.cycles > short_sim.cycles * 5
+
+    def test_division_is_expensive(self):
+        div_sim, _ = _simulate("""
+        int %main() {
+        entry:
+                %a = div int 1000, 7
+                ret int %a
+        }
+        """)
+        add_sim, _ = _simulate("""
+        int %main() {
+        entry:
+                %a = add int 1000, 7
+                ret int %a
+        }
+        """)
+        assert div_sim.cycles > add_sim.cycles
+
+    def test_deterministic_cycles(self):
+        source = """
+        int %main() {
+        entry:
+                %a = mul int 6, 7
+                ret int %a
+        }
+        """
+        first, _ = _simulate(source)
+        second, _ = _simulate(source)
+        assert first.cycles == second.cycles
+
+    def test_cycle_budget(self):
+        module = parse_module("""
+        int %main() {
+        entry:
+                br label %spin
+        spin:
+                br label %spin
+        }
+        """)
+        native = translate_module(module, make_target("x86"))
+        simulator = MachineSimulator(native, module, max_cycles=5000)
+        with pytest.raises(ExecutionTrap):
+            simulator.run("main")
+
+
+class TestFramesAndArguments:
+    def test_frame_isolation_across_recursion(self):
+        """Each frame's slots are private: recursion over locals."""
+        source = """
+        int %sum_to(int %n) {
+        entry:
+                %slot = alloca int
+                store int %n, int* %slot
+                %z = seteq int %n, 0
+                br bool %z, label %stop, label %rec
+        stop:
+                ret int 0
+        rec:
+                %m = sub int %n, 1
+                %rest = call int %sum_to(int %m)
+                %mine = load int* %slot
+                %r = add int %mine, %rest
+                ret int %r
+        }
+        """
+        for target_name in ("x86", "sparc"):
+            simulator, value = _simulate(source, target_name, "sum_to",
+                                         [10])
+            assert value == 55, target_name
+
+    def test_run_arguments_cross_both_conventions(self):
+        source = """
+        int %pick(int %a, int %b, int %c, int %d, int %e, int %f,
+                  int %g, int %h, int %i) {
+        entry:
+                %x = sub int %i, %a
+                ret int %x
+        }
+        """
+        args = [10, 0, 0, 0, 0, 0, 0, 0, 99]
+        for target_name in ("x86", "sparc"):
+            _sim, value = _simulate(source, target_name, "pick", args)
+            assert value == 89, target_name
+
+    def test_negative_arguments_through_stack_slots(self):
+        """Stack argument slots are signed-widened consistently — the
+        big-endian SPARC path is the regression risk here."""
+        source = """
+        long %tail(long %a, long %b, long %c, long %d, long %e,
+                   long %f, long %g, long %h) {
+        entry:
+                %x = add long %g, %h
+                ret long %x
+        }
+        """
+        args = [0, 0, 0, 0, 0, 0, -1000000, 7]
+        for target_name in ("x86", "sparc"):
+            _sim, value = _simulate(source, target_name, "tail", args)
+            assert value == -999993, target_name
+
+    def test_instruction_counter(self):
+        simulator, _ = _simulate("""
+        int %main() {
+        entry:
+                ret int 0
+        }
+        """)
+        assert simulator.instructions_executed >= 2  # mov + ret
+
+
+class TestStaleTranslationDetection:
+    def test_smc_version_mismatch_forces_retranslation(self):
+        module = parse_module("""
+        int %f() {
+        entry:
+                ret int 1
+        }
+        int %g() {
+        entry:
+                ret int 2
+        }
+        int %main() {
+        entry:
+                %r = call int %f()
+                ret int %r
+        }
+        """)
+        from repro.llee.jit import FunctionJIT
+        from repro.targets import NativeModule
+
+        target = make_target("x86")
+        jit = FunctionJIT(module, target)
+        native = jit.translate_all()
+        # Host-side SMC between runs.
+        module.get_function("f").replace_body_from(
+            module.get_function("g"))
+        simulator = MachineSimulator(native, module,
+                                     resolver=jit.translate)
+        value, _ = simulator.run("main")
+        assert value == 2  # stale translation detected, retranslated

@@ -1,0 +1,166 @@
+"""Memory model tests: regions, typed access, endianness, allocator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.execution.events import ExecutionTrap, TrapKind
+from repro.execution.memory import (
+    GLOBAL_BASE,
+    HEAP_BASE,
+    STACK_TOP,
+    Memory,
+    MemoryError_,
+)
+from repro.ir import types
+from repro.ir.types import TargetData
+
+
+def _memory(pointer_size=8, endianness="little", **kwargs) -> Memory:
+    return Memory(TargetData(pointer_size, endianness), **kwargs)
+
+
+class TestRegions:
+    def test_unmapped_access_faults(self):
+        memory = _memory()
+        with pytest.raises(MemoryError_) as info:
+            memory.read_bytes(0x40, 1)  # the null page
+        assert info.value.trap_number == TrapKind.MEMORY_FAULT
+
+    def test_globals_heap_stack_disjoint(self):
+        memory = _memory()
+        g = memory.allocate_global(64)
+        h = memory.malloc(64)
+        s = memory.push_frame(64)
+        assert GLOBAL_BASE <= g < HEAP_BASE <= h < s < STACK_TOP
+        memory.write_bytes(g, b"g" * 64)
+        memory.write_bytes(h, b"h" * 64)
+        memory.write_bytes(s, b"s" * 64)
+        assert memory.read_bytes(g, 1) == b"g"
+        assert memory.read_bytes(h, 1) == b"h"
+        assert memory.read_bytes(s, 1) == b"s"
+
+    def test_straddling_region_end_faults(self):
+        memory = _memory()
+        address = memory.allocate_global(8)
+        last = address + memory._global_cursor - address  # cursor end
+        with pytest.raises(MemoryError_):
+            memory.read_bytes(memory._global_cursor - 2, 8)
+
+    def test_explicit_regions(self):
+        memory = _memory()
+        memory.add_region(0x5000_0000, 4096)
+        memory.write_typed(0x5000_0010, types.INT, -5)
+        assert memory.read_typed(0x5000_0010, types.INT) == -5
+        assert memory.is_mapped(0x5000_0000, 4096)
+        assert not memory.is_mapped(0x5000_1000)
+
+
+class TestTypedAccess:
+    @pytest.mark.parametrize("type_,value", [
+        (types.SBYTE, -7), (types.UBYTE, 200),
+        (types.SHORT, -30000), (types.USHORT, 60000),
+        (types.INT, -2**31), (types.UINT, 2**32 - 1),
+        (types.LONG, -2**63), (types.ULONG, 2**64 - 1),
+        (types.DOUBLE, 3.141592653589793),
+        (types.BOOL, True),
+    ])
+    @pytest.mark.parametrize("endianness", ["little", "big"])
+    def test_round_trip(self, type_, value, endianness):
+        memory = _memory(endianness=endianness)
+        address = memory.malloc(16)
+        memory.write_typed(address, type_, value)
+        assert memory.read_typed(address, type_) == value
+
+    def test_pointer_width_by_target(self):
+        for pointer_size in (4, 8):
+            memory = _memory(pointer_size=pointer_size)
+            address = memory.malloc(16)
+            ptr_type = types.pointer_to(types.INT)
+            memory.write_typed(address, ptr_type, HEAP_BASE + 8)
+            raw = memory.read_bytes(address, pointer_size)
+            assert int.from_bytes(raw, "little") == HEAP_BASE + 8
+
+    def test_endianness_changes_byte_order(self):
+        little = _memory(endianness="little")
+        big = _memory(8, "big")
+        a1 = little.malloc(8)
+        a2 = big.malloc(8)
+        little.write_typed(a1, types.UINT, 0x11223344)
+        big.write_typed(a2, types.UINT, 0x11223344)
+        assert little.read_bytes(a1, 4) == bytes.fromhex("44332211")
+        assert big.read_bytes(a2, 4) == bytes.fromhex("11223344")
+
+    def test_cstring(self):
+        memory = _memory()
+        address = memory.malloc(16)
+        memory.write_bytes(address, b"hello\x00junk")
+        assert memory.read_cstring(address) == b"hello"
+
+
+class TestAllocator:
+    def test_malloc_returns_distinct_zeroed_chunks(self):
+        memory = _memory()
+        a = memory.malloc(24)
+        b = memory.malloc(24)
+        assert a != b
+        assert memory.read_bytes(a, 24) == b"\x00" * 24
+
+    def test_free_then_reuse(self):
+        memory = _memory()
+        a = memory.malloc(32)
+        memory.write_bytes(a, b"x" * 32)
+        memory.free(a)
+        b = memory.malloc(32)
+        assert b == a  # freelist reuse
+        assert memory.read_bytes(b, 32) == b"\x00" * 32  # re-zeroed
+
+    def test_double_free_detected(self):
+        memory = _memory()
+        a = memory.malloc(8)
+        memory.free(a)
+        with pytest.raises(MemoryError_):
+            memory.free(a)
+
+    def test_free_null_is_noop(self):
+        _memory().free(0)
+
+    def test_heap_grows_across_chunks(self):
+        memory = _memory()
+        blocks = [memory.malloc(1 << 20) for _ in range(6)]  # > 4 MiB
+        memory.write_typed(blocks[-1], types.INT, 9)
+        assert memory.read_typed(blocks[-1], types.INT) == 9
+
+    @given(st.lists(st.integers(min_value=1, max_value=512),
+                    min_size=1, max_size=40))
+    def test_allocations_never_overlap(self, sizes):
+        memory = _memory()
+        spans = []
+        for size in sizes:
+            address = memory.malloc(size)
+            spans.append((address, address + size))
+        spans.sort()
+        for (a_start, a_end), (b_start, _b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+
+class TestStack:
+    def test_frames_grow_down_and_pop(self):
+        memory = _memory()
+        top = memory.stack_pointer
+        frame1 = memory.push_frame(128)
+        frame2 = memory.push_frame(64)
+        assert frame2 < frame1 < top
+        memory.pop_frame(frame1 + 0)  # restore to frame1's base
+        assert memory.stack_pointer == frame1
+
+    def test_stack_overflow_traps(self):
+        memory = _memory(stack_limit=4096)
+        with pytest.raises(ExecutionTrap) as info:
+            memory.push_frame(8192)
+        assert info.value.trap_number == TrapKind.STACK_OVERFLOW
+
+    def test_alignment(self):
+        memory = _memory()
+        frame = memory.push_frame(100, align=16)
+        assert frame % 16 == 0

@@ -1,0 +1,159 @@
+"""Kernel-facing intrinsics: page tables, device I/O, stack walking."""
+
+import pytest
+
+from repro.asm import parse_module
+from repro.execution import ExecutionTrap, Interpreter, TrapKind
+from repro.ir import verify_module
+
+
+def _kernel(source: str) -> Interpreter:
+    module = parse_module(source)
+    verify_module(module)
+    return Interpreter(module, privileged=True)
+
+
+class TestPageTables:
+    SOURCE = """
+    declare void %llva.pagetable.map(ulong, ulong, uint)
+    declare void %llva.pagetable.unmap(ulong)
+    int %main() {
+    entry:
+            ; Map a page at 3 GiB and use it as ordinary memory.
+            call void %llva.pagetable.map(ulong 3221225472,
+                                          ulong 1234, uint 7)
+            %p = cast ulong 3221225472 to int*
+            store int 77, int* %p
+            %v = load int* %p
+            ret int %v
+    }
+    """
+
+    def test_mapped_page_is_usable(self):
+        result = _kernel(self.SOURCE).run("main")
+        assert result.return_value == 77
+
+    def test_unmapped_high_address_faults(self):
+        interp = _kernel("""
+        int %main() {
+        entry:
+                %p = cast ulong 3221225472 to int*
+                %v = load int* %p
+                ret int %v
+        }
+        """)
+        with pytest.raises(ExecutionTrap) as info:
+            interp.run("main")
+        assert info.value.trap_number == TrapKind.MEMORY_FAULT
+
+    def test_map_requires_privilege(self):
+        module = parse_module(self.SOURCE)
+        with pytest.raises(ExecutionTrap) as info:
+            Interpreter(module, privileged=False).run("main")
+        assert info.value.trap_number == TrapKind.PRIVILEGE_VIOLATION
+
+
+class TestDeviceIO:
+    def test_write_then_read_channel(self):
+        interp = _kernel("""
+        declare void %llva.io.write(uint, ulong)
+        declare ulong %llva.io.read(uint)
+        int %main() {
+        entry:
+                call void %llva.io.write(uint 1, ulong 111)
+                call void %llva.io.write(uint 1, ulong 222)
+                call void %llva.io.write(uint 2, ulong 999)
+                %a = call ulong %llva.io.read(uint 1)
+                %b = call ulong %llva.io.read(uint 1)
+                %c = call ulong %llva.io.read(uint 1)
+                %sum0 = add ulong %a, %b
+                %sum1 = add ulong %sum0, %c
+                %r = cast ulong %sum1 to int
+                ret int %r
+        }
+        """)
+        # FIFO per channel; empty channel reads 0.
+        assert interp.run("main").return_value == 111 + 222 + 0
+
+    def test_host_can_preload_channels(self):
+        interp = _kernel("""
+        declare ulong %llva.io.read(uint)
+        int %main() {
+        entry:
+                %a = call ulong %llva.io.read(uint 5)
+                %r = cast ulong %a to int
+                ret int %r
+        }
+        """)
+        interp.io_channels[5] = [4242]
+        assert interp.run("main").return_value == 4242
+
+
+class TestPrivilegeTransitions:
+    def test_kernel_can_drop_privilege(self):
+        interp = _kernel("""
+        declare void %llva.priv.set(bool)
+        declare bool %llva.priv.enabled()
+        declare void %llva.pagetable.unmap(ulong)
+        int %main() {
+        entry:
+                %was = call bool %llva.priv.enabled()
+                call void %llva.priv.set(bool false)
+                %now = call bool %llva.priv.enabled()
+                %w = cast bool %was to int
+                %n = cast bool %now to int
+                %r = sub int %w, %n
+                ret int %r
+        }
+        """)
+        assert interp.run("main").return_value == 1
+        assert not interp.privileged
+
+    def test_unprivileged_cannot_raise_privilege(self):
+        module = parse_module("""
+        declare void %llva.priv.set(bool)
+        int %main() {
+        entry:
+                call void %llva.priv.set(bool true)
+                ret int 0
+        }
+        """)
+        with pytest.raises(ExecutionTrap) as info:
+            Interpreter(module, privileged=False).run("main")
+        assert info.value.trap_number == TrapKind.PRIVILEGE_VIOLATION
+
+
+class TestStackCaller:
+    def test_caller_addresses_walk_the_stack(self):
+        interp = _kernel("""
+        declare sbyte* %llva.stack.caller(uint)
+        %probe0 = global ulong 0
+        %probe1 = global ulong 0
+        void %inner() {
+        entry:
+                %own = call sbyte* %llva.stack.caller(uint 0)
+                %up = call sbyte* %llva.stack.caller(uint 1)
+                %a = cast sbyte* %own to ulong
+                %b = cast sbyte* %up to ulong
+                store ulong %a, ulong* %probe0
+                store ulong %b, ulong* %probe1
+                ret void
+        }
+        int %main() {
+        entry:
+                call void %inner()
+                %a = load ulong* %probe0
+                %b = load ulong* %probe1
+                %same = seteq ulong %a, %b
+                %r = cast bool %same to int
+                ret int %r
+        }
+        """)
+        result = interp.run("main")
+        assert result.return_value == 0  # inner != main
+        from repro.ir import types
+
+        inner_address = interp.image.address_of("inner")
+        probe0 = interp.memory.read_typed(
+            interp.image.address_of("probe0"), types.ULONG)
+        assert probe0 == inner_address

@@ -1,0 +1,109 @@
+"""Runtime library tests: output, allocation, pools, process control."""
+
+import pytest
+
+from repro.execution import ExecutionTrap, Interpreter
+from repro.execution.memory import Memory
+from repro.execution.runtime import (
+    RUNTIME_SIGNATURES,
+    RuntimeLibrary,
+    is_runtime_name,
+)
+from repro.ir.types import TargetData
+from repro.minic import compile_source
+
+
+def _runtime():
+    memory = Memory(TargetData(8))
+    return RuntimeLibrary(memory), memory
+
+
+class TestOutput:
+    def test_print_formats(self):
+        runtime, memory = _runtime()
+        runtime.call("print_int", [-42])
+        runtime.call("print_char", [32])
+        runtime.call("print_double", [2.5])
+        runtime.call("print_newline", [])
+        assert runtime.output_text() == "-42 2.500000\n"
+
+    def test_print_str_reads_simulated_memory(self):
+        runtime, memory = _runtime()
+        address = memory.malloc(16)
+        memory.write_bytes(address, b"hey\x00")
+        runtime.call("print_str", [address])
+        assert runtime.output_text() == "hey"
+
+    def test_unknown_external_traps(self):
+        runtime, _memory = _runtime()
+        with pytest.raises(ExecutionTrap):
+            runtime.call("print_int", [1]) or runtime.call("nope", [])
+
+
+class TestAllocationCounters:
+    def test_malloc_free_counted(self):
+        runtime, _memory = _runtime()
+        address = runtime.call("malloc", [64])
+        runtime.call("free", [address])
+        assert runtime.malloc_calls == 1
+        assert runtime.free_calls == 1
+
+
+class TestPoolRuntime:
+    def test_pool_lifecycle(self):
+        runtime, memory = _runtime()
+        descriptor = memory.malloc(64)
+        runtime.call("poolinit", [descriptor, 16])
+        chunks = [runtime.call("poolalloc", [descriptor, 16])
+                  for _ in range(10)]
+        assert len(set(chunks)) == 10
+        for chunk in chunks:
+            memory.write_typed(chunk, TargetData(8).pointer_int_type, 1)
+        runtime.call("poolfree", [descriptor, chunks[0]])
+        runtime.call("pooldestroy", [descriptor])
+        assert runtime.pool_allocs == 10
+        assert runtime.pool_slab_mallocs == 1  # all fit one slab
+
+    def test_pool_grows_new_slabs(self):
+        runtime, memory = _runtime()
+        descriptor = memory.malloc(64)
+        runtime.call("poolinit", [descriptor, 16])
+        for _ in range(5):
+            runtime.call("poolalloc", [descriptor, 2048])
+        assert runtime.pool_slab_mallocs >= 3
+
+    def test_uninitialized_pool_traps(self):
+        runtime, memory = _runtime()
+        with pytest.raises(ExecutionTrap):
+            runtime.call("poolalloc", [12345, 16])
+
+    def test_double_destroy_tolerated(self):
+        runtime, memory = _runtime()
+        descriptor = memory.malloc(64)
+        runtime.call("poolinit", [descriptor, 16])
+        runtime.call("pooldestroy", [descriptor])
+        runtime.call("pooldestroy", [descriptor])
+
+
+class TestSignatures:
+    def test_every_signature_declared(self):
+        for name, signature in RUNTIME_SIGNATURES.items():
+            assert is_runtime_name(name)
+            assert signature.is_function
+
+    def test_clock_ticks_is_deterministic(self):
+        source = """
+        int main() {
+            ulong a = clock_ticks();
+            int i;
+            int x = 0;
+            for (i = 0; i < 10; i++) x += i;
+            ulong b = clock_ticks();
+            return (b > a) ? x : -1;
+        }
+        """
+        module = compile_source(source, "clock")
+        first = Interpreter(module).run("main")
+        second = Interpreter(module).run("main")
+        assert first.return_value == second.return_value == 45
+        assert first.steps == second.steps

@@ -1,0 +1,135 @@
+"""The command-line toolchain, driven through its public main()."""
+
+import io
+import os
+import sys
+
+import pytest
+
+from repro.tools import main
+
+PROGRAM = """
+int square(int x) { return x * x; }
+int main() {
+    print_int(square(6));
+    print_newline();
+    return square(6) % 100;
+}
+"""
+
+ASSEMBLY = """
+int %main() {
+entry:
+        %v = add int 40, 2
+        ret int %v
+}
+"""
+
+
+@pytest.fixture()
+def workdir(tmp_path, monkeypatch):
+    source = tmp_path / "prog.c"
+    source.write_text(PROGRAM)
+    assembly = tmp_path / "prog.ll"
+    assembly.write_text(ASSEMBLY)
+    return tmp_path
+
+
+def _capture(argv, capsys):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestToolchain:
+    def test_cc_run_interpreter(self, workdir, capsys):
+        bc = str(workdir / "prog.bc")
+        code, _out, _err = _capture(
+            ["cc", str(workdir / "prog.c"), "-o", bc, "-O", "2"],
+            capsys)
+        assert code == 0 and os.path.getsize(bc) > 0
+        code, out, err = _capture(["run", bc, "--stats"], capsys)
+        assert out.strip() == "36"
+        assert code == 36
+        assert "steps=" in err
+
+    def test_run_native_targets(self, workdir, capsys):
+        bc = str(workdir / "prog.bc")
+        _capture(["cc", str(workdir / "prog.c"), "-o", bc], capsys)
+        for target in ("x86", "sparc"):
+            code, out, err = _capture(
+                ["run", bc, "--target", target, "--stats"], capsys)
+            assert out.strip() == "36"
+            assert code == 36
+            assert "cycles=" in err
+
+    def test_as_dis_round_trip(self, workdir, capsys):
+        bc = str(workdir / "asm.bc")
+        code, _o, _e = _capture(
+            ["as", str(workdir / "prog.ll"), "-o", bc], capsys)
+        assert code == 0
+        ll = str(workdir / "back.ll")
+        code, _o, _e = _capture(["dis", bc, "-o", ll], capsys)
+        assert code == 0
+        text = open(ll).read()
+        assert "add int 40, 2" in text
+        code, _out, _err = _capture(["run", bc], capsys)
+        assert code == 42
+
+    def test_opt_shrinks(self, workdir, capsys):
+        bc = str(workdir / "prog.bc")
+        opt = str(workdir / "prog-opt.bc")
+        _capture(["cc", str(workdir / "prog.c"), "-o", bc], capsys)
+        code, _o, _e = _capture(["opt", bc, "-o", opt, "--link-time"],
+                                capsys)
+        assert code == 0
+        assert os.path.getsize(opt) < os.path.getsize(bc)
+        code, out, _err = _capture(["run", opt], capsys)
+        assert out.strip() == "36" and code == 36
+
+    def test_llc_listing(self, workdir, capsys):
+        bc = str(workdir / "prog.bc")
+        _capture(["cc", str(workdir / "prog.c"), "-o", bc], capsys)
+        code, out, err = _capture(["llc", bc, "--target", "sparc"],
+                                  capsys)
+        assert code == 0
+        assert ".entry" in out or "main:" in out
+        assert "sparc instructions" in err
+
+    def test_link(self, workdir, capsys):
+        a = workdir / "a.ll"
+        a.write_text("""
+        declare int %helper(int)
+        int %main() {
+        entry:
+                %r = call int %helper(int 5)
+                ret int %r
+        }
+        """)
+        b = workdir / "b.ll"
+        b.write_text("""
+        int %helper(int %x) {
+        entry:
+                %r = mul int %x, 9
+                ret int %r
+        }
+        """)
+        out_bc = str(workdir / "linked.bc")
+        code, _o, _e = _capture(
+            ["link", str(a), str(b), "-o", out_bc], capsys)
+        assert code == 0
+        code, _out, _err = _capture(["run", out_bc], capsys)
+        assert code == 45
+
+    def test_trap_exit_code(self, workdir, capsys):
+        bad = workdir / "bad.ll"
+        bad.write_text("""
+        int %main() {
+        entry:
+                %q = div int 1, 0
+                ret int %q
+        }
+        """)
+        code, _out, err = _capture(["run", str(bad)], capsys)
+        assert code == 128 + 2  # divide-by-zero
+        assert "trap" in err

@@ -1,0 +1,132 @@
+"""Floating-point specials survive every representation and engine:
+infinities, NaN, signed zero, subnormals, and single-precision
+rounding."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asm import parse_module
+from repro.bitcode import read_module, write_module
+from repro.execution import Interpreter
+from repro.execution.machine_sim import MachineSimulator
+from repro.ir import (
+    IRBuilder,
+    Module,
+    print_module,
+    types,
+    verify_module,
+)
+from repro.ir.values import const_fp
+from repro.targets import make_target, translate_module
+
+
+def _constant_return(value: float) -> Module:
+    module = Module("fp")
+    f = module.create_function("main",
+                               types.function_of(types.DOUBLE, []))
+    entry = f.add_block("entry")
+    builder = IRBuilder(entry)
+    builder.ret(const_fp(types.DOUBLE, value))
+    verify_module(module)
+    return module
+
+
+def _same_float(a: float, b: float) -> bool:
+    if math.isnan(a) or math.isnan(b):
+        return math.isnan(a) and math.isnan(b)
+    return a == b and math.copysign(1.0, a) == math.copysign(1.0, b)
+
+
+SPECIALS = [0.0, -0.0, float("inf"), float("-inf"), float("nan"),
+            5e-324, -5e-324, 1.7976931348623157e308, 0.1, -2.5]
+
+
+class TestSpecialsRoundTrip:
+    @pytest.mark.parametrize("value", SPECIALS,
+                             ids=[repr(v) for v in SPECIALS])
+    def test_assembly_round_trip(self, value):
+        module = _constant_return(value)
+        text = print_module(module)
+        module2 = parse_module(text)
+        result = Interpreter(module2).run("main").return_value
+        assert _same_float(result, value)
+
+    @pytest.mark.parametrize("value", SPECIALS,
+                             ids=[repr(v) for v in SPECIALS])
+    def test_bitcode_round_trip(self, value):
+        module = _constant_return(value)
+        module2 = read_module(write_module(module))
+        result = Interpreter(module2).run("main").return_value
+        assert _same_float(result, value)
+
+    @pytest.mark.parametrize("value",
+                             [0.0, -0.0, float("inf"), 0.1, -2.5])
+    @pytest.mark.parametrize("target_name", ["x86", "sparc"])
+    def test_native_engines(self, value, target_name):
+        module = _constant_return(value)
+        native = translate_module(module, make_target(target_name))
+        result, _ = MachineSimulator(native, module).run("main")
+        assert _same_float(result, value)
+
+
+class TestIEEESemantics:
+    def test_nan_compares_unequal_to_itself(self):
+        module = parse_module("""
+        bool %main() {
+        entry:
+                %n = div double 0.0, 0.0
+                %r = seteq double %n, %n
+                ret bool %r
+        }
+        """)
+        assert Interpreter(module).run("main").return_value is False
+
+    def test_infinity_arithmetic(self):
+        module = parse_module("""
+        bool %main() {
+        entry:
+                %inf = div double 1.0, 0.0
+                %bigger = add double %inf, 1.0
+                %r = seteq double %inf, %bigger
+                ret bool %r
+        }
+        """)
+        assert Interpreter(module).run("main").return_value is True
+
+    def test_signed_zero_division(self):
+        module = parse_module("""
+        bool %main() {
+        entry:
+                %neg = div double -1.0, 0.0
+                %zero = div double 1.0, %neg
+                %test = setlt double %neg, 0.0
+                ret bool %test
+        }
+        """)
+        assert Interpreter(module).run("main").return_value is True
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=64))
+def test_double_constants_survive_bitcode(value):
+    module = _constant_return(value)
+    module2 = read_module(write_module(module))
+    result = Interpreter(module2).run("main").return_value
+    assert _same_float(result, value)
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_float_memory_round_trip_both_endians(value):
+    """Storing a float and reloading it preserves the single-precision
+    value on both byte orders."""
+    from repro.execution.memory import Memory
+    from repro.ir.types import TargetData
+
+    for endianness in ("little", "big"):
+        memory = Memory(TargetData(8, endianness))
+        address = memory.malloc(8)
+        memory.write_typed(address, types.FLOAT, value)
+        assert _same_float(memory.read_typed(address, types.FLOAT),
+                           value)

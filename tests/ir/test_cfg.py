@@ -1,0 +1,169 @@
+"""Dominator, frontier, and CFG-utility tests."""
+
+import pytest
+
+from repro.ir import IRBuilder, Module, types
+from repro.ir.cfg import (
+    DominatorTree,
+    dominance_frontiers,
+    postorder,
+    reachable_blocks,
+    remove_unreachable_blocks,
+    reverse_postorder,
+)
+from repro.ir.values import const_bool, const_int
+
+
+def _diamond():
+    """entry -> (left | right) -> merge."""
+    module = Module("diamond")
+    f = module.create_function(
+        "f", types.function_of(types.INT, [types.BOOL]), ["c"])
+    entry = f.add_block("entry")
+    left = f.add_block("left")
+    right = f.add_block("right")
+    merge = f.add_block("merge")
+    b = IRBuilder(entry)
+    b.cond_br(f.args[0], left, right)
+    b.set_block(left)
+    lv = b.add(const_int(types.INT, 1), const_int(types.INT, 2))
+    b.br(merge)
+    b.set_block(right)
+    rv = b.add(const_int(types.INT, 3), const_int(types.INT, 4))
+    b.br(merge)
+    b.set_block(merge)
+    phi = b.phi(types.INT, [(lv, left), (rv, right)])
+    b.ret(phi)
+    return f, entry, left, right, merge
+
+
+def _loop():
+    """entry -> header <-> body; header -> exit."""
+    module = Module("loop")
+    f = module.create_function("f", types.function_of(types.INT,
+                                                      [types.INT]), ["n"])
+    entry = f.add_block("entry")
+    header = f.add_block("header")
+    body = f.add_block("body")
+    exit_block = f.add_block("exit")
+    b = IRBuilder(entry)
+    b.br(header)
+    b.set_block(header)
+    i = b.phi(types.INT, name="i")
+    i.add_incoming(const_int(types.INT, 0), entry)
+    c = b.setlt(i, f.args[0])
+    b.cond_br(c, body, exit_block)
+    b.set_block(body)
+    i2 = b.add(i, const_int(types.INT, 1))
+    i.add_incoming(i2, body)
+    b.br(header)
+    b.set_block(exit_block)
+    b.ret(i)
+    return f, entry, header, body, exit_block
+
+
+class TestOrderings:
+    def test_reachable_blocks(self):
+        f, entry, left, right, merge = _diamond()
+        assert set(b.name for b in reachable_blocks(f)) == {
+            "entry", "left", "right", "merge"}
+
+    def test_rpo_entry_first(self):
+        f, entry, *_rest = _diamond()
+        rpo = reverse_postorder(f)
+        assert rpo[0] is entry
+        assert len(rpo) == 4
+
+    def test_postorder_entry_last(self):
+        f, entry, *_rest = _diamond()
+        order = postorder(f)
+        assert order[-1] is entry
+
+    def test_rpo_respects_topology(self):
+        f, entry, header, body, exit_block = _loop()
+        rpo = reverse_postorder(f)
+        positions = {b.name: i for i, b in enumerate(rpo)}
+        assert positions["entry"] < positions["header"]
+        assert positions["header"] < positions["body"]
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        f, entry, left, right, merge = _diamond()
+        dom = DominatorTree(f)
+        assert dom.immediate_dominator(entry) is None
+        assert dom.immediate_dominator(left) is entry
+        assert dom.immediate_dominator(right) is entry
+        assert dom.immediate_dominator(merge) is entry
+
+    def test_dominates_relation(self):
+        f, entry, left, right, merge = _diamond()
+        dom = DominatorTree(f)
+        assert dom.dominates(entry, merge)
+        assert dom.dominates(entry, entry)
+        assert not dom.dominates(left, merge)
+        assert not dom.dominates(left, right)
+        assert dom.strictly_dominates(entry, left)
+        assert not dom.strictly_dominates(entry, entry)
+
+    def test_loop_idoms(self):
+        f, entry, header, body, exit_block = _loop()
+        dom = DominatorTree(f)
+        assert dom.immediate_dominator(body) is header
+        assert dom.immediate_dominator(exit_block) is header
+        assert dom.dominates(header, body)
+        assert not dom.dominates(body, header)
+
+    def test_children_partition(self):
+        f, entry, header, body, exit_block = _loop()
+        dom = DominatorTree(f)
+        assert set(b.name for b in dom.children(header)) == \
+            {"body", "exit"}
+
+    def test_instruction_dominance_same_block(self):
+        f, entry, header, body, exit_block = _loop()
+        dom = DominatorTree(f)
+        first, second = body.instructions[0], body.instructions[1]
+        assert dom.instruction_dominates(first, second)
+        assert not dom.instruction_dominates(second, first)
+
+    def test_phi_use_checks_predecessor(self):
+        f, entry, header, body, exit_block = _loop()
+        dom = DominatorTree(f)
+        phi = header.phis()[0]
+        i2 = body.instructions[0]  # defined in body, used by phi
+        # The phi use of i2 occurs "at the end of" body.
+        index = list(phi.operands).index(i2)
+        assert dom.instruction_dominates(i2, phi, index)
+
+
+class TestFrontiers:
+    def test_diamond_frontier_is_merge(self):
+        f, entry, left, right, merge = _diamond()
+        frontiers = dominance_frontiers(f)
+        assert frontiers[id(left)] == {merge}
+        assert frontiers[id(right)] == {merge}
+        assert frontiers[id(entry)] == set()
+
+    def test_loop_header_in_own_frontier(self):
+        f, entry, header, body, exit_block = _loop()
+        frontiers = dominance_frontiers(f)
+        assert header in frontiers[id(header)]
+        assert header in frontiers[id(body)]
+
+
+class TestUnreachableRemoval:
+    def test_removes_dead_block_and_phi_edges(self):
+        f, entry, header, body, exit_block = _loop()
+        dead = f.add_block("dead")
+        b = IRBuilder(dead)
+        extra = b.add(const_int(types.INT, 7), const_int(types.INT, 8))
+        header.phis()[0].add_incoming(extra, dead)
+        b.br(header)
+        assert remove_unreachable_blocks(f) == 1
+        assert all(block.name != "dead" for block in f.blocks)
+        assert header.phis()[0].num_incoming == 2
+
+    def test_noop_when_all_reachable(self):
+        f, *_ = _diamond()
+        assert remove_unreachable_blocks(f) == 0

@@ -1,0 +1,101 @@
+"""Property test: the Cooper-Harvey-Kennedy dominator computation
+against the definitional brute force (A dominates B iff removing A
+makes B unreachable from entry), on randomly generated CFGs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import IRBuilder, Module, types
+from repro.ir.cfg import DominatorTree, reachable_blocks
+from repro.ir.values import const_int
+
+
+@st.composite
+def random_cfg(draw):
+    """A list of edge targets: block i branches to one or two blocks."""
+    block_count = draw(st.integers(min_value=1, max_value=10))
+    edges = []
+    for index in range(block_count):
+        out_degree = draw(st.integers(min_value=0, max_value=2))
+        targets = [
+            draw(st.integers(min_value=0, max_value=block_count - 1))
+            for _ in range(out_degree)
+        ]
+        edges.append(targets)
+    return block_count, edges
+
+
+def _build(block_count, edges):
+    module = Module("cfg")
+    f = module.create_function(
+        "f", types.function_of(types.INT, [types.BOOL]), ["c"])
+    blocks = [f.add_block("b{0}".format(i)) for i in range(block_count)]
+    builder = IRBuilder(None)
+    for index, targets in enumerate(edges):
+        builder.set_block(blocks[index])
+        if not targets:
+            builder.ret(const_int(types.INT, index))
+        elif len(targets) == 1:
+            builder.br(blocks[targets[0]])
+        else:
+            builder.cond_br(f.args[0], blocks[targets[0]],
+                            blocks[targets[1]])
+    return f, blocks
+
+
+def _reachable_without(function, blocked):
+    """Blocks reachable from entry without passing through *blocked*."""
+    entry = function.entry_block
+    if entry is blocked:
+        return set()
+    seen = {id(entry)}
+    stack = [entry]
+    while stack:
+        block = stack.pop()
+        for successor in block.successors():
+            if successor is blocked or id(successor) in seen:
+                continue
+            seen.add(id(successor))
+            stack.append(successor)
+    return seen
+
+
+@given(random_cfg())
+@settings(max_examples=120, deadline=None)
+def test_dominators_match_brute_force(cfg):
+    block_count, edges = cfg
+    function, blocks = _build(block_count, edges)
+    domtree = DominatorTree(function)
+    reachable = {id(b) for b in reachable_blocks(function)}
+    for a in blocks:
+        for b in blocks:
+            if id(a) not in reachable or id(b) not in reachable:
+                assert not domtree.dominates(a, b) \
+                    or (id(a) in reachable and id(b) in reachable)
+                continue
+            brute = a is b or id(b) not in _reachable_without(function, a)
+            assert domtree.dominates(a, b) == brute, (
+                a.name, b.name, brute)
+
+
+@given(random_cfg())
+@settings(max_examples=60, deadline=None)
+def test_idom_is_unique_closest_strict_dominator(cfg):
+    block_count, edges = cfg
+    function, blocks = _build(block_count, edges)
+    domtree = DominatorTree(function)
+    reachable = {id(b) for b in reachable_blocks(function)}
+    for block in blocks:
+        if id(block) not in reachable:
+            continue
+        idom = domtree.immediate_dominator(block)
+        if block is function.entry_block:
+            assert idom is None
+            continue
+        assert idom is not None
+        assert domtree.strictly_dominates(idom, block)
+        # No other strict dominator sits between idom and block.
+        for other in blocks:
+            if id(other) in reachable \
+                    and domtree.strictly_dominates(other, block):
+                assert domtree.dominates(other, idom)

@@ -1,0 +1,275 @@
+"""The instruction set is exactly the paper's Table 1, with its type
+rules and the Section 3.3 ExceptionsEnabled defaults."""
+
+import pytest
+
+from repro.ir import instructions as I
+from repro.ir import types
+from repro.ir.module import BasicBlock, Function
+from repro.ir.types import LlvaTypeError
+from repro.ir.values import Argument, const_bool, const_int, const_null
+
+
+def _arg(type_, name="x", index=0):
+    return Argument(type_, name, index)
+
+
+class TestTable1Inventory:
+    def test_exactly_28_instructions(self):
+        assert len(I.ALL_OPCODES) == 28
+
+    def test_groups_match_table_1(self):
+        assert I.OPCODE_GROUPS["arithmetic"] == (
+            "add", "sub", "mul", "div", "rem")
+        assert I.OPCODE_GROUPS["bitwise"] == (
+            "and", "or", "xor", "shl", "shr")
+        assert I.OPCODE_GROUPS["comparison"] == (
+            "seteq", "setne", "setlt", "setgt", "setle", "setge")
+        assert I.OPCODE_GROUPS["control-flow"] == (
+            "ret", "br", "mbr", "invoke", "unwind")
+        assert I.OPCODE_GROUPS["memory"] == (
+            "load", "store", "getelementptr", "alloca")
+        assert I.OPCODE_GROUPS["other"] == ("cast", "call", "phi")
+
+    def test_every_opcode_has_a_class(self):
+        assert set(I.INSTRUCTION_CLASSES) == set(I.ALL_OPCODES)
+
+
+class TestExceptionsEnabledDefaults:
+    """Section 3.3: true by default for load, store and div only."""
+
+    def test_load_store_div_default_true(self):
+        ptr = _arg(types.pointer_to(types.INT))
+        assert I.LoadInst(ptr).exceptions_enabled
+        assert I.StoreInst(_arg(types.INT), ptr).exceptions_enabled
+        assert I.DivInst(_arg(types.INT), _arg(types.INT)
+                         ).exceptions_enabled
+
+    def test_other_opcodes_default_false(self):
+        a, b = _arg(types.INT), _arg(types.INT, "y", 1)
+        assert not I.AddInst(a, b).exceptions_enabled
+        assert not I.MulInst(a, b).exceptions_enabled
+        assert not I.RemInst(a, b).exceptions_enabled
+        assert not I.SetEqInst(a, b).exceptions_enabled
+
+    def test_attribute_is_static_and_mutable(self):
+        a, b = _arg(types.INT), _arg(types.INT, "y", 1)
+        inst = I.AddInst(a, b)
+        inst.exceptions_enabled = True
+        assert inst.may_raise()  # integer add can overflow
+
+
+class TestArithmeticRules:
+    def test_no_mixed_types(self):
+        with pytest.raises(LlvaTypeError):
+            I.AddInst(_arg(types.INT), _arg(types.LONG, "y", 1))
+
+    def test_no_pointer_arithmetic(self):
+        ptr = types.pointer_to(types.INT)
+        with pytest.raises(LlvaTypeError):
+            I.AddInst(_arg(ptr), _arg(ptr, "y", 1))
+
+    def test_no_bool_arithmetic(self):
+        with pytest.raises(LlvaTypeError):
+            I.AddInst(const_bool(True), const_bool(False))
+
+    def test_float_arithmetic_allowed(self):
+        inst = I.MulInst(_arg(types.DOUBLE), _arg(types.DOUBLE, "y", 1))
+        assert inst.type is types.DOUBLE
+
+    def test_div_declares_divide_by_zero(self):
+        inst = I.DivInst(_arg(types.INT), _arg(types.INT, "y", 1))
+        assert "divide-by-zero" in inst.possible_exceptions()
+        fp = I.DivInst(_arg(types.DOUBLE), _arg(types.DOUBLE, "y", 1))
+        assert fp.possible_exceptions() == ()  # IEEE, no trap
+
+
+class TestBitwiseRules:
+    def test_logical_on_bool(self):
+        inst = I.AndInst(const_bool(True), const_bool(False))
+        assert inst.type is types.BOOL
+
+    def test_logical_rejects_float(self):
+        with pytest.raises(LlvaTypeError):
+            I.XorInst(_arg(types.DOUBLE), _arg(types.DOUBLE, "y", 1))
+
+    def test_shift_amount_must_be_ubyte(self):
+        with pytest.raises(LlvaTypeError):
+            I.ShlInst(_arg(types.INT), const_int(types.INT, 2))
+        inst = I.ShlInst(_arg(types.INT), const_int(types.UBYTE, 2))
+        assert inst.type is types.INT
+
+    def test_shift_first_operand_integer(self):
+        with pytest.raises(LlvaTypeError):
+            I.ShrInst(_arg(types.DOUBLE), const_int(types.UBYTE, 1))
+
+
+class TestComparisonRules:
+    def test_result_is_bool(self):
+        inst = I.SetLtInst(_arg(types.INT), _arg(types.INT, "y", 1))
+        assert inst.type is types.BOOL
+
+    def test_pointer_comparison_allowed(self):
+        ptr = types.pointer_to(types.INT)
+        inst = I.SetEqInst(_arg(ptr), const_null(ptr))
+        assert inst.type is types.BOOL
+
+    def test_mixed_comparison_rejected(self):
+        with pytest.raises(LlvaTypeError):
+            I.SetEqInst(_arg(types.INT), _arg(types.UINT, "y", 1))
+
+
+class TestControlFlow:
+    def test_branch_forms(self):
+        block_a, block_b = BasicBlock("a"), BasicBlock("b")
+        uncond = I.BranchInst(target=block_a)
+        assert not uncond.is_conditional
+        assert uncond.successors() == (block_a,)
+        cond = I.BranchInst(condition=const_bool(True),
+                            if_true=block_a, if_false=block_b)
+        assert cond.is_conditional
+        assert cond.successors() == (block_a, block_b)
+
+    def test_branch_condition_must_be_bool(self):
+        block = BasicBlock("a")
+        with pytest.raises(LlvaTypeError):
+            I.BranchInst(condition=const_int(types.INT, 1),
+                         if_true=block, if_false=block)
+
+    def test_branch_target_must_be_label(self):
+        with pytest.raises(LlvaTypeError):
+            I.BranchInst(target=const_int(types.INT, 0))
+
+    def test_mbr_cases(self):
+        default, case_block = BasicBlock("d"), BasicBlock("c")
+        inst = I.MultiwayBranchInst(
+            _arg(types.INT), default,
+            [(const_int(types.INT, 3), case_block)])
+        assert inst.num_cases == 1
+        assert inst.successors() == (default, case_block)
+
+    def test_mbr_case_type_must_match_selector(self):
+        default = BasicBlock("d")
+        with pytest.raises(LlvaTypeError):
+            I.MultiwayBranchInst(
+                _arg(types.INT), default,
+                [(const_int(types.LONG, 3), BasicBlock("c"))])
+
+    def test_terminator_flags(self):
+        assert I.TERMINATOR_OPCODES == {
+            "ret", "br", "mbr", "invoke", "unwind"}
+        assert I.UnwindInst().is_terminator
+        assert I.RetInst().is_terminator
+
+
+class TestCalls:
+    def _callee(self):
+        fn_type = types.function_of(types.INT, [types.INT])
+        return Function(fn_type, "f")
+
+    def test_call_types_checked(self):
+        f = self._callee()
+        call = I.CallInst(f, [const_int(types.INT, 1)])
+        assert call.type is types.INT
+        with pytest.raises(LlvaTypeError):
+            I.CallInst(f, [const_int(types.LONG, 1)])
+        with pytest.raises(LlvaTypeError):
+            I.CallInst(f, [])
+
+    def test_indirect_call_through_pointer(self):
+        fn_type = types.function_of(types.INT, [types.INT])
+        fp = _arg(types.pointer_to(fn_type))
+        call = I.CallInst(fp, [const_int(types.INT, 1)])
+        assert call.signature is fn_type
+
+    def test_call_target_must_be_function(self):
+        with pytest.raises(LlvaTypeError):
+            I.CallInst(_arg(types.INT), [])
+
+    def test_invoke_layout(self):
+        f = self._callee()
+        normal, unwind = BasicBlock("n"), BasicBlock("u")
+        inv = I.InvokeInst(f, [const_int(types.INT, 1)], normal, unwind)
+        assert inv.normal_dest is normal
+        assert inv.unwind_dest is unwind
+        assert inv.args == (const_int(types.INT, 1),)
+        assert inv.successors() == (normal, unwind)
+
+
+class TestMemory:
+    def test_load_requires_scalar_pointee(self):
+        agg_ptr = _arg(types.pointer_to(types.array_of(types.INT, 2)))
+        with pytest.raises(LlvaTypeError):
+            I.LoadInst(agg_ptr)
+
+    def test_store_type_must_match(self):
+        ptr = _arg(types.pointer_to(types.INT))
+        with pytest.raises(LlvaTypeError):
+            I.StoreInst(const_int(types.LONG, 1), ptr)
+
+    def test_gep_struct_index_must_be_constant_ubyte(self):
+        struct = types.struct_of([types.INT, types.DOUBLE])
+        ptr = _arg(types.pointer_to(struct))
+        good = I.GetElementPtrInst(
+            ptr, [const_int(types.LONG, 0), const_int(types.UBYTE, 1)])
+        assert good.type is types.pointer_to(types.DOUBLE)
+        with pytest.raises(LlvaTypeError):
+            I.GetElementPtrInst(
+                ptr, [const_int(types.LONG, 0), _arg(types.UBYTE, "i", 1)])
+        with pytest.raises(LlvaTypeError):
+            I.GetElementPtrInst(
+                ptr, [const_int(types.LONG, 0), const_int(types.UBYTE, 9)])
+
+    def test_gep_cannot_index_scalar(self):
+        ptr = _arg(types.pointer_to(types.INT))
+        with pytest.raises(LlvaTypeError):
+            I.GetElementPtrInst(
+                ptr, [const_int(types.LONG, 0), const_int(types.LONG, 0)])
+
+    def test_gep_result_type(self):
+        array = types.array_of(types.pointer_to(types.INT), 4)
+        ptr = _arg(types.pointer_to(array))
+        gep = I.GetElementPtrInst(
+            ptr, [const_int(types.LONG, 0), const_int(types.LONG, 2)])
+        assert gep.type is types.pointer_to(types.pointer_to(types.INT))
+
+    def test_alloca(self):
+        inst = I.AllocaInst(types.DOUBLE)
+        assert inst.type is types.pointer_to(types.DOUBLE)
+        assert inst.is_static
+        dyn = I.AllocaInst(types.INT, _arg(types.UINT))
+        assert not dyn.is_static
+        with pytest.raises(LlvaTypeError):
+            I.AllocaInst(types.INT, _arg(types.INT))
+
+
+class TestCastAndPhi:
+    def test_cast_matrix_limits(self):
+        with pytest.raises(LlvaTypeError):
+            I.CastInst(_arg(types.DOUBLE),
+                       types.pointer_to(types.INT))
+        with pytest.raises(LlvaTypeError):
+            I.CastInst(_arg(types.pointer_to(types.INT)), types.DOUBLE)
+        ok = I.CastInst(_arg(types.INT), types.DOUBLE)
+        assert ok.type is types.DOUBLE
+
+    def test_noop_cast_detection(self):
+        p1 = types.pointer_to(types.INT)
+        p2 = types.pointer_to(types.DOUBLE)
+        assert I.CastInst(_arg(p1), p2).is_noop
+        assert not I.CastInst(_arg(types.INT), types.LONG).is_noop
+
+    def test_phi_incoming_types_checked(self):
+        block = BasicBlock("b")
+        with pytest.raises(LlvaTypeError):
+            I.PhiInst(types.INT, [(const_int(types.LONG, 1), block)])
+
+    def test_phi_edge_management(self):
+        b1, b2 = BasicBlock("b1"), BasicBlock("b2")
+        phi = I.PhiInst(types.INT, [(const_int(types.INT, 1), b1)])
+        phi.add_incoming(const_int(types.INT, 2), b2)
+        assert phi.num_incoming == 2
+        assert phi.incoming_for_block(b2).value == 2
+        phi.remove_incoming(b1)
+        assert phi.num_incoming == 1
+        assert phi.incoming_for_block(b1) is None

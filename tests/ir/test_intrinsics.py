@@ -1,0 +1,67 @@
+"""Intrinsic registry tests (Sections 3.4, 3.5, 4.1)."""
+
+import pytest
+
+from repro.ir import Module, types
+from repro.ir.intrinsics import (
+    INTRINSICS,
+    declare_intrinsic,
+    intrinsic_info,
+    is_intrinsic_name,
+)
+
+
+class TestRegistry:
+    def test_namespace(self):
+        for name in INTRINSICS:
+            assert name.startswith("llva.")
+            assert is_intrinsic_name(name)
+        assert not is_intrinsic_name("malloc")
+
+    def test_paper_mandated_intrinsics_exist(self):
+        # Section 3.5: traps, register state, stack walking, page tables.
+        for name in ("llva.trap.register", "llva.trap.raise",
+                     "llva.register.read", "llva.stack.caller",
+                     "llva.pagetable.map", "llva.pagetable.unmap"):
+            assert name in INTRINSICS, name
+        # Section 3.4: self-modifying / self-extending code.
+        assert "llva.smc.replace" in INTRINSICS
+        assert "llva.sec.register" in INTRINSICS
+        # Section 4.1: the storage-API bootstrap.
+        assert "llva.storage.register" in INTRINSICS
+        # Section 3.3: dynamic exception masking.
+        assert "llva.exceptions.set" in INTRINSICS
+
+    def test_privilege_classification(self):
+        """Kernel-only operations must carry the privileged flag."""
+        privileged = {name for name, info in INTRINSICS.items()
+                      if info.privileged}
+        assert "llva.pagetable.map" in privileged
+        assert "llva.trap.register" in privileged
+        assert "llva.storage.register" in privileged
+        assert "llva.trap.raise" not in privileged
+        assert "llva.smc.replace" not in privileged
+
+    def test_trap_handler_signature(self):
+        """'A trap handler is an ordinary LLVA function with two
+        arguments: the trap number and a pointer of type void*.'"""
+        info = intrinsic_info("llva.trap.register")
+        assert info.function_type.params[0] is types.UINT
+        handler_param = info.function_type.params[1]
+        assert handler_param.is_pointer
+
+    def test_declare_is_idempotent(self):
+        module = Module("m")
+        first = declare_intrinsic(module, "llva.stack.depth")
+        second = declare_intrinsic(module, "llva.stack.depth")
+        assert first is second
+        assert first.is_intrinsic
+        assert first.is_declaration
+
+    def test_unknown_intrinsic_rejected(self):
+        with pytest.raises(KeyError):
+            intrinsic_info("llva.not.a.thing")
+
+    def test_every_intrinsic_documented(self):
+        for info in INTRINSICS.values():
+            assert info.description.strip()

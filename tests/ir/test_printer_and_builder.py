@@ -1,0 +1,170 @@
+"""Printer formatting and builder behaviour."""
+
+import pytest
+
+from helpers import build_factorial, build_quadtree_module
+from repro.ir import (
+    IRBuilder,
+    Module,
+    print_function,
+    print_module,
+    types,
+    verify_module,
+)
+from repro.ir.printer import format_instruction
+from repro.ir.values import const_bool, const_fp, const_int, const_null
+
+
+class TestPrinter:
+    def test_figure2_shape(self):
+        module, function = build_quadtree_module()
+        text = print_function(function)
+        # Landmarks from the paper's Figure 2(b).
+        assert "%V = alloca double" in text
+        assert "seteq %struct.QuadTree* %T, null" in text
+        assert ("getelementptr %struct.QuadTree* %T, long 0, ubyte 1, "
+                "long 3") in text
+        assert "phi double [ %Ret.0, %else ], [ 0.0, %entry ]" in text
+        assert "ret void" in text
+
+    def test_module_header(self):
+        module = Module("m", pointer_size=4, endianness="big")
+        text = print_module(module)
+        assert "target pointersize = 32" in text
+        assert "target endian = big" in text
+
+    def test_ee_attribute_printed_only_when_nondefault(self):
+        module = Module("ee")
+        f = module.create_function("f", types.function_of(
+            types.INT, [types.INT, types.INT]), ["a", "b"])
+        entry = f.add_block("entry")
+        b = IRBuilder(entry)
+        q = b.div(f.args[0], f.args[1])
+        s = b.add(f.args[0], f.args[1])
+        b.ret(q)
+        text = print_function(f)
+        assert "!ee" not in text        # both at their defaults
+        q.exceptions_enabled = False
+        s.exceptions_enabled = True
+        text = print_function(f)
+        assert "div int %a, %b !ee(false)" in text
+        assert "add int %a, %b !ee(true)" in text
+
+    def test_unnamed_values_get_unique_names(self):
+        module = Module("nameless")
+        f = module.create_function("f", types.function_of(types.INT, []))
+        entry = f.add_block("entry")
+        b = IRBuilder(entry)
+        x = b.add(const_int(types.INT, 1), const_int(types.INT, 2))
+        y = b.add(x, x)
+        x.name = None
+        y.name = None
+        b.ret(y)
+        text = print_function(f)
+        assert text.count("%v =") == 1
+        assert "%v.1" in text
+
+    def test_format_single_instruction(self):
+        module = Module("one")
+        f = module.create_function("f", types.function_of(
+            types.VOID, [types.pointer_to(types.INT)]), ["p"])
+        entry = f.add_block("entry")
+        b = IRBuilder(entry)
+        st = b.store(const_int(types.INT, 42), f.args[0])
+        b.ret()
+        assert format_instruction(st) == "store int 42, int* %p"
+
+
+class TestBuilder:
+    def test_gep_const_picks_canonical_index_types(self):
+        module = Module("g")
+        struct = types.named_struct("S", [types.INT,
+                                          types.array_of(types.INT, 4)])
+        f = module.create_function("f", types.function_of(
+            types.INT, [types.pointer_to(struct)]), ["s"])
+        entry = f.add_block("entry")
+        b = IRBuilder(entry)
+        gep = b.gep_const(f.args[0], 0, 1, 2)
+        value = b.load(gep)
+        b.ret(value)
+        assert [op.type for op in gep.indices] == [
+            types.LONG, types.UBYTE, types.LONG]
+
+    def test_cast_to_same_type_is_identity(self):
+        module = Module("c")
+        f = module.create_function(
+            "f", types.function_of(types.INT, [types.INT]), ["x"])
+        entry = f.add_block("entry")
+        b = IRBuilder(entry)
+        assert b.cast(f.args[0], types.INT) is f.args[0]
+        b.ret(f.args[0])
+
+    def test_phi_inserted_before_non_phis(self):
+        module = Module("p")
+        f = module.create_function("f", types.function_of(types.INT, []))
+        entry = f.add_block("entry")
+        loop = f.add_block("loop")
+        b = IRBuilder(entry)
+        b.br(loop)
+        b.set_block(loop)
+        v = b.add(const_int(types.INT, 1), const_int(types.INT, 1))
+        phi = b.phi(types.INT)
+        assert loop.instructions[0] is phi
+        phi.add_incoming(const_int(types.INT, 0), entry)
+        phi.add_incoming(v, loop)
+        b.br(loop)
+        # This function is a pathological infinite loop but must verify.
+        # (entry has no predecessors; loop has entry and itself.)
+        verify_module(module)
+
+    def test_terminator_blocks_further_append(self):
+        module = Module("t")
+        f = module.create_function("f", types.function_of(types.INT, []))
+        entry = f.add_block("entry")
+        b = IRBuilder(entry)
+        b.ret(const_int(types.INT, 0))
+        with pytest.raises(ValueError):
+            b.ret(const_int(types.INT, 1))
+
+
+class TestModuleStructure:
+    def test_duplicate_symbols_rejected(self):
+        module = Module("dup")
+        module.create_function("f", types.function_of(types.INT, []))
+        with pytest.raises(ValueError):
+            module.create_function("f", types.function_of(types.INT, []))
+        with pytest.raises(ValueError):
+            module.create_global("f", types.INT)
+
+    def test_num_instructions(self):
+        module = build_factorial()
+        assert module.num_instructions() == sum(
+            len(block) for f in module.functions.values()
+            for block in f.blocks)
+
+    def test_smc_replace_body(self):
+        module = Module("smc")
+        fn_type = types.function_of(types.INT, [types.INT])
+        original = module.create_function("f", fn_type, ["x"])
+        entry = original.add_block("entry")
+        b = IRBuilder(entry)
+        b.ret(b.mul(original.args[0], const_int(types.INT, 2)))
+        donor = module.create_function("f2", fn_type, ["x"])
+        entry2 = donor.add_block("entry")
+        b.set_block(entry2)
+        b.ret(b.add(donor.args[0], const_int(types.INT, 100)))
+        version = original.smc_version
+        original.replace_body_from(donor)
+        assert original.smc_version == version + 1
+        assert donor.is_declaration
+        verify_module(module)
+
+    def test_smc_signature_mismatch_rejected(self):
+        module = Module("smc2")
+        a = module.create_function("a", types.function_of(types.INT, []))
+        a.add_block("entry")
+        IRBuilder(a.blocks[0]).ret(const_int(types.INT, 0))
+        b_fn = module.create_function(
+            "b", types.function_of(types.LONG, []))
+        with pytest.raises(types.LlvaTypeError):
+            a.replace_body_from(b_fn)

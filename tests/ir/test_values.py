@@ -1,0 +1,117 @@
+"""Tests for values, constants, and def-use chains."""
+
+import pytest
+
+from repro.ir import types
+from repro.ir import values as V
+from repro.ir.instructions import AddInst, MulInst
+from repro.ir.types import LlvaTypeError
+
+
+class TestConstants:
+    def test_int_interning(self):
+        assert V.const_int(types.INT, 5) is V.const_int(types.INT, 5)
+        assert V.const_int(types.INT, 5) is not V.const_int(types.LONG, 5)
+
+    def test_int_range_checked(self):
+        with pytest.raises(LlvaTypeError):
+            V.ConstantInt(types.UBYTE, 256)
+        with pytest.raises(LlvaTypeError):
+            V.ConstantInt(types.UBYTE, -1)
+
+    def test_int_requires_integer_type(self):
+        with pytest.raises(LlvaTypeError):
+            V.ConstantInt(types.DOUBLE, 1)
+
+    def test_bool_singletons(self):
+        assert V.const_bool(True) is V.TRUE
+        assert V.const_bool(False) is V.FALSE
+
+    def test_fp_float_rounds_to_single(self):
+        c = V.const_fp(types.FLOAT, 0.1)
+        assert c.value != 0.1  # 0.1 is not exactly representable in f32
+        d = V.const_fp(types.DOUBLE, 0.1)
+        assert d.value == 0.1
+
+    def test_null_requires_pointer(self):
+        ptr = types.pointer_to(types.INT)
+        assert V.const_null(ptr) is V.const_null(ptr)
+        with pytest.raises(LlvaTypeError):
+            V.ConstantNull(types.INT)
+
+    def test_zero_dispatch(self):
+        assert V.const_zero(types.INT).value == 0
+        assert V.const_zero(types.BOOL) is V.FALSE
+        assert V.const_zero(types.DOUBLE).value == 0.0
+        ptr = types.pointer_to(types.INT)
+        assert isinstance(V.const_zero(ptr), V.ConstantNull)
+        agg = types.array_of(types.INT, 3)
+        assert isinstance(V.const_zero(agg), V.ConstantZero)
+
+    def test_string_constant(self):
+        c = V.make_string_constant(b"hi")
+        assert c.type is types.array_of(types.SBYTE, 3)  # NUL-terminated
+        assert [e.value for e in c.elements] == [104, 105, 0]
+
+    def test_aggregate_type_checking(self):
+        with pytest.raises(LlvaTypeError):
+            V.ConstantArray(types.INT, [V.const_int(types.LONG, 1)])
+        s = types.struct_of([types.INT, types.DOUBLE])
+        with pytest.raises(LlvaTypeError):
+            V.ConstantStruct(s, [V.const_int(types.INT, 1)])
+        with pytest.raises(LlvaTypeError):
+            V.ConstantStruct(s, [V.const_int(types.INT, 1),
+                                 V.const_int(types.INT, 2)])
+
+
+class TestUseChains:
+    def _fresh(self):
+        # Use arguments as leaf values so constant intern pools stay clean.
+        a = V.Argument(types.INT, "a", 0)
+        b = V.Argument(types.INT, "b", 1)
+        return a, b
+
+    def test_operands_register_uses(self):
+        a, b = self._fresh()
+        inst = AddInst(a, b)
+        assert list(a.users()) == [inst]
+        assert list(b.users()) == [inst]
+        assert inst.operands == (a, b)
+
+    def test_same_value_twice_counts_twice(self):
+        a, _ = self._fresh()
+        inst = AddInst(a, a)
+        assert len(a.uses) == 2
+
+    def test_set_operand_updates_chains(self):
+        a, b = self._fresh()
+        c = V.Argument(types.INT, "c", 2)
+        inst = AddInst(a, b)
+        inst.set_operand(1, c)
+        assert not b.has_uses()
+        assert list(c.users()) == [inst]
+        assert inst.operand(1) is c
+
+    def test_replace_all_uses_with(self):
+        a, b = self._fresh()
+        c = V.Argument(types.INT, "c", 2)
+        i1 = AddInst(a, b)
+        i2 = MulInst(a, a)
+        count = a.replace_all_uses_with(c)
+        assert count == 3
+        assert not a.has_uses()
+        assert i1.operand(0) is c
+        assert i2.operands == (c, c)
+
+    def test_replace_with_self_rejected(self):
+        a, _ = self._fresh()
+        with pytest.raises(ValueError):
+            a.replace_all_uses_with(a)
+
+    def test_drop_all_references(self):
+        a, b = self._fresh()
+        inst = AddInst(a, b)
+        inst.drop_all_references()
+        assert not a.has_uses()
+        assert not b.has_uses()
+        assert inst.num_operands == 0

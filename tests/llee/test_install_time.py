@@ -1,0 +1,49 @@
+"""Install-time optimization (Section 4.2, item 2): the offline
+translator may optimize the still-rich representation before code
+generation, and the cached result is what every later launch runs."""
+
+from repro.bitcode import write_module
+from repro.llee import LLEE, InMemoryStorage
+from repro.minic import compile_source
+from repro.targets import make_target
+
+PROGRAM = """
+int main() {
+    int x = 0;
+    int i;
+    for (i = 0; i < 200; i++) {
+        int a = i * 3;
+        int b = i * 3;          // redundant: GVN food
+        x = (x + a + b) % 65521;
+    }
+    return x;
+}
+"""
+
+
+def test_install_time_optimization_speeds_cached_runs():
+    # Ship the *unoptimized* object code, as a developer would when
+    # relying on install-time optimization.
+    module = compile_source(PROGRAM, "install", optimization_level=0)
+    object_code = write_module(module)
+
+    plain_storage = InMemoryStorage()
+    plain = LLEE(make_target("x86"), plain_storage)
+    plain.offline_translate(object_code, optimize_level=0)
+    plain_run = plain.run_executable(object_code)
+    assert plain_run.cache_hit
+
+    tuned_storage = InMemoryStorage()
+    tuned = LLEE(make_target("x86"), tuned_storage)
+    tuned.offline_translate(object_code, optimize_level=2)
+    tuned_run = tuned.run_executable(object_code)
+    assert tuned_run.cache_hit
+
+    assert tuned_run.return_value == plain_run.return_value
+    assert tuned_run.output == plain_run.output
+    assert tuned_run.cycles < plain_run.cycles, (
+        "install-time optimization should reduce executed cycles "
+        "({0} vs {1})".format(tuned_run.cycles, plain_run.cycles))
+    # And the cached artifact itself is smaller.
+    assert tuned_storage.cache_size("llee-native") \
+        < plain_storage.cache_size("llee-native")

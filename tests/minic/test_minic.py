@@ -1,0 +1,496 @@
+"""MiniC front-end tests: language semantics checked by execution."""
+
+import pytest
+
+from repro.execution import Interpreter
+from repro.minic import MiniCSyntaxError, MiniCTypeError, compile_source
+from repro.minic.lexer import tokenize
+from repro.minic.parser import parse_program
+
+
+def run(source: str, entry: str = "main", args=()):
+    module = compile_source(source, "t")
+    return Interpreter(module).run(entry, args)
+
+
+def expr(expression: str, setup: str = "") -> object:
+    return run("int main() { %s return %s; }"
+               % (setup, expression)).return_value
+
+
+class TestLexer:
+    def test_numbers_and_suffixes(self):
+        kinds = [(t.kind, t.text) for t in
+                 tokenize("1 2u 3l 0x1F 2.5 1e3 7ul 'a' \"hi\\n\"")]
+        assert kinds[:9] == [
+            ("int", "1"), ("int", "2u"), ("int", "3l"),
+            ("int", "0x1F"), ("float", "2.5"), ("float", "1e3"),
+            ("int", "7ul"), ("char", "a"), ("string", "hi\n")]
+
+    def test_comments(self):
+        tokens = tokenize("a // line\n /* block\n */ b")
+        assert [t.text for t in tokens[:2]] == ["a", "b"]
+
+    def test_error_line(self):
+        with pytest.raises(MiniCSyntaxError) as info:
+            tokenize("ok\n`")
+        assert info.value.line == 2
+
+
+class TestExpressions:
+    def test_precedence(self):
+        assert expr("2 + 3 * 4") == 14
+        assert expr("(2 + 3) * 4") == 20
+        assert expr("10 - 4 - 3") == 3
+        assert expr("1 << 3 | 1") == 9
+        assert expr("6 & 3 ^ 1") == 3
+
+    def test_c_division_and_modulo(self):
+        assert expr("-7 / 2") == -3
+        assert expr("-7 % 2") == -1
+
+    def test_comparisons_and_logic(self):
+        assert expr("(3 < 4) && (4 <= 4) ? 1 : 0") == 1
+        assert expr("(1 > 2) || (2 != 2) ? 1 : 0") == 0
+        assert expr("!0 ? 5 : 6") == 5
+
+    def test_short_circuit_effects(self):
+        result = run("""
+        int calls = 0;
+        int bump() { calls = calls + 1; return 1; }
+        int main() {
+            int a = 0 && bump();
+            int b = 1 || bump();
+            return calls * 10 + a + b;
+        }
+        """)
+        assert result.return_value == 1  # bump never ran
+
+    def test_ternary_types(self):
+        assert expr("1 ? 2.5 : 0.0 > 1.0 ? 1 : 0") in (1, 0, 2)  # parses
+        assert run("int main() { double d = 1 ? 2.5 : 1.0;"
+                   " return (int) d; }").return_value == 2
+
+    def test_compound_assignment(self):
+        assert expr("x", "int x = 10; x += 5; x *= 2; x -= 3; "
+                         "x /= 2; x %= 10;") == 3
+
+    def test_increment_decrement(self):
+        result = run("""
+        int main() {
+            int x = 5;
+            int a = x++;
+            int b = ++x;
+            int c = x--;
+            int d = --x;
+            return a * 1000 + b * 100 + c * 10 + d;
+        }
+        """)
+        assert result.return_value == 5 * 1000 + 7 * 100 + 7 * 10 + 5
+
+    def test_char_and_string(self):
+        result = run("""
+        int main() {
+            char c = 'A';
+            char* s = "Bc";
+            return c * 10000 + s[0] * 100 + s[1];
+        }
+        """)
+        assert result.return_value == 65 * 10000 + 66 * 100 + 99
+
+    def test_sizeof(self):
+        assert expr("(int) sizeof(int)") == 4
+        assert expr("(int) sizeof(double)") == 8
+        assert run("""
+        struct P { int a; double b; };
+        int main() { return (int) sizeof(struct P); }
+        """).return_value == 16
+
+    def test_hex_and_suffix_literals(self):
+        assert expr("0xFF") == 255
+        result = run("long main() { return 1l << 40; }")
+        assert result.return_value == 1 << 40
+
+    def test_unsigned_wraparound(self):
+        result = run("""
+        int main() {
+            uint x = 0u;
+            x = x - 1u;
+            return (x > 1000u) ? 1 : 0;
+        }
+        """)
+        assert result.return_value == 1
+
+
+class TestControlFlow:
+    def test_nested_loops_break_continue(self):
+        result = run("""
+        int main() {
+            int total = 0;
+            int i;
+            for (i = 0; i < 10; i++) {
+                if (i == 7) break;
+                if (i % 2 == 0) continue;
+                int j = 0;
+                while (j < i) {
+                    total += j;
+                    j++;
+                }
+            }
+            return total;
+        }
+        """)
+        expected = sum(sum(range(i)) for i in (1, 3, 5))
+        assert result.return_value == expected
+
+    def test_do_while(self):
+        result = run("""
+        int main() {
+            int n = 0;
+            do { n++; } while (n < 5);
+            int m = 100;
+            do { m++; } while (false);
+            return n * 1000 + m;
+        }
+        """)
+        assert result.return_value == 5 * 1000 + 101
+
+    def test_switch_fallthrough_and_default(self):
+        source = """
+        int classify(int x) {
+            int r = 0;
+            switch (x) {
+                case 1: r += 1;
+                case 2: r += 2; break;
+                case 3: r += 3; break;
+                default: r = 99; break;
+            }
+            return r;
+        }
+        int main() { return classify(%d); }
+        """
+        assert run(source % 1).return_value == 3   # falls into case 2
+        assert run(source % 2).return_value == 2
+        assert run(source % 3).return_value == 3
+        assert run(source % 8).return_value == 99
+
+    def test_early_return_and_dead_code(self):
+        result = run("""
+        int main() {
+            return 42;
+            return 7;
+        }
+        """)
+        assert result.return_value == 42
+
+
+class TestPointersAndStructs:
+    def test_pointer_arithmetic(self):
+        result = run("""
+        int main() {
+            int data[5];
+            int i;
+            for (i = 0; i < 5; i++) data[i] = i * i;
+            int* p = data;
+            p = p + 2;
+            int a = *p;           // 4
+            p++;
+            int b = *p;           // 9
+            int* q = data;
+            long gap = (long) (p - q);  // 3
+            return a * 100 + b * 10 + (int) gap;
+        }
+        """)
+        assert result.return_value == 4 * 100 + 9 * 10 + 3
+
+    def test_address_of_and_out_params(self):
+        result = run("""
+        void divide(int a, int b, int* q, int* r) {
+            *q = a / b;
+            *r = a % b;
+        }
+        int main() {
+            int q; int r;
+            divide(17, 5, &q, &r);
+            return q * 10 + r;
+        }
+        """)
+        assert result.return_value == 32
+
+    def test_struct_members_and_arrow(self):
+        result = run("""
+        struct Point { int x; int y; };
+        struct Rect { struct Point min; struct Point max; };
+        int area(struct Rect* r) {
+            int w = r->max.x - r->min.x;
+            int h = r->max.y - r->min.y;
+            return w * h;
+        }
+        int main() {
+            struct Rect r;
+            r.min.x = 1; r.min.y = 2;
+            r.max.x = 5; r.max.y = 8;
+            return area(&r);
+        }
+        """)
+        assert result.return_value == 24
+
+    def test_struct_array_fields(self):
+        result = run("""
+        struct Row { int cells[4]; };
+        int main() {
+            struct Row rows[3];
+            int i; int j;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 4; j++)
+                    rows[i].cells[j] = i * 10 + j;
+            return rows[2].cells[3];
+        }
+        """)
+        assert result.return_value == 23
+
+    def test_linked_list_on_heap(self):
+        result = run("""
+        struct N { int v; struct N* next; };
+        int main() {
+            struct N* head = null;
+            int i;
+            for (i = 1; i <= 4; i++) {
+                struct N* n = (struct N*) malloc(sizeof(struct N));
+                n->v = i;
+                n->next = head;
+                head = n;
+            }
+            int sum = 0;
+            while (head != null) {
+                sum = sum * 10 + head->v;
+                struct N* d = head;
+                head = head->next;
+                free((char*) d);
+            }
+            return sum;
+        }
+        """)
+        assert result.return_value == 4321
+
+    def test_multidimensional_arrays(self):
+        result = run("""
+        int grid[3][4];
+        int main() {
+            int i; int j;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 4; j++)
+                    grid[i][j] = i * 4 + j;
+            int total = 0;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 4; j++)
+                    total += grid[i][j];
+            return total;
+        }
+        """)
+        assert result.return_value == sum(range(12))
+
+    def test_array_parameters_decay(self):
+        result = run("""
+        int total(int values[4], int n) {
+            int s = 0;
+            int i;
+            for (i = 0; i < n; i++) s += values[i];
+            return s;
+        }
+        int main() {
+            int data[4];
+            data[0] = 1; data[1] = 2; data[2] = 3; data[3] = 4;
+            return total(data, 4);
+        }
+        """)
+        assert result.return_value == 10
+
+
+class TestFloats:
+    def test_double_math_and_casts(self):
+        result = run("""
+        int main() {
+            double a = 7.0;
+            double b = 2.0;
+            double q = a / b;
+            int truncated = (int) q;
+            float narrow = (float) 0.1;
+            double widened = (double) narrow;
+            int differs = (widened != 0.1) ? 1 : 0;
+            return truncated * 10 + differs;
+        }
+        """)
+        assert result.return_value == 31  # trunc(3.5)*10 + differs(1)
+
+    def test_int_double_promotion(self):
+        result = run("""
+        int main() {
+            double r = 3 / 2.0;
+            return (int) (r * 100.0);
+        }
+        """)
+        assert result.return_value == 150
+
+
+class TestDiagnostics:
+    def test_undefined_variable(self):
+        with pytest.raises(MiniCTypeError):
+            compile_source("int main() { return nope; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(MiniCTypeError):
+            compile_source("int main() { return missing(1); }")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(MiniCTypeError):
+            compile_source("""
+            int f(int a, int b) { return a + b; }
+            int main() { return f(1); }
+            """)
+
+    def test_unknown_struct_field(self):
+        with pytest.raises(MiniCTypeError):
+            compile_source("""
+            struct P { int x; };
+            int main() { struct P p; return p.z; }
+            """)
+
+    def test_break_outside_loop(self):
+        with pytest.raises(MiniCTypeError):
+            compile_source("int main() { break; return 0; }")
+
+    def test_return_type_checked(self):
+        with pytest.raises(MiniCTypeError):
+            compile_source("void f() { return 3; } int main() { return 0; }")
+
+    def test_syntax_error_reports_line(self):
+        with pytest.raises(MiniCSyntaxError) as info:
+            parse_program("int main() {\n    int x = ;\n}")
+        assert info.value.line == 2
+
+
+class TestCompilerPatterns:
+    def test_emits_alloca_per_local(self):
+        """The paper's front-end pattern: locals are allocas."""
+        module = compile_source("""
+        int main() {
+            int a = 1;
+            double b = 2.0;
+            return a;
+        }
+        """, "p")
+        main = module.get_function("main")
+        allocas = [i for i in main.instructions()
+                   if i.opcode == "alloca"]
+        assert len(allocas) == 2
+
+    def test_member_access_is_typed_gep(self):
+        module = compile_source("""
+        struct P { int x; double y; };
+        double get(struct P* p) { return p->y; }
+        """, "p")
+        get = module.get_function("get")
+        geps = [i for i in get.instructions()
+                if i.opcode == "getelementptr"]
+        assert len(geps) == 1
+        assert geps[0].constant_indices() == (0, 1)
+
+    def test_no_implicit_coercion_casts_emitted(self):
+        module = compile_source("""
+        double mix(int a, double b) { return a + b; }
+        """, "p")
+        mix = module.get_function("mix")
+        casts = [i for i in mix.instructions() if i.opcode == "cast"]
+        assert casts  # the int operand is explicitly converted
+
+
+class TestVABIFlags:
+    """Section 3.2: pointer size and endianness exposed to source."""
+
+    SOURCE = """
+    int main() {
+        if (__pointer_size == 8 && !__big_endian) return 1;
+        if (__pointer_size == 4 && !__big_endian) return 2;
+        return 3;
+    }
+    """
+
+    def test_flags_reflect_target_config(self):
+        for pointer_size, expected in ((8, 1), (4, 2)):
+            module = compile_source(self.SOURCE, "abi",
+                                    pointer_size=pointer_size)
+            result = Interpreter(module).run("main")
+            assert result.return_value == expected
+        module = compile_source(self.SOURCE, "abi", pointer_size=8,
+                                endianness="big")
+        assert Interpreter(module).run("main").return_value == 3
+
+    def test_flags_fold_to_constants(self):
+        """The flags are compile-time constants: the dead arm folds
+        away entirely at -O2."""
+        module = compile_source(self.SOURCE, "abi", pointer_size=8,
+                                optimization_level=2)
+        main = module.get_function("main")
+        assert len(main.blocks) == 1  # everything folded to `ret int 1`
+
+
+class TestBraceInitializers:
+    def test_global_array_with_zero_padding(self):
+        result = run("""
+        int weights[4] = {10, 20, 30};
+        int main() {
+            return weights[0] + weights[1] + weights[2] + weights[3];
+        }
+        """)
+        assert result.return_value == 60
+
+    def test_inferred_length(self):
+        result = run("""
+        int data[] = {1, 2, 3, 4, 5};
+        int main() { return (int) sizeof(int) * 0 + data[4]; }
+        """)
+        assert result.return_value == 5
+
+    def test_nested_global_arrays(self):
+        result = run("""
+        int table[2][3] = { {1, 2, 3}, {4, 5, 6} };
+        int main() { return table[1][2] * 10 + table[0][0]; }
+        """)
+        assert result.return_value == 61
+
+    def test_global_struct_initializer(self):
+        result = run("""
+        struct P { int x; double y; };
+        struct P origin = { 7, 2.5 };
+        int main() { return origin.x * 10 + (int) origin.y; }
+        """)
+        assert result.return_value == 72
+
+    def test_local_array_tail_zeroed(self):
+        result = run("""
+        int main() {
+            int local[5] = {9};
+            return local[0] * 10 + local[1] + local[4];
+        }
+        """)
+        assert result.return_value == 90
+
+    def test_local_struct_and_nested(self):
+        result = run("""
+        struct P { int x; int y; };
+        int main() {
+            struct P p = { 3, 4 };
+            int grid[2][2] = { {1, 2}, {3} };
+            return p.x * 100 + p.y * 10 + grid[1][1] + grid[1][0];
+        }
+        """)
+        assert result.return_value == 343
+
+    def test_too_many_initializers_rejected(self):
+        with pytest.raises(MiniCTypeError):
+            compile_source("int a[2] = {1, 2, 3}; int main(){return 0;}")
+
+    def test_inferred_size_requires_braces(self):
+        with pytest.raises(MiniCTypeError):
+            compile_source("int a[] = 5; int main(){return 0;}")

@@ -1,0 +1,215 @@
+"""Register allocator unit tests."""
+
+import pytest
+
+from repro.asm import parse_module
+from repro.execution import Interpreter
+from repro.execution.machine_sim import MachineSimulator
+from repro.targets import make_target, translate_module
+from repro.targets.machine import (
+    Imm,
+    MachineFunction,
+    MachineInstr,
+    Mem,
+    PhysReg,
+    Semantics,
+    VirtualReg,
+)
+from repro.targets.regalloc import (
+    LinearScanAllocator,
+    SpillAllAllocator,
+    instr_defs_uses,
+)
+from repro.ir import types
+
+
+class TestDefsUses:
+    def test_mov(self):
+        d = VirtualReg(0, types.INT)
+        s = VirtualReg(1, types.INT)
+        instr = MachineInstr("mov", Semantics.MOV, [d, s])
+        defs, uses = instr_defs_uses(instr)
+        assert defs == [0] and uses == [1]
+
+    def test_store_is_all_uses(self):
+        v = VirtualReg(0, types.INT)
+        mem = Mem(base=VirtualReg(1, types.pointer_to(types.INT)))
+        instr = MachineInstr("mov", Semantics.STORE, [v, mem])
+        defs, uses = instr_defs_uses(instr)
+        assert defs == [] and uses == [0, 1]
+
+    def test_mem_operand_in_slot_zero_is_use(self):
+        mem = Mem(base=VirtualReg(0, types.pointer_to(types.INT)))
+        instr = MachineInstr("push", Semantics.PUSH, [mem])
+        defs, uses = instr_defs_uses(instr)
+        assert defs == [] and uses == [0]
+
+
+def _no_virtual_registers(machine: MachineFunction) -> bool:
+    for instr in machine.instructions():
+        for _index, reg in instr.registers():
+            if isinstance(reg, VirtualReg):
+                return False
+    return True
+
+
+def _fac_module():
+    return parse_module("""
+    int %fac(int %n) {
+    entry:
+            %base = setle int %n, 1
+            br bool %base, label %one, label %rec
+    one:
+            ret int 1
+    rec:
+            %m = sub int %n, 1
+            %r = call int %fac(int %m)
+            %p = mul int %n, %r
+            ret int %p
+    }
+    """)
+
+
+class TestAllocatorsEliminateVirtuals:
+    def test_spill_all(self):
+        module = _fac_module()
+        machine = make_target("x86").translate_function(
+            module.get_function("fac"))
+        assert _no_virtual_registers(machine)
+
+    def test_linear_scan(self):
+        module = _fac_module()
+        machine = make_target("sparc").translate_function(
+            module.get_function("fac"))
+        assert _no_virtual_registers(machine)
+
+    def test_linear_scan_respects_register_classes(self):
+        module = parse_module("""
+        double %mix(double %a, int %b) {
+        entry:
+                %c = cast int %b to double
+                %d = add double %a, %c
+                %e = mul double %d, %d
+                ret double %e
+        }
+        """)
+        machine = make_target("sparc").translate_function(
+            module.get_function("mix"))
+        target = make_target("sparc")
+        float_regs = set(target.fpr_names) | set(target.scratch_fprs)
+        for instr in machine.instructions():
+            if instr.semantics == Semantics.ALU \
+                    and instr.attrs["value_type"].is_floating_point:
+                for _i, reg in instr.registers():
+                    if isinstance(reg, PhysReg) \
+                            and reg.name not in ("fp", "sp"):
+                        assert reg.name in float_regs \
+                            or reg.name == target.return_reg
+
+
+class TestCallPreservation:
+    def test_values_survive_calls_under_linear_scan(self):
+        """High register pressure across many calls: every live value
+        must survive (callee-saved or spilled)."""
+        source = """
+        int %leaf(int %x) {
+        entry:
+                %r = add int %x, 1
+                ret int %r
+        }
+        int %main() {
+        entry:
+                %a = add int 1, 0
+                %b = add int 2, 0
+                %c = add int 3, 0
+                %d = add int 4, 0
+                %e = add int 5, 0
+                %f = add int 6, 0
+                %g = add int 7, 0
+                %h = add int 8, 0
+                %i = add int 9, 0
+                %j = add int 10, 0
+                %c1 = call int %leaf(int %a)
+                %c2 = call int %leaf(int %b)
+                %c3 = call int %leaf(int %c)
+                %s1 = add int %a, %b
+                %s2 = add int %s1, %c
+                %s3 = add int %s2, %d
+                %s4 = add int %s3, %e
+                %s5 = add int %s4, %f
+                %s6 = add int %s5, %g
+                %s7 = add int %s6, %h
+                %s8 = add int %s7, %i
+                %s9 = add int %s8, %j
+                %s10 = add int %s9, %c1
+                %s11 = add int %s10, %c2
+                %s12 = add int %s11, %c3
+                ret int %s12
+        }
+        """
+        module = parse_module(source)
+        expected = Interpreter(module).run("main").return_value
+        assert expected == sum(range(1, 11)) + 2 + 3 + 4
+        for target_name in ("x86", "sparc"):
+            native = translate_module(module, make_target(target_name))
+            value, _ = MachineSimulator(native, module).run("main")
+            assert value == expected, target_name
+
+    def test_loop_carried_value_crosses_call_via_back_edge(self):
+        """The regression behind the crafty hang: a value live across a
+        call only through a loop back edge must not sit in a
+        caller-saved register."""
+        source = """
+        int %leaf(int %x) {
+        entry:
+                %r = add int %x, 1
+                ret int %r
+        }
+        int %main(int %n) {
+        entry:
+                br label %loop
+        loop:
+                %i = phi int [ 0, %entry ], [ %i2, %loop ]
+                %acc = phi int [ 0, %entry ], [ %acc2, %loop ]
+                %t = call int %leaf(int %i)
+                %acc2 = add int %acc, %t
+                %i2 = add int %i, 1
+                %c = setlt int %i2, %n
+                br bool %c, label %loop, label %done
+        done:
+                ret int %acc2
+        }
+        """
+        module = parse_module(source)
+        expected = Interpreter(module).run("main", [20]).return_value
+        for target_name in ("x86", "sparc"):
+            native = translate_module(module, make_target(target_name))
+            value, _ = MachineSimulator(native, module).run(
+                "main", [20])
+            assert value == expected, target_name
+
+    def test_callee_saved_usage_adds_save_restore(self):
+        module = _fac_module()
+        machine = make_target("sparc").translate_function(
+            module.get_function("fac"))
+        mnemonics = [i.mnemonic for i in machine.instructions()]
+        # %n lives across the recursive call: a callee-saved register
+        # was used, so its save/restore pair must be present.
+        assert "save" in mnemonics
+        assert "restore" in mnemonics
+
+
+class TestFrameAccounting:
+    def test_spill_all_frame_grows_per_vreg(self):
+        module = _fac_module()
+        machine = make_target("x86").translate_function(
+            module.get_function("fac"))
+        assert machine.frame_size >= 8 * 4  # several spill slots
+
+    def test_linear_scan_uses_fewer_slots(self):
+        module = _fac_module()
+        sparc = make_target("sparc").translate_function(
+            module.get_function("fac"))
+        x86 = make_target("x86").translate_function(
+            module.get_function("fac"))
+        assert sparc.frame_size <= x86.frame_size

@@ -1,0 +1,100 @@
+"""Pass-manager pipeline mechanics."""
+
+import pytest
+
+from repro.asm import parse_module
+from repro.ir.module import Function, Module
+from repro.ir.verifier import VerificationError
+from repro.transforms import (
+    FunctionPass,
+    ModulePass,
+    PassManager,
+    link_time_pipeline,
+    standard_pipeline,
+)
+
+
+class _CountingPass(FunctionPass):
+    name = "counting"
+
+    def __init__(self):
+        self.seen = []
+
+    def run(self, function: Function) -> bool:
+        self.seen.append(function.name)
+        return False
+
+
+class _BreakingPass(FunctionPass):
+    """Deliberately corrupts the IR to test verify_each."""
+
+    name = "breaker"
+
+    def run(self, function: Function) -> bool:
+        function.entry_block.instructions.pop()  # drop the terminator
+        return True
+
+
+def _two_function_module() -> Module:
+    return parse_module("""
+    declare void %external()
+    int %a() {
+    entry:
+            ret int 1
+    }
+    int %b() {
+    entry:
+            ret int 2
+    }
+    """)
+
+
+class TestPassManager:
+    def test_function_passes_skip_declarations(self):
+        module = _two_function_module()
+        counting = _CountingPass()
+        PassManager([counting]).run(module)
+        assert sorted(counting.seen) == ["a", "b"]
+
+    def test_report_collects_stats(self):
+        module = _two_function_module()
+        report = PassManager(standard_pipeline(1)).run(module)
+        assert "mem2reg" in report.stats
+        assert report.stats["mem2reg"].runs == 1
+        assert all(s.seconds >= 0 for s in report.stats.values())
+
+    def test_verify_each_catches_breakage(self):
+        module = _two_function_module()
+        manager = PassManager([_BreakingPass()], verify_each=True)
+        with pytest.raises(VerificationError):
+            manager.run(module)
+
+    def test_non_pass_rejected(self):
+        module = _two_function_module()
+        with pytest.raises(TypeError):
+            PassManager([object()]).run(module)
+
+    def test_pipeline_composition(self):
+        assert standard_pipeline(0) == []
+        o1_names = [p.name for p in standard_pipeline(1)]
+        o2_names = [p.name for p in standard_pipeline(2)]
+        assert o1_names[0] == "mem2reg"
+        assert "gvn" not in o1_names
+        assert "gvn" in o2_names and "licm" in o2_names \
+            and "sccp" in o2_names
+        lto_names = [p.name for p in link_time_pipeline()]
+        assert lto_names[0] == "inline"
+        assert "globalopt" in lto_names
+
+    def test_total_changes(self):
+        module = parse_module("""
+        int %main() {
+        entry:
+                %x = alloca int
+                store int 3, int* %x
+                %v = load int* %x
+                ret int %v
+        }
+        """)
+        report = PassManager(standard_pipeline(1)).run(module)
+        assert report.total_changes >= 1

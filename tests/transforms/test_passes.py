@@ -1,0 +1,552 @@
+"""Per-pass optimizer tests, each verifying both the transformation and
+semantic preservation against the interpreter."""
+
+import pytest
+
+from repro.asm import parse_module
+from repro.execution import Interpreter
+from repro.ir import print_module, types, verify_module
+from repro.ir.values import ConstantInt
+from repro.transforms import (
+    AggressiveDCE,
+    DeadCodeElimination,
+    FunctionInliner,
+    GlobalOptimizer,
+    GlobalValueNumbering,
+    InstSimplify,
+    LoopInvariantCodeMotion,
+    PromoteMemoryToRegisters,
+    SimplifyCFG,
+    SparseConditionalConstantProp,
+    internalize,
+    optimize,
+)
+
+
+def _check_preserved(source: str, pass_obj, entry="main", args=(),
+                     expect_change=True):
+    module = parse_module(source)
+    verify_module(module)
+    before = Interpreter(module).run(entry, args)
+    if hasattr(pass_obj, "run_module"):
+        changed = pass_obj.run_module(module)
+    else:
+        changed = any(
+            pass_obj.run(f) for f in list(module.functions.values())
+            if not f.is_declaration)
+    verify_module(module)
+    after = Interpreter(module).run(entry, args)
+    assert after.return_value == before.return_value
+    assert after.output == before.output
+    if expect_change:
+        assert changed
+    return module, before, after
+
+
+class TestMem2Reg:
+    SOURCE = """
+    int %main(int %n) {
+    entry:
+            %x = alloca int
+            store int 0, int* %x
+            br label %loop
+    loop:
+            %v = load int* %x
+            %v2 = add int %v, %n
+            store int %v2, int* %x
+            %c = setlt int %v2, 100
+            br bool %c, label %loop, label %done
+    done:
+            %r = load int* %x
+            ret int %r
+    }
+    """
+
+    def test_promotes_and_preserves(self):
+        module, before, after = _check_preserved(
+            self.SOURCE, PromoteMemoryToRegisters(), args=[7])
+        main = module.get_function("main")
+        opcodes = {i.opcode for i in main.instructions()}
+        assert "alloca" not in opcodes
+        assert "load" not in opcodes
+        assert "phi" in opcodes
+        assert after.steps < before.steps
+
+    def test_escaped_alloca_not_promoted(self):
+        module = parse_module("""
+        declare void %print_int(int)
+        void %taker(int* %p) {
+        entry:
+                %v = load int* %p
+                call void %print_int(int %v)
+                ret void
+        }
+        int %main() {
+        entry:
+                %x = alloca int
+                store int 5, int* %x
+                call void %taker(int* %x)
+                %r = load int* %x
+                ret int %r
+        }
+        """)
+        PromoteMemoryToRegisters().run(module.get_function("main"))
+        verify_module(module)
+        main = module.get_function("main")
+        assert any(i.opcode == "alloca" for i in main.instructions())
+
+    def test_uninitialized_read_becomes_undef(self):
+        module = parse_module("""
+        int %main(bool %c) {
+        entry:
+                %x = alloca int
+                br bool %c, label %set, label %skip
+        set:
+                store int 9, int* %x
+                br label %skip
+        skip:
+                %v = load int* %x
+                ret int %v
+        }
+        """)
+        PromoteMemoryToRegisters().run(module.get_function("main"))
+        verify_module(module)
+        # Defined path still yields 9.
+        assert Interpreter(module).run("main", [True]).return_value == 9
+
+
+class TestSCCP:
+    def test_propagates_through_branches(self):
+        source = """
+        int %main() {
+        entry:
+                %a = add int 2, 3
+                %c = seteq int %a, 5
+                br bool %c, label %yes, label %no
+        yes:
+                %v1 = mul int %a, 10
+                br label %done
+        no:
+                br label %done
+        done:
+                %r = phi int [ %v1, %yes ], [ 0, %no ]
+                ret int %r
+        }
+        """
+        module, _b, _a = _check_preserved(
+            source, SparseConditionalConstantProp())
+        ret = module.get_function("main").blocks[-1].terminator
+        # After SCCP + the phi folding, the return value is literal 50.
+        text = print_module(module)
+        assert "50" in text
+
+    def test_unreachable_arm_does_not_pollute(self):
+        source = """
+        int %main() {
+        entry:
+                br bool true, label %live, label %dead
+        live:
+                br label %merge
+        dead:
+                br label %merge
+        merge:
+                %v = phi int [ 7, %live ], [ 8, %dead ]
+                ret int %v
+        }
+        """
+        module, _b, after = _check_preserved(
+            source, SparseConditionalConstantProp())
+        assert after.return_value == 7
+
+    def test_loop_carried_not_overfolded(self):
+        source = """
+        int %main(int %n) {
+        entry:
+                br label %loop
+        loop:
+                %i = phi int [ 0, %entry ], [ %i2, %loop ]
+                %i2 = add int %i, 1
+                %c = setlt int %i2, %n
+                br bool %c, label %loop, label %done
+        done:
+                ret int %i2
+        }
+        """
+        module = parse_module(source)
+        SparseConditionalConstantProp().run(module.get_function("main"))
+        verify_module(module)
+        assert Interpreter(module).run("main", [5]).return_value == 5
+
+
+class TestGVNAndDCE:
+    def test_common_subexpressions_merged(self):
+        source = """
+        int %main(int %a, int %b) {
+        entry:
+                %x = add int %a, %b
+                %y = add int %a, %b
+                %p = mul int %x, %y
+                %q = mul int %x, %x
+                %r = sub int %p, %q
+                ret int %r
+        }
+        """
+        module, _b, _a = _check_preserved(source, GlobalValueNumbering(),
+                                          args=[3, 4])
+        main = module.get_function("main")
+        adds = [i for i in main.instructions() if i.opcode == "add"]
+        assert len(adds) == 1
+
+    def test_commutative_matching(self):
+        source = """
+        int %main(int %a, int %b) {
+        entry:
+                %x = add int %a, %b
+                %y = add int %b, %a
+                %r = sub int %x, %y
+                ret int %r
+        }
+        """
+        module, _b, after = _check_preserved(
+            source, GlobalValueNumbering(), args=[3, 4])
+        assert after.return_value == 0
+
+    def test_redundant_load_elimination(self):
+        source = """
+        int %main() {
+        entry:
+                %p = alloca int
+                store int 42, int* %p
+                %v1 = load int* %p
+                %v2 = load int* %p
+                %r = add int %v1, %v2
+                ret int %r
+        }
+        """
+        module, _b, _a = _check_preserved(source, GlobalValueNumbering())
+        main = module.get_function("main")
+        loads = [i for i in main.instructions() if i.opcode == "load"]
+        assert len(loads) == 0  # store-to-load forwarding killed both
+
+    def test_clobbering_store_blocks_forwarding(self):
+        source = """
+        int %main(int* %unknown) {
+        entry:
+                %p = alloca int
+                store int 1, int* %p
+                store int 9, int* %unknown
+                %v = load int* %p
+                ret int %v
+        }
+        """
+        module = parse_module(source)
+        GlobalValueNumbering().run(module.get_function("main"))
+        verify_module(module)
+        main = module.get_function("main")
+        # %unknown may alias %p?  No - %p is a non-escaping alloca, so
+        # forwarding is still legal here; the interesting part is it
+        # must remain *correct*.  Run both ways with unknown == p is
+        # impossible (p is function-local), so value must be 1.
+        interp = Interpreter(module)
+        slot = interp.memory.malloc(8)
+        assert interp.run("main", [slot]).return_value == 1
+
+    def test_dce_keeps_enabled_traps(self):
+        source = """
+        int %main() {
+        entry:
+                %dead = add int 1, 2
+                %trap = div int 1, 0
+                ret int 7
+        }
+        """
+        module = parse_module(source)
+        DeadCodeElimination().run(module.get_function("main"))
+        verify_module(module)
+        opcodes = [i.opcode for i in
+                   module.get_function("main").instructions()]
+        assert "add" not in opcodes   # dead, removed
+        assert "div" in opcodes       # potential trap, kept
+
+    def test_dce_removes_masked_trap(self):
+        source = """
+        int %main() {
+        entry:
+                %quiet = div int 1, 0 !ee(false)
+                ret int 7
+        }
+        """
+        module = parse_module(source)
+        DeadCodeElimination().run(module.get_function("main"))
+        opcodes = [i.opcode for i in
+                   module.get_function("main").instructions()]
+        assert "div" not in opcodes
+
+    def test_adce_kills_dead_phi_cycles(self):
+        source = """
+        int %main(int %n) {
+        entry:
+                br label %loop
+        loop:
+                %dead = phi int [ 0, %entry ], [ %dead2, %loop ]
+                %i = phi int [ 0, %entry ], [ %i2, %loop ]
+                %dead2 = add int %dead, 1
+                %i2 = add int %i, 1
+                %c = setlt int %i2, %n
+                br bool %c, label %loop, label %done
+        done:
+                ret int %i2
+        }
+        """
+        module, _b, _a = _check_preserved(source, AggressiveDCE(),
+                                          args=[5])
+        main = module.get_function("main")
+        phis = [i for i in main.instructions() if i.opcode == "phi"]
+        assert len(phis) == 1  # the dead cycle is gone
+
+
+class TestSimplifyCFG:
+    def test_constant_branch_folds(self):
+        source = """
+        int %main() {
+        entry:
+                br bool true, label %a, label %b
+        a:
+                ret int 1
+        b:
+                ret int 2
+        }
+        """
+        module, _b, after = _check_preserved(source, SimplifyCFG())
+        assert after.return_value == 1
+        assert len(module.get_function("main").blocks) == 1
+
+    def test_block_merging(self):
+        source = """
+        int %main() {
+        entry:
+                br label %next
+        next:
+                %v = add int 1, 2
+                br label %last
+        last:
+                ret int %v
+        }
+        """
+        module, _b, _a = _check_preserved(source, SimplifyCFG())
+        assert len(module.get_function("main").blocks) == 1
+
+    def test_forwarder_removal_migrates_phis(self):
+        source = """
+        int %main(bool %c) {
+        entry:
+                br bool %c, label %fwd, label %other
+        fwd:
+                br label %merge
+        other:
+                br label %merge
+        merge:
+                %v = phi int [ 10, %fwd ], [ 20, %other ]
+                ret int %v
+        }
+        """
+        module, _b, _a = _check_preserved(source, SimplifyCFG(),
+                                          args=[True])
+        assert Interpreter(module).run("main", [True]).return_value == 10
+        assert Interpreter(module).run("main", [False]).return_value == 20
+
+
+class TestLICM:
+    SOURCE = """
+    int %main(int %n, int %a, int %b) {
+    entry:
+            br label %loop
+    loop:
+            %i = phi int [ 0, %entry ], [ %i2, %loop ]
+            %s = phi int [ 0, %entry ], [ %s2, %loop ]
+            %inv = mul int %a, %b
+            %s2 = add int %s, %inv
+            %i2 = add int %i, 1
+            %c = setlt int %i2, %n
+            br bool %c, label %loop, label %done
+    done:
+            ret int %s2
+    }
+    """
+
+    def test_hoists_invariant_mul(self):
+        module, before, after = _check_preserved(
+            self.SOURCE, LoopInvariantCodeMotion(), args=[10, 3, 4])
+        main = module.get_function("main")
+        loop = [b for b in main.blocks if b.name == "loop"][0]
+        # The invariant mul left the loop (the entry block is already a
+        # valid preheader here).
+        assert not any(i.opcode == "mul" for i in loop.instructions)
+        assert any(i.opcode == "mul"
+                   for i in main.entry_block.instructions)
+        assert after.steps < before.steps
+
+    def test_invariant_load_with_loop_store_not_hoisted(self):
+        source = """
+        int %main(int* %p, int* %q, int %n) {
+        entry:
+                br label %loop
+        loop:
+                %i = phi int [ 0, %entry ], [ %i2, %loop ]
+                %v = load int* %p
+                store int %i, int* %q
+                %i2 = add int %i, 1
+                %c = setlt int %i2, %n
+                br bool %c, label %loop, label %done
+        done:
+                %r = load int* %p
+                ret int %r
+        }
+        """
+        module = parse_module(source)
+        LoopInvariantCodeMotion().run(module.get_function("main"))
+        verify_module(module)
+        # %q may alias %p (both incoming pointers): load stays put.
+        loop_blocks = [b for b in module.get_function("main").blocks
+                       if b.name and b.name.startswith("loop")]
+        assert any(i.opcode == "load"
+                   for b in loop_blocks for i in b.instructions)
+
+
+class TestInterprocedural:
+    def test_inliner(self):
+        source = """
+        int %helper(int %x) {
+        entry:
+                %r = mul int %x, 3
+                ret int %r
+        }
+        int %main() {
+        entry:
+                %a = call int %helper(int 5)
+                %b = call int %helper(int 7)
+                %r = add int %a, %b
+                ret int %r
+        }
+        """
+        module, _b, after = _check_preserved(source, FunctionInliner())
+        main = module.get_function("main")
+        assert not any(i.opcode == "call" for i in main.instructions())
+        assert after.return_value == 36
+
+    def test_inliner_skips_recursive(self):
+        source = """
+        int %fib(int %n) {
+        entry:
+                %small = setlt int %n, 2
+                br bool %small, label %base, label %rec
+        base:
+                ret int %n
+        rec:
+                %a = sub int %n, 1
+                %x = call int %fib(int %a)
+                %b = sub int %n, 2
+                %y = call int %fib(int %b)
+                %r = add int %x, %y
+                ret int %r
+        }
+        int %main() {
+        entry:
+                %r = call int %fib(int 10)
+                ret int %r
+        }
+        """
+        module, _b, after = _check_preserved(
+            source, FunctionInliner(), expect_change=False)
+        assert after.return_value == 55
+
+    def test_globalopt_removes_dead_internals(self):
+        source = """
+        internal int %unused_helper(int %x) {
+        entry:
+                ret int %x
+        }
+        %unused_global = internal global int 9
+        int %main() {
+        entry:
+                ret int 1
+        }
+        """
+        module = parse_module(source)
+        GlobalOptimizer().run_module(module)
+        assert "unused_helper" not in module.functions
+        assert "unused_global" not in module.globals
+
+    def test_internalize_then_cleanup(self):
+        source = """
+        int %helper(int %x) {
+        entry:
+                %r = add int %x, 1
+                ret int %r
+        }
+        int %main() {
+        entry:
+                %r = call int %helper(int 1)
+                ret int %r
+        }
+        """
+        module = parse_module(source)
+        count = internalize(module)
+        assert count == 1  # helper, not main
+        # After inlining, the internalized helper is dead.
+        FunctionInliner().run_module(module)
+        GlobalOptimizer().run_module(module)
+        assert "helper" not in module.functions
+
+    def test_constant_global_load_folding(self):
+        source = """
+        %limit = constant int 64
+        int %main() {
+        entry:
+                %v = load int* %limit
+                %r = mul int %v, 2
+                ret int %r
+        }
+        """
+        module, _b, after = _check_preserved(source, GlobalOptimizer())
+        assert after.return_value == 128
+        main = module.get_function("main")
+        assert not any(i.opcode == "load" for i in main.instructions())
+
+
+class TestFullPipelines:
+    def test_optimize_is_idempotent_semantically(self):
+        source = """
+        int %compute(int %n) {
+        entry:
+                %x = alloca int
+                store int 0, int* %x
+                br label %loop
+        loop:
+                %i = phi int [ 0, %entry ], [ %i2, %loop ]
+                %xv = load int* %x
+                %t = mul int %i, %i
+                %x2 = add int %xv, %t
+                store int %x2, int* %x
+                %i2 = add int %i, 1
+                %c = setlt int %i2, %n
+                br bool %c, label %loop, label %done
+        done:
+                %r = load int* %x
+                ret int %r
+        }
+        int %main() {
+        entry:
+                %r = call int %compute(int 12)
+                ret int %r
+        }
+        """
+        module = parse_module(source)
+        before = Interpreter(module).run("main")
+        optimize(module, level=2, verify_each=True)
+        mid = Interpreter(module).run("main")
+        optimize(module, link_time=True, verify_each=True)
+        after = Interpreter(module).run("main")
+        assert before.return_value == mid.return_value \
+            == after.return_value
+        assert after.steps <= mid.steps <= before.steps

@@ -1,0 +1,147 @@
+"""SimplifyCFG edge cases: mbr folding, same-target branches, phi
+edges under block surgery."""
+
+import pytest
+
+from repro.asm import parse_module
+from repro.execution import Interpreter
+from repro.ir import verify_module
+from repro.transforms import SimplifyCFG
+
+
+def _check(source: str, expected, entry="main", args=()):
+    module = parse_module(source)
+    verify_module(module)
+    before = Interpreter(module).run(entry, args)
+    assert before.return_value == expected
+    SimplifyCFG().run(module.get_function(entry))
+    verify_module(module)
+    after = Interpreter(module).run(entry, args)
+    assert after.return_value == expected
+    return module
+
+
+class TestMbrFolding:
+    def test_constant_selector_picks_case(self):
+        module = _check("""
+        int %main() {
+        entry:
+                mbr int 2, label %other, [ int 1, label %one ],
+                    [ int 2, label %two ]
+        one:
+                ret int 100
+        two:
+                ret int 200
+        other:
+                ret int -1
+        }
+        """, 200)
+        main = module.get_function("main")
+        assert all(i.opcode != "mbr" for i in main.instructions())
+        assert len(main.blocks) == 1
+
+    def test_constant_selector_falls_to_default(self):
+        _check("""
+        int %main() {
+        entry:
+                mbr int 9, label %other, [ int 1, label %one ]
+        one:
+                ret int 100
+        other:
+                ret int -1
+        }
+        """, -1)
+
+    def test_mbr_with_phis_in_targets(self):
+        _check("""
+        int %main() {
+        entry:
+                mbr int 1, label %merge, [ int 1, label %a ],
+                    [ int 2, label %b ]
+        a:
+                br label %merge
+        b:
+                br label %merge
+        merge:
+                %v = phi int [ 0, %entry ], [ 10, %a ], [ 20, %b ]
+                ret int %v
+        }
+        """, 10)
+
+
+class TestBranchEdgeCases:
+    def test_both_arms_same_target_with_phi(self):
+        """A conditional branch whose arms agree still has ONE phi edge
+        per the verifier; folding must not duplicate or drop it."""
+        _check("""
+        int %main(bool %c) {
+        entry:
+                br bool %c, label %merge, label %merge
+        merge:
+                %v = phi int [ 7, %entry ]
+                ret int %v
+        }
+        """, 7, args=[True])
+
+    def test_constant_branch_into_phi(self):
+        module = _check("""
+        int %main() {
+        entry:
+                br bool false, label %a, label %b
+        a:
+                br label %merge
+        b:
+                br label %merge
+        merge:
+                %v = phi int [ 1, %a ], [ 2, %b ]
+                ret int %v
+        }
+        """, 2)
+        assert len(module.get_function("main").blocks) == 1
+
+    def test_self_loop_not_merged_away(self):
+        source = """
+        int %main(int %n) {
+        entry:
+                br label %loop
+        loop:
+                %i = phi int [ 0, %entry ], [ %i2, %loop ]
+                %i2 = add int %i, 1
+                %c = setlt int %i2, %n
+                br bool %c, label %loop, label %done
+        done:
+                ret int %i2
+        }
+        """
+        module = parse_module(source)
+        SimplifyCFG().run(module.get_function("main"))
+        verify_module(module)
+        assert Interpreter(module).run("main", [5]).return_value == 5
+
+    def test_unreachable_cycle_removed(self):
+        module = _check("""
+        int %main() {
+        entry:
+                ret int 9
+        island_a:
+                br label %island_b
+        island_b:
+                br label %island_a
+        }
+        """, 9)
+        assert len(module.get_function("main").blocks) == 1
+
+    def test_chain_collapse(self):
+        module = _check("""
+        int %main() {
+        entry:
+                br label %b1
+        b1:
+                br label %b2
+        b2:
+                br label %b3
+        b3:
+                ret int 4
+        }
+        """, 4)
+        assert len(module.get_function("main").blocks) == 1
