@@ -1,0 +1,90 @@
+"""Observability: trace and measure the compile -> translate -> execute
+pipeline with ``repro.observe``.
+
+Compiles a MiniC program, runs it through LLEE twice (cache miss then
+cache hit), and writes ``observability-trace.json`` (to a temp dir) —
+open it in chrome://tracing (or https://ui.perfetto.dev) to see the
+nested spans — plus ``observability-metrics.json`` with every counter
+and histogram.
+
+Equivalent CLI::
+
+    python -m repro run prog.bc --target x86 --trace t.json --metrics m.json
+    python -m repro stats prog.bc -O 2 --target x86 --cache /tmp/llee-cache
+
+Run:  python examples/observability.py
+"""
+
+import os
+import tempfile
+
+from repro import observe
+from repro.bitcode import write_module
+from repro.llee import LLEE, InMemoryStorage
+from repro.minic import compile_source
+from repro.targets import make_target
+
+PROGRAM = """
+int collatz_steps(int n) {
+    int steps;
+    steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) n = n / 2;
+        else            n = 3 * n + 1;
+        steps = steps + 1;
+    }
+    return steps;
+}
+int main() {
+    int i;
+    int total;
+    total = 0;
+    for (i = 1; i <= 60; i = i + 1) total = total + collatz_steps(i);
+    print_int(total);
+    print_newline();
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    with observe.capture() as obs:
+        module = compile_source(PROGRAM, "collatz",
+                                optimization_level=2)
+        llee = LLEE(make_target("x86"), InMemoryStorage())
+        code = write_module(module)
+        first = llee.run_executable(code)    # translates online
+        second = llee.run_executable(code)   # served from the cache
+
+    print("program output: {0}".format(first.output.strip()))
+    print("first run:  cache_hit={0} jitted={1}".format(
+        first.cache_hit, first.functions_jitted))
+    print("second run: cache_hit={0} jitted={1}".format(
+        second.cache_hit, second.functions_jitted))
+
+    registry = obs.registry
+    print("cache counters: hit={0:.0f} miss={1:.0f} store={2:.0f}"
+          .format(registry.value("llee.cache.hit", target="x86"),
+                  registry.value("llee.cache.miss", target="x86"),
+                  registry.value("llee.cache.store", target="x86")))
+    expansion = registry.histogram("jit.expansion_ratio", target="x86")
+    print("expansion ratio: count={0} mean={1:.2f}x "
+          "min={2:.2f}x max={3:.2f}x".format(
+              expansion.count, expansion.mean, expansion.minimum,
+              expansion.maximum))
+    print("per-pass time spent:")
+    for name, seconds in sorted(
+            registry.label_values("pass.seconds", "pass")):
+        print("  {0:<16} {1:.4f}s".format(name, seconds))
+
+    out_dir = tempfile.mkdtemp(prefix="repro-observe-")
+    trace_path = os.path.join(out_dir, "observability-trace.json")
+    metrics_path = os.path.join(out_dir, "observability-metrics.json")
+    obs.tracer.write_chrome(trace_path)
+    registry.write_json(metrics_path)
+    print("wrote {0} (load it in chrome://tracing) and {1}".format(
+        trace_path, metrics_path))
+
+
+if __name__ == "__main__":
+    main()

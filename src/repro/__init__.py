@@ -18,6 +18,8 @@ The package implements the paper's full system:
   through the OS-independent storage API, profiling, trace cache.
 * :mod:`repro.minic` — a small C-like front-end used to author workloads.
 * :mod:`repro.benchsuite` — the 17 synthetic Table 2 workloads.
+* :mod:`repro.observe` — unified tracing + metrics across the
+  compile -> translate -> execute pipeline (off by default).
 """
 
 __version__ = "1.0.0"

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import observe
 from repro.execution.events import (
     ExecutionTrap,
     ExitRequest,
@@ -133,11 +134,15 @@ class Interpreter:
         result_value: object = None
         exit_status = 0
         self._push_call(function, list(args), call_inst=None)
-        try:
-            result_value = self._run_loop()
-        except ExitRequest as request:
-            exit_status = request.status
-            self._frames.clear()
+        steps_before = self.steps
+        with observe.span("interp.run", entry=function_name):
+            try:
+                result_value = self._run_loop()
+            except ExitRequest as request:
+                exit_status = request.status
+                self._frames.clear()
+        observe.counter("run.steps", self.steps - steps_before,
+                        engine="interp")
         return ExecutionResult(
             return_value=result_value,
             steps=self.steps,
@@ -151,21 +156,37 @@ class Interpreter:
 
     def _run_loop(self) -> object:
         frames = self._frames
-        while frames:
-            frame = frames[-1]
-            inst = frame.block.instructions[frame.index]
-            self.steps += 1
-            if self.max_steps is not None and self.steps > self.max_steps:
-                raise StepLimitExceeded(
-                    "exceeded {0} steps".format(self.max_steps))
-            try:
-                outcome = self._dispatch[inst.opcode](frame, inst)
-            except MemoryError_ as fault:
-                outcome = self._handle_trap(frame, inst, fault.trap_number,
-                                            fault.address or 0)
-            if outcome is not _NO_RESULT:
-                return outcome
-        return None
+        # Hoisted so the disabled path pays one local-bool test per
+        # step; opcode counts flush to the registry on loop exit.
+        observing = observe.enabled()
+        opcode_counts: Dict[str, int] = {}
+        try:
+            while frames:
+                frame = frames[-1]
+                inst = frame.block.instructions[frame.index]
+                self.steps += 1
+                if observing:
+                    opcode = inst.opcode
+                    opcode_counts[opcode] = \
+                        opcode_counts.get(opcode, 0) + 1
+                if self.max_steps is not None \
+                        and self.steps > self.max_steps:
+                    raise StepLimitExceeded(
+                        "exceeded {0} steps".format(self.max_steps))
+                try:
+                    outcome = self._dispatch[inst.opcode](frame, inst)
+                except MemoryError_ as fault:
+                    outcome = self._handle_trap(frame, inst,
+                                                fault.trap_number,
+                                                fault.address or 0)
+                if outcome is not _NO_RESULT:
+                    return outcome
+            return None
+        finally:
+            if observing:
+                for opcode, count in opcode_counts.items():
+                    observe.counter("interp.opcode", count,
+                                    opcode=opcode)
 
     # Sentinel meaning "keep looping".
     # (Returned by every executor except the final ret.)
@@ -220,6 +241,8 @@ class Interpreter:
 
     def _deliver_trap(self, frame: _Frame, inst: Optional[insts.Instruction],
                       trap_number: int, info: int):
+        observe.counter("run.traps", 1, engine="interp",
+                        trap=str(trap_number))
         handler_address = self.trap_handlers.get(trap_number)
         if handler_address is None:
             raise ExecutionTrap(trap_number,

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import observe
 from repro.execution.events import ExecutionTrap, ExitRequest, TrapKind
 from repro.execution.image import ProgramImage
 from repro.execution.interpreter import cast_value
@@ -121,11 +122,23 @@ class MachineSimulator:
             self.registers[reg_name] = value
         self._enter_function(machine, unwind_label=None)
         exit_status = 0
-        try:
-            self._run_loop()
-        except ExitRequest as request:
-            exit_status = request.status
-            self._frames.clear()
+        cycles_before = self.cycles
+        instructions_before = self.instructions_executed
+        with observe.span("native.run", entry=function_name,
+                          target=self.target.name):
+            try:
+                self._run_loop()
+            except ExitRequest as request:
+                exit_status = request.status
+                self._frames.clear()
+        if observe.enabled():
+            observe.counter("run.cycles",
+                            self.cycles - cycles_before,
+                            engine=self.target.name)
+            observe.counter(
+                "run.instructions",
+                self.instructions_executed - instructions_before,
+                engine=self.target.name)
         raw = self.registers.get(self.target.return_reg)
         return_type = function.return_type
         result = self._normalize_return(raw, return_type)
@@ -171,29 +184,41 @@ class MachineSimulator:
     # ------------------------------------------------------------------
 
     def _run_loop(self) -> None:
-        while self._frames:
-            frame = self._frames[-1]
-            block = frame.machine.blocks[frame.block_index]
-            if frame.instr_index >= len(block.instructions):
-                # Fall through to the next block in layout order (the
-                # trace-layout optimization removes jumps to the
-                # lexically next block).
-                if frame.block_index + 1 < len(frame.machine.blocks):
-                    frame.block_index += 1
-                    frame.instr_index = 0
-                    continue
-                raise ExecutionTrap(
-                    TrapKind.SOFTWARE_TRAP,
-                    "fell off the end of block {0} in {1}"
-                    .format(block.name, frame.name))
-            instr = block.instructions[frame.instr_index]
-            self.instructions_executed += 1
-            self.cycles += self._cost(instr)
-            if self.max_cycles is not None \
-                    and self.cycles > self.max_cycles:
-                raise ExecutionTrap(TrapKind.SOFTWARE_TRAP,
-                                    "cycle budget exhausted")
-            self._execute(frame, instr)
+        # Hoisted so the disabled path pays one local-bool test per
+        # instruction; op counts flush to the registry on loop exit.
+        observing = observe.enabled()
+        op_counts: Dict[str, int] = {}
+        try:
+            while self._frames:
+                frame = self._frames[-1]
+                block = frame.machine.blocks[frame.block_index]
+                if frame.instr_index >= len(block.instructions):
+                    # Fall through to the next block in layout order (the
+                    # trace-layout optimization removes jumps to the
+                    # lexically next block).
+                    if frame.block_index + 1 < len(frame.machine.blocks):
+                        frame.block_index += 1
+                        frame.instr_index = 0
+                        continue
+                    raise ExecutionTrap(
+                        TrapKind.SOFTWARE_TRAP,
+                        "fell off the end of block {0} in {1}"
+                        .format(block.name, frame.name))
+                instr = block.instructions[frame.instr_index]
+                self.instructions_executed += 1
+                self.cycles += self._cost(instr)
+                if observing:
+                    op = instr.semantics
+                    op_counts[op] = op_counts.get(op, 0) + 1
+                if self.max_cycles is not None \
+                        and self.cycles > self.max_cycles:
+                    raise ExecutionTrap(TrapKind.SOFTWARE_TRAP,
+                                        "cycle budget exhausted")
+                self._execute(frame, instr)
+        finally:
+            if observing:
+                for op, count in op_counts.items():
+                    observe.counter("native.opcode", count, op=op)
 
     def _cost(self, instr: MachineInstr) -> int:
         cost = CYCLES.get(instr.semantics, 1)

@@ -13,6 +13,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro import observe
 from repro.ir.module import Function, Module
 from repro.targets.machine import MachineFunction
 from repro.targets.native import NativeModule
@@ -40,13 +41,37 @@ class FunctionJIT:
     def translate(self, name: str) -> MachineFunction:
         """Translate one function now (the resolver callback)."""
         function = self.module.get_function(name)
-        started = time.perf_counter()
-        machine = self.target.translate_function(function)
-        elapsed = time.perf_counter() - started
+        with observe.span("jit.translate", function=name,
+                          target=self.target.name) as span:
+            started = time.perf_counter()
+            machine = self.target.translate_function(function)
+            elapsed = time.perf_counter() - started
+        llva_instructions = function.num_instructions()
         self.stats.functions_translated += 1
-        self.stats.instructions_translated += function.num_instructions()
+        self.stats.instructions_translated += llva_instructions
         self.stats.translate_seconds += elapsed
         self.stats.per_function[name] = elapsed
+        if observe.enabled():
+            native_instructions = machine.num_instructions()
+            span.set(llva_instructions=llva_instructions,
+                     native_instructions=native_instructions)
+            observe.counter("jit.functions_translated", 1,
+                            target=self.target.name)
+            observe.counter("jit.llva_instructions",
+                            llva_instructions,
+                            target=self.target.name)
+            observe.counter("jit.native_instructions",
+                            native_instructions,
+                            target=self.target.name)
+            observe.counter("jit.translate_seconds", elapsed,
+                            target=self.target.name)
+            observe.histogram("jit.function_translate_seconds",
+                              elapsed, target=self.target.name)
+            if llva_instructions:
+                observe.histogram(
+                    "jit.expansion_ratio",
+                    native_instructions / llva_instructions,
+                    target=self.target.name)
         return machine
 
     def translate_all(self, native: Optional[NativeModule] = None
@@ -57,11 +82,14 @@ class FunctionJIT:
         Section 5.2)."""
         if native is None:
             native = NativeModule(self.target, self.module.name)
-        for function in self.module.functions.values():
-            if function.is_declaration:
-                continue
-            if function.name not in native.functions:
-                native.add_function(self.translate(function.name))
+        with observe.span("jit.translate_all",
+                          module=self.module.name,
+                          target=self.target.name):
+            for function in self.module.functions.values():
+                if function.is_declaration:
+                    continue
+                if function.name not in native.functions:
+                    native.add_function(self.translate(function.name))
         return native
 
     def on_smc_replace(self, native: NativeModule):
@@ -70,4 +98,6 @@ class FunctionJIT:
         def listener(function: Function) -> None:
             if native.functions.pop(function.name, None) is not None:
                 self.stats.invalidations += 1
+                observe.counter("jit.invalidations", 1,
+                                target=self.target.name)
         return listener

@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro import observe
 from repro.bitcode.reader import read_module
 from repro.execution.machine_sim import MachineSimulator
 from repro.llee.jit import FunctionJIT, JITStats
@@ -71,6 +72,11 @@ class LLEE:
         #: ``llva.storage.register`` bootstrap); None = no OS support,
         #: every run translates online (the DAISY/Crusoe situation).
         self.storage = storage
+        #: Observability hook: the engine from the most recent
+        #: :meth:`run_executable`, so callers (``repro stats``,
+        #: :func:`repro.llee.profile.read_profile`) can inspect the
+        #: finished run's memory image.
+        self.last_simulator: Optional[MachineSimulator] = None
 
     # -- the paper's Figure 3 flow -----------------------------------------
 
@@ -79,22 +85,38 @@ class LLEE:
                        executable_timestamp: Optional[float] = None
                        ) -> RunReport:
         """Load and execute a virtual executable."""
-        module = read_module(object_code)
-        key = self._cache_key(object_code)
-        native, cache_hit = self._lookup_cache(key, executable_timestamp)
-        if native is None:
-            native = NativeModule(self.target, module.name)
-        jit = FunctionJIT(module, self.target)
-        simulator = MachineSimulator(native, module,
-                                     resolver=jit.translate)
-        simulator.smc_listeners.append(jit.on_smc_replace(native))
-        run_started = time.perf_counter()
-        value, status = simulator.run(entry, args)
-        run_seconds = time.perf_counter() - run_started \
-            - jit.stats.translate_seconds
-        if self.storage is not None and jit.stats.functions_translated:
-            # Write back any code the JIT had to generate.
-            self._store_cache(key, native)
+        with observe.span("llee.run_executable",
+                          target=self.target.name,
+                          entry=entry) as run_span:
+            module = read_module(object_code)
+            key = self._cache_key(object_code)
+            with observe.span("llee.cache_lookup", key=key):
+                native, cache_hit = self._lookup_cache(
+                    key, executable_timestamp)
+            observe.counter(
+                "llee.cache.hit" if cache_hit else "llee.cache.miss",
+                1, target=self.target.name)
+            if native is None:
+                native = NativeModule(self.target, module.name)
+            jit = FunctionJIT(module, self.target)
+            simulator = MachineSimulator(native, module,
+                                         resolver=jit.translate)
+            self.last_simulator = simulator
+            simulator.smc_listeners.append(jit.on_smc_replace(native))
+            run_started = time.perf_counter()
+            with observe.span("llee.execute", entry=entry):
+                value, status = simulator.run(entry, args)
+            run_seconds = time.perf_counter() - run_started \
+                - jit.stats.translate_seconds
+            run_span.set(cache_hit=cache_hit,
+                         functions_jitted=jit.stats.functions_translated)
+            if self.storage is not None \
+                    and jit.stats.functions_translated:
+                # Write back any code the JIT had to generate.
+                with observe.span("llee.cache_store", key=key):
+                    self._store_cache(key, native)
+                observe.counter("llee.cache.store", 1,
+                                target=self.target.name)
         return RunReport(
             return_value=value,
             output=simulator.output_text(),
@@ -121,14 +143,19 @@ class LLEE:
         if self.storage is None:
             raise RuntimeError(
                 "offline translation requires the storage API")
-        module = read_module(object_code)
-        if optimize_level > 0:
-            from repro.transforms.pass_manager import optimize
+        with observe.span("llee.offline_translate",
+                          target=self.target.name,
+                          optimize_level=optimize_level):
+            module = read_module(object_code)
+            if optimize_level > 0:
+                from repro.transforms.pass_manager import optimize
 
-            optimize(module, level=optimize_level)
-        jit = FunctionJIT(module, self.target)
-        native = jit.translate_all()
-        self._store_cache(self._cache_key(object_code), native)
+                optimize(module, level=optimize_level)
+            jit = FunctionJIT(module, self.target)
+            native = jit.translate_all()
+            self._store_cache(self._cache_key(object_code), native)
+            observe.counter("llee.offline_translations", 1,
+                            target=self.target.name)
         return jit.stats
 
     def invalidate(self, object_code: bytes) -> None:

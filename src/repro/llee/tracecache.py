@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
+from repro import observe
 from repro.ir.module import BasicBlock, Function, Module
 from repro.llee.profile import Profile
 
@@ -52,12 +53,21 @@ class SoftwareTraceCache:
     # -- formation -----------------------------------------------------------
 
     def form_traces(self, profile: Profile) -> List[Trace]:
-        self.traces = []
-        for function in self.module.functions.values():
-            if function.is_declaration:
-                continue
-            self.traces.extend(self._form_in(function, profile))
-        self.traces.sort(key=lambda t: -t.heat)
+        with observe.span("tracecache.form_traces",
+                          module=self.module.name) as span:
+            self.traces = []
+            for function in self.module.functions.values():
+                if function.is_declaration:
+                    continue
+                self.traces.extend(self._form_in(function, profile))
+            self.traces.sort(key=lambda t: -t.heat)
+            span.set(traces=len(self.traces))
+        if observe.enabled():
+            observe.counter("tracecache.traces_formed",
+                            len(self.traces))
+            for trace in self.traces:
+                observe.histogram("tracecache.trace_length",
+                                  trace.length)
         return self.traces
 
     def _form_in(self, function: Function,
@@ -137,6 +147,7 @@ class SoftwareTraceCache:
             if new_order != function.blocks:
                 function.blocks = new_order
                 changed += 1
+        observe.counter("tracecache.functions_relaid", changed)
         return changed
 
     # -- reporting ----------------------------------------------------------------

@@ -47,23 +47,30 @@ class CodeGenerator:
     # ------------------------------------------------------------------
 
     def generate(self, program: ast.Program) -> Module:
+        from repro import observe
+
         bodies: List[ast.FunctionDecl] = []
-        for decl in program.declarations:
-            if isinstance(decl, ast.StructDecl):
-                info = self.context.declare_struct(decl)
-                self.module.named_types.setdefault(
-                    info.llva_type.name, info.llva_type)
-            elif isinstance(decl, ast.GlobalDecl):
-                self._emit_global(decl)
-            elif isinstance(decl, ast.FunctionDecl):
-                self._declare_function(decl)
-                if decl.body is not None:
-                    bodies.append(decl)
-            else:
-                raise MiniCTypeError("bad top-level declaration",
-                                     decl.line)
-        for decl in bodies:
-            _FunctionEmitter(self, decl).emit()
+        # Declaration processing is MiniC's semantic-analysis phase:
+        # struct/type resolution, global typing, signature checking.
+        with observe.span("minic.sema",
+                          declarations=len(program.declarations)):
+            for decl in program.declarations:
+                if isinstance(decl, ast.StructDecl):
+                    info = self.context.declare_struct(decl)
+                    self.module.named_types.setdefault(
+                        info.llva_type.name, info.llva_type)
+                elif isinstance(decl, ast.GlobalDecl):
+                    self._emit_global(decl)
+                elif isinstance(decl, ast.FunctionDecl):
+                    self._declare_function(decl)
+                    if decl.body is not None:
+                        bodies.append(decl)
+                else:
+                    raise MiniCTypeError("bad top-level declaration",
+                                         decl.line)
+        with observe.span("minic.codegen", functions=len(bodies)):
+            for decl in bodies:
+                _FunctionEmitter(self, decl).emit()
         return self.module
 
     def _emit_global(self, decl: ast.GlobalDecl) -> None:

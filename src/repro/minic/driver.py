@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 
+from repro import observe
 from repro.ir.module import Module
 from repro.ir.verifier import verify_module
 from repro.minic.codegen import generate
@@ -21,13 +22,20 @@ def compile_source(source: str, module_name: str = "minic",
     pipeline (Section 4.2 item 1) after code generation; ``link_time``
     additionally runs the interprocedural link-time pipeline.
     """
-    program = parse_program(source)
-    module = generate(program, module_name, pointer_size, endianness)
-    verify_module(module)
-    if link_time:
-        optimize(module, link_time=True)
-        verify_module(module)
-    elif optimization_level > 0:
-        optimize(module, level=optimization_level)
-        verify_module(module)
+    with observe.span("minic.compile", module=module_name,
+                      optimization_level=optimization_level,
+                      link_time=link_time):
+        program = parse_program(source)
+        module = generate(program, module_name, pointer_size,
+                          endianness)
+        with observe.span("minic.verify"):
+            verify_module(module)
+        if link_time:
+            optimize(module, link_time=True)
+            with observe.span("minic.verify"):
+                verify_module(module)
+        elif optimization_level > 0:
+            optimize(module, level=optimization_level)
+            with observe.span("minic.verify"):
+                verify_module(module)
     return module

@@ -31,7 +31,12 @@ _BINARY_LEVELS = [
 
 
 def parse_program(source: str) -> ast.Program:
-    return _Parser(tokenize(source)).parse_program()
+    from repro import observe
+
+    with observe.span("minic.lex"):
+        tokens = tokenize(source)
+    with observe.span("minic.parse", tokens=len(tokens)):
+        return _Parser(tokens).parse_program()
 
 
 class _Parser:

@@ -1,0 +1,127 @@
+"""``repro.observe`` — unified tracing + metrics for the whole pipeline.
+
+Every layer of the toolchain (MiniC front-end, pass manager, JIT,
+LLEE, interpreter, machine simulator, trace cache) reports through this
+module instead of keeping bespoke counters.  The design constraint is
+**zero overhead when disabled** — which is the default:
+
+* :func:`span` returns a shared no-op context manager;
+* :func:`counter` / :func:`gauge` / :func:`histogram` check one module
+  flag and return immediately;
+* hot loops (per-instruction) must hoist :func:`enabled` into a local
+  before the loop and skip collection entirely when it is False.
+
+Enable it for a run with :func:`configure` (or the CLI's ``--trace`` /
+``--metrics`` / ``--stats`` flags, or ``repro stats``), read results
+from :func:`registry` / :func:`tracer`, and reset with
+:func:`disable`.  :func:`capture` wraps that lifecycle for scoped use::
+
+    from repro import observe
+
+    with observe.capture() as obs:
+        run_pipeline()
+    obs.registry.value("llee.cache.miss")
+    obs.tracer.write_chrome("trace.json")
+
+Naming conventions are documented in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.observe.metrics import Histogram, MetricsRegistry
+from repro.observe.tracing import NULL_SPAN, SpanRecord, Tracer
+
+__all__ = [
+    "Histogram", "MetricsRegistry", "SpanRecord", "Tracer",
+    "capture", "configure", "counter", "disable", "enabled", "gauge",
+    "histogram", "registry", "span", "tracer",
+]
+
+_enabled = False
+_registry = MetricsRegistry()
+_tracer = Tracer()
+
+
+def enabled() -> bool:
+    """Is observability on?  Hot loops hoist this into a local."""
+    return _enabled
+
+
+def registry() -> MetricsRegistry:
+    """The active registry (meaningful once enabled)."""
+    return _registry
+
+
+def tracer() -> Tracer:
+    """The active tracer (meaningful once enabled)."""
+    return _tracer
+
+
+def configure(reset: bool = True) -> None:
+    """Turn observability on, optionally clearing previous data."""
+    global _enabled
+    _enabled = True
+    if reset:
+        _registry.reset()
+        _tracer.reset()
+
+
+def disable(reset: bool = True) -> None:
+    global _enabled
+    _enabled = False
+    if reset:
+        _registry.reset()
+        _tracer.reset()
+
+
+@dataclass
+class Capture:
+    """Handle to the data collected inside one :func:`capture` block."""
+
+    registry: MetricsRegistry
+    tracer: Tracer
+
+
+@contextmanager
+def capture():
+    """Enable observability for a ``with`` block and hand back the
+    registry/tracer; restores the previous on/off state afterwards
+    (data survives the block — it belongs to the returned handle)."""
+    global _enabled, _registry, _tracer
+    previous = (_enabled, _registry, _tracer)
+    _registry = MetricsRegistry()
+    _tracer = Tracer()
+    _enabled = True
+    handle = Capture(_registry, _tracer)
+    try:
+        yield handle
+    finally:
+        _enabled, _registry, _tracer = previous
+
+
+# -- instrumentation points (cheap when disabled) ---------------------------
+
+
+def span(name: str, /, **attrs):
+    """A timed span; nest freely.  No-op singleton when disabled."""
+    if not _enabled:
+        return NULL_SPAN
+    return _tracer.span(name, **attrs)
+
+
+def counter(name: str, amount: float = 1, **labels) -> None:
+    if _enabled:
+        _registry.inc(name, amount, **labels)
+
+
+def gauge(name: str, value: float, **labels) -> None:
+    if _enabled:
+        _registry.set_gauge(name, value, **labels)
+
+
+def histogram(name: str, value: float, **labels) -> None:
+    if _enabled:
+        _registry.observe(name, value, **labels)

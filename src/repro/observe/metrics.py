@@ -1,0 +1,180 @@
+"""Process-local metrics: counters, gauges, and histograms with labels.
+
+The registry is deliberately tiny and dependency-free: metric identity
+is ``(name, sorted label items)``, values are plain Python numbers, and
+the export format is a stable JSON document (see :meth:`MetricsRegistry.
+snapshot`).  Everything in the toolchain that used to keep bespoke
+counters (`JITStats`, `PipelineReport`, simulator cycle counts, LLEE
+cache hits) reports through one of these registries, so `repro stats`
+and ``--metrics`` can render a run from a single source of truth.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds — exponential, wide enough for
+#: both "seconds per pass" (left edge) and "instructions per function"
+#: (right edge) style distributions.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+    500.0, 1000.0, 10000.0,
+)
+
+
+def _label_items(labels: Dict[str, object]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Histogram:
+    """A fixed-bucket histogram plus exact count/sum/min/max."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total",
+                 "minimum", "maximum")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKETS):
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "buckets": [
+                {"le": bound, "count": count}
+                for bound, count in zip(self.bounds, self.bucket_counts)
+                if count
+            ] + ([{"le": "+Inf", "count": self.bucket_counts[-1]}]
+                 if self.bucket_counts[-1] else []),
+        }
+
+
+class MetricsRegistry:
+    """Holds every metric for one process (or one captured run)."""
+
+    def __init__(self):
+        self._counters: Dict[Tuple[str, LabelItems], float] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], float] = {}
+        self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
+
+    # -- writes --------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1, **labels) -> None:
+        key = (name, _label_items(labels))
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def set_gauge(self, name: str, value: float, **labels) -> None:
+        self._gauges[(name, _label_items(labels))] = value
+
+    def observe(self, name: str, value: float,
+                bounds: Optional[Iterable[float]] = None,
+                **labels) -> None:
+        key = (name, _label_items(labels))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = Histogram(bounds or DEFAULT_BUCKETS)
+            self._histograms[key] = histogram
+        histogram.observe(value)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- reads ---------------------------------------------------------------
+
+    def value(self, name: str, **labels) -> float:
+        """Current value of a counter or gauge (0 if never written)."""
+        key = (name, _label_items(labels))
+        if key in self._counters:
+            return self._counters[key]
+        return self._gauges.get(key, 0)
+
+    def histogram(self, name: str, **labels) -> Optional[Histogram]:
+        return self._histograms.get((name, _label_items(labels)))
+
+    def counters(self, prefix: str = ""
+                 ) -> List[Tuple[str, LabelItems, float]]:
+        """Sorted ``(name, labels, value)`` over counters and gauges."""
+        rows = [(name, labels, value)
+                for (name, labels), value in list(self._counters.items())
+                + list(self._gauges.items())
+                if name.startswith(prefix)]
+        rows.sort(key=lambda row: (row[0], row[1]))
+        return rows
+
+    def histograms(self, prefix: str = ""
+                   ) -> List[Tuple[str, LabelItems, Histogram]]:
+        rows = [(name, labels, histogram)
+                for (name, labels), histogram
+                in self._histograms.items()
+                if name.startswith(prefix)]
+        rows.sort(key=lambda row: (row[0], row[1]))
+        return rows
+
+    def label_values(self, name: str, label: str
+                     ) -> List[Tuple[str, float]]:
+        """All ``(label value, counter value)`` pairs for one metric —
+        e.g. per-pass timings keyed by the ``pass`` label."""
+        out = []
+        for metric_name, labels, value in self.counters():
+            if metric_name != name:
+                continue
+            for key, label_value in labels:
+                if key == label:
+                    out.append((label_value, value))
+        return out
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A stable, JSON-ready view of every metric."""
+        def entry(name: str, labels: LabelItems, value: object):
+            record: Dict[str, object] = {"name": name}
+            if labels:
+                record["labels"] = dict(labels)
+            record["value"] = value
+            return record
+
+        return {
+            "counters": [entry(n, l, v) for n, l, v in self.counters()],
+            "histograms": [entry(n, l, h.to_dict())
+                           for n, l, h in self.histograms()],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")

@@ -1,0 +1,169 @@
+"""Nested timed spans with attributes, exportable two ways:
+
+* **JSONL** — one JSON object per finished span, in completion order;
+  easy to grep and to post-process.
+* **Chrome ``trace_event`` JSON** — complete ("X") events loadable in
+  chrome://tracing or https://ui.perfetto.dev, which renders the
+  compile -> translate -> execute pipeline as a flame graph.
+
+Span nesting is tracked with an explicit stack per tracer; the
+toolchain is single-threaded, so one stack is enough (the exporter
+still stamps pid/tid for the Chrome format).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or still-open) span."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) \
+            - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+class _SpanContext:
+    """The ``with tracer.span(...)`` handle; ``set()`` adds attributes
+    mid-span (e.g. a pass recording whether it changed anything)."""
+
+    __slots__ = ("_tracer", "_record")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord):
+        self._tracer = tracer
+        self._record = record
+
+    def set(self, **attrs) -> "_SpanContext":
+        self._record.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_SpanContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._record.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self._record)
+
+
+class NullSpan:
+    """The disabled-path span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Records spans for one run."""
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._next_id = 1
+        self._stack: List[SpanRecord] = []
+        self.records: List[SpanRecord] = []
+
+    def span(self, name: str, /, **attrs) -> _SpanContext:
+        record = SpanRecord(
+            span_id=self._next_id,
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            name=name,
+            start=self._clock(),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self._stack.append(record)
+        return _SpanContext(self, record)
+
+    def _finish(self, record: SpanRecord) -> None:
+        record.end = self._clock()
+        # Pop through abandoned children so an exception mid-span
+        # cannot wedge the stack.
+        while self._stack:
+            top = self._stack.pop()
+            if top is record:
+                break
+        self.records.append(record)
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self.records.clear()
+        self._next_id = 1
+
+    # -- export --------------------------------------------------------------
+
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """The ``trace_event`` "JSON Object Format" (complete events)."""
+        pid = os.getpid()
+        events = []
+        for record in self.records:
+            args = {str(k): v for k, v in record.attrs.items()}
+            if record.parent_id is not None:
+                args["parent_span"] = record.parent_id
+            events.append({
+                "name": record.name,
+                "cat": record.name.split(".")[0],
+                "ph": "X",
+                "ts": record.start * 1e6,
+                "dur": record.duration * 1e6,
+                "pid": pid,
+                "tid": 1,
+                "args": args,
+            })
+        events.sort(key=lambda event: event["ts"])
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=1)
+            handle.write("\n")
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as handle:
+            for record in self.records:
+                handle.write(json.dumps(record.to_dict(),
+                                        sort_keys=True))
+                handle.write("\n")
+
+    def write(self, path: str) -> None:
+        """Pick the format from the suffix: ``.jsonl`` -> JSONL,
+        anything else -> Chrome trace JSON."""
+        if path.endswith(".jsonl"):
+            self.write_jsonl(path)
+        else:
+            self.write_chrome(path)

@@ -9,18 +9,28 @@ One entry point, classic subcommands::
     python -m repro run prog.bc [--target x86|sparc] [--entry main] [args...]
     python -m repro llc prog.bc --target sparc       # native listing
     python -m repro link a.bc b.bc -o out.bc         # module linker
+    python -m repro stats prog.bc [--target x86]     # observability report
 
 Sources are auto-detected by suffix where it matters: ``.ll`` is
 assembly, ``.c``/``.mc`` is MiniC, anything else is treated as virtual
 object code.
+
+Observability: ``cc``/``opt``/``run``/``stats`` accept ``--trace FILE``
+(Chrome ``trace_event`` JSON, or JSONL with a ``.jsonl`` suffix) and
+``--metrics FILE`` (the registry snapshot as JSON); ``repro stats``
+runs a program with full instrumentation and pretty-prints per-pass
+timings, expansion ratios, cache behaviour, opcode mix, and the
+hottest profiled blocks.  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro import observe
 from repro.asm import parse_module
 from repro.bitcode import read_module, write_module
 from repro.execution import ExecutionTrap, Interpreter
@@ -34,16 +44,17 @@ from repro.transforms import link_modules, optimize
 
 
 def _load_module(path: str) -> Module:
-    if path.endswith(".ll"):
-        with open(path) as handle:
-            module = parse_module(handle.read(), path)
-    elif path.endswith((".c", ".mc")):
-        with open(path) as handle:
-            module = compile_source(handle.read(), path)
-    else:
-        with open(path, "rb") as handle:
-            module = read_module(handle.read(), path)
-    verify_module(module)
+    with observe.span("cli.load_module", path=path):
+        if path.endswith(".ll"):
+            with open(path) as handle:
+                module = parse_module(handle.read(), path)
+        elif path.endswith((".c", ".mc")):
+            with open(path) as handle:
+                module = compile_source(handle.read(), path)
+        else:
+            with open(path, "rb") as handle:
+                module = read_module(handle.read(), path)
+        verify_module(module)
     return module
 
 
@@ -105,18 +116,70 @@ def _cmd_link(args) -> int:
 
 
 def _parse_program_args(raw: List[str]) -> List[object]:
+    """Program arguments: ints and floats become numbers, anything
+    else is passed through as a string (never an uncaught ValueError)."""
     out: List[object] = []
     for text in raw:
         try:
             out.append(int(text))
+            continue
         except ValueError:
+            pass
+        try:
             out.append(float(text))
+        except ValueError:
+            out.append(text)
     return out
+
+
+def _check_program_args(module, entry: str,
+                        program_args: List[object]) -> Optional[str]:
+    """Return an error message when a program argument cannot feed the
+    entry function's parameter type (a string for an int parameter
+    would otherwise surface as a TypeError deep in the evaluator)."""
+    function = module.functions.get(entry)
+    if function is None:
+        return None  # the engine reports unknown entry points itself
+    for position, (arg, value) in enumerate(
+            zip(function.args, program_args), start=1):
+        param_type = arg.type
+        if ((param_type.is_integer or param_type.is_floating_point)
+                and isinstance(value, str)):
+            return ("argument {0} ({1!r}) is not a number, but "
+                    "{2} parameter '{3}' is of type {4}\n".format(
+                        position, value, entry, arg.name, param_type))
+    return None
+
+
+#: Registry prefixes surfaced on the one-line ``--stats`` report.
+_STATS_PREFIXES = ("run.", "jit.", "llee.cache.")
+
+
+def _format_stats_line(label: str, result: object) -> str:
+    """The unified ``--stats`` line: ``result=`` plus every run-level
+    registry counter, aggregated over labels — one code path for the
+    interpreter and the JIT."""
+    totals = {}
+    for name, _labels, value in observe.registry().counters():
+        if name.startswith(_STATS_PREFIXES):
+            totals[name] = totals.get(name, 0) + value
+    parts = ["result={0}".format(result)]
+    for name in sorted(totals):
+        value = totals[name]
+        if isinstance(value, float) and not value.is_integer():
+            parts.append("{0}={1:.6f}".format(name, value))
+        else:
+            parts.append("{0}={1}".format(name, int(value)))
+    return "[{0}] {1}\n".format(label, " ".join(parts))
 
 
 def _cmd_run(args) -> int:
     module = _load_module(args.input)
     program_args = _parse_program_args(args.args)
+    problem = _check_program_args(module, args.entry, program_args)
+    if problem:
+        sys.stderr.write("run: " + problem)
+        return 2
     try:
         if args.target:
             target = make_target(args.target)
@@ -129,13 +192,7 @@ def _cmd_run(args) -> int:
             value, status = simulator.run(args.entry, program_args)
             sys.stdout.write(simulator.output_text())
             if args.stats:
-                sys.stderr.write(
-                    "[{0}] result={1} cycles={2} instructions={3} "
-                    "jitted={4} translate={5:.4f}s\n".format(
-                        args.target, value, simulator.cycles,
-                        simulator.instructions_executed,
-                        jit.stats.functions_translated,
-                        jit.stats.translate_seconds))
+                sys.stderr.write(_format_stats_line(args.target, value))
         else:
             interpreter = Interpreter(module,
                                       privileged=args.privileged)
@@ -143,9 +200,7 @@ def _cmd_run(args) -> int:
             sys.stdout.write(result.output)
             value, status = result.return_value, result.exit_status
             if args.stats:
-                sys.stderr.write(
-                    "[interp] result={0} steps={1}\n".format(
-                        value, result.steps))
+                sys.stderr.write(_format_stats_line("interp", value))
     except ExecutionTrap as trap:
         sys.stderr.write("trap: {0}\n".format(trap))
         return 128 + trap.trap_number
@@ -179,6 +234,181 @@ def _cmd_llc(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# repro stats — the observability report
+# ---------------------------------------------------------------------------
+
+
+def _labels_text(labels) -> str:
+    return ",".join("{0}={1}".format(k, v) for k, v in labels)
+
+
+def _print_loaded_metrics(path: str, out) -> int:
+    """Pretty-print a previously exported ``--metrics`` JSON file."""
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    out.write("== metrics ({0}) ==\n".format(path))
+    for entry in snapshot.get("counters", []):
+        labels = entry.get("labels", {})
+        suffix = "" if not labels else "{{{0}}}".format(
+            ",".join("{0}={1}".format(k, labels[k])
+                     for k in sorted(labels)))
+        out.write("  {0}{1} = {2}\n".format(entry["name"], suffix,
+                                            entry["value"]))
+    for entry in snapshot.get("histograms", []):
+        value = entry["value"]
+        labels = entry.get("labels", {})
+        suffix = "" if not labels else "{{{0}}}".format(
+            ",".join("{0}={1}".format(k, labels[k])
+                     for k in sorted(labels)))
+        out.write(
+            "  {0}{1} : count={2} mean={3:.4g} min={4:.4g} "
+            "max={5:.4g}\n".format(
+                entry["name"], suffix, value["count"], value["mean"],
+                value["min"] or 0, value["max"] or 0))
+    return 0
+
+
+def _render_stats_report(profile, result_value, top: int, out) -> None:
+    registry = observe.registry()
+
+    pass_rows = registry.label_values("pass.runs", "pass")
+    if pass_rows:
+        out.write("== optimization passes ==\n")
+        out.write("  {0:<24} {1:>5} {2:>8} {3:>10}\n".format(
+            "pass", "runs", "changes", "seconds"))
+        for name, runs in pass_rows:
+            out.write("  {0:<24} {1:>5} {2:>8} {3:>10.4f}\n".format(
+                name, int(runs),
+                int(registry.value("pass.changes", **{"pass": name})),
+                registry.value("pass.seconds", **{"pass": name})))
+
+    translated = sum(v for _l, v in registry.label_values(
+        "jit.functions_translated", "target"))
+    if translated:
+        llva = sum(v for _l, v in registry.label_values(
+            "jit.llva_instructions", "target"))
+        native = sum(v for _l, v in registry.label_values(
+            "jit.native_instructions", "target"))
+        seconds = sum(v for _l, v in registry.label_values(
+            "jit.translate_seconds", "target"))
+        out.write("== translation (Table 2 style) ==\n")
+        out.write(
+            "  functions={0} llva_instructions={1} "
+            "native_instructions={2} expansion={3:.2f}x "
+            "translate_seconds={4:.4f}\n".format(
+                int(translated), int(llva), int(native),
+                native / max(llva, 1), seconds))
+        for name, labels, histogram in registry.histograms(
+                "jit.expansion_ratio"):
+            out.write(
+                "  expansion histogram [{0}]: count={1} "
+                "mean={2:.2f} min={3:.2f} max={4:.2f}\n".format(
+                    _labels_text(labels) or "all", histogram.count,
+                    histogram.mean, histogram.minimum or 0,
+                    histogram.maximum or 0))
+
+    out.write("== execution ==\n")
+    out.write("  result={0}\n".format(result_value))
+    for name in ("run.steps", "run.cycles", "run.instructions",
+                 "run.traps"):
+        rows = [(labels, value) for metric, labels, value
+                in registry.counters(name) if metric == name]
+        for labels, value in rows:
+            out.write("  {0}{1} = {2}\n".format(
+                name,
+                " [{0}]".format(_labels_text(labels)) if labels else "",
+                int(value)))
+    opcode_rows = sorted(
+        registry.label_values("interp.opcode", "opcode")
+        + registry.label_values("native.opcode", "op"),
+        key=lambda kv: -kv[1])
+    if opcode_rows:
+        out.write("  top opcodes: {0}\n".format(" ".join(
+            "{0}={1}".format(name, int(count))
+            for name, count in opcode_rows[:top])))
+
+    out.write("== llee cache ==\n")
+    out.write("  hits={0} misses={1} stores={2}\n".format(
+        int(sum(v for _l, v in registry.label_values(
+            "llee.cache.hit", "target"))),
+        int(sum(v for _l, v in registry.label_values(
+            "llee.cache.miss", "target"))),
+        int(sum(v for _l, v in registry.label_values(
+            "llee.cache.store", "target")))))
+
+    if profile is not None and profile.counts:
+        out.write("== hottest blocks ==\n")
+        out.write("  {0:<32} {1:>12}\n".format("function:block",
+                                               "executions"))
+        for (function, block), count in profile.hottest_blocks(top):
+            if count == 0:
+                continue
+            out.write("  {0:<32} {1:>12}\n".format(
+                "{0}:{1}".format(function, block), count))
+
+
+def _cmd_stats(args) -> int:
+    if args.load:
+        return _print_loaded_metrics(args.load, sys.stdout)
+    if not args.input:
+        sys.stderr.write("stats: an input program (or --load) "
+                         "is required\n")
+        return 2
+    from repro.llee.profile import instrument_module, read_profile
+
+    module = _load_module(args.input)
+    if args.optimize > 0:
+        optimize(module, level=args.optimize)
+    profile_map = instrument_module(module)
+    program_args = _parse_program_args(args.args)
+    problem = _check_program_args(module, args.entry, program_args)
+    if problem:
+        sys.stderr.write("stats: " + problem)
+        return 2
+    profile = None
+    try:
+        if args.target:
+            from repro.llee.manager import LLEE
+            from repro.llee.storage import DiskStorage
+
+            storage = DiskStorage(args.cache) if args.cache else None
+            llee = LLEE(make_target(args.target), storage)
+            report = llee.run_executable(write_module(module),
+                                         entry=args.entry,
+                                         args=program_args)
+            sys.stdout.write(report.output)
+            result_value = report.return_value
+            profile = read_profile(profile_map, llee.last_simulator)
+        else:
+            interpreter = Interpreter(module,
+                                      privileged=args.privileged)
+            result = interpreter.run(args.entry, program_args)
+            sys.stdout.write(result.output)
+            result_value = result.return_value
+            profile = read_profile(profile_map, interpreter)
+    except ExecutionTrap as trap:
+        sys.stderr.write("trap: {0}\n".format(trap))
+        return 128 + trap.trap_number
+    _render_stats_report(profile, result_value, args.top, sys.stdout)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing and the observability lifecycle
+# ---------------------------------------------------------------------------
+
+
+def _add_observe_flags(sub) -> None:
+    sub.add_argument(
+        "--trace", metavar="FILE",
+        help="write a span trace (Chrome trace_event JSON; "
+             ".jsonl suffix selects JSONL)")
+    sub.add_argument(
+        "--metrics", metavar="FILE",
+        help="write the metrics registry snapshot as JSON")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -193,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=(4, 8))
     cc.add_argument("--endian", default="little",
                     choices=("little", "big"))
+    _add_observe_flags(cc)
     cc.set_defaults(func=_cmd_cc)
 
     as_cmd = commands.add_parser(
@@ -212,6 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("-o", "--output")
     opt.add_argument("-O", "--optimize", type=int, default=2)
     opt.add_argument("--link-time", action="store_true")
+    _add_observe_flags(opt)
     opt.set_defaults(func=_cmd_opt)
 
     link = commands.add_parser("link", help="link modules")
@@ -226,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--entry", default="main")
     run.add_argument("--privileged", action="store_true")
     run.add_argument("--stats", action="store_true")
+    _add_observe_flags(run)
     run.add_argument("args", nargs="*")
     run.set_defaults(func=_cmd_run)
 
@@ -237,13 +470,64 @@ def build_parser() -> argparse.ArgumentParser:
     llc.add_argument("-o", "--output")
     llc.set_defaults(func=_cmd_llc)
 
+    stats = commands.add_parser(
+        "stats",
+        help="run a program fully instrumented and print a "
+             "metrics/profile report")
+    stats.add_argument("input", nargs="?")
+    stats.add_argument("--load", metavar="METRICS_JSON",
+                       help="pretty-print an exported --metrics file "
+                            "instead of running")
+    stats.add_argument("--target", choices=("x86", "sparc"))
+    stats.add_argument("-O", "--optimize", type=int, default=0)
+    stats.add_argument("--entry", default="main")
+    stats.add_argument("--privileged", action="store_true")
+    stats.add_argument("--top", type=int, default=10,
+                       help="rows in the opcode/hot-block tables")
+    stats.add_argument("--cache", metavar="DIR",
+                       help="LLEE translation cache directory "
+                            "(enables cache hits across runs)")
+    _add_observe_flags(stats)
+    stats.add_argument("args", nargs="*")
+    stats.set_defaults(func=_cmd_stats)
+
     return parser
+
+
+def _wants_observability(args) -> bool:
+    return bool(getattr(args, "trace", None)
+                or getattr(args, "metrics", None)
+                or getattr(args, "stats", False)
+                or args.command == "stats")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    observing = _wants_observability(args)
+    if observing:
+        observe.configure()
+    try:
+        with observe.span("cli." + args.command):
+            status = args.func(args)
+    finally:
+        export_failed = False
+        if observing:
+            try:
+                trace_path = getattr(args, "trace", None)
+                if trace_path:
+                    observe.tracer().write(trace_path)
+                metrics_path = getattr(args, "metrics", None)
+                if metrics_path:
+                    observe.registry().write_json(metrics_path)
+            except OSError as error:
+                sys.stderr.write(
+                    "{0}: cannot write observability export: {1}\n"
+                    .format(args.command, error))
+                export_failed = True
+            finally:
+                observe.disable()
+    return 1 if export_failed and not status else status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -10,11 +10,13 @@ differs is the pipeline they request (:func:`standard_pipeline`,
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import observe
 from repro.ir.module import Function, Module
 from repro.ir.verifier import verify_module
+from repro.observe.metrics import MetricsRegistry
 
 
 class FunctionPass:
@@ -44,17 +46,43 @@ class PassStats:
     seconds: float = 0.0
 
 
-@dataclass
 class PipelineReport:
-    """What a pipeline run did — surfaced by the optimization benches."""
+    """What a pipeline run did — surfaced by the optimization benches.
 
-    stats: Dict[str, PassStats] = field(default_factory=dict)
+    The report is a thin view over a per-run
+    :class:`~repro.observe.metrics.MetricsRegistry` (``pass.runs`` /
+    ``pass.changes`` / ``pass.seconds``, labelled by pass name); when
+    global observability is on the same records are mirrored into the
+    process registry so ``repro stats`` sees them.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry or MetricsRegistry()
 
     def record(self, name: str, changed: bool, seconds: float) -> None:
-        entry = self.stats.setdefault(name, PassStats())
-        entry.runs += 1
-        entry.changes += 1 if changed else 0
-        entry.seconds += seconds
+        self.registry.inc("pass.runs", 1, **{"pass": name})
+        if changed:
+            self.registry.inc("pass.changes", 1, **{"pass": name})
+        self.registry.inc("pass.seconds", seconds, **{"pass": name})
+        observe.counter("pass.runs", 1, **{"pass": name})
+        if changed:
+            observe.counter("pass.changes", 1, **{"pass": name})
+        observe.counter("pass.seconds", seconds, **{"pass": name})
+        observe.histogram("pass.run_seconds", seconds,
+                          **{"pass": name})
+
+    @property
+    def stats(self) -> Dict[str, PassStats]:
+        out: Dict[str, PassStats] = {}
+        for name, value in self.registry.label_values("pass.runs",
+                                                      "pass"):
+            out[name] = PassStats(
+                runs=int(value),
+                changes=int(self.registry.value("pass.changes",
+                                                **{"pass": name})),
+                seconds=self.registry.value("pass.seconds",
+                                            **{"pass": name}))
+        return out
 
     @property
     def total_changes(self) -> int:
@@ -79,24 +107,33 @@ class PassManager:
 
     def run(self, module: Module) -> PipelineReport:
         report = PipelineReport()
-        for pass_ in self.passes:
-            started = time.perf_counter()
-            if isinstance(pass_, ModulePass):
-                changed = pass_.run_module(module)
-            elif isinstance(pass_, FunctionPass):
-                changed = False
-                for function in list(module.functions.values()):
-                    if function.is_declaration:
-                        continue
-                    if pass_.run(function):
-                        changed = True
-            else:
-                raise TypeError(
-                    "not a pass: {0!r}".format(pass_))
-            report.record(pass_.name, changed,
-                          time.perf_counter() - started)
-            if self.verify_each:
-                verify_module(module)
+        with observe.span("passes.pipeline", module=module.name,
+                          passes=len(self.passes)):
+            for pass_ in self.passes:
+                pass_name = getattr(pass_, "name",
+                                    type(pass_).__name__)
+                with observe.span("pass.run", name=pass_name) \
+                        as pass_span:
+                    started = time.perf_counter()
+                    if isinstance(pass_, ModulePass):
+                        changed = pass_.run_module(module)
+                    elif isinstance(pass_, FunctionPass):
+                        changed = False
+                        for function in list(
+                                module.functions.values()):
+                            if function.is_declaration:
+                                continue
+                            if pass_.run(function):
+                                changed = True
+                    else:
+                        raise TypeError(
+                            "not a pass: {0!r}".format(pass_))
+                    pass_span.set(changed=changed)
+                report.record(pass_.name, changed,
+                              time.perf_counter() - started)
+                if self.verify_each:
+                    with observe.span("pass.verify", name=pass_.name):
+                        verify_module(module)
         return report
 
 

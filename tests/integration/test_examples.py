@@ -30,6 +30,7 @@ def test_expected_example_set():
     assert set(_EXAMPLES) == {
         "quickstart.py",
         "figure2_quadtree.py",
+        "observability.py",
         "offline_caching.py",
         "os_support.py",
         "profile_guided.py",
