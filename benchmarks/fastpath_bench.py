@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Differential benchmark: fast engine vs reference interpreter.
+
+For every selected benchsuite workload this script compiles the program
+once (O2), runs it on both interpreter engines, *verifies the engines
+agree* on return value, output, architectural step count, and exit
+status, and reports steps/second for each engine plus the speedup.
+
+Any divergence is a correctness failure: the script prints the
+mismatch and exits nonzero, which is what the CI perf-smoke job keys
+on.  Timing numbers are informational — CI never fails on them.
+
+Usage:
+    PYTHONPATH=src python benchmarks/fastpath_bench.py            # full
+    PYTHONPATH=src python benchmarks/fastpath_bench.py --quick    # CI
+    PYTHONPATH=src python benchmarks/fastpath_bench.py \\
+        --programs ft ks --scale 0.1 --out BENCH_fastpath.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+
+from repro.benchsuite import SUITE_ORDER, load_workload
+from repro.execution import DecodeCache, Interpreter
+from repro.minic import compile_source
+
+#: Small, fast-terminating programs for the CI smoke run.
+QUICK_PROGRAMS = ["ft", "ks", "anagram"]
+QUICK_SCALE = 0.05
+
+
+def run_engine(module, engine):
+    """One timed run; returns (observation-tuple, seconds, decode_s)."""
+    decode_cache = None
+    if engine == "fast":
+        decode_cache = DecodeCache(module.target_data)
+    interpreter = Interpreter(module, engine=engine,
+                              decode_cache=decode_cache)
+    started = time.perf_counter()
+    result = interpreter.run("main")
+    elapsed = time.perf_counter() - started
+    decode_seconds = (decode_cache.stats.decode_seconds
+                      if decode_cache is not None else 0.0)
+    observation = (result.return_value, result.output, result.steps,
+                   result.exit_status)
+    return observation, elapsed, decode_seconds
+
+
+def bench_program(name, scale):
+    workload = load_workload(name, scale)
+    module = compile_source(workload.source, name, optimization_level=2)
+    ref_obs, ref_seconds, _ = run_engine(module, "reference")
+    fast_obs, fast_seconds, decode_seconds = run_engine(module, "fast")
+    steps = ref_obs[2]
+    row = {
+        "program": name,
+        "scale": scale,
+        "steps": steps,
+        "reference_seconds": round(ref_seconds, 6),
+        "fast_seconds": round(fast_seconds, 6),
+        "fast_decode_seconds": round(decode_seconds, 6),
+        "reference_steps_per_sec": round(steps / ref_seconds, 1)
+        if ref_seconds > 0 else None,
+        "fast_steps_per_sec": round(steps / fast_seconds, 1)
+        if fast_seconds > 0 else None,
+        "speedup": round(ref_seconds / fast_seconds, 3)
+        if fast_seconds > 0 else None,
+        "diverged": ref_obs != fast_obs,
+    }
+    if row["diverged"]:
+        row["reference_observation"] = repr(ref_obs)
+        row["fast_observation"] = repr(fast_obs)
+    return row
+
+
+def geomean(values):
+    values = [v for v in values if v and v > 0]
+    if not values:
+        return None
+    return round(math.exp(sum(math.log(v) for v in values)
+                          / len(values)), 3)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="fast-engine differential benchmark")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: {0} at scale {1}".format(
+                            "/".join(QUICK_PROGRAMS), QUICK_SCALE))
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="workload scale factor (default 0.2)")
+    parser.add_argument("--programs", nargs="+", metavar="NAME",
+                        help="workloads to run (default: whole suite)")
+    parser.add_argument("--out", default="BENCH_fastpath.json",
+                        help="JSON output path (default "
+                             "BENCH_fastpath.json)")
+    args = parser.parse_args(argv)
+
+    programs = args.programs or list(SUITE_ORDER)
+    scale = args.scale
+    if args.quick:
+        programs = args.programs or QUICK_PROGRAMS
+        scale = QUICK_SCALE
+
+    rows = []
+    diverged = False
+    for name in programs:
+        if name not in SUITE_ORDER:
+            parser.error("unknown workload {0!r} (choose from {1})"
+                         .format(name, ", ".join(SUITE_ORDER)))
+        row = bench_program(name, scale)
+        rows.append(row)
+        status = "DIVERGED" if row["diverged"] else \
+            "{0:.2f}x".format(row["speedup"] or 0.0)
+        print("{0:<10} {1:>12,} steps  ref {2:>8.3f}s  fast {3:>8.3f}s"
+              "  {4}".format(name, row["steps"],
+                             row["reference_seconds"],
+                             row["fast_seconds"], status))
+        diverged = diverged or row["diverged"]
+
+    report = {
+        "scale": scale,
+        "programs": rows,
+        "geomean_speedup": geomean([r["speedup"] for r in rows]),
+        "diverged": diverged,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print("geomean speedup: {0}x -> {1}".format(
+        report["geomean_speedup"], args.out))
+    if diverged:
+        print("ERROR: engines diverged; see {0}".format(args.out),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

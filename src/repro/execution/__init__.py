@@ -7,6 +7,7 @@ from repro.execution.events import (
     TrapKind,
     UnwindSignal,
 )
+from repro.execution.fastpath import DecodeCache, FastInterpreter
 from repro.execution.interpreter import (
     ExecutionResult,
     Interpreter,
@@ -20,6 +21,8 @@ __all__ = [
     "TrapKind",
     "UnwindSignal",
     "ExecutionResult",
+    "DecodeCache",
+    "FastInterpreter",
     "Interpreter",
     "StepLimitExceeded",
     "Memory",

@@ -82,12 +82,34 @@ class _Frame:
 
 
 class Interpreter:
-    """Executes LLVA modules directly."""
+    """Executes LLVA modules directly.
+
+    ``engine="fast"`` dispatches construction to
+    :class:`repro.execution.fastpath.FastInterpreter`, the pre-decoded
+    closure-threaded engine; the default ``"reference"`` engine is this
+    class, the semantic oracle.
+    """
+
+    def __new__(cls, module: Optional[Module] = None,
+                target: Optional[types.TargetData] = None,
+                privileged: bool = False,
+                max_steps: Optional[int] = None,
+                engine: str = "reference",
+                decode_cache=None):
+        if cls is Interpreter and engine == "fast":
+            from repro.execution.fastpath import FastInterpreter
+            return object.__new__(FastInterpreter)
+        return object.__new__(cls)
 
     def __init__(self, module: Module,
                  target: Optional[types.TargetData] = None,
                  privileged: bool = False,
-                 max_steps: Optional[int] = None):
+                 max_steps: Optional[int] = None,
+                 engine: str = "reference",
+                 decode_cache=None):
+        if engine not in ("reference", "fast"):
+            raise ValueError("unknown engine {0!r}".format(engine))
+        self.engine = "reference"
         self.module = module
         self.target = target or module.target_data
         self.memory = Memory(self.target)

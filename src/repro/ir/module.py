@@ -187,7 +187,7 @@ class Function(GlobalValue):
     """An LLVA function: arguments plus a CFG of basic blocks."""
 
     __slots__ = ("function_type", "args", "blocks", "smc_version",
-                 "is_intrinsic")
+                 "is_intrinsic", "_cached_num_instructions")
 
     def __init__(self, function_type: types.FunctionType, name: str,
                  arg_names: Optional[Sequence[str]] = None,
@@ -212,6 +212,9 @@ class Function(GlobalValue):
         #: Intrinsic functions are implemented by the translator itself
         #: (Section 3.5) and never have LLVA bodies.
         self.is_intrinsic = name.startswith("llva.")
+        #: (smc_version, block count, instruction count) memo for
+        #: :meth:`cached_num_instructions`.
+        self._cached_num_instructions: Optional[Tuple[int, int, int]] = None
 
     @property
     def return_type(self) -> Type:
@@ -255,6 +258,26 @@ class Function(GlobalValue):
     def num_instructions(self) -> int:
         return sum(len(block) for block in self.blocks)
 
+    def cached_num_instructions(self) -> int:
+        """:meth:`num_instructions` memoized on ``(smc_version,
+        len(blocks))``.
+
+        The hot consumers (JIT translation stats, fast-engine decode)
+        re-query the count for every translation of the same function;
+        an SMC replacement bumps ``smc_version`` and transforms that
+        restructure the CFG change the block count, so either key
+        change invalidates the memo.  Passes that rewrite instructions
+        *within* existing blocks must reset ``_cached_num_instructions``
+        explicitly (see ``llee/pgo.py``).
+        """
+        key = (self.smc_version, len(self.blocks))
+        cached = self._cached_num_instructions
+        if cached is not None and cached[:2] == key:
+            return cached[2]
+        count = self.num_instructions()
+        self._cached_num_instructions = key + (count,)
+        return count
+
     def replace_body_from(self, donor: "Function") -> None:
         """Self-modifying code support (Section 3.4).
 
@@ -281,6 +304,7 @@ class Function(GlobalValue):
             arg.function = self
         donor.blocks = []
         donor.args = old_args
+        donor._cached_num_instructions = None
         self.smc_version += 1
 
     def __iter__(self) -> Iterator[BasicBlock]:

@@ -27,7 +27,12 @@ class JITStats:
     instructions_translated: int = 0
     translate_seconds: float = 0.0
     invalidations: int = 0
+    retranslations: int = 0
+    #: Cumulative translate time per function — a retranslated function
+    #: (SMC invalidation) accumulates instead of overwriting.
     per_function: Dict[str, float] = field(default_factory=dict)
+    #: How many times each function has been translated.
+    translation_counts: Dict[str, int] = field(default_factory=dict)
 
 
 class FunctionJIT:
@@ -46,11 +51,16 @@ class FunctionJIT:
             started = time.perf_counter()
             machine = self.target.translate_function(function)
             elapsed = time.perf_counter() - started
-        llva_instructions = function.num_instructions()
-        self.stats.functions_translated += 1
-        self.stats.instructions_translated += llva_instructions
-        self.stats.translate_seconds += elapsed
-        self.stats.per_function[name] = elapsed
+        llva_instructions = function.cached_num_instructions()
+        stats = self.stats
+        stats.functions_translated += 1
+        stats.instructions_translated += llva_instructions
+        stats.translate_seconds += elapsed
+        stats.per_function[name] = stats.per_function.get(name, 0.0) + elapsed
+        count = stats.translation_counts.get(name, 0) + 1
+        stats.translation_counts[name] = count
+        if count > 1:
+            stats.retranslations += 1
         if observe.enabled():
             native_instructions = machine.num_instructions()
             span.set(llva_instructions=llva_instructions,

@@ -28,6 +28,8 @@ from typing import Optional, Sequence
 
 from repro import observe
 from repro.bitcode.reader import read_module
+from repro.execution.fastpath import DecodeCache
+from repro.execution.interpreter import Interpreter
 from repro.execution.machine_sim import MachineSimulator
 from repro.llee.jit import FunctionJIT, JITStats
 from repro.llee.storage import StorageAPI
@@ -63,6 +65,21 @@ class RunReport:
         return self.translate_seconds / self.run_seconds
 
 
+@dataclass
+class InterpretedRunReport:
+    """Outcome of one :meth:`LLEE.run_interpreted` call."""
+
+    return_value: object
+    output: str
+    exit_status: int
+    steps: int
+    engine: str
+    #: Did a previous run leave a reusable decoded module behind?
+    cache_hit: bool
+    decode_seconds: float
+    run_seconds: float
+
+
 class LLEE:
     """The execution manager for one target processor."""
 
@@ -77,6 +94,10 @@ class LLEE:
         #: :func:`repro.llee.profile.read_profile`) can inspect the
         #: finished run's memory image.
         self.last_simulator: Optional[MachineSimulator] = None
+        #: Decoded-module reuse for :meth:`run_interpreted`: object-code
+        #: key -> (module, DecodeCache).  The interpreter analogue of
+        #: the native translation cache — decode once, run many times.
+        self._interp_cache: dict = {}
 
     # -- the paper's Figure 3 flow -----------------------------------------
 
@@ -127,6 +148,60 @@ class LLEE:
             functions_jitted=jit.stats.functions_translated,
             translate_seconds=jit.stats.translate_seconds,
             run_seconds=max(run_seconds, 0.0),
+        )
+
+    def run_interpreted(self, object_code: bytes, entry: str = "main",
+                        args: Sequence[object] = (),
+                        engine: str = "fast",
+                        privileged: bool = False) -> InterpretedRunReport:
+        """Run a virtual executable on an interpreter engine.
+
+        With ``engine="fast"``, the decoded module is cached across
+        invocations keyed on the object code — the pre-decode cost is
+        paid once.  A run that triggers ``llva.smc.replace`` drops the
+        cached module (its in-memory body has been mutated), so the
+        next invocation re-reads the pristine object code, matching the
+        fresh-module semantics of :meth:`run_executable`.
+        """
+        key = "interp-" + self._cache_key(object_code)
+        with observe.span("llee.run_interpreted", entry=entry,
+                          engine=engine):
+            cached = self._interp_cache.get(key) if engine == "fast" \
+                else None
+            cache_hit = cached is not None
+            if cached is None:
+                module = read_module(object_code)
+                decode_cache = DecodeCache(module.target_data)
+            else:
+                module, decode_cache = cached
+            observe.counter(
+                "llee.cache.hit" if cache_hit else "llee.cache.miss",
+                1, target="interp")
+            interpreter = Interpreter(
+                module, privileged=privileged, engine=engine,
+                decode_cache=decode_cache if engine == "fast" else None)
+            smc_fired = []
+            interpreter.smc_listeners.append(smc_fired.append)
+            decode_before = decode_cache.stats.decode_seconds
+            started = time.perf_counter()
+            result = interpreter.run(entry, list(args))
+            run_seconds = time.perf_counter() - started
+            if engine == "fast":
+                if smc_fired:
+                    self._interp_cache.pop(key, None)
+                else:
+                    self._interp_cache[key] = (module, decode_cache)
+            decode_seconds = decode_cache.stats.decode_seconds \
+                - decode_before
+        return InterpretedRunReport(
+            return_value=result.return_value,
+            output=result.output,
+            exit_status=result.exit_status,
+            steps=result.steps,
+            engine=engine,
+            cache_hit=cache_hit,
+            decode_seconds=decode_seconds,
+            run_seconds=max(run_seconds - decode_seconds, 0.0),
         )
 
     def offline_translate(self, object_code: bytes,

@@ -53,6 +53,10 @@ def idle_time_reoptimize(module: Module, profile: Profile,
     relaid = cache.apply_layout()
     optimize(module, level=2)
     verify_module(module)
+    # The optimizer rewrites bodies in place without touching
+    # smc_version; invalidate every memoized instruction count.
+    for function in module.functions.values():
+        function._cached_num_instructions = None
     return PGOReport(
         hot_calls_inlined=inlined,
         traces_formed=len(traces),
@@ -84,6 +88,10 @@ def _inline_hot_calls(module: Module, profile: Profile,
                 continue
             inline_call(call, call.callee)
             inlined += 1
+        if sites:
+            # Inlining rewrites the body without bumping smc_version;
+            # drop the memoized instruction count by hand.
+            function._cached_num_instructions = None
     return inlined
 
 

@@ -17,7 +17,7 @@ call sites first (see :mod:`repro.llee.pgo`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro import observe
 from repro.ir.module import BasicBlock, Function, Module
@@ -49,6 +49,12 @@ class SoftwareTraceCache:
         #: executions for the trace to continue through it.
         self.successor_bias = successor_bias
         self.traces: List[Trace] = []
+        #: Called with each Function whose block layout changed in
+        #: :meth:`apply_layout`.  Relayout does not bump ``smc_version``
+        #: (the body is unchanged), so caches keyed on decoded block
+        #: order — the fast engine's :class:`DecodeCache` — hook in
+        #: here, mirroring the ``smc_listeners`` invalidation path.
+        self.relayout_listeners: List[Callable[[Function], None]] = []
 
     # -- formation -----------------------------------------------------------
 
@@ -147,6 +153,8 @@ class SoftwareTraceCache:
             if new_order != function.blocks:
                 function.blocks = new_order
                 changed += 1
+                for listener in self.relayout_listeners:
+                    listener(function)
         observe.counter("tracecache.functions_relaid", changed)
         return changed
 

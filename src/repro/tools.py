@@ -152,7 +152,7 @@ def _check_program_args(module, entry: str,
 
 
 #: Registry prefixes surfaced on the one-line ``--stats`` report.
-_STATS_PREFIXES = ("run.", "jit.", "llee.cache.")
+_STATS_PREFIXES = ("run.", "jit.", "llee.cache.", "fastpath.")
 
 
 def _format_stats_line(label: str, result: object) -> str:
@@ -195,12 +195,14 @@ def _cmd_run(args) -> int:
                 sys.stderr.write(_format_stats_line(args.target, value))
         else:
             interpreter = Interpreter(module,
-                                      privileged=args.privileged)
+                                      privileged=args.privileged,
+                                      engine=args.engine)
             result = interpreter.run(args.entry, program_args)
             sys.stdout.write(result.output)
             value, status = result.return_value, result.exit_status
             if args.stats:
-                sys.stderr.write(_format_stats_line("interp", value))
+                label = "fast" if args.engine == "fast" else "interp"
+                sys.stderr.write(_format_stats_line(label, value))
     except ExecutionTrap as trap:
         sys.stderr.write("trap: {0}\n".format(trap))
         return 128 + trap.trap_number
@@ -382,7 +384,8 @@ def _cmd_stats(args) -> int:
             profile = read_profile(profile_map, llee.last_simulator)
         else:
             interpreter = Interpreter(module,
-                                      privileged=args.privileged)
+                                      privileged=args.privileged,
+                                      engine=args.engine)
             result = interpreter.run(args.entry, program_args)
             sys.stdout.write(result.output)
             result_value = result.return_value
@@ -455,6 +458,11 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="execute (interpreter, or --target JIT)")
     run.add_argument("input")
     run.add_argument("--target", choices=("x86", "sparc"))
+    run.add_argument("--engine", choices=("fast", "reference"),
+                     default="reference",
+                     help="interpreter engine (ignored with --target): "
+                          "'fast' is the pre-decoded closure-threaded "
+                          "engine, 'reference' the semantic oracle")
     run.add_argument("--entry", default="main")
     run.add_argument("--privileged", action="store_true")
     run.add_argument("--stats", action="store_true")
@@ -479,6 +487,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="pretty-print an exported --metrics file "
                             "instead of running")
     stats.add_argument("--target", choices=("x86", "sparc"))
+    stats.add_argument("--engine", choices=("fast", "reference"),
+                       default="reference",
+                       help="interpreter engine (ignored with --target)")
     stats.add_argument("-O", "--optimize", type=int, default=0)
     stats.add_argument("--entry", default="main")
     stats.add_argument("--privileged", action="store_true")

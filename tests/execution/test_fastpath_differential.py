@@ -1,0 +1,464 @@
+"""Differential equivalence: the fast engine against the oracle.
+
+The fast engine (:mod:`repro.execution.fastpath`) must be
+observationally identical to the reference interpreter — same return
+value, same output, same exit status, same architectural step count,
+and the same trap behaviour.  This module drives every benchsuite
+program plus hand-written programs exercising the exception model
+(masked/unmasked faults, trap handlers, register snapshots, unwind,
+self-modifying code) through both engines and compares outcomes.
+"""
+
+import pytest
+
+from repro.asm import parse_module
+from repro.benchsuite import SUITE_ORDER, load_workload
+from repro.execution import (
+    DecodeCache,
+    ExecutionTrap,
+    FastInterpreter,
+    Interpreter,
+    StepLimitExceeded,
+)
+from repro.execution.fastpath import FUSE_MIN
+from repro.ir import verify_module
+from repro.llee.tracecache import SoftwareTraceCache
+from repro.minic import compile_source
+
+SCALE = 0.05
+
+ENGINES = ("reference", "fast")
+
+
+def _outcome(module, entry="main", args=(), privileged=False,
+             engine="reference"):
+    """Run and capture (kind, ...) so trap runs compare structurally."""
+    interpreter = Interpreter(module, privileged=privileged, engine=engine)
+    try:
+        result = interpreter.run(entry, list(args))
+    except ExecutionTrap as trap:
+        return ("trap", trap.trap_number, interpreter.steps)
+    return ("ok", result.return_value, result.output, result.steps,
+            result.exit_status)
+
+
+def run_both(source, entry="main", args=(), privileged=False):
+    """Assemble *source* once per engine and assert identical outcomes."""
+    outcomes = {}
+    for engine in ENGINES:
+        module = parse_module(source)
+        verify_module(module)
+        outcomes[engine] = _outcome(module, entry, args, privileged, engine)
+    assert outcomes["reference"] == outcomes["fast"]
+    return outcomes["reference"]
+
+
+class TestBenchsuiteDifferential:
+    """Every Table 2 workload, both engines, identical observations."""
+
+    @pytest.mark.parametrize("name", SUITE_ORDER)
+    def test_workload(self, name):
+        workload = load_workload(name, SCALE)
+        # Both engines share one compiled module: nothing in the suite
+        # self-modifies, and each interpreter builds its own memory.
+        module = compile_source(workload.source, name,
+                                optimization_level=2)
+        reference = _outcome(module, engine="reference")
+        fast = _outcome(module, engine="fast")
+        assert reference == fast
+        assert reference[0] == "ok"
+
+
+class TestExceptionModelDifferential:
+    def test_masked_division_yields_zero(self):
+        assert run_both("""
+        int %main() {
+        entry:
+                %r = div int 5, 0 !ee(false)
+                ret int %r
+        }
+        """)[1] == 0
+
+    def test_unmasked_division_traps(self):
+        outcome = run_both("""
+        int %main() {
+        entry:
+                %r = div int 5, 0
+                ret int %r
+        }
+        """)
+        assert outcome[0] == "trap"
+
+    def test_masked_load_fault_inside_fused_run(self):
+        # The faulting load sits in a straight-line run long enough to
+        # fuse; the masked fault must resume at the next fused op.
+        outcome = run_both("""
+        int %main() {
+        entry:
+                %p = cast ulong 64 to int*
+                %a = add int 3, 4
+                %v = load int* %p !ee(false)
+                %b = add int %a, %v
+                %c = mul int %b, 10
+                ret int %c
+        }
+        """)
+        assert outcome[1] == 70
+
+    def test_overflow_wraps_silently_by_default(self):
+        assert run_both("""
+        int %main() {
+        entry:
+                %r = add int 2147483647, 1
+                ret int %r
+        }
+        """)[1] == -2147483648
+
+    def test_overflow_traps_when_enabled(self):
+        assert run_both("""
+        int %main() {
+        entry:
+                %r = add int 2147483647, 1 !ee(true)
+                ret int %r
+        }
+        """)[0] == "trap"
+
+    def test_dynamic_masking_intrinsic(self):
+        assert run_both("""
+        declare void %llva.exceptions.set(bool)
+        int %main() {
+        entry:
+                call void %llva.exceptions.set(bool false)
+                %r = div int 5, 0
+                call void %llva.exceptions.set(bool true)
+                ret int %r
+        }
+        """)[1] == 0
+
+    def test_trap_handler_runs_and_resumes(self):
+        assert run_both("""
+        %log = global int 0
+        declare void %llva.trap.register(uint, sbyte*)
+        void %handler(uint %trapno, sbyte* %info) {
+        entry:
+                %old = load int* %log
+                %n = cast uint %trapno to int
+                %new = add int %old, %n
+                store int %new, int* %log
+                ret void
+        }
+        int %main() {
+        entry:
+                %h = cast void (uint, sbyte*)* %handler to sbyte*
+                call void %llva.trap.register(uint 2, sbyte* %h)
+                %q = div int 9, 0
+                %v = load int* %log
+                %r = add int %v, %q
+                ret int %r
+        }
+        """, privileged=True)[1] == 2
+
+    def test_trap_handler_register_snapshot(self):
+        # The handler observes the faulting frame through the V-ABI
+        # register numbering; slot numbering must match the oracle's.
+        assert run_both("""
+        %seen_arg = global long 0
+        %seen_tmp = global long 0
+        declare void %llva.trap.register(uint, sbyte*)
+        declare ulong %llva.register.read(uint)
+        void %handler(uint %trapno, sbyte* %info) {
+        entry:
+                %r0 = call ulong %llva.register.read(uint 0)
+                %v0 = cast ulong %r0 to long
+                store long %v0, long* %seen_arg
+                %r1 = call ulong %llva.register.read(uint 1)
+                %v1 = cast ulong %r1 to long
+                store long %v1, long* %seen_tmp
+                ret void
+        }
+        int %faulty(int %n) {
+        entry:
+                %doubled = add int %n, %n
+                %q = div int %doubled, 0
+                ret int %q
+        }
+        int %main() {
+        entry:
+                %h = cast void (uint, sbyte*)* %handler to sbyte*
+                call void %llva.trap.register(uint 2, sbyte* %h)
+                %r = call int %faulty(int 21)
+                %a = load long* %seen_arg
+                %t = load long* %seen_tmp
+                %a32 = cast long %a to int
+                %t32 = cast long %t to int
+                %combined = mul int %a32, 1000
+                %result = add int %combined, %t32
+                ret int %result
+        }
+        """, privileged=True)[1] == 21 * 1000 + 42
+
+    def test_software_trap_raise_payload(self):
+        assert run_both("""
+        %seen = global int 0
+        declare void %llva.trap.register(uint, sbyte*)
+        declare void %llva.trap.raise(uint, sbyte*)
+        void %handler(uint %trapno, sbyte* %info) {
+        entry:
+                %v = cast sbyte* %info to ulong
+                %i = cast ulong %v to int
+                store int %i, int* %seen
+                ret void
+        }
+        int %main() {
+        entry:
+                %h = cast void (uint, sbyte*)* %handler to sbyte*
+                call void %llva.trap.register(uint 6, sbyte* %h)
+                %payload = cast ulong 777 to sbyte*
+                call void %llva.trap.raise(uint 6, sbyte* %payload)
+                %r = load int* %seen
+                ret int %r
+        }
+        """, privileged=True)[1] == 777
+
+    def test_privilege_violation_parity(self):
+        assert run_both("""
+        declare void %llva.trap.register(uint, sbyte*)
+        int %main() {
+        entry:
+                %z = cast ulong 0 to sbyte*
+                call void %llva.trap.register(uint 2, sbyte* %z)
+                ret int 0
+        }
+        """, privileged=False)[0] == "trap"
+
+
+class TestUnwindDifferential:
+    INVOKE = """
+    int %may_throw(int %x) {
+    entry:
+            %bad = setgt int %x, 10
+            br bool %bad, label %throw, label %fine
+    throw:
+            unwind
+    fine:
+            %r = mul int %x, 2
+            ret int %r
+    }
+    int %middle(int %x) {
+    entry:
+            %r = call int %may_throw(int %x)
+            %s = add int %r, 1
+            ret int %s
+    }
+    int %main(int %x) {
+    entry:
+            %v = invoke int %middle(int %x) to label %ok
+                  unwind label %handler
+    ok:
+            ret int %v
+    handler:
+            ret int -1
+    }
+    """
+
+    def test_invoke_normal_path(self):
+        assert run_both(self.INVOKE, args=[4])[1] == 9
+
+    def test_unwind_skips_intermediate_frames(self):
+        assert run_both(self.INVOKE, args=[50])[1] == -1
+
+    def test_unwind_without_invoke_traps(self):
+        assert run_both("""
+        int %main() {
+        entry:
+                unwind
+        }
+        """)[0] == "trap"
+
+    def test_nested_invokes_catch_at_nearest(self):
+        assert run_both("""
+        int %thrower() {
+        entry:
+                unwind
+        }
+        int %inner() {
+        entry:
+                %v = invoke int %thrower() to label %ok
+                      unwind label %caught
+        ok:
+                ret int %v
+        caught:
+                ret int 100
+        }
+        int %main() {
+        entry:
+                %v = invoke int %inner() to label %ok
+                      unwind label %outer_caught
+        ok:
+                ret int %v
+        outer_caught:
+                ret int 200
+        }
+        """)[1] == 100
+
+
+class TestSelfModifyingCodeDifferential:
+    def test_future_invocations_see_new_body(self):
+        assert run_both("""
+        declare void %llva.smc.replace(sbyte*, sbyte*)
+        int %f(int %x) {
+        entry:
+                %r = add int %x, 1
+                ret int %r
+        }
+        int %g(int %x) {
+        entry:
+                %r = mul int %x, 100
+                ret int %r
+        }
+        int %main() {
+        entry:
+                %before = call int %f(int 5)
+                %old = cast int (int)* %f to sbyte*
+                %new = cast int (int)* %g to sbyte*
+                call void %llva.smc.replace(sbyte* %old, sbyte* %new)
+                %after = call int %f(int 5)
+                %r = sub int %after, %before
+                ret int %r
+        }
+        """)[1] == 494
+
+    def test_active_invocation_keeps_old_body(self):
+        assert run_both("""
+        declare void %llva.smc.replace(sbyte*, sbyte*)
+        int %target(int %depth) {
+        entry:
+                %stop = seteq int %depth, 0
+                br bool %stop, label %leaf, label %recurse
+        leaf:
+                ret int 1
+        recurse:
+                %is_first = seteq int %depth, 3
+                br bool %is_first, label %patch, label %continue
+        patch:
+                %old = cast int (int)* %target to sbyte*
+                %new = cast int (int)* %replacement to sbyte*
+                call void %llva.smc.replace(sbyte* %old, sbyte* %new)
+                br label %continue
+        continue:
+                %m = sub int %depth, 1
+                %r = call int %target(int %m)
+                %s = add int %r, 10
+                ret int %s
+        }
+        int %replacement(int %depth) {
+        entry:
+                ret int 1000
+        }
+        int %main() {
+        entry:
+                %r = call int %target(int 3)
+                ret int %r
+        }
+        """)[1] == 1010
+
+
+class TestEngineSelection:
+    SRC = """
+    int %main() {
+    entry:
+            br label %loop
+    loop:
+            %i = phi int [0, %entry], [%n, %loop]
+            %a = mul int %i, 3
+            %b = add int %a, 1
+            %s = sub int %b, %a
+            %n = add int %i, %s
+            %done = setge int %n, 50
+            br bool %done, label %exit, label %loop
+    exit:
+            ret int %n
+    }
+    """
+
+    def _module(self):
+        module = parse_module(self.SRC)
+        verify_module(module)
+        return module
+
+    def test_constructor_dispatch(self):
+        assert type(Interpreter(self._module())) is Interpreter
+        fast = Interpreter(self._module(), engine="fast")
+        assert isinstance(fast, FastInterpreter)
+        assert fast.engine == "fast"
+        assert Interpreter(self._module()).engine == "reference"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            Interpreter(self._module(), engine="turbo")
+
+    def test_fused_runs_counted(self):
+        fast = FastInterpreter(self._module())
+        fast.run("main")
+        assert fast.fused_runs >= 50 // FUSE_MIN
+        assert fast.fused_instructions >= fast.fused_runs * FUSE_MIN
+
+    def test_step_limit_enforced(self):
+        with pytest.raises(StepLimitExceeded):
+            FastInterpreter(self._module(), max_steps=20).run("main")
+
+    def test_decode_cache_shared_across_runs(self):
+        module = self._module()
+        cache = DecodeCache(module.target_data)
+        FastInterpreter(module, decode_cache=cache).run("main")
+        assert cache.stats.functions_decoded == 1
+        FastInterpreter(module, decode_cache=cache).run("main")
+        assert cache.stats.functions_decoded == 1  # reused, not re-decoded
+
+    def test_smc_invalidates_decode_cache(self):
+        source = """
+        declare void %llva.smc.replace(sbyte*, sbyte*)
+        int %f(int %x) {
+        entry:
+                %r = add int %x, 1
+                ret int %r
+        }
+        int %g(int %x) {
+        entry:
+                %r = mul int %x, 100
+                ret int %r
+        }
+        int %main() {
+        entry:
+                %before = call int %f(int 5)
+                %old = cast int (int)* %f to sbyte*
+                %new = cast int (int)* %g to sbyte*
+                call void %llva.smc.replace(sbyte* %old, sbyte* %new)
+                %after = call int %f(int 5)
+                %r = sub int %after, %before
+                ret int %r
+        }
+        """
+        module = parse_module(source)
+        verify_module(module)
+        cache = DecodeCache(module.target_data)
+        result = FastInterpreter(module, decode_cache=cache).run("main")
+        assert result.return_value == 494
+        assert cache.stats.invalidations == 1
+
+    def test_trace_cache_relayout_invalidates_decode(self):
+        module = self._module()
+        cache = DecodeCache(module.target_data)
+        FastInterpreter(module, decode_cache=cache).run("main")
+        trace_cache = SoftwareTraceCache(module)
+        trace_cache.relayout_listeners.append(cache.listener())
+        function = module.get_function("main")
+        invalidated = []
+        trace_cache.relayout_listeners.append(invalidated.append)
+        # Force a relayout by hand: reverse the non-entry blocks.
+        blocks = function.blocks
+        function.blocks = [blocks[0]] + list(reversed(blocks[1:]))
+        for listener in trace_cache.relayout_listeners:
+            listener(function)
+        assert invalidated == [function]
+        assert cache.stats.invalidations == 1
