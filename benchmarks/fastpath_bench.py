@@ -26,7 +26,7 @@ import sys
 import time
 
 from repro.benchsuite import SUITE_ORDER, load_workload
-from repro.execution import DecodeCache, Interpreter
+from repro.execution import DecodeCache, ExecutionTrap, Interpreter
 from repro.minic import compile_source
 
 #: Small, fast-terminating programs for the CI smoke run.
@@ -34,33 +34,46 @@ QUICK_PROGRAMS = ["ft", "ks", "anagram"]
 QUICK_SCALE = 0.05
 
 
-def run_engine(module, engine):
-    """One timed run; returns (observation-tuple, seconds, decode_s)."""
+def run_engine(module, engine, sanitize=False):
+    """One timed run; returns (observation, seconds, decode_s, faults)."""
     decode_cache = None
     if engine == "fast":
-        decode_cache = DecodeCache(module.target_data)
+        decode_cache = DecodeCache(module.target_data, sanitize=sanitize)
     interpreter = Interpreter(module, engine=engine,
-                              decode_cache=decode_cache)
+                              decode_cache=decode_cache,
+                              sanitize=sanitize)
     started = time.perf_counter()
-    result = interpreter.run("main")
+    try:
+        result = interpreter.run("main")
+        observation = (result.return_value, result.output, result.steps,
+                       result.exit_status)
+    except ExecutionTrap as trap:
+        # A trapping benchsuite program is itself a finding (the
+        # sanitized suite must run clean); record it as an observation
+        # so divergence checking still applies.
+        observation = ("trap", trap.trap_number, trap.detail,
+                       interpreter.steps)
     elapsed = time.perf_counter() - started
     decode_seconds = (decode_cache.stats.decode_seconds
                       if decode_cache is not None else 0.0)
-    observation = (result.return_value, result.output, result.steps,
-                   result.exit_status)
-    return observation, elapsed, decode_seconds
+    san = interpreter.memory.san
+    faults = san.fault_count if san is not None else 0
+    return observation, elapsed, decode_seconds, faults
 
 
-def bench_program(name, scale):
+def bench_program(name, scale, sanitize=False):
     workload = load_workload(name, scale)
     module = compile_source(workload.source, name, optimization_level=2)
-    ref_obs, ref_seconds, _ = run_engine(module, "reference")
-    fast_obs, fast_seconds, decode_seconds = run_engine(module, "fast")
-    steps = ref_obs[2]
+    ref_obs, ref_seconds, _, ref_faults = run_engine(
+        module, "reference", sanitize)
+    fast_obs, fast_seconds, decode_seconds, fast_faults = run_engine(
+        module, "fast", sanitize)
+    steps = ref_obs[2] if ref_obs[0] != "trap" else ref_obs[3]
     row = {
         "program": name,
         "scale": scale,
         "steps": steps,
+        "sanitizer_faults": ref_faults + fast_faults,
         "reference_seconds": round(ref_seconds, 6),
         "fast_seconds": round(fast_seconds, 6),
         "fast_decode_seconds": round(decode_seconds, 6),
@@ -96,6 +109,10 @@ def main(argv=None):
                         help="workload scale factor (default 0.2)")
     parser.add_argument("--programs", nargs="+", metavar="NAME",
                         help="workloads to run (default: whole suite)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run both engines under llva-san; any "
+                             "reported fault fails the run (the suite "
+                             "must be sanitizer-clean)")
     parser.add_argument("--out", default="BENCH_fastpath.json",
                         help="JSON output path (default "
                              "BENCH_fastpath.json)")
@@ -109,25 +126,33 @@ def main(argv=None):
 
     rows = []
     diverged = False
+    total_faults = 0
     for name in programs:
         if name not in SUITE_ORDER:
             parser.error("unknown workload {0!r} (choose from {1})"
                          .format(name, ", ".join(SUITE_ORDER)))
-        row = bench_program(name, scale)
+        row = bench_program(name, scale, sanitize=args.sanitize)
         rows.append(row)
-        status = "DIVERGED" if row["diverged"] else \
-            "{0:.2f}x".format(row["speedup"] or 0.0)
+        if row["diverged"]:
+            status = "DIVERGED"
+        elif row["sanitizer_faults"]:
+            status = "{0} SAN FAULTS".format(row["sanitizer_faults"])
+        else:
+            status = "{0:.2f}x".format(row["speedup"] or 0.0)
         print("{0:<10} {1:>12,} steps  ref {2:>8.3f}s  fast {3:>8.3f}s"
               "  {4}".format(name, row["steps"],
                              row["reference_seconds"],
                              row["fast_seconds"], status))
         diverged = diverged or row["diverged"]
+        total_faults += row["sanitizer_faults"]
 
     report = {
         "scale": scale,
+        "sanitize": args.sanitize,
         "programs": rows,
         "geomean_speedup": geomean([r["speedup"] for r in rows]),
         "diverged": diverged,
+        "sanitizer_faults": total_faults,
     }
     with open(args.out, "w") as handle:
         json.dump(report, handle, indent=2)
@@ -137,6 +162,10 @@ def main(argv=None):
     if diverged:
         print("ERROR: engines diverged; see {0}".format(args.out),
               file=sys.stderr)
+        return 1
+    if args.sanitize and total_faults:
+        print("ERROR: {0} sanitizer fault(s) in the suite; see {1}"
+              .format(total_faults, args.out), file=sys.stderr)
         return 1
     return 0
 

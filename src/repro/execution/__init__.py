@@ -14,6 +14,12 @@ from repro.execution.interpreter import (
     StepLimitExceeded,
 )
 from repro.execution.memory import Memory
+from repro.execution.sanitizer import (
+    FaultReport,
+    SanitizedMemory,
+    SanitizerFault,
+    ShadowSanitizer,
+)
 
 __all__ = [
     "ExecutionTrap",
@@ -26,4 +32,8 @@ __all__ = [
     "Interpreter",
     "StepLimitExceeded",
     "Memory",
+    "FaultReport",
+    "SanitizedMemory",
+    "SanitizerFault",
+    "ShadowSanitizer",
 ]

@@ -50,6 +50,11 @@ class TrapKind:
 class ExecutionTrap(Exception):
     """A precise LLVA exception that was not handled by any trap handler."""
 
+    #: Diagnostic traps (sanitizer reports) override this so the engines
+    #: deliver them even when the faulting instruction's
+    #: ExceptionsEnabled bit is cleared.
+    unmaskable = False
+
     def __init__(self, trap_number: int, detail: str = "",
                  address: Optional[int] = None):
         name = TrapKind.NAMES.get(trap_number, "trap")

@@ -63,6 +63,7 @@ from repro.execution.interpreter import (
 )
 from repro.execution.memory import MemoryError_, _FP_FORMAT
 from repro.execution.runtime import is_runtime_name
+from repro.execution.sanitizer import format_site
 from repro.ir import instructions as insts
 from repro.ir import types
 from repro.ir.module import BasicBlock, Function, GlobalVariable, Module
@@ -202,8 +203,14 @@ class DecodeCache:
     braces; the listener also frees the stale entry and counts it.
     """
 
-    def __init__(self, target: types.TargetData):
+    def __init__(self, target: types.TargetData, sanitize: bool = False):
         self.target = target
+        #: When set, every compiled closure is wrapped to publish its
+        #: decode-time site string to the sanitizer before running, so a
+        #: fault report can name the instruction.  Sanitized and
+        #: unsanitized closures are different code — a cache is bound to
+        #: one mode.
+        self.sanitize = sanitize
         self.stats = DecodeCacheStats()
         # id(function) -> (smc_version, DecodedFunction, function).  The
         # function reference pins the object so the id stays unique.
@@ -214,7 +221,7 @@ class DecodeCache:
         if entry is not None and entry[0] == function.smc_version:
             return entry[1]
         started = time.perf_counter()
-        decoded = _decode_function(function, self.target)
+        decoded = _decode_function(function, self.target, self.sanitize)
         elapsed = time.perf_counter() - started
         self._cache[id(function)] = (function.smc_version, decoded, function)
         self.stats.functions_decoded += 1
@@ -564,7 +571,9 @@ class _Decoder:
                 except MemoryError_ as fault:
                     return st._fast_fault(f, index, inst, dst,
                                           fault.trap_number,
-                                          fault.address or 0)
+                                          fault.address or 0,
+                                          fault.detail,
+                                          fault.unmaskable)
                 f.regs[dst] = v
                 f.index = nxt
             return op
@@ -579,7 +588,9 @@ class _Decoder:
                 except MemoryError_ as fault:
                     return st._fast_fault(f, index, inst, dst,
                                           fault.trap_number,
-                                          fault.address or 0)
+                                          fault.address or 0,
+                                          fault.detail,
+                                          fault.unmaskable)
                 r[dst] = (fb(raw, endian) ^ sbit) - sbit
                 f.index = nxt
         elif type_.is_integer or type_.is_pointer:
@@ -591,7 +602,9 @@ class _Decoder:
                 except MemoryError_ as fault:
                     return st._fast_fault(f, index, inst, dst,
                                           fault.trap_number,
-                                          fault.address or 0)
+                                          fault.address or 0,
+                                          fault.detail,
+                                          fault.unmaskable)
                 r[dst] = fb(raw, endian)
                 f.index = nxt
         elif type_.is_bool:
@@ -603,7 +616,9 @@ class _Decoder:
                 except MemoryError_ as fault:
                     return st._fast_fault(f, index, inst, dst,
                                           fault.trap_number,
-                                          fault.address or 0)
+                                          fault.address or 0,
+                                          fault.detail,
+                                          fault.unmaskable)
                 r[dst] = raw[0] != 0
                 f.index = nxt
         else:  # floating point
@@ -618,7 +633,9 @@ class _Decoder:
                 except MemoryError_ as fault:
                     return st._fast_fault(f, index, inst, dst,
                                           fault.trap_number,
-                                          fault.address or 0)
+                                          fault.address or 0,
+                                          fault.detail,
+                                          fault.unmaskable)
                 r[dst] = unpack(fmt, raw)[0]
                 f.index = nxt
         return op
@@ -644,7 +661,9 @@ class _Decoder:
                 except MemoryError_ as fault:
                     return st._fast_fault(f, index, inst, -1,
                                           fault.trap_number,
-                                          fault.address or 0)
+                                          fault.address or 0,
+                                          fault.detail,
+                                          fault.unmaskable)
                 f.index = nxt
             return op
         if vtype.is_integer or vtype.is_pointer:
@@ -660,7 +679,9 @@ class _Decoder:
                     except MemoryError_ as fault:
                         return st._fast_fault(f, index, inst, -1,
                                               fault.trap_number,
-                                              fault.address or 0)
+                                              fault.address or 0,
+                                              fault.detail,
+                                              fault.unmaskable)
                     f.index = nxt
             elif kv == "s":
                 def op(st, f, _p=vp, _v=vv):
@@ -672,7 +693,9 @@ class _Decoder:
                     except MemoryError_ as fault:
                         return st._fast_fault(f, index, inst, -1,
                                               fault.trap_number,
-                                              fault.address or 0)
+                                              fault.address or 0,
+                                              fault.detail,
+                                              fault.unmaskable)
                     f.index = nxt
             else:
                 getv = self.getter(inst.value)
@@ -687,7 +710,9 @@ class _Decoder:
                     except MemoryError_ as fault:
                         return st._fast_fault(f, index, inst, -1,
                                               fault.trap_number,
-                                              fault.address or 0)
+                                              fault.address or 0,
+                                              fault.detail,
+                                              fault.unmaskable)
                     f.index = nxt
         elif vtype.is_bool:
             getv = self.getter(inst.value)
@@ -701,7 +726,9 @@ class _Decoder:
                 except MemoryError_ as fault:
                     return st._fast_fault(f, index, inst, -1,
                                           fault.trap_number,
-                                          fault.address or 0)
+                                          fault.address or 0,
+                                          fault.detail,
+                                          fault.unmaskable)
                 f.index = nxt
         else:  # floating point
             fmt = _FP_FORMAT[(size, endian)]
@@ -717,7 +744,9 @@ class _Decoder:
                 except MemoryError_ as fault:
                     return st._fast_fault(f, index, inst, -1,
                                           fault.trap_number,
-                                          fault.address or 0)
+                                          fault.address or 0,
+                                          fault.detail,
+                                          fault.unmaskable)
                 f.index = nxt
         return op
 
@@ -834,7 +863,8 @@ class _Decoder:
                     address = st.memory.push_frame(total, align)
                 except ExecutionTrap as trap:
                     return st._fast_fault(f, index, inst, dst,
-                                          trap.trap_number, 0)
+                                          trap.trap_number, 0,
+                                          trap.detail, trap.unmaskable)
                 f.regs[dst] = address
                 f.index = nxt
             return op
@@ -847,7 +877,8 @@ class _Decoder:
                 address = st.memory.push_frame(max(size, 1), align)
             except ExecutionTrap as trap:
                 return st._fast_fault(f, index, inst, dst,
-                                      trap.trap_number, 0)
+                                      trap.trap_number, 0,
+                                      trap.detail, trap.unmaskable)
             f.regs[dst] = address
             f.index = nxt
         return op
@@ -1097,7 +1128,9 @@ class _Decoder:
                     except MemoryError_ as fault:
                         return st._fast_fault(f, index, inst, dst,
                                               fault.trap_number,
-                                              fault.address or 0)
+                                              fault.address or 0,
+                                              fault.detail,
+                                              fault.unmaskable)
                     if dst >= 0:
                         r[dst] = result
                     resume(st, f)
@@ -1115,7 +1148,9 @@ class _Decoder:
                     except MemoryError_ as fault:
                         return st._fast_fault(f, index, inst, dst,
                                               fault.trap_number,
-                                              fault.address or 0)
+                                              fault.address or 0,
+                                              fault.detail,
+                                              fault.unmaskable)
                     if dst >= 0:
                         r[dst] = result
                     resume(st, f)
@@ -1186,8 +1221,18 @@ def _compile_unwind():
     return op
 
 
-def _decode_function(function: Function,
-                     target: types.TargetData) -> DecodedFunction:
+def _with_site(op: Callable, site: str) -> Callable:
+    """Wrap a compiled closure so the sanitizer knows which instruction
+    is executing.  Applied before fusion, so fused runs keep publishing
+    per-instruction sites."""
+    def wrapped(st, f):
+        st.memory.san.current_site = site
+        return op(st, f)
+    return wrapped
+
+
+def _decode_function(function: Function, target: types.TargetData,
+                     sanitize: bool = False) -> DecodedFunction:
     """Lower *function* into per-block closure arrays (see module doc)."""
     blocks = function.blocks
     # Slot numbering is the V-ABI register numbering: arguments first,
@@ -1217,7 +1262,11 @@ def _decode_function(function: Function,
         flags = [False] * nphis
         ops.extend([_phi_error_op] * nphis)
         for index in range(nphis, len(instructions)):
-            op, fusable = decoder.compile(block, instructions[index], index)
+            inst = instructions[index]
+            op, fusable = decoder.compile(block, inst, index)
+            if sanitize:
+                op = _with_site(op, format_site(function.name, block.name,
+                                                index, inst.opcode))
             ops.append(op)
             flags.append(fusable)
         fused += _fuse_block(ops, flags)
@@ -1241,9 +1290,10 @@ class FastInterpreter(Interpreter):
                  privileged: bool = False,
                  max_steps: Optional[int] = None,
                  engine: str = "fast",
-                 decode_cache: Optional[DecodeCache] = None):
+                 decode_cache: Optional[DecodeCache] = None,
+                 sanitize: bool = False):
         super().__init__(module, target=target, privileged=privileged,
-                         max_steps=max_steps)
+                         max_steps=max_steps, sanitize=sanitize)
         self.engine = "fast"
         if decode_cache is not None:
             if (decode_cache.target.pointer_size != self.target.pointer_size
@@ -1251,9 +1301,14 @@ class FastInterpreter(Interpreter):
                     != self.target.endianness):
                 raise ValueError(
                     "decode cache was built for a different target layout")
+            if decode_cache.sanitize != sanitize:
+                raise ValueError(
+                    "decode cache sanitize mode ({0}) does not match the "
+                    "interpreter ({1})".format(decode_cache.sanitize,
+                                               sanitize))
             self.decode_cache = decode_cache
         else:
-            self.decode_cache = DecodeCache(self.target)
+            self.decode_cache = DecodeCache(self.target, sanitize=sanitize)
         self.smc_listeners.append(self.decode_cache.listener())
         self.fused_runs = 0
         self.fused_instructions = 0
@@ -1352,7 +1407,9 @@ class FastInterpreter(Interpreter):
             except MemoryError_ as fault:
                 return self._fast_fault(f, index, inst, dst,
                                         fault.trap_number,
-                                        fault.address or 0)
+                                        fault.address or 0,
+                                        fault.detail,
+                                        fault.unmaskable)
             if dst >= 0:
                 f.regs[dst] = result
             resume(self, f)
@@ -1363,7 +1420,9 @@ class FastInterpreter(Interpreter):
             except MemoryError_ as fault:
                 return self._fast_fault(f, index, inst, dst,
                                         fault.trap_number,
-                                        fault.address or 0)
+                                        fault.address or 0,
+                                        fault.detail,
+                                        fault.unmaskable)
             if dst >= 0:
                 f.regs[dst] = result
             resume(self, f)
@@ -1377,22 +1436,27 @@ class FastInterpreter(Interpreter):
     # -- exception model -----------------------------------------------
 
     def _fast_fault(self, f: _FastFrame, index: int, inst, dst: int,
-                    trap_number: int, info: int):
+                    trap_number: int, info: int, detail: str = "",
+                    unmaskable: bool = False):
         """The ExceptionsEnabled rule for a faulting instruction."""
-        if not (inst.exceptions_enabled and self.exceptions_dynamic):
+        if not unmaskable \
+                and not (inst.exceptions_enabled
+                         and self.exceptions_dynamic):
             if dst >= 0:
                 f.regs[dst] = _zero_of(inst.type)
             f.index = index + 1
             return None
-        return self._fast_deliver(f, index, inst, dst, trap_number, info)
+        return self._fast_deliver(f, index, inst, dst, trap_number, info,
+                                  detail)
 
     def _fast_deliver(self, f: _FastFrame, index: int, inst, dst: int,
-                      trap_number: int, info: int):
+                      trap_number: int, info: int, detail: str = ""):
         observe.counter("run.traps", 1, engine="fast",
                         trap=str(trap_number))
         handler_address = self.trap_handlers.get(trap_number)
         if handler_address is None:
-            raise ExecutionTrap(trap_number, "no handler registered", info)
+            raise ExecutionTrap(trap_number,
+                                detail or "no handler registered", info)
         handler = self.image.function_at(handler_address)
         if handler is None or handler.is_declaration:
             raise ExecutionTrap(trap_number,
@@ -1409,10 +1473,12 @@ class FastInterpreter(Interpreter):
         trap_frame.is_trap_handler = True
         return _RESCHED
 
-    def _deliver_trap(self, frame, inst, trap_number: int, info: int):
+    def _deliver_trap(self, frame, inst, trap_number: int, info: int,
+                      detail: str = ""):
         # Reached via the inherited _call_intrinsic (llva.trap.raise);
         # inst is always None on that path.
-        self._fast_deliver(frame, frame.index, None, -1, trap_number, info)
+        self._fast_deliver(frame, frame.index, None, -1, trap_number, info,
+                           detail)
         return _NO_RESULT
 
     def _number_registers(self, frame) -> Dict[int, int]:

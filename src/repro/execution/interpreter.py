@@ -95,7 +95,8 @@ class Interpreter:
                 privileged: bool = False,
                 max_steps: Optional[int] = None,
                 engine: str = "reference",
-                decode_cache=None):
+                decode_cache=None,
+                sanitize: bool = False):
         if cls is Interpreter and engine == "fast":
             from repro.execution.fastpath import FastInterpreter
             return object.__new__(FastInterpreter)
@@ -106,13 +107,18 @@ class Interpreter:
                  privileged: bool = False,
                  max_steps: Optional[int] = None,
                  engine: str = "reference",
-                 decode_cache=None):
+                 decode_cache=None,
+                 sanitize: bool = False):
         if engine not in ("reference", "fast"):
             raise ValueError("unknown engine {0!r}".format(engine))
         self.engine = "reference"
         self.module = module
         self.target = target or module.target_data
-        self.memory = Memory(self.target)
+        if sanitize:
+            from repro.execution.sanitizer import SanitizedMemory
+            self.memory = SanitizedMemory(self.target)
+        else:
+            self.memory = Memory(self.target)
         self.image = ProgramImage(module, self.memory)
         self.runtime = RuntimeLibrary(self.memory, lambda: self.steps)
         self.steps = 0
@@ -181,6 +187,10 @@ class Interpreter:
         # Hoisted so the disabled path pays one local-bool test per
         # step; opcode counts flush to the registry on loop exit.
         observing = observe.enabled()
+        # Same discipline for the sanitizer: `san` is None unless the
+        # interpreter was built with sanitize=True, so unsanitized runs
+        # pay one local test per step.
+        san = self.memory.san
         opcode_counts: Dict[str, int] = {}
         try:
             while frames:
@@ -191,6 +201,8 @@ class Interpreter:
                     opcode = inst.opcode
                     opcode_counts[opcode] = \
                         opcode_counts.get(opcode, 0) + 1
+                if san is not None:
+                    san.set_site_frame(frame, inst)
                 if self.max_steps is not None \
                         and self.steps > self.max_steps:
                     raise StepLimitExceeded(
@@ -200,7 +212,9 @@ class Interpreter:
                 except MemoryError_ as fault:
                     outcome = self._handle_trap(frame, inst,
                                                 fault.trap_number,
-                                                fault.address or 0)
+                                                fault.address or 0,
+                                                fault.detail,
+                                                fault.unmaskable)
                 if outcome is not _NO_RESULT:
                     return outcome
             return None
@@ -249,9 +263,12 @@ class Interpreter:
     # ------------------------------------------------------------------
 
     def _handle_trap(self, frame: _Frame, inst: insts.Instruction,
-                     trap_number: int, info: int):
+                     trap_number: int, info: int, detail: str = "",
+                     unmaskable: bool = False):
         """Apply the ExceptionsEnabled rules to a raised condition."""
-        if not (inst.exceptions_enabled and self.exceptions_dynamic):
+        if not unmaskable \
+                and not (inst.exceptions_enabled
+                         and self.exceptions_dynamic):
             # Masked: the exception is ignored.  The instruction completes
             # with a defined default result (zero) so execution stays
             # deterministic across engines.
@@ -259,16 +276,16 @@ class Interpreter:
                 self._set(frame, inst, _zero_of(inst.type))
             frame.index += 1
             return _NO_RESULT
-        return self._deliver_trap(frame, inst, trap_number, info)
+        return self._deliver_trap(frame, inst, trap_number, info, detail)
 
     def _deliver_trap(self, frame: _Frame, inst: Optional[insts.Instruction],
-                      trap_number: int, info: int):
+                      trap_number: int, info: int, detail: str = ""):
         observe.counter("run.traps", 1, engine="interp",
                         trap=str(trap_number))
         handler_address = self.trap_handlers.get(trap_number)
         if handler_address is None:
             raise ExecutionTrap(trap_number,
-                                "no handler registered", info)
+                                detail or "no handler registered", info)
         handler = self.image.function_at(handler_address)
         if handler is None or handler.is_declaration:
             raise ExecutionTrap(trap_number,
@@ -595,7 +612,8 @@ class Interpreter:
         try:
             address = self.memory.push_frame(max(size, 1), align)
         except ExecutionTrap as trap:
-            return self._handle_trap(frame, inst, trap.trap_number, 0)
+            return self._handle_trap(frame, inst, trap.trap_number, 0,
+                                     trap.detail, trap.unmaskable)
         self._set(frame, inst, address)
         frame.index += 1
         return _NO_RESULT

@@ -19,6 +19,7 @@ two V-ABI configurations — which the differential tests exercise.
 
 from __future__ import annotations
 
+import bisect as _bisect
 import struct as _struct
 from typing import Dict, List, Tuple
 
@@ -56,6 +57,11 @@ class Memory:
     thousands of allocations would otherwise pay a per-access scan).
     """
 
+    #: Shadow-metadata hook; :class:`SanitizedMemory` replaces this with
+    #: a live :class:`~repro.execution.sanitizer.ShadowSanitizer`.  A
+    #: class attribute so unsanitized instances pay nothing per access.
+    san = None
+
     def __init__(self, target: TargetData,
                  stack_limit: int = DEFAULT_STACK_LIMIT):
         self.target = target
@@ -65,14 +71,21 @@ class Memory:
         self._heap_arena = bytearray(_HEAP_CHUNK)
         self._free_lists: Dict[int, List[int]] = {}
         self._alloc_sizes: Dict[int, int] = {}
+        # Freed-but-not-reallocated blocks, kept unmapped: sorted start
+        # addresses plus start -> size.  Empty for programs that never
+        # free, so the hot-path guard is a falsy check.
+        self._freed_starts: List[int] = []
+        self._freed_sizes: Dict[int, int] = {}
         self.stack_pointer = STACK_TOP
         self.stack_limit = stack_limit
         self._stack_arena = bytearray(stack_limit)
         self._stack_base = STACK_TOP - stack_limit
         # Extra regions (llva.pagetable.map): few, scanned linearly.
         self._regions: List[Tuple[int, bytearray]] = []
-        #: Running count of heap bytes allocated (pool-allocation bench).
+        #: Cumulative heap bytes ever allocated (monotonic).
         self.heap_allocated = 0
+        #: Heap bytes currently live (allocated minus freed).
+        self.heap_live = 0
 
     # -- region management ---------------------------------------------------
 
@@ -84,11 +97,15 @@ class Memory:
 
     def _find_region(self, address: int,
                      size: int) -> Tuple[int, bytearray]:
-        if self._stack_base <= address \
+        # Only addresses at or above the live stack pointer are mapped
+        # stack; [_stack_base, stack_pointer) is unallocated headroom.
+        if self.stack_pointer <= address \
                 and address + size <= STACK_TOP:
             return self._stack_base, self._stack_arena
         if HEAP_BASE <= address \
                 and address + size <= self._heap_cursor:
+            if self._freed_starts:
+                self._check_not_freed(address, size)
             return HEAP_BASE, self._heap_arena
         if GLOBAL_BASE <= address \
                 and address + size <= self._global_cursor:
@@ -96,9 +113,31 @@ class Memory:
         for base, data in self._regions:
             if base <= address and address + size <= base + len(data):
                 return base, data
+        if self._stack_base <= address \
+                and address + size <= STACK_TOP:
+            raise MemoryError_(
+                "access of {0} bytes at 0x{1:x} below the live stack "
+                "pointer 0x{2:x}".format(size, address,
+                                         self.stack_pointer), address)
         raise MemoryError_(
             "access of {0} bytes at 0x{1:x} outside mapped memory"
             .format(size, address), address)
+
+    def _check_not_freed(self, address: int, size: int) -> None:
+        """Fault if [address, address+size) touches a freed heap block."""
+        starts = self._freed_starts
+        i = _bisect.bisect_right(starts, address)
+        if i and starts[i - 1] + self._freed_sizes[starts[i - 1]] \
+                > address:
+            raise MemoryError_(
+                "access of {0} bytes at 0x{1:x} inside freed heap "
+                "block 0x{2:x}".format(size, address, starts[i - 1]),
+                address)
+        if i < len(starts) and starts[i] < address + size:
+            raise MemoryError_(
+                "access of {0} bytes at 0x{1:x} spans freed heap "
+                "block 0x{2:x}".format(size, address, starts[i]),
+                address)
 
     def is_mapped(self, address: int, size: int = 1) -> bool:
         try:
@@ -156,16 +195,24 @@ class Memory:
         self.write_bytes(address, raw)
 
     def read_cstring(self, address: int, limit: int = 1 << 20) -> bytes:
-        """Read a NUL-terminated byte string."""
+        """Read a NUL-terminated byte string of up to *limit* bytes.
+
+        A NUL landing exactly at position *limit* still terminates the
+        string; the fault for a genuinely unterminated string reports
+        the cursor that overran, not the start address.
+        """
         out = bytearray()
         cursor = address
-        while len(out) < limit:
+        while True:
             byte = self.read_bytes(cursor, 1)[0]
             if byte == 0:
                 return bytes(out)
+            if len(out) >= limit:
+                raise MemoryError_(
+                    "unterminated string starting at 0x{0:x}"
+                    .format(address), cursor)
             out.append(byte)
             cursor += 1
-        raise MemoryError_("unterminated string", address)
 
     # -- globals ----------------------------------------------------------------
 
@@ -193,7 +240,9 @@ class Memory:
         free_list = self._free_lists.get(size)
         if free_list:
             address = free_list.pop()
-            # Reuse stays mapped; zero it for determinism.
+            # Remap the block before touching it, then zero it for
+            # determinism.
+            self._remove_freed(address)
             self.write_bytes(address, b"\x00" * size)
         else:
             address = self._heap_cursor
@@ -205,16 +254,29 @@ class Memory:
             self._heap_cursor += size
         self._alloc_sizes[address] = size
         self.heap_allocated += size
+        self.heap_live += size
         return address
 
     def free(self, address: int) -> None:
-        """Release heap memory (runtime ``free``)."""
+        """Release heap memory (runtime ``free``).
+
+        The block stays unmapped — accesses fault — until a later
+        ``malloc`` of the same size hands it back out.
+        """
         if address == 0:
             return
         size = self._alloc_sizes.pop(address, None)
         if size is None:
             raise MemoryError_("free of unallocated address", address)
+        self.heap_live -= size
         self._free_lists.setdefault(size, []).append(address)
+        _bisect.insort(self._freed_starts, address)
+        self._freed_sizes[address] = size
+
+    def _remove_freed(self, address: int) -> None:
+        del self._freed_sizes[address]
+        i = _bisect.bisect_left(self._freed_starts, address)
+        del self._freed_starts[i]
 
     # -- stack --------------------------------------------------------------------
 

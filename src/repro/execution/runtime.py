@@ -102,6 +102,8 @@ class RuntimeLibrary:
         self._pools[int(descriptor)] = {
             "slabs": [], "cursor": 0, "remaining": 0,
             "element_size": int(element_size),
+            # Live per-object allocations (llva-san mode only).
+            "objects": set(),
         }
 
     def _do_poolalloc(self, descriptor: int, size: int) -> int:
@@ -109,6 +111,15 @@ class RuntimeLibrary:
         if pool is None:
             raise ExecutionTrap(TrapKind.SOFTWARE_TRAP,
                                 "poolalloc on uninitialized pool")
+        if self.memory.san is not None:
+            # Sanitized: allocate per object so every pool object gets
+            # its own redzones and quarantine entry — a bump allocation
+            # inside a shared slab would hide overflows between
+            # neighbouring pool objects.
+            address = self.memory.malloc(max(int(size), 1))
+            pool["objects"].add(address)
+            self.pool_allocs += 1
+            return address
         size = max(int(size), 1)
         size = (size + 15) // 16 * 16
         if pool["remaining"] < size:
@@ -127,9 +138,17 @@ class RuntimeLibrary:
     def _do_poolfree(self, descriptor: int, address: int) -> None:
         # Individual frees are deferred to pooldestroy — the whole point
         # of segregating a data structure instance into its own pool.
-        if int(descriptor) not in self._pools:
+        pool = self._pools.get(int(descriptor))
+        if pool is None:
             raise ExecutionTrap(TrapKind.SOFTWARE_TRAP,
                                 "poolfree on uninitialized pool")
+        if self.memory.san is not None:
+            # Sanitized pools free eagerly, so a dangling pool pointer
+            # faults as use-after-free (and a bad address as
+            # invalid/double free) instead of being silently deferred.
+            address = int(address)
+            self.memory.free(address)
+            pool["objects"].discard(address)
 
     def _do_pooldestroy(self, descriptor: int) -> None:
         pool = self._pools.pop(int(descriptor), None)
@@ -137,6 +156,8 @@ class RuntimeLibrary:
             return  # double destroy is tolerated
         for slab in pool["slabs"]:
             self.memory.free(slab)
+        for address in sorted(pool["objects"]):
+            self.memory.free(address)
 
     # -- output ----------------------------------------------------------------
 

@@ -78,6 +78,8 @@ class InterpretedRunReport:
     cache_hit: bool
     decode_seconds: float
     run_seconds: float
+    #: Was the run executed under llva-san shadow-memory checking?
+    sanitized: bool = False
 
 
 class LLEE:
@@ -153,7 +155,8 @@ class LLEE:
     def run_interpreted(self, object_code: bytes, entry: str = "main",
                         args: Sequence[object] = (),
                         engine: str = "fast",
-                        privileged: bool = False) -> InterpretedRunReport:
+                        privileged: bool = False,
+                        sanitize: bool = False) -> InterpretedRunReport:
         """Run a virtual executable on an interpreter engine.
 
         With ``engine="fast"``, the decoded module is cached across
@@ -162,8 +165,13 @@ class LLEE:
         cached module (its in-memory body has been mutated), so the
         next invocation re-reads the pristine object code, matching the
         fresh-module semantics of :meth:`run_executable`.
+
+        ``sanitize=True`` runs under llva-san (shadow-memory checking);
+        sanitized decode caches are keyed separately because their
+        closures carry site instrumentation.
         """
-        key = "interp-" + self._cache_key(object_code)
+        key = ("interp-san-" if sanitize else "interp-") \
+            + self._cache_key(object_code)
         with observe.span("llee.run_interpreted", entry=entry,
                           engine=engine):
             cached = self._interp_cache.get(key) if engine == "fast" \
@@ -171,7 +179,8 @@ class LLEE:
             cache_hit = cached is not None
             if cached is None:
                 module = read_module(object_code)
-                decode_cache = DecodeCache(module.target_data)
+                decode_cache = DecodeCache(module.target_data,
+                                           sanitize=sanitize)
             else:
                 module, decode_cache = cached
             observe.counter(
@@ -179,7 +188,8 @@ class LLEE:
                 1, target="interp")
             interpreter = Interpreter(
                 module, privileged=privileged, engine=engine,
-                decode_cache=decode_cache if engine == "fast" else None)
+                decode_cache=decode_cache if engine == "fast" else None,
+                sanitize=sanitize)
             smc_fired = []
             interpreter.smc_listeners.append(smc_fired.append)
             decode_before = decode_cache.stats.decode_seconds
@@ -202,6 +212,7 @@ class LLEE:
             cache_hit=cache_hit,
             decode_seconds=decode_seconds,
             run_seconds=max(run_seconds - decode_seconds, 0.0),
+            sanitized=sanitize,
         )
 
     def offline_translate(self, object_code: bytes,

@@ -152,7 +152,7 @@ def _check_program_args(module, entry: str,
 
 
 #: Registry prefixes surfaced on the one-line ``--stats`` report.
-_STATS_PREFIXES = ("run.", "jit.", "llee.cache.", "fastpath.")
+_STATS_PREFIXES = ("run.", "jit.", "llee.cache.", "fastpath.", "san.")
 
 
 def _format_stats_line(label: str, result: object) -> str:
@@ -180,6 +180,10 @@ def _cmd_run(args) -> int:
     if problem:
         sys.stderr.write("run: " + problem)
         return 2
+    if args.sanitize and args.target:
+        sys.stderr.write("run: --sanitize applies to the interpreter "
+                         "engines only, not --target\n")
+        return 2
     try:
         if args.target:
             target = make_target(args.target)
@@ -196,7 +200,8 @@ def _cmd_run(args) -> int:
         else:
             interpreter = Interpreter(module,
                                       privileged=args.privileged,
-                                      engine=args.engine)
+                                      engine=args.engine,
+                                      sanitize=args.sanitize)
             result = interpreter.run(args.entry, program_args)
             sys.stdout.write(result.output)
             value, status = result.return_value, result.exit_status
@@ -330,6 +335,17 @@ def _render_stats_report(profile, result_value, top: int, out) -> None:
             "{0}={1}".format(name, int(count))
             for name, count in opcode_rows[:top])))
 
+    san_rows = [(name, labels, value) for name, labels, value
+                in registry.counters("san.")]
+    if san_rows:
+        out.write("== sanitizer (llva-san) ==\n")
+        for name, labels, value in sorted(san_rows,
+                                          key=lambda row: row[0]):
+            out.write("  {0}{1} = {2}\n".format(
+                name,
+                " [{0}]".format(_labels_text(labels)) if labels else "",
+                int(value)))
+
     out.write("== llee cache ==\n")
     out.write("  hits={0} misses={1} stores={2}\n".format(
         int(sum(v for _l, v in registry.label_values(
@@ -368,6 +384,10 @@ def _cmd_stats(args) -> int:
     if problem:
         sys.stderr.write("stats: " + problem)
         return 2
+    if args.sanitize and args.target:
+        sys.stderr.write("stats: --sanitize applies to the interpreter "
+                         "engines only, not --target\n")
+        return 2
     profile = None
     try:
         if args.target:
@@ -385,7 +405,8 @@ def _cmd_stats(args) -> int:
         else:
             interpreter = Interpreter(module,
                                       privileged=args.privileged,
-                                      engine=args.engine)
+                                      engine=args.engine,
+                                      sanitize=args.sanitize)
             result = interpreter.run(args.entry, program_args)
             sys.stdout.write(result.output)
             result_value = result.return_value
@@ -465,6 +486,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "engine, 'reference' the semantic oracle")
     run.add_argument("--entry", default="main")
     run.add_argument("--privileged", action="store_true")
+    run.add_argument("--sanitize", action="store_true",
+                     help="run under llva-san: shadow-memory checking "
+                          "with redzones, a free quarantine, and "
+                          "per-allocation fault reports (interpreter "
+                          "engines only)")
     run.add_argument("--stats", action="store_true")
     _add_observe_flags(run)
     run.add_argument("args", nargs="*")
@@ -493,6 +519,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("-O", "--optimize", type=int, default=0)
     stats.add_argument("--entry", default="main")
     stats.add_argument("--privileged", action="store_true")
+    stats.add_argument("--sanitize", action="store_true",
+                       help="run under llva-san (interpreter engines "
+                            "only)")
     stats.add_argument("--top", type=int, default=10,
                        help="rows in the opcode/hot-block tables")
     stats.add_argument("--cache", metavar="DIR",

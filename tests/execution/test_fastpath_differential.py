@@ -53,6 +53,29 @@ def run_both(source, entry="main", args=(), privileged=False):
     return outcomes["reference"]
 
 
+def _outcome_sanitized(module, engine):
+    """Sanitized outcome, with the full fault report in the tuple so a
+    differing diagnosis (not just a differing trap number) fails."""
+    interpreter = Interpreter(module, engine=engine, sanitize=True)
+    try:
+        result = interpreter.run("main", [])
+    except ExecutionTrap as trap:
+        return ("trap", trap.trap_number, trap.detail, interpreter.steps)
+    return ("ok", result.return_value, result.output, result.steps,
+            result.exit_status)
+
+
+def run_both_sanitized(source):
+    """Run under llva-san on both engines; reports must be identical."""
+    outcomes = {}
+    for engine in ENGINES:
+        module = parse_module(source)
+        verify_module(module)
+        outcomes[engine] = _outcome_sanitized(module, engine)
+    assert outcomes["reference"] == outcomes["fast"]
+    return outcomes["reference"]
+
+
 class TestBenchsuiteDifferential:
     """Every Table 2 workload, both engines, identical observations."""
 
@@ -230,6 +253,143 @@ class TestExceptionModelDifferential:
                 ret int 0
         }
         """, privileged=False)[0] == "trap"
+
+
+class TestSanitizerDifferential:
+    """llva-san faults must be byte-identical across engines: same trap
+    number, same step count, same rendered report (sites included)."""
+
+    HEAP_DECLS = """
+    declare sbyte* %malloc(uint)
+    declare void %free(sbyte*)
+    """
+
+    def test_use_after_free(self):
+        outcome = run_both_sanitized(self.HEAP_DECLS + """
+        int %main() {
+        entry:
+                %p = call sbyte* %malloc(uint 32)
+                call void %free(sbyte* %p)
+                %v = load sbyte* %p
+                %r = cast sbyte %v to int
+                ret int %r
+        }
+        """)
+        assert outcome[0] == "trap"
+        detail = outcome[2]
+        assert detail.startswith("heap-use-after-free: read of 1 byte")
+        assert "offset 0 into 32-byte block" in detail
+        assert "at %main:entry:#2 (load)" in detail
+        assert "allocated at %main:entry:#0 (call)" in detail
+        assert "freed at %main:entry:#1 (call)" in detail
+
+    def test_heap_buffer_overflow(self):
+        outcome = run_both_sanitized(self.HEAP_DECLS + """
+        int %main() {
+        entry:
+                %p = call sbyte* %malloc(uint 16)
+                %ip = cast sbyte* %p to int*
+                %q = getelementptr int* %ip, long 4
+                %v = load int* %q
+                ret int %v
+        }
+        """)
+        assert outcome[0] == "trap"
+        detail = outcome[2]
+        assert detail.startswith("heap-buffer-overflow: read of 4 bytes")
+        assert "offset 16 into 16-byte block" in detail
+        assert "at %main:entry:#3 (load)" in detail
+        assert "allocated at %main:entry:#0 (call)" in detail
+
+    def test_double_free(self):
+        # `call` is masked by default (not in DEFAULT_EXCEPTIONS_ENABLED)
+        # — the sanitizer fault must surface anyway, on both engines.
+        outcome = run_both_sanitized(self.HEAP_DECLS + """
+        int %main() {
+        entry:
+                %p = call sbyte* %malloc(uint 8)
+                call void %free(sbyte* %p)
+                call void %free(sbyte* %p)
+                ret int 0
+        }
+        """)
+        assert outcome[0] == "trap"
+        detail = outcome[2]
+        assert detail.startswith("double-free: free of 0x")
+        assert "(8-byte block) at %main:entry:#2 (call)" in detail
+        assert "freed at %main:entry:#1 (call)" in detail
+
+    def test_below_stack_pointer_access(self):
+        outcome = run_both_sanitized("""
+        int %main() {
+        entry:
+                %a = alloca int
+                store int 7, int* %a
+                %pl = cast int* %a to long
+                %ql = sub long %pl, 64
+                %q = cast long %ql to int*
+                %v = load int* %q
+                ret int %v
+        }
+        """)
+        assert outcome[0] == "trap"
+        detail = outcome[2]
+        assert detail.startswith("stack-below-sp: read of 4 bytes")
+        assert "below the live stack pointer" in detail
+        assert "at %main:entry:#5 (load)" in detail
+
+    def test_fault_inside_fused_run_names_right_site(self):
+        # The faulting load sits in a straight-line run long enough to
+        # fuse in the fast engine; the decode-time site instrumentation
+        # must still report the individual instruction.
+        outcome = run_both_sanitized(self.HEAP_DECLS + """
+        int %main() {
+        entry:
+                %p = call sbyte* %malloc(uint 16)
+                call void %free(sbyte* %p)
+                %a = add int 1, 2
+                %b = add int %a, 3
+                %c = add int %b, 4
+                %d = add int %c, 5
+                %v = load sbyte* %p
+                %w = cast sbyte %v to int
+                %r = add int %d, %w
+                ret int %r
+        }
+        """)
+        assert outcome[0] == "trap"
+        assert "at %main:entry:#6 (load)" in outcome[2]
+
+    def test_clean_program_identical_and_faultless(self):
+        outcome = run_both_sanitized(self.HEAP_DECLS + """
+        int %main() {
+        entry:
+                %p = call sbyte* %malloc(uint 32)
+                %ip = cast sbyte* %p to int*
+                store int 41, int* %ip
+                %v = load int* %ip
+                call void %free(sbyte* %p)
+                %r = add int %v, 1
+                ret int %r
+        }
+        """)
+        assert outcome[0] == "ok"
+        assert outcome[1] == 42
+
+    @pytest.mark.parametrize("name", ["ft", "ks", "anagram"])
+    def test_benchsuite_clean_under_sanitizer(self, name):
+        workload = load_workload(name, SCALE)
+        module = compile_source(workload.source, name,
+                                optimization_level=2)
+        outcomes = {}
+        for engine in ENGINES:
+            interpreter = Interpreter(module, engine=engine,
+                                      sanitize=True)
+            result = interpreter.run("main", [])
+            assert interpreter.memory.san.fault_count == 0
+            outcomes[engine] = (result.return_value, result.output,
+                                result.steps, result.exit_status)
+        assert outcomes["reference"] == outcomes["fast"]
 
 
 class TestUnwindDifferential:

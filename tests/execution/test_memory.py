@@ -97,6 +97,24 @@ class TestTypedAccess:
         memory.write_bytes(address, b"hello\x00junk")
         assert memory.read_cstring(address) == b"hello"
 
+    def test_cstring_nul_exactly_at_limit(self):
+        # A terminator landing on the limit boundary is still a
+        # well-formed string of `limit` bytes, not an error.
+        memory = _memory()
+        address = memory.malloc(16)
+        memory.write_bytes(address, b"hello\x00")
+        assert memory.read_cstring(address, limit=5) == b"hello"
+
+    def test_cstring_unterminated_reports_overrun_cursor(self):
+        memory = _memory()
+        address = memory.malloc(16)
+        memory.write_bytes(address, b"A" * 16)
+        with pytest.raises(MemoryError_) as info:
+            memory.read_cstring(address, limit=8)
+        # The fault names the cursor that overran, not the start.
+        assert info.value.address == address + 8
+        assert "unterminated" in info.value.detail
+
 
 class TestAllocator:
     def test_malloc_returns_distinct_zeroed_chunks(self):
@@ -131,6 +149,44 @@ class TestAllocator:
         memory.write_typed(blocks[-1], types.INT, 9)
         assert memory.read_typed(blocks[-1], types.INT) == 9
 
+    def test_freed_block_is_unmapped_until_reused(self):
+        memory = _memory()
+        a = memory.malloc(32)
+        memory.free(a)
+        assert not memory.is_mapped(a)
+        with pytest.raises(MemoryError_) as info:
+            memory.read_bytes(a, 4)
+        assert "freed heap block" in info.value.detail
+        with pytest.raises(MemoryError_):
+            memory.write_bytes(a, b"oops")
+        b = memory.malloc(32)  # freelist hands the block back
+        assert b == a
+        assert memory.is_mapped(b, 32)
+        assert memory.read_bytes(b, 4) == b"\x00" * 4
+
+    def test_access_spanning_freed_neighbour_faults(self):
+        memory = _memory()
+        a = memory.malloc(16)
+        b = memory.malloc(16)
+        memory.free(b)
+        assert memory.read_bytes(a, 16) == b"\x00" * 16  # a still fine
+        with pytest.raises(MemoryError_) as info:
+            memory.read_bytes(a, 32)  # runs into the freed block
+        assert "freed heap block" in info.value.detail
+
+    def test_heap_live_vs_cumulative_accounting(self):
+        memory = _memory()
+        a = memory.malloc(32)
+        memory.malloc(32)
+        assert memory.heap_allocated == 64
+        assert memory.heap_live == 64
+        memory.free(a)
+        assert memory.heap_allocated == 64  # cumulative never drops
+        assert memory.heap_live == 32
+        memory.malloc(32)  # freelist reuse still counts as traffic
+        assert memory.heap_allocated == 96
+        assert memory.heap_live == 64
+
     @given(st.lists(st.integers(min_value=1, max_value=512),
                     min_size=1, max_size=40))
     def test_allocations_never_overlap(self, sizes):
@@ -164,3 +220,21 @@ class TestStack:
         memory = _memory()
         frame = memory.push_frame(100, align=16)
         assert frame % 16 == 0
+
+    def test_popped_frame_is_below_live_stack_pointer(self):
+        memory = _memory()
+        top = memory.stack_pointer
+        frame = memory.push_frame(64)
+        memory.write_bytes(frame, b"x")
+        memory.pop_frame(top)
+        assert not memory.is_mapped(frame)
+        with pytest.raises(MemoryError_) as info:
+            memory.read_bytes(frame, 1)
+        assert "below the live stack pointer" in info.value.detail
+
+    def test_headroom_between_base_and_sp_is_unmapped(self):
+        memory = _memory(stack_limit=4096)
+        probe = memory.stack_pointer - 128  # unallocated headroom
+        assert not memory.is_mapped(probe)
+        frame = memory.push_frame(256)
+        assert memory.is_mapped(frame)  # now above the live pointer

@@ -123,6 +123,70 @@ class TestLLEECaching:
             assert report.output == expected.output
 
 
+class TestSanitizedInterpretedRuns:
+    HEAP_PROGRAM = r"""
+    int main() {
+        int* p = (int*) malloc(40);
+        int i;
+        int total = 0;
+        for (i = 0; i < 10; i++) { p[i] = i; }
+        for (i = 0; i < 10; i++) { total += p[i]; }
+        free((char*) p);
+        return total;
+    }
+    """
+
+    @pytest.fixture(scope="class")
+    def heap_object_code(self):
+        module = compile_source(self.HEAP_PROGRAM, "llee-san-test",
+                                optimization_level=2)
+        return write_module(module)
+
+    def test_sanitized_run_matches_plain(self, heap_object_code):
+        llee = LLEE(make_target("x86"))
+        plain = llee.run_interpreted(heap_object_code)
+        sanitized = llee.run_interpreted(heap_object_code, sanitize=True)
+        assert not plain.sanitized
+        assert sanitized.sanitized
+        assert sanitized.return_value == plain.return_value == 45
+        assert sanitized.output == plain.output
+        assert sanitized.steps == plain.steps
+
+    def test_sanitized_decode_cache_keyed_separately(self,
+                                                     heap_object_code):
+        llee = LLEE(make_target("x86"))
+        llee.run_interpreted(heap_object_code)
+        # First sanitized run must not reuse the plain decode cache:
+        # its closures lack site instrumentation.
+        cold = llee.run_interpreted(heap_object_code, sanitize=True)
+        assert not cold.cache_hit
+        warm = llee.run_interpreted(heap_object_code, sanitize=True)
+        assert warm.cache_hit
+        assert warm.return_value == cold.return_value
+
+    def test_sanitized_run_surfaces_fault(self):
+        from repro.asm import parse_module
+        from repro.execution import ExecutionTrap
+
+        buggy = parse_module("""
+        declare sbyte* %malloc(uint)
+        declare void %free(sbyte*)
+        int %main() {
+        entry:
+                %p = call sbyte* %malloc(uint 16)
+                call void %free(sbyte* %p)
+                %v = load sbyte* %p
+                %r = cast sbyte %v to int
+                ret int %r
+        }
+        """)
+        code = write_module(buggy)
+        llee = LLEE(make_target("x86"))
+        with pytest.raises(ExecutionTrap) as info:
+            llee.run_interpreted(code, sanitize=True)
+        assert "heap-use-after-free" in info.value.detail
+
+
 class TestSMCInvalidation:
     def test_jit_retranslates_after_smc(self):
         source = """
