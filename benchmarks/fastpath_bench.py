@@ -10,11 +10,21 @@ Any divergence is a correctness failure: the script prints the
 mismatch and exits nonzero, which is what the CI perf-smoke job keys
 on.  Timing numbers are informational — CI never fails on them.
 
+``--tier2`` turns the fast engine into the tiered translator (tier-2
+promotion forced by default with threshold 0) and reports the per-tier
+step split plus decode/compile/run second breakdown; the report is
+written to ``BENCH_tierjit.json`` instead of ``BENCH_fastpath.json``.
+``--repeat N`` re-runs each engine N times against the same decode and
+tier-2 caches and reports the min (steady state): the first iteration
+pays decode+compile, later ones measure the running tier.
+
 Usage:
     PYTHONPATH=src python benchmarks/fastpath_bench.py            # full
     PYTHONPATH=src python benchmarks/fastpath_bench.py --quick    # CI
     PYTHONPATH=src python benchmarks/fastpath_bench.py \\
         --programs ft ks --scale 0.1 --out BENCH_fastpath.json
+    PYTHONPATH=src python benchmarks/fastpath_bench.py \\
+        --tier2 --repeat 3                         # tiered, steady state
 """
 
 from __future__ import annotations
@@ -34,57 +44,103 @@ QUICK_PROGRAMS = ["ft", "ks", "anagram"]
 QUICK_SCALE = 0.05
 
 
-def run_engine(module, engine, sanitize=False):
-    """One timed run; returns (observation, seconds, decode_s, faults)."""
+def run_engine(module, engine, sanitize=False, repeat=1,
+               tier2=False, tier2_threshold=0):
+    """Run *module* ``repeat`` times on one engine against shared
+    decode/tier-2 caches; returns a measurement dict (seconds = min)."""
     decode_cache = None
+    tier2_cache = None
     if engine == "fast":
         decode_cache = DecodeCache(module.target_data, sanitize=sanitize)
-    interpreter = Interpreter(module, engine=engine,
-                              decode_cache=decode_cache,
-                              sanitize=sanitize)
-    started = time.perf_counter()
-    try:
-        result = interpreter.run("main")
-        observation = (result.return_value, result.output, result.steps,
-                       result.exit_status)
-    except ExecutionTrap as trap:
-        # A trapping benchsuite program is itself a finding (the
-        # sanitized suite must run clean); record it as an observation
-        # so divergence checking still applies.
-        observation = ("trap", trap.trap_number, trap.detail,
-                       interpreter.steps)
-    elapsed = time.perf_counter() - started
-    decode_seconds = (decode_cache.stats.decode_seconds
-                      if decode_cache is not None else 0.0)
-    san = interpreter.memory.san
-    faults = san.fault_count if san is not None else 0
-    return observation, elapsed, decode_seconds, faults
+        if tier2 and not sanitize:
+            from repro.execution.tier2 import Tier2Cache
+
+            tier2_cache = Tier2Cache(module, module.target_data,
+                                     threshold=tier2_threshold)
+    seconds = []
+    observations = []
+    faults = 0
+    tier2_steps = tier2_calls = 0
+    for _ in range(repeat):
+        interpreter = Interpreter(
+            module, engine=engine,
+            decode_cache=decode_cache, sanitize=sanitize,
+            tier2=tier2_cache if tier2_cache is not None else False)
+        started = time.perf_counter()
+        try:
+            result = interpreter.run("main")
+            observation = (result.return_value, result.output,
+                           result.steps, result.exit_status)
+        except ExecutionTrap as trap:
+            # A trapping benchsuite program is itself a finding (the
+            # sanitized suite must run clean); record it as an
+            # observation so divergence checking still applies.
+            observation = ("trap", trap.trap_number, trap.detail,
+                           interpreter.steps)
+        seconds.append(time.perf_counter() - started)
+        observations.append(observation)
+        san = interpreter.memory.san
+        faults += san.fault_count if san is not None else 0
+        tier2_steps = getattr(interpreter, "tier2_steps", 0)
+        tier2_calls = getattr(interpreter, "tier2_calls", 0)
+    return {
+        "observation": observations[0],
+        # Every repeat must observe the same architectural results;
+        # a flaky engine is as wrong as a diverging one.
+        "stable": all(obs == observations[0] for obs in observations),
+        "seconds": min(seconds),
+        "first_seconds": seconds[0],
+        "decode_seconds": (decode_cache.stats.decode_seconds
+                           if decode_cache is not None else 0.0),
+        "compile_seconds": (tier2_cache.stats.compile_seconds
+                            if tier2_cache is not None else 0.0),
+        "functions_compiled": (tier2_cache.stats.functions_compiled
+                               if tier2_cache is not None else 0),
+        "tier2_pins": (tier2_cache.stats.pins
+                       if tier2_cache is not None else 0),
+        "tier2_steps": tier2_steps,
+        "tier2_calls": tier2_calls,
+        "faults": faults,
+    }
 
 
-def bench_program(name, scale, sanitize=False):
+def bench_program(name, scale, sanitize=False, repeat=1, tier2=False,
+                  tier2_threshold=0):
     workload = load_workload(name, scale)
     module = compile_source(workload.source, name, optimization_level=2)
-    ref_obs, ref_seconds, _, ref_faults = run_engine(
-        module, "reference", sanitize)
-    fast_obs, fast_seconds, decode_seconds, fast_faults = run_engine(
-        module, "fast", sanitize)
+    ref = run_engine(module, "reference", sanitize, repeat=repeat)
+    fast = run_engine(module, "fast", sanitize, repeat=repeat,
+                      tier2=tier2, tier2_threshold=tier2_threshold)
+    ref_obs, fast_obs = ref["observation"], fast["observation"]
     steps = ref_obs[2] if ref_obs[0] != "trap" else ref_obs[3]
+    ref_seconds, fast_seconds = ref["seconds"], fast["seconds"]
     row = {
         "program": name,
         "scale": scale,
         "steps": steps,
-        "sanitizer_faults": ref_faults + fast_faults,
+        "sanitizer_faults": ref["faults"] + fast["faults"],
         "reference_seconds": round(ref_seconds, 6),
         "fast_seconds": round(fast_seconds, 6),
-        "fast_decode_seconds": round(decode_seconds, 6),
+        "fast_decode_seconds": round(fast["decode_seconds"], 6),
         "reference_steps_per_sec": round(steps / ref_seconds, 1)
         if ref_seconds > 0 else None,
         "fast_steps_per_sec": round(steps / fast_seconds, 1)
         if fast_seconds > 0 else None,
         "speedup": round(ref_seconds / fast_seconds, 3)
         if fast_seconds > 0 else None,
-        "diverged": ref_obs != fast_obs,
+        "diverged": (ref_obs != fast_obs or not ref["stable"]
+                     or not fast["stable"]),
     }
+    if tier2:
+        # Per-tier breakdown: where the steps ran and where the
+        # translation time went (decode = tier 1, compile = tier 2).
+        row["tier2_steps"] = fast["tier2_steps"]
+        row["tier1_steps"] = max(steps - fast["tier2_steps"], 0)
+        row["tier2_calls"] = fast["tier2_calls"]
+        row["tier2_functions_compiled"] = fast["functions_compiled"]
+        row["tier2_pins"] = fast["tier2_pins"]
+        row["fast_compile_seconds"] = round(fast["compile_seconds"], 6)
+        row["fast_first_run_seconds"] = round(fast["first_seconds"], 6)
     if row["diverged"]:
         row["reference_observation"] = repr(ref_obs)
         row["fast_observation"] = repr(fast_obs)
@@ -113,10 +169,25 @@ def main(argv=None):
                         help="run both engines under llva-san; any "
                              "reported fault fails the run (the suite "
                              "must be sanitizer-clean)")
-    parser.add_argument("--out", default="BENCH_fastpath.json",
+    parser.add_argument("--tier2", action="store_true",
+                        help="enable the tier-2 translator on the fast "
+                             "engine and report the per-tier breakdown")
+    parser.add_argument("--tier2-threshold", type=int, default=0,
+                        metavar="N",
+                        help="tier-2 promotion threshold (default 0: "
+                             "compile every function on first call)")
+    parser.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="run each engine N times against shared "
+                             "caches and report min-of-N (steady state)")
+    parser.add_argument("--out", default=None,
                         help="JSON output path (default "
-                             "BENCH_fastpath.json)")
+                             "BENCH_fastpath.json, or BENCH_tierjit.json "
+                             "with --tier2)")
     args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+    out_path = args.out or ("BENCH_tierjit.json" if args.tier2
+                            else "BENCH_fastpath.json")
 
     programs = args.programs or list(SUITE_ORDER)
     scale = args.scale
@@ -131,7 +202,9 @@ def main(argv=None):
         if name not in SUITE_ORDER:
             parser.error("unknown workload {0!r} (choose from {1})"
                          .format(name, ", ".join(SUITE_ORDER)))
-        row = bench_program(name, scale, sanitize=args.sanitize)
+        row = bench_program(name, scale, sanitize=args.sanitize,
+                            repeat=args.repeat, tier2=args.tier2,
+                            tier2_threshold=args.tier2_threshold)
         rows.append(row)
         if row["diverged"]:
             status = "DIVERGED"
@@ -139,6 +212,9 @@ def main(argv=None):
             status = "{0} SAN FAULTS".format(row["sanitizer_faults"])
         else:
             status = "{0:.2f}x".format(row["speedup"] or 0.0)
+        if args.tier2 and not row["diverged"]:
+            status += "  [t2 {0:.0f}%]".format(
+                100.0 * row["tier2_steps"] / max(row["steps"], 1))
         print("{0:<10} {1:>12,} steps  ref {2:>8.3f}s  fast {3:>8.3f}s"
               "  {4}".format(name, row["steps"],
                              row["reference_seconds"],
@@ -149,23 +225,38 @@ def main(argv=None):
     report = {
         "scale": scale,
         "sanitize": args.sanitize,
+        "tier2": args.tier2,
+        "tier2_threshold": args.tier2_threshold,
+        "repeat": args.repeat,
         "programs": rows,
         "geomean_speedup": geomean([r["speedup"] for r in rows]),
         "diverged": diverged,
         "sanitizer_faults": total_faults,
     }
-    with open(args.out, "w") as handle:
+    if args.tier2:
+        total_steps = sum(r["steps"] for r in rows)
+        t2_steps = sum(r["tier2_steps"] for r in rows)
+        report["tier2_steps"] = t2_steps
+        report["tier1_steps"] = total_steps - t2_steps
+        report["tier2_step_fraction"] = round(
+            t2_steps / max(total_steps, 1), 4)
+        report["tier2_functions_compiled"] = sum(
+            r["tier2_functions_compiled"] for r in rows)
+        report["tier2_pins"] = sum(r["tier2_pins"] for r in rows)
+        report["compile_seconds"] = round(
+            sum(r["fast_compile_seconds"] for r in rows), 6)
+    with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print("geomean speedup: {0}x -> {1}".format(
-        report["geomean_speedup"], args.out))
+        report["geomean_speedup"], out_path))
     if diverged:
-        print("ERROR: engines diverged; see {0}".format(args.out),
+        print("ERROR: engines diverged; see {0}".format(out_path),
               file=sys.stderr)
         return 1
     if args.sanitize and total_faults:
         print("ERROR: {0} sanitizer fault(s) in the suite; see {1}"
-              .format(total_faults, args.out), file=sys.stderr)
+              .format(total_faults, out_path), file=sys.stderr)
         return 1
     return 0
 

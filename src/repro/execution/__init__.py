@@ -20,6 +20,7 @@ from repro.execution.sanitizer import (
     SanitizerFault,
     ShadowSanitizer,
 )
+from repro.execution.tier2 import CompiledUnit, Tier2Cache, Tier2Stats
 
 __all__ = [
     "ExecutionTrap",
@@ -36,4 +37,7 @@ __all__ = [
     "SanitizedMemory",
     "SanitizerFault",
     "ShadowSanitizer",
+    "CompiledUnit",
+    "Tier2Cache",
+    "Tier2Stats",
 ]

@@ -95,7 +95,8 @@ class _FastFrame:
     """One activation record of the fast engine."""
 
     __slots__ = ("function", "ops", "index", "regs", "saved_sp",
-                 "ret_slot", "resume", "unwind_edge", "is_trap_handler")
+                 "ret_slot", "resume", "unwind_edge", "is_trap_handler",
+                 "steps_at_entry")
 
     def __init__(self, function, ops, regs, saved_sp, ret_slot,
                  resume, unwind_edge):
@@ -108,6 +109,155 @@ class _FastFrame:
         self.resume = resume              # advances the caller past the call
         self.unwind_edge = unwind_edge    # invoke's unwind-dest edge, else None
         self.is_trap_handler = False
+        self.steps_at_entry = 0           # for tier-2 step-credit promotion
+
+
+class _Tier2Frame:
+    """An activation running tier-2 compiled code.
+
+    Duck-types :class:`_FastFrame` everywhere the engine touches frames:
+    ``ops`` is a one-element tuple holding the tier-2 driver and
+    ``index`` stays 0, so the ordinary run loop re-enters the driver
+    whenever this frame is on top; ``saved_sp`` / ``unwind_edge`` /
+    ``ret_slot`` / ``resume`` keep `_fast_return` and ``unwind`` working
+    unchanged; ``regs`` is a one-slot landing pad a returning callee
+    writes through ``ret_slot=0`` so the driver can ``send()`` the value
+    into the suspended generator.
+    """
+
+    __slots__ = ("function", "ops", "index", "regs", "saved_sp",
+                 "ret_slot", "resume", "unwind_edge", "is_trap_handler",
+                 "steps_at_entry", "gen", "started", "unit")
+
+    def __init__(self, function, unit, gen, saved_sp, ret_slot,
+                 resume, unwind_edge):
+        self.function = function
+        self.ops = _TIER2_OPS
+        self.index = 0
+        self.regs = [None]
+        self.saved_sp = saved_sp
+        self.ret_slot = ret_slot
+        self.resume = resume
+        self.unwind_edge = unwind_edge
+        self.is_trap_handler = False
+        self.steps_at_entry = -1          # tier-2 frames earn no credit
+        self.gen = gen
+        self.started = False
+        self.unit = unit
+
+
+def _t2_noop_resume(st, caller):
+    """Resume closure for frames called *by* tier-2 code: the generator
+    is resumed by the driver, nothing to advance."""
+
+
+def _tier2_driver(st, f):
+    """The single op of a tier-2 frame: pump the compiled generator.
+
+    The generator yields requests for everything that needs the frame
+    stack or the runtime; the driver services them inline (runtime and
+    intrinsic calls), or pushes a frame and returns ``_RESCHED`` (LLVA
+    calls, delivered traps), leaving the generator suspended at its
+    ``yield``.  When that frame returns, the run loop lands back here
+    and the value parked in ``f.regs[0]`` is sent into the generator.
+    Runtime faults are *thrown* into the generator so the masking rules
+    execute in compiled code with the frame's registers live.
+    """
+    gen = f.gen
+    t0 = st.steps
+    try:
+        try:
+            if f.started:
+                value = f.regs[0]
+                f.regs[0] = None
+                request = gen.send(value)
+            else:
+                f.started = True
+                request = gen.send(None)
+            while True:
+                kind = request[0]
+                if kind == "call":
+                    st._fast_push(request[1], list(request[2]), 0,
+                                  _t2_noop_resume, None)
+                    return _RESCHED
+                if kind == "rt":
+                    try:
+                        result = st.runtime.call(request[1],
+                                                 list(request[2]))
+                    except MemoryError_ as fault:
+                        request = gen.throw(fault)
+                        continue
+                    request = gen.send(result)
+                    continue
+                if kind == "intr":
+                    request = _t2_intrinsic(st, f, gen, request[1],
+                                            list(request[2]))
+                    if request is _RESCHED:
+                        return _RESCHED
+                    continue
+                if kind == "trap":
+                    # A deliverable fault detected by compiled code.
+                    # Deliver through the ordinary machinery (handler
+                    # frame or escaping ExecutionTrap), and demote the
+                    # function: trap-heavy code belongs on tier 1.
+                    tier2 = st.tier2
+                    if tier2 is not None:
+                        tier2.note_deopt(f.function)
+                    st._fast_deliver(f, 0, None, -1, request[1],
+                                     request[2], request[3])
+                    f.regs[0] = None
+                    return _RESCHED
+                # "icall": classify at run time like _fast_call_any.
+                address = request[1]
+                fn = st.image.function_at(address)
+                if fn is None:
+                    raise ExecutionTrap(
+                        TrapKind.MEMORY_FAULT,
+                        "indirect call to non-function address 0x{0:x}"
+                        .format(address), address)
+                args = list(request[2])
+                if fn.is_intrinsic:
+                    request = _t2_intrinsic(st, f, gen, fn.name, args)
+                    if request is _RESCHED:
+                        return _RESCHED
+                    continue
+                if fn.is_declaration and is_runtime_name(fn.name):
+                    try:
+                        result = st.runtime.call(fn.name, args)
+                    except MemoryError_ as fault:
+                        request = gen.throw(fault)
+                        continue
+                    request = gen.send(result)
+                    continue
+                ms = st.max_steps
+                if ms is not None and st.steps > ms:
+                    raise StepLimitExceeded(
+                        "exceeded {0} steps".format(ms))
+                st._fast_push(fn, args, 0, _t2_noop_resume, None)
+                return _RESCHED
+        except StopIteration as stop:
+            return st._fast_return(f, stop.value)
+    finally:
+        st.tier2_steps += st.steps - t0
+
+
+def _t2_intrinsic(st, f, gen, name, args):
+    """Service an intrinsic request.  Returns the generator's next
+    request, or ``_RESCHED`` when the intrinsic pushed a trap-handler
+    frame (``llva.trap.raise``): the handler must run before the
+    generator resumes, so the result is parked in the landing pad."""
+    depth = len(st._frames)
+    try:
+        result = st._call_intrinsic(f, name, args)
+    except MemoryError_ as fault:
+        return gen.throw(fault)
+    if len(st._frames) > depth:
+        f.regs[0] = result
+        return _RESCHED
+    return gen.send(result)
+
+
+_TIER2_OPS = (_tier2_driver,)
 
 
 def _phi_error_op(st, f):
@@ -1291,7 +1441,9 @@ class FastInterpreter(Interpreter):
                  max_steps: Optional[int] = None,
                  engine: str = "fast",
                  decode_cache: Optional[DecodeCache] = None,
-                 sanitize: bool = False):
+                 sanitize: bool = False,
+                 tier2=False,
+                 tier2_threshold: Optional[int] = None):
         super().__init__(module, target=target, privileged=privileged,
                          max_steps=max_steps, sanitize=sanitize)
         self.engine = "fast"
@@ -1312,6 +1464,30 @@ class FastInterpreter(Interpreter):
         self.smc_listeners.append(self.decode_cache.listener())
         self.fused_runs = 0
         self.fused_instructions = 0
+        # Tier 2: hot functions compiled to Python bytecode.  Sanitized
+        # runs pin everything to tier 1 — shadow-memory checking needs
+        # per-instruction fault sites, which compiled code merges away
+        # (documented in docs/PERFORMANCE.md, tested in the
+        # differential suite).
+        if tier2 and not sanitize:
+            from repro.execution.tier2 import Tier2Cache
+            if isinstance(tier2, Tier2Cache):
+                if (tier2.target.pointer_size != self.target.pointer_size
+                        or tier2.target.endianness
+                        != self.target.endianness):
+                    raise ValueError("tier-2 cache was built for a "
+                                     "different target layout")
+                self.tier2 = tier2
+            else:
+                kwargs = {}
+                if tier2_threshold is not None:
+                    kwargs["threshold"] = tier2_threshold
+                self.tier2 = Tier2Cache(module, self.target, **kwargs)
+            self.smc_listeners.append(self.tier2.listener())
+        else:
+            self.tier2 = None
+        self.tier2_steps = 0
+        self.tier2_calls = 0
 
     # -- public API ----------------------------------------------------
 
@@ -1323,6 +1499,8 @@ class FastInterpreter(Interpreter):
         steps_before = self.steps
         runs_before = self.fused_runs
         fused_before = self.fused_instructions
+        t2_steps_before = self.tier2_steps
+        t2_calls_before = self.tier2_calls
         with observe.span("interp.run", entry=function_name, engine="fast"):
             try:
                 result_value = self._run_loop()
@@ -1336,6 +1514,11 @@ class FastInterpreter(Interpreter):
                             self.fused_runs - runs_before)
             observe.counter("fastpath.fused_instructions",
                             self.fused_instructions - fused_before)
+            if self.tier2 is not None:
+                observe.counter("tier2.steps",
+                                self.tier2_steps - t2_steps_before)
+                observe.counter("tier2.calls",
+                                self.tier2_calls - t2_calls_before)
         return ExecutionResult(
             return_value=result_value,
             steps=self.steps,
@@ -1366,6 +1549,22 @@ class FastInterpreter(Interpreter):
             raise ExecutionTrap(
                 TrapKind.SOFTWARE_TRAP,
                 "call to undefined function %{0}".format(function.name))
+        tier2 = self.tier2
+        if tier2 is not None:
+            unit = tier2.lookup(function)
+            if unit is not None:
+                if len(args) != unit.num_args:
+                    raise ExecutionTrap(
+                        TrapKind.SOFTWARE_TRAP,
+                        "argument count mismatch calling %{0}"
+                        .format(function.name))
+                frame = _Tier2Frame(function, unit,
+                                    unit.factory(self, *args),
+                                    self.memory.stack_pointer, ret_slot,
+                                    resume, unwind_edge)
+                self._frames.append(frame)
+                self.tier2_calls += 1
+                return frame
         decoded = self.decode_cache.decode(function)
         if len(args) != decoded.num_args:
             raise ExecutionTrap(
@@ -1376,10 +1575,15 @@ class FastInterpreter(Interpreter):
         frame = _FastFrame(function, decoded.entry_ops, regs,
                            self.memory.stack_pointer, ret_slot, resume,
                            unwind_edge)
+        if tier2 is not None:
+            frame.steps_at_entry = self.steps
         self._frames.append(frame)
         return frame
 
     def _fast_return(self, f: _FastFrame, value):
+        tier2 = self.tier2
+        if tier2 is not None and f.steps_at_entry >= 0:
+            tier2.credit_steps(f.function, self.steps - f.steps_at_entry)
         self.memory.pop_frame(f.saved_sp)
         frames = self._frames
         frames.pop()
@@ -1482,7 +1686,23 @@ class FastInterpreter(Interpreter):
         return _NO_RESULT
 
     def _number_registers(self, frame) -> Dict[int, int]:
-        numbered: Dict[int, int] = {}
+        if type(frame) is _Tier2Frame:
+            # The generator is suspended at a yield, so its locals are
+            # the live register file; unbound locals are registers not
+            # yet written on this path (they read as 0 via
+            # llva.register.read, matching the reference engine's
+            # absent-key semantics).
+            gi_frame = frame.gen.gi_frame
+            if gi_frame is None:  # pragma: no cover - defensive
+                return {}
+            local_values = gi_frame.f_locals
+            numbered: Dict[int, int] = {}
+            for name, number in frame.unit.snap_map:
+                value = local_values.get(name)
+                if isinstance(value, (bool, int)):
+                    numbered[number] = int(value)
+            return numbered
+        numbered = {}
         for number, value in enumerate(frame.regs):
             if isinstance(value, (bool, int)):
                 numbered[number] = int(value)

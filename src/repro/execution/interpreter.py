@@ -96,7 +96,9 @@ class Interpreter:
                 max_steps: Optional[int] = None,
                 engine: str = "reference",
                 decode_cache=None,
-                sanitize: bool = False):
+                sanitize: bool = False,
+                tier2=False,
+                tier2_threshold: Optional[int] = None):
         if cls is Interpreter and engine == "fast":
             from repro.execution.fastpath import FastInterpreter
             return object.__new__(FastInterpreter)
@@ -108,9 +110,14 @@ class Interpreter:
                  max_steps: Optional[int] = None,
                  engine: str = "reference",
                  decode_cache=None,
-                 sanitize: bool = False):
+                 sanitize: bool = False,
+                 tier2=False,
+                 tier2_threshold: Optional[int] = None):
         if engine not in ("reference", "fast"):
             raise ValueError("unknown engine {0!r}".format(engine))
+        if tier2:
+            raise ValueError(
+                "tier2 requires the fast engine (engine=\"fast\")")
         self.engine = "reference"
         self.module = module
         self.target = target or module.target_data

@@ -1,0 +1,1233 @@
+"""Tier-2 translator: hot LLVA functions compiled to Python bytecode.
+
+The fast engine (:mod:`repro.execution.fastpath`) is tier 1: every
+function is lowered once into arrays of specialized closures and run
+through a dispatch loop.  That pays one Python call per instruction.
+This module is tier 2: a *hot* function is compiled into Python
+**source**, then ``compile()``d into a genuine Python bytecode
+generator function —
+
+* registers become dense local variables (``r0``, ``r1``, ...) named by
+  the same V-ABI slot numbering tier 1 uses, so trap-handler register
+  snapshots stay identical across tiers;
+* basic blocks become arms of a ``while True`` block-dispatch loop;
+  branches assign the successor id and ``continue`` — no per-
+  instruction dispatch at all;
+* step counting is merged: one ``__steps += k`` per straight-line run,
+  placed so the architectural count is exact at every fault point;
+* constant ``getelementptr`` chains fold to literal byte offsets, and
+  loads/stores go straight to the byte-level memory API with
+  precomputed sizes and pre-serialized constant stores.
+
+The compiled unit is a **generator**.  Anything that touches the frame
+stack (LLVA calls, trap delivery) or the runtime is *yielded* as a
+request to the tier-1 driver (``fastpath._tier2_driver``), which keeps
+the explicit frame stack in charge: deep LLVA recursion never grows the
+host stack, trap handlers run as ordinary frames before the generator
+resumes, and a tier-1 caller can call a tier-2 callee (and vice versa)
+freely.  Runtime faults are thrown *into* the generator at the yield
+point, so the ExceptionsEnabled masking rules run in compiled code with
+the same semantics as tier 1.
+
+Functions the code generator does not support (``invoke``/``unwind``
+bodies, exotic operands) are *pinned* to tier 1; a delivered trap
+inside a tier-2 activation completes precisely in place and then
+*deopts* the function (future invocations run tier 1).  Sanitized runs
+pin everything — shadow-memory checking needs per-instruction sites.
+
+Promotion is counter-driven: a function is compiled after
+``threshold`` tier-1 invocations, or once its tier-1 activations have
+accumulated ``step_threshold`` architectural steps (credited on
+return).  ``threshold=0`` promotes on first call; ``Tier2Cache=None``
+on the interpreter turns the tier off.
+
+Translations persist across processes through the Section 4.1 storage
+API: :meth:`Tier2Cache.attach_storage` loads previously generated
+sources (keyed by module hash + per-function hash + engine version,
+with timestamp and target-fingerprint validation) so a warm start
+skips source generation and goes straight to ``compile()`` — or skips
+even that, when the blob carries ``.pyc``-style marshalled bytecode
+from the same Python build (``sys.implementation.cache_tag``);
+:meth:`Tier2Cache.flush_storage` writes new translations back.  Any
+corrupt, truncated, stale, or version-mismatched blob logs the
+``llee.cache.invalid`` metric and falls back to online translation.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import marshal
+import math
+import struct
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro import observe
+from repro.execution.events import ExecutionTrap
+from repro.execution.interpreter import (
+    StepLimitExceeded,
+    _float_arith,
+    _pointer_mask,
+    _round_f32,
+    _zero_of,
+)
+from repro.execution.memory import MemoryError_, _FP_FORMAT
+from repro.execution.runtime import is_runtime_name
+from repro.ir import instructions as insts
+from repro.ir import types
+from repro.ir.module import BasicBlock, Function, GlobalVariable, Module
+from repro.ir.printer import print_function
+from repro.ir.values import (
+    ConstantBool,
+    ConstantFP,
+    ConstantInt,
+    ConstantNull,
+    UndefValue,
+)
+
+#: Bump whenever generated code or the yield protocol changes shape;
+#: persisted translations from other versions are discarded.
+TIER2_VERSION = 1
+
+#: Tier-1 invocations before a function is promoted (0 = immediately).
+DEFAULT_THRESHOLD = 16
+
+#: Architectural steps credited to a function (on return of its tier-1
+#: activations) before it is promoted regardless of invocation count.
+DEFAULT_STEP_THRESHOLD = 50_000
+
+#: Storage-API cache name for persisted translations.
+TIER2_CACHE_NAME = "llee-tier2"
+
+
+class UnsupportedFunction(Exception):
+    """Raised by the code generator for functions tier 2 cannot compile
+    (the function is then pinned to tier 1)."""
+
+
+class CompiledUnit:
+    """One tier-2 translation: a generator factory plus its metadata."""
+
+    __slots__ = ("function", "smc_version", "factory", "num_args",
+                 "num_slots", "snap_map", "source", "func_hash", "code")
+
+    def __init__(self, function, smc_version, factory, num_args,
+                 num_slots, snap_map, source, func_hash, code):
+        self.function = function
+        self.smc_version = smc_version
+        self.factory = factory          # (st, *args) -> generator
+        self.num_args = num_args
+        self.num_slots = num_slots
+        #: (("r0", 0), ("r1", 1), ...) — local name per V-ABI register
+        #: number, used to snapshot a suspended generator's registers.
+        self.snap_map = snap_map
+        self.source = source
+        self.func_hash = func_hash
+        #: The module-level code object ``exec``'d to make ``factory``;
+        #: persisted (marshalled, .pyc-style) so warm starts skip both
+        #: codegen and ``compile()``.
+        self.code = code
+
+
+class Tier2Stats:
+    __slots__ = ("functions_compiled", "warm_compiles", "codegen_seconds",
+                 "compile_seconds", "invalidations", "deopts", "pins",
+                 "promotions_by_steps")
+
+    def __init__(self):
+        self.functions_compiled = 0
+        #: Compilations served from a persisted source (codegen skipped).
+        self.warm_compiles = 0
+        self.codegen_seconds = 0.0
+        #: Total translation time (source generation + ``compile()``).
+        self.compile_seconds = 0.0
+        self.invalidations = 0
+        self.deopts = 0
+        self.pins = 0
+        self.promotions_by_steps = 0
+
+
+def function_hash(function: Function) -> str:
+    """A stable content hash of one function body (the per-function
+    component of the persistent translation key)."""
+    return hashlib.sha256(
+        print_function(function).encode("utf-8")).hexdigest()[:24]
+
+
+# ---------------------------------------------------------------------------
+# The code generator
+# ---------------------------------------------------------------------------
+
+_CMP_OP = {"seteq": "==", "setne": "!=", "setlt": "<",
+           "setgt": ">", "setle": "<=", "setge": ">="}
+_BIN_OP = {"add": "+", "sub": "-", "mul": "*",
+           "and": "&", "or": "|", "xor": "^"}
+
+
+class _SourceWriter:
+    def __init__(self):
+        self.lines: List[str] = []
+
+    def emit(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _FnCodegen:
+    """Generates the Python source of one tier-2 generator function."""
+
+    def __init__(self, function: Function, target: types.TargetData):
+        self.function = function
+        self.target = target
+        self.w = _SourceWriter()
+        self.slot_of: Dict[int, int] = {}
+        self.block_id: Dict[int, int] = {}
+        #: alias -> referenced module-level symbol name (functions and
+        #: globals both resolve through the image at generator entry).
+        self.global_refs: Dict[str, str] = {}
+        self._alias_of: Dict[str, str] = {}
+        #: aliases of direct-call Function targets: alias -> name.
+        self.func_refs: Dict[str, str] = {}
+        self._func_alias_of: Dict[str, str] = {}
+        self.uses_mem = False
+        self.uses_image = False
+        self._tmp = 0
+
+    # -- operands ------------------------------------------------------
+
+    def expr(self, operand) -> str:
+        slot = self.slot_of.get(id(operand))
+        if slot is not None:
+            return "r{0}".format(slot)
+        if isinstance(operand, ConstantInt):
+            return repr(operand.value)
+        if isinstance(operand, ConstantBool):
+            return "True" if operand.value else "False"
+        if isinstance(operand, ConstantFP):
+            value = operand.value
+            if not math.isfinite(value):
+                raise UnsupportedFunction("non-finite float constant")
+            return repr(value)
+        if isinstance(operand, ConstantNull):
+            return "0"
+        if isinstance(operand, UndefValue):
+            return repr(_zero_of(operand.type))
+        if isinstance(operand, (Function, GlobalVariable)):
+            return self.global_ref(operand.name)
+        raise UnsupportedFunction(
+            "unresolvable operand {0!r}".format(
+                getattr(operand, "name", operand)))
+
+    def global_ref(self, name: str) -> str:
+        alias = self._alias_of.get(name)
+        if alias is None:
+            alias = "__g{0}".format(len(self.global_refs))
+            self.global_refs[alias] = name
+            self._alias_of[name] = alias
+            self.uses_image = True
+        return alias
+
+    def func_ref(self, function: Function) -> str:
+        alias = self._func_alias_of.get(function.name)
+        if alias is None:
+            alias = "__fn{0}".format(len(self.func_refs))
+            self.func_refs[alias] = function.name
+            self._func_alias_of[function.name] = alias
+        return alias
+
+    def tmp(self) -> str:
+        self._tmp += 1
+        return "__t{0}".format(self._tmp)
+
+    # -- integer helpers -----------------------------------------------
+
+    @staticmethod
+    def wrap_expr(expr: str, type_) -> str:
+        mask = (1 << type_.bits) - 1
+        if type_.is_signed:
+            sign = 1 << (type_.bits - 1)
+            return "((({0}) & {1}) ^ {2}) - {2}".format(expr, mask, sign)
+        return "({0}) & {1}".format(expr, mask)
+
+    # -- the fault suffix ----------------------------------------------
+
+    def emit_exc_fault(self, ind: int, inst, dst: Optional[int]) -> None:
+        """Inside ``except ... as __f:`` — apply the ExceptionsEnabled
+        rule to a caught memory/stack fault, exactly like tier 1's
+        ``_fast_fault``: deliver when unmaskable or (!ee and the dynamic
+        mask allows), else complete with a zero result."""
+        if inst.exceptions_enabled:
+            self.w.emit(ind, "if __f.unmaskable or st.exceptions_dynamic:")
+        else:
+            self.w.emit(ind, "if __f.unmaskable:")
+        self.w.emit(ind + 1, "st.steps = __steps")
+        self.w.emit(ind + 1, "yield ('trap', __f.trap_number, "
+                             "__f.address or 0, __f.detail)")
+        self.w.emit(ind + 1, "__steps = st.steps")
+        if dst is not None:
+            self.w.emit(ind, "r{0} = {1!r}".format(dst, _zero_of(inst.type)))
+
+    def emit_explicit_trap(self, ind: int, inst, dst: Optional[int],
+                           trapno: int, masked_value_expr: str) -> None:
+        """A condition the generated code detects itself (divide by
+        zero, integer overflow): deliver if the static !ee bit and the
+        dynamic mask agree, else store *masked_value_expr*."""
+        if inst.exceptions_enabled:
+            self.w.emit(ind, "if st.exceptions_dynamic:")
+            self.w.emit(ind + 1, "st.steps = __steps")
+            self.w.emit(ind + 1, "yield ('trap', {0}, 0, '')".format(trapno))
+            self.w.emit(ind + 1, "__steps = st.steps")
+            if dst is not None:
+                self.w.emit(ind + 1,
+                            "r{0} = {1!r}".format(dst, _zero_of(inst.type)))
+            self.w.emit(ind, "else:")
+            if dst is not None:
+                self.w.emit(ind + 1, "r{0} = {1}".format(dst,
+                                                         masked_value_expr))
+            else:
+                self.w.emit(ind + 1, "pass")
+        else:
+            if dst is not None:
+                self.w.emit(ind, "r{0} = {1}".format(dst, masked_value_expr))
+
+    # -- instruction emitters ------------------------------------------
+    # Each returns True if it handled its own step accounting (faultable
+    # ops are preceded by a flushed "__steps += run" by the block walker).
+
+    def emit_arith(self, ind: int, inst) -> None:
+        dst = self.slot_of[id(inst)]
+        a = self.expr(inst.operand(0))
+        b = self.expr(inst.operand(1))
+        opcode = inst.opcode
+        type_ = inst.type
+        if type_.is_floating_point:
+            if opcode in ("add", "sub", "mul"):
+                raw = "{0} {1} {2}".format(a, _BIN_OP[opcode], b)
+            else:
+                raw = "_float_arith({0!r}, {1}, {2})".format(opcode, a, b)
+            if type_ is types.FLOAT:
+                raw = "_round_f32({0})".format(raw)
+            self.w.emit(ind, "r{0} = {1}".format(dst, raw))
+            return
+        if opcode in ("div", "rem"):
+            self.emit_divrem(ind, inst, dst, a, b)
+            return
+        raw = "{0} {1} {2}".format(a, _BIN_OP[opcode], b)
+        if inst.exceptions_enabled:
+            # !ee arithmetic: overflow traps (when dynamically enabled),
+            # otherwise the wrapped value is stored — never zero.
+            v = self.tmp()
+            w = self.tmp()
+            self.w.emit(ind, "{0} = {1}".format(v, raw))
+            self.w.emit(ind, "{0} = {1}".format(
+                w, self.wrap_expr(v, type_)))
+            self.w.emit(ind, "if {0} != {1} and st.exceptions_dynamic:"
+                        .format(w, v))
+            self.w.emit(ind + 1, "st.steps = __steps")
+            self.w.emit(ind + 1, "yield ('trap', 3, 0, '')")
+            self.w.emit(ind + 1, "__steps = st.steps")
+            self.w.emit(ind + 1, "r{0} = {1!r}".format(dst,
+                                                       _zero_of(type_)))
+            self.w.emit(ind, "else:")
+            self.w.emit(ind + 1, "r{0} = {1}".format(dst, w))
+            return
+        self.w.emit(ind, "r{0} = {1}".format(dst, self.wrap_expr(raw, type_)))
+
+    def emit_divrem(self, ind: int, inst, dst: int, a: str, b: str) -> None:
+        type_ = inst.type
+        bv = self.tmp()
+        av = self.tmp()
+        self.w.emit(ind, "{0} = {1}".format(av, a))
+        self.w.emit(ind, "{0} = {1}".format(bv, b))
+        self.w.emit(ind, "if {0} == 0:".format(bv))
+        self.emit_explicit_trap(ind + 1, inst, dst, 2,
+                                repr(_zero_of(type_)))
+        if not inst.exceptions_enabled:
+            # emit_explicit_trap emitted the masked store only; keep the
+            # else arm below symmetric.
+            pass
+        self.w.emit(ind, "else:")
+        q = self.tmp()
+        self.w.emit(ind + 1, "{0} = abs({1}) // abs({2})".format(q, av, bv))
+        self.w.emit(ind + 1, "if ({0} < 0) != ({1} < 0):".format(av, bv))
+        self.w.emit(ind + 2, "{0} = -{0}".format(q))
+        if inst.opcode == "div":
+            raw = q
+        else:
+            raw = "{0} - {1} * {2}".format(av, q, bv)
+        v = self.tmp()
+        w = self.tmp()
+        self.w.emit(ind + 1, "{0} = {1}".format(v, raw))
+        self.w.emit(ind + 1, "{0} = {1}".format(w, self.wrap_expr(v, type_)))
+        if inst.exceptions_enabled:
+            self.w.emit(ind + 1, "if {0} != {1} and st.exceptions_dynamic:"
+                        .format(w, v))
+            self.w.emit(ind + 2, "st.steps = __steps")
+            self.w.emit(ind + 2, "yield ('trap', 3, 0, '')")
+            self.w.emit(ind + 2, "__steps = st.steps")
+            self.w.emit(ind + 2, "r{0} = {1!r}".format(dst, _zero_of(type_)))
+            self.w.emit(ind + 1, "else:")
+            self.w.emit(ind + 2, "r{0} = {1}".format(dst, w))
+        else:
+            self.w.emit(ind + 1, "r{0} = {1}".format(dst, w))
+
+    def emit_shift(self, ind: int, inst) -> None:
+        dst = self.slot_of[id(inst)]
+        type_ = inst.type
+        bmask = type_.bits - 1
+        a = self.expr(inst.operand(0))
+        amount_operand = inst.operand(1)
+        if isinstance(amount_operand, ConstantInt):
+            amt = str(int(amount_operand.value) & bmask)
+        else:
+            amt = "(({0}) & {1})".format(self.expr(amount_operand), bmask)
+        if inst.opcode == "shl":
+            self.w.emit(ind, "r{0} = {1}".format(
+                dst, self.wrap_expr("({0}) << {1}".format(a, amt), type_)))
+        else:
+            # shr is arithmetic for signed, logical for unsigned — both
+            # are plain ``>>`` on the in-range host value.
+            self.w.emit(ind, "r{0} = ({1}) >> {2}".format(dst, a, amt))
+
+    def emit_compare(self, ind: int, inst) -> None:
+        dst = self.slot_of[id(inst)]
+        self.w.emit(ind, "r{0} = {1} {2} {3}".format(
+            dst, self.expr(inst.operand(0)), _CMP_OP[inst.opcode],
+            self.expr(inst.operand(1))))
+
+    def emit_logical(self, ind: int, inst) -> None:
+        dst = self.slot_of[id(inst)]
+        self.w.emit(ind, "r{0} = {1} {2} {3}".format(
+            dst, self.expr(inst.operand(0)), _BIN_OP[inst.opcode],
+            self.expr(inst.operand(1))))
+
+    def emit_load(self, ind: int, inst) -> None:
+        dst = self.slot_of[id(inst)]
+        type_ = inst.type
+        size = self.target.size_of(type_)
+        endian = self.target.endianness
+        self.uses_mem = True
+        p = self.expr(inst.pointer)
+        read = "__rb({0}, {1})".format(p, size)
+        if isinstance(type_, types.IntegerType) and type_.is_signed:
+            sbit = 1 << (type_.bits - 1)
+            value = "(__fb({0}, {1!r}) ^ {2}) - {2}".format(read, endian,
+                                                            sbit)
+        elif type_.is_integer or type_.is_pointer:
+            value = "__fb({0}, {1!r})".format(read, endian)
+        elif type_.is_bool:
+            value = "{0}[0] != 0".format(read)
+        else:
+            fmt = _FP_FORMAT[(size, endian)]
+            value = "__unpack({0!r}, {1})[0]".format(fmt, read)
+        self.w.emit(ind, "try:")
+        self.w.emit(ind + 1, "r{0} = {1}".format(dst, value))
+        self.w.emit(ind, "except MemoryError_ as __f:")
+        self.emit_exc_fault(ind + 1, inst, dst)
+
+    def emit_store(self, ind: int, inst) -> None:
+        vtype = inst.value.type
+        size = self.target.size_of(vtype)
+        endian = self.target.endianness
+        self.uses_mem = True
+        p = self.expr(inst.pointer)
+        if vtype.is_integer or vtype.is_pointer:
+            mask = ((1 << vtype.bits) - 1 if vtype.is_integer
+                    else _pointer_mask(self.target))
+            value_operand = inst.value
+            if isinstance(value_operand, (ConstantInt, ConstantNull)):
+                const = 0 if isinstance(value_operand, ConstantNull) \
+                    else int(value_operand.value)
+                raw = repr((const & mask).to_bytes(size, endian))
+            else:
+                raw = "(({0}) & {1}).to_bytes({2}, {3!r})".format(
+                    self.expr(value_operand), mask, size, endian)
+        elif vtype.is_bool:
+            raw = "b'\\x01' if {0} else b'\\x00'".format(
+                self.expr(inst.value))
+        else:
+            fmt = _FP_FORMAT[(size, endian)]
+            raw = "__pack({0!r}, float({1}))".format(fmt,
+                                                     self.expr(inst.value))
+        self.w.emit(ind, "try:")
+        self.w.emit(ind + 1, "__wb({0}, {1})".format(p, raw))
+        self.w.emit(ind, "except MemoryError_ as __f:")
+        self.emit_exc_fault(ind + 1, inst, None)
+
+    def emit_gep(self, ind: int, inst) -> None:
+        dst = self.slot_of[id(inst)]
+        target = self.target
+        pointee = inst.pointer.type.pointee
+        pmask = _pointer_mask(target)
+        p = self.expr(inst.pointer)
+        const_indices = inst.constant_indices()
+        if const_indices is not None:
+            off = target.gep_offset(pointee, list(const_indices))
+            if off:
+                self.w.emit(ind, "r{0} = (({1}) + {2}) & {3}".format(
+                    dst, p, off, pmask))
+            else:
+                self.w.emit(ind, "r{0} = ({1}) & {2}".format(dst, p, pmask))
+            return
+        const_off = 0
+        terms: List[str] = []
+        current: types.Type = pointee
+        for position, index_value in enumerate(inst.indices):
+            if position == 0:
+                scale = target.size_of(current)
+            elif current.is_struct:
+                field = index_value.value  # constant ubyte by construction
+                const_off += target.struct_offsets(current)[field]
+                current = current.fields[field]
+                continue
+            else:  # array
+                scale = target.size_of(current.element)
+                current = current.element
+            if isinstance(index_value, ConstantInt):
+                const_off += int(index_value.value) * scale
+            else:
+                terms.append("({0}) * {1}".format(self.expr(index_value),
+                                                  scale))
+        pieces = [("({0})".format(p))]
+        if const_off:
+            pieces.append(str(const_off))
+        pieces.extend(terms)
+        self.w.emit(ind, "r{0} = ({1}) & {2}".format(
+            dst, " + ".join(pieces), pmask))
+
+    def emit_alloca(self, ind: int, inst) -> None:
+        dst = self.slot_of[id(inst)]
+        target = self.target
+        esize = target.size_of(inst.allocated_type)
+        align = max(target.align_of(inst.allocated_type), 1)
+        self.uses_mem = True
+        count_operand = inst.count
+        if count_operand is None or isinstance(count_operand, ConstantInt):
+            count = 1 if count_operand is None else count_operand.value
+            total = max(esize * max(count, 0), 1)
+            size_expr = str(total)
+        else:
+            size_expr = "max({0} * max({1}, 0), 1)".format(
+                esize, self.expr(count_operand))
+        self.w.emit(ind, "try:")
+        self.w.emit(ind + 1, "r{0} = __mem.push_frame({1}, {2})".format(
+            dst, size_expr, align))
+        self.w.emit(ind, "except ExecutionTrap as __f:")
+        self.emit_exc_fault(ind + 1, inst, dst)
+
+    def emit_cast(self, ind: int, inst) -> None:
+        dst = self.slot_of[id(inst)]
+        source = inst.value.type
+        dest = inst.type
+        v = self.expr(inst.value)
+        if source is dest:
+            self.w.emit(ind, "r{0} = {1}".format(dst, v))
+            return
+        if dest.is_bool:
+            self.w.emit(ind, "r{0} = bool({1})".format(dst, v))
+            return
+        if dest.is_integer:
+            if source.is_floating_point:
+                t = self.tmp()
+                self.w.emit(ind, "{0} = {1}".format(t, v))
+                self.w.emit(
+                    ind,
+                    "{0} = 0 if {0} != {0} or {0} in (__inf, __ninf) "
+                    "else int({0})".format(t))
+                self.w.emit(ind, "r{0} = {1}".format(
+                    dst, self.wrap_expr(t, dest)))
+            elif source.is_bool:
+                self.w.emit(ind, "r{0} = 1 if {1} else 0".format(dst, v))
+            else:
+                self.w.emit(ind, "r{0} = {1}".format(
+                    dst, self.wrap_expr(v, dest)))
+            return
+        if dest.is_floating_point:
+            if source.is_bool:
+                raw = "1.0 if {0} else 0.0".format(v)
+            else:
+                raw = "float({0})".format(v)
+            if dest is types.FLOAT:
+                raw = "_round_f32({0})".format(raw)
+            self.w.emit(ind, "r{0} = {1}".format(dst, raw))
+            return
+        if dest.is_pointer:
+            if source.is_bool:
+                self.w.emit(ind, "r{0} = 1 if {1} else 0".format(dst, v))
+            elif source.is_floating_point:
+                raise UnsupportedFunction("float-to-pointer cast")
+            else:
+                self.w.emit(ind, "r{0} = ({1}) & {2}".format(
+                    dst, v, _pointer_mask(self.target)))
+            return
+        raise UnsupportedFunction(
+            "cast {0} -> {1}".format(source, dest))
+
+    # -- control flow --------------------------------------------------
+
+    def emit_edge(self, ind: int, pred: BasicBlock, succ: BasicBlock,
+                  extra: int) -> None:
+        """Transfer to *succ*: simultaneous phi assignment, merged step
+        bump (taken-branch + one per phi), the max_steps check, and the
+        dispatch jump."""
+        phis = succ.phis()
+        bump = extra + len(phis)
+        if phis:
+            dsts = []
+            srcs = []
+            for phi in phis:
+                value = phi.incoming_for_block(pred)
+                if value is None:
+                    raise UnsupportedFunction("phi missing incoming edge")
+                dsts.append("r{0}".format(self.slot_of[id(phi)]))
+                srcs.append(self.expr(value))
+            # Tuple assignment evaluates every source before any write —
+            # the simultaneous-assignment phi semantics for free.
+            self.w.emit(ind, "{0} = {1}".format(", ".join(dsts),
+                                                ", ".join(srcs)))
+        if bump:
+            self.w.emit(ind, "__steps += {0}".format(bump))
+            self.w.emit(ind, "if __steps > __ms:")
+            self.w.emit(ind + 1, "st.steps = __steps")
+            self.w.emit(ind + 1, "raise StepLimitExceeded("
+                                 "'exceeded {0} steps'"
+                                 ".format(st.max_steps))")
+        self.w.emit(ind, "__blk = {0}".format(self.block_id[id(succ)]))
+        self.w.emit(ind, "continue")
+
+    def emit_br(self, ind: int, block: BasicBlock, inst) -> None:
+        if not inst.is_conditional:
+            self.emit_edge(ind, block, inst.operand(0), 1)
+            return
+        cond = inst.operand(0)
+        if isinstance(cond, ConstantBool):
+            self.emit_edge(ind, block,
+                           inst.operand(1) if cond.value
+                           else inst.operand(2), 1)
+            return
+        self.w.emit(ind, "if {0}:".format(self.expr(cond)))
+        self.emit_edge(ind + 1, block, inst.operand(1), 1)
+        self.w.emit(ind, "else:")
+        self.emit_edge(ind + 1, block, inst.operand(2), 1)
+
+    def emit_mbr(self, ind: int, block: BasicBlock, inst) -> None:
+        sel = self.tmp()
+        self.w.emit(ind, "{0} = {1}".format(sel, self.expr(inst.selector)))
+        seen = set()
+        first = True
+        for case_value, case_label in inst.cases():
+            if case_value.value in seen:  # first match wins
+                continue
+            seen.add(case_value.value)
+            self.w.emit(ind, "{0} {1} == {2!r}:".format(
+                "if" if first else "elif", sel, case_value.value))
+            first = False
+            self.emit_edge(ind + 1, block, case_label, 1)
+        if first:
+            self.emit_edge(ind, block, inst.default, 1)
+        else:
+            self.w.emit(ind, "else:")
+            self.emit_edge(ind + 1, block, inst.default, 1)
+
+    def emit_ret(self, ind: int, inst, pending: int) -> None:
+        self.w.emit(ind, "st.steps = __steps + {0}".format(pending + 1))
+        if inst.return_value is None:
+            self.w.emit(ind, "return")
+        else:
+            self.w.emit(ind, "return {0}".format(
+                self.expr(inst.return_value)))
+
+    def emit_call(self, ind: int, inst, pending: int) -> None:
+        """A call costs one step; the request is yielded to the driver.
+        Runtime faults are thrown back in at the yield so the masking
+        rules run here, with the compiled function's state live."""
+        dst = self.slot_of.get(id(inst))
+        args = ", ".join(self.expr(a) for a in inst.args)
+        args_tuple = "({0},)".format(args) if args else "()"
+        callee = inst.callee
+        self.w.emit(ind, "__steps += {0}".format(pending + 1))
+        if isinstance(callee, Function) and not callee.is_intrinsic \
+                and not (callee.is_declaration
+                         and is_runtime_name(callee.name)):
+            # Direct LLVA call: the budget check precedes the push
+            # (tier-1 parity), then the driver pushes a frame and the
+            # return value is sent back into the generator.
+            self.w.emit(ind, "if __steps > __ms:")
+            self.w.emit(ind + 1, "st.steps = __steps")
+            self.w.emit(ind + 1, "raise StepLimitExceeded("
+                                 "'exceeded {0} steps'"
+                                 ".format(st.max_steps))")
+            self.w.emit(ind, "st.steps = __steps")
+            lhs = "r{0} = ".format(dst) if dst is not None else ""
+            self.w.emit(ind, "{0}yield ('call', {1}, {2})".format(
+                lhs, self.func_ref(callee), args_tuple))
+            self.w.emit(ind, "__steps = st.steps")
+            return
+        self.w.emit(ind, "st.steps = __steps")
+        if isinstance(callee, Function):
+            kind = "intr" if callee.is_intrinsic else "rt"
+            request = "('{0}', {1!r}, {2})".format(kind, callee.name,
+                                                   args_tuple)
+        else:
+            kind = "icall"
+            request = "('icall', {0}, {1})".format(self.expr(callee),
+                                                   args_tuple)
+        lhs = "r{0} = ".format(dst) if dst is not None else ""
+        self.w.emit(ind, "try:")
+        self.w.emit(ind + 1, "{0}yield {1}".format(lhs, request))
+        self.w.emit(ind, "except MemoryError_ as __f:")
+        self.emit_exc_fault(ind + 1, inst, dst)
+        self.w.emit(ind, "__steps = st.steps")
+
+    # -- the block walker ----------------------------------------------
+
+    #: Opcodes whose generated code cannot fault, yield, or branch —
+    #: their step counts merge into one ``__steps += k``.
+    _PURE = frozenset(["and", "or", "xor", "shl", "shr", "seteq", "setne",
+                       "setlt", "setgt", "setle", "setge",
+                       "getelementptr", "cast"])
+
+    def _is_pure(self, inst) -> bool:
+        opcode = inst.opcode
+        if opcode in self._PURE:
+            return True
+        if opcode in ("add", "sub", "mul"):
+            # Pure unless the !ee bit makes overflow deliverable.
+            return inst.type.is_floating_point \
+                or not inst.exceptions_enabled
+        return False
+
+    def emit_block(self, block: BasicBlock) -> None:
+        ind = 3
+        bid = self.block_id[id(block)]
+        self.w.emit(2, "{0} __blk == {1}:".format(
+            "if" if bid == 0 else "elif", bid))
+        instructions = block.instructions
+        start = len(block.phis())
+        pending = 0  # pure ops since the last __steps flush
+        body_emitted = False
+        for index in range(start, len(instructions)):
+            inst = instructions[index]
+            opcode = inst.opcode
+            if opcode in ("invoke", "unwind"):
+                raise UnsupportedFunction(opcode)
+            if opcode == "phi":
+                raise UnsupportedFunction("phi after block head")
+            if self._is_pure(inst):
+                pending += 1
+                self._emit_simple(ind, inst)
+                body_emitted = True
+                continue
+            if opcode == "br":
+                if pending:
+                    self.w.emit(ind, "__steps += {0}".format(pending))
+                self.emit_br(ind, block, inst)
+                return
+            if opcode == "mbr":
+                if pending:
+                    self.w.emit(ind, "__steps += {0}".format(pending))
+                self.emit_mbr(ind, block, inst)
+                return
+            if opcode == "ret":
+                self.emit_ret(ind, inst, pending)
+                return
+            if opcode in ("call",):
+                self.emit_call(ind, inst, pending)
+                pending = 0
+                body_emitted = True
+                continue
+            # Faultable straight-line op: its own step merges into the
+            # preceding run so the count is exact at the fault point.
+            self.w.emit(ind, "__steps += {0}".format(pending + 1))
+            pending = 0
+            if opcode in ("add", "sub", "mul", "div", "rem"):
+                self.emit_arith(ind, inst)
+            elif opcode == "load":
+                self.emit_load(ind, inst)
+            elif opcode == "store":
+                self.emit_store(ind, inst)
+            elif opcode == "alloca":
+                self.emit_alloca(ind, inst)
+            else:
+                raise UnsupportedFunction("opcode {0}".format(opcode))
+            body_emitted = True
+        if not body_emitted:
+            raise UnsupportedFunction("block without terminator")
+        raise UnsupportedFunction("block falls through")
+
+    def _emit_simple(self, ind: int, inst) -> None:
+        opcode = inst.opcode
+        if opcode in ("add", "sub", "mul"):
+            self.emit_arith(ind, inst)
+        elif opcode in ("and", "or", "xor"):
+            self.emit_logical(ind, inst)
+        elif opcode in ("shl", "shr"):
+            self.emit_shift(ind, inst)
+        elif opcode in _CMP_OP:
+            self.emit_compare(ind, inst)
+        elif opcode == "getelementptr":
+            self.emit_gep(ind, inst)
+        elif opcode == "cast":
+            self.emit_cast(ind, inst)
+        else:  # pragma: no cover - guarded by _is_pure
+            raise UnsupportedFunction(opcode)
+
+    # -- driver --------------------------------------------------------
+
+    def generate(self) -> Tuple[str, int]:
+        """Emit the whole generator function; returns (source,
+        num_slots)."""
+        function = self.function
+        blocks = function.blocks
+        if not blocks:
+            raise UnsupportedFunction("declaration")
+        slot = 0
+        for arg in function.args:
+            self.slot_of[id(arg)] = slot
+            slot += 1
+        for block in blocks:
+            for inst in block.instructions:
+                if inst.produces_value:
+                    self.slot_of[id(inst)] = slot
+                    slot += 1
+        num_slots = slot
+        for index, block in enumerate(blocks):
+            self.block_id[id(block)] = index
+        # Body first (so prologue hoists only what is referenced).
+        body = _SourceWriter()
+        self.w = body
+        for block in blocks:
+            self.emit_block(block)
+        head = _SourceWriter()
+        params = ", ".join("r{0}".format(i)
+                           for i in range(len(function.args)))
+        head.emit(0, "def __tier2(st{0}):".format(
+            ", " + params if params else ""))
+        if self.uses_mem:
+            head.emit(1, "__mem = st.memory")
+            head.emit(1, "__rb = __mem.read_bytes")
+            head.emit(1, "__wb = __mem.write_bytes")
+            head.emit(1, "__fb = int.from_bytes")
+        for alias, name in self.global_refs.items():
+            head.emit(1, "{0} = st.image.address_of({1!r})".format(alias,
+                                                                   name))
+        head.emit(1, "__ms = st.max_steps")
+        head.emit(1, "if __ms is None:")
+        head.emit(2, "__ms = 0x7fffffffffffffff")
+        head.emit(1, "__steps = st.steps")
+        head.emit(1, "__blk = 0")
+        # A function whose body never yields must still be a generator
+        # for the driver protocol; the dead yield below forces that.
+        head.emit(1, "if __blk != 0:")
+        head.emit(2, "yield None")
+        head.emit(1, "while True:")
+        return head.text() + body.text(), num_slots
+
+
+_BASE_NAMESPACE = {
+    "MemoryError_": MemoryError_,
+    "ExecutionTrap": ExecutionTrap,
+    "StepLimitExceeded": StepLimitExceeded,
+    "_float_arith": _float_arith,
+    "_round_f32": _round_f32,
+    "__pack": struct.pack,
+    "__unpack": struct.unpack,
+    "__inf": float("inf"),
+    "__ninf": float("-inf"),
+    "__builtins__": {"abs": abs, "max": max, "min": min, "bool": bool,
+                     "int": int, "float": float, "len": len},
+}
+
+
+def generate_source(function: Function, target: types.TargetData
+                    ) -> Tuple[str, Dict[str, str], int]:
+    """Tier-2 codegen for one function.  Returns ``(source, func_refs,
+    num_slots)``; raises :class:`UnsupportedFunction` for bodies the
+    generator cannot express."""
+    cg = _FnCodegen(function, target)
+    source, num_slots = cg.generate()
+    return source, dict(cg.func_refs), num_slots
+
+
+def build_unit(function: Function, module: Module,
+               target: types.TargetData,
+               source: Optional[str] = None,
+               func_refs: Optional[Dict[str, str]] = None,
+               num_slots: Optional[int] = None,
+               code=None) -> CompiledUnit:
+    """``compile()`` tier-2 source into a :class:`CompiledUnit`.
+
+    With *source* (and *func_refs*) given — the persisted-translation
+    warm path — codegen is skipped entirely and direct-call targets are
+    re-resolved by name against *module*.  With *code* also given (an
+    unmarshalled code object from a same-``cache_tag`` persisted blob),
+    even ``compile()`` is skipped.
+    """
+    if source is None:
+        source, func_refs, num_slots = generate_source(function, target)
+    elif func_refs is None or num_slots is None:
+        raise ValueError("persisted source requires func_refs/num_slots")
+    if code is None:
+        code = compile(source, "<tier2:{0}>".format(function.name),
+                       "exec")
+    namespace = dict(_BASE_NAMESPACE)
+    for alias, name in func_refs.items():
+        target_fn = module.functions.get(name)
+        if target_fn is None:
+            raise UnsupportedFunction(
+                "direct callee {0!r} not in module".format(name))
+        namespace[alias] = target_fn
+    exec(code, namespace)
+    factory = namespace["__tier2"]
+    snap_map = tuple(("r{0}".format(i), i) for i in range(num_slots))
+    return CompiledUnit(
+        function=function,
+        smc_version=function.smc_version,
+        factory=factory,
+        num_args=len(function.args),
+        num_slots=num_slots,
+        snap_map=snap_map,
+        source=source,
+        func_hash=function_hash(function),
+        code=code,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The tier-2 cache: promotion policy, deopt, SMC invalidation, persistence
+# ---------------------------------------------------------------------------
+
+
+class Tier2Cache:
+    """Per-module tier-2 state, shareable across runs (like
+    :class:`~repro.execution.fastpath.DecodeCache`)."""
+
+    def __init__(self, module: Module, target: types.TargetData,
+                 threshold: int = DEFAULT_THRESHOLD,
+                 step_threshold: int = DEFAULT_STEP_THRESHOLD):
+        self.module = module
+        self.target = target
+        self.threshold = max(int(threshold), 0)
+        self.step_threshold = max(int(step_threshold), 0)
+        self.stats = Tier2Stats()
+        # id(function) -> CompiledUnit; the unit pins the function
+        # object through .function, keeping the id unique.
+        self._units: Dict[int, CompiledUnit] = {}
+        self._counts: Dict[int, int] = {}
+        self._step_credit: Dict[int, int] = {}
+        self._pinned: Dict[int, str] = {}
+        #: function name -> (func_hash, source, func_refs, num_slots,
+        #: code-object-or-None) loaded from the persistent translation
+        #: cache.  The code object is present when the blob was written
+        #: by the same Python (``sys.implementation.cache_tag``).
+        self._preloaded: Dict[str, Tuple] = {}
+        self._storage = None
+        self._storage_cache: Optional[str] = None
+        self._storage_key: Optional[str] = None
+        self._dirty = False
+        self.translation_cache_hit = False
+
+    # -- promotion ------------------------------------------------------
+
+    def lookup(self, function: Function) -> Optional[CompiledUnit]:
+        """The per-call hook: return the compiled unit for *function*,
+        compiling it if its counters cross the promotion threshold, or
+        None to stay on tier 1."""
+        key = id(function)
+        unit = self._units.get(key)
+        if unit is not None:
+            if unit.smc_version == function.smc_version:
+                return unit
+            self.invalidate(function)
+        if key in self._pinned:
+            return None
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        if count <= self.threshold:
+            if self._step_credit.get(key, 0) < self.step_threshold \
+                    or self.step_threshold == 0:
+                return None
+            self.stats.promotions_by_steps += 1
+        return self._compile(function)
+
+    def credit_steps(self, function: Function, steps: int) -> None:
+        """Credit architectural steps to a function (called by the
+        engine when a tier-1 activation returns); enough accumulated
+        heat promotes the function even at a low invocation count."""
+        key = id(function)
+        self._step_credit[key] = self._step_credit.get(key, 0) + steps
+
+    def prime(self, function: Function, invocations: int) -> None:
+        """Pre-seed the invocation counter (profile-guided warm-up)."""
+        key = id(function)
+        self._counts[key] = self._counts.get(key, 0) + int(invocations)
+
+    def prime_from_profile(self, profile, module: Optional[Module] = None
+                           ) -> None:
+        """Seed promotion counters from a collected
+        :class:`repro.llee.profile.Profile` — the offline
+        reoptimization loop feeding the online tiering decision."""
+        module = module or self.module
+        for function in module.functions.values():
+            if function.is_declaration:
+                continue
+            entries = profile.function_entry_count(function)
+            if entries:
+                self.prime(function, entries)
+
+    # -- compilation ----------------------------------------------------
+
+    def _compile(self, function: Function) -> Optional[CompiledUnit]:
+        started = time.perf_counter()
+        warm = self._preloaded.get(function.name)
+        try:
+            if warm is not None and function.smc_version == 0:
+                # Persisted translation: the blob's module hash matched
+                # at load and the body has not been SMC-mutated since,
+                # so the stored source is the one codegen would emit —
+                # skip straight to compile(), or past it entirely when
+                # the blob carried same-cache_tag marshalled bytecode.
+                _hash, source, func_refs, num_slots, code = warm
+                unit = build_unit(function, self.module, self.target,
+                                  source=source, func_refs=func_refs,
+                                  num_slots=num_slots, code=code)
+                self.stats.warm_compiles += 1
+                if observe.enabled():
+                    observe.counter("tier2.warm_compiles", 1)
+            else:
+                codegen_started = time.perf_counter()
+                source, func_refs, num_slots = generate_source(
+                    function, self.target)
+                self.stats.codegen_seconds += \
+                    time.perf_counter() - codegen_started
+                unit = build_unit(function, self.module, self.target,
+                                  source=source, func_refs=func_refs,
+                                  num_slots=num_slots)
+                self._dirty = True
+        except UnsupportedFunction as reason:
+            self.pin(function, str(reason))
+            self.stats.compile_seconds += time.perf_counter() - started
+            return None
+        except Exception as error:  # pragma: no cover - defensive
+            # A codegen defect must never take the program down: the
+            # tier-1 engine is always a correct fallback.
+            self.pin(function, "tier-2 compile error: {0}".format(error))
+            self.stats.compile_seconds += time.perf_counter() - started
+            return None
+        elapsed = time.perf_counter() - started
+        self.stats.compile_seconds += elapsed
+        self.stats.functions_compiled += 1
+        self._units[id(function)] = unit
+        if observe.enabled():
+            observe.counter("tier2.functions_compiled", 1)
+            observe.histogram("tier2.compile_seconds", elapsed,
+                              function=function.name)
+        return unit
+
+    # -- pinning / deopt / invalidation --------------------------------
+
+    def pin(self, function: Function, reason: str) -> None:
+        """Permanently route *function* to tier 1 (until SMC replaces
+        its body)."""
+        if id(function) not in self._pinned:
+            self._pinned[id(function)] = reason
+            self.stats.pins += 1
+            if observe.enabled():
+                observe.counter("tier2.pins", 1, reason=reason[:40])
+
+    def pinned_reason(self, function: Function) -> Optional[str]:
+        return self._pinned.get(id(function))
+
+    def note_deopt(self, function: Function) -> None:
+        """A trap was delivered inside a tier-2 activation.  The active
+        generator completes precisely in place (its own fault handling
+        is exact); the *function* is demoted so future invocations take
+        the tier-1 path, where trap-heavy code belongs."""
+        if id(function) in self._units:
+            self._units.pop(id(function), None)
+            self.stats.deopts += 1
+            self.pin(function, "deopt: trap delivered mid-execution")
+            if observe.enabled():
+                observe.counter("tier2.deopts", 1)
+
+    def invalidate(self, function: Function) -> None:
+        """SMC invalidation — mirrors ``DecodeCache``: drop the unit,
+        forget counters and pins (the new body is different code)."""
+        if self._units.pop(id(function), None) is not None:
+            self.stats.invalidations += 1
+            if observe.enabled():
+                observe.counter("tier2.invalidations", 1)
+        self._counts.pop(id(function), None)
+        self._step_credit.pop(id(function), None)
+        self._pinned.pop(id(function), None)
+        self._preloaded.pop(function.name, None)
+
+    def listener(self):
+        """A callback for ``Interpreter.smc_listeners``."""
+        return self.invalidate
+
+    # -- persistence through the storage API ---------------------------
+
+    def serialize(self, module_key: str) -> bytes:
+        """All current translations as a JSON blob keyed by engine
+        version, target fingerprint, module hash, and per-function
+        content hashes."""
+        functions = {}
+        for unit in self._units.values():
+            entry = {
+                "hash": unit.func_hash,
+                "num_slots": unit.num_slots,
+                "func_refs": {alias: name for alias, name
+                              in self._refs_of(unit)},
+                "source": unit.source,
+            }
+            if unit.code is not None:
+                # .pyc-style: same-interpreter warm starts skip
+                # compile(); the source stays as the portable fallback.
+                entry["code"] = base64.b64encode(
+                    marshal.dumps(unit.code)).decode("ascii")
+            functions[unit.function.name] = entry
+        # Keep warm entries we did not recompile this run.
+        for name, (fhash, source, func_refs, num_slots, code) \
+                in self._preloaded.items():
+            if name in functions:
+                continue
+            entry = {
+                "hash": fhash,
+                "num_slots": num_slots,
+                "func_refs": func_refs,
+                "source": source,
+            }
+            if code is not None:
+                entry["code"] = base64.b64encode(
+                    marshal.dumps(code)).decode("ascii")
+            functions[name] = entry
+        blob = {
+            "version": TIER2_VERSION,
+            "module": module_key,
+            "pointer_size": self.target.pointer_size,
+            "endianness": self.target.endianness,
+            "cache_tag": sys.implementation.cache_tag,
+            "functions": functions,
+        }
+        return json.dumps(blob, sort_keys=True).encode("utf-8")
+
+    @staticmethod
+    def _refs_of(unit: CompiledUnit) -> List[Tuple[str, str]]:
+        refs = []
+        for name, value in unit.factory.__globals__.items():
+            if isinstance(value, Function) and name.startswith("__fn"):
+                refs.append((name, value.name))
+        return refs
+
+    def load_serialized(self, data: bytes, module_key: str) -> int:
+        """Validate and index a persisted translation blob; returns the
+        number of usable per-function entries.  Raises ``ValueError``
+        on any corrupt, truncated, stale, or mismatched blob — callers
+        fall back to online translation."""
+        try:
+            blob = json.loads(data.decode("utf-8"))
+        except Exception as error:
+            raise ValueError("corrupt tier-2 cache: {0}".format(error))
+        if not isinstance(blob, dict):
+            raise ValueError("corrupt tier-2 cache: not an object")
+        if blob.get("version") != TIER2_VERSION:
+            raise ValueError("tier-2 cache version mismatch")
+        if blob.get("module") != module_key:
+            raise ValueError("tier-2 cache is for a different module")
+        if blob.get("pointer_size") != self.target.pointer_size \
+                or blob.get("endianness") != self.target.endianness:
+            raise ValueError("tier-2 cache target fingerprint mismatch")
+        functions = blob.get("functions")
+        if not isinstance(functions, dict):
+            raise ValueError("corrupt tier-2 cache: missing functions")
+        # Marshalled bytecode is only trusted from the exact same
+        # Python build (like .pyc); otherwise the source is recompiled.
+        code_ok = blob.get("cache_tag") == sys.implementation.cache_tag
+        loaded = 0
+        for name, entry in functions.items():
+            try:
+                fhash = entry["hash"]
+                source = entry["source"]
+                func_refs = dict(entry["func_refs"])
+                num_slots = int(entry["num_slots"])
+                code = None
+                if code_ok and "code" in entry:
+                    code = marshal.loads(
+                        base64.b64decode(entry["code"]))
+            except Exception as error:
+                raise ValueError(
+                    "corrupt tier-2 cache entry {0!r}: {1}".format(
+                        name, error))
+            if not isinstance(source, str) or not source:
+                raise ValueError(
+                    "corrupt tier-2 cache entry {0!r}: empty source"
+                    .format(name))
+            self._preloaded[name] = (fhash, source, func_refs,
+                                     num_slots, code)
+            loaded += 1
+        return loaded
+
+    def attach_storage(self, storage, key: str,
+                       cache_name: str = TIER2_CACHE_NAME,
+                       executable_timestamp: Optional[float] = None
+                       ) -> bool:
+        """Wire this cache to a Section-4.1 storage API and try a warm
+        start.  Returns True on a validated hit.  Every failure mode —
+        missing, corrupt, truncated, stale, version-mismatched — logs
+        ``llee.cache.invalid`` (or a plain miss) and degrades to online
+        translation; persistence must never break execution."""
+        self._storage = storage
+        self._storage_cache = cache_name
+        self._storage_key = key
+        try:
+            data = storage.read(cache_name, key)
+        except Exception:
+            observe.counter("llee.cache.invalid", 1, target="tier2",
+                            reason="read-error")
+            observe.counter("llee.cache.miss", 1, target="tier2")
+            return False
+        if not data:
+            observe.counter("llee.cache.miss", 1, target="tier2")
+            return False
+        if executable_timestamp is not None:
+            try:
+                cached_at = storage.timestamp(cache_name, key)
+            except Exception:
+                cached_at = None
+            if cached_at is None or cached_at < executable_timestamp:
+                observe.counter("llee.cache.invalid", 1, target="tier2",
+                                reason="stale")
+                observe.counter("llee.cache.miss", 1, target="tier2")
+                return False
+        try:
+            self.load_serialized(data, key)
+        except ValueError as error:
+            observe.counter("llee.cache.invalid", 1, target="tier2",
+                            reason=str(error)[:60])
+            observe.counter("llee.cache.miss", 1, target="tier2")
+            self._preloaded.clear()
+            return False
+        self.translation_cache_hit = True
+        observe.counter("llee.cache.hit", 1, target="tier2")
+        return True
+
+    def flush_storage(self) -> bool:
+        """Write new translations back through the storage API (no-op
+        when nothing changed or no storage is attached).  Best-effort,
+        like the native cache write-back."""
+        if self._storage is None or not self._dirty:
+            return False
+        try:
+            self._storage.write(self._storage_cache, self._storage_key,
+                                self.serialize(self._storage_key))
+        except Exception:
+            return False
+        self._dirty = False
+        observe.counter("llee.cache.store", 1, target="tier2")
+        return True

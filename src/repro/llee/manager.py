@@ -80,6 +80,14 @@ class InterpretedRunReport:
     run_seconds: float
     #: Was the run executed under llva-san shadow-memory checking?
     sanitized: bool = False
+    #: Tier-2 translation activity (all zero unless ``tier2=True``).
+    tier2_steps: int = 0
+    tier2_calls: int = 0
+    tier2_functions_compiled: int = 0
+    tier2_warm_compiles: int = 0
+    tier2_compile_seconds: float = 0.0
+    #: Did a persisted tier-2 translation blob validate and load?
+    translation_cache_hit: bool = False
 
 
 class LLEE:
@@ -156,7 +164,11 @@ class LLEE:
                         args: Sequence[object] = (),
                         engine: str = "fast",
                         privileged: bool = False,
-                        sanitize: bool = False) -> InterpretedRunReport:
+                        sanitize: bool = False,
+                        tier2: bool = False,
+                        tier2_threshold: Optional[int] = None,
+                        executable_timestamp: Optional[float] = None
+                        ) -> InterpretedRunReport:
         """Run a virtual executable on an interpreter engine.
 
         With ``engine="fast"``, the decoded module is cached across
@@ -166,33 +178,61 @@ class LLEE:
         next invocation re-reads the pristine object code, matching the
         fresh-module semantics of :meth:`run_executable`.
 
+        ``tier2=True`` enables the tiered translator: the Tier2Cache is
+        kept alongside the decode cache (hot functions stay compiled
+        across invocations), and — when this LLEE was constructed with
+        a storage API — tier-2 source is persisted through it under the
+        ``llee-tier2`` cache, so a fresh process warm-starts from the
+        offline translation exactly like the native path does.  A
+        stale, corrupt, or mismatched blob logs ``llee.cache.invalid``
+        and degrades to online translation.
+
         ``sanitize=True`` runs under llva-san (shadow-memory checking);
         sanitized decode caches are keyed separately because their
-        closures carry site instrumentation.
+        closures carry site instrumentation.  The sanitizer pins
+        execution to tier 1 (see ``docs/PERFORMANCE.md``).
         """
         key = ("interp-san-" if sanitize else "interp-") \
             + self._cache_key(object_code)
         with observe.span("llee.run_interpreted", entry=entry,
-                          engine=engine):
+                          engine=engine, tier2=bool(tier2)):
             cached = self._interp_cache.get(key) if engine == "fast" \
                 else None
             cache_hit = cached is not None
+            tier2_cache = None
             if cached is None:
                 module = read_module(object_code)
                 decode_cache = DecodeCache(module.target_data,
                                            sanitize=sanitize)
             else:
-                module, decode_cache = cached
+                module, decode_cache, tier2_cache = cached
+            if tier2 and engine == "fast" and not sanitize \
+                    and tier2_cache is None:
+                from repro.execution.tier2 import Tier2Cache
+
+                kwargs = {}
+                if tier2_threshold is not None:
+                    kwargs["threshold"] = tier2_threshold
+                tier2_cache = Tier2Cache(module, module.target_data,
+                                         **kwargs)
+                if self.storage is not None:
+                    tier2_cache.attach_storage(
+                        self.storage, self._cache_key(object_code),
+                        executable_timestamp=executable_timestamp)
             observe.counter(
                 "llee.cache.hit" if cache_hit else "llee.cache.miss",
                 1, target="interp")
             interpreter = Interpreter(
                 module, privileged=privileged, engine=engine,
                 decode_cache=decode_cache if engine == "fast" else None,
-                sanitize=sanitize)
+                sanitize=sanitize,
+                tier2=tier2_cache if tier2 else False,
+                tier2_threshold=tier2_threshold)
             smc_fired = []
             interpreter.smc_listeners.append(smc_fired.append)
             decode_before = decode_cache.stats.decode_seconds
+            compile_before = tier2_cache.stats.compile_seconds \
+                if tier2_cache is not None else 0.0
             started = time.perf_counter()
             result = interpreter.run(entry, list(args))
             run_seconds = time.perf_counter() - started
@@ -200,10 +240,13 @@ class LLEE:
                 if smc_fired:
                     self._interp_cache.pop(key, None)
                 else:
-                    self._interp_cache[key] = (module, decode_cache)
+                    self._interp_cache[key] = (
+                        module, decode_cache, tier2_cache)
+            if tier2_cache is not None:
+                tier2_cache.flush_storage()
             decode_seconds = decode_cache.stats.decode_seconds \
                 - decode_before
-        return InterpretedRunReport(
+        report = InterpretedRunReport(
             return_value=result.return_value,
             output=result.output,
             exit_status=result.exit_status,
@@ -214,6 +257,17 @@ class LLEE:
             run_seconds=max(run_seconds - decode_seconds, 0.0),
             sanitized=sanitize,
         )
+        if tier2_cache is not None:
+            report.tier2_steps = getattr(interpreter, "tier2_steps", 0)
+            report.tier2_calls = getattr(interpreter, "tier2_calls", 0)
+            report.tier2_functions_compiled = \
+                tier2_cache.stats.functions_compiled
+            report.tier2_warm_compiles = tier2_cache.stats.warm_compiles
+            report.tier2_compile_seconds = \
+                tier2_cache.stats.compile_seconds - compile_before
+            report.translation_cache_hit = \
+                tier2_cache.translation_cache_hit
+        return report
 
     def offline_translate(self, object_code: bytes,
                           optimize_level: int = 0) -> JITStats:
@@ -272,9 +326,19 @@ class LLEE:
             if executable_timestamp is not None:
                 cached_at = self.storage.timestamp(_CACHE_NAME, key)
                 if cached_at is None or cached_at < executable_timestamp:
-                    return None, False  # stale translation
+                    # Stale translation: the executable was rebuilt
+                    # after the cache entry was written.
+                    observe.counter("llee.cache.invalid", 1,
+                                    target=self.target.name,
+                                    reason="stale")
+                    return None, False
             native = deserialize_native(data, self.target)
-        except Exception:
+        except Exception as error:
+            # Corrupt or truncated entry, or a failing storage
+            # implementation: record why, then translate online.
+            observe.counter("llee.cache.invalid", 1,
+                            target=self.target.name,
+                            reason=type(error).__name__)
             return None, False
         return native, True
 

@@ -6,7 +6,9 @@ One entry point, classic subcommands::
     python -m repro as  prog.ll -o prog.bc           # assembly -> object code
     python -m repro dis prog.bc                      # object code -> assembly
     python -m repro opt prog.bc -o out.bc -O2 [--link-time]
-    python -m repro run prog.bc [--target x86|sparc] [--entry main] [args...]
+    python -m repro run prog.bc [--target x86|sparc] [--entry main]
+                        [--engine fast] [--tier2 [--translation-cache DIR]]
+                        [args...]
     python -m repro llc prog.bc --target sparc       # native listing
     python -m repro link a.bc b.bc -o out.bc         # module linker
     python -m repro stats prog.bc [--target x86]     # observability report
@@ -152,7 +154,8 @@ def _check_program_args(module, entry: str,
 
 
 #: Registry prefixes surfaced on the one-line ``--stats`` report.
-_STATS_PREFIXES = ("run.", "jit.", "llee.cache.", "fastpath.", "san.")
+_STATS_PREFIXES = ("run.", "jit.", "llee.cache.", "fastpath.", "san.",
+                   "tier2.")
 
 
 def _format_stats_line(label: str, result: object) -> str:
@@ -173,6 +176,25 @@ def _format_stats_line(label: str, result: object) -> str:
     return "[{0}] {1}\n".format(label, " ".join(parts))
 
 
+def _make_tier2_cache(module, args):
+    """Build the CLI's Tier2Cache, optionally wired to a
+    ``--translation-cache`` directory for cross-process warm starts."""
+    from repro.execution.tier2 import Tier2Cache
+    from repro.llee.storage import DiskStorage
+
+    kwargs = {}
+    if args.tier2_threshold is not None:
+        kwargs["threshold"] = args.tier2_threshold
+    cache = Tier2Cache(module, module.target_data, **kwargs)
+    if args.translation_cache:
+        import hashlib
+
+        key = "{0}".format(
+            hashlib.sha256(write_module(module)).hexdigest()[:24])
+        cache.attach_storage(DiskStorage(args.translation_cache), key)
+    return cache
+
+
 def _cmd_run(args) -> int:
     module = _load_module(args.input)
     program_args = _parse_program_args(args.args)
@@ -183,6 +205,14 @@ def _cmd_run(args) -> int:
     if args.sanitize and args.target:
         sys.stderr.write("run: --sanitize applies to the interpreter "
                          "engines only, not --target\n")
+        return 2
+    if args.tier2 and args.target:
+        sys.stderr.write("run: --tier2 applies to the interpreter "
+                         "engines only, not --target\n")
+        return 2
+    if args.tier2 and args.sanitize:
+        sys.stderr.write("run: --sanitize pins execution to tier 1; "
+                         "--tier2 has no effect under llva-san\n")
         return 2
     try:
         if args.target:
@@ -198,15 +228,22 @@ def _cmd_run(args) -> int:
             if args.stats:
                 sys.stderr.write(_format_stats_line(args.target, value))
         else:
+            engine = "fast" if args.tier2 else args.engine
+            tier2_cache = _make_tier2_cache(module, args) \
+                if args.tier2 else False
             interpreter = Interpreter(module,
                                       privileged=args.privileged,
-                                      engine=args.engine,
-                                      sanitize=args.sanitize)
+                                      engine=engine,
+                                      sanitize=args.sanitize,
+                                      tier2=tier2_cache)
             result = interpreter.run(args.entry, program_args)
+            if tier2_cache:
+                tier2_cache.flush_storage()
             sys.stdout.write(result.output)
             value, status = result.return_value, result.exit_status
             if args.stats:
-                label = "fast" if args.engine == "fast" else "interp"
+                label = "tier2" if args.tier2 else (
+                    "fast" if engine == "fast" else "interp")
                 sys.stderr.write(_format_stats_line(label, value))
     except ExecutionTrap as trap:
         sys.stderr.write("trap: {0}\n".format(trap))
@@ -335,6 +372,20 @@ def _render_stats_report(profile, result_value, top: int, out) -> None:
             "{0}={1}".format(name, int(count))
             for name, count in opcode_rows[:top])))
 
+    tier2_rows = [(name, labels, value) for name, labels, value
+                  in registry.counters("tier2.")]
+    if tier2_rows:
+        out.write("== tiered translation (tier 2) ==\n")
+        totals = {}
+        for name, _labels, value in tier2_rows:
+            totals[name] = totals.get(name, 0) + value
+        for name in sorted(totals):
+            value = totals[name]
+            if isinstance(value, float) and not value.is_integer():
+                out.write("  {0} = {1:.6f}\n".format(name, value))
+            else:
+                out.write("  {0} = {1}\n".format(name, int(value)))
+
     san_rows = [(name, labels, value) for name, labels, value
                 in registry.counters("san.")]
     if san_rows:
@@ -388,6 +439,10 @@ def _cmd_stats(args) -> int:
         sys.stderr.write("stats: --sanitize applies to the interpreter "
                          "engines only, not --target\n")
         return 2
+    if args.tier2 and (args.target or args.sanitize):
+        sys.stderr.write("stats: --tier2 applies to the unsanitized "
+                         "interpreter engines only\n")
+        return 2
     profile = None
     try:
         if args.target:
@@ -403,11 +458,17 @@ def _cmd_stats(args) -> int:
             result_value = report.return_value
             profile = read_profile(profile_map, llee.last_simulator)
         else:
+            engine = "fast" if args.tier2 else args.engine
+            tier2_cache = _make_tier2_cache(module, args) \
+                if args.tier2 else False
             interpreter = Interpreter(module,
                                       privileged=args.privileged,
-                                      engine=args.engine,
-                                      sanitize=args.sanitize)
+                                      engine=engine,
+                                      sanitize=args.sanitize,
+                                      tier2=tier2_cache)
             result = interpreter.run(args.entry, program_args)
+            if tier2_cache:
+                tier2_cache.flush_storage()
             sys.stdout.write(result.output)
             result_value = result.return_value
             profile = read_profile(profile_map, interpreter)
@@ -491,6 +552,18 @@ def build_parser() -> argparse.ArgumentParser:
                           "with redzones, a free quarantine, and "
                           "per-allocation fault reports (interpreter "
                           "engines only)")
+    run.add_argument("--tier2", action="store_true",
+                     help="enable the tiered translator: hot functions "
+                          "are compiled to Python bytecode "
+                          "(implies --engine fast)")
+    run.add_argument("--tier2-threshold", type=int, default=None,
+                     metavar="N",
+                     help="invocations before a function is promoted "
+                          "to tier 2 (0 = compile on first call)")
+    run.add_argument("--translation-cache", metavar="DIR",
+                     help="persist tier-2 translations in DIR "
+                          "(POSIX storage API) for cross-process "
+                          "warm starts")
     run.add_argument("--stats", action="store_true")
     _add_observe_flags(run)
     run.add_argument("args", nargs="*")
@@ -527,6 +600,15 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--cache", metavar="DIR",
                        help="LLEE translation cache directory "
                             "(enables cache hits across runs)")
+    stats.add_argument("--tier2", action="store_true",
+                       help="enable the tiered translator "
+                            "(implies --engine fast)")
+    stats.add_argument("--tier2-threshold", type=int, default=None,
+                       metavar="N",
+                       help="promotion threshold (0 = first call)")
+    stats.add_argument("--translation-cache", metavar="DIR",
+                       help="persist tier-2 translations in DIR for "
+                            "cross-process warm starts")
     _add_observe_flags(stats)
     stats.add_argument("args", nargs="*")
     stats.set_defaults(func=_cmd_stats)

@@ -7,6 +7,13 @@ and the same trap behaviour.  This module drives every benchsuite
 program plus hand-written programs exercising the exception model
 (masked/unmasked faults, trap handlers, register snapshots, unwind,
 self-modifying code) through both engines and compares outcomes.
+
+Every ``run_both`` scenario additionally runs a third configuration —
+the fast engine with the tier-2 translator *forced* (promotion
+threshold 0) — so the whole differential corpus doubles as the tier-2
+conformance suite: traps delivered inside compiled code, deopt, SMC
+invalidation, unwind pinning, and register snapshots all compare
+against the oracle byte-for-byte.
 """
 
 import pytest
@@ -29,11 +36,20 @@ SCALE = 0.05
 
 ENGINES = ("reference", "fast")
 
+#: (label, engine, tier2-forced) triples every scenario runs under.
+CONFIGS = (
+    ("reference", "reference", False),
+    ("fast", "fast", False),
+    ("tier2", "fast", True),
+)
+
 
 def _outcome(module, entry="main", args=(), privileged=False,
-             engine="reference"):
+             engine="reference", tier2=False):
     """Run and capture (kind, ...) so trap runs compare structurally."""
-    interpreter = Interpreter(module, privileged=privileged, engine=engine)
+    interpreter = Interpreter(
+        module, privileged=privileged, engine=engine,
+        tier2=tier2, tier2_threshold=0 if tier2 else None)
     try:
         result = interpreter.run(entry, list(args))
     except ExecutionTrap as trap:
@@ -43,20 +59,29 @@ def _outcome(module, entry="main", args=(), privileged=False,
 
 
 def run_both(source, entry="main", args=(), privileged=False):
-    """Assemble *source* once per engine and assert identical outcomes."""
+    """Assemble *source* per configuration (reference, fast, and
+    tier-2-forced fast) and assert identical outcomes."""
     outcomes = {}
-    for engine in ENGINES:
+    for label, engine, tier2 in CONFIGS:
         module = parse_module(source)
         verify_module(module)
-        outcomes[engine] = _outcome(module, entry, args, privileged, engine)
+        outcomes[label] = _outcome(module, entry, args, privileged,
+                                   engine, tier2)
     assert outcomes["reference"] == outcomes["fast"]
+    assert outcomes["reference"] == outcomes["tier2"]
     return outcomes["reference"]
 
 
-def _outcome_sanitized(module, engine):
+def _outcome_sanitized(module, engine, tier2=False):
     """Sanitized outcome, with the full fault report in the tuple so a
     differing diagnosis (not just a differing trap number) fails."""
-    interpreter = Interpreter(module, engine=engine, sanitize=True)
+    interpreter = Interpreter(module, engine=engine, sanitize=True,
+                              tier2=tier2,
+                              tier2_threshold=0 if tier2 else None)
+    if tier2:
+        # Documented behaviour: llva-san pins execution to tier 1 —
+        # shadow-memory checking needs per-instruction sites.
+        assert interpreter.tier2 is None
     try:
         result = interpreter.run("main", [])
     except ExecutionTrap as trap:
@@ -66,13 +91,16 @@ def _outcome_sanitized(module, engine):
 
 
 def run_both_sanitized(source):
-    """Run under llva-san on both engines; reports must be identical."""
+    """Run under llva-san on both engines; reports must be identical.
+    The tier-2 configuration participates too, verifying the sanitizer
+    pins it back to tier 1 without changing observations."""
     outcomes = {}
-    for engine in ENGINES:
+    for label, engine, tier2 in CONFIGS:
         module = parse_module(source)
         verify_module(module)
-        outcomes[engine] = _outcome_sanitized(module, engine)
+        outcomes[label] = _outcome_sanitized(module, engine, tier2)
     assert outcomes["reference"] == outcomes["fast"]
+    assert outcomes["reference"] == outcomes["tier2"]
     return outcomes["reference"]
 
 
@@ -90,6 +118,25 @@ class TestBenchsuiteDifferential:
         fast = _outcome(module, engine="fast")
         assert reference == fast
         assert reference[0] == "ok"
+
+    @pytest.mark.parametrize("name", SUITE_ORDER)
+    def test_workload_tier2_forced(self, name):
+        """All 17 programs, tier-2 promotion forced (threshold 0),
+        against the oracle: identical observations, every architectural
+        step executed by compiled code, nothing pinned."""
+        workload = load_workload(name, SCALE)
+        module = compile_source(workload.source, name,
+                                optimization_level=2)
+        reference = _outcome(module, engine="reference")
+        interpreter = Interpreter(module, engine="fast", tier2=True,
+                                  tier2_threshold=0)
+        result = interpreter.run("main", [])
+        tiered = ("ok", result.return_value, result.output,
+                  result.steps, result.exit_status)
+        assert reference == tiered
+        assert interpreter.tier2_steps == result.steps
+        assert interpreter.tier2.stats.pins == 0
+        assert interpreter.tier2.stats.functions_compiled > 0
 
 
 class TestExceptionModelDifferential:
@@ -622,3 +669,259 @@ class TestEngineSelection:
             listener(function)
         assert invalidated == [function]
         assert cache.stats.invalidations == 1
+
+
+class TestTier2Behaviour:
+    """Tier-2 mechanics: promotion policy, deopt, pinning, SMC."""
+
+    CALLEE_LOOP = """
+    int %work(int %n) {
+    entry:
+            br label %loop
+    loop:
+            %i = phi int [0, %entry], [%next, %loop]
+            %next = add int %i, 1
+            %done = setge int %next, %n
+            br bool %done, label %exit, label %loop
+    exit:
+            ret int %next
+    }
+    int %main() {
+    entry:
+            br label %loop
+    loop:
+            %i = phi int [0, %entry], [%next, %loop]
+            %v = call int %work(int 5)
+            %next = add int %i, %v
+            %done = setge int %next, 100
+            br bool %done, label %exit, label %loop
+    exit:
+            ret int %next
+    }
+    """
+
+    def _module(self, source=None):
+        module = parse_module(source or self.CALLEE_LOOP)
+        verify_module(module)
+        return module
+
+    def test_promotion_after_threshold_invocations(self):
+        module = self._module()
+        interpreter = Interpreter(module, engine="fast", tier2=True,
+                                  tier2_threshold=5)
+        result = interpreter.run("main", [])
+        assert result.return_value == 100
+        # %work runs 20 times; it must cross the threshold and finish
+        # the run in compiled form, with tier-1 covering the first 5.
+        assert interpreter.tier2.stats.functions_compiled >= 1
+        assert 0 < interpreter.tier2_steps < result.steps
+        assert interpreter.tier2_calls >= 1
+
+    def test_threshold_zero_promotes_first_call(self):
+        module = self._module()
+        interpreter = Interpreter(module, engine="fast", tier2=True,
+                                  tier2_threshold=0)
+        result = interpreter.run("main", [])
+        assert result.return_value == 100
+        assert interpreter.tier2_steps == result.steps
+
+    def test_tier2_off_by_default(self):
+        module = self._module()
+        interpreter = Interpreter(module, engine="fast")
+        result = interpreter.run("main", [])
+        assert result.return_value == 100
+        assert interpreter.tier2 is None
+        assert interpreter.tier2_steps == 0
+
+    def test_step_credit_promotes_hot_loop(self):
+        # One long-running invocation accumulates enough architectural
+        # steps to promote even though the invocation count stays 1.
+        from repro.execution.tier2 import Tier2Cache
+
+        source = """
+        int %hot(int %n) {
+        entry:
+                br label %loop
+        loop:
+                %i = phi int [0, %entry], [%next, %loop]
+                %next = add int %i, 1
+                %done = setge int %next, %n
+                br bool %done, label %exit, label %loop
+        exit:
+                ret int %next
+        }
+        int %main() {
+        entry:
+                %a = call int %hot(int 2000)
+                %b = call int %hot(int 2000)
+                %r = add int %a, %b
+                ret int %r
+        }
+        """
+        module = self._module(source)
+        cache = Tier2Cache(module, module.target_data,
+                           threshold=1000, step_threshold=500)
+        interpreter = Interpreter(module, engine="fast", tier2=cache)
+        result = interpreter.run("main", [])
+        assert result.return_value == 4000
+        assert cache.stats.promotions_by_steps >= 1
+        assert interpreter.tier2_steps > 0
+
+    def test_profile_guided_priming(self):
+        # The offline reoptimization loop: a collected profile seeds
+        # the promotion counters, so a profiled-hot function compiles
+        # on its first call of the next run.
+        from repro.llee.profile import instrument_module, read_profile
+
+        module = self._module()
+        profile_map = instrument_module(module)
+        profiling = Interpreter(module, engine="fast")
+        profiling.run("main", [])
+        profile = read_profile(profile_map, profiling)
+        assert profile.function_entry_count(
+            module.get_function("work")) >= 20
+
+        cache = __import__(
+            "repro.execution.tier2", fromlist=["Tier2Cache"]
+        ).Tier2Cache(module, module.target_data, threshold=10)
+        cache.prime_from_profile(profile)
+        interpreter = Interpreter(module, engine="fast", tier2=cache)
+        result = interpreter.run("main", [])
+        assert result.return_value == 100
+        # %work was primed past the threshold, so every one of its 20
+        # invocations ran tier 2; %main (one profiled entry) stays
+        # tier 1 — priming is per-function, not per-module.
+        assert interpreter.tier2_calls == 20
+        assert 0 < interpreter.tier2_steps < result.steps
+        assert cache.stats.functions_compiled == 1
+
+    def test_trap_inside_tier2_deopts_function(self):
+        source = """
+        %log = global int 0
+        declare void %llva.trap.register(uint, sbyte*)
+        void %handler(uint %trapno, sbyte* %info) {
+        entry:
+                %old = load int* %log
+                %n = cast uint %trapno to int
+                %new = add int %old, %n
+                store int %new, int* %log
+                ret void
+        }
+        int %faulty(int %x) {
+        entry:
+                %q = div int %x, 0
+                ret int %q
+        }
+        int %main() {
+        entry:
+                %h = cast void (uint, sbyte*)* %handler to sbyte*
+                call void %llva.trap.register(uint 2, sbyte* %h)
+                %a = call int %faulty(int 9)
+                %b = call int %faulty(int 7)
+                %v = load int* %log
+                %r = add int %v, %a
+                %s = add int %r, %b
+                ret int %s
+        }
+        """
+        ref = _outcome(self._module(source), privileged=True)
+        module = self._module(source)
+        interpreter = Interpreter(module, engine="fast",
+                                  privileged=True,
+                                  tier2=True, tier2_threshold=0)
+        result = interpreter.run("main", [])
+        assert ("ok", result.return_value, result.output, result.steps,
+                result.exit_status) == ref
+        # The first trap delivered mid-tier-2 demotes %faulty; the
+        # second call runs tier 1 and the answers stay identical.
+        faulty = module.get_function("faulty")
+        assert interpreter.tier2.stats.deopts == 1
+        assert "deopt" in interpreter.tier2.pinned_reason(faulty)
+
+    def test_unwind_body_pins_to_tier1(self):
+        module = self._module(TestUnwindDifferential.INVOKE)
+        interpreter = Interpreter(module, engine="fast", tier2=True,
+                                  tier2_threshold=0)
+        result = interpreter.run("main", [50])
+        assert result.return_value == -1
+        assert interpreter.tier2.stats.pins >= 1
+        reason = interpreter.tier2.pinned_reason(
+            module.get_function("main"))
+        assert reason is not None
+
+    def test_smc_invalidates_compiled_unit(self):
+        source = """
+        declare void %llva.smc.replace(sbyte*, sbyte*)
+        int %f(int %x) {
+        entry:
+                %r = add int %x, 1
+                ret int %r
+        }
+        int %g(int %x) {
+        entry:
+                %r = mul int %x, 100
+                ret int %r
+        }
+        int %main() {
+        entry:
+                %before = call int %f(int 5)
+                %old = cast int (int)* %f to sbyte*
+                %new = cast int (int)* %g to sbyte*
+                call void %llva.smc.replace(sbyte* %old, sbyte* %new)
+                %after = call int %f(int 5)
+                %r = sub int %after, %before
+                ret int %r
+        }
+        """
+        module = self._module(source)
+        interpreter = Interpreter(module, engine="fast", tier2=True,
+                                  tier2_threshold=0)
+        result = interpreter.run("main", [])
+        assert result.return_value == 494
+        assert interpreter.tier2.stats.invalidations >= 1
+
+    def test_reference_engine_rejects_tier2(self):
+        with pytest.raises(ValueError):
+            Interpreter(self._module(), engine="reference", tier2=True)
+
+    def test_sanitize_disables_tier2(self):
+        interpreter = Interpreter(self._module(), engine="fast",
+                                  sanitize=True, tier2=True)
+        assert interpreter.tier2 is None
+
+    def test_register_snapshot_inside_tier2_frame(self):
+        # A trap fired while a tier-2 generator is suspended must
+        # expose the same V-ABI register numbering as the oracle.
+        source = """
+        %seen = global long 0
+        declare void %llva.trap.register(uint, sbyte*)
+        declare ulong %llva.register.read(uint)
+        void %handler(uint %trapno, sbyte* %info) {
+        entry:
+                %r1 = call ulong %llva.register.read(uint 1)
+                %v1 = cast ulong %r1 to long
+                store long %v1, long* %seen
+                ret void
+        }
+        int %faulty(int %n) {
+        entry:
+                %doubled = add int %n, %n
+                %q = div int %doubled, 0
+                ret int %q
+        }
+        int %main() {
+        entry:
+                %h = cast void (uint, sbyte*)* %handler to sbyte*
+                call void %llva.trap.register(uint 2, sbyte* %h)
+                %r = call int %faulty(int 21)
+                %t = load long* %seen
+                %t32 = cast long %t to int
+                %result = add int %t32, %r
+                ret int %result
+        }
+        """
+        ref = _outcome(self._module(source), privileged=True)
+        tiered = _outcome(self._module(source), privileged=True,
+                          engine="fast", tier2=True)
+        assert ref == tiered
+        assert ref[1] == 42
