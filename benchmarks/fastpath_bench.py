@@ -17,6 +17,10 @@ written to ``BENCH_tierjit.json`` instead of ``BENCH_fastpath.json``.
 ``--repeat N`` re-runs each engine N times against the same decode and
 tier-2 caches and reports the min (steady state): the first iteration
 pays decode+compile, later ones measure the running tier.
+``--superblocks`` (implying ``--tier2 --osr``) adds the trace-guided
+superblock tier: iteration 1 profiles and upgrades mid-run through
+OSR, later iterations compile hot traces straight-line up front; the
+report lands in ``BENCH_superblock.json``.
 
 Usage:
     PYTHONPATH=src python benchmarks/fastpath_bench.py            # full
@@ -45,22 +49,27 @@ QUICK_SCALE = 0.05
 
 
 def run_engine(module, engine, sanitize=False, repeat=1,
-               tier2=False, tier2_threshold=0):
+               tier2=False, tier2_threshold=0, superblocks=False,
+               osr=False):
     """Run *module* ``repeat`` times on one engine against shared
     decode/tier-2 caches; returns a measurement dict (seconds = min)."""
     decode_cache = None
     tier2_cache = None
+    use_osr = bool(tier2 and not sanitize and osr)
     if engine == "fast":
-        decode_cache = DecodeCache(module.target_data, sanitize=sanitize)
+        decode_cache = DecodeCache(module.target_data, sanitize=sanitize,
+                                   osr=use_osr)
         if tier2 and not sanitize:
             from repro.execution.tier2 import Tier2Cache
 
             tier2_cache = Tier2Cache(module, module.target_data,
-                                     threshold=tier2_threshold)
+                                     threshold=tier2_threshold,
+                                     superblocks=superblocks,
+                                     osr=use_osr)
     seconds = []
     observations = []
     faults = 0
-    tier2_steps = tier2_calls = 0
+    tier2_steps = tier2_calls = side_exits = 0
     for _ in range(repeat):
         interpreter = Interpreter(
             module, engine=engine,
@@ -83,6 +92,7 @@ def run_engine(module, engine, sanitize=False, repeat=1,
         faults += san.fault_count if san is not None else 0
         tier2_steps = getattr(interpreter, "tier2_steps", 0)
         tier2_calls = getattr(interpreter, "tier2_calls", 0)
+        side_exits = getattr(interpreter, "t2_side_exits", 0)
     return {
         "observation": observations[0],
         # Every repeat must observe the same architectural results;
@@ -100,17 +110,25 @@ def run_engine(module, engine, sanitize=False, repeat=1,
                        if tier2_cache is not None else 0),
         "tier2_steps": tier2_steps,
         "tier2_calls": tier2_calls,
+        "superblocks_compiled": (tier2_cache.stats.superblocks_compiled
+                                 if tier2_cache is not None else 0),
+        "osr_entries": (tier2_cache.stats.osr_entries
+                        if tier2_cache is not None else 0),
+        "osr_upgrades": (tier2_cache.stats.osr_upgrades
+                         if tier2_cache is not None else 0),
+        "side_exits": side_exits,
         "faults": faults,
     }
 
 
 def bench_program(name, scale, sanitize=False, repeat=1, tier2=False,
-                  tier2_threshold=0):
+                  tier2_threshold=0, superblocks=False, osr=False):
     workload = load_workload(name, scale)
     module = compile_source(workload.source, name, optimization_level=2)
     ref = run_engine(module, "reference", sanitize, repeat=repeat)
     fast = run_engine(module, "fast", sanitize, repeat=repeat,
-                      tier2=tier2, tier2_threshold=tier2_threshold)
+                      tier2=tier2, tier2_threshold=tier2_threshold,
+                      superblocks=superblocks, osr=osr)
     ref_obs, fast_obs = ref["observation"], fast["observation"]
     steps = ref_obs[2] if ref_obs[0] != "trap" else ref_obs[3]
     ref_seconds, fast_seconds = ref["seconds"], fast["seconds"]
@@ -141,6 +159,11 @@ def bench_program(name, scale, sanitize=False, repeat=1, tier2=False,
         row["tier2_pins"] = fast["tier2_pins"]
         row["fast_compile_seconds"] = round(fast["compile_seconds"], 6)
         row["fast_first_run_seconds"] = round(fast["first_seconds"], 6)
+    if superblocks or osr:
+        row["tier2_superblocks"] = fast["superblocks_compiled"]
+        row["tier2_osr_entries"] = fast["osr_entries"]
+        row["tier2_osr_upgrades"] = fast["osr_upgrades"]
+        row["tier2_side_exits"] = fast["side_exits"]
     if row["diverged"]:
         row["reference_observation"] = repr(ref_obs)
         row["fast_observation"] = repr(fast_obs)
@@ -176,18 +199,32 @@ def main(argv=None):
                         metavar="N",
                         help="tier-2 promotion threshold (default 0: "
                              "compile every function on first call)")
+    parser.add_argument("--superblocks", action="store_true",
+                        help="trace-guided superblock tier-2 codegen; "
+                             "implies --tier2 and --osr (the profiling "
+                             "stage upgrades mid-run via OSR)")
+    parser.add_argument("--osr", action="store_true",
+                        help="on-stack replacement at hot tier-1 loop "
+                             "headers (implies --tier2)")
     parser.add_argument("--repeat", type=int, default=1, metavar="N",
                         help="run each engine N times against shared "
                              "caches and report min-of-N (steady state)")
     parser.add_argument("--out", default=None,
                         help="JSON output path (default "
-                             "BENCH_fastpath.json, or BENCH_tierjit.json "
-                             "with --tier2)")
+                             "BENCH_fastpath.json, BENCH_tierjit.json "
+                             "with --tier2, or BENCH_superblock.json "
+                             "with --superblocks)")
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error("--repeat must be >= 1")
-    out_path = args.out or ("BENCH_tierjit.json" if args.tier2
-                            else "BENCH_fastpath.json")
+    if args.superblocks:
+        args.osr = True
+    if args.osr:
+        args.tier2 = True
+    out_path = args.out or (
+        "BENCH_superblock.json" if args.superblocks
+        else "BENCH_tierjit.json" if args.tier2
+        else "BENCH_fastpath.json")
 
     programs = args.programs or list(SUITE_ORDER)
     scale = args.scale
@@ -204,7 +241,8 @@ def main(argv=None):
                          .format(name, ", ".join(SUITE_ORDER)))
         row = bench_program(name, scale, sanitize=args.sanitize,
                             repeat=args.repeat, tier2=args.tier2,
-                            tier2_threshold=args.tier2_threshold)
+                            tier2_threshold=args.tier2_threshold,
+                            superblocks=args.superblocks, osr=args.osr)
         rows.append(row)
         if row["diverged"]:
             status = "DIVERGED"
@@ -227,6 +265,8 @@ def main(argv=None):
         "sanitize": args.sanitize,
         "tier2": args.tier2,
         "tier2_threshold": args.tier2_threshold,
+        "superblocks": args.superblocks,
+        "osr": args.osr,
         "repeat": args.repeat,
         "programs": rows,
         "geomean_speedup": geomean([r["speedup"] for r in rows]),
@@ -245,6 +285,15 @@ def main(argv=None):
         report["tier2_pins"] = sum(r["tier2_pins"] for r in rows)
         report["compile_seconds"] = round(
             sum(r["fast_compile_seconds"] for r in rows), 6)
+    if args.superblocks or args.osr:
+        report["tier2_superblocks"] = sum(
+            r["tier2_superblocks"] for r in rows)
+        report["tier2_osr_entries"] = sum(
+            r["tier2_osr_entries"] for r in rows)
+        report["tier2_osr_upgrades"] = sum(
+            r["tier2_osr_upgrades"] for r in rows)
+        report["tier2_side_exits"] = sum(
+            r["tier2_side_exits"] for r in rows)
     with open(out_path, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")

@@ -207,6 +207,32 @@ def _tier2_driver(st, f):
                                      request[2], request[3])
                     f.regs[0] = None
                     return _RESCHED
+                if kind == "osr":
+                    # A profiling unit's block counter crossed the
+                    # upgrade threshold: fold its counters into the
+                    # cache profile, recompile (ideally as a trace-
+                    # guided superblock), and restart the replacement
+                    # generator at the current block with the live
+                    # registers.  When the upgrade is declined (pinned,
+                    # raced) the old generator simply keeps running.
+                    tier2 = st.tier2
+                    new_unit = tier2.osr_upgrade(f.function, f.unit) \
+                        if tier2 is not None else None
+                    if new_unit is None or new_unit is f.unit:
+                        request = gen.send(None)
+                        continue
+                    gi_frame = gen.gi_frame
+                    local_values = gi_frame.f_locals \
+                        if gi_frame is not None else {}
+                    regs = tuple(local_values.get(name, 0)
+                                 for name, _num in f.unit.snap_map)
+                    gen.close()
+                    f.unit = new_unit
+                    f.gen = gen = new_unit.factory(
+                        st, *([0] * new_unit.num_args),
+                        __osr=(request[1], regs))
+                    request = gen.send(None)
+                    continue
                 # "icall": classify at run time like _fast_call_any.
                 address = request[1]
                 fn = st.image.function_at(address)
@@ -353,7 +379,8 @@ class DecodeCache:
     braces; the listener also frees the stale entry and counts it.
     """
 
-    def __init__(self, target: types.TargetData, sanitize: bool = False):
+    def __init__(self, target: types.TargetData, sanitize: bool = False,
+                 osr: bool = False):
         self.target = target
         #: When set, every compiled closure is wrapped to publish its
         #: decode-time site string to the sanitizer before running, so a
@@ -361,6 +388,11 @@ class DecodeCache:
         #: unsanitized closures are different code — a cache is bound to
         #: one mode.
         self.sanitize = sanitize
+        #: When set, loop back edges carry the on-stack-replacement
+        #: check (see ``_Decoder._make_edge``).  Like ``sanitize``, the
+        #: flag changes the compiled closures, so a cache is bound to
+        #: one mode.
+        self.osr = osr
         self.stats = DecodeCacheStats()
         # id(function) -> (smc_version, DecodedFunction, function).  The
         # function reference pins the object so the id stays unique.
@@ -371,7 +403,8 @@ class DecodeCache:
         if entry is not None and entry[0] == function.smc_version:
             return entry[1]
         started = time.perf_counter()
-        decoded = _decode_function(function, self.target, self.sanitize)
+        decoded = _decode_function(function, self.target, self.sanitize,
+                                   self.osr)
         elapsed = time.perf_counter() - started
         self._cache[id(function)] = (function.smc_version, decoded, function)
         self.stats.functions_decoded += 1
@@ -423,11 +456,18 @@ class _Decoder:
 
     def __init__(self, function: Function, target: types.TargetData,
                  slot_of: Dict[int, int],
-                 ops_map: Dict[int, List[Callable]]):
+                 ops_map: Dict[int, List[Callable]],
+                 osr: bool = False):
         self.function = function
         self.target = target
         self.slot_of = slot_of
         self.ops_map = ops_map
+        self.osr = osr
+        #: id(block) -> position in ``function.blocks``; an edge to an
+        #: equal-or-earlier position is a back edge (loop header), the
+        #: OSR trigger point.
+        self.block_index = {id(b): i for i, b in
+                            enumerate(function.blocks)}
 
     # -- operands ------------------------------------------------------
 
@@ -591,6 +631,59 @@ class _Decoder:
         mask = (1 << inst.type.bits) - 1
         sign = (1 << (inst.type.bits - 1)) if inst.type.is_signed else 0
         is_div = inst.opcode == "div"
+        signed = inst.type.is_signed
+        kb, vb = self.resolve(inst.operand(1))
+        if kb == "c" and isinstance(vb, int) and vb != 0 \
+                and (signed or vb > 0) and not (signed and vb == -1):
+            # Constant nonzero divisor: no zero check, and the result
+            # cannot overflow (INT_MIN // -1 is excluded above), so the
+            # wrap/!ee suffix drops too.  Unsigned operands are
+            # non-negative, so host floor division *is* C truncating
+            # division; signed keeps the abs/sign-fix trunc sequence.
+            c = vb
+            ka, va = self.resolve(inst.operand(0))
+            geta = None if ka == "s" else self.getter(inst.operand(0))
+            if not signed:
+                if is_div:
+                    if ka == "s":
+                        def op(st, f, _a=va):
+                            st.steps += 1
+                            r = f.regs
+                            r[dst] = r[_a] // c
+                            f.index = nxt
+                    else:
+                        def op(st, f):
+                            st.steps += 1
+                            r = f.regs
+                            r[dst] = geta(st, r) // c
+                            f.index = nxt
+                else:
+                    if ka == "s":
+                        def op(st, f, _a=va):
+                            st.steps += 1
+                            r = f.regs
+                            r[dst] = r[_a] % c
+                            f.index = nxt
+                    else:
+                        def op(st, f):
+                            st.steps += 1
+                            r = f.regs
+                            r[dst] = geta(st, r) % c
+                            f.index = nxt
+                return op
+            cab = abs(c)
+            cneg = c < 0
+
+            def op(st, f):
+                st.steps += 1
+                r = f.regs
+                a = r[va] if geta is None else geta(st, r)
+                q = abs(a) // cab
+                if (a < 0) != cneg:
+                    q = -q
+                r[dst] = q if is_div else a - q * c
+                f.index = nxt
+            return op
         geta = self.getter(inst.operand(0))
         getb = self.getter(inst.operand(1))
 
@@ -1100,7 +1193,35 @@ class _Decoder:
         Bumps ``steps`` by *extra* (1 for a taken terminator, 0 for a
         call resume) plus one per phi, performs the simultaneous phi
         assignment, and enforces ``max_steps``.
+
+        In OSR mode, back edges (*succ* at or before *pred* in block
+        order — a loop header) additionally check the frame's step
+        credit after the transfer: a tier-1 activation that has been
+        spinning long enough is handed to ``st._osr_enter``, which maps
+        the live register file onto a tier-2 generator and resumes at
+        exactly this point — the start of *succ* with phis already
+        assigned, which is where a tier-2 dispatch arm begins too.
         """
+        inner = self._make_plain_edge(pred, succ, extra)
+        if not self.osr:
+            return inner
+        if self.block_index.get(id(succ), 1 << 30) \
+                > self.block_index.get(id(pred), -1):
+            return inner
+        bid = self.block_index[id(succ)]
+
+        def osr_edge(st, f):
+            r = inner(st, f)
+            tier2 = st.tier2
+            if tier2 is not None \
+                    and st.steps - f.steps_at_entry \
+                    >= tier2.osr_step_threshold:
+                return st._osr_enter(f, bid)
+            return r
+        return osr_edge
+
+    def _make_plain_edge(self, pred: BasicBlock, succ: BasicBlock,
+                         extra: int):
         dst_ops = self.ops_map[id(succ)]
         phis = succ.phis()
         nphis = len(phis)
@@ -1382,7 +1503,8 @@ def _with_site(op: Callable, site: str) -> Callable:
 
 
 def _decode_function(function: Function, target: types.TargetData,
-                     sanitize: bool = False) -> DecodedFunction:
+                     sanitize: bool = False,
+                     osr: bool = False) -> DecodedFunction:
     """Lower *function* into per-block closure arrays (see module doc)."""
     blocks = function.blocks
     # Slot numbering is the V-ABI register numbering: arguments first,
@@ -1403,7 +1525,7 @@ def _decode_function(function: Function, target: types.TargetData,
     # Pre-create the per-block op lists so edge closures can capture
     # their target list objects before those are populated.
     ops_map: Dict[int, List[Callable]] = {id(b): [] for b in blocks}
-    decoder = _Decoder(function, target, slot_of, ops_map)
+    decoder = _Decoder(function, target, slot_of, ops_map, osr=osr)
     fused = 0
     for block in blocks:
         ops = ops_map[id(block)]
@@ -1447,28 +1569,13 @@ class FastInterpreter(Interpreter):
         super().__init__(module, target=target, privileged=privileged,
                          max_steps=max_steps, sanitize=sanitize)
         self.engine = "fast"
-        if decode_cache is not None:
-            if (decode_cache.target.pointer_size != self.target.pointer_size
-                    or decode_cache.target.endianness
-                    != self.target.endianness):
-                raise ValueError(
-                    "decode cache was built for a different target layout")
-            if decode_cache.sanitize != sanitize:
-                raise ValueError(
-                    "decode cache sanitize mode ({0}) does not match the "
-                    "interpreter ({1})".format(decode_cache.sanitize,
-                                               sanitize))
-            self.decode_cache = decode_cache
-        else:
-            self.decode_cache = DecodeCache(self.target, sanitize=sanitize)
-        self.smc_listeners.append(self.decode_cache.listener())
-        self.fused_runs = 0
-        self.fused_instructions = 0
         # Tier 2: hot functions compiled to Python bytecode.  Sanitized
         # runs pin everything to tier 1 — shadow-memory checking needs
         # per-instruction fault sites, which compiled code merges away
         # (documented in docs/PERFORMANCE.md, tested in the
-        # differential suite).
+        # differential suite).  Configured before the decode cache: the
+        # tier-2 cache's OSR mode decides whether tier-1 back edges
+        # carry the on-stack-replacement check.
         if tier2 and not sanitize:
             from repro.execution.tier2 import Tier2Cache
             if isinstance(tier2, Tier2Cache):
@@ -1486,8 +1593,33 @@ class FastInterpreter(Interpreter):
             self.smc_listeners.append(self.tier2.listener())
         else:
             self.tier2 = None
+        osr = self.tier2 is not None and self.tier2.osr
+        if decode_cache is not None:
+            if (decode_cache.target.pointer_size != self.target.pointer_size
+                    or decode_cache.target.endianness
+                    != self.target.endianness):
+                raise ValueError(
+                    "decode cache was built for a different target layout")
+            if decode_cache.sanitize != sanitize:
+                raise ValueError(
+                    "decode cache sanitize mode ({0}) does not match the "
+                    "interpreter ({1})".format(decode_cache.sanitize,
+                                               sanitize))
+            if decode_cache.osr != osr:
+                raise ValueError(
+                    "decode cache OSR mode ({0}) does not match the "
+                    "interpreter ({1})".format(decode_cache.osr, osr))
+            self.decode_cache = decode_cache
+        else:
+            self.decode_cache = DecodeCache(self.target, sanitize=sanitize,
+                                            osr=osr)
+        self.smc_listeners.append(self.decode_cache.listener())
+        self.fused_runs = 0
+        self.fused_instructions = 0
         self.tier2_steps = 0
         self.tier2_calls = 0
+        #: Superblock side exits taken (bumped by generated code).
+        self.t2_side_exits = 0
 
     # -- public API ----------------------------------------------------
 
@@ -1501,6 +1633,7 @@ class FastInterpreter(Interpreter):
         fused_before = self.fused_instructions
         t2_steps_before = self.tier2_steps
         t2_calls_before = self.tier2_calls
+        t2_exits_before = self.t2_side_exits
         with observe.span("interp.run", entry=function_name, engine="fast"):
             try:
                 result_value = self._run_loop()
@@ -1519,6 +1652,8 @@ class FastInterpreter(Interpreter):
                                 self.tier2_steps - t2_steps_before)
                 observe.counter("tier2.calls",
                                 self.tier2_calls - t2_calls_before)
+                observe.counter("tier2.side_exits",
+                                self.t2_side_exits - t2_exits_before)
         return ExecutionResult(
             return_value=result_value,
             steps=self.steps,
@@ -1635,6 +1770,37 @@ class FastInterpreter(Interpreter):
         if ms is not None and self.steps > ms:
             raise StepLimitExceeded("exceeded {0} steps".format(ms))
         self._fast_push(function, args, dst, resume, unwind_edge)
+        return _RESCHED
+
+    # -- on-stack replacement ------------------------------------------
+
+    def _osr_enter(self, f: _FastFrame, block_id: int):
+        """Promote a hot tier-1 activation mid-loop: map its live
+        register file onto a tier-2 generator entered at *block_id*
+        (where the triggering back edge just landed, phis already
+        assigned) and replace the frame in place.
+
+        Returns ``_RESCHED`` so the run loop re-dispatches to the new
+        frame, or None when tier 2 declines (OSR off, pinned,
+        uncompilable) — in which case the frame's step credit is reset
+        so the check does not fire on every subsequent back edge.
+        """
+        tier2 = self.tier2
+        unit = tier2.lookup_osr(f.function) if tier2 is not None else None
+        if unit is None:
+            f.steps_at_entry = self.steps
+            return None
+        gen = unit.factory(
+            self, *([0] * unit.num_args),
+            __osr=(block_id, tuple(f.regs[:unit.num_slots])))
+        frame = _Tier2Frame(f.function, unit, gen, f.saved_sp, f.ret_slot,
+                            f.resume, f.unwind_edge)
+        frame.is_trap_handler = f.is_trap_handler
+        self._frames[-1] = frame
+        tier2.stats.osr_entries += 1
+        self.tier2_calls += 1
+        if observe.enabled():
+            observe.counter("tier2.osr_entries", 1)
         return _RESCHED
 
     # -- exception model -----------------------------------------------

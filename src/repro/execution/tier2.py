@@ -35,6 +35,24 @@ inside a tier-2 activation completes precisely in place and then
 *deopts* the function (future invocations run tier 1).  Sanitized runs
 pin everything — shadow-memory checking needs per-instruction sites.
 
+With ``superblocks=True`` the code generator additionally consumes
+:func:`repro.llee.tracecache.form_function_traces` layouts: a hot
+trace becomes one straight-line **superblock** arm — its own inner
+``while True`` whose back edge to the trace head is a direct
+``continue`` and whose interior transfers fall through with no
+dispatch at all; every off-trace edge is a conditional *side exit*
+that breaks back to the block-dispatch loop (interior trace blocks
+keep their own dispatch arms, so side exits and OSR entries always
+have a landing pad).  When no profile exists yet, functions first
+compile as *profiling* units whose per-block counters both feed trace
+formation and, at ``superblock_threshold`` executions of one block,
+yield an ``('osr', block)`` request so the driver can swap in the
+trace-guided unit *mid-activation*.  With ``osr=True`` tier 1 joins
+in: a back edge taken after ``osr_step_threshold`` architectural
+steps maps the live tier-1 frame onto tier-2 locals (the shared V-ABI
+slot numbering makes this a straight copy) and resumes at the loop
+header, instead of finishing the activation interpreted.
+
 Promotion is counter-driven: a function is compiled after
 ``threshold`` tier-1 invocations, or once its tier-1 activations have
 accumulated ``step_threshold`` architectural steps (credited on
@@ -90,7 +108,7 @@ from repro.ir.values import (
 
 #: Bump whenever generated code or the yield protocol changes shape;
 #: persisted translations from other versions are discarded.
-TIER2_VERSION = 1
+TIER2_VERSION = 2
 
 #: Tier-1 invocations before a function is promoted (0 = immediately).
 DEFAULT_THRESHOLD = 16
@@ -99,8 +117,21 @@ DEFAULT_THRESHOLD = 16
 #: activations) before it is promoted regardless of invocation count.
 DEFAULT_STEP_THRESHOLD = 50_000
 
+#: Executions of a single block inside a profiling-stage tier-2 unit
+#: before the unit yields an ``('osr', block)`` request asking to be
+#: upgraded to a trace-guided superblock unit mid-activation.
+DEFAULT_SUPERBLOCK_THRESHOLD = 512
+
+#: Architectural steps a tier-1 activation must accumulate before a
+#: taken back edge triggers on-stack replacement into tier 2.
+DEFAULT_OSR_STEP_THRESHOLD = 25_000
+
 #: Storage-API cache name for persisted translations.
 TIER2_CACHE_NAME = "llee-tier2"
+
+#: Storage-API cache name for persisted profile snapshots (written
+#: next to the translation blob under the same module key).
+PROFILE_CACHE_NAME = "llee-profile"
 
 
 class UnsupportedFunction(Exception):
@@ -112,10 +143,13 @@ class CompiledUnit:
     """One tier-2 translation: a generator factory plus its metadata."""
 
     __slots__ = ("function", "smc_version", "factory", "num_args",
-                 "num_slots", "snap_map", "source", "func_hash", "code")
+                 "num_slots", "snap_map", "source", "func_hash", "code",
+                 "kind", "layout_hash", "side_exits", "block_counts")
 
     def __init__(self, function, smc_version, factory, num_args,
-                 num_slots, snap_map, source, func_hash, code):
+                 num_slots, snap_map, source, func_hash, code,
+                 kind="dispatch", layout_hash="-", side_exits=(),
+                 block_counts=None):
         self.function = function
         self.smc_version = smc_version
         self.factory = factory          # (st, *args) -> generator
@@ -130,12 +164,27 @@ class CompiledUnit:
         #: persisted (marshalled, .pyc-style) so warm starts skip both
         #: codegen and ``compile()``.
         self.code = code
+        #: "dispatch" (one arm per block), "superblock" (trace-guided
+        #: straight-line arms), or "profiling" (block dispatch plus
+        #: per-block counters feeding trace formation; never persisted).
+        self.kind = kind
+        #: Signature of the trace layout the unit was generated from
+        #: ("-" = plain dispatch); part of the persistent key, so a
+        #: profile change invalidates stale superblocks.
+        self.layout_hash = layout_hash
+        #: Deopt metadata: one (from-block, to-block) name pair per
+        #: superblock side exit, in emission order.
+        self.side_exits = side_exits
+        #: Live per-block execution counters (profiling units only);
+        #: shared with the generated code's ``__bc`` list.
+        self.block_counts = block_counts
 
 
 class Tier2Stats:
     __slots__ = ("functions_compiled", "warm_compiles", "codegen_seconds",
                  "compile_seconds", "invalidations", "deopts", "pins",
-                 "promotions_by_steps")
+                 "promotions_by_steps", "superblocks_compiled",
+                 "profiling_compiled", "osr_entries", "osr_upgrades")
 
     def __init__(self):
         self.functions_compiled = 0
@@ -148,6 +197,14 @@ class Tier2Stats:
         self.deopts = 0
         self.pins = 0
         self.promotions_by_steps = 0
+        #: Units whose arms were emitted from a trace layout.
+        self.superblocks_compiled = 0
+        #: Profiling-stage units (block dispatch + counters).
+        self.profiling_compiled = 0
+        #: Tier-1 activations resumed mid-loop inside a tier-2 unit.
+        self.osr_entries = 0
+        #: Profiling units swapped for trace-guided ones mid-activation.
+        self.osr_upgrades = 0
 
 
 def function_hash(function: Function) -> str:
@@ -181,9 +238,25 @@ class _SourceWriter:
 class _FnCodegen:
     """Generates the Python source of one tier-2 generator function."""
 
-    def __init__(self, function: Function, target: types.TargetData):
+    def __init__(self, function: Function, target: types.TargetData,
+                 layout=None, profile_blocks: bool = False,
+                 upgrade_threshold: int = DEFAULT_SUPERBLOCK_THRESHOLD):
         self.function = function
         self.target = target
+        #: Trace layout (a list of ``tracecache.Trace``) guiding
+        #: superblock emission; block order/ids are never changed.
+        self.layout = layout or []
+        #: Emit per-block execution counters plus the ``('osr', b)``
+        #: upgrade trigger (profiling-stage units).
+        self.profile_blocks = profile_blocks
+        self.upgrade_threshold = max(int(upgrade_threshold), 1)
+        #: (from-block, to-block) name pairs, one per side exit emitted.
+        self.side_exits: List[Tuple[str, str]] = []
+        #: Superblock emission state: the trace head (back edges to it
+        #: become the inner loop's ``continue``) and the next trace
+        #: block (edges to it fall through with no jump at all).
+        self._sb_head = None
+        self._sb_next = None
         self.w = _SourceWriter()
         self.slot_of: Dict[int, int] = {}
         self.block_id: Dict[int, int] = {}
@@ -338,8 +411,59 @@ class _FnCodegen:
             return
         self.w.emit(ind, "r{0} = {1}".format(dst, self.wrap_expr(raw, type_)))
 
+    @staticmethod
+    def _divrem_const_divisor(inst) -> Optional[int]:
+        """For integer div/rem whose divisor is a nonzero constant that
+        can neither trap nor overflow, the divisor's Python value; else
+        None.  (Signed ``div`` by -1 keeps the checked path — INT_MIN
+        divided by -1 is the one overflowing case.)"""
+        if inst.opcode not in ("div", "rem"):
+            return None
+        type_ = inst.type
+        if not type_.is_integer:
+            return None
+        divisor = inst.operand(1)
+        if not isinstance(divisor, ConstantInt):
+            return None
+        value = int(divisor.value)
+        if value == 0:
+            return None
+        if not type_.is_signed and value < 0:
+            return None
+        if type_.is_signed and value == -1 and inst.opcode == "div":
+            return None
+        return value
+
+    def _emit_divrem_const(self, ind: int, inst, dst: int, a: str,
+                           const: int) -> None:
+        """Constant-nonzero-divisor fast path: no zero-check suffix and
+        no !ee overflow suffix (neither condition can occur).  Unsigned
+        operands are non-negative, so Python's floor ``//``/``%``
+        already *are* the truncating forms."""
+        if not inst.type.is_signed:
+            op = "//" if inst.opcode == "div" else "%"
+            self.w.emit(ind, "r{0} = ({1}) {2} {3}".format(
+                dst, a, op, const))
+            return
+        av = self.tmp()
+        q = self.tmp()
+        self.w.emit(ind, "{0} = {1}".format(av, a))
+        self.w.emit(ind, "{0} = abs({1}) // {2}".format(q, av, abs(const)))
+        self.w.emit(ind, "if {0} {1} 0:".format(av,
+                                                "<" if const > 0 else ">"))
+        self.w.emit(ind + 1, "{0} = -{0}".format(q))
+        if inst.opcode == "div":
+            self.w.emit(ind, "r{0} = {1}".format(dst, q))
+        else:
+            self.w.emit(ind, "r{0} = {1} - {2} * ({3})".format(
+                dst, av, q, const))
+
     def emit_divrem(self, ind: int, inst, dst: int, a: str, b: str) -> None:
         type_ = inst.type
+        const = self._divrem_const_divisor(inst)
+        if const is not None:
+            self._emit_divrem_const(ind, inst, dst, a, const)
+            return
         bv = self.tmp()
         av = self.tmp()
         self.w.emit(ind, "{0} = {1}".format(av, a))
@@ -574,7 +698,11 @@ class _FnCodegen:
                   extra: int) -> None:
         """Transfer to *succ*: simultaneous phi assignment, merged step
         bump (taken-branch + one per phi), the max_steps check, and the
-        dispatch jump."""
+        jump.  Inside a superblock the jump specializes — the trace's
+        fallthrough successor emits no jump at all, a back edge to the
+        trace head re-enters the inner loop with a bare ``continue``,
+        and every other target is a *side exit* that breaks back to the
+        block-dispatch loop."""
         phis = succ.phis()
         bump = extra + len(phis)
         if phis:
@@ -597,6 +725,19 @@ class _FnCodegen:
             self.w.emit(ind + 1, "raise StepLimitExceeded("
                                  "'exceeded {0} steps'"
                                  ".format(st.max_steps))")
+        if self._sb_head is not None:
+            if succ is self._sb_next:
+                if not phis and not bump:
+                    self.w.emit(ind, "pass")
+                return  # falls through into the next trace block's code
+            if succ is self._sb_head:
+                self.w.emit(ind, "continue")
+                return
+            self.side_exits.append((pred.name or "", succ.name or ""))
+            self.w.emit(ind, "st.t2_side_exits += 1")
+            self.w.emit(ind, "__blk = {0}".format(self.block_id[id(succ)]))
+            self.w.emit(ind, "break")
+            return
         self.w.emit(ind, "__blk = {0}".format(self.block_id[id(succ)]))
         self.w.emit(ind, "continue")
 
@@ -700,13 +841,55 @@ class _FnCodegen:
             # Pure unless the !ee bit makes overflow deliverable.
             return inst.type.is_floating_point \
                 or not inst.exceptions_enabled
+        if opcode in ("div", "rem"):
+            # A constant nonzero divisor removes both the zero check
+            # and the overflow suffix, so the op can neither trap nor
+            # yield — its step merges like any other pure op.
+            return not inst.type.is_floating_point \
+                and self._divrem_const_divisor(inst) is not None
         return False
 
     def emit_block(self, block: BasicBlock) -> None:
-        ind = 3
+        """One plain dispatch arm (optionally instrumented with the
+        profiling-stage block counter and its upgrade trigger)."""
         bid = self.block_id[id(block)]
         self.w.emit(2, "{0} __blk == {1}:".format(
             "if" if bid == 0 else "elif", bid))
+        if self.profile_blocks:
+            # The equality test fires the upgrade request exactly once
+            # per block (the counter list is shared unit-wide); the
+            # driver may answer by swapping this generator for a
+            # trace-guided one, resuming at this very block.
+            self.w.emit(3, "__bc[{0}] += 1".format(bid))
+            self.w.emit(3, "if __bc[{0}] == {1}:".format(
+                bid, self.upgrade_threshold))
+            self.w.emit(4, "st.steps = __steps")
+            self.w.emit(4, "yield ('osr', {0})".format(bid))
+            self.w.emit(4, "__steps = st.steps")
+        self.emit_block_body(block, 3)
+
+    def emit_trace(self, trace_blocks: List[BasicBlock]) -> None:
+        """One superblock arm: the whole trace as straight-line code
+        inside its own ``while True``.  Entering the arm (from dispatch
+        or OSR) starts at the trace head; the loop's back edge never
+        touches the dispatcher again until a side exit breaks out."""
+        head = trace_blocks[0]
+        bid = self.block_id[id(head)]
+        self.w.emit(2, "{0} __blk == {1}:".format(
+            "if" if bid == 0 else "elif", bid))
+        self.w.emit(3, "while True:")
+        try:
+            for position, block in enumerate(trace_blocks):
+                self._sb_head = head
+                self._sb_next = (trace_blocks[position + 1]
+                                 if position + 1 < len(trace_blocks)
+                                 else None)
+                self.emit_block_body(block, 4)
+        finally:
+            self._sb_head = None
+            self._sb_next = None
+
+    def emit_block_body(self, block: BasicBlock, ind: int) -> None:
         instructions = block.instructions
         start = len(block.phis())
         pending = 0  # pure ops since the last __steps flush
@@ -762,7 +945,7 @@ class _FnCodegen:
 
     def _emit_simple(self, ind: int, inst) -> None:
         opcode = inst.opcode
-        if opcode in ("add", "sub", "mul"):
+        if opcode in ("add", "sub", "mul", "div", "rem"):
             self.emit_arith(ind, inst)
         elif opcode in ("and", "or", "xor"):
             self.emit_logical(ind, inst)
@@ -798,15 +981,26 @@ class _FnCodegen:
         num_slots = slot
         for index, block in enumerate(blocks):
             self.block_id[id(block)] = index
+        # Superblock layout: each trace head's arm becomes the whole
+        # trace; interior blocks keep their own plain arms so side
+        # exits and OSR entries always have a dispatch target.
+        trace_of: Dict[int, List[BasicBlock]] = {}
+        for trace in self.layout:
+            if trace.blocks and id(trace.blocks[0]) in self.block_id:
+                trace_of[id(trace.blocks[0])] = trace.blocks
         # Body first (so prologue hoists only what is referenced).
         body = _SourceWriter()
         self.w = body
         for block in blocks:
-            self.emit_block(block)
+            trace_blocks = trace_of.get(id(block))
+            if trace_blocks is not None:
+                self.emit_trace(trace_blocks)
+            else:
+                self.emit_block(block)
         head = _SourceWriter()
         params = ", ".join("r{0}".format(i)
                            for i in range(len(function.args)))
-        head.emit(0, "def __tier2(st{0}):".format(
+        head.emit(0, "def __tier2(st{0}, __osr=None):".format(
             ", " + params if params else ""))
         if self.uses_mem:
             head.emit(1, "__mem = st.memory")
@@ -820,10 +1014,22 @@ class _FnCodegen:
         head.emit(1, "if __ms is None:")
         head.emit(2, "__ms = 0x7fffffffffffffff")
         head.emit(1, "__steps = st.steps")
-        head.emit(1, "__blk = 0")
+        # On-stack replacement entry: __osr carries (block id, full
+        # register file); the V-ABI slot numbering is shared with tier
+        # 1, so restoring the frame is one tuple unpack.  Normal calls
+        # pay a single None test.
+        head.emit(1, "if __osr is None:")
+        head.emit(2, "__blk = 0")
+        head.emit(1, "else:")
+        head.emit(2, "__blk = __osr[0]")
+        if num_slots:
+            names = ", ".join("r{0}".format(i) for i in range(num_slots))
+            if num_slots == 1:
+                names += ","
+            head.emit(2, "{0} = __osr[1]".format(names))
         # A function whose body never yields must still be a generator
         # for the driver protocol; the dead yield below forces that.
-        head.emit(1, "if __blk != 0:")
+        head.emit(1, "if False:")
         head.emit(2, "yield None")
         head.emit(1, "while True:")
         return head.text() + body.text(), num_slots
@@ -844,14 +1050,21 @@ _BASE_NAMESPACE = {
 }
 
 
-def generate_source(function: Function, target: types.TargetData
-                    ) -> Tuple[str, Dict[str, str], int]:
+def generate_source(function: Function, target: types.TargetData,
+                    layout=None, profile_blocks: bool = False,
+                    upgrade_threshold: int = DEFAULT_SUPERBLOCK_THRESHOLD
+                    ) -> Tuple[str, Dict[str, str], int, List[Tuple[str, str]]]:
     """Tier-2 codegen for one function.  Returns ``(source, func_refs,
-    num_slots)``; raises :class:`UnsupportedFunction` for bodies the
-    generator cannot express."""
-    cg = _FnCodegen(function, target)
+    num_slots, side_exits)``; raises :class:`UnsupportedFunction` for
+    bodies the generator cannot express.  *layout* (a list of
+    ``tracecache.Trace``) turns hot traces into superblock arms;
+    *profile_blocks* instruments every dispatch arm with the
+    profiling-stage counter and upgrade trigger instead."""
+    cg = _FnCodegen(function, target, layout=layout,
+                    profile_blocks=profile_blocks,
+                    upgrade_threshold=upgrade_threshold)
     source, num_slots = cg.generate()
-    return source, dict(cg.func_refs), num_slots
+    return source, dict(cg.func_refs), num_slots, list(cg.side_exits)
 
 
 def build_unit(function: Function, module: Module,
@@ -859,7 +1072,9 @@ def build_unit(function: Function, module: Module,
                source: Optional[str] = None,
                func_refs: Optional[Dict[str, str]] = None,
                num_slots: Optional[int] = None,
-               code=None) -> CompiledUnit:
+               code=None, kind: str = "dispatch",
+               layout_hash: str = "-",
+               side_exits=(), block_counts=None) -> CompiledUnit:
     """``compile()`` tier-2 source into a :class:`CompiledUnit`.
 
     With *source* (and *func_refs*) given — the persisted-translation
@@ -869,13 +1084,16 @@ def build_unit(function: Function, module: Module,
     even ``compile()`` is skipped.
     """
     if source is None:
-        source, func_refs, num_slots = generate_source(function, target)
+        source, func_refs, num_slots, side_exits = generate_source(
+            function, target)
     elif func_refs is None or num_slots is None:
         raise ValueError("persisted source requires func_refs/num_slots")
     if code is None:
         code = compile(source, "<tier2:{0}>".format(function.name),
                        "exec")
     namespace = dict(_BASE_NAMESPACE)
+    if block_counts is not None:
+        namespace["__bc"] = block_counts
     for alias, name in func_refs.items():
         target_fn = module.functions.get(name)
         if target_fn is None:
@@ -895,6 +1113,10 @@ def build_unit(function: Function, module: Module,
         source=source,
         func_hash=function_hash(function),
         code=code,
+        kind=kind,
+        layout_hash=layout_hash,
+        side_exits=tuple(side_exits),
+        block_counts=block_counts,
     )
 
 
@@ -909,12 +1131,37 @@ class Tier2Cache:
 
     def __init__(self, module: Module, target: types.TargetData,
                  threshold: int = DEFAULT_THRESHOLD,
-                 step_threshold: int = DEFAULT_STEP_THRESHOLD):
+                 step_threshold: int = DEFAULT_STEP_THRESHOLD,
+                 superblocks: bool = False, osr: bool = False,
+                 superblock_threshold: int = DEFAULT_SUPERBLOCK_THRESHOLD,
+                 osr_step_threshold: int = DEFAULT_OSR_STEP_THRESHOLD,
+                 trace_hot_threshold: Optional[int] = None,
+                 trace_successor_bias: float = 0.4):
         self.module = module
         self.target = target
         self.threshold = max(int(threshold), 0)
         self.step_threshold = max(int(step_threshold), 0)
+        #: Trace-guided superblock emission (plus the profiling stage
+        #: that collects layouts when no profile is available yet).
+        self.superblocks = bool(superblocks)
+        #: Tier-1 on-stack replacement at loop back edges.
+        self.osr = bool(osr)
+        self.superblock_threshold = max(int(superblock_threshold), 1)
+        self.osr_step_threshold = max(int(osr_step_threshold), 1)
+        if trace_hot_threshold is None:
+            # Scale trace formation to the profiling-stage horizon: by
+            # the time a block hits superblock_threshold, anything a
+            # trace should cover has seen a proportional share.
+            trace_hot_threshold = max(self.superblock_threshold // 32, 1)
+        self.trace_hot_threshold = int(trace_hot_threshold)
+        self.trace_successor_bias = float(trace_successor_bias)
         self.stats = Tier2Stats()
+        #: Block-level profile guiding trace formation — absorbed from
+        #: ``prime_from_profile``, the persisted snapshot, and live
+        #: profiling-unit counters.
+        self._profile = None
+        self._profile_dirty = False
+        self.profile_cache_hit = False
         # id(function) -> CompiledUnit; the unit pins the function
         # object through .function, keeping the id unique.
         self._units: Dict[int, CompiledUnit] = {}
@@ -955,6 +1202,90 @@ class Tier2Cache:
             self.stats.promotions_by_steps += 1
         return self._compile(function)
 
+    def lookup_osr(self, function: Function) -> Optional[CompiledUnit]:
+        """The on-stack-replacement hook: a tier-1 activation sitting
+        in a hot loop wants to finish in tier 2.  Returns a unit whose
+        generator accepts mid-function entry, compiling one on the
+        spot if needed — or None (off, pinned, uncompilable) to keep
+        interpreting."""
+        if not self.osr:
+            return None
+        key = id(function)
+        unit = self._units.get(key)
+        if unit is not None:
+            if unit.smc_version == function.smc_version:
+                return unit
+            self.invalidate(function)
+        if key in self._pinned:
+            return None
+        return self._compile(function)
+
+    def osr_upgrade(self, function: Function,
+                    unit: CompiledUnit) -> Optional[CompiledUnit]:
+        """Answer a profiling unit's ``('osr', block)`` request: fold
+        its live block counters into the cache profile, recompile —
+        ideally as a trace-guided superblock — and return the
+        replacement unit.  Returns the already-upgraded unit when
+        another activation got here first, or None when compilation
+        now pins the function (the requesting generator then simply
+        keeps running)."""
+        key = id(function)
+        current = self._units.get(key)
+        if current is not None and current is not unit:
+            return current
+        if key in self._pinned:
+            return None
+        counts = unit.block_counts
+        if counts:
+            profile = self._ensure_profile()
+            blocks = function.blocks
+            for index in range(min(len(blocks), len(counts))):
+                profile.record(function.name,
+                               blocks[index].name or "", counts[index])
+                # Zero in place: the list is shared with still-live
+                # generators of the old unit, whose future triggers
+                # must not re-merge the same executions.
+                counts[index] = 0
+            self._profile_dirty = True
+        self._units.pop(key, None)
+        replacement = self._compile(function)
+        if replacement is not None:
+            self.stats.osr_upgrades += 1
+            if observe.enabled():
+                observe.counter("tier2.osr_upgrades", 1)
+        return replacement
+
+    # -- profiles and trace layouts ------------------------------------
+
+    def _ensure_profile(self):
+        if self._profile is None:
+            from repro.llee.profile import Profile
+            self._profile = Profile()
+        return self._profile
+
+    def _has_profile_data(self, function: Function) -> bool:
+        if self._profile is None:
+            return False
+        counts = self._profile.counts
+        name = function.name
+        for block in function.blocks:
+            if counts.get((name, block.name or "")):
+                return True
+        return False
+
+    def _layout_for(self, function: Function):
+        """The trace layout superblock codegen should use for
+        *function* (a list of ``tracecache.Trace``), or None for plain
+        block dispatch."""
+        if not self.superblocks or self._profile is None:
+            return None
+        from repro.llee.tracecache import form_function_traces
+        traces = form_function_traces(
+            function, self._profile,
+            hot_threshold=self.trace_hot_threshold,
+            successor_bias=self.trace_successor_bias)
+        return traces or None
+
     def credit_steps(self, function: Function, steps: int) -> None:
         """Credit architectural steps to a function (called by the
         engine when a tier-1 activation returns); enough accumulated
@@ -971,8 +1302,10 @@ class Tier2Cache:
                            ) -> None:
         """Seed promotion counters from a collected
         :class:`repro.llee.profile.Profile` — the offline
-        reoptimization loop feeding the online tiering decision."""
+        reoptimization loop feeding the online tiering decision.  The
+        profile is also absorbed for superblock trace formation."""
         module = module or self.module
+        self._ensure_profile().merge(profile)
         for function in module.functions.values():
             if function.is_declaration:
                 continue
@@ -984,7 +1317,20 @@ class Tier2Cache:
 
     def _compile(self, function: Function) -> Optional[CompiledUnit]:
         started = time.perf_counter()
+        layout = self._layout_for(function)
+        from repro.llee.tracecache import layout_signature
+        lhash = layout_signature(layout)
         warm = self._preloaded.get(function.name)
+        if warm is not None and warm[5].get("layout_hash", "-") != lhash:
+            # The persisted unit was generated from a different trace
+            # layout than the current profile implies — a stale
+            # superblock must not be resurrected.  Fall back to online
+            # translation (satisfying the same llee.cache.invalid
+            # contract as every other stale-blob path).
+            observe.counter("llee.cache.invalid", 1, target="tier2",
+                            reason="layout")
+            self._preloaded.pop(function.name, None)
+            warm = None
         try:
             if warm is not None and function.smc_version == 0:
                 # Persisted translation: the blob's module hash matched
@@ -992,22 +1338,56 @@ class Tier2Cache:
                 # so the stored source is the one codegen would emit —
                 # skip straight to compile(), or past it entirely when
                 # the blob carried same-cache_tag marshalled bytecode.
-                _hash, source, func_refs, num_slots, code = warm
+                _hash, source, func_refs, num_slots, code, meta = warm
                 unit = build_unit(function, self.module, self.target,
                                   source=source, func_refs=func_refs,
-                                  num_slots=num_slots, code=code)
+                                  num_slots=num_slots, code=code,
+                                  kind=meta.get("kind", "dispatch"),
+                                  layout_hash=lhash,
+                                  side_exits=meta.get("side_exits", ()))
                 self.stats.warm_compiles += 1
+                if unit.kind == "superblock":
+                    self.stats.superblocks_compiled += 1
                 if observe.enabled():
                     observe.counter("tier2.warm_compiles", 1)
-            else:
+                    if unit.kind == "superblock":
+                        observe.counter("tier2.superblocks", 1)
+            elif layout is None and self.superblocks \
+                    and len(function.blocks) > 1 \
+                    and not self._has_profile_data(function):
+                # Superblocks requested but no profile yet: compile the
+                # profiling stage — block dispatch plus counters that
+                # feed trace formation and trigger the mid-activation
+                # upgrade.  Its source references the per-unit counter
+                # list, so it is never persisted.
                 codegen_started = time.perf_counter()
-                source, func_refs, num_slots = generate_source(
-                    function, self.target)
+                block_counts = [0] * len(function.blocks)
+                source, func_refs, num_slots, side_exits = \
+                    generate_source(
+                        function, self.target, profile_blocks=True,
+                        upgrade_threshold=self.superblock_threshold)
                 self.stats.codegen_seconds += \
                     time.perf_counter() - codegen_started
                 unit = build_unit(function, self.module, self.target,
                                   source=source, func_refs=func_refs,
-                                  num_slots=num_slots)
+                                  num_slots=num_slots, kind="profiling",
+                                  block_counts=block_counts)
+                self.stats.profiling_compiled += 1
+            else:
+                codegen_started = time.perf_counter()
+                source, func_refs, num_slots, side_exits = \
+                    generate_source(function, self.target, layout=layout)
+                self.stats.codegen_seconds += \
+                    time.perf_counter() - codegen_started
+                unit = build_unit(
+                    function, self.module, self.target, source=source,
+                    func_refs=func_refs, num_slots=num_slots,
+                    kind="superblock" if layout else "dispatch",
+                    layout_hash=lhash, side_exits=side_exits)
+                if layout:
+                    self.stats.superblocks_compiled += 1
+                    if observe.enabled():
+                        observe.counter("tier2.superblocks", 1)
                 self._dirty = True
         except UnsupportedFunction as reason:
             self.pin(function, str(reason))
@@ -1066,6 +1446,13 @@ class Tier2Cache:
         self._step_credit.pop(id(function), None)
         self._pinned.pop(id(function), None)
         self._preloaded.pop(function.name, None)
+        if self._profile is not None:
+            # The profile described the replaced body; a layout formed
+            # from it would mis-guide the new one.
+            name = function.name
+            for stale in [key for key in self._profile.counts
+                          if key[0] == name]:
+                del self._profile.counts[stale]
 
     def listener(self):
         """A callback for ``Interpreter.smc_listeners``."""
@@ -1079,12 +1466,19 @@ class Tier2Cache:
         content hashes."""
         functions = {}
         for unit in self._units.values():
+            if unit.kind == "profiling":
+                # Profiling sources reference the per-unit counter
+                # list; they are a transient bootstrap, never persisted.
+                continue
             entry = {
                 "hash": unit.func_hash,
                 "num_slots": unit.num_slots,
                 "func_refs": {alias: name for alias, name
                               in self._refs_of(unit)},
                 "source": unit.source,
+                "kind": unit.kind,
+                "layout_hash": unit.layout_hash,
+                "side_exits": [list(pair) for pair in unit.side_exits],
             }
             if unit.code is not None:
                 # .pyc-style: same-interpreter warm starts skip
@@ -1093,7 +1487,7 @@ class Tier2Cache:
                     marshal.dumps(unit.code)).decode("ascii")
             functions[unit.function.name] = entry
         # Keep warm entries we did not recompile this run.
-        for name, (fhash, source, func_refs, num_slots, code) \
+        for name, (fhash, source, func_refs, num_slots, code, meta) \
                 in self._preloaded.items():
             if name in functions:
                 continue
@@ -1102,6 +1496,10 @@ class Tier2Cache:
                 "num_slots": num_slots,
                 "func_refs": func_refs,
                 "source": source,
+                "kind": meta.get("kind", "dispatch"),
+                "layout_hash": meta.get("layout_hash", "-"),
+                "side_exits": [list(pair)
+                               for pair in meta.get("side_exits", [])],
             }
             if code is not None:
                 entry["code"] = base64.b64encode(
@@ -1156,6 +1554,12 @@ class Tier2Cache:
                 source = entry["source"]
                 func_refs = dict(entry["func_refs"])
                 num_slots = int(entry["num_slots"])
+                meta = {
+                    "kind": str(entry.get("kind", "dispatch")),
+                    "layout_hash": str(entry.get("layout_hash", "-")),
+                    "side_exits": [tuple(pair) for pair
+                                   in entry.get("side_exits", [])],
+                }
                 code = None
                 if code_ok and "code" in entry:
                     code = marshal.loads(
@@ -1169,7 +1573,7 @@ class Tier2Cache:
                     "corrupt tier-2 cache entry {0!r}: empty source"
                     .format(name))
             self._preloaded[name] = (fhash, source, func_refs,
-                                     num_slots, code)
+                                     num_slots, code, meta)
             loaded += 1
         return loaded
 
@@ -1185,6 +1589,10 @@ class Tier2Cache:
         self._storage = storage
         self._storage_cache = cache_name
         self._storage_key = key
+        # The profile snapshot rides next to the translation blob and
+        # loads first: warm compiles below need the trace layouts it
+        # implies to validate per-function layout hashes.
+        self._load_profile_snapshot()
         try:
             data = storage.read(cache_name, key)
         except Exception:
@@ -1217,10 +1625,46 @@ class Tier2Cache:
         observe.counter("llee.cache.hit", 1, target="tier2")
         return True
 
+    def _load_profile_snapshot(self) -> bool:
+        """Best-effort load of the persisted profile snapshot: on a
+        hit, ``prime_from_profile`` runs automatically so promotion
+        counters and superblock layouts are warm on run 2 without
+        re-profiling."""
+        try:
+            data = self._storage.read(PROFILE_CACHE_NAME,
+                                      self._storage_key)
+        except Exception:
+            data = None
+        if not data:
+            observe.counter("llee.profile.miss", 1)
+            return False
+        from repro.llee.profile import Profile
+        try:
+            profile = Profile.from_json(data)
+        except ValueError as error:
+            observe.counter("llee.profile.invalid", 1,
+                            reason=str(error)[:60])
+            return False
+        self.prime_from_profile(profile)
+        self.profile_cache_hit = True
+        observe.counter("llee.profile.hit", 1)
+        return True
+
     def flush_storage(self) -> bool:
-        """Write new translations back through the storage API (no-op
-        when nothing changed or no storage is attached).  Best-effort,
-        like the native cache write-back."""
+        """Write new translations (and any newly collected profile
+        counts) back through the storage API — no-op when nothing
+        changed or no storage is attached.  Best-effort, like the
+        native cache write-back."""
+        if self._storage is not None and self._profile_dirty \
+                and self._profile is not None:
+            try:
+                self._storage.write(PROFILE_CACHE_NAME,
+                                    self._storage_key,
+                                    self._profile.to_json())
+                self._profile_dirty = False
+                observe.counter("llee.profile.store", 1)
+            except Exception:
+                pass
         if self._storage is None or not self._dirty:
             return False
         try:

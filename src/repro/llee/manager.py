@@ -88,6 +88,13 @@ class InterpretedRunReport:
     tier2_compile_seconds: float = 0.0
     #: Did a persisted tier-2 translation blob validate and load?
     translation_cache_hit: bool = False
+    #: Superblock/OSR activity (zero unless ``superblocks``/``osr``).
+    tier2_superblocks: int = 0
+    tier2_osr_entries: int = 0
+    tier2_osr_upgrades: int = 0
+    tier2_side_exits: int = 0
+    #: Did a persisted block-profile snapshot validate and load?
+    profile_cache_hit: bool = False
 
 
 class LLEE:
@@ -167,6 +174,8 @@ class LLEE:
                         sanitize: bool = False,
                         tier2: bool = False,
                         tier2_threshold: Optional[int] = None,
+                        superblocks: bool = False,
+                        osr: bool = False,
                         executable_timestamp: Optional[float] = None
                         ) -> InterpretedRunReport:
         """Run a virtual executable on an interpreter engine.
@@ -187,13 +196,31 @@ class LLEE:
         stale, corrupt, or mismatched blob logs ``llee.cache.invalid``
         and degrades to online translation.
 
+        ``superblocks=True`` (tier 2 only) turns on trace-guided
+        superblock emission — hot multi-block paths compile to
+        straight-line code, with the block profile persisted next to
+        the translation blob so layouts form on warm starts without
+        re-profiling.  ``osr=True`` additionally lets a tier-1
+        activation stuck in a hot loop enter tier 2 mid-function
+        (on-stack replacement); OSR changes the decoded tier-1
+        closures, so its decoded modules are keyed separately.
+
         ``sanitize=True`` runs under llva-san (shadow-memory checking);
         sanitized decode caches are keyed separately because their
         closures carry site instrumentation.  The sanitizer pins
         execution to tier 1 (see ``docs/PERFORMANCE.md``).
         """
-        key = ("interp-san-" if sanitize else "interp-") \
-            + self._cache_key(object_code)
+        tier2_live = bool(tier2) and engine == "fast" and not sanitize
+        use_superblocks = tier2_live and bool(superblocks)
+        use_osr = tier2_live and bool(osr)
+        parts = ["interp"]
+        if sanitize:
+            parts.append("san")
+        if use_superblocks:
+            parts.append("sb")
+        if use_osr:
+            parts.append("osr")
+        key = "-".join(parts) + "-" + self._cache_key(object_code)
         with observe.span("llee.run_interpreted", entry=entry,
                           engine=engine, tier2=bool(tier2)):
             cached = self._interp_cache.get(key) if engine == "fast" \
@@ -203,17 +230,19 @@ class LLEE:
             if cached is None:
                 module = read_module(object_code)
                 decode_cache = DecodeCache(module.target_data,
-                                           sanitize=sanitize)
+                                           sanitize=sanitize,
+                                           osr=use_osr)
             else:
                 module, decode_cache, tier2_cache = cached
-            if tier2 and engine == "fast" and not sanitize \
-                    and tier2_cache is None:
+            if tier2_live and tier2_cache is None:
                 from repro.execution.tier2 import Tier2Cache
 
                 kwargs = {}
                 if tier2_threshold is not None:
                     kwargs["threshold"] = tier2_threshold
                 tier2_cache = Tier2Cache(module, module.target_data,
+                                         superblocks=use_superblocks,
+                                         osr=use_osr,
                                          **kwargs)
                 if self.storage is not None:
                     tier2_cache.attach_storage(
@@ -267,6 +296,13 @@ class LLEE:
                 tier2_cache.stats.compile_seconds - compile_before
             report.translation_cache_hit = \
                 tier2_cache.translation_cache_hit
+            report.tier2_superblocks = \
+                tier2_cache.stats.superblocks_compiled
+            report.tier2_osr_entries = tier2_cache.stats.osr_entries
+            report.tier2_osr_upgrades = tier2_cache.stats.osr_upgrades
+            report.tier2_side_exits = \
+                getattr(interpreter, "t2_side_exits", 0)
+            report.profile_cache_hit = tier2_cache.profile_cache_hit
         return report
 
     def offline_translate(self, object_code: bytes,

@@ -8,7 +8,7 @@ One entry point, classic subcommands::
     python -m repro opt prog.bc -o out.bc -O2 [--link-time]
     python -m repro run prog.bc [--target x86|sparc] [--entry main]
                         [--engine fast] [--tier2 [--translation-cache DIR]]
-                        [args...]
+                        [--superblocks] [--osr] [args...]
     python -m repro llc prog.bc --target sparc       # native listing
     python -m repro link a.bc b.bc -o out.bc         # module linker
     python -m repro stats prog.bc [--target x86]     # observability report
@@ -154,8 +154,8 @@ def _check_program_args(module, entry: str,
 
 
 #: Registry prefixes surfaced on the one-line ``--stats`` report.
-_STATS_PREFIXES = ("run.", "jit.", "llee.cache.", "fastpath.", "san.",
-                   "tier2.")
+_STATS_PREFIXES = ("run.", "jit.", "llee.cache.", "llee.profile.",
+                   "fastpath.", "san.", "tier2.")
 
 
 def _format_stats_line(label: str, result: object) -> str:
@@ -185,6 +185,10 @@ def _make_tier2_cache(module, args):
     kwargs = {}
     if args.tier2_threshold is not None:
         kwargs["threshold"] = args.tier2_threshold
+    if getattr(args, "superblocks", False):
+        kwargs["superblocks"] = True
+    if getattr(args, "osr", False):
+        kwargs["osr"] = True
     cache = Tier2Cache(module, module.target_data, **kwargs)
     if args.translation_cache:
         import hashlib
@@ -206,6 +210,8 @@ def _cmd_run(args) -> int:
         sys.stderr.write("run: --sanitize applies to the interpreter "
                          "engines only, not --target\n")
         return 2
+    if args.superblocks or args.osr:
+        args.tier2 = True
     if args.tier2 and args.target:
         sys.stderr.write("run: --tier2 applies to the interpreter "
                          "engines only, not --target\n")
@@ -439,6 +445,8 @@ def _cmd_stats(args) -> int:
         sys.stderr.write("stats: --sanitize applies to the interpreter "
                          "engines only, not --target\n")
         return 2
+    if args.superblocks or args.osr:
+        args.tier2 = True
     if args.tier2 and (args.target or args.sanitize):
         sys.stderr.write("stats: --tier2 applies to the unsanitized "
                          "interpreter engines only\n")
@@ -560,6 +568,14 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="N",
                      help="invocations before a function is promoted "
                           "to tier 2 (0 = compile on first call)")
+    run.add_argument("--superblocks", action="store_true",
+                     help="tier 2 compiles hot traces as straight-line "
+                          "superblocks guided by the block profile "
+                          "(implies --tier2)")
+    run.add_argument("--osr", action="store_true",
+                     help="on-stack replacement: a tier-1 activation "
+                          "stuck in a hot loop enters tier 2 "
+                          "mid-function (implies --tier2)")
     run.add_argument("--translation-cache", metavar="DIR",
                      help="persist tier-2 translations in DIR "
                           "(POSIX storage API) for cross-process "
@@ -606,6 +622,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--tier2-threshold", type=int, default=None,
                        metavar="N",
                        help="promotion threshold (0 = first call)")
+    stats.add_argument("--superblocks", action="store_true",
+                       help="trace-guided superblock tier-2 codegen "
+                            "(implies --tier2)")
+    stats.add_argument("--osr", action="store_true",
+                       help="on-stack replacement at hot loop headers "
+                            "(implies --tier2)")
     stats.add_argument("--translation-cache", metavar="DIR",
                        help="persist tier-2 translations in DIR for "
                             "cross-process warm starts")

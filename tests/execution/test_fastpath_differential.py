@@ -14,6 +14,12 @@ threshold 0) — so the whole differential corpus doubles as the tier-2
 conformance suite: traps delivered inside compiled code, deopt, SMC
 invalidation, unwind pinning, and register snapshots all compare
 against the oracle byte-for-byte.
+
+A fourth configuration forces the superblock+OSR mode on top: trace-
+guided superblock emission with aggressively low thresholds (so the
+profiling stage, the mid-activation OSR upgrade, side-exit deopt, and
+tier-1 on-stack replacement all fire inside even small scenarios),
+compared against the oracle exactly like the others.
 """
 
 import pytest
@@ -36,20 +42,39 @@ SCALE = 0.05
 
 ENGINES = ("reference", "fast")
 
-#: (label, engine, tier2-forced) triples every scenario runs under.
+#: (label, engine, tier2 mode) triples every scenario runs under; the
+#: mode is False (off), True (forced plain tier 2), or "superblock"
+#: (forced tier 2 with superblocks and OSR).
 CONFIGS = (
     ("reference", "reference", False),
     ("fast", "fast", False),
     ("tier2", "fast", True),
+    ("superblock", "fast", "superblock"),
 )
+
+
+def _superblock_cache(module):
+    """A Tier2Cache with superblocks+OSR forced hard enough that the
+    profiling stage, mid-activation upgrades, and tier-1 OSR all fire
+    inside small test scenarios."""
+    from repro.execution.tier2 import Tier2Cache
+
+    return Tier2Cache(module, module.target_data, threshold=0,
+                      superblocks=True, osr=True,
+                      superblock_threshold=8, osr_step_threshold=50)
 
 
 def _outcome(module, entry="main", args=(), privileged=False,
              engine="reference", tier2=False):
     """Run and capture (kind, ...) so trap runs compare structurally."""
-    interpreter = Interpreter(
-        module, privileged=privileged, engine=engine,
-        tier2=tier2, tier2_threshold=0 if tier2 else None)
+    if tier2 == "superblock":
+        interpreter = Interpreter(
+            module, privileged=privileged, engine=engine,
+            tier2=_superblock_cache(module))
+    else:
+        interpreter = Interpreter(
+            module, privileged=privileged, engine=engine,
+            tier2=tier2, tier2_threshold=0 if tier2 else None)
     try:
         result = interpreter.run(entry, list(args))
     except ExecutionTrap as trap:
@@ -69,15 +94,20 @@ def run_both(source, entry="main", args=(), privileged=False):
                                    engine, tier2)
     assert outcomes["reference"] == outcomes["fast"]
     assert outcomes["reference"] == outcomes["tier2"]
+    assert outcomes["reference"] == outcomes["superblock"]
     return outcomes["reference"]
 
 
 def _outcome_sanitized(module, engine, tier2=False):
     """Sanitized outcome, with the full fault report in the tuple so a
     differing diagnosis (not just a differing trap number) fails."""
-    interpreter = Interpreter(module, engine=engine, sanitize=True,
-                              tier2=tier2,
-                              tier2_threshold=0 if tier2 else None)
+    if tier2 == "superblock":
+        interpreter = Interpreter(module, engine=engine, sanitize=True,
+                                  tier2=_superblock_cache(module))
+    else:
+        interpreter = Interpreter(module, engine=engine, sanitize=True,
+                                  tier2=tier2,
+                                  tier2_threshold=0 if tier2 else None)
     if tier2:
         # Documented behaviour: llva-san pins execution to tier 1 —
         # shadow-memory checking needs per-instruction sites.
@@ -101,6 +131,7 @@ def run_both_sanitized(source):
         outcomes[label] = _outcome_sanitized(module, engine, tier2)
     assert outcomes["reference"] == outcomes["fast"]
     assert outcomes["reference"] == outcomes["tier2"]
+    assert outcomes["reference"] == outcomes["superblock"]
     return outcomes["reference"]
 
 
@@ -137,6 +168,24 @@ class TestBenchsuiteDifferential:
         assert interpreter.tier2_steps == result.steps
         assert interpreter.tier2.stats.pins == 0
         assert interpreter.tier2.stats.functions_compiled > 0
+
+    @pytest.mark.parametrize("name", SUITE_ORDER)
+    def test_workload_superblock_osr_forced(self, name):
+        """All 17 programs again with superblocks and OSR forced at
+        low thresholds: the profiling stage, mid-activation upgrades,
+        side exits, and tier-1 OSR all run against the oracle."""
+        workload = load_workload(name, SCALE)
+        module = compile_source(workload.source, name,
+                                optimization_level=2)
+        reference = _outcome(module, engine="reference")
+        cache = _superblock_cache(module)
+        interpreter = Interpreter(module, engine="fast", tier2=cache)
+        result = interpreter.run("main", [])
+        forced = ("ok", result.return_value, result.output,
+                  result.steps, result.exit_status)
+        assert reference == forced
+        assert interpreter.tier2_steps == result.steps
+        assert cache.stats.pins == 0
 
 
 class TestExceptionModelDifferential:

@@ -1,0 +1,612 @@
+"""Superblock tier-2 codegen, on-stack replacement, and the satellite
+optimizations around them.
+
+Edge cases the differential corpus does not isolate on its own:
+
+* OSR promotion mid-loop with live phi values at the header — the
+  tier-1 register file (including header phis) must map onto tier-2
+  locals exactly.
+* A trap delivered in the very first superblock step after an OSR
+  entry — precise delivery with nothing but OSR-transferred state.
+* llva-san still pins execution to tier 1 even when a superblock+OSR
+  cache is supplied.
+* Constant-nonzero-divisor div/rem skip the zero-check suffix and
+  constant in-range shift amounts drop the mask (tier-2 source level
+  plus fast-engine differential including INT_MIN).
+* Cross-run block-profile persistence: snapshots stored next to the
+  translation blob, warm starts compile superblocks without
+  re-profiling, corruption degrades gracefully.
+* Persisted superblocks from a different trace layout are rejected
+  (``llee.cache.invalid`` with reason ``layout``) and recompiled
+  online.
+"""
+
+import re
+
+import pytest
+
+from repro import observe
+from repro.asm import parse_module
+from repro.bitcode import read_module, write_module
+from repro.execution import ExecutionTrap, Interpreter
+from repro.execution.tier2 import (
+    PROFILE_CACHE_NAME,
+    Tier2Cache,
+    generate_source,
+)
+from repro.ir import verify_module
+from repro.llee import LLEE, InMemoryStorage
+from repro.llee.profile import Profile
+from repro.minic import compile_source
+from repro.targets import make_target
+
+KEY = "sb-test-module"
+
+
+def _module(source):
+    module = parse_module(source)
+    verify_module(module)
+    return module
+
+
+def _sb_cache(module, **kwargs):
+    """Superblock+OSR cache with thresholds low enough that the
+    profiling stage, mid-activation upgrades, and tier-1 OSR all fire
+    inside small test programs.  Call promotion is disabled by default
+    so OSR is the only road into tier 2."""
+    kwargs.setdefault("threshold", 10 ** 9)
+    kwargs.setdefault("step_threshold", 0)
+    kwargs.setdefault("superblocks", True)
+    kwargs.setdefault("osr", True)
+    kwargs.setdefault("superblock_threshold", 8)
+    kwargs.setdefault("osr_step_threshold", 50)
+    return Tier2Cache(module, module.target_data, **kwargs)
+
+
+def _reference_outcome(source):
+    interpreter = Interpreter(_module(source))
+    try:
+        result = interpreter.run("main", [])
+    except ExecutionTrap as trap:
+        return ("trap", trap.trap_number, interpreter.steps)
+    return ("ok", result.return_value, result.output, result.steps,
+            result.exit_status)
+
+
+def _fast_outcome(source, cache_factory=None, **interp_kwargs):
+    module = _module(source)
+    cache = cache_factory(module) if cache_factory is not None else False
+    interpreter = Interpreter(module, engine="fast", tier2=cache,
+                              **interp_kwargs)
+    try:
+        result = interpreter.run("main", [])
+    except ExecutionTrap as trap:
+        return ("trap", trap.trap_number, interpreter.steps), interpreter
+    return ("ok", result.return_value, result.output, result.steps,
+            result.exit_status), interpreter
+
+
+# A multi-block loop whose header carries three live phi values; main
+# is called exactly once, so only OSR can move the activation to
+# tier 2 mid-loop.
+PHI_LOOP = """
+int %main() {
+entry:
+        br label %head
+head:
+        %i = phi int [0, %entry], [%next, %latch]
+        %acc = phi int [1, %entry], [%anext, %latch]
+        %alt = phi int [7, %entry], [%bnext, %latch]
+        %odd = and int %i, 1
+        %c = seteq int %odd, 0
+        br bool %c, label %even, label %oddb
+even:
+        %ae = add int %acc, %alt
+        br label %latch
+oddb:
+        %ao = mul int %acc, 3
+        br label %latch
+latch:
+        %anext = phi int [%ae, %even], [%ao, %oddb]
+        %bnext = add int %alt, %i
+        %next = add int %i, 1
+        %cmp = setlt int %next, 400
+        br bool %cmp, label %head, label %exit
+exit:
+        ret int %anext
+}
+"""
+
+
+def _primed_profile():
+    """A profile that makes the PHI_LOOP/TRAP_LOOP shape hot enough
+    for trace formation (head -> even -> latch)."""
+    profile = Profile()
+    profile.record("main", "head", 400)
+    profile.record("main", "even", 260)
+    profile.record("main", "oddb", 140)
+    profile.record("main", "latch", 400)
+    return profile
+
+
+class TestOSRPromotionMidLoop:
+    def test_osr_into_profiling_unit_then_upgrade(self):
+        """No profile yet: OSR lands in the profiling-stage unit, whose
+        counters trigger the mid-activation superblock upgrade — all
+        while three phi values stay live at the header."""
+        reference = _reference_outcome(PHI_LOOP)
+        outcome, interpreter = _fast_outcome(PHI_LOOP, _sb_cache)
+        assert outcome == reference
+        cache = interpreter.tier2
+        assert cache.stats.osr_entries == 1
+        assert cache.stats.profiling_compiled == 1
+        assert cache.stats.osr_upgrades == 1
+        assert cache.stats.superblocks_compiled >= 1
+        assert interpreter.tier2_steps > 0
+
+    def test_osr_straight_into_superblock_with_primed_profile(self):
+        """With a primed profile the OSR entry compiles a superblock
+        directly — the tier-1 frame (phis included) maps onto the
+        superblock's locals and the loop finishes in straight-line
+        code."""
+        reference = _reference_outcome(PHI_LOOP)
+
+        def factory(module):
+            cache = _sb_cache(module)
+            cache.prime_from_profile(_primed_profile())
+            return cache
+
+        outcome, interpreter = _fast_outcome(PHI_LOOP, factory)
+        assert outcome == reference
+        cache = interpreter.tier2
+        assert cache.stats.osr_entries == 1
+        assert cache.stats.profiling_compiled == 0
+        assert cache.stats.superblocks_compiled == 1
+        unit = next(iter(cache._units.values()))
+        assert unit.kind == "superblock"
+
+
+# The %d phi runs 1, 0, ... — the unmasked div in the header's first
+# non-phi instruction faults on the second iteration.  With
+# osr_step_threshold=1 the activation OSR-enters the superblock on the
+# first back edge, so the trap lands in the first superblock step
+# executed after the OSR transfer.
+TRAP_LOOP = """
+int %main() {
+entry:
+        br label %head
+head:
+        %i = phi int [0, %entry], [%next, %latch]
+        %d = phi int [1, %entry], [%dnext, %latch]
+        %acc = phi int [0, %entry], [%anext, %latch]
+        %q = div int 100, %d
+        %odd = and int %i, 1
+        %c = seteq int %odd, 0
+        br bool %c, label %even, label %oddb
+even:
+        %ae = add int %acc, %q
+        br label %latch
+oddb:
+        %ao = sub int %acc, %q
+        br label %latch
+latch:
+        %anext = phi int [%ae, %even], [%ao, %oddb]
+        %dnext = sub int %d, 1
+        %next = add int %i, 1
+        %cmp = setlt int %next, 20
+        br bool %cmp, label %head, label %exit
+exit:
+        ret int %anext
+}
+"""
+
+
+class TestTrapAfterOSREntry:
+    def test_trap_in_first_superblock_step(self):
+        reference = _reference_outcome(TRAP_LOOP)
+        assert reference[0] == "trap"
+
+        def factory(module):
+            cache = _sb_cache(module, osr_step_threshold=1)
+            cache.prime_from_profile(_primed_profile())
+            return cache
+
+        outcome, interpreter = _fast_outcome(TRAP_LOOP, factory)
+        # Same trap number AND the same architectural step count: the
+        # fault was delivered precisely from state the OSR transfer
+        # carried over.
+        assert outcome == reference
+        cache = interpreter.tier2
+        assert cache.stats.osr_entries == 1
+        assert cache.stats.superblocks_compiled == 1
+
+
+class TestSanitizePinsTier1:
+    def test_sanitize_ignores_superblock_osr_cache(self):
+        module = _module(PHI_LOOP)
+        cache = _sb_cache(module)
+        interpreter = Interpreter(module, engine="fast", sanitize=True,
+                                  tier2=cache)
+        # llva-san needs per-instruction sites: no tier 2, and the
+        # decode cache must not carry OSR-instrumented closures.
+        assert interpreter.tier2 is None
+        assert interpreter.decode_cache.osr is False
+        assert interpreter.decode_cache.sanitize is True
+        result = interpreter.run("main", [])
+        plain = Interpreter(_module(PHI_LOOP), sanitize=True).run(
+            "main", [])
+        assert result.return_value == plain.return_value
+        assert result.steps == plain.steps
+        assert cache.stats.osr_entries == 0
+        assert cache.stats.functions_compiled == 0
+
+
+def _tier2_source(asm):
+    module = _module(asm)
+    source, _refs, _slots, _exits = generate_source(
+        module.functions["main"], module.target_data)
+    return source
+
+
+def _zero_checks(source):
+    """Count emitted divisor zero checks.  The checked division path
+    tests a value temp (``if __tN == 0:``); block dispatch arms also
+    contain ``== 0`` (``if __blk == 0:``), so a plain substring match
+    would misfire."""
+    return len(re.findall(r"__t\d+ == 0", source))
+
+
+class TestConstDivisorCodegen:
+    """Satellite micro-opts at the tier-2 source level: a constant
+    nonzero divisor needs no zero check (and unsigned forms are plain
+    ``//``/``%``); a constant in-range shift amount needs no mask."""
+
+    def test_unsigned_const_div_is_plain_floordiv(self):
+        source = _tier2_source("""
+        uint %main() {
+        entry:
+                %x = add uint 1234, 0
+                %r = div uint %x, 7
+                ret uint %r
+        }
+        """)
+        assert "// 7" in source
+        assert "('trap'" not in source
+
+    def test_unsigned_const_rem_is_plain_mod(self):
+        source = _tier2_source("""
+        uint %main() {
+        entry:
+                %x = add uint 1234, 0
+                %r = rem uint %x, 7
+                ret uint %r
+        }
+        """)
+        assert "% 7" in source
+        assert "('trap'" not in source
+
+    def test_signed_const_div_skips_zero_check(self):
+        source = _tier2_source("""
+        int %main() {
+        entry:
+                %x = add int -1234, 0
+                %r = div int %x, 7
+                ret int %r
+        }
+        """)
+        assert _zero_checks(source) == 0
+        assert "('trap'" not in source
+        assert "abs(" in source
+
+    def test_signed_div_by_minus_one_keeps_checked_path(self):
+        # INT_MIN / -1 is the one overflowing division; the generic
+        # checked path must survive.
+        source = _tier2_source("""
+        int %main() {
+        entry:
+                %x = add int -1234, 0
+                %r = div int %x, -1
+                ret int %r
+        }
+        """)
+        assert _zero_checks(source) == 1
+
+    def test_signed_rem_by_minus_one_takes_const_path(self):
+        # rem by -1 cannot overflow (the result is always 0-ish small)
+        # so it does qualify for the unchecked path.
+        source = _tier2_source("""
+        int %main() {
+        entry:
+                %x = add int -1234, 0
+                %r = rem int %x, -1
+                ret int %r
+        }
+        """)
+        assert "('trap'" not in source
+
+    def test_div_by_const_zero_keeps_checked_path(self):
+        source = _tier2_source("""
+        int %main() {
+        entry:
+                %x = add int 5, 0
+                %r = div int %x, 0 !ee(false)
+                ret int %r
+        }
+        """)
+        assert _zero_checks(source) == 1
+
+    def test_const_shift_amount_drops_mask(self):
+        source = _tier2_source("""
+        int %main() {
+        entry:
+                %x = add int 5, 0
+                %r = shl int %x, ubyte 3
+                ret int %r
+        }
+        """)
+        assert "<< 3" in source
+        assert "& 31" not in source
+
+    def test_variable_shift_amount_keeps_mask(self):
+        source = _tier2_source("""
+        int %main() {
+        entry:
+                %x = add int 5, 0
+                %amt = add ubyte 3, 0
+                %r = shl int %x, ubyte %amt
+                ret int %r
+        }
+        """)
+        assert "& 31" in source
+
+
+# Every signed/unsigned const-divisor shape over a range of dividends
+# that includes INT_MIN and INT_MAX, differenced against the oracle on
+# both the fast engine and the tier-2 translator.
+CONST_DIVREM_DIFF = """
+int %divsum(int %a) {
+entry:
+        %q1 = div int %a, 7
+        %q2 = div int %a, -7
+        %q3 = div int %a, -1 !ee(false)
+        %r1 = rem int %a, 7
+        %r2 = rem int %a, -3
+        %r3 = rem int %a, -1
+        %u = cast int %a to uint
+        %qu = div uint %u, 7
+        %ru = rem uint %u, 9
+        %s1 = add int %q1, %q2
+        %s2 = add int %r1, %r2
+        %s3 = add int %s1, %s2
+        %s4 = add int %s3, %r3
+        %su = add uint %qu, %ru
+        %si = cast uint %su to int
+        %s5 = add int %s4, %si
+        ret int %s5
+}
+int %main() {
+entry:
+        %vmin = call int %divsum(int -2147483648)
+        %vmax = call int %divsum(int 2147483647)
+        %seed = add int %vmin, %vmax
+        br label %loop
+loop:
+        %i = phi int [-12, %entry], [%next, %loop]
+        %acc = phi int [%seed, %entry], [%accn, %loop]
+        %v = call int %divsum(int %i)
+        %accn = add int %acc, %v
+        %next = add int %i, 1
+        %cmp = setlt int %next, 13
+        br bool %cmp, label %loop, label %exit
+exit:
+        ret int %accn
+}
+"""
+
+
+class TestConstDivremDifferential:
+    def test_fast_engine_matches_reference(self):
+        reference = _reference_outcome(CONST_DIVREM_DIFF)
+        assert reference[0] == "ok"
+        fast, _interp = _fast_outcome(CONST_DIVREM_DIFF)
+        assert fast == reference
+
+    def test_tier2_forced_matches_reference(self):
+        reference = _reference_outcome(CONST_DIVREM_DIFF)
+        fast, interpreter = _fast_outcome(
+            CONST_DIVREM_DIFF,
+            lambda m: Tier2Cache(m, m.target_data, threshold=0))
+        assert fast == reference
+        assert interpreter.tier2.stats.functions_compiled > 0
+
+    def test_divsum_tier2_source_has_single_checked_division(self):
+        # Only div by -1 (INT_MIN overflow) should keep the checked
+        # path; the other seven divisions all use the unchecked
+        # constant path.
+        module = _module(CONST_DIVREM_DIFF)
+        source, _refs, _slots, _exits = generate_source(
+            module.functions["divsum"], module.target_data)
+        assert _zero_checks(source) == 1
+
+
+# -- cross-run profile persistence and layout invalidation ------------------
+
+HOT_PROGRAM = r"""
+int helper(int x) {
+    int s = 0;
+    int j;
+    for (j = 0; j < 30; j++) {
+        if (j & 1) { s += x; } else { s -= j; }
+    }
+    return s;
+}
+int main() {
+    int total = 0;
+    int i;
+    for (i = 0; i < 30; i++) {
+        total += helper(i);
+        if (total > 100000) { total -= 100000; }
+    }
+    print_int(total);
+    return total & 32767;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def hot_object_code():
+    module = compile_source(HOT_PROGRAM, "sb-test", optimization_level=2)
+    return write_module(module)
+
+
+def _forced_sb_cache(module):
+    """Call promotion forced (threshold 0) so every function compiles,
+    with the superblock thresholds still low."""
+    return Tier2Cache(module, module.target_data, threshold=0,
+                      superblocks=True, osr=True,
+                      superblock_threshold=8, osr_step_threshold=50)
+
+
+def _run_forced(module, cache):
+    interpreter = Interpreter(module, engine="fast", tier2=cache,
+                              tier2_threshold=0)
+    result = interpreter.run("main", [])
+    return (result.return_value, result.output, result.steps,
+            result.exit_status)
+
+
+def _populated_storage(object_code):
+    """One cold superblock run, translation + profile flushed."""
+    storage = InMemoryStorage()
+    module = read_module(object_code)
+    cache = _forced_sb_cache(module)
+    cache.attach_storage(storage, KEY)
+    outcome = _run_forced(module, cache)
+    assert cache.stats.osr_upgrades > 0
+    assert cache.flush_storage()
+    return storage, outcome
+
+
+class TestProfilePersistence:
+    def test_profile_blob_written_on_flush(self, hot_object_code):
+        storage, _ = _populated_storage(hot_object_code)
+        blob = storage.read(PROFILE_CACHE_NAME, KEY)
+        assert blob is not None
+        profile = Profile.from_json(blob)
+        assert profile.counts
+
+    def test_warm_start_compiles_superblocks_without_profiling(
+            self, hot_object_code):
+        storage, cold_outcome = _populated_storage(hot_object_code)
+        module = read_module(hot_object_code)
+        warm = _forced_sb_cache(module)
+        warm.attach_storage(storage, KEY)
+        assert warm.profile_cache_hit
+        assert _run_forced(module, warm) == cold_outcome
+        # The persisted profile seeded trace layouts up front: no
+        # profiling stage, straight to superblocks.
+        assert warm.stats.profiling_compiled == 0
+        assert warm.stats.superblocks_compiled > 0
+        assert warm.stats.osr_upgrades == 0
+
+    def test_corrupt_profile_blob_degrades_gracefully(
+            self, hot_object_code):
+        storage, cold_outcome = _populated_storage(hot_object_code)
+        storage.write(PROFILE_CACHE_NAME, KEY, b"{not a profile")
+        module = read_module(hot_object_code)
+        cache = _forced_sb_cache(module)
+        observe.configure()
+        try:
+            cache.attach_storage(storage, KEY)
+            invalid = list(observe.registry().counters(
+                "llee.profile.invalid"))
+            assert invalid, "llee.profile.invalid was not recorded"
+        finally:
+            observe.disable()
+        assert not cache.profile_cache_hit
+        # Execution still works (the run re-profiles online).
+        assert _run_forced(module, cache) == cold_outcome
+
+
+class TestLayoutInvalidation:
+    def test_changed_profile_invalidates_persisted_superblocks(
+            self, hot_object_code):
+        """A persisted superblock generated from one trace layout must
+        not be resurrected under a different profile: the layout hash
+        mismatch logs ``llee.cache.invalid`` with reason ``layout`` and
+        translation happens online."""
+        storage, cold_outcome = _populated_storage(hot_object_code)
+        # Replace the block profile with a valid-but-empty snapshot:
+        # trace formation now yields no layout, so every persisted
+        # superblock's layout hash is stale.
+        storage.write(PROFILE_CACHE_NAME, KEY, Profile().to_json())
+        module = read_module(hot_object_code)
+        cache = _forced_sb_cache(module)
+        observe.configure()
+        try:
+            cache.attach_storage(storage, KEY)
+            outcome = _run_forced(module, cache)
+            invalid = [(labels, value) for _name, labels, value
+                       in observe.registry().counters(
+                           "llee.cache.invalid")]
+            reasons = [dict(labels).get("reason", "")
+                       for labels, _v in invalid]
+            assert "layout" in reasons, reasons
+        finally:
+            observe.disable()
+        assert outcome == cold_outcome
+        # Nothing warm-started from the stale superblock entries; the
+        # profiling stage ran again online.
+        assert cache.stats.profiling_compiled > 0
+
+
+class TestManagerIntegration:
+    def _object_code(self):
+        source = r"""
+        int main() {
+            int total = 0;
+            int i;
+            for (i = 0; i < 3000; i++) {
+                if (i & 1) { total += i; } else { total -= 1; }
+                if (total > 1000000) { total -= 1000000; }
+            }
+            print_int(total);
+            return total & 32767;
+        }
+        """
+        module = compile_source(source, "sb-manager", optimization_level=2)
+        return write_module(module)
+
+    def test_report_carries_superblock_and_profile_fields(self):
+        object_code = self._object_code()
+        storage = InMemoryStorage()
+        llee = LLEE(make_target("x86"), storage)
+        report = llee.run_interpreted(object_code, tier2=True,
+                                      tier2_threshold=0,
+                                      superblocks=True, osr=True)
+        assert report.tier2_superblocks >= 1
+        assert report.tier2_osr_upgrades >= 1
+        assert not report.profile_cache_hit
+
+        # A fresh manager over the same storage warm-starts both the
+        # translation and the block profile.
+        warm_llee = LLEE(make_target("x86"), storage)
+        warm = warm_llee.run_interpreted(object_code, tier2=True,
+                                         tier2_threshold=0,
+                                         superblocks=True, osr=True)
+        assert warm.profile_cache_hit
+        assert warm.tier2_superblocks >= 1
+        assert warm.tier2_osr_upgrades == 0
+        assert (warm.return_value, warm.output, warm.steps) == \
+            (report.return_value, report.output, report.steps)
+
+    def test_superblock_report_matches_plain_run(self):
+        object_code = self._object_code()
+        llee = LLEE(make_target("x86"))
+        plain = llee.run_interpreted(object_code)
+        sb = llee.run_interpreted(object_code, tier2=True,
+                                  tier2_threshold=0,
+                                  superblocks=True, osr=True)
+        assert (sb.return_value, sb.output, sb.steps,
+                sb.exit_status) == (plain.return_value, plain.output,
+                                    plain.steps, plain.exit_status)
