@@ -231,6 +231,11 @@ def _tier2_driver(st, f):
                     f.gen = gen = new_unit.factory(
                         st, *([0] * new_unit.num_args),
                         __osr=(request[1], regs))
+                    if st.profiler is not None:
+                        st.profiler.replace(
+                            st.steps, f.function.name,
+                            "superblock" if new_unit.kind == "superblock"
+                            else "tier2")
                     request = gen.send(None)
                     continue
                 # "icall": classify at run time like _fast_call_any.
@@ -1478,8 +1483,11 @@ def _compile_unwind():
         st.steps += 1
         frames = st._frames
         memory = st.memory
+        profiler = st.profiler
         while frames:
             top = frames.pop()
+            if profiler is not None:
+                profiler.pop(st.steps)
             memory.pop_frame(top.saved_sp)
             if not frames:
                 break
@@ -1565,9 +1573,11 @@ class FastInterpreter(Interpreter):
                  decode_cache: Optional[DecodeCache] = None,
                  sanitize: bool = False,
                  tier2=False,
-                 tier2_threshold: Optional[int] = None):
+                 tier2_threshold: Optional[int] = None,
+                 profiler=None):
         super().__init__(module, target=target, privileged=privileged,
-                         max_steps=max_steps, sanitize=sanitize)
+                         max_steps=max_steps, sanitize=sanitize,
+                         profiler=profiler)
         self.engine = "fast"
         # Tier 2: hot functions compiled to Python bytecode.  Sanitized
         # runs pin everything to tier 1 — shadow-memory checking needs
@@ -1627,19 +1637,28 @@ class FastInterpreter(Interpreter):
         function = self.module.get_function(function_name)
         result_value = None
         exit_status = 0
-        self._push_call(function, list(args), call_inst=None)
+        flight = self.flight = observe.flight()
+        if flight is not None:
+            flight.record("run.begin", engine="fast",
+                          entry=function_name)
         steps_before = self.steps
         runs_before = self.fused_runs
         fused_before = self.fused_instructions
         t2_steps_before = self.tier2_steps
         t2_calls_before = self.tier2_calls
         t2_exits_before = self.t2_side_exits
-        with observe.span("interp.run", entry=function_name, engine="fast"):
-            try:
-                result_value = self._run_loop()
-            except ExitRequest as request:
-                exit_status = request.status
-                self._frames.clear()
+        self._push_call(function, list(args), call_inst=None)
+        try:
+            with observe.span("interp.run", entry=function_name,
+                              engine="fast"):
+                try:
+                    result_value = self._run_loop()
+                except ExitRequest as request:
+                    exit_status = request.status
+                    self._frames.clear()
+        finally:
+            if self.profiler is not None:
+                self.profiler.flush(self.steps)
         observe.counter("run.steps", self.steps - steps_before,
                         engine="fast")
         if observe.enabled():
@@ -1654,6 +1673,9 @@ class FastInterpreter(Interpreter):
                                 self.tier2_calls - t2_calls_before)
                 observe.counter("tier2.side_exits",
                                 self.t2_side_exits - t2_exits_before)
+        if flight is not None:
+            flight.record("run.end", engine="fast",
+                          steps=self.steps - steps_before)
         return ExecutionResult(
             return_value=result_value,
             steps=self.steps,
@@ -1699,6 +1721,11 @@ class FastInterpreter(Interpreter):
                                     resume, unwind_edge)
                 self._frames.append(frame)
                 self.tier2_calls += 1
+                if self.profiler is not None:
+                    self.profiler.push(
+                        self.steps, function.name,
+                        "superblock" if unit.kind == "superblock"
+                        else "tier2")
                 return frame
         decoded = self.decode_cache.decode(function)
         if len(args) != decoded.num_args:
@@ -1713,6 +1740,8 @@ class FastInterpreter(Interpreter):
         if tier2 is not None:
             frame.steps_at_entry = self.steps
         self._frames.append(frame)
+        if self.profiler is not None:
+            self.profiler.push(self.steps, function.name, "tier1")
         return frame
 
     def _fast_return(self, f: _FastFrame, value):
@@ -1722,6 +1751,8 @@ class FastInterpreter(Interpreter):
         self.memory.pop_frame(f.saved_sp)
         frames = self._frames
         frames.pop()
+        if self.profiler is not None:
+            self.profiler.pop(self.steps)
         if not frames:
             return _Return(value)
         if f.is_trap_handler:
@@ -1799,6 +1830,12 @@ class FastInterpreter(Interpreter):
         self._frames[-1] = frame
         tier2.stats.osr_entries += 1
         self.tier2_calls += 1
+        if self.profiler is not None:
+            self.profiler.replace(self.steps, f.function.name, "osr")
+        flight = self.flight
+        if flight is not None:
+            flight.record("tier2.osr.enter", function=f.function.name,
+                          block=block_id, kind=unit.kind)
         if observe.enabled():
             observe.counter("tier2.osr_entries", 1)
         return _RESCHED
@@ -1823,14 +1860,27 @@ class FastInterpreter(Interpreter):
                       trap_number: int, info: int, detail: str = ""):
         observe.counter("run.traps", 1, engine="fast",
                         trap=str(trap_number))
+        flight = self.flight
         handler_address = self.trap_handlers.get(trap_number)
         if handler_address is None:
+            if flight is not None:
+                flight.record("trap.unhandled", engine="fast",
+                              trap=trap_number, detail=detail)
+                flight.autodump("unhandled trap %d" % trap_number)
             raise ExecutionTrap(trap_number,
                                 detail or "no handler registered", info)
         handler = self.image.function_at(handler_address)
         if handler is None or handler.is_declaration:
+            if flight is not None:
+                flight.record("trap.unhandled", engine="fast",
+                              trap=trap_number,
+                              detail="handler not an LLVA function")
+                flight.autodump("unhandled trap %d" % trap_number)
             raise ExecutionTrap(trap_number,
                                 "trap handler is not an LLVA function")
+        if flight is not None:
+            flight.record("trap.deliver", engine="fast",
+                          trap=trap_number, handler=handler.name)
         # Snapshot the faulting frame's registers for llva.register.read
         # *before* zeroing the result (precise-exception rule).
         self._last_trap_registers = self._number_registers(f)

@@ -98,7 +98,8 @@ class Interpreter:
                 decode_cache=None,
                 sanitize: bool = False,
                 tier2=False,
-                tier2_threshold: Optional[int] = None):
+                tier2_threshold: Optional[int] = None,
+                profiler=None):
         if cls is Interpreter and engine == "fast":
             from repro.execution.fastpath import FastInterpreter
             return object.__new__(FastInterpreter)
@@ -112,7 +113,8 @@ class Interpreter:
                  decode_cache=None,
                  sanitize: bool = False,
                  tier2=False,
-                 tier2_threshold: Optional[int] = None):
+                 tier2_threshold: Optional[int] = None,
+                 profiler=None):
         if engine not in ("reference", "fast"):
             raise ValueError("unknown engine {0!r}".format(engine))
         if tier2:
@@ -139,6 +141,13 @@ class Interpreter:
         self.smc_listeners: List[Callable[[Function], None]] = []
         self._frames: List[_Frame] = []
         self._last_trap_registers: Dict[int, int] = {}
+        #: Optional StepProfiler (repro.observe.profiler) receiving
+        #: frame-transition callbacks; None costs one test per call/ret.
+        self.profiler = profiler
+        #: Active FlightRecorder, refreshed from repro.observe at each
+        #: run() so hot paths (and tier-2 generated code) can guard on
+        #: a plain attribute instead of a module call.
+        self.flight = None
         self._dispatch = {
             "add": self._exec_arith, "sub": self._exec_arith,
             "mul": self._exec_arith, "div": self._exec_arith,
@@ -168,16 +177,27 @@ class Interpreter:
         function = self.module.get_function(function_name)
         result_value: object = None
         exit_status = 0
-        self._push_call(function, list(args), call_inst=None)
+        flight = self.flight = observe.flight()
+        if flight is not None:
+            flight.record("run.begin", engine=self.engine,
+                          entry=function_name)
         steps_before = self.steps
-        with observe.span("interp.run", entry=function_name):
-            try:
-                result_value = self._run_loop()
-            except ExitRequest as request:
-                exit_status = request.status
-                self._frames.clear()
+        self._push_call(function, list(args), call_inst=None)
+        try:
+            with observe.span("interp.run", entry=function_name):
+                try:
+                    result_value = self._run_loop()
+                except ExitRequest as request:
+                    exit_status = request.status
+                    self._frames.clear()
+        finally:
+            if self.profiler is not None:
+                self.profiler.flush(self.steps)
         observe.counter("run.steps", self.steps - steps_before,
                         engine="interp")
+        if flight is not None:
+            flight.record("run.end", engine=self.engine,
+                          steps=self.steps - steps_before)
         return ExecutionResult(
             return_value=result_value,
             steps=self.steps,
@@ -289,14 +309,27 @@ class Interpreter:
                       trap_number: int, info: int, detail: str = ""):
         observe.counter("run.traps", 1, engine="interp",
                         trap=str(trap_number))
+        flight = self.flight
         handler_address = self.trap_handlers.get(trap_number)
         if handler_address is None:
+            if flight is not None:
+                flight.record("trap.unhandled", engine=self.engine,
+                              trap=trap_number, detail=detail)
+                flight.autodump("unhandled trap %d" % trap_number)
             raise ExecutionTrap(trap_number,
                                 detail or "no handler registered", info)
         handler = self.image.function_at(handler_address)
         if handler is None or handler.is_declaration:
+            if flight is not None:
+                flight.record("trap.unhandled", engine=self.engine,
+                              trap=trap_number,
+                              detail="handler not an LLVA function")
+                flight.autodump("unhandled trap %d" % trap_number)
             raise ExecutionTrap(trap_number,
                                 "trap handler is not an LLVA function")
+        if flight is not None:
+            flight.record("trap.deliver", engine=self.engine,
+                          trap=trap_number, handler=handler.name)
         # Snapshot the interrupted frame's register file for
         # llva.register.read, using the "standard, program-independent
         # register numbering scheme" of Section 3.5: arguments first (in
@@ -352,6 +385,8 @@ class Interpreter:
         for formal, actual in zip(function.args, args):
             frame.registers[id(formal)] = actual
         self._frames.append(frame)
+        if self.profiler is not None:
+            self.profiler.push(self.steps, function.name, "tier1")
         return frame
 
     def _exec_call(self, frame: _Frame, inst):
@@ -395,6 +430,8 @@ class Interpreter:
                  if inst.return_value is not None else None)
         self.memory.pop_frame(frame.saved_sp)
         self._frames.pop()
+        if self.profiler is not None:
+            self.profiler.pop(self.steps)
         if not self._frames:
             return value  # program result
         if frame.is_trap_handler:
@@ -412,8 +449,11 @@ class Interpreter:
 
     def _exec_unwind(self, frame: _Frame, inst):
         """Pop frames to the dynamically nearest ``invoke``."""
+        profiler = self.profiler
         while self._frames:
             top = self._frames.pop()
+            if profiler is not None:
+                profiler.pop(self.steps)
             self.memory.pop_frame(top.saved_sp)
             call_inst = top.call_inst
             if not self._frames:

@@ -108,7 +108,8 @@ from repro.ir.values import (
 
 #: Bump whenever generated code or the yield protocol changes shape;
 #: persisted translations from other versions are discarded.
-TIER2_VERSION = 2
+#: v3: side exits report to the flight recorder (``st.flight``).
+TIER2_VERSION = 3
 
 #: Tier-1 invocations before a function is promoted (0 = immediately).
 DEFAULT_THRESHOLD = 16
@@ -735,6 +736,14 @@ class _FnCodegen:
                 return
             self.side_exits.append((pred.name or "", succ.name or ""))
             self.w.emit(ind, "st.t2_side_exits += 1")
+            # Flight recording costs one attribute test when off; the
+            # event names are baked in as literals at codegen time.
+            self.w.emit(ind, "if st.flight is not None:")
+            self.w.emit(ind + 1,
+                        "st.flight.record('tier2.side_exit', "
+                        "function={0!r}, src={1!r}, dst={2!r})".format(
+                            self.function.name, pred.name or "",
+                            succ.name or ""))
             self.w.emit(ind, "__blk = {0}".format(self.block_id[id(succ)]))
             self.w.emit(ind, "break")
             return
@@ -1200,6 +1209,14 @@ class Tier2Cache:
                     or self.step_threshold == 0:
                 return None
             self.stats.promotions_by_steps += 1
+            reason = "steps"
+        else:
+            reason = "invocations"
+        flight = observe.flight()
+        if flight is not None:
+            flight.record("tier2.promote", function=function.name,
+                          reason=reason, invocations=count,
+                          step_credit=self._step_credit.get(key, 0))
         return self._compile(function)
 
     def lookup_osr(self, function: Function) -> Optional[CompiledUnit]:
@@ -1218,6 +1235,10 @@ class Tier2Cache:
             self.invalidate(function)
         if key in self._pinned:
             return None
+        flight = observe.flight()
+        if flight is not None:
+            flight.record("tier2.promote", function=function.name,
+                          reason="osr")
         return self._compile(function)
 
     def osr_upgrade(self, function: Function,
@@ -1253,6 +1274,11 @@ class Tier2Cache:
             self.stats.osr_upgrades += 1
             if observe.enabled():
                 observe.counter("tier2.osr_upgrades", 1)
+            flight = observe.flight()
+            if flight is not None:
+                flight.record("tier2.osr.upgrade",
+                              function=function.name,
+                              kind=replacement.kind)
         return replacement
 
     # -- profiles and trace layouts ------------------------------------
@@ -1317,6 +1343,9 @@ class Tier2Cache:
 
     def _compile(self, function: Function) -> Optional[CompiledUnit]:
         started = time.perf_counter()
+        flight = observe.flight()
+        if flight is not None:
+            flight.record("tier2.compile.begin", function=function.name)
         layout = self._layout_for(function)
         from repro.llee.tracecache import layout_signature
         lhash = layout_signature(layout)
@@ -1329,6 +1358,10 @@ class Tier2Cache:
             # contract as every other stale-blob path).
             observe.counter("llee.cache.invalid", 1, target="tier2",
                             reason="layout")
+            if flight is not None:
+                flight.record("llee.cache", cache="llee-tier2",
+                              event="invalid", reason="layout",
+                              function=function.name)
             self._preloaded.pop(function.name, None)
             warm = None
         try:
@@ -1391,13 +1424,23 @@ class Tier2Cache:
                 self._dirty = True
         except UnsupportedFunction as reason:
             self.pin(function, str(reason))
-            self.stats.compile_seconds += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self.stats.compile_seconds += elapsed
+            if flight is not None:
+                flight.record("tier2.compile.end",
+                              function=function.name, kind="error",
+                              seconds=round(elapsed, 9), warm=False)
             return None
         except Exception as error:  # pragma: no cover - defensive
             # A codegen defect must never take the program down: the
             # tier-1 engine is always a correct fallback.
             self.pin(function, "tier-2 compile error: {0}".format(error))
-            self.stats.compile_seconds += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self.stats.compile_seconds += elapsed
+            if flight is not None:
+                flight.record("tier2.compile.end",
+                              function=function.name, kind="error",
+                              seconds=round(elapsed, 9), warm=False)
             return None
         elapsed = time.perf_counter() - started
         self.stats.compile_seconds += elapsed
@@ -1407,6 +1450,15 @@ class Tier2Cache:
             observe.counter("tier2.functions_compiled", 1)
             observe.histogram("tier2.compile_seconds", elapsed,
                               function=function.name)
+        if flight is not None:
+            flight.record("tier2.compile.end", function=function.name,
+                          kind=unit.kind, seconds=round(elapsed, 9),
+                          warm=warm is not None)
+            if unit.kind == "superblock":
+                flight.record("tier2.superblock",
+                              function=function.name,
+                              traces=len(layout) if layout else 0,
+                              side_exits=len(unit.side_exits))
         return unit
 
     # -- pinning / deopt / invalidation --------------------------------
@@ -1419,6 +1471,10 @@ class Tier2Cache:
             self.stats.pins += 1
             if observe.enabled():
                 observe.counter("tier2.pins", 1, reason=reason[:40])
+            flight = observe.flight()
+            if flight is not None:
+                flight.record("tier2.pin", function=function.name,
+                              reason=reason[:120])
 
     def pinned_reason(self, function: Function) -> Optional[str]:
         return self._pinned.get(id(function))
@@ -1431,6 +1487,10 @@ class Tier2Cache:
         if id(function) in self._units:
             self._units.pop(id(function), None)
             self.stats.deopts += 1
+            flight = observe.flight()
+            if flight is not None:
+                flight.record("tier2.deopt", function=function.name,
+                              reason="trap delivered mid-execution")
             self.pin(function, "deopt: trap delivered mid-execution")
             if observe.enabled():
                 observe.counter("tier2.deopts", 1)
@@ -1442,6 +1502,11 @@ class Tier2Cache:
             self.stats.invalidations += 1
             if observe.enabled():
                 observe.counter("tier2.invalidations", 1)
+            flight = observe.flight()
+            if flight is not None:
+                flight.record("smc.invalidate", layer="tier2",
+                              reason="smc-replace",
+                              function=function.name)
         self._counts.pop(id(function), None)
         self._step_credit.pop(id(function), None)
         self._pinned.pop(id(function), None)
@@ -1577,6 +1642,14 @@ class Tier2Cache:
             loaded += 1
         return loaded
 
+    @staticmethod
+    def _flight_cache(event: str, cache: str = TIER2_CACHE_NAME,
+                      **fields) -> None:
+        flight = observe.flight()
+        if flight is not None:
+            flight.record("llee.cache", cache=cache, event=event,
+                          **fields)
+
     def attach_storage(self, storage, key: str,
                        cache_name: str = TIER2_CACHE_NAME,
                        executable_timestamp: Optional[float] = None
@@ -1599,9 +1672,12 @@ class Tier2Cache:
             observe.counter("llee.cache.invalid", 1, target="tier2",
                             reason="read-error")
             observe.counter("llee.cache.miss", 1, target="tier2")
+            self._flight_cache("invalid", cache=cache_name,
+                               reason="read-error")
             return False
         if not data:
             observe.counter("llee.cache.miss", 1, target="tier2")
+            self._flight_cache("miss", cache=cache_name)
             return False
         if executable_timestamp is not None:
             try:
@@ -1612,6 +1688,8 @@ class Tier2Cache:
                 observe.counter("llee.cache.invalid", 1, target="tier2",
                                 reason="stale")
                 observe.counter("llee.cache.miss", 1, target="tier2")
+                self._flight_cache("invalid", cache=cache_name,
+                                   reason="stale")
                 return False
         try:
             self.load_serialized(data, key)
@@ -1619,10 +1697,14 @@ class Tier2Cache:
             observe.counter("llee.cache.invalid", 1, target="tier2",
                             reason=str(error)[:60])
             observe.counter("llee.cache.miss", 1, target="tier2")
+            self._flight_cache("invalid", cache=cache_name,
+                               reason=str(error)[:60])
             self._preloaded.clear()
             return False
         self.translation_cache_hit = True
         observe.counter("llee.cache.hit", 1, target="tier2")
+        self._flight_cache("hit", cache=cache_name,
+                           functions=len(self._preloaded))
         return True
 
     def _load_profile_snapshot(self) -> bool:
@@ -1637,6 +1719,7 @@ class Tier2Cache:
             data = None
         if not data:
             observe.counter("llee.profile.miss", 1)
+            self._flight_cache("miss", cache=PROFILE_CACHE_NAME)
             return False
         from repro.llee.profile import Profile
         try:
@@ -1644,10 +1727,13 @@ class Tier2Cache:
         except ValueError as error:
             observe.counter("llee.profile.invalid", 1,
                             reason=str(error)[:60])
+            self._flight_cache("invalid", cache=PROFILE_CACHE_NAME,
+                               reason=str(error)[:60])
             return False
         self.prime_from_profile(profile)
         self.profile_cache_hit = True
         observe.counter("llee.profile.hit", 1)
+        self._flight_cache("hit", cache=PROFILE_CACHE_NAME)
         return True
 
     def flush_storage(self) -> bool:
@@ -1663,6 +1749,7 @@ class Tier2Cache:
                                     self._profile.to_json())
                 self._profile_dirty = False
                 observe.counter("llee.profile.store", 1)
+                self._flight_cache("store", cache=PROFILE_CACHE_NAME)
             except Exception:
                 pass
         if self._storage is None or not self._dirty:
@@ -1674,4 +1761,5 @@ class Tier2Cache:
             return False
         self._dirty = False
         observe.counter("llee.cache.store", 1, target="tier2")
+        self._flight_cache("store", cache=self._storage_cache)
         return True

@@ -42,6 +42,14 @@ from repro.targets.native import (
 _CACHE_NAME = "llee-native"
 
 
+def _flight_cache(event: str, cache: str, **fields) -> None:
+    """One ``llee.cache`` flight event (hit/miss/store/invalid) —
+    only emitted on cold cache-management paths."""
+    flight = observe.flight()
+    if flight is not None:
+        flight.record("llee.cache", cache=cache, event=event, **fields)
+
+
 @dataclass
 class RunReport:
     """Everything one LLEE run observed."""
@@ -134,6 +142,8 @@ class LLEE:
             observe.counter(
                 "llee.cache.hit" if cache_hit else "llee.cache.miss",
                 1, target=self.target.name)
+            _flight_cache("hit" if cache_hit else "miss", _CACHE_NAME,
+                          key=key, target=self.target.name)
             if native is None:
                 native = NativeModule(self.target, module.name)
             jit = FunctionJIT(module, self.target)
@@ -155,6 +165,8 @@ class LLEE:
                     self._store_cache(key, native)
                 observe.counter("llee.cache.store", 1,
                                 target=self.target.name)
+                _flight_cache("store", _CACHE_NAME, key=key,
+                              target=self.target.name)
         return RunReport(
             return_value=value,
             output=simulator.output_text(),
@@ -251,6 +263,8 @@ class LLEE:
             observe.counter(
                 "llee.cache.hit" if cache_hit else "llee.cache.miss",
                 1, target="interp")
+            _flight_cache("hit" if cache_hit else "miss",
+                          "llee-interp", key=key)
             interpreter = Interpreter(
                 module, privileged=privileged, engine=engine,
                 decode_cache=decode_cache if engine == "fast" else None,
@@ -367,6 +381,8 @@ class LLEE:
                     observe.counter("llee.cache.invalid", 1,
                                     target=self.target.name,
                                     reason="stale")
+                    _flight_cache("invalid", _CACHE_NAME, key=key,
+                                  reason="stale")
                     return None, False
             native = deserialize_native(data, self.target)
         except Exception as error:
@@ -375,6 +391,8 @@ class LLEE:
             observe.counter("llee.cache.invalid", 1,
                             target=self.target.name,
                             reason=type(error).__name__)
+            _flight_cache("invalid", _CACHE_NAME, key=key,
+                          reason=type(error).__name__)
             return None, False
         return native, True
 

@@ -22,6 +22,19 @@ import os
 import time
 from typing import Dict, Optional, Tuple
 
+from repro import observe
+
+
+def _flight_io(op: str, cache: str, name: str,
+               data: Optional[bytes]) -> None:
+    """One ``llee.storage`` flight event per read/write — cheap (one
+    call + None test) and only on cold storage paths."""
+    flight = observe.flight()
+    if flight is not None:
+        flight.record("llee.storage", op=op, cache=cache, name=name,
+                      hit=data is not None,
+                      bytes=len(data) if data is not None else 0)
+
 
 class StorageAPI:
     """Abstract OS-provided offline storage."""
@@ -72,7 +85,9 @@ class InMemoryStorage(StorageAPI):
     def read(self, cache: str, name: str) -> Optional[bytes]:
         self.reads += 1
         entry = self._caches.get(cache, {}).get(name)
-        return entry[0] if entry is not None else None
+        data = entry[0] if entry is not None else None
+        _flight_io("read", cache, name, data)
+        return data
 
     def write(self, cache: str, name: str, data: bytes,
               timestamp: Optional[float] = None) -> None:
@@ -81,6 +96,7 @@ class InMemoryStorage(StorageAPI):
         self._caches[cache][name] = (
             bytes(data), timestamp if timestamp is not None
             else time.time())
+        _flight_io("write", cache, name, data)
 
     def timestamp(self, cache: str, name: str) -> Optional[float]:
         entry = self._caches.get(cache, {}).get(name)
@@ -123,9 +139,12 @@ class DiskStorage(StorageAPI):
     def read(self, cache: str, name: str) -> Optional[bytes]:
         path = self._entry_path(cache, name)
         if not os.path.isfile(path):
+            _flight_io("read", cache, name, None)
             return None
         with open(path, "rb") as handle:
-            return handle.read()
+            data = handle.read()
+        _flight_io("read", cache, name, data)
+        return data
 
     def write(self, cache: str, name: str, data: bytes,
               timestamp: Optional[float] = None) -> None:
@@ -135,6 +154,7 @@ class DiskStorage(StorageAPI):
             handle.write(data)
         if timestamp is not None:
             os.utime(path, (timestamp, timestamp))
+        _flight_io("write", cache, name, data)
 
     def timestamp(self, cache: str, name: str) -> Optional[float]:
         path = self._entry_path(cache, name)

@@ -1,4 +1,5 @@
-"""``repro.observe`` — unified tracing + metrics for the whole pipeline.
+"""``repro.observe`` — unified tracing + metrics + flight recording
+for the whole pipeline.
 
 Every layer of the toolchain (MiniC front-end, pass manager, JIT,
 LLEE, interpreter, machine simulator, trace cache) reports through this
@@ -8,20 +9,25 @@ module instead of keeping bespoke counters.  The design constraint is
 * :func:`span` returns a shared no-op context manager;
 * :func:`counter` / :func:`gauge` / :func:`histogram` check one module
   flag and return immediately;
+* :func:`flight` returns ``None`` unless a flight recorder was
+  requested; emit sites hoist it into a local (or onto interpreter
+  state) and skip entirely when it is ``None``;
 * hot loops (per-instruction) must hoist :func:`enabled` into a local
   before the loop and skip collection entirely when it is False.
 
 Enable it for a run with :func:`configure` (or the CLI's ``--trace`` /
-``--metrics`` / ``--stats`` flags, or ``repro stats``), read results
-from :func:`registry` / :func:`tracer`, and reset with
-:func:`disable`.  :func:`capture` wraps that lifecycle for scoped use::
+``--metrics`` / ``--stats`` / ``--flight-record`` flags, or ``repro
+stats`` / ``repro profile``), read results from :func:`registry` /
+:func:`tracer` / :func:`flight`, and reset with :func:`disable`.
+:func:`capture` wraps that lifecycle for scoped use::
 
     from repro import observe
 
-    with observe.capture() as obs:
+    with observe.capture(flight=True) as obs:
         run_pipeline()
     obs.registry.value("llee.cache.miss")
     obs.tracer.write_chrome("trace.json")
+    obs.flight.events("tier2.")
 
 Naming conventions are documented in ``docs/OBSERVABILITY.md``.
 """
@@ -30,19 +36,26 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Optional
 
+from repro.observe.flight import (DEFAULT_CAPACITY, EVENT_SCHEMA,
+                                  FlightRecorder, validate_event)
 from repro.observe.metrics import Histogram, MetricsRegistry
+from repro.observe.profiler import StepProfiler
 from repro.observe.tracing import NULL_SPAN, SpanRecord, Tracer
 
 __all__ = [
-    "Histogram", "MetricsRegistry", "SpanRecord", "Tracer",
-    "capture", "configure", "counter", "disable", "enabled", "gauge",
-    "histogram", "registry", "span", "tracer",
+    "EVENT_SCHEMA", "FlightRecorder", "Histogram", "MetricsRegistry",
+    "SpanRecord", "StepProfiler", "Tracer",
+    "capture", "configure", "counter", "disable", "enabled", "flight",
+    "gauge", "histogram", "registry", "span", "tracer",
+    "validate_event",
 ]
 
 _enabled = False
 _registry = MetricsRegistry()
 _tracer = Tracer()
+_flight: Optional[FlightRecorder] = None
 
 
 def enabled() -> bool:
@@ -60,21 +73,33 @@ def tracer() -> Tracer:
     return _tracer
 
 
-def configure(reset: bool = True) -> None:
-    """Turn observability on, optionally clearing previous data."""
-    global _enabled
+def flight() -> Optional[FlightRecorder]:
+    """The active flight recorder, or ``None`` when off.  Emit sites
+    hoist this into a local and guard with ``if fl is not None``."""
+    return _flight
+
+
+def configure(reset: bool = True, flight: bool = False,
+              flight_capacity: int = DEFAULT_CAPACITY) -> None:
+    """Turn observability on, optionally clearing previous data and
+    attaching a flight recorder."""
+    global _enabled, _flight
     _enabled = True
     if reset:
         _registry.reset()
         _tracer.reset()
+        _flight = None
+    if flight and _flight is None:
+        _flight = FlightRecorder(capacity=flight_capacity)
 
 
 def disable(reset: bool = True) -> None:
-    global _enabled
+    global _enabled, _flight
     _enabled = False
     if reset:
         _registry.reset()
         _tracer.reset()
+        _flight = None
 
 
 @dataclass
@@ -83,23 +108,28 @@ class Capture:
 
     registry: MetricsRegistry
     tracer: Tracer
+    flight: Optional[FlightRecorder] = None
 
 
 @contextmanager
-def capture():
+def capture(flight: bool = False,
+            flight_capacity: int = DEFAULT_CAPACITY):
     """Enable observability for a ``with`` block and hand back the
-    registry/tracer; restores the previous on/off state afterwards
-    (data survives the block — it belongs to the returned handle)."""
-    global _enabled, _registry, _tracer
-    previous = (_enabled, _registry, _tracer)
+    registry/tracer (plus a flight recorder when ``flight=True``);
+    restores the previous on/off state afterwards (data survives the
+    block — it belongs to the returned handle)."""
+    global _enabled, _registry, _tracer, _flight
+    previous = (_enabled, _registry, _tracer, _flight)
     _registry = MetricsRegistry()
     _tracer = Tracer()
+    _flight = (FlightRecorder(capacity=flight_capacity)
+               if flight else None)
     _enabled = True
-    handle = Capture(_registry, _tracer)
+    handle = Capture(_registry, _tracer, _flight)
     try:
         yield handle
     finally:
-        _enabled, _registry, _tracer = previous
+        _enabled, _registry, _tracer, _flight = previous
 
 
 # -- instrumentation points (cheap when disabled) ---------------------------

@@ -63,18 +63,26 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def to_dict(self) -> Dict[str, object]:
+        # Prometheus-style `le` buckets are cumulative: each bucket
+        # counts every observation <= its bound, and `+Inf` equals the
+        # total count.  Accumulate first, then drop the (still-zero)
+        # leading buckets — dropping per-bucket zeros before
+        # accumulating (the old behaviour) broke monotonicity.
+        buckets: List[Dict[str, object]] = []
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.bucket_counts):
+            cumulative += count
+            if cumulative:
+                buckets.append({"le": bound, "count": cumulative})
+        if self.count:
+            buckets.append({"le": "+Inf", "count": self.count})
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.minimum,
             "max": self.maximum,
             "mean": self.mean,
-            "buckets": [
-                {"le": bound, "count": count}
-                for bound, count in zip(self.bounds, self.bucket_counts)
-                if count
-            ] + ([{"le": "+Inf", "count": self.bucket_counts[-1]}]
-                 if self.bucket_counts[-1] else []),
+            "buckets": buckets,
         }
 
 

@@ -12,6 +12,7 @@ One entry point, classic subcommands::
     python -m repro llc prog.bc --target sparc       # native listing
     python -m repro link a.bc b.bc -o out.bc         # module linker
     python -m repro stats prog.bc [--target x86]     # observability report
+    python -m repro profile prog.bc [--top 10]       # tiered-execution profile
 
 Sources are auto-detected by suffix where it matters: ``.ll`` is
 assembly, ``.c``/``.mc`` is MiniC, anything else is treated as virtual
@@ -22,7 +23,11 @@ Observability: ``cc``/``opt``/``run``/``stats`` accept ``--trace FILE``
 ``--metrics FILE`` (the registry snapshot as JSON); ``repro stats``
 runs a program with full instrumentation and pretty-prints per-pass
 timings, expansion ratios, cache behaviour, opcode mix, and the
-hottest profiled blocks.  See ``docs/OBSERVABILITY.md``.
+hottest profiled blocks.  ``run``/``stats``/``profile`` accept
+``--flight-record FILE`` (the JIT-lifecycle flight recorder, dumped as
+JSONL), and ``repro profile`` attributes every interpreter step to a
+``(function, tier)`` pair — tier 1, tier 2, superblock, or OSR — with
+optional speedscope export.  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -423,6 +428,21 @@ def _render_stats_report(profile, result_value, top: int, out) -> None:
                 "{0}:{1}".format(function, block), count))
 
 
+def _stats_json_payload(profile, result_value, top: int) -> dict:
+    """The machine-readable twin of :func:`_render_stats_report`."""
+    payload = {
+        "command": "stats",
+        "result": result_value,
+        "metrics": observe.registry().snapshot(),
+    }
+    if profile is not None and profile.counts:
+        payload["hottest_blocks"] = [
+            {"function": function, "block": block, "executions": count}
+            for (function, block), count in profile.hottest_blocks(top)
+            if count]
+    return payload
+
+
 def _cmd_stats(args) -> int:
     if args.load:
         return _print_loaded_metrics(args.load, sys.stdout)
@@ -462,7 +482,8 @@ def _cmd_stats(args) -> int:
             report = llee.run_executable(write_module(module),
                                          entry=args.entry,
                                          args=program_args)
-            sys.stdout.write(report.output)
+            (sys.stderr if args.json else sys.stdout).write(
+                report.output)
             result_value = report.return_value
             profile = read_profile(profile_map, llee.last_simulator)
         else:
@@ -477,13 +498,202 @@ def _cmd_stats(args) -> int:
             result = interpreter.run(args.entry, program_args)
             if tier2_cache:
                 tier2_cache.flush_storage()
-            sys.stdout.write(result.output)
+            (sys.stderr if args.json else sys.stdout).write(
+                result.output)
             result_value = result.return_value
             profile = read_profile(profile_map, interpreter)
     except ExecutionTrap as trap:
         sys.stderr.write("trap: {0}\n".format(trap))
         return 128 + trap.trap_number
-    _render_stats_report(profile, result_value, args.top, sys.stdout)
+    if args.json:
+        json.dump(_stats_json_payload(profile, result_value, args.top),
+                  sys.stdout, indent=2, default=str)
+        sys.stdout.write("\n")
+    else:
+        _render_stats_report(profile, result_value, args.top,
+                             sys.stdout)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro profile — step attribution across tiers
+# ---------------------------------------------------------------------------
+
+
+def _flight_compile_split(flight):
+    """(compile_seconds, warm_compiles, error_compiles) from the flight
+    recorder's ``tier2.compile.end`` events."""
+    seconds = 0.0
+    warm = errors = 0
+    if flight is not None:
+        for event in flight.events("tier2.compile.end"):
+            seconds += event.get("seconds", 0.0)
+            if event.get("warm"):
+                warm += 1
+            if event.get("kind") == "error":
+                errors += 1
+    return seconds, warm, errors
+
+
+def _flight_reasons(flight, type_: str) -> dict:
+    """Reason -> count over one flight event type."""
+    reasons: dict = {}
+    if flight is not None:
+        for event in flight.events(type_):
+            reason = event.get("reason", "?")
+            reasons[reason] = reasons.get(reason, 0) + 1
+    return reasons
+
+
+def _profile_payload(profiler, interpreter, result, flight,
+                     top: int) -> dict:
+    """The ``repro profile`` report as one JSON-ready dict (also the
+    substrate for the human-readable rendering)."""
+    data = profiler.to_dict()
+    compile_seconds, warm, errors = _flight_compile_split(flight)
+    stats = getattr(getattr(interpreter, "tier2", None), "stats", None)
+    payload = {
+        "command": "profile",
+        "result": result.return_value,
+        "steps": result.steps,
+        "tier1_steps": data["tier1_steps"],
+        "tier2_steps": data["tier2_steps"],
+        "engine_tier2_steps": getattr(interpreter, "tier2_steps", 0),
+        "duration_seconds": data["duration_seconds"],
+        "tiers": data["tiers"],
+        "functions": data["functions"][:top] if top else
+        data["functions"],
+        "compile": {
+            "seconds": round(compile_seconds, 9),
+            "warm": warm,
+            "errors": errors,
+            "share": (compile_seconds / data["duration_seconds"]
+                      if data["duration_seconds"] else 0.0),
+        },
+        "deopt_reasons": _flight_reasons(flight, "tier2.deopt"),
+        "pin_reasons": _flight_reasons(flight, "tier2.pin"),
+        "promotion_reasons": _flight_reasons(flight, "tier2.promote"),
+    }
+    if stats is not None:
+        payload["tier2"] = {
+            "functions_compiled": stats.functions_compiled,
+            "warm_compiles": stats.warm_compiles,
+            "superblocks_compiled": stats.superblocks_compiled,
+            "osr_entries": stats.osr_entries,
+            "osr_upgrades": stats.osr_upgrades,
+            "deopts": stats.deopts,
+            "pins": stats.pins,
+            "invalidations": stats.invalidations,
+            "compile_seconds": round(stats.compile_seconds, 9),
+            "side_exits": getattr(interpreter, "t2_side_exits", 0),
+        }
+    if flight is not None:
+        payload["flight_events"] = flight.counts()
+    return payload
+
+
+def _render_profile_report(payload: dict, out) -> None:
+    out.write("== run ==\n")
+    out.write("  result={0} steps={1} duration={2:.4f}s\n".format(
+        payload["result"], payload["steps"],
+        payload["duration_seconds"]))
+    out.write(
+        "  tier1_steps={0} tier2_steps={1}\n".format(
+            payload["tier1_steps"], payload["tier2_steps"]))
+
+    total = max(payload["steps"], 1)
+    out.write("== tiers ==\n")
+    out.write("  {0:<12} {1:>12} {2:>7} {3:>10}\n".format(
+        "tier", "steps", "%", "seconds"))
+    for tier, row in payload["tiers"].items():
+        out.write("  {0:<12} {1:>12} {2:>6.1f}% {3:>10.4f}\n".format(
+            tier, row["steps"], 100.0 * row["steps"] / total,
+            row["seconds"]))
+
+    if payload["functions"]:
+        out.write("== hottest functions ==\n")
+        out.write("  {0:<28} {1:<10} {2:>12} {3:>7} {4:>10} "
+                  "{5:>7}\n".format("function", "tier", "steps", "%",
+                                    "seconds", "calls"))
+        for row in payload["functions"]:
+            out.write(
+                "  {0:<28} {1:<10} {2:>12} {3:>6.1f}% {4:>10.4f} "
+                "{5:>7}\n".format(
+                    row["function"][:28], row["tier"], row["steps"],
+                    100.0 * row["steps"] / total, row["seconds"],
+                    row["calls"]))
+
+    tier2 = payload.get("tier2")
+    if tier2:
+        out.write("== jit lifecycle ==\n")
+        out.write(
+            "  compiled={0} (warm={1}) superblocks={2} "
+            "osr_entries={3} osr_upgrades={4} side_exits={5}\n".format(
+                tier2["functions_compiled"], tier2["warm_compiles"],
+                tier2["superblocks_compiled"], tier2["osr_entries"],
+                tier2["osr_upgrades"], tier2["side_exits"]))
+        out.write("  deopts={0} pins={1} invalidations={2}\n".format(
+            tier2["deopts"], tier2["pins"], tier2["invalidations"]))
+    compile_info = payload["compile"]
+    out.write(
+        "  compile_seconds={0:.4f} ({1:.1f}% of run)\n".format(
+            compile_info["seconds"], 100.0 * compile_info["share"]))
+    for title, key in (("promotion reasons", "promotion_reasons"),
+                       ("deopt reasons", "deopt_reasons"),
+                       ("pin reasons", "pin_reasons")):
+        reasons = payload.get(key)
+        if reasons:
+            out.write("== {0} ==\n".format(title))
+            for reason in sorted(reasons, key=lambda r: -reasons[r]):
+                out.write("  {0:>5}  {1}\n".format(reasons[reason],
+                                                   reason))
+
+
+def _cmd_profile(args) -> int:
+    from repro.observe.profiler import StepProfiler
+
+    module = _load_module(args.input)
+    if args.optimize > 0:
+        optimize(module, level=args.optimize)
+    program_args = _parse_program_args(args.args)
+    problem = _check_program_args(module, args.entry, program_args)
+    if problem:
+        sys.stderr.write("profile: " + problem)
+        return 2
+    # profile defaults to the full tiered pipeline; --no-* flags
+    # peel layers off for A/B comparisons
+    tier2_on = args.engine == "fast" and not args.no_tier2
+    args.tier2 = tier2_on
+    args.superblocks = tier2_on and not args.no_superblocks
+    args.osr = tier2_on and not args.no_osr
+    profiler = StepProfiler(record_stack=bool(args.speedscope))
+    tier2_cache = _make_tier2_cache(module, args) if tier2_on else False
+    interpreter = Interpreter(module,
+                              privileged=args.privileged,
+                              engine=args.engine,
+                              tier2=tier2_cache,
+                              profiler=profiler)
+    try:
+        result = interpreter.run(args.entry, program_args)
+    except ExecutionTrap as trap:
+        sys.stderr.write("trap: {0}\n".format(trap))
+        return 128 + trap.trap_number
+    finally:
+        if tier2_cache:
+            tier2_cache.flush_storage()
+    # under --json stdout carries only the document; the program's own
+    # output moves to stderr
+    (sys.stderr if args.json else sys.stdout).write(result.output)
+    payload = _profile_payload(profiler, interpreter, result,
+                               observe.flight(), args.top)
+    if args.speedscope:
+        profiler.write_speedscope(args.speedscope,
+                                  name="repro profile " + args.input)
+    if args.json:
+        json.dump(payload, sys.stdout, indent=2, default=str)
+        sys.stdout.write("\n")
+    else:
+        _render_profile_report(payload, sys.stdout)
     return 0
 
 
@@ -500,6 +710,14 @@ def _add_observe_flags(sub) -> None:
     sub.add_argument(
         "--metrics", metavar="FILE",
         help="write the metrics registry snapshot as JSON")
+
+
+def _add_flight_flag(sub) -> None:
+    sub.add_argument(
+        "--flight-record", metavar="FILE",
+        help="record the JIT lifecycle (promotions, compiles, "
+             "superblocks, OSR, deopts, traps, cache events) in a "
+             "bounded ring buffer and write it as JSONL")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -582,6 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "warm starts")
     run.add_argument("--stats", action="store_true")
     _add_observe_flags(run)
+    _add_flight_flag(run)
     run.add_argument("args", nargs="*")
     run.set_defaults(func=_cmd_run)
 
@@ -631,9 +850,51 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--translation-cache", metavar="DIR",
                        help="persist tier-2 translations in DIR for "
                             "cross-process warm starts")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the report as JSON instead of the "
+                            "human-readable rendering")
     _add_observe_flags(stats)
+    _add_flight_flag(stats)
     stats.add_argument("args", nargs="*")
     stats.set_defaults(func=_cmd_stats)
+
+    profile = commands.add_parser(
+        "profile",
+        help="run under the step-attribution profiler: per-function "
+             "per-tier steps and wall time, the JIT lifecycle, and "
+             "deopt reasons (tier2+superblocks+OSR on by default)")
+    profile.add_argument("input")
+    profile.add_argument("--engine", choices=("fast", "reference"),
+                         default="fast",
+                         help="interpreter engine (tier 2 requires "
+                              "'fast', the default)")
+    profile.add_argument("-O", "--optimize", type=int, default=0)
+    profile.add_argument("--entry", default="main")
+    profile.add_argument("--privileged", action="store_true")
+    profile.add_argument("--top", type=int, default=10,
+                         help="rows in the hot-function table")
+    profile.add_argument("--no-tier2", action="store_true",
+                         help="profile pure tier-1 execution")
+    profile.add_argument("--no-superblocks", action="store_true",
+                         help="tier 2 without trace-guided superblocks")
+    profile.add_argument("--no-osr", action="store_true",
+                         help="tier 2 without on-stack replacement")
+    profile.add_argument("--tier2-threshold", type=int, default=None,
+                         metavar="N",
+                         help="promotion threshold (0 = first call)")
+    profile.add_argument("--translation-cache", metavar="DIR",
+                         help="persist tier-2 translations in DIR for "
+                              "cross-process warm starts")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the profile as JSON instead of "
+                              "the human-readable report")
+    profile.add_argument("--speedscope", metavar="FILE",
+                         help="write the tier timeline as a "
+                              "speedscope.app JSON document")
+    _add_observe_flags(profile)
+    _add_flight_flag(profile)
+    profile.add_argument("args", nargs="*")
+    profile.set_defaults(func=_cmd_profile)
 
     return parser
 
@@ -642,7 +903,16 @@ def _wants_observability(args) -> bool:
     return bool(getattr(args, "trace", None)
                 or getattr(args, "metrics", None)
                 or getattr(args, "stats", False)
-                or args.command == "stats")
+                or getattr(args, "flight_record", None)
+                or args.command in ("stats", "profile"))
+
+
+def _wants_flight(args) -> bool:
+    """The flight recorder costs one attribute test per emit site, so
+    it only flies when asked for: ``--flight-record`` or ``repro
+    profile`` (which reads compile/deopt events for its report)."""
+    return bool(getattr(args, "flight_record", None)
+                or args.command == "profile")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -650,7 +920,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     observing = _wants_observability(args)
     if observing:
-        observe.configure()
+        observe.configure(flight=_wants_flight(args))
     try:
         with observe.span("cli." + args.command):
             status = args.func(args)
@@ -664,6 +934,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 metrics_path = getattr(args, "metrics", None)
                 if metrics_path:
                     observe.registry().write_json(metrics_path)
+                flight_path = getattr(args, "flight_record", None)
+                recorder = observe.flight()
+                if flight_path and recorder is not None:
+                    recorder.write_jsonl(flight_path)
             except OSError as error:
                 sys.stderr.write(
                     "{0}: cannot write observability export: {1}\n"

@@ -209,3 +209,104 @@ class TestStatsCommand:
         code, _out, err = _capture(["stats"], capsys)
         assert code == 2
         assert "required" in err
+
+    def test_stats_json(self, prog_bc, capsys):
+        code, out, err = _capture(
+            ["stats", str(prog_bc), "--json"], capsys)
+        assert code == 0
+        document = json.loads(out)          # stdout is pure JSON...
+        assert "285" in err                 # ...program output moved
+        assert document["command"] == "stats"
+        assert document["result"] == 85
+        names = {c["name"] for c in document["metrics"]["counters"]}
+        assert "run.steps" in names
+        assert document["hottest_blocks"]
+
+
+class TestProfileCommand:
+    def test_default_report_covers_tiers_and_lifecycle(self, prog_bc,
+                                                       capsys):
+        code, out, _err = _capture(
+            ["profile", str(prog_bc), "--tier2-threshold", "2"],
+            capsys)
+        assert code == 0
+        assert "== run ==" in out
+        assert "tier1_steps=" in out and "tier2_steps=" in out
+        assert "== tiers ==" in out
+        assert "== hottest functions ==" in out
+        assert "square" in out
+        assert "== jit lifecycle ==" in out
+        assert "compile_seconds=" in out
+        assert not observe.enabled()
+
+    def test_json_totals_match_engine_accounting(self, prog_bc,
+                                                 capsys):
+        code, out, _err = _capture(
+            ["profile", str(prog_bc), "--tier2-threshold", "2",
+             "--json"], capsys)
+        assert code == 0
+        document = json.loads(out)
+        assert document["command"] == "profile"
+        # The acceptance contract: profiler attribution reconciles
+        # exactly with the engine's own step accounting.
+        assert document["tier2_steps"] == \
+            document["engine_tier2_steps"]
+        assert document["tier1_steps"] + document["tier2_steps"] == \
+            document["steps"]
+        assert sum(t["steps"] for t in document["tiers"].values()) \
+            == document["steps"]
+        assert document["flight_events"]["run.begin"] == 1
+
+    def test_no_tier2_profiles_pure_tier1(self, prog_bc, capsys):
+        code, out, _err = _capture(
+            ["profile", str(prog_bc), "--no-tier2", "--json"], capsys)
+        assert code == 0
+        document = json.loads(out)
+        assert document["tier2_steps"] == 0
+        assert document["tier1_steps"] == document["steps"] > 0
+        assert "tier2" not in document
+
+    def test_speedscope_export(self, prog_bc, tmp_path, capsys):
+        scope = tmp_path / "profile.speedscope.json"
+        code, _out, _err = _capture(
+            ["profile", str(prog_bc), "--tier2-threshold", "2",
+             "--speedscope", str(scope)], capsys)
+        assert code == 0
+        document = json.loads(scope.read_text())
+        assert document["$schema"].endswith(
+            "file-format-schema.json")
+        profile_entry = document["profiles"][0]
+        assert profile_entry["type"] == "evented"
+        opens = sum(1 for e in profile_entry["events"]
+                    if e["type"] == "O")
+        closes = sum(1 for e in profile_entry["events"]
+                     if e["type"] == "C")
+        assert opens == closes > 0
+        assert document["shared"]["frames"]
+
+
+class TestFlightRecordExport:
+    def test_run_writes_validated_jsonl(self, prog_bc, tmp_path,
+                                        capsys):
+        from repro.observe import validate_event
+
+        flight = tmp_path / "flight.jsonl"
+        code, _out, _err = _capture(
+            ["run", str(prog_bc), "--tier2", "--superblocks", "--osr",
+             "--tier2-threshold", "2", "--flight-record", str(flight)],
+            capsys)
+        assert code == 85
+        lines = [json.loads(line)
+                 for line in flight.read_text().splitlines()]
+        header, events = lines[0], lines[1:]
+        assert header["flight"] == 1
+        assert header["recorded"] == len(events) + header["dropped"]
+        for event in events:
+            assert validate_event(event) == [], event
+        types = {e["type"] for e in events}
+        assert {"run.begin", "run.end", "tier2.promote",
+                "tier2.compile.begin", "tier2.compile.end"} <= types
+
+    def test_flight_off_by_default(self, prog_bc, capsys):
+        _capture(["run", str(prog_bc), "--stats"], capsys)
+        assert observe.flight() is None

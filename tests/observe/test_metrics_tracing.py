@@ -39,6 +39,32 @@ class TestMetricsRegistry:
         assert dict(registry.label_values("pass.runs", "pass")) == {
             "gvn": 2, "dce": 1}
 
+    def test_histogram_buckets_are_cumulative(self):
+        # Regression: to_dict used to drop empty buckets *before*
+        # accumulating, producing non-monotonic Prometheus-style `le`
+        # counts (a bucket could report fewer observations than a
+        # smaller bound).
+        histogram = Histogram(bounds=(1.0, 2.0, 5.0, 10.0))
+        for value in (0.5, 0.7, 4.0, 4.5, 4.9):
+            histogram.observe(value)
+        buckets = histogram.to_dict()["buckets"]
+        # Cumulative: le=1 sees 2, le=2 still sees 2 (bucket itself is
+        # empty but must not disappear or reset), le=5 sees all 5.
+        assert [(b["le"], b["count"]) for b in buckets] == [
+            (1.0, 2), (2.0, 2), (5.0, 5), (10.0, 5), ("+Inf", 5)]
+        counts = [b["count"] for b in buckets]
+        assert counts == sorted(counts)
+        assert buckets[-1] == {"le": "+Inf", "count": histogram.count}
+
+    def test_histogram_overflow_lands_in_inf_bucket(self):
+        histogram = Histogram(bounds=(1.0, 2.0))
+        histogram.observe(100.0)
+        buckets = histogram.to_dict()["buckets"]
+        assert buckets == [{"le": "+Inf", "count": 1}]
+
+    def test_empty_histogram_has_no_buckets(self):
+        assert Histogram(bounds=(1.0,)).to_dict()["buckets"] == []
+
     def test_snapshot_round_trips_through_json(self):
         registry = MetricsRegistry()
         registry.inc("a", 1, kind="x")
