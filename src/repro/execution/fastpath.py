@@ -96,7 +96,7 @@ class _FastFrame:
 
     __slots__ = ("function", "ops", "index", "regs", "saved_sp",
                  "ret_slot", "resume", "unwind_edge", "is_trap_handler",
-                 "steps_at_entry")
+                 "steps_at_entry", "osr_mark")
 
     def __init__(self, function, ops, regs, saved_sp, ret_slot,
                  resume, unwind_edge):
@@ -110,6 +110,7 @@ class _FastFrame:
         self.unwind_edge = unwind_edge    # invoke's unwind-dest edge, else None
         self.is_trap_handler = False
         self.steps_at_entry = 0           # for tier-2 step-credit promotion
+        self.osr_mark = 0                 # back-edge OSR trigger baseline
 
 
 class _Tier2Frame:
@@ -127,7 +128,7 @@ class _Tier2Frame:
 
     __slots__ = ("function", "ops", "index", "regs", "saved_sp",
                  "ret_slot", "resume", "unwind_edge", "is_trap_handler",
-                 "steps_at_entry", "gen", "started", "unit")
+                 "steps_at_entry", "osr_mark", "gen", "started", "unit")
 
     def __init__(self, function, unit, gen, saved_sp, ret_slot,
                  resume, unwind_edge):
@@ -141,6 +142,7 @@ class _Tier2Frame:
         self.unwind_edge = unwind_edge
         self.is_trap_handler = False
         self.steps_at_entry = -1          # tier-2 frames earn no credit
+        self.osr_mark = 0
         self.gen = gen
         self.started = False
         self.unit = unit
@@ -1219,7 +1221,7 @@ class _Decoder:
             r = inner(st, f)
             tier2 = st.tier2
             if tier2 is not None \
-                    and st.steps - f.steps_at_entry \
+                    and st.steps - f.osr_mark \
                     >= tier2.osr_step_threshold:
                 return st._osr_enter(f, bid)
             return r
@@ -1648,6 +1650,10 @@ class FastInterpreter(Interpreter):
         t2_calls_before = self.tier2_calls
         t2_exits_before = self.t2_side_exits
         self._push_call(function, list(args), call_inst=None)
+        # Engine-active bracket: under the compile service's idle
+        # policy, background builds park while this run executes.
+        if self.tier2 is not None:
+            self.tier2.run_begin()
         try:
             with observe.span("interp.run", entry=function_name,
                               engine="fast"):
@@ -1657,6 +1663,8 @@ class FastInterpreter(Interpreter):
                     exit_status = request.status
                     self._frames.clear()
         finally:
+            if self.tier2 is not None:
+                self.tier2.run_end()
             if self.profiler is not None:
                 self.profiler.flush(self.steps)
         observe.counter("run.steps", self.steps - steps_before,
@@ -1708,6 +1716,11 @@ class FastInterpreter(Interpreter):
                 "call to undefined function %{0}".format(function.name))
         tier2 = self.tier2
         if tier2 is not None:
+            # The per-call hook doubles as the primary safe swap-in
+            # point for asynchronous compilation: while a background
+            # job is in flight lookup() returns None (the call runs
+            # tier 1) and installs the finished unit the first time it
+            # polls ready — never mid-activation.
             unit = tier2.lookup(function)
             if unit is not None:
                 if len(args) != unit.num_args:
@@ -1739,6 +1752,15 @@ class FastInterpreter(Interpreter):
                            unwind_edge)
         if tier2 is not None:
             frame.steps_at_entry = self.steps
+            # A deferred compile is in flight for this function: arm
+            # the back-edge OSR check at a quarter threshold so a
+            # loop-bound activation stops paying tier-1 prices
+            # promptly (the trigger escalates the queued build).
+            if tier2.has_pending(function):
+                frame.osr_mark = self.steps - \
+                    (tier2.osr_step_threshold * 3) // 4
+            else:
+                frame.osr_mark = self.steps
         self._frames.append(frame)
         if self.profiler is not None:
             self.profiler.push(self.steps, function.name, "tier1")
@@ -1815,11 +1837,22 @@ class FastInterpreter(Interpreter):
         frame, or None when tier 2 declines (OSR off, pinned,
         uncompilable) — in which case the frame's step credit is reset
         so the check does not fire on every subsequent back edge.
+        With asynchronous compilation the decline may be transient (a
+        background job is still in flight); the credit is then only
+        partially reset, so this back-edge safe point re-polls after a
+        quarter threshold instead of a full one and the swap-in lands
+        promptly once the unit is ready.
         """
         tier2 = self.tier2
         unit = tier2.lookup_osr(f.function) if tier2 is not None else None
         if unit is None:
-            f.steps_at_entry = self.steps
+            # Re-arm the trigger only (never steps_at_entry — that
+            # would inflate the activation's step credit on return).
+            if tier2 is not None and tier2.has_pending(f.function):
+                f.osr_mark = self.steps - \
+                    (tier2.osr_step_threshold * 3) // 4
+            else:
+                f.osr_mark = self.steps
             return None
         gen = unit.factory(
             self, *([0] * unit.num_args),

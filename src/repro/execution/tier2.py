@@ -81,6 +81,7 @@ import math
 import struct
 import sys
 import time
+from concurrent.futures import CancelledError
 from typing import Dict, List, Optional, Tuple
 
 from repro import observe
@@ -127,13 +128,24 @@ DEFAULT_SUPERBLOCK_THRESHOLD = 512
 #: taken back edge triggers on-stack replacement into tier 2.
 DEFAULT_OSR_STEP_THRESHOLD = 25_000
 
+#: Asynchronous mode: tier-1 steps a function may burn *after* its
+#: compile job was enqueued before the engine stops waiting and
+#: escalates to an inline (synchronous) compile.  Past that point the
+#: function has proven it will out-run its own compile cost, so
+#: waiting for an idle-time build costs more than doing the work now.
+#: Set to several compiles' worth of tier-1 steps: call-heavy
+#: functions whose tier-1 closures are nearly as fast as their tier-2
+#: units finish whole short runs below it (their builds stay
+#: deferred), while the loop-heavy functions that dominate long runs
+#: blow through it early and get their superblock pipeline inline.
+DEFAULT_ESCALATE_STEP_THRESHOLD = 16384
+
 #: Storage-API cache name for persisted translations.
 TIER2_CACHE_NAME = "llee-tier2"
 
 #: Storage-API cache name for persisted profile snapshots (written
 #: next to the translation blob under the same module key).
 PROFILE_CACHE_NAME = "llee-profile"
-
 
 class UnsupportedFunction(Exception):
     """Raised by the code generator for functions tier 2 cannot compile
@@ -185,7 +197,9 @@ class Tier2Stats:
     __slots__ = ("functions_compiled", "warm_compiles", "codegen_seconds",
                  "compile_seconds", "invalidations", "deopts", "pins",
                  "promotions_by_steps", "superblocks_compiled",
-                 "profiling_compiled", "osr_entries", "osr_upgrades")
+                 "profiling_compiled", "osr_entries", "osr_upgrades",
+                 "async_enqueued", "swap_ins", "swap_wait_seconds",
+                 "stale_drops", "escalations")
 
     def __init__(self):
         self.functions_compiled = 0
@@ -206,6 +220,18 @@ class Tier2Stats:
         self.osr_entries = 0
         #: Profiling units swapped for trace-guided ones mid-activation.
         self.osr_upgrades = 0
+        #: Promotions handed to the background compile service.
+        self.async_enqueued = 0
+        #: Background-compiled units installed at a safe point.
+        self.swap_ins = 0
+        #: Total enqueue-to-swap-in latency across swap-ins.
+        self.swap_wait_seconds = 0.0
+        #: Background results discarded because SMC replaced the body
+        #: while the job was in flight.
+        self.stale_drops = 0
+        #: Queued jobs cancelled in favour of an inline compile after
+        #: the function proved hot while its build was deferred.
+        self.escalations = 0
 
 
 def function_hash(function: Function) -> str:
@@ -1134,6 +1160,25 @@ def build_unit(function: Function, module: Module,
 # ---------------------------------------------------------------------------
 
 
+class _CompilePlan:
+    """An immutable compilation decision, captured on the engine
+    thread so :meth:`Tier2Cache._build_plan` can run on a background
+    worker without reading shared mutable state."""
+
+    __slots__ = ("kind", "layout", "layout_hash", "warm")
+
+    def __init__(self, kind, layout, layout_hash, warm):
+        #: "warm" (persisted source/bytecode), "profiling" (counter
+        #: stage), or "codegen" (fresh dispatch/superblock emission).
+        self.kind = kind
+        #: Trace layout for superblock codegen (None otherwise); trace
+        #: objects are never mutated after formation.
+        self.layout = layout
+        self.layout_hash = layout_hash
+        #: The preloaded-blob tuple for warm builds.
+        self.warm = warm
+
+
 class Tier2Cache:
     """Per-module tier-2 state, shareable across runs (like
     :class:`~repro.execution.fastpath.DecodeCache`)."""
@@ -1145,7 +1190,11 @@ class Tier2Cache:
                  superblock_threshold: int = DEFAULT_SUPERBLOCK_THRESHOLD,
                  osr_step_threshold: int = DEFAULT_OSR_STEP_THRESHOLD,
                  trace_hot_threshold: Optional[int] = None,
-                 trace_successor_bias: float = 0.4):
+                 trace_successor_bias: float = 0.4,
+                 async_compile: bool = False,
+                 compile_workers: Optional[int] = None,
+                 compile_service=None,
+                 escalate_step_threshold: Optional[int] = None):
         self.module = module
         self.target = target
         self.threshold = max(int(threshold), 0)
@@ -1187,13 +1236,129 @@ class Tier2Cache:
         self._storage_key: Optional[str] = None
         self._dirty = False
         self.translation_cache_hit = False
+        # -- asynchronous (idle-time) compilation ----------------------
+        # A shared service may be injected (the multi-tenant LLEE
+        # shape); otherwise the cache owns a private one, created
+        # lazily so a synchronous cache costs nothing.
+        self.async_compile = bool(async_compile) or \
+            compile_service is not None
+        self._service = compile_service
+        self._owns_service = False
+        self._compile_workers = compile_workers
+        if escalate_step_threshold is None:
+            escalate_step_threshold = DEFAULT_ESCALATE_STEP_THRESHOLD
+        self.escalate_step_threshold = max(int(escalate_step_threshold),
+                                           0)
+        #: id(function) -> (function, plan, CompileJob, smc_version,
+        #: step-credit-at-enqueue): jobs submitted but not yet
+        #: installed.  One entry per function — promotion requests
+        #: while a job is in flight coalesce into a poll of the
+        #: existing job (or an escalation once enough tier-1 steps
+        #: burn while it waits).
+        self._pending: Dict[int, Tuple] = {}
+        #: run_begin/run_end nesting depth (engine-active bookkeeping
+        #: for the service's idle policy).
+        self._run_depth = 0
+
+    # -- the background compile service --------------------------------
+
+    def _compile_service(self):
+        if self._service is None:
+            from repro.llee.compile_service import CompileService
+            workers = self._compile_workers
+            if workers is None:
+                from repro.llee.compile_service import DEFAULT_WORKERS
+                workers = DEFAULT_WORKERS
+            self._service = CompileService(workers=workers)
+            self._owns_service = True
+            # Created mid-run: replay the engine-active depth so the
+            # idle policy parks builds until this run ends.
+            for _ in range(self._run_depth):
+                self._service.engine_begin()
+        return self._service
+
+    def has_pending(self, function: Function) -> bool:
+        """True while a background compile of *function* is in flight
+        (the engine uses this to shorten its OSR re-poll interval)."""
+        return id(function) in self._pending
+
+    @property
+    def pending_compiles(self) -> int:
+        return len(self._pending)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every in-flight background compile and install the
+        results (engine thread only).  Returns True when no jobs
+        remain pending — always True for a synchronous cache."""
+        if not self._pending:
+            return True
+        deadline = None if timeout is None else \
+            time.perf_counter() + timeout
+        service = self._service
+        # Raise demand so idle-policy workers build even if an engine
+        # is (nominally) still marked active.
+        if service is not None:
+            service.begin_demand()
+        try:
+            while self._pending:
+                futures = [entry[2].future
+                           for entry in self._pending.values()]
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining < 0:
+                        remaining = 0
+                from concurrent.futures import wait as _wait
+                _wait(futures, timeout=remaining)
+                progressed = False
+                for key in list(self._pending):
+                    entry = self._pending.get(key)
+                    if entry is not None and entry[2].future.done():
+                        self._poll(entry[0], force=True)
+                        progressed = True
+                if not progressed and deadline is not None \
+                        and time.perf_counter() >= deadline:
+                    return False
+            return True
+        finally:
+            if service is not None:
+                service.end_demand()
+
+    def run_begin(self) -> None:
+        """The engine entered a run: under the service's idle policy
+        this parks background builds until the run ends.  Tracked as a
+        depth so a service created lazily mid-run (first promotion)
+        still starts in the engine-active state."""
+        self._run_depth += 1
+        if self.async_compile and self._service is not None:
+            self._service.engine_begin()
+
+    def run_end(self) -> None:
+        if self._run_depth > 0:
+            self._run_depth -= 1
+            if self.async_compile and self._service is not None:
+                self._service.engine_end()
+
+    def close(self) -> None:
+        """Shut down a privately owned compile service (shared
+        services are the owner's to close); abandon pending jobs."""
+        self._pending.clear()
+        if self._owns_service and self._service is not None:
+            self._service.shutdown(wait=False)
+            self._service = None
+            self._owns_service = False
 
     # -- promotion ------------------------------------------------------
 
     def lookup(self, function: Function) -> Optional[CompiledUnit]:
         """The per-call hook: return the compiled unit for *function*,
         compiling it if its counters cross the promotion threshold, or
-        None to stay on tier 1."""
+        None to stay on tier 1.
+
+        Call boundaries are the primary safe swap-in point: in async
+        mode a crossing submits a background job instead of compiling
+        inline, and every later call polls the job — the caller keeps
+        running tier 1 until the finished unit is installed here."""
         key = id(function)
         unit = self._units.get(key)
         if unit is not None:
@@ -1201,6 +1366,16 @@ class Tier2Cache:
                 return unit
             self.invalidate(function)
         if key in self._pinned:
+            return None
+        if key in self._pending:
+            unit = self._poll(function)
+            if unit is not None:
+                return unit
+            entry = self._pending.get(key)
+            if entry is not None and self.escalate_step_threshold:
+                burned = self._step_credit.get(key, 0) - entry[4]
+                if burned >= self.escalate_step_threshold:
+                    return self._escalate(function)
             return None
         count = self._counts.get(key, 0) + 1
         self._counts[key] = count
@@ -1217,6 +1392,13 @@ class Tier2Cache:
             flight.record("tier2.promote", function=function.name,
                           reason=reason, invocations=count,
                           step_credit=self._step_credit.get(key, 0))
+        if self.async_compile:
+            # Priority = accumulated heat, so the hottest code leaves
+            # the queue first.  (Warm blobs install inline and are
+            # returned immediately.)
+            return self._submit(
+                function,
+                priority=self._step_credit.get(key, 0) + count)
         return self._compile(function)
 
     def lookup_osr(self, function: Function) -> Optional[CompiledUnit]:
@@ -1235,10 +1417,22 @@ class Tier2Cache:
             self.invalidate(function)
         if key in self._pinned:
             return None
+        if key in self._pending:
+            # The back-edge check is the second safe swap-in point:
+            # poll the in-flight job.  An activation that has already
+            # burned a full OSR threshold inside one loop is proven
+            # hot — stop deferring and compile inline.
+            unit = self._poll(function)
+            if unit is not None:
+                return unit
+            return self._escalate(function, reason="osr")
         flight = observe.flight()
         if flight is not None:
             flight.record("tier2.promote", function=function.name,
                           reason="osr")
+        # Heat is proven (a full OSR step threshold burned inside one
+        # activation), so even in async mode deferral has nothing left
+        # to price — compile inline, exactly like the sync path.
         return self._compile(function)
 
     def osr_upgrade(self, function: Function,
@@ -1256,20 +1450,27 @@ class Tier2Cache:
             return current
         if key in self._pinned:
             return None
-        counts = unit.block_counts
-        if counts:
-            profile = self._ensure_profile()
-            blocks = function.blocks
-            for index in range(min(len(blocks), len(counts))):
-                profile.record(function.name,
-                               blocks[index].name or "", counts[index])
-                # Zero in place: the list is shared with still-live
-                # generators of the old unit, whose future triggers
-                # must not re-merge the same executions.
-                counts[index] = 0
-            self._profile_dirty = True
-        self._units.pop(key, None)
-        replacement = self._compile(function)
+        if key in self._pending:
+            # A deferred (invocation-count) build is still queued, but
+            # the profiling unit just proved the function hot — stop
+            # waiting and upgrade inline.
+            replacement = self._poll(function)
+            if replacement is not None and replacement is not unit:
+                pass  # background unit landed; use it below
+            else:
+                self._absorb_block_counts(function, unit)
+                self._units.pop(key, None)
+                replacement = self._escalate(function,
+                                             reason="osr-upgrade")
+            if replacement is None or replacement is unit:
+                return None
+        else:
+            # The upgrade request comes from code executing *right
+            # now*: deferral has no value, so async mode takes the
+            # same inline path as sync.
+            self._absorb_block_counts(function, unit)
+            self._units.pop(key, None)
+            replacement = self._compile(function)
         if replacement is not None:
             self.stats.osr_upgrades += 1
             if observe.enabled():
@@ -1280,6 +1481,22 @@ class Tier2Cache:
                               function=function.name,
                               kind=replacement.kind)
         return replacement
+
+    def _absorb_block_counts(self, function: Function,
+                             unit: CompiledUnit) -> None:
+        """Fold a profiling unit's live block counters into the cache
+        profile, zeroing the (shared) list in place so still-live
+        generators never re-merge the same executions."""
+        counts = unit.block_counts
+        if not counts:
+            return
+        profile = self._ensure_profile()
+        blocks = function.blocks
+        for index in range(min(len(blocks), len(counts))):
+            profile.record(function.name,
+                           blocks[index].name or "", counts[index])
+            counts[index] = 0
+        self._profile_dirty = True
 
     # -- profiles and trace layouts ------------------------------------
 
@@ -1340,12 +1557,23 @@ class Tier2Cache:
                 self.prime(function, entries)
 
     # -- compilation ----------------------------------------------------
+    #
+    # Compilation is split into three stages so the middle one can run
+    # on a background worker:
+    #
+    #   _plan        engine thread   reads promotion/profile/warm state
+    #   _build_plan  any thread      pure codegen + compile()/exec
+    #   _install     engine thread   mutates stats, units, flight log
+    #
+    # The synchronous path composes all three inline; the async path
+    # runs _build_plan through the CompileService and installs the
+    # result when a safe point (_poll) sees the future resolve.
 
-    def _compile(self, function: Function) -> Optional[CompiledUnit]:
-        started = time.perf_counter()
-        flight = observe.flight()
-        if flight is not None:
-            flight.record("tier2.compile.begin", function=function.name)
+    def _plan(self, function: Function) -> "_CompilePlan":
+        """Decide, on the engine thread, *how* the function will be
+        compiled — warm blob, profiling stage, or fresh codegen — and
+        capture everything the builder needs so it never touches
+        shared mutable state."""
         layout = self._layout_for(function)
         from repro.llee.tracecache import layout_signature
         lhash = layout_signature(layout)
@@ -1358,108 +1586,257 @@ class Tier2Cache:
             # contract as every other stale-blob path).
             observe.counter("llee.cache.invalid", 1, target="tier2",
                             reason="layout")
+            flight = observe.flight()
             if flight is not None:
                 flight.record("llee.cache", cache="llee-tier2",
                               event="invalid", reason="layout",
                               function=function.name)
             self._preloaded.pop(function.name, None)
             warm = None
-        try:
-            if warm is not None and function.smc_version == 0:
-                # Persisted translation: the blob's module hash matched
-                # at load and the body has not been SMC-mutated since,
-                # so the stored source is the one codegen would emit —
-                # skip straight to compile(), or past it entirely when
-                # the blob carried same-cache_tag marshalled bytecode.
-                _hash, source, func_refs, num_slots, code, meta = warm
-                unit = build_unit(function, self.module, self.target,
-                                  source=source, func_refs=func_refs,
-                                  num_slots=num_slots, code=code,
-                                  kind=meta.get("kind", "dispatch"),
-                                  layout_hash=lhash,
-                                  side_exits=meta.get("side_exits", ()))
-                self.stats.warm_compiles += 1
-                if unit.kind == "superblock":
-                    self.stats.superblocks_compiled += 1
-                if observe.enabled():
-                    observe.counter("tier2.warm_compiles", 1)
-                    if unit.kind == "superblock":
-                        observe.counter("tier2.superblocks", 1)
-            elif layout is None and self.superblocks \
-                    and len(function.blocks) > 1 \
-                    and not self._has_profile_data(function):
-                # Superblocks requested but no profile yet: compile the
-                # profiling stage — block dispatch plus counters that
-                # feed trace formation and trigger the mid-activation
-                # upgrade.  Its source references the per-unit counter
-                # list, so it is never persisted.
-                codegen_started = time.perf_counter()
-                block_counts = [0] * len(function.blocks)
-                source, func_refs, num_slots, side_exits = \
-                    generate_source(
-                        function, self.target, profile_blocks=True,
-                        upgrade_threshold=self.superblock_threshold)
-                self.stats.codegen_seconds += \
-                    time.perf_counter() - codegen_started
-                unit = build_unit(function, self.module, self.target,
-                                  source=source, func_refs=func_refs,
-                                  num_slots=num_slots, kind="profiling",
-                                  block_counts=block_counts)
-                self.stats.profiling_compiled += 1
-            else:
-                codegen_started = time.perf_counter()
-                source, func_refs, num_slots, side_exits = \
-                    generate_source(function, self.target, layout=layout)
-                self.stats.codegen_seconds += \
-                    time.perf_counter() - codegen_started
-                unit = build_unit(
-                    function, self.module, self.target, source=source,
-                    func_refs=func_refs, num_slots=num_slots,
-                    kind="superblock" if layout else "dispatch",
-                    layout_hash=lhash, side_exits=side_exits)
-                if layout:
-                    self.stats.superblocks_compiled += 1
-                    if observe.enabled():
-                        observe.counter("tier2.superblocks", 1)
-                self._dirty = True
-        except UnsupportedFunction as reason:
-            self.pin(function, str(reason))
-            elapsed = time.perf_counter() - started
-            self.stats.compile_seconds += elapsed
-            if flight is not None:
-                flight.record("tier2.compile.end",
-                              function=function.name, kind="error",
-                              seconds=round(elapsed, 9), warm=False)
-            return None
-        except Exception as error:  # pragma: no cover - defensive
-            # A codegen defect must never take the program down: the
-            # tier-1 engine is always a correct fallback.
-            self.pin(function, "tier-2 compile error: {0}".format(error))
-            elapsed = time.perf_counter() - started
-            self.stats.compile_seconds += elapsed
-            if flight is not None:
-                flight.record("tier2.compile.end",
-                              function=function.name, kind="error",
-                              seconds=round(elapsed, 9), warm=False)
-            return None
-        elapsed = time.perf_counter() - started
+        if warm is not None and function.smc_version == 0:
+            return _CompilePlan("warm", None, lhash, warm)
+        if layout is None and self.superblocks \
+                and len(function.blocks) > 1 \
+                and not self._has_profile_data(function):
+            return _CompilePlan("profiling", None, lhash, None)
+        return _CompilePlan("codegen", layout, lhash, None)
+
+    def _build_plan(self, function: Function,
+                    plan: "_CompilePlan") -> Tuple[CompiledUnit, float]:
+        """Execute a compile plan — thread-safe: only reads the module
+        and the immutable plan.  Returns ``(unit, codegen_seconds)``;
+        raises :class:`UnsupportedFunction` for bodies tier 2 cannot
+        express."""
+        if plan.kind == "warm":
+            # Persisted translation: the blob's module hash matched at
+            # load and the body has not been SMC-mutated since, so the
+            # stored source is the one codegen would emit — skip
+            # straight to compile(), or past it entirely when the blob
+            # carried same-cache_tag marshalled bytecode.
+            _hash, source, func_refs, num_slots, code, meta = plan.warm
+            unit = build_unit(function, self.module, self.target,
+                              source=source, func_refs=func_refs,
+                              num_slots=num_slots, code=code,
+                              kind=meta.get("kind", "dispatch"),
+                              layout_hash=plan.layout_hash,
+                              side_exits=meta.get("side_exits", ()))
+            return unit, 0.0
+        if plan.kind == "profiling":
+            # Superblocks requested but no profile yet: compile the
+            # profiling stage — block dispatch plus counters that feed
+            # trace formation and trigger the mid-activation upgrade.
+            # Its source references the per-unit counter list, so it
+            # is never persisted.
+            codegen_started = time.perf_counter()
+            block_counts = [0] * len(function.blocks)
+            source, func_refs, num_slots, side_exits = \
+                generate_source(
+                    function, self.target, profile_blocks=True,
+                    upgrade_threshold=self.superblock_threshold)
+            codegen_seconds = time.perf_counter() - codegen_started
+            unit = build_unit(function, self.module, self.target,
+                              source=source, func_refs=func_refs,
+                              num_slots=num_slots, kind="profiling",
+                              block_counts=block_counts)
+            return unit, codegen_seconds
+        codegen_started = time.perf_counter()
+        source, func_refs, num_slots, side_exits = \
+            generate_source(function, self.target, layout=plan.layout)
+        codegen_seconds = time.perf_counter() - codegen_started
+        unit = build_unit(
+            function, self.module, self.target, source=source,
+            func_refs=func_refs, num_slots=num_slots,
+            kind="superblock" if plan.layout else "dispatch",
+            layout_hash=plan.layout_hash, side_exits=side_exits)
+        return unit, codegen_seconds
+
+    def _install(self, function: Function, plan: "_CompilePlan",
+                 unit: CompiledUnit, elapsed: float,
+                 codegen_seconds: float) -> CompiledUnit:
+        """Book a built unit into the cache (engine thread)."""
+        self.stats.codegen_seconds += codegen_seconds
         self.stats.compile_seconds += elapsed
         self.stats.functions_compiled += 1
+        if plan.kind == "warm":
+            self.stats.warm_compiles += 1
+            if observe.enabled():
+                observe.counter("tier2.warm_compiles", 1)
+        elif plan.kind == "profiling":
+            self.stats.profiling_compiled += 1
+        else:
+            self._dirty = True
+        if unit.kind == "superblock":
+            self.stats.superblocks_compiled += 1
+            if observe.enabled():
+                observe.counter("tier2.superblocks", 1)
         self._units[id(function)] = unit
         if observe.enabled():
             observe.counter("tier2.functions_compiled", 1)
             observe.histogram("tier2.compile_seconds", elapsed,
                               function=function.name)
+        flight = observe.flight()
         if flight is not None:
             flight.record("tier2.compile.end", function=function.name,
                           kind=unit.kind, seconds=round(elapsed, 9),
-                          warm=warm is not None)
+                          warm=plan.kind == "warm")
             if unit.kind == "superblock":
-                flight.record("tier2.superblock",
-                              function=function.name,
-                              traces=len(layout) if layout else 0,
-                              side_exits=len(unit.side_exits))
+                flight.record(
+                    "tier2.superblock", function=function.name,
+                    traces=len(plan.layout) if plan.layout else 0,
+                    side_exits=len(unit.side_exits))
         return unit
+
+    def _fail(self, function: Function, reason: str,
+              elapsed: float) -> None:
+        """Book a failed compilation: pin the function to tier 1 and
+        close out the flight record (engine thread)."""
+        self.pin(function, reason)
+        self.stats.compile_seconds += elapsed
+        flight = observe.flight()
+        if flight is not None:
+            flight.record("tier2.compile.end",
+                          function=function.name, kind="error",
+                          seconds=round(elapsed, 9), warm=False)
+
+    def _compile(self, function: Function,
+                 plan: Optional["_CompilePlan"] = None
+                 ) -> Optional[CompiledUnit]:
+        started = time.perf_counter()
+        flight = observe.flight()
+        if flight is not None:
+            flight.record("tier2.compile.begin", function=function.name)
+        if plan is None:
+            plan = self._plan(function)
+        try:
+            unit, codegen_seconds = self._build_plan(function, plan)
+        except UnsupportedFunction as reason:
+            self._fail(function, str(reason),
+                       time.perf_counter() - started)
+            return None
+        except Exception as error:  # pragma: no cover - defensive
+            # A codegen defect must never take the program down: the
+            # tier-1 engine is always a correct fallback.
+            self._fail(function,
+                       "tier-2 compile error: {0}".format(error),
+                       time.perf_counter() - started)
+            return None
+        return self._install(function, plan, unit,
+                             time.perf_counter() - started,
+                             codegen_seconds)
+
+    def _submit(self, function: Function,
+                priority: int = 0) -> Optional[CompiledUnit]:
+        """Hand a promotion to the background service: plan on the
+        engine thread, build on a worker.  The caller returns to tier
+        1 immediately; _poll installs the unit later.
+
+        Exception: a *warm* plan (validated blob from the translation
+        cache) is installed inline and returned — loading it is a
+        cheap deserialize, and parking it behind the idle policy would
+        make a warm start run tier 1 for no reason."""
+        plan = self._plan(function)
+        if plan.kind == "warm":
+            return self._compile(function, plan=plan)
+        service = self._compile_service()
+        self.stats.async_enqueued += 1
+        depth = service.queue_depth()
+        if observe.enabled():
+            observe.counter("tier2.async_enqueued", 1)
+        flight = observe.flight()
+        if flight is not None:
+            flight.record("tier2.compile.enqueue",
+                          function=function.name, queue_depth=depth,
+                          kind=plan.kind)
+            flight.record("tier2.compile.begin",
+                          function=function.name)
+        job = service.submit(
+            lambda: self._build_plan(function, plan),
+            priority=priority, label=function.name)
+        self._pending[id(function)] = (
+            function, plan, job, function.smc_version,
+            self._step_credit.get(id(function), 0))
+        return None
+
+    def _poll(self, function: Function,
+              force: bool = False) -> Optional[CompiledUnit]:
+        """Check an in-flight background compile at a safe point and
+        install its unit if the future has resolved (engine thread).
+        Returns the installed unit, or None while still compiling.
+
+        The completion check is the job's lock-free ``ready`` flag —
+        this runs on the engine's per-call hot path, where taking the
+        future's condition lock is measurable.  ``force`` (used by
+        :meth:`drain`) falls back to the authoritative
+        ``Future.done()`` to close the set-result-to-ready window."""
+        key = id(function)
+        entry = self._pending.get(key)
+        if entry is None:
+            return None
+        _function, plan, job, smc_version, _credit0 = entry
+        future = job.future
+        if not job.ready and not (force and future.done()):
+            return None
+        del self._pending[key]
+        try:
+            unit, codegen_seconds = future.result()
+        except UnsupportedFunction as reason:
+            self._fail(function, str(reason), job.seconds)
+            return None
+        except CancelledError:
+            # Service shut down under us: forget the request; a later
+            # promotion simply compiles online.
+            return None
+        except Exception as error:
+            self._fail(function,
+                       "tier-2 compile error: {0}".format(error),
+                       job.seconds)
+            return None
+        if function.smc_version != smc_version:
+            # SMC replaced the body while the job was in flight; the
+            # built unit describes dead code.  Drop it without pinning
+            # — the new body gets a fresh promotion run.
+            self.stats.stale_drops += 1
+            return None
+        self._install(function, plan, unit, job.seconds,
+                      codegen_seconds)
+        wait = time.perf_counter() - job.enqueued_at
+        self.stats.swap_ins += 1
+        self.stats.swap_wait_seconds += wait
+        if observe.enabled():
+            observe.counter("tier2.swap_ins", 1)
+            observe.histogram("tier2.swap_wait_seconds", wait,
+                              function=function.name)
+        flight = observe.flight()
+        if flight is not None:
+            flight.record("tier2.swap_in", function=function.name,
+                          wait_seconds=round(wait, 9), kind=unit.kind)
+        return unit
+
+    def _escalate(self, function: Function,
+                  reason: str = "escalated"
+                  ) -> Optional[CompiledUnit]:
+        """Stop waiting on a deferred build: cancel the queued job and
+        compile inline.  Called when a pending function proves hot —
+        burning more tier-1 steps than the compile itself would cost —
+        so idle-time deferral has become a loss.  A no-op (returns
+        None) when the job is already building; its result lands via
+        the normal poll."""
+        key = id(function)
+        entry = self._pending.get(key)
+        if entry is None:
+            return None
+        job = entry[2]
+        if not job.future.cancel():
+            return None
+        del self._pending[key]
+        self.stats.escalations += 1
+        if observe.enabled():
+            observe.counter("tier2.escalations", 1)
+        flight = observe.flight()
+        if flight is not None:
+            flight.record("tier2.promote", function=function.name,
+                          reason=reason)
+        return self._compile(function)
 
     # -- pinning / deopt / invalidation --------------------------------
 
@@ -1511,6 +1888,11 @@ class Tier2Cache:
         self._step_credit.pop(id(function), None)
         self._pinned.pop(id(function), None)
         self._preloaded.pop(function.name, None)
+        # An in-flight background job now describes dead code; unhook
+        # it so its result is never installed (the worker's future
+        # resolves unobserved — _poll's smc_version check is a second
+        # line of defence for jobs polled before this ran).
+        self._pending.pop(id(function), None)
         if self._profile is not None:
             # The profile described the replaced body; a layout formed
             # from it would mis-guide the new one.
@@ -1741,6 +2123,9 @@ class Tier2Cache:
         counts) back through the storage API — no-op when nothing
         changed or no storage is attached.  Best-effort, like the
         native cache write-back."""
+        # Land any background-compiled units first so a short-lived
+        # process still persists (and reports) everything it queued.
+        self.drain()
         if self._storage is not None and self._profile_dirty \
                 and self._profile is not None:
             try:

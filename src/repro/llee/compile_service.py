@@ -1,0 +1,315 @@
+"""Background tier-2 compilation: LLEE as a translation service.
+
+The paper's LLEE performs translation "offline or idle-time", decoupled
+from program execution.  This module supplies the execution-time half
+of that idea: a bounded pool of daemon worker threads consuming a
+priority queue of compile jobs, so a promoting activation never blocks
+on translation — it submits a job, keeps running tier 1 (or the
+profiling stage), and the engine swaps the compiled unit in at the
+next safe yield point (a call boundary or a back-edge check).
+
+Division of labour with :class:`repro.execution.tier2.Tier2Cache`:
+
+* the cache decides *what* to compile (promotion policy, warm blobs,
+  trace layouts) and owns every piece of mutable engine state — stats,
+  the unit table, pins — which it touches **only on the engine
+  thread**;
+* the service runs the *pure* part (codegen + ``compile()`` + ``exec``
+  of the unit namespace, which only reads the module) on a worker and
+  parks the result in a :class:`concurrent.futures.Future`;
+* the engine polls the future at safe points and installs the result
+  itself, so no lock ever guards the interpreter's hot path.
+
+Jobs are ordered by caller-supplied priority (tier-2 promotion passes
+the function's accumulated step credit, so the hottest code compiles
+first; OSR requests jump the queue).  One service can serve several
+caches — the multi-tenant shape an OS-wide LLEE would have.
+
+Scheduling policy.  The default policy, ``"idle"``, is the paper's
+own: translation happens *at idle time*.  Engines bracket their runs
+with :meth:`CompileService.engine_begin` / :meth:`engine_end`; while
+any engine is active, workers hold queued jobs instead of building
+them, because on a GIL-bound (or single-core) host a worker slice is
+stolen straight from the running program — interleaved compilation
+slows the very run it is trying to speed up.  Jobs flow again the
+moment the last engine goes idle, or immediately when a caller
+*demands* progress (``drain`` raises demand, so explicit waits — end
+of run, warm-cache flush — always complete).  ``policy="eager"``
+builds as soon as a worker is free, which is the right shape on a
+multi-core host where workers run beside the engine instead of
+beneath it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, List, Optional
+
+#: Worker threads per service.  One is the right default for the
+#: CPython prototype: compilation contends with the interpreter for
+#: the GIL, so extra workers add swap-in latency jitter, not
+#: throughput.
+DEFAULT_WORKERS = 1
+
+
+class ServiceStats:
+    __slots__ = ("submitted", "completed", "failed", "cancelled",
+                 "queue_peak", "busy_seconds")
+
+    def __init__(self):
+        self.submitted = 0
+        self.completed = 0
+        #: Jobs whose builder raised; the exception is parked in the
+        #: future for the polling engine to classify (pin vs drop).
+        self.failed = 0
+        self.cancelled = 0
+        #: High-water mark of jobs waiting in the queue.
+        self.queue_peak = 0
+        #: Total wall time workers spent inside builders.
+        self.busy_seconds = 0.0
+
+
+class CompileJob:
+    """One submitted translation request."""
+
+    __slots__ = ("label", "priority", "future", "enqueued_at",
+                 "started_at", "finished_at", "seconds", "ready")
+
+    def __init__(self, label: str, priority: int, enqueued_at: float):
+        self.label = label
+        self.priority = priority
+        self.future: Future = Future()
+        self.enqueued_at = enqueued_at
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: Builder wall time (set by the worker before the future
+        #: resolves, so a polling reader always sees it populated).
+        self.seconds = 0.0
+        #: Lock-free completion flag, set (under the GIL) *after* the
+        #: future resolves or is cancelled.  Pollers on the engine's
+        #: per-call hot path read this plain attribute instead of
+        #: taking the future's condition lock via ``Future.done()``.
+        self.ready = False
+
+    @property
+    def done(self) -> bool:
+        return self.future.done()
+
+    @property
+    def wait_seconds(self) -> float:
+        """Enqueue-to-start latency (0 until the job starts)."""
+        if self.started_at is None:
+            return 0.0
+        return self.started_at - self.enqueued_at
+
+
+#: Queue entries sort by (-priority, seq); the shutdown sentinel uses
+#: a priority above any job so workers exit promptly.
+_STOP_PRIORITY = float("-inf")
+
+
+class CompileService:
+    """A bounded worker pool draining a priority queue of compile jobs.
+
+    Workers are daemon threads, started lazily on the first submit —
+    a service that never compiles costs nothing.  ``shutdown()``
+    cancels queued jobs and stops the workers; jobs already running
+    finish (their futures resolve normally).
+    """
+
+    def __init__(self, workers: int = DEFAULT_WORKERS,
+                 name: str = "llee-compile",
+                 policy: str = "idle",
+                 clock=time.perf_counter):
+        if policy not in ("idle", "eager"):
+            raise ValueError("policy must be 'idle' or 'eager', "
+                             "not {0!r}".format(policy))
+        self.workers = max(int(workers), 1)
+        self.name = name
+        self.policy = policy
+        self._clock = clock
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
+        self._threads: List[threading.Thread] = []
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._outstanding: List[Future] = []
+        self._closed = False
+        #: Engines currently inside a run / callers demanding progress.
+        self._active_engines = 0
+        self._demand = 0
+        #: Set while workers may build (idle policy gates on it).
+        self._clear = threading.Event()
+        self._clear.set()
+        self.stats = ServiceStats()
+
+    # -- idle-time gating ----------------------------------------------
+
+    def _update_clear(self) -> None:
+        # Called under self._lock.
+        if (self.policy == "idle" and self._active_engines > 0
+                and self._demand == 0 and not self._closed):
+            self._clear.clear()
+        else:
+            self._clear.set()
+
+    def engine_begin(self) -> None:
+        """An engine entered a run: under the idle policy, park queued
+        builds until it finishes (or someone drains)."""
+        with self._lock:
+            self._active_engines += 1
+            self._update_clear()
+
+    def engine_end(self) -> None:
+        with self._lock:
+            self._active_engines = max(self._active_engines - 1, 0)
+            self._update_clear()
+
+    def begin_demand(self) -> None:
+        """A caller is waiting on results: let workers build even while
+        engines are active (pairs with :meth:`end_demand`)."""
+        with self._lock:
+            self._demand += 1
+            self._update_clear()
+
+    def end_demand(self) -> None:
+        with self._lock:
+            self._demand = max(self._demand - 1, 0)
+            self._update_clear()
+
+    # -- submission (engine thread) ------------------------------------
+
+    def submit(self, build: Callable[[], object], priority: int = 0,
+               label: str = "") -> CompileJob:
+        """Queue *build* and return its job.  Higher *priority* runs
+        first; ties run in submission order (FIFO)."""
+        job = CompileJob(label, int(priority), self._clock())
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("compile service is shut down")
+            self.stats.submitted += 1
+            self._outstanding.append(job.future)
+            self._queue.put((-job.priority, next(self._seq), job, build))
+            depth = self._queue.qsize()
+            if depth > self.stats.queue_peak:
+                self.stats.queue_peak = depth
+            self._ensure_workers()
+        return job
+
+    def queue_depth(self) -> int:
+        """Jobs waiting to start (approximate, by nature)."""
+        return self._queue.qsize()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted job has resolved (or *timeout*
+        seconds elapsed); returns True when fully drained."""
+        deadline = None if timeout is None else self._clock() + timeout
+        self.begin_demand()
+        try:
+            while True:
+                with self._lock:
+                    self._outstanding = [future for future in
+                                         self._outstanding
+                                         if not future.done()]
+                    pending = list(self._outstanding)
+                if not pending:
+                    return True
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        return False
+                from concurrent.futures import wait as _wait
+                _wait(pending, timeout=remaining)
+        finally:
+            self.end_demand()
+
+    def shutdown(self, wait: bool = False) -> None:
+        """Cancel queued jobs and stop the workers.  Futures of
+        cancelled jobs report ``CancelledError``; pollers treat that
+        as "never compiled" and fall back to online translation."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._update_clear()  # release workers parked on the gate
+            threads = list(self._threads)
+        # Drain the queue: anything not yet picked up is cancelled.
+        while True:
+            try:
+                _prio, _seq, job, _build = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if job is not None and job.future.cancel():
+                self.stats.cancelled += 1
+                job.ready = True
+            self._queue.task_done()
+        for _ in threads:
+            self._queue.put((_STOP_PRIORITY, next(self._seq), None, None))
+        if wait:
+            for thread in threads:
+                thread.join(timeout=5.0)
+
+    # -- the workers ---------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        # Called under self._lock.
+        while len(self._threads) < self.workers:
+            thread = threading.Thread(
+                target=self._worker, daemon=True,
+                name="{0}-{1}".format(self.name, len(self._threads)))
+            self._threads.append(thread)
+            thread.start()
+
+    def _worker(self) -> None:
+        clock = self._clock
+        while True:
+            _prio, _seq, job, build = self._queue.get()
+            if job is None:  # shutdown sentinel
+                self._queue.task_done()
+                return
+            # Idle policy: hold the job until no engine is running (or
+            # a drain demands progress).  The job is already dequeued,
+            # so one later higher-priority job may briefly queue behind
+            # it — acceptable, since nothing builds while parked.
+            while not self._clear.wait(timeout=0.05):
+                if self._closed or job.future.cancelled():
+                    break
+            if self._closed and not job.future.done():
+                if job.future.cancel():
+                    with self._lock:
+                        self.stats.cancelled += 1
+                job.ready = True
+                self._queue.task_done()
+                continue
+            if not job.future.set_running_or_notify_cancel():
+                # Cancelled while queued/parked — typically the engine
+                # escalating a hot function to an inline compile.
+                with self._lock:
+                    self.stats.cancelled += 1
+                job.ready = True
+                self._queue.task_done()
+                continue
+            job.started_at = clock()
+            try:
+                result = build()
+            except BaseException as error:
+                job.finished_at = clock()
+                job.seconds = job.finished_at - job.started_at
+                with self._lock:
+                    self.stats.failed += 1
+                    self.stats.busy_seconds += job.seconds
+                job.future.set_exception(error)
+                job.ready = True
+            else:
+                job.finished_at = clock()
+                job.seconds = job.finished_at - job.started_at
+                with self._lock:
+                    self.stats.completed += 1
+                    self.stats.busy_seconds += job.seconds
+                job.future.set_result(result)
+                job.ready = True
+            self._queue.task_done()

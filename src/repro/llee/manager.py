@@ -103,6 +103,18 @@ class InterpretedRunReport:
     tier2_side_exits: int = 0
     #: Did a persisted block-profile snapshot validate and load?
     profile_cache_hit: bool = False
+    #: Asynchronous-compilation activity (zero unless
+    #: ``async_compile=True``).
+    tier2_async: bool = False
+    #: Background-compiled units installed at a safe point this run.
+    tier2_swap_ins: int = 0
+    #: Total enqueue-to-swap-in latency across those installs.
+    tier2_swap_wait_seconds: float = 0.0
+    #: Jobs still queued/building when the program finished (drained
+    #: before this report is built, so their units persist anyway).
+    tier2_pending_at_exit: int = 0
+    #: High-water mark of the compile service queue.
+    tier2_queue_peak: int = 0
 
 
 class LLEE:
@@ -123,6 +135,26 @@ class LLEE:
         #: key -> (module, DecodeCache).  The interpreter analogue of
         #: the native translation cache — decode once, run many times.
         self._interp_cache: dict = {}
+        #: One background CompileService shared by every async tier-2
+        #: cache this LLEE creates (the multi-tenant translation-
+        #: service shape), created lazily on the first async run.
+        self._compile_service = None
+
+    def compile_service(self, workers: Optional[int] = None):
+        """The shared background compile service (created on first
+        use).  *workers* only takes effect at creation time."""
+        if self._compile_service is None:
+            from repro.llee.compile_service import (
+                CompileService, DEFAULT_WORKERS)
+            self._compile_service = CompileService(
+                workers=DEFAULT_WORKERS if workers is None else workers)
+        return self._compile_service
+
+    def close(self) -> None:
+        """Shut down the shared compile service, if one was created."""
+        if self._compile_service is not None:
+            self._compile_service.shutdown(wait=False)
+            self._compile_service = None
 
     # -- the paper's Figure 3 flow -----------------------------------------
 
@@ -188,6 +220,8 @@ class LLEE:
                         tier2_threshold: Optional[int] = None,
                         superblocks: bool = False,
                         osr: bool = False,
+                        async_compile: bool = False,
+                        compile_workers: Optional[int] = None,
                         executable_timestamp: Optional[float] = None
                         ) -> InterpretedRunReport:
         """Run a virtual executable on an interpreter engine.
@@ -221,10 +255,19 @@ class LLEE:
         sanitized decode caches are keyed separately because their
         closures carry site instrumentation.  The sanitizer pins
         execution to tier 1 (see ``docs/PERFORMANCE.md``).
+
+        ``async_compile=True`` (tier 2 only) routes promotions through
+        this LLEE's shared background :class:`CompileService` — the
+        paper's idle-time translation: the promoting call keeps
+        running tier 1 and the finished unit is swapped in at the next
+        safe point.  In-flight jobs are drained before the report is
+        built, so persistence and the compile statistics are complete
+        either way.
         """
         tier2_live = bool(tier2) and engine == "fast" and not sanitize
         use_superblocks = tier2_live and bool(superblocks)
         use_osr = tier2_live and bool(osr)
+        use_async = tier2_live and bool(async_compile)
         parts = ["interp"]
         if sanitize:
             parts.append("san")
@@ -232,6 +275,8 @@ class LLEE:
             parts.append("sb")
         if use_osr:
             parts.append("osr")
+        if use_async:
+            parts.append("async")
         key = "-".join(parts) + "-" + self._cache_key(object_code)
         with observe.span("llee.run_interpreted", entry=entry,
                           engine=engine, tier2=bool(tier2)):
@@ -252,6 +297,9 @@ class LLEE:
                 kwargs = {}
                 if tier2_threshold is not None:
                     kwargs["threshold"] = tier2_threshold
+                if use_async:
+                    kwargs["compile_service"] = \
+                        self.compile_service(compile_workers)
                 tier2_cache = Tier2Cache(module, module.target_data,
                                          superblocks=use_superblocks,
                                          osr=use_osr,
@@ -279,6 +327,8 @@ class LLEE:
             started = time.perf_counter()
             result = interpreter.run(entry, list(args))
             run_seconds = time.perf_counter() - started
+            pending_at_exit = tier2_cache.pending_compiles \
+                if tier2_cache is not None else 0
             if engine == "fast":
                 if smc_fired:
                     self._interp_cache.pop(key, None)
@@ -317,6 +367,14 @@ class LLEE:
             report.tier2_side_exits = \
                 getattr(interpreter, "t2_side_exits", 0)
             report.profile_cache_hit = tier2_cache.profile_cache_hit
+            report.tier2_async = tier2_cache.async_compile
+            report.tier2_swap_ins = tier2_cache.stats.swap_ins
+            report.tier2_swap_wait_seconds = \
+                tier2_cache.stats.swap_wait_seconds
+            report.tier2_pending_at_exit = pending_at_exit
+            if self._compile_service is not None:
+                report.tier2_queue_peak = \
+                    self._compile_service.stats.queue_peak
         return report
 
     def offline_translate(self, object_code: bytes,

@@ -14,15 +14,38 @@ pure online translation when constructed without one.
 Two implementations are provided, mirroring the paper's user-level
 prototype: an in-memory store (tests, and the "no OS support" baseline
 for cache-behaviour experiments) and a POSIX-directory store.
+
+Both are **multi-tenant**: a system-wide LLEE serves many concurrent
+programs from one translation cache, so the disk layout shards
+entries by name hash (``<cache>/<2-hex-shard>/<entry>``), every write
+is atomic (temp file + ``os.replace`` — a reader never observes a
+torn vector), cross-process writers serialize on per-shard ``flock``
+locks where the OS provides them, and an optional ``max_bytes``
+budget evicts least-recently-used entries, tracked by a per-cache
+``index.json``.  The index is advisory: reads never need it, and a
+missing or corrupt index is rebuilt from a directory scan.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import threading
 import time
 from typing import Dict, Optional, Tuple
 
 from repro import observe
+
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - platform-dependent
+    fcntl = None
+
+#: Index filename, kept directly under the cache directory.  Dot-
+#: prefixed names (locks, in-flight temp files) and the index itself
+#: are bookkeeping, not stored vectors: ``cache_size`` excludes them.
+_INDEX_NAME = "index.json"
 
 
 def _flight_io(op: str, cache: str, name: str,
@@ -34,6 +57,13 @@ def _flight_io(op: str, cache: str, name: str,
         flight.record("llee.storage", op=op, cache=cache, name=name,
                       hit=data is not None,
                       bytes=len(data) if data is not None else 0)
+
+
+def _flight_evict(cache: str, name: str, freed: int) -> None:
+    flight = observe.flight()
+    if flight is not None:
+        flight.record("llee.storage", op="evict", cache=cache,
+                      name=name, hit=False, bytes=freed)
 
 
 class StorageAPI:
@@ -65,18 +95,32 @@ class StorageAPI:
 
 class InMemoryStorage(StorageAPI):
     """Volatile storage — behaves like the paper's DAISY/Crusoe scenario
-    when discarded between 'boots', and like an OS cache when kept."""
+    when discarded between 'boots', and like an OS cache when kept.
 
-    def __init__(self):
+    With ``max_bytes`` set, each cache is LRU-bounded like the disk
+    store (reads refresh recency), so cache-pressure experiments run
+    without touching a filesystem."""
+
+    def __init__(self, max_bytes: Optional[int] = None):
         self._caches: Dict[str, Dict[str, Tuple[bytes, float]]] = {}
+        self.max_bytes = max_bytes
         self.reads = 0
         self.writes = 0
+        self.evictions = 0
+        #: name -> monotonic use tick, per cache (LRU recency).
+        self._used: Dict[str, Dict[str, int]] = {}
+        self._tick = 0
+
+    def _touch(self, cache: str, name: str) -> None:
+        self._tick += 1
+        self._used.setdefault(cache, {})[name] = self._tick
 
     def create_cache(self, cache: str) -> None:
         self._caches.setdefault(cache, {})
 
     def delete_cache(self, cache: str) -> None:
         self._caches.pop(cache, None)
+        self._used.pop(cache, None)
 
     def cache_size(self, cache: str) -> int:
         entries = self._caches.get(cache, {})
@@ -86,6 +130,8 @@ class InMemoryStorage(StorageAPI):
         self.reads += 1
         entry = self._caches.get(cache, {}).get(name)
         data = entry[0] if entry is not None else None
+        if data is not None:
+            self._touch(cache, name)
         _flight_io("read", cache, name, data)
         return data
 
@@ -96,7 +142,26 @@ class InMemoryStorage(StorageAPI):
         self._caches[cache][name] = (
             bytes(data), timestamp if timestamp is not None
             else time.time())
+        self._touch(cache, name)
+        if self.max_bytes is not None:
+            self._evict(cache, keep=name)
         _flight_io("write", cache, name, data)
+
+    def _evict(self, cache: str, keep: str) -> None:
+        entries = self._caches[cache]
+        used = self._used.get(cache, {})
+        total = sum(len(data) for data, _ts in entries.values())
+        while total > self.max_bytes:
+            victims = [n for n in entries if n != keep]
+            if not victims:
+                return
+            victim = min(victims, key=lambda n: used.get(n, 0))
+            freed = len(entries.pop(victim)[0])
+            used.pop(victim, None)
+            total -= freed
+            self.evictions += 1
+            observe.counter("llee.storage.evictions", 1, cache=cache)
+            _flight_evict(cache, victim, freed)
 
     def timestamp(self, cache: str, name: str) -> Optional[float]:
         entry = self._caches.get(cache, {}).get(name)
@@ -106,55 +171,202 @@ class InMemoryStorage(StorageAPI):
 class DiskStorage(StorageAPI):
     """POSIX-directory-backed storage, like the paper's user-level LLEE
     ("executes the cached native translations from the disk, using a
-    user-level version of our storage API")."""
+    user-level version of our storage API").
 
-    def __init__(self, root: str):
+    Layout: ``root/<cache>/<2-hex shard>/<entry>`` with a per-cache
+    ``index.json`` tracking ``{relative path: [size, last-used]}``.
+    Writers take a per-shard ``flock`` (plus an in-process lock), land
+    bytes with temp-file + ``os.replace``, then update the index under
+    its own lock — so concurrent LLEE processes share one warm cache
+    with no torn vectors.  ``max_bytes`` bounds each cache via LRU
+    eviction; reads refresh recency best-effort."""
+
+    def __init__(self, root: str, max_bytes: Optional[int] = None):
         self.root = root
+        self.max_bytes = max_bytes
+        self.evictions = 0
         os.makedirs(root, exist_ok=True)
+        self._thread_locks: Dict[str, threading.Lock] = {}
+        self._thread_locks_guard = threading.Lock()
+
+    # -- paths ---------------------------------------------------------
 
     def _cache_dir(self, cache: str) -> str:
         return os.path.join(self.root, _sanitize(cache))
 
+    @staticmethod
+    def _shard_of(name: str) -> str:
+        return hashlib.sha256(name.encode("utf-8")).hexdigest()[:2]
+
     def _entry_path(self, cache: str, name: str) -> str:
-        return os.path.join(self._cache_dir(cache), _sanitize(name))
+        return os.path.join(self._cache_dir(cache),
+                            self._shard_of(name), _sanitize(name))
+
+    def _entry_rel(self, name: str) -> str:
+        return "/".join((self._shard_of(name), _sanitize(name)))
+
+    # -- locking -------------------------------------------------------
+
+    def _lock(self, path: str):
+        """A two-level lock context: an in-process mutex (threads of
+        one engine) wrapping an advisory ``flock`` (other processes)
+        on *path*.  Degrades to the mutex alone without ``fcntl``."""
+        with self._thread_locks_guard:
+            mutex = self._thread_locks.get(path)
+            if mutex is None:
+                mutex = self._thread_locks[path] = threading.Lock()
+        return _PathLock(mutex, path)
+
+    def _shard_lock(self, cache: str, name: str):
+        shard_dir = os.path.join(self._cache_dir(cache),
+                                 self._shard_of(name))
+        os.makedirs(shard_dir, exist_ok=True)
+        return self._lock(os.path.join(shard_dir, ".lock"))
+
+    def _index_lock(self, cache: str):
+        directory = self._cache_dir(cache)
+        os.makedirs(directory, exist_ok=True)
+        return self._lock(os.path.join(directory, ".index.lock"))
+
+    # -- the index -----------------------------------------------------
+
+    def _index_path(self, cache: str) -> str:
+        return os.path.join(self._cache_dir(cache), _INDEX_NAME)
+
+    def _load_index(self, cache: str) -> Dict[str, list]:
+        """Entries as ``{rel path: [size, used]}``.  Advisory: a
+        missing or corrupt index is rebuilt by scanning the shards."""
+        try:
+            with open(self._index_path(cache), "rb") as handle:
+                document = json.loads(handle.read().decode("utf-8"))
+            entries = document["entries"]
+            if not isinstance(entries, dict):
+                raise ValueError("bad index")
+            return entries
+        except Exception:
+            return self._scan(cache)
+
+    def _scan(self, cache: str) -> Dict[str, list]:
+        entries: Dict[str, list] = {}
+        directory = self._cache_dir(cache)
+        if not os.path.isdir(directory):
+            return entries
+        for shard in sorted(os.listdir(directory)):
+            shard_dir = os.path.join(directory, shard)
+            if shard.startswith(".") or shard == _INDEX_NAME \
+                    or not os.path.isdir(shard_dir):
+                continue
+            for fname in os.listdir(shard_dir):
+                if fname.startswith("."):
+                    continue
+                path = os.path.join(shard_dir, fname)
+                try:
+                    status = os.stat(path)
+                except OSError:
+                    continue
+                entries["/".join((shard, fname))] = \
+                    [status.st_size, status.st_mtime]
+        return entries
+
+    def _store_index(self, cache: str,
+                     entries: Dict[str, list]) -> None:
+        document = json.dumps({"version": 1, "entries": entries},
+                              sort_keys=True).encode("utf-8")
+        path = self._index_path(cache)
+        tmp = os.path.join(self._cache_dir(cache),
+                           ".index.{0}.tmp".format(os.getpid()))
+        with open(tmp, "wb") as handle:
+            handle.write(document)
+        os.replace(tmp, path)
+
+    # -- the storage API -----------------------------------------------
 
     def create_cache(self, cache: str) -> None:
         os.makedirs(self._cache_dir(cache), exist_ok=True)
 
     def delete_cache(self, cache: str) -> None:
-        directory = self._cache_dir(cache)
-        if not os.path.isdir(directory):
-            return
-        for entry in os.listdir(directory):
-            os.unlink(os.path.join(directory, entry))
-        os.rmdir(directory)
+        import shutil
+        shutil.rmtree(self._cache_dir(cache), ignore_errors=True)
 
     def cache_size(self, cache: str) -> int:
-        directory = self._cache_dir(cache)
-        if not os.path.isdir(directory):
-            return 0
-        return sum(os.path.getsize(os.path.join(directory, entry))
-                   for entry in os.listdir(directory))
+        """Stored vector bytes only — the index, locks, and in-flight
+        temp files are bookkeeping, not cached data."""
+        return sum(size for size, _used in self._scan(cache).values())
 
     def read(self, cache: str, name: str) -> Optional[bytes]:
         path = self._entry_path(cache, name)
-        if not os.path.isfile(path):
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except (FileNotFoundError, NotADirectoryError, IsADirectoryError):
             _flight_io("read", cache, name, None)
             return None
-        with open(path, "rb") as handle:
-            data = handle.read()
+        # Refresh LRU recency, best-effort: losing a touch only skews
+        # eviction order, never correctness.
+        try:
+            with self._index_lock(cache):
+                entries = self._load_index(cache)
+                rel = self._entry_rel(name)
+                if rel in entries:
+                    entries[rel][1] = time.time()
+                    self._store_index(cache, entries)
+        except Exception:
+            pass
         _flight_io("read", cache, name, data)
         return data
 
     def write(self, cache: str, name: str, data: bytes,
               timestamp: Optional[float] = None) -> None:
-        self.create_cache(cache)
+        data = bytes(data)
         path = self._entry_path(cache, name)
-        with open(path, "wb") as handle:
-            handle.write(data)
-        if timestamp is not None:
-            os.utime(path, (timestamp, timestamp))
+        with self._shard_lock(cache, name):
+            # Atomic publish: a crash mid-write leaves only a dot-
+            # prefixed temp file (invisible to reads and cache_size);
+            # a concurrent reader sees the old vector or the new one,
+            # never a torn mix.
+            tmp = "{0}.{1}.{2}.tmp".format(
+                os.path.join(os.path.dirname(path),
+                             "." + os.path.basename(path)),
+                os.getpid(), threading.get_ident())
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+            if timestamp is not None:
+                os.utime(path, (timestamp, timestamp))
+        try:
+            with self._index_lock(cache):
+                entries = self._load_index(cache)
+                rel = self._entry_rel(name)
+                entries[rel] = [len(data), time.time()]
+                if self.max_bytes is not None:
+                    self._evict(cache, entries, keep=rel)
+                self._store_index(cache, entries)
+        except Exception:
+            pass
         _flight_io("write", cache, name, data)
+
+    def _evict(self, cache: str, entries: Dict[str, list],
+               keep: str) -> None:
+        """Drop least-recently-used entries until the cache fits the
+        budget (called under the index lock; mutates *entries* in
+        place, caller persists).  The entry just written is exempt so
+        a single oversized vector still lands."""
+        total = sum(size for size, _used in entries.values())
+        while total > self.max_bytes:
+            victims = [rel for rel in entries if rel != keep]
+            if not victims:
+                return
+            victim = min(victims, key=lambda rel: entries[rel][1])
+            size = entries.pop(victim)[0]
+            try:
+                os.unlink(os.path.join(self._cache_dir(cache),
+                                       *victim.split("/")))
+            except OSError:
+                pass
+            total -= size
+            self.evictions += 1
+            observe.counter("llee.storage.evictions", 1, cache=cache)
+            _flight_evict(cache, victim, size)
 
     def timestamp(self, cache: str, name: str) -> Optional[float]:
         path = self._entry_path(cache, name)
@@ -163,5 +375,46 @@ class DiskStorage(StorageAPI):
         return os.path.getmtime(path)
 
 
+class _PathLock:
+    """Context manager pairing an in-process mutex with an advisory
+    ``flock`` on a lock file (no-op where ``fcntl`` is missing)."""
+
+    __slots__ = ("_mutex", "_path", "_handle")
+
+    def __init__(self, mutex: threading.Lock, path: str):
+        self._mutex = mutex
+        self._path = path
+        self._handle = None
+
+    def __enter__(self):
+        self._mutex.acquire()
+        if fcntl is not None:
+            try:
+                self._handle = open(self._path, "ab")
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+            except OSError:
+                if self._handle is not None:
+                    self._handle.close()
+                    self._handle = None
+        return self
+
+    def __exit__(self, *exc):
+        if self._handle is not None:
+            try:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            except OSError:
+                pass
+            self._handle.close()
+            self._handle = None
+        self._mutex.release()
+        return False
+
+
 def _sanitize(name: str) -> str:
-    return "".join(c if c.isalnum() or c in "._-" else "_" for c in name)
+    """A filesystem-safe, collision-free filename for *name*: the
+    printable prefix keeps listings readable, the stable hash suffix
+    keeps distinct names distinct (``a/b`` vs ``a_b`` used to collide
+    when unsafe characters were simply replaced)."""
+    safe = "".join(c if c.isalnum() or c in "._-" else "_" for c in name)
+    digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:8]
+    return "{0}-{1}".format(safe[:64] or "_", digest)

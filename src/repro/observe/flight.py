@@ -34,7 +34,10 @@ from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Set
 
 #: Bumped when the event vocabulary or header shape changes.
-FLIGHT_FORMAT_VERSION = 1
+#: v2: asynchronous compilation (``tier2.compile.enqueue`` carrying
+#: the service queue depth, ``tier2.swap_in`` carrying the enqueue-
+#: to-swap latency).
+FLIGHT_FORMAT_VERSION = 2
 
 #: Default ring capacity — big enough to hold the full JIT lifecycle
 #: of a benchsuite run (a few hundred events) with room for chatty
@@ -54,6 +57,9 @@ EVENT_SCHEMA: Dict[str, Set[str]] = {
     "tier2.promote": {"function", "reason"},
     "tier2.compile.begin": {"function"},
     "tier2.compile.end": {"function", "kind", "seconds", "warm"},
+    # asynchronous compilation (the background compile service)
+    "tier2.compile.enqueue": {"function", "queue_depth"},
+    "tier2.swap_in": {"function", "wait_seconds", "kind"},
     "tier2.superblock": {"function", "traces"},
     "tier2.pin": {"function", "reason"},
     "tier2.deopt": {"function", "reason"},

@@ -55,7 +55,9 @@ class StepProfiler:
     __slots__ = ("rows", "_stack", "_mark_steps", "_mark_time",
                  "_clock", "record_stack", "start_time", "end_time",
                  "max_stack_events", "_frame_index", "_frame_names",
-                 "_stack_events", "_event_recorded")
+                 "_stack_events", "_event_recorded",
+                 "background_compiles", "background_compile_seconds",
+                 "background_swap_wait_seconds")
 
     def __init__(self, record_stack: bool = False,
                  max_stack_events: int = DEFAULT_MAX_STACK_EVENTS,
@@ -73,6 +75,12 @@ class StepProfiler:
         self._frame_names: List[str] = []
         self._stack_events: List[Tuple[str, int, float]] = []
         self._event_recorded: List[Optional[int]] = []
+        # Off-critical-path work (async tier-2 compilation) reported
+        # via note_background_compiles: it overlaps the frame windows
+        # above, so it is tracked separately, never added to rows.
+        self.background_compiles = 0
+        self.background_compile_seconds = 0.0
+        self.background_swap_wait_seconds = 0.0
 
     # -- frame-transition hooks (the hot path) -------------------------------
 
@@ -160,6 +168,20 @@ class StepProfiler:
             self._stack_events.append(
                 ("C", index, now - self.start_time))
 
+    # -- background (async) compile accounting -------------------------------
+
+    def note_background_compiles(self, count: int, seconds: float,
+                                 swap_wait_seconds: float = 0.0) -> None:
+        """Record compile work done off the critical path by the
+        background compile service.  Frame-boundary accounting cannot
+        see it (the engine thread keeps running tier 1 while a worker
+        compiles), so it is kept beside the rows: ``seconds`` is
+        builder wall time, ``swap_wait_seconds`` the total enqueue-to-
+        swap-in latency of the installed units."""
+        self.background_compiles += int(count)
+        self.background_compile_seconds += seconds
+        self.background_swap_wait_seconds += swap_wait_seconds
+
     # -- reads ---------------------------------------------------------------
 
     def total_steps(self) -> int:
@@ -200,7 +222,7 @@ class StepProfiler:
     def to_dict(self) -> Dict[str, object]:
         duration = ((self.end_time if self.end_time is not None
                      else self._mark_time) - self.start_time)
-        return {
+        document = {
             "functions": self.function_rows(),
             "tiers": self.tier_totals(),
             "tier1_steps": self.tier1_steps(),
@@ -208,6 +230,13 @@ class StepProfiler:
             "total_steps": self.total_steps(),
             "duration_seconds": duration,
         }
+        if self.background_compiles:
+            document["background_compile"] = {
+                "compiles": self.background_compiles,
+                "seconds": self.background_compile_seconds,
+                "swap_wait_seconds": self.background_swap_wait_seconds,
+            }
+        return document
 
     # -- speedscope export ---------------------------------------------------
 

@@ -194,13 +194,20 @@ def _make_tier2_cache(module, args):
         kwargs["superblocks"] = True
     if getattr(args, "osr", False):
         kwargs["osr"] = True
+    if getattr(args, "async_compile", False):
+        kwargs["async_compile"] = True
+        if getattr(args, "compile_workers", None) is not None:
+            kwargs["compile_workers"] = args.compile_workers
     cache = Tier2Cache(module, module.target_data, **kwargs)
     if args.translation_cache:
         import hashlib
 
         key = "{0}".format(
             hashlib.sha256(write_module(module)).hexdigest()[:24])
-        cache.attach_storage(DiskStorage(args.translation_cache), key)
+        storage = DiskStorage(
+            args.translation_cache,
+            max_bytes=getattr(args, "cache_max_bytes", None))
+        cache.attach_storage(storage, key)
     return cache
 
 
@@ -215,7 +222,7 @@ def _cmd_run(args) -> int:
         sys.stderr.write("run: --sanitize applies to the interpreter "
                          "engines only, not --target\n")
         return 2
-    if args.superblocks or args.osr:
+    if args.superblocks or args.osr or args.async_compile:
         args.tier2 = True
     if args.tier2 and args.target:
         sys.stderr.write("run: --tier2 applies to the interpreter "
@@ -249,7 +256,10 @@ def _cmd_run(args) -> int:
                                       tier2=tier2_cache)
             result = interpreter.run(args.entry, program_args)
             if tier2_cache:
+                # flush_storage drains in-flight background compiles
+                # first, so async stats and persistence are complete.
                 tier2_cache.flush_storage()
+                tier2_cache.close()
             sys.stdout.write(result.output)
             value, status = result.return_value, result.exit_status
             if args.stats:
@@ -465,7 +475,7 @@ def _cmd_stats(args) -> int:
         sys.stderr.write("stats: --sanitize applies to the interpreter "
                          "engines only, not --target\n")
         return 2
-    if args.superblocks or args.osr:
+    if args.superblocks or args.osr or args.async_compile:
         args.tier2 = True
     if args.tier2 and (args.target or args.sanitize):
         sys.stderr.write("stats: --tier2 applies to the unsanitized "
@@ -498,6 +508,7 @@ def _cmd_stats(args) -> int:
             result = interpreter.run(args.entry, program_args)
             if tier2_cache:
                 tier2_cache.flush_storage()
+                tier2_cache.close()
             (sys.stderr if args.json else sys.stdout).write(
                 result.output)
             result_value = result.return_value
@@ -587,6 +598,14 @@ def _profile_payload(profiler, interpreter, result, flight,
             "compile_seconds": round(stats.compile_seconds, 9),
             "side_exits": getattr(interpreter, "t2_side_exits", 0),
         }
+        if stats.async_enqueued:
+            payload["tier2"]["async"] = {
+                "enqueued": stats.async_enqueued,
+                "swap_ins": stats.swap_ins,
+                "swap_wait_seconds":
+                    round(stats.swap_wait_seconds, 9),
+                "stale_drops": stats.stale_drops,
+            }
     if flight is not None:
         payload["flight_events"] = flight.counts()
     return payload
@@ -634,6 +653,14 @@ def _render_profile_report(payload: dict, out) -> None:
                 tier2["osr_upgrades"], tier2["side_exits"]))
         out.write("  deopts={0} pins={1} invalidations={2}\n".format(
             tier2["deopts"], tier2["pins"], tier2["invalidations"]))
+        async_info = tier2.get("async")
+        if async_info:
+            out.write(
+                "  async: enqueued={0} swap_ins={1} "
+                "swap_wait={2:.4f}s stale_drops={3}\n".format(
+                    async_info["enqueued"], async_info["swap_ins"],
+                    async_info["swap_wait_seconds"],
+                    async_info["stale_drops"]))
     compile_info = payload["compile"]
     out.write(
         "  compile_seconds={0:.4f} ({1:.1f}% of run)\n".format(
@@ -666,6 +693,8 @@ def _cmd_profile(args) -> int:
     args.tier2 = tier2_on
     args.superblocks = tier2_on and not args.no_superblocks
     args.osr = tier2_on and not args.no_osr
+    args.async_compile = tier2_on and \
+        getattr(args, "async_compile", False)
     profiler = StepProfiler(record_stack=bool(args.speedscope))
     tier2_cache = _make_tier2_cache(module, args) if tier2_on else False
     interpreter = Interpreter(module,
@@ -681,6 +710,14 @@ def _cmd_profile(args) -> int:
     finally:
         if tier2_cache:
             tier2_cache.flush_storage()
+            stats = tier2_cache.stats
+            if stats.swap_ins:
+                # Background compile work never shows up in frame-
+                # boundary accounting; report it alongside.
+                profiler.note_background_compiles(
+                    stats.swap_ins, stats.compile_seconds,
+                    stats.swap_wait_seconds)
+            tier2_cache.close()
     # under --json stdout carries only the document; the program's own
     # output moves to stderr
     (sys.stderr if args.json else sys.stdout).write(result.output)
@@ -718,6 +755,21 @@ def _add_flight_flag(sub) -> None:
         help="record the JIT lifecycle (promotions, compiles, "
              "superblocks, OSR, deopts, traps, cache events) in a "
              "bounded ring buffer and write it as JSONL")
+
+
+def _add_async_flags(sub) -> None:
+    sub.add_argument(
+        "--async-compile", action="store_true",
+        help="compile tier-2 units on a background worker instead of "
+             "on the promoting call; units swap in at the next safe "
+             "point (implies --tier2)")
+    sub.add_argument(
+        "--compile-workers", type=int, default=None, metavar="N",
+        help="background compile worker threads (default 1)")
+    sub.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="BYTES",
+        help="LRU size budget per --translation-cache cache "
+             "(default: unbounded)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -798,6 +850,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="persist tier-2 translations in DIR "
                           "(POSIX storage API) for cross-process "
                           "warm starts")
+    _add_async_flags(run)
     run.add_argument("--stats", action="store_true")
     _add_observe_flags(run)
     _add_flight_flag(run)
@@ -850,6 +903,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--translation-cache", metavar="DIR",
                        help="persist tier-2 translations in DIR for "
                             "cross-process warm starts")
+    _add_async_flags(stats)
     stats.add_argument("--json", action="store_true",
                        help="emit the report as JSON instead of the "
                             "human-readable rendering")
@@ -885,6 +939,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--translation-cache", metavar="DIR",
                          help="persist tier-2 translations in DIR for "
                               "cross-process warm starts")
+    _add_async_flags(profile)
     profile.add_argument("--json", action="store_true",
                          help="emit the profile as JSON instead of "
                               "the human-readable report")

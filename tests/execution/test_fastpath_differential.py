@@ -20,6 +20,14 @@ guided superblock emission with aggressively low thresholds (so the
 profiling stage, the mid-activation OSR upgrade, side-exit deopt, and
 tier-1 on-stack replacement all fire inside even small scenarios),
 compared against the oracle exactly like the others.
+
+A fifth configuration forces *asynchronous* compilation on top of
+that: promotions submit background jobs and the engine swaps units in
+at call boundaries and back-edge checks, with the escalation bar set
+low enough that deferred builds, mid-run swap-ins, and inline
+escalations all occur inside small scenarios.  Whatever mix of tier-1,
+deferred, escalated, and OSR execution a timing happens to produce,
+the observations must still match the oracle byte for byte.
 """
 
 import pytest
@@ -43,13 +51,15 @@ SCALE = 0.05
 ENGINES = ("reference", "fast")
 
 #: (label, engine, tier2 mode) triples every scenario runs under; the
-#: mode is False (off), True (forced plain tier 2), or "superblock"
-#: (forced tier 2 with superblocks and OSR).
+#: mode is False (off), True (forced plain tier 2), "superblock"
+#: (forced tier 2 with superblocks and OSR), or "async" (superblocks
+#: plus background compilation with deterministic-outcome swap-in).
 CONFIGS = (
     ("reference", "reference", False),
     ("fast", "fast", False),
     ("tier2", "fast", True),
     ("superblock", "fast", "superblock"),
+    ("async", "fast", "async"),
 )
 
 
@@ -64,21 +74,50 @@ def _superblock_cache(module):
                       superblock_threshold=8, osr_step_threshold=50)
 
 
+def _async_cache(module):
+    """The superblock configuration with background compilation on and
+    the escalation bar low, so deferred builds, swap-ins, and inline
+    escalations all happen inside small test scenarios."""
+    from repro.execution.tier2 import Tier2Cache
+
+    return Tier2Cache(module, module.target_data, threshold=0,
+                      superblocks=True, osr=True,
+                      superblock_threshold=8, osr_step_threshold=50,
+                      async_compile=True, escalate_step_threshold=64)
+
+
+def _make_interpreter(module, engine, tier2, privileged=False,
+                      sanitize=False):
+    if tier2 == "superblock":
+        cache = _superblock_cache(module)
+    elif tier2 == "async":
+        cache = _async_cache(module)
+    else:
+        return Interpreter(module, privileged=privileged, engine=engine,
+                           sanitize=sanitize, tier2=tier2,
+                           tier2_threshold=0 if tier2 else None)
+    return Interpreter(module, privileged=privileged, engine=engine,
+                       sanitize=sanitize, tier2=cache)
+
+
+def _close_tier2(interpreter, cache_mode):
+    """Stop a private compile service so workers never outlive their
+    scenario (a no-op for synchronous configurations)."""
+    if cache_mode == "async" and interpreter.tier2 is not None:
+        interpreter.tier2.close()
+
+
 def _outcome(module, entry="main", args=(), privileged=False,
              engine="reference", tier2=False):
     """Run and capture (kind, ...) so trap runs compare structurally."""
-    if tier2 == "superblock":
-        interpreter = Interpreter(
-            module, privileged=privileged, engine=engine,
-            tier2=_superblock_cache(module))
-    else:
-        interpreter = Interpreter(
-            module, privileged=privileged, engine=engine,
-            tier2=tier2, tier2_threshold=0 if tier2 else None)
+    interpreter = _make_interpreter(module, engine, tier2,
+                                    privileged=privileged)
     try:
         result = interpreter.run(entry, list(args))
     except ExecutionTrap as trap:
         return ("trap", trap.trap_number, interpreter.steps)
+    finally:
+        _close_tier2(interpreter, tier2)
     return ("ok", result.return_value, result.output, result.steps,
             result.exit_status)
 
@@ -95,19 +134,15 @@ def run_both(source, entry="main", args=(), privileged=False):
     assert outcomes["reference"] == outcomes["fast"]
     assert outcomes["reference"] == outcomes["tier2"]
     assert outcomes["reference"] == outcomes["superblock"]
+    assert outcomes["reference"] == outcomes["async"]
     return outcomes["reference"]
 
 
 def _outcome_sanitized(module, engine, tier2=False):
     """Sanitized outcome, with the full fault report in the tuple so a
     differing diagnosis (not just a differing trap number) fails."""
-    if tier2 == "superblock":
-        interpreter = Interpreter(module, engine=engine, sanitize=True,
-                                  tier2=_superblock_cache(module))
-    else:
-        interpreter = Interpreter(module, engine=engine, sanitize=True,
-                                  tier2=tier2,
-                                  tier2_threshold=0 if tier2 else None)
+    interpreter = _make_interpreter(module, engine, tier2,
+                                    sanitize=True)
     if tier2:
         # Documented behaviour: llva-san pins execution to tier 1 —
         # shadow-memory checking needs per-instruction sites.
@@ -132,6 +167,7 @@ def run_both_sanitized(source):
     assert outcomes["reference"] == outcomes["fast"]
     assert outcomes["reference"] == outcomes["tier2"]
     assert outcomes["reference"] == outcomes["superblock"]
+    assert outcomes["reference"] == outcomes["async"]
     return outcomes["reference"]
 
 
@@ -186,6 +222,29 @@ class TestBenchsuiteDifferential:
         assert reference == forced
         assert interpreter.tier2_steps == result.steps
         assert cache.stats.pins == 0
+
+    @pytest.mark.parametrize("name", SUITE_ORDER)
+    def test_workload_async_compile_forced(self, name):
+        """All 17 programs with background compilation forced on top
+        of superblocks+OSR: deferred builds, safe-point swap-ins, and
+        inline escalations all run against the oracle, and a drain
+        after the run must leave nothing pending."""
+        workload = load_workload(name, SCALE)
+        module = compile_source(workload.source, name,
+                                optimization_level=2)
+        reference = _outcome(module, engine="reference")
+        cache = _async_cache(module)
+        try:
+            interpreter = Interpreter(module, engine="fast", tier2=cache)
+            result = interpreter.run("main", [])
+            forced = ("ok", result.return_value, result.output,
+                      result.steps, result.exit_status)
+            assert reference == forced
+            assert cache.stats.pins == 0
+            assert cache.drain(timeout=30.0)
+            assert cache.pending_compiles == 0
+        finally:
+            cache.close()
 
 
 class TestExceptionModelDifferential:

@@ -1,0 +1,298 @@
+"""The background compilation service and asynchronous tier-2 promotion.
+
+The paper's LLEE translates "offline or idle-time", decoupled from
+execution.  These tests pin the execution-time contract of that split:
+jobs run by priority, the idle policy parks builds while an engine is
+active, drain always makes progress, and the Tier2Cache's asynchronous
+promotion path — submit, keep running tier 1, swap in at a safe point —
+produces byte-identical outcomes to the synchronous compiler under
+every failure mode (cancellation, SMC invalidation, unsupported
+bodies, service shutdown).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.bitcode import read_module, write_module
+from repro.execution import Interpreter
+from repro.execution.tier2 import Tier2Cache, UnsupportedFunction
+from repro.llee import LLEE
+from repro.llee.compile_service import CompileService
+from repro.minic import compile_source
+from repro.targets import make_target
+
+PROGRAM = r"""
+int helper(int x) { return x * x + 1; }
+int mixer(int a, int b) { return (a ^ b) + (a & b) * 3; }
+int main() {
+    int total = 0;
+    int i;
+    for (i = 0; i < 60; i++) {
+        if (i % 3 == 0) {
+            total += helper(i);
+        } else {
+            total -= mixer(i, total);
+        }
+    }
+    print_int(total);
+    return total & 32767;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def object_code():
+    module = compile_source(PROGRAM, "async-test", optimization_level=2)
+    return write_module(module)
+
+
+def _fresh_module(object_code):
+    return read_module(object_code)
+
+
+def _run(module, cache):
+    interpreter = Interpreter(module, engine="fast", tier2=cache,
+                              tier2_threshold=0)
+    result = interpreter.run("main", [])
+    return (result.return_value, result.output, result.steps,
+            result.exit_status), interpreter
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestCompileService:
+    def test_jobs_run_by_priority(self):
+        service = CompileService(workers=1, policy="idle")
+        order = []
+        lock = threading.Lock()
+
+        def build(tag):
+            def run():
+                with lock:
+                    order.append(tag)
+                return tag
+            return run
+
+        # Park the (single) worker before anything can build, so the
+        # later submissions are ordered purely by the queue.
+        service.engine_begin()
+        first = service.submit(build("first"), priority=0, label="first")
+        # The worker dequeues "first" and parks holding it; once the
+        # queue is empty the remaining submissions race nobody.
+        assert _wait_until(lambda: service.queue_depth() == 0)
+        low = service.submit(build("low"), priority=1, label="low")
+        high = service.submit(build("high"), priority=9, label="high")
+        service.engine_end()
+        assert service.drain(timeout=10.0)
+        assert order == ["first", "high", "low"]
+        assert first.future.result() == "first"
+        assert high.priority > low.priority
+        service.shutdown()
+
+    def test_idle_policy_parks_builds_while_engine_active(self):
+        service = CompileService(workers=1, policy="idle")
+        service.engine_begin()
+        job = service.submit(lambda: "built", label="parked")
+        time.sleep(0.15)
+        assert not job.future.done()  # parked, not building
+        service.engine_end()
+        assert _wait_until(lambda: job.ready)
+        assert job.future.result() == "built"
+        service.shutdown()
+
+    def test_eager_policy_builds_despite_active_engine(self):
+        service = CompileService(workers=1, policy="eager")
+        service.engine_begin()
+        job = service.submit(lambda: "built", label="eager")
+        assert _wait_until(lambda: job.ready)
+        assert job.future.result() == "built"
+        service.shutdown()
+
+    def test_drain_demands_progress_through_the_idle_gate(self):
+        service = CompileService(workers=1, policy="idle")
+        service.engine_begin()  # never ended: drain must still finish
+        service.submit(lambda: 1, label="a")
+        service.submit(lambda: 2, label="b")
+        assert service.drain(timeout=10.0)
+        assert service.stats.completed == 2
+        service.shutdown()
+
+    def test_builder_exception_parks_in_the_future(self):
+        service = CompileService(workers=1, policy="eager")
+
+        def boom():
+            raise ValueError("codegen defect")
+
+        job = service.submit(boom, label="boom")
+        assert service.drain(timeout=10.0)
+        assert isinstance(job.future.exception(), ValueError)
+        assert service.stats.failed == 1
+        service.shutdown()
+
+    def test_shutdown_cancels_queued_jobs(self):
+        service = CompileService(workers=1, policy="idle")
+        service.engine_begin()
+        jobs = [service.submit(lambda: None, label=str(i))
+                for i in range(3)]
+        service.shutdown()
+        assert _wait_until(
+            lambda: all(job.ready for job in jobs))
+        assert all(job.future.cancelled() for job in jobs)
+        assert service.stats.cancelled == 3
+        with pytest.raises(RuntimeError):
+            service.submit(lambda: None)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            CompileService(policy="sometimes")
+
+
+class TestAsyncTier2:
+    def _sync_outcome(self, object_code):
+        module = _fresh_module(object_code)
+        cache = Tier2Cache(module, module.target_data, threshold=0)
+        outcome, _ = _run(module, cache)
+        assert cache.stats.functions_compiled > 0
+        return outcome
+
+    def test_async_outcome_matches_sync(self, object_code):
+        sync_outcome = self._sync_outcome(object_code)
+        module = _fresh_module(object_code)
+        cache = Tier2Cache(module, module.target_data, threshold=0,
+                           async_compile=True)
+        try:
+            outcome, _ = _run(module, cache)
+            assert outcome == sync_outcome
+            assert cache.stats.async_enqueued > 0
+        finally:
+            cache.close()
+
+    def test_drain_installs_pending_units_for_the_next_run(
+            self, object_code):
+        module = _fresh_module(object_code)
+        cache = Tier2Cache(module, module.target_data, threshold=0,
+                           async_compile=True)
+        try:
+            first, _ = _run(module, cache)
+            assert cache.drain(timeout=10.0)
+            assert cache.pending_compiles == 0
+            assert cache.stats.swap_ins > 0
+            # The drained units carry the second run entirely on tier 2.
+            second, interpreter = _run(module, cache)
+            assert second == first
+            assert interpreter.tier2_calls > 0
+            assert cache.stats.async_enqueued == cache.stats.swap_ins \
+                + cache.stats.escalations + cache.stats.stale_drops
+        finally:
+            cache.close()
+
+    def test_smc_invalidation_drops_in_flight_jobs(self, object_code):
+        sync_outcome = self._sync_outcome(object_code)
+        module = _fresh_module(object_code)
+        cache = Tier2Cache(module, module.target_data, threshold=0,
+                           async_compile=True)
+        try:
+            _run(module, cache)
+            pending = [entry[0] for entry in cache._pending.values()]
+            assert pending  # idle policy: jobs deferred past run end
+            for function in pending:
+                function.smc_version += 1
+            assert cache.drain(timeout=10.0)
+            assert cache.stats.stale_drops == len(pending)
+            # The new bodies re-promote and still run correctly.
+            outcome, _ = _run(module, cache)
+            assert outcome == sync_outcome
+        finally:
+            cache.close()
+
+    def test_unsupported_function_pins_after_drain(self, object_code):
+        sync_outcome = self._sync_outcome(object_code)
+        module = _fresh_module(object_code)
+        cache = Tier2Cache(module, module.target_data, threshold=0,
+                           async_compile=True)
+
+        def reject(function, plan):
+            raise UnsupportedFunction("injected: no tier-2 body")
+
+        cache._build_plan = reject
+        try:
+            outcome, _ = _run(module, cache)
+            assert outcome == sync_outcome  # tier 1 carried the run
+            assert cache.drain(timeout=10.0)
+            assert cache.stats.pins > 0
+            assert cache.stats.swap_ins == 0
+            # Pinned functions never re-enqueue.
+            enqueued = cache.stats.async_enqueued
+            again, _ = _run(module, cache)
+            assert again == sync_outcome
+            assert cache.stats.async_enqueued == enqueued
+        finally:
+            cache.close()
+
+    def test_close_abandons_pending_without_breaking_execution(
+            self, object_code):
+        sync_outcome = self._sync_outcome(object_code)
+        module = _fresh_module(object_code)
+        cache = Tier2Cache(module, module.target_data, threshold=0,
+                           async_compile=True)
+        try:
+            _run(module, cache)
+            cache.close()  # shuts the owned service down mid-flight
+            assert cache.pending_compiles == 0
+            # Later promotions lazily recreate a service; execution
+            # stays on tier 1 meanwhile and never breaks.
+            outcome, _ = _run(module, cache)
+            assert outcome == sync_outcome
+        finally:
+            cache.close()
+
+    def test_shared_service_is_multi_tenant(self, object_code):
+        service = CompileService(workers=1)
+        module_a = _fresh_module(object_code)
+        module_b = _fresh_module(object_code)
+        cache_a = Tier2Cache(module_a, module_a.target_data, threshold=0,
+                             compile_service=service)
+        cache_b = Tier2Cache(module_b, module_b.target_data, threshold=0,
+                             compile_service=service)
+        try:
+            outcome_a, _ = _run(module_a, cache_a)
+            outcome_b, _ = _run(module_b, cache_b)
+            assert outcome_a == outcome_b
+            assert cache_a.drain(timeout=10.0)
+            assert cache_b.drain(timeout=10.0)
+            assert service.stats.submitted \
+                == cache_a.stats.async_enqueued \
+                + cache_b.stats.async_enqueued
+            # A tenant closing must not tear down the shared service.
+            cache_a.close()
+            job = service.submit(lambda: "alive", label="probe")
+            assert service.drain(timeout=10.0)
+            assert job.future.result() == "alive"
+        finally:
+            cache_b.close()
+            service.shutdown()
+
+    def test_llee_report_carries_async_fields(self, object_code):
+        manager = LLEE(make_target("x86"))
+        try:
+            report = manager.run_interpreted(
+                object_code, engine="fast", tier2=True,
+                tier2_threshold=0, async_compile=True)
+            sync_report = manager.run_interpreted(
+                object_code, engine="fast", tier2=True,
+                tier2_threshold=0)
+            assert report.tier2_async
+            assert not sync_report.tier2_async
+            assert report.output == sync_report.output
+            assert report.return_value == sync_report.return_value
+        finally:
+            manager.close()

@@ -1,0 +1,280 @@
+"""Multi-tenant storage: sharding, atomicity, eviction, concurrency.
+
+A system-wide LLEE serves many programs from one translation cache, so
+the Section-4.1 storage implementations must hold up under concurrent
+writers (threads of one engine, and separate interpreter processes
+sharing a disk root), bound their footprint via LRU eviction, and
+survive index loss — all without a reader ever observing a torn
+vector or a cache failure breaking execution.
+"""
+
+import json
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro import observe
+from repro.bitcode import read_module, write_module
+from repro.execution import Interpreter
+from repro.execution.tier2 import TIER2_CACHE_NAME, Tier2Cache
+from repro.llee.storage import DiskStorage, InMemoryStorage, _sanitize
+from repro.minic import compile_source
+
+CACHE = "llee-tier2"
+
+
+class TestSanitize:
+    def test_distinct_names_stay_distinct(self):
+        # "a/b" and "a_b" used to collide when unsafe characters were
+        # simply replaced; the hash suffix keeps them apart.
+        assert _sanitize("a/b") != _sanitize("a_b")
+        assert _sanitize("mod:one") != _sanitize("mod_one")
+
+    def test_long_names_stay_distinct(self):
+        left = "x" * 200 + "left"
+        right = "x" * 200 + "right"
+        assert _sanitize(left) != _sanitize(right)
+        assert len(_sanitize(left)) <= 80
+
+    def test_sanitize_is_stable(self):
+        assert _sanitize("a/b") == _sanitize("a/b")
+
+    def test_colliding_names_roundtrip_through_disk(self, tmp_path):
+        storage = DiskStorage(str(tmp_path))
+        storage.write(CACHE, "a/b", b"slash")
+        storage.write(CACHE, "a_b", b"underscore")
+        assert storage.read(CACHE, "a/b") == b"slash"
+        assert storage.read(CACHE, "a_b") == b"underscore"
+
+
+class TestAtomicWrites:
+    def test_concurrent_writers_never_tear_a_vector(self, tmp_path):
+        """Readers racing rewrites of one entry must always see one
+        complete payload, never a mix."""
+        storage = DiskStorage(str(tmp_path))
+        payloads = [bytes([i]) * 4096 for i in range(4)]
+        storage.write(CACHE, "entry", payloads[0])
+        stop = threading.Event()
+        torn = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                storage.write(CACHE, "entry", payloads[i % 4])
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                data = storage.read(CACHE, "entry")
+                if data not in payloads:
+                    torn.append(data)
+                    return
+
+        threads = [threading.Thread(target=writer) for _ in range(2)] \
+            + [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        threading.Event().wait(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not torn
+        assert storage.read(CACHE, "entry") in payloads
+
+    def test_crash_mid_write_leaves_no_visible_debris(self, tmp_path):
+        # Temp files are dot-prefixed: invisible to reads, cache_size,
+        # and the index scan even if a crash strands one.
+        storage = DiskStorage(str(tmp_path))
+        storage.write(CACHE, "real", b"x" * 100)
+        shard_dir = os.path.dirname(storage._entry_path(CACHE, "real"))
+        stranded = os.path.join(shard_dir, ".stranded.123.tmp")
+        with open(stranded, "wb") as handle:
+            handle.write(b"half a vec")
+        assert storage.cache_size(CACHE) == 100
+        assert storage.read(CACHE, "real") == b"x" * 100
+
+    def test_threaded_writers_distinct_names(self, tmp_path):
+        storage = DiskStorage(str(tmp_path))
+        errors = []
+
+        def writer(base):
+            try:
+                for i in range(20):
+                    name = "mod-{0}-{1}".format(base, i)
+                    storage.write(CACHE, name,
+                                  name.encode("utf-8") * 50)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(t,))
+                   for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        for t in range(4):
+            for i in range(20):
+                name = "mod-{0}-{1}".format(t, i)
+                assert storage.read(CACHE, name) \
+                    == name.encode("utf-8") * 50
+
+
+def _process_writer(root, base):
+    storage = DiskStorage(root)
+    for i in range(10):
+        name = "proc-{0}-{1}".format(base, i)
+        storage.write("llee-tier2", name, name.encode("utf-8") * 100)
+
+
+class TestCrossProcess:
+    def test_two_processes_share_one_root(self, tmp_path):
+        """The bench's warm-sharing shape: N interpreter processes
+        writing one disk cache, every blob intact afterwards."""
+        root = str(tmp_path)
+        workers = [multiprocessing.Process(target=_process_writer,
+                                           args=(root, base))
+                   for base in range(2)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60.0)
+        assert all(worker.exitcode == 0 for worker in workers)
+        storage = DiskStorage(root)
+        for base in range(2):
+            for i in range(10):
+                name = "proc-{0}-{1}".format(base, i)
+                assert storage.read(CACHE, name) \
+                    == name.encode("utf-8") * 100
+
+
+class TestEviction:
+    def test_disk_lru_keeps_the_hottest_entry(self, tmp_path):
+        storage = DiskStorage(str(tmp_path), max_bytes=300)
+        storage.write(CACHE, "hot", b"h" * 100)
+        storage.write(CACHE, "cold", b"c" * 100)
+        storage.write(CACHE, "warm", b"w" * 100)
+        assert storage.read(CACHE, "hot")  # refresh recency
+        storage.write(CACHE, "new", b"n" * 100)  # forces one eviction
+        assert storage.read(CACHE, "cold") is None  # LRU victim
+        assert storage.read(CACHE, "hot") == b"h" * 100
+        assert storage.read(CACHE, "new") == b"n" * 100
+        assert storage.evictions == 1
+        assert storage.cache_size(CACHE) <= 300
+
+    def test_disk_budget_is_respected_across_writes(self, tmp_path):
+        storage = DiskStorage(str(tmp_path), max_bytes=500)
+        for i in range(10):
+            storage.write(CACHE, "entry-{0}".format(i), b"x" * 100)
+        assert storage.cache_size(CACHE) <= 500
+        assert storage.evictions >= 5
+
+    def test_oversized_entry_still_lands(self, tmp_path):
+        # The just-written entry is exempt, so one vector larger than
+        # the whole budget replaces everything instead of bouncing.
+        storage = DiskStorage(str(tmp_path), max_bytes=100)
+        storage.write(CACHE, "small", b"s" * 50)
+        storage.write(CACHE, "huge", b"h" * 400)
+        assert storage.read(CACHE, "huge") == b"h" * 400
+        assert storage.read(CACHE, "small") is None
+
+    def test_memory_lru_matches_disk_semantics(self):
+        storage = InMemoryStorage(max_bytes=300)
+        storage.write(CACHE, "hot", b"h" * 100)
+        storage.write(CACHE, "cold", b"c" * 100)
+        storage.write(CACHE, "warm", b"w" * 100)
+        assert storage.read(CACHE, "hot")
+        storage.write(CACHE, "new", b"n" * 100)
+        assert storage.read(CACHE, "cold") is None
+        assert storage.read(CACHE, "hot") == b"h" * 100
+        assert storage.evictions == 1
+        assert storage.cache_size(CACHE) <= 300
+
+    def test_index_loss_is_survivable(self, tmp_path):
+        """The index is advisory: deleting or corrupting it only costs
+        a directory scan, never data."""
+        storage = DiskStorage(str(tmp_path), max_bytes=10_000)
+        for i in range(5):
+            storage.write(CACHE, "entry-{0}".format(i), b"x" * 100)
+        index_path = storage._index_path(CACHE)
+        os.unlink(index_path)
+        assert storage.cache_size(CACHE) == 500
+        with open(index_path, "wb") as handle:
+            handle.write(b"{ not json")
+        storage.write(CACHE, "after", b"y" * 100)  # rebuilds via scan
+        entries = json.loads(open(index_path, "rb").read())["entries"]
+        assert len(entries) == 6
+
+
+PROGRAM = r"""
+int square(int x) { return x * x; }
+int main() {
+    int total = 0;
+    int i;
+    for (i = 0; i < 30; i++) { total += square(i); }
+    print_int(total);
+    return total & 32767;
+}
+"""
+
+KEY = "evict-test"
+
+
+def _object_code():
+    module = compile_source(PROGRAM, "storage-conc",
+                            optimization_level=2)
+    return write_module(module)
+
+
+def _forced_run(module, cache):
+    interpreter = Interpreter(module, engine="fast", tier2=cache,
+                              tier2_threshold=0)
+    result = interpreter.run("main", [])
+    return (result.return_value, result.output, result.steps)
+
+
+class TestEvictedBlobFallsBackOnline:
+    def _populate(self, storage):
+        code = _object_code()
+        module = read_module(code)
+        cache = Tier2Cache(module, module.target_data, threshold=0)
+        cache.attach_storage(storage, KEY)
+        outcome = _forced_run(module, cache)
+        assert cache.flush_storage()
+        return code, outcome
+
+    def test_evicted_translation_recompiles_online(self, tmp_path):
+        storage = DiskStorage(str(tmp_path))
+        code, cold_outcome = self._populate(storage)
+        blob_size = len(storage.read(TIER2_CACHE_NAME, KEY))
+        # A competing tenant's write inside a tight budget evicts our
+        # cold blob (never read since, so it is the LRU victim).
+        bounded = DiskStorage(str(tmp_path), max_bytes=blob_size + 10)
+        bounded.write(TIER2_CACHE_NAME, "rival", b"r" * blob_size)
+        assert bounded.read(TIER2_CACHE_NAME, KEY) is None
+        module = read_module(code)
+        cache = Tier2Cache(module, module.target_data, threshold=0)
+        assert not cache.attach_storage(bounded, KEY)
+        assert not cache.translation_cache_hit
+        assert _forced_run(module, cache) == cold_outcome
+        assert cache.stats.functions_compiled > 0
+        assert cache.stats.warm_compiles == 0
+
+    def test_corrupt_blob_logs_invalid_and_recompiles(self, tmp_path):
+        storage = DiskStorage(str(tmp_path))
+        code, cold_outcome = self._populate(storage)
+        blob = storage.read(TIER2_CACHE_NAME, KEY)
+        storage.write(TIER2_CACHE_NAME, KEY, blob[: len(blob) // 2])
+        module = read_module(code)
+        cache = Tier2Cache(module, module.target_data, threshold=0)
+        observe.configure()
+        try:
+            assert not cache.attach_storage(storage, KEY)
+            invalid = observe.registry().counters("llee.cache.invalid")
+            assert invalid, "llee.cache.invalid was not recorded"
+        finally:
+            observe.disable()
+        assert _forced_run(module, cache) == cold_outcome
+        assert cache.stats.warm_compiles == 0
