@@ -29,7 +29,13 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro import observe
 from repro.execution.events import ExecutionTrap, ExitRequest, TrapKind
 from repro.execution.image import ProgramImage
-from repro.execution.interpreter import cast_value
+from repro.execution.interpreter import (
+    StepLimitExceeded,
+    _float_arith,
+    _pointer_mask,
+    _round_f32,
+    cast_value,
+)
 from repro.execution.memory import Memory, MemoryError_
 from repro.execution.runtime import (
     RUNTIME_SIGNATURES,
@@ -59,11 +65,28 @@ CYCLES = {
     Semantics.JMP: 1, Semantics.JCC: 2, Semantics.CALL: 4,
     Semantics.RET: 2, Semantics.PUSH: 2, Semantics.POP: 2,
     Semantics.CVT: 2, Semantics.ADJSP: 1, Semantics.UNWIND: 10,
-    Semantics.NOP: 1,
+    Semantics.NOP: 1, Semantics.ALLOCA: 2,
 }
 _MUL_EXTRA = 2
 _DIV_EXTRA = 18
 _MEM_OPERAND_EXTRA = 2
+
+
+def instr_cost(instr: MachineInstr) -> int:
+    """Deterministic cycle cost of one machine instruction (shared by
+    the simulator's budget accounting and tier-3's per-block totals)."""
+    cost = CYCLES.get(instr.semantics, 1)
+    if instr.semantics == Semantics.ALU:
+        op = instr.attrs.get("op")
+        if op == "mul":
+            cost += _MUL_EXTRA
+        elif op in ("div", "rem"):
+            cost += _DIV_EXTRA
+    if any(isinstance(op, Mem) for op in instr.operands) \
+            and instr.semantics in (Semantics.ALU, Semantics.CMP,
+                                    Semantics.MOV):
+        cost += _MEM_OPERAND_EXTRA
+    return cost
 
 
 class _MachineFrame:
@@ -205,15 +228,20 @@ class MachineSimulator:
                         "fell off the end of block {0} in {1}"
                         .format(block.name, frame.name))
                 instr = block.instructions[frame.instr_index]
+                cost = self._cost(instr)
+                if self.max_cycles is not None \
+                        and self.cycles + cost > self.max_cycles:
+                    # A budget of N cycles means N cycles may be *spent*:
+                    # the instruction that would exceed it is neither
+                    # charged nor executed, so the trap fires with
+                    # ``cycles`` at most N (not N + cost).
+                    raise ExecutionTrap(TrapKind.SOFTWARE_TRAP,
+                                        "cycle budget exhausted")
                 self.instructions_executed += 1
-                self.cycles += self._cost(instr)
+                self.cycles += cost
                 if observing:
                     op = instr.semantics
                     op_counts[op] = op_counts.get(op, 0) + 1
-                if self.max_cycles is not None \
-                        and self.cycles > self.max_cycles:
-                    raise ExecutionTrap(TrapKind.SOFTWARE_TRAP,
-                                        "cycle budget exhausted")
                 self._execute(frame, instr)
         finally:
             if observing:
@@ -221,18 +249,7 @@ class MachineSimulator:
                     observe.counter("native.opcode", count, op=op)
 
     def _cost(self, instr: MachineInstr) -> int:
-        cost = CYCLES.get(instr.semantics, 1)
-        if instr.semantics == Semantics.ALU:
-            op = instr.attrs.get("op")
-            if op == "mul":
-                cost += _MUL_EXTRA
-            elif op in ("div", "rem"):
-                cost += _DIV_EXTRA
-        if any(isinstance(op, Mem) for op in instr.operands) \
-                and instr.semantics in (Semantics.ALU, Semantics.CMP,
-                                        Semantics.MOV):
-            cost += _MEM_OPERAND_EXTRA
-        return cost
+        return instr_cost(instr)
 
     # ------------------------------------------------------------------
     # Operand access
@@ -366,11 +383,15 @@ class MachineSimulator:
                 result = bool((bits_l ^ bits_r) & 1)
         elif op in ("div", "rem") and rhs == 0:
             if instr.attrs.get("ee", False):
+                # Byte-identical to the interpreters' unhandled-trap
+                # report: divide-by-zero delivers detail "" / info 0,
+                # which escapes as "no handler registered".
                 raise ExecutionTrap(TrapKind.DIVIDE_BY_ZERO,
-                                    "in {0}".format(frame.name))
+                                    "no handler registered", 0)
             result = 0
         else:
-            result = _int_alu(op, int(lhs), int(rhs), value_type)
+            result = _int_alu(op, int(lhs), int(rhs), value_type,
+                              ee=instr.attrs.get("ee", False))
         self._reg_write(instr.operands[0], result)
         self._advance(frame)
 
@@ -602,37 +623,51 @@ def _zero_of(type_: types.Type):
     return 0
 
 
-def _int_alu(op: str, lhs: int, rhs: int,
-             value_type: types.IntegerType) -> int:
+_OVERFLOW_OPS = ("add", "sub", "mul", "div", "rem")
+
+
+def _raw_int_alu(op: str, lhs: int, rhs: int,
+                 value_type: types.IntegerType) -> int:
+    """The unbounded Python-int result of one integer ALU op; the caller
+    wraps (and decides what an out-of-range result means)."""
     if op == "add":
-        raw = lhs + rhs
-    elif op == "sub":
-        raw = lhs - rhs
-    elif op == "mul":
-        raw = lhs * rhs
-    elif op in ("div", "rem"):
+        return lhs + rhs
+    if op == "sub":
+        return lhs - rhs
+    if op == "mul":
+        return lhs * rhs
+    if op in ("div", "rem"):
         quotient = abs(lhs) // abs(rhs)
         if (lhs < 0) != (rhs < 0):
             quotient = -quotient
-        raw = quotient if op == "div" else lhs - quotient * rhs
-    elif op == "and":
-        raw = lhs & rhs
-    elif op == "or":
-        raw = lhs | rhs
-    elif op == "xor":
-        raw = lhs ^ rhs
-    elif op == "shl":
-        raw = lhs << (rhs & (value_type.bits - 1))
-    elif op == "shr":
+        return quotient if op == "div" else lhs - quotient * rhs
+    if op == "and":
+        return lhs & rhs
+    if op == "or":
+        return lhs | rhs
+    if op == "xor":
+        return lhs ^ rhs
+    if op == "shl":
+        return lhs << (rhs & (value_type.bits - 1))
+    if op == "shr":
         amount = rhs & (value_type.bits - 1)
         if value_type.is_signed:
-            raw = lhs >> amount
-        else:
-            raw = (lhs & ((1 << value_type.bits) - 1)) >> amount
-    else:
-        raise ExecutionTrap(TrapKind.SOFTWARE_TRAP,
-                            "bad alu op {0!r}".format(op))
-    return value_type.wrap(raw)
+            return lhs >> amount
+        return (lhs & ((1 << value_type.bits) - 1)) >> amount
+    raise ExecutionTrap(TrapKind.SOFTWARE_TRAP,
+                        "bad alu op {0!r}".format(op))
+
+
+def _int_alu(op: str, lhs: int, rhs: int,
+             value_type: types.IntegerType, ee: bool = False) -> int:
+    raw = _raw_int_alu(op, lhs, rhs, value_type)
+    wrapped = value_type.wrap(raw)
+    if ee and wrapped != raw and op in _OVERFLOW_OPS:
+        # Same unhandled-trap report as the interpreters: integer
+        # overflow delivers detail "" / info 0 (shifts mask silently).
+        raise ExecutionTrap(TrapKind.INTEGER_OVERFLOW,
+                            "no handler registered", 0)
+    return wrapped
 
 
 def _push_slot_type(value, value_type: Optional[types.Type]) -> types.Type:
@@ -654,3 +689,450 @@ def _push_slot_type(value, value_type: Optional[types.Type]) -> types.Type:
     if isinstance(value, int) and value < 0:
         return types.LONG
     return types.ULONG
+
+
+# ---------------------------------------------------------------------------
+# Tier-3: hosted native execution inside the fast interpreter
+# ---------------------------------------------------------------------------
+#
+# The tiered engine's top rung runs the FunctionJIT translation of a hot
+# function instead of its tier-2 generator unit.  The translation is
+# lowered in *hosted* mode (no static frame preallocation; allocas stay
+# symbolic ALLOCA micro-ops that share the interpreter's stack), so LLVA-
+# visible state — memory, addresses, faults, runtime effects — is
+# produced through exactly the same Memory/ProgramImage the tier-1
+# closures use.  Machine-private state (registers, spill slots, the
+# outgoing-argument stack) lives in per-activation Python structures.
+#
+# The executor is a generator speaking the tier-2 yield protocol:
+# ``("call", fn, args)``, ``("rt", name, args)``, ``("intr", name,
+# args)`` and ``("icall", address, args)`` yield back to the tier-1
+# driver, which pushes frames or performs the effect and resumes the
+# generator with the result.  Deliverable traps leave native code for
+# good: the executor yields ``("deopt", site, shadow, trapno, info,
+# detail)`` and returns, and the driver rebuilds a tier-1 frame from the
+# V-ABI shadow (see ``FastInterpreter._tier3_deopt``).
+
+
+class UnsupportedHosted(Exception):
+    """The function cannot be translated for the hosted executor."""
+
+
+class Tier3Unit:
+    """A hosted-mode translation plus the bookkeeping the tier-1 driver
+    needs to enter, observe, and deoptimize it."""
+
+    kind = "tier3"
+
+    __slots__ = ("name", "machine", "smc_version", "num_args",
+                 "num_slots", "block_steps", "block_cycles",
+                 "slot_by_site")
+
+    def __init__(self, name: str, machine: MachineFunction,
+                 smc_version: int, num_args: int, num_slots: int,
+                 block_steps: Dict[str, int],
+                 slot_by_site: Dict[str, int]):
+        self.name = name
+        self.machine = machine
+        self.smc_version = smc_version
+        self.num_args = num_args
+        self.num_slots = num_slots
+        #: Interpreter steps charged on entering each block (the tier-1
+        #: per-edge bump: 1 for the branch + one per phi).  Blocks added
+        #: by critical-edge splitting are absent and charge nothing.
+        self.block_steps = block_steps
+        #: "block:index" V-ABI site -> tier-1 register slot, for deopt.
+        self.slot_by_site = slot_by_site
+        self.block_cycles = {
+            block.name: sum(instr_cost(instr)
+                            for instr in block.instructions)
+            for block in machine.blocks}
+
+    def factory(self, st, *args):
+        return _run_hosted(st, self, list(args))
+
+
+def _run_hosted(st, unit: Tier3Unit, args: list):
+    """One activation of a hosted translation, as a tier-2-protocol
+    generator driven by ``FastInterpreter._tier3_driver``."""
+    machine = unit.machine
+    target = machine.target
+    arg_regs = target.arg_regs
+    return_reg = target.return_reg
+    blocks = machine.blocks
+    block_position = {block.name: position
+                      for position, block in enumerate(blocks)}
+    block_steps = unit.block_steps
+    block_cycles = unit.block_cycles
+    pmask = _pointer_mask(st.target)
+    memory = st.memory
+    image = st.image
+
+    registers: Dict[str, object] = {}
+    slots: Dict[int, object] = {}   # fp-relative spill/fold slots
+    arg_stack: list = []            # virtualized outgoing-arg pushes
+    incoming = list(args[len(arg_regs):])
+    for reg_name, value in zip(arg_regs, args):
+        registers[reg_name] = value
+    # Tier-1 register shadow, V-ABI slot numbering: arguments first,
+    # then one slot per value-producing instruction.  Instructions
+    # carrying a "vabi" slot number refresh it, so at any deopt site the
+    # shadow maps straight onto a tier-1 frame's register file.
+    shadow = [0] * unit.num_slots
+    shadow[:len(args)] = args
+
+    def real_address(mem) -> int:
+        address = mem.offset
+        if mem.symbol is not None:
+            address += image.address_of(mem.symbol)
+        if mem.base is not None:
+            address += int(registers.get(mem.base.name, 0))
+        if mem.index is not None:
+            address += int(registers.get(mem.index.name, 0)) * mem.scale
+        return address
+
+    def is_frame_slot(mem) -> bool:
+        return mem.symbol is None and mem.index is None \
+            and mem.base is not None and mem.base.name == "fp"
+
+    def value_of(operand, value_type=None):
+        if isinstance(operand, Imm):
+            return operand.value
+        if isinstance(operand, PhysReg):
+            return registers.get(operand.name, 0)
+        if isinstance(operand, SymRef):
+            return image.address_of(operand.name)
+        if isinstance(operand, Mem):
+            if operand.symbol == INCOMING_ARGS:
+                return incoming[operand.offset // 8]
+            if is_frame_slot(operand):
+                return slots.get(operand.offset, 0)
+            return memory.read_typed(real_address(operand),
+                                     value_type or types.ULONG)
+        raise ExecutionTrap(TrapKind.SOFTWARE_TRAP,
+                            "bad operand {0!r}".format(operand))
+
+    def masked(ee: bool, unmaskable: bool) -> bool:
+        return not unmaskable and not (ee and st.exceptions_dynamic)
+
+    def goto(label: str) -> int:
+        position = block_position.get(label)
+        if position is None:
+            raise ExecutionTrap(TrapKind.SOFTWARE_TRAP,
+                                "jump to unknown label {0}".format(label))
+        steps = st.steps + block_steps.get(label, 0)
+        st.steps = steps
+        st.tier3_cycles += block_cycles.get(label, 0)
+        ms = st.max_steps
+        if ms is not None and steps > ms:
+            raise StepLimitExceeded("exceeded {0} steps".format(ms))
+        return position
+
+    bi = 0
+    ii = 0
+    if blocks:
+        st.tier3_cycles += block_cycles.get(blocks[0].name, 0)
+    while True:
+        block = blocks[bi]
+        instructions = block.instructions
+        if ii >= len(instructions):
+            # Lexical fallthrough is a real CFG edge (the translator
+            # removed the jump to the next block in layout order).
+            if bi + 1 >= len(blocks):
+                raise ExecutionTrap(
+                    TrapKind.SOFTWARE_TRAP,
+                    "fell off the end of block {0} in {1}"
+                    .format(block.name, machine.name))
+            bi = goto(blocks[bi + 1].name)
+            ii = 0
+            continue
+        instr = instructions[ii]
+        attrs = instr.attrs
+        sem = instr.semantics
+        ops = instr.operands
+        if "step" in attrs:
+            # One interpreter step per LLVA instruction, charged on the
+            # first machine instruction of its run.  No limit check
+            # here: tier-1 only checks at edges and calls, and the
+            # differential suite compares step counts exactly.
+            st.steps += 1
+
+        if sem == Semantics.MOV:
+            value_type = attrs.get("mem_value_type") \
+                or attrs.get("value_type")
+            registers[ops[0].name] = value_of(ops[1], value_type)
+        elif sem == Semantics.ALU:
+            value_type = attrs["value_type"]
+            mem_type = attrs.get("mem_value_type") or value_type
+            op = attrs["op"]
+            lhs = value_of(ops[1], value_type)
+            rhs = value_of(ops[2], mem_type)
+            if value_type.is_floating_point:
+                result = _float_arith(op, lhs, rhs)
+                if value_type is types.FLOAT:
+                    result = _round_f32(result)
+                registers[ops[0].name] = result
+            elif value_type.is_bool:
+                if op == "and":
+                    registers[ops[0].name] = lhs & rhs
+                elif op == "or":
+                    registers[ops[0].name] = lhs | rhs
+                else:
+                    registers[ops[0].name] = lhs ^ rhs
+            else:
+                lhs = int(lhs)
+                rhs = int(rhs)
+                ee = attrs.get("ee", False)
+                if op in ("div", "rem") and rhs == 0:
+                    if masked(ee, False):
+                        registers[ops[0].name] = 0
+                    else:
+                        yield ("deopt", attrs.get("site"), list(shadow),
+                               TrapKind.DIVIDE_BY_ZERO, 0, "")
+                        return
+                else:
+                    raw = _raw_int_alu(op, lhs, rhs, value_type)
+                    wrapped = value_type.wrap(raw)
+                    if wrapped != raw and op in _OVERFLOW_OPS \
+                            and ee and st.exceptions_dynamic:
+                        yield ("deopt", attrs.get("site"), list(shadow),
+                               TrapKind.INTEGER_OVERFLOW, 0, "")
+                        return
+                    registers[ops[0].name] = wrapped
+        elif sem == Semantics.CMP:
+            value_type = attrs.get("value_type")
+            mem_type = attrs.get("mem_value_type") or value_type
+            rel = attrs["rel"]
+            lhs = value_of(ops[1], value_type)
+            rhs = value_of(ops[2], mem_type)
+            if rel == "eq":
+                result = lhs == rhs
+            elif rel == "ne":
+                result = lhs != rhs
+            elif rel == "lt":
+                result = lhs < rhs
+            elif rel == "gt":
+                result = lhs > rhs
+            elif rel == "le":
+                result = lhs <= rhs
+            else:
+                result = lhs >= rhs
+            registers[ops[0].name] = result
+        elif sem == Semantics.LOAD:
+            value_type = attrs.get("value_type") or types.ULONG
+            mem = ops[1]
+            if mem.symbol == INCOMING_ARGS:
+                registers[ops[0].name] = incoming[mem.offset // 8]
+            elif is_frame_slot(mem):
+                registers[ops[0].name] = slots.get(mem.offset, 0)
+            else:
+                try:
+                    value = memory.read_typed(real_address(mem),
+                                              value_type)
+                except MemoryError_ as fault:
+                    if masked(attrs.get("ee", False), fault.unmaskable):
+                        value = _zero_of(value_type)
+                    else:
+                        yield ("deopt", attrs.get("site"), list(shadow),
+                               fault.trap_number, fault.address or 0,
+                               fault.detail)
+                        return
+                registers[ops[0].name] = value
+        elif sem == Semantics.STORE:
+            value_type = attrs.get("value_type") or types.ULONG
+            mem = ops[1]
+            value = value_of(ops[0])
+            if mem.symbol is None and is_frame_slot(mem):
+                slots[mem.offset] = value
+            else:
+                try:
+                    memory.write_typed(real_address(mem), value_type,
+                                       value)
+                except MemoryError_ as fault:
+                    if not masked(attrs.get("ee", False),
+                                  fault.unmaskable):
+                        yield ("deopt", attrs.get("site"), list(shadow),
+                               fault.trap_number, fault.address or 0,
+                               fault.detail)
+                        return
+        elif sem == Semantics.LEA:
+            registers[ops[0].name] = real_address(ops[1]) & pmask
+        elif sem == Semantics.CVT:
+            from_type = attrs["from_type"]
+            to_type = attrs["to_type"]
+            registers[ops[0].name] = cast_value(
+                value_of(ops[1], from_type), from_type, to_type,
+                st.target)
+        elif sem == Semantics.JMP:
+            bi = goto(ops[0].name)
+            ii = 0
+            continue
+        elif sem == Semantics.JCC:
+            if value_of(ops[0], types.BOOL):
+                bi = goto(ops[1].name)
+                ii = 0
+                continue
+        elif sem == Semantics.CALL:
+            nargs = attrs.get("nargs", 0)
+            nreg = min(nargs, len(arg_regs))
+            call_args = [registers.get(arg_regs[i], 0)
+                         for i in range(nreg)]
+            nstack = nargs - nreg
+            if nstack:
+                call_args.extend(reversed(arg_stack[-nstack:]))
+            callee = ops[0]
+            return_type = attrs.get("return_type")
+            try:
+                if isinstance(callee, SymRef):
+                    callk = attrs.get("callk", "fn")
+                    if callk == "intr":
+                        result = yield ("intr", callee.name, call_args)
+                    elif callk == "rt":
+                        result = yield ("rt", callee.name, call_args)
+                    else:
+                        fn = st.module.functions.get(callee.name)
+                        if fn is None:
+                            raise ExecutionTrap(
+                                TrapKind.SOFTWARE_TRAP,
+                                "call to undefined function %{0}"
+                                .format(callee.name))
+                        ms = st.max_steps
+                        if ms is not None and st.steps > ms:
+                            raise StepLimitExceeded(
+                                "exceeded {0} steps".format(ms))
+                        result = yield ("call", fn, call_args)
+                else:
+                    address = int(value_of(callee))
+                    result = yield ("icall", address, call_args)
+            except MemoryError_ as fault:
+                if masked(attrs.get("ee", True), fault.unmaskable):
+                    if return_type is not None \
+                            and not return_type.is_void:
+                        registers[return_reg] = _zero_of(return_type)
+                else:
+                    yield ("deopt", attrs.get("site"), list(shadow),
+                           fault.trap_number, fault.address or 0,
+                           fault.detail)
+                    return
+            else:
+                if return_type is not None and not return_type.is_void:
+                    registers[return_reg] = result
+        elif sem == Semantics.RET:
+            return registers.get(return_reg)
+        elif sem == Semantics.PUSH:
+            # Linear-scan "save" pseudo-pushes are no-ops here: the
+            # register file is per-activation, so callee-saved state
+            # cannot be clobbered.
+            if instr.mnemonic != "save":
+                arg_stack.append(value_of(ops[0]))
+        elif sem == Semantics.POP:
+            if instr.mnemonic != "restore":
+                registers[ops[0].name] = \
+                    arg_stack.pop() if arg_stack else 0
+        elif sem == Semantics.ADJSP:
+            if attrs.get("negate"):
+                raise ExecutionTrap(
+                    TrapKind.SOFTWARE_TRAP,
+                    "dynamic stack adjustment in hosted code")
+            drop = int(value_of(ops[0], types.ULONG)) // 8
+            if drop:
+                del arg_stack[-drop:]
+        elif sem == Semantics.ALLOCA:
+            esize = attrs["esize"]
+            align = max(attrs.get("align", 1), 1)
+            count = int(value_of(ops[1]))
+            total = max(esize * max(count, 0), 1)
+            try:
+                address = memory.push_frame(total, align)
+            except ExecutionTrap as trap:
+                if masked(attrs.get("ee", False), trap.unmaskable):
+                    registers[ops[0].name] = 0
+                else:
+                    yield ("deopt", attrs.get("site"), list(shadow),
+                           trap.trap_number, 0, trap.detail)
+                    return
+            else:
+                registers[ops[0].name] = address
+        elif sem == Semantics.NOP:
+            pass
+        else:
+            raise ExecutionTrap(
+                TrapKind.SOFTWARE_TRAP,
+                "hosted executor cannot run {0!r}".format(sem))
+
+        slot = attrs.get("vabi")
+        if slot is not None:
+            if sem == Semantics.STORE:
+                shadow[slot] = value_of(ops[0])
+            else:
+                shadow[slot] = registers.get(ops[0].name, 0)
+        ii += 1
+
+
+def build_tier3_unit(function, module: Module, target) -> Tier3Unit:
+    """Translate *function* in hosted mode and wrap it as a tier-3 unit.
+
+    Raises :class:`UnsupportedHosted` for bodies the hosted executor
+    cannot honour exactly (declarations, and invoke/unwind — whose
+    lowered control flow charges steps differently from tier-1)."""
+    from repro.ir import instructions as insts
+    from repro.transforms.cloning import clone_function_body
+
+    if function.is_declaration:
+        raise UnsupportedHosted(
+            "%{0} has no body".format(function.name))
+    for block in function.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, (insts.InvokeInst, insts.UnwindInst)):
+                raise UnsupportedHosted(
+                    "%{0} uses invoke/unwind".format(function.name))
+
+    # V-ABI slot numbering, identical to tier-1's decode (and the OSR
+    # maps): arguments first, then every value-producing instruction in
+    # block order.  Sites name the *original* blocks; the clone keeps
+    # block names and instruction indices, so annotations agree.
+    num_args = len(function.args)
+    slot = num_args
+    slot_by_site: Dict[str, int] = {}
+    block_steps: Dict[str, int] = {}
+    for block in function.blocks:
+        block_steps[block.name] = 1 + len(block.phis())
+        for index, inst in enumerate(block.instructions):
+            if inst.produces_value:
+                slot_by_site["{0}:{1}".format(block.name, index)] = slot
+                slot += 1
+
+    # Lower a clone: critical-edge splitting mutates the CFG, and the
+    # original keeps running under tier 1/2 (and may deopt back).
+    clone = clone_function_body(function)
+    machine = target.translate_function(clone, hosted=True)
+    _finalize_hosted(machine, module, slot_by_site)
+    return Tier3Unit(function.name, machine, function.smc_version,
+                     num_args, slot, block_steps, slot_by_site)
+
+
+def _finalize_hosted(machine: MachineFunction, module: Module,
+                     slot_by_site: Dict[str, int]) -> None:
+    """Resolve V-ABI site strings to slot numbers and classify direct
+    callees, so the executor needs no IR at run time (the annotated
+    machine function round-trips through persistence on its own)."""
+    for block in machine.blocks:
+        for instr in block.instructions:
+            site = instr.attrs.get("vabi")
+            if isinstance(site, str):
+                number = slot_by_site.get(site)
+                if number is None:
+                    del instr.attrs["vabi"]
+                else:
+                    instr.attrs["vabi"] = number
+            if instr.semantics == Semantics.CALL \
+                    and isinstance(instr.operands[0], SymRef):
+                name = instr.operands[0].name
+                fn = module.functions.get(name)
+                if is_intrinsic_name(name):
+                    instr.attrs["callk"] = "intr"
+                elif (fn is None or fn.is_declaration) \
+                        and is_runtime_name(name):
+                    instr.attrs["callk"] = "rt"
+                else:
+                    instr.attrs["callk"] = "fn"

@@ -115,6 +115,16 @@ class InterpretedRunReport:
     tier2_pending_at_exit: int = 0
     #: High-water mark of the compile service queue.
     tier2_queue_peak: int = 0
+    #: Tier-3 (hosted native) activity (zero unless ``tier3=True``).
+    tier3_steps: int = 0
+    tier3_calls: int = 0
+    tier3_functions_compiled: int = 0
+    tier3_warm_compiles: int = 0
+    tier3_compile_seconds: float = 0.0
+    tier3_deopts: int = 0
+    tier3_pins: int = 0
+    #: Did a persisted tier-3 native blob validate and load?
+    tier3_cache_hit: bool = False
 
 
 class LLEE:
@@ -222,6 +232,9 @@ class LLEE:
                         osr: bool = False,
                         async_compile: bool = False,
                         compile_workers: Optional[int] = None,
+                        tier3: bool = False,
+                        tier3_threshold: Optional[int] = None,
+                        tier3_target: Optional[str] = None,
                         executable_timestamp: Optional[float] = None
                         ) -> InterpretedRunReport:
         """Run a virtual executable on an interpreter engine.
@@ -263,11 +276,20 @@ class LLEE:
         safe point.  In-flight jobs are drained before the report is
         built, so persistence and the compile statistics are complete
         either way.
+
+        ``tier3=True`` (implies tier 2) adds the top rung of the
+        ladder: functions that stay hot *inside* tier 2 are translated
+        with the offline FunctionJIT pipeline (``tier3_target`` picks
+        the back end) and executed by the hosted machine-code
+        executor.  With a storage API the native units persist under
+        the ``llee-tier3`` cache next to the ``llee-tier2`` blob.
         """
-        tier2_live = bool(tier2) and engine == "fast" and not sanitize
+        tier2_live = (bool(tier2) or bool(tier3)) and engine == "fast" \
+            and not sanitize
         use_superblocks = tier2_live and bool(superblocks)
         use_osr = tier2_live and bool(osr)
         use_async = tier2_live and bool(async_compile)
+        use_tier3 = tier2_live and bool(tier3)
         parts = ["interp"]
         if sanitize:
             parts.append("san")
@@ -277,6 +299,8 @@ class LLEE:
             parts.append("osr")
         if use_async:
             parts.append("async")
+        if use_tier3:
+            parts.append("t3")
         key = "-".join(parts) + "-" + self._cache_key(object_code)
         with observe.span("llee.run_interpreted", entry=entry,
                           engine=engine, tier2=bool(tier2)):
@@ -300,6 +324,12 @@ class LLEE:
                 if use_async:
                     kwargs["compile_service"] = \
                         self.compile_service(compile_workers)
+                if use_tier3:
+                    kwargs["tier3"] = True
+                    if tier3_threshold is not None:
+                        kwargs["tier3_threshold"] = tier3_threshold
+                    if tier3_target is not None:
+                        kwargs["tier3_target"] = tier3_target
                 tier2_cache = Tier2Cache(module, module.target_data,
                                          superblocks=use_superblocks,
                                          osr=use_osr,
@@ -317,7 +347,7 @@ class LLEE:
                 module, privileged=privileged, engine=engine,
                 decode_cache=decode_cache if engine == "fast" else None,
                 sanitize=sanitize,
-                tier2=tier2_cache if tier2 else False,
+                tier2=tier2_cache if tier2_cache is not None else False,
                 tier2_threshold=tier2_threshold)
             smc_fired = []
             interpreter.smc_listeners.append(smc_fired.append)
@@ -375,6 +405,19 @@ class LLEE:
             if self._compile_service is not None:
                 report.tier2_queue_peak = \
                     self._compile_service.stats.queue_peak
+            if tier2_cache.tier3:
+                report.tier3_steps = getattr(interpreter,
+                                             "tier3_steps", 0)
+                report.tier3_calls = getattr(interpreter,
+                                             "tier3_calls", 0)
+                report.tier3_functions_compiled = \
+                    tier2_cache.stats.tier3_compiled
+                report.tier3_warm_compiles = tier2_cache.stats.tier3_warm
+                report.tier3_compile_seconds = \
+                    tier2_cache.stats.tier3_compile_seconds
+                report.tier3_deopts = tier2_cache.stats.tier3_deopts
+                report.tier3_pins = tier2_cache.stats.tier3_pins
+                report.tier3_cache_hit = tier2_cache.tier3_cache_hit
         return report
 
     def offline_translate(self, object_code: bytes,

@@ -37,7 +37,10 @@ from typing import Deque, Dict, Iterable, List, Optional, Set
 #: v2: asynchronous compilation (``tier2.compile.enqueue`` carrying
 #: the service queue depth, ``tier2.swap_in`` carrying the enqueue-
 #: to-swap latency).
-FLIGHT_FORMAT_VERSION = 2
+#: v3: tier-3 hosted native execution (``tier3.promote`` /
+#: ``tier3.compile.*`` / ``tier3.pin`` / ``tier3.deopt``, and
+#: ``smc.invalidate`` events with ``layer="tier3"``).
+FLIGHT_FORMAT_VERSION = 3
 
 #: Default ring capacity — big enough to hold the full JIT lifecycle
 #: of a benchsuite run (a few hundred events) with room for chatty
@@ -67,6 +70,12 @@ EVENT_SCHEMA: Dict[str, Set[str]] = {
     # on-stack replacement
     "tier2.osr.enter": {"function", "block"},
     "tier2.osr.upgrade": {"function", "kind"},
+    # tier-3 hosted native execution
+    "tier3.promote": {"function", "step_credit"},
+    "tier3.compile.begin": {"function"},
+    "tier3.compile.end": {"function", "kind", "seconds", "warm"},
+    "tier3.pin": {"function", "reason"},
+    "tier3.deopt": {"function", "site", "trap"},
     # trap delivery
     "trap.deliver": {"engine", "trap", "handler"},
     "trap.unhandled": {"engine", "trap"},

@@ -7,7 +7,9 @@ pairs, where tier is one of:
 * ``tier2`` — tier-2 block-dispatch / profiling units;
 * ``superblock`` — trace-compiled straight-line arms;
 * ``osr`` — frames that entered tier-2 mid-run via on-stack
-  replacement.
+  replacement;
+* ``tier3`` — hosted native units (machine code run by the hosted
+  executor; a deopt swaps the frame back to ``tier1`` in place).
 
 The scheme is frame-boundary accounting: the engines call
 :meth:`StepProfiler.push` / :meth:`pop` / :meth:`replace` at every
@@ -32,7 +34,8 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 #: Tier labels, in promotion order.
-TIERS: Tuple[str, ...] = ("tier1", "tier2", "superblock", "osr")
+TIERS: Tuple[str, ...] = ("tier1", "tier2", "superblock", "osr",
+                          "tier3")
 
 #: Tiers whose steps the engine books under ``tier2_steps``.
 TIER2_TIERS = frozenset(("tier2", "superblock", "osr"))
@@ -200,13 +203,19 @@ class StepProfiler:
 
     def tier1_steps(self) -> int:
         return int(sum(row[0] for (_, tier), row in self.rows.items()
-                       if tier not in TIER2_TIERS))
+                       if tier not in TIER2_TIERS
+                       and tier != "tier3"))
 
     def tier2_steps(self) -> int:
         """Steps the engine books as ``tier2_steps`` (tier-2 dispatch
         + superblock + OSR-entered frames)."""
         return int(sum(row[0] for (_, tier), row in self.rows.items()
                        if tier in TIER2_TIERS))
+
+    def tier3_steps(self) -> int:
+        """Steps executed inside hosted native (tier-3) frames."""
+        return int(sum(row[0] for (_, tier), row in self.rows.items()
+                       if tier == "tier3"))
 
     def function_rows(self) -> List[Dict[str, object]]:
         """Rows sorted hottest-first, JSON-ready."""
@@ -227,6 +236,7 @@ class StepProfiler:
             "tiers": self.tier_totals(),
             "tier1_steps": self.tier1_steps(),
             "tier2_steps": self.tier2_steps(),
+            "tier3_steps": self.tier3_steps(),
             "total_steps": self.total_steps(),
             "duration_seconds": duration,
         }

@@ -38,6 +38,9 @@ class Semantics:
     ADJSP = "adjsp"      # sp += imm (stack adjustment)
     UNWIND = "unwind"    # pop frames to the nearest invoke
     NOP = "nop"
+    ALLOCA = "alloca"    # rd <- push_frame(esize*count) (hosted tier-3
+    #                      lowering only: keeps alloca addresses
+    #                      identical to the interpreter's)
 
 
 class VirtualReg:

@@ -85,6 +85,81 @@ class TestCycleModel:
         with pytest.raises(ExecutionTrap):
             simulator.run("main")
 
+    def test_cycle_budget_exact_boundary(self):
+        """A budget of N means N cycles may be *spent*: a run costing
+        exactly N completes, a budget of N-1 traps, and the trapped
+        simulator never charges past its budget."""
+        source = """
+        int %main() {
+        entry:
+                %a = mul int 6, 7
+                %b = add int %a, 1
+                ret int %b
+        }
+        """
+        full, _ = _simulate(source)
+        total = full.cycles
+
+        module = parse_module(source)
+        verify_module(module)
+        native = translate_module(module, make_target("x86"))
+        exact = MachineSimulator(native, module, max_cycles=total)
+        value, _status = exact.run("main")
+        assert value == 43
+        assert exact.cycles == total
+
+        short = MachineSimulator(native, module, max_cycles=total - 1)
+        with pytest.raises(ExecutionTrap):
+            short.run("main")
+        assert short.cycles <= total - 1
+
+
+class TestTrapDetailParity:
+    """Simulator faults carry the same kind + detail strings as the
+    interpreter engines, so trap reports are byte-identical whether a
+    program faults in tier 1, tier 2, tier 3, or under --target."""
+
+    DIV = """
+    int %main() {
+    entry:
+            %q = div int 9, 0
+            ret int %q
+    }
+    """
+    OVERFLOW = """
+    int %main() {
+    entry:
+            %r = add int 2147483647, 1 !ee(true)
+            ret int %r
+    }
+    """
+
+    def _interpreter_trap(self, source):
+        module = parse_module(source)
+        verify_module(module)
+        with pytest.raises(ExecutionTrap) as info:
+            Interpreter(module).run("main", [])
+        return info.value
+
+    def _simulator_trap(self, source, target_name):
+        module = parse_module(source)
+        verify_module(module)
+        native = translate_module(module, make_target(target_name))
+        simulator = MachineSimulator(native, module)
+        with pytest.raises(ExecutionTrap) as info:
+            simulator.run("main")
+        return info.value
+
+    @pytest.mark.parametrize("target", ("x86", "sparc"))
+    @pytest.mark.parametrize("source", (DIV, OVERFLOW),
+                             ids=("div", "overflow"))
+    def test_fault_reports_identical(self, source, target):
+        expected = self._interpreter_trap(source)
+        got = self._simulator_trap(source, target)
+        assert got.trap_number == expected.trap_number
+        assert got.detail == expected.detail
+        assert str(got) == str(expected)
+
 
 class TestFramesAndArguments:
     def test_frame_isolation_across_recursion(self):

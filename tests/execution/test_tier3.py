@@ -1,0 +1,423 @@
+"""Tier-3 mechanics: promotion, deopt, SMC, persistence, pinning.
+
+The differential suite proves tier-3 runs are observationally
+identical to the oracle; this module pins down the *machinery* —
+step-credit promotion, the deopt contract (a trap delivered inside a
+native frame demotes the function all the way back to tier 1), SMC
+invalidation of installed native units, the ``llee-tier3`` persistence
+blob, background compilation, and the UnsupportedHosted fallback.
+"""
+
+import pytest
+
+from repro.asm import parse_module
+from repro.execution import ExecutionTrap, Interpreter
+from repro.execution.machine_sim import (
+    Tier3Unit,
+    UnsupportedHosted,
+    build_tier3_unit,
+)
+from repro.execution.tier2 import (
+    TIER3_CACHE_NAME,
+    Tier2Cache,
+)
+from repro.ir import verify_module
+from repro.targets import make_target
+
+HOT_LOOP = """
+int %work(int %n) {
+entry:
+        br label %loop
+loop:
+        %i = phi int [0, %entry], [%next, %loop]
+        %acc = phi int [0, %entry], [%sum, %loop]
+        %tripled = mul int %i, 3
+        %sum = add int %acc, %tripled
+        %next = add int %i, 1
+        %done = setge int %next, %n
+        br bool %done, label %exit, label %loop
+exit:
+        ret int %sum
+}
+int %main() {
+entry:
+        br label %loop
+loop:
+        %i = phi int [0, %entry], [%next, %loop]
+        %v = call int %work(int 30)
+        %next = add int %i, 1
+        %done = setge int %next, 20
+        br bool %done, label %exit, label %loop
+exit:
+        ret int %v
+}
+"""
+
+
+def _module(source=HOT_LOOP):
+    module = parse_module(source)
+    verify_module(module)
+    return module
+
+
+def _forced_cache(module, target_name="x86", **kwargs):
+    return Tier2Cache(module, module.target_data, threshold=0,
+                      tier3=True, tier3_threshold=0,
+                      tier3_target=target_name, **kwargs)
+
+
+class MemStorage:
+    """Minimal in-memory LLEE storage for persistence round trips."""
+
+    def __init__(self):
+        self.blobs = {}
+
+    def read(self, cache, key):
+        return self.blobs.get((cache, key))
+
+    def write(self, cache, key, data):
+        self.blobs[(cache, key)] = data
+
+    def timestamp(self, cache, key):
+        return None
+
+
+class TestPromotion:
+    @pytest.mark.parametrize("target", ("x86", "sparc"))
+    def test_forced_promotion_runs_native(self, target):
+        module = _module()
+        reference = Interpreter(_module()).run("main", [])
+        cache = _forced_cache(module, target)
+        interpreter = Interpreter(module, engine="fast", tier2=cache)
+        result = interpreter.run("main", [])
+        assert result.return_value == reference.return_value
+        assert result.steps == reference.steps
+        assert interpreter.tier3_calls > 0
+        assert interpreter.tier3_steps == result.steps
+        assert cache.stats.tier3_compiled == 2
+        assert cache.stats.tier3_deopts == 0
+
+    def test_high_threshold_never_promotes(self):
+        module = _module()
+        cache = Tier2Cache(module, module.target_data, threshold=0,
+                           tier3=True, tier3_threshold=10**9)
+        interpreter = Interpreter(module, engine="fast", tier2=cache)
+        interpreter.run("main", [])
+        assert cache.stats.tier3_compiled == 0
+        assert interpreter.tier3_calls == 0
+        assert interpreter.tier2_calls > 0
+
+    def test_step_credit_promotes_hot_tier2_function(self):
+        # %work burns ~250 steps per invocation in tier 2; a small
+        # tier-3 step-credit threshold must promote it mid-run while
+        # the cold entry function stays in tier 2.
+        module = _module()
+        cache = Tier2Cache(module, module.target_data, threshold=0,
+                           tier3=True, tier3_threshold=500)
+        interpreter = Interpreter(module, engine="fast", tier2=cache)
+        result = interpreter.run("main", [])
+        assert result.return_value == Interpreter(
+            _module()).run("main", []).return_value
+        assert cache.stats.tier3_compiled >= 1
+        assert interpreter.tier3_calls > 0
+        assert 0 < interpreter.tier3_steps < result.steps
+
+    def test_tier3_without_explicit_tier2_flag(self):
+        # tier3=True alone must light up the whole ladder.
+        module = _module()
+        interpreter = Interpreter(module, engine="fast", tier3=True,
+                                  tier2_threshold=0, tier3_threshold=0)
+        result = interpreter.run("main", [])
+        assert interpreter.tier2 is not None
+        assert interpreter.tier2.tier3
+        assert result.return_value == Interpreter(
+            _module()).run("main", []).return_value
+
+    def test_reference_engine_rejects_tier3(self):
+        with pytest.raises(ValueError):
+            Interpreter(_module(), engine="reference", tier3=True)
+
+
+class TestDeopt:
+    TRAP_LOOP = """
+    int %divloop(int %n) {
+    entry:
+            br label %loop
+    loop:
+            %i = phi int [0, %entry], [%next, %loop]
+            %acc = phi int [0, %entry], [%sum, %loop]
+            %den = sub int %n, %i
+            %den2 = sub int %den, 10
+            %q = div int 100, %den2
+            %sum = add int %acc, %q
+            %next = add int %i, 1
+            %done = setge int %next, %n
+            br bool %done, label %exit, label %loop
+    exit:
+            ret int %sum
+    }
+    int %main() {
+    entry:
+            %r = call int %divloop(int 20)
+            ret int %r
+    }
+    """
+
+    @pytest.mark.parametrize("target", ("x86", "sparc"))
+    def test_trap_mid_native_frame_deopts_to_tier1(self, target):
+        """An unmasked divide-by-zero fires on iteration 10, deep in a
+        native frame: the trap must surface with the oracle's trap
+        number and step count, and the function must be demoted."""
+        reference_interp = Interpreter(_module(self.TRAP_LOOP))
+        try:
+            reference_interp.run("main", [])
+            reference = ("ok",)
+        except ExecutionTrap as trap:
+            reference = ("trap", trap.trap_number,
+                         reference_interp.steps)
+        assert reference[0] == "trap"
+
+        module = _module(self.TRAP_LOOP)
+        cache = _forced_cache(module, target)
+        interpreter = Interpreter(module, engine="fast", tier2=cache)
+        try:
+            interpreter.run("main", [])
+            raised = None
+        except ExecutionTrap as trap:
+            raised = trap
+        assert raised is not None
+        assert ("trap", raised.trap_number,
+                interpreter.steps) == reference
+        assert cache.stats.tier3_deopts == 1
+        divloop = module.get_function("divloop")
+        assert "deopt" in cache.pinned3_reason(divloop)
+
+    def test_handled_trap_resumes_after_deopt(self):
+        """A registered handler absorbs the fault: the run completes,
+        with the faulting function finishing the invocation in tier 1
+        and later calls staying off tier 3."""
+        source = """
+        %log = global int 0
+        declare void %llva.trap.register(uint, sbyte*)
+        void %handler(uint %trapno, sbyte* %info) {
+        entry:
+                %old = load int* %log
+                %n = cast uint %trapno to int
+                %new = add int %old, %n
+                store int %new, int* %log
+                ret void
+        }
+        int %faulty(int %x) {
+        entry:
+                %q = div int %x, 0
+                ret int %q
+        }
+        int %main() {
+        entry:
+                %h = cast void (uint, sbyte*)* %handler to sbyte*
+                call void %llva.trap.register(uint 2, sbyte* %h)
+                %a = call int %faulty(int 9)
+                %b = call int %faulty(int 7)
+                %v = load int* %log
+                %r = add int %v, %a
+                %s = add int %r, %b
+                ret int %s
+        }
+        """
+        reference = Interpreter(_module(source),
+                                privileged=True).run("main", [])
+        module = _module(source)
+        cache = _forced_cache(module)
+        interpreter = Interpreter(module, engine="fast",
+                                  privileged=True, tier2=cache)
+        result = interpreter.run("main", [])
+        assert (result.return_value, result.steps) == \
+            (reference.return_value, reference.steps)
+        assert cache.stats.tier3_deopts == 1
+
+
+class TestSMCInvalidation:
+    SMC = """
+    declare void %llva.smc.replace(sbyte*, sbyte*)
+    int %f(int %x) {
+    entry:
+            %r = add int %x, 1
+            ret int %r
+    }
+    int %g(int %x) {
+    entry:
+            %r = mul int %x, 100
+            ret int %r
+    }
+    int %main() {
+    entry:
+            %before = call int %f(int 5)
+            %old = cast int (int)* %f to sbyte*
+            %new = cast int (int)* %g to sbyte*
+            call void %llva.smc.replace(sbyte* %old, sbyte* %new)
+            %after = call int %f(int 5)
+            %r = sub int %after, %before
+            ret int %r
+    }
+    """
+
+    @pytest.mark.parametrize("target", ("x86", "sparc"))
+    def test_smc_invalidates_installed_native_unit(self, target):
+        module = _module(self.SMC)
+        cache = _forced_cache(module, target)
+        interpreter = Interpreter(module, engine="fast", tier2=cache)
+        result = interpreter.run("main", [])
+        assert result.return_value == 494
+        assert cache.stats.tier3_invalidations >= 1
+        # The replacement body recompiles at the new smc version and
+        # the second call still runs native.
+        assert cache.stats.tier3_compiled >= 2
+
+
+class TestPinning:
+    def test_invoke_unwind_body_pins_not_crashes(self):
+        source = """
+        int %thrower() {
+        entry:
+                unwind
+        }
+        int %main() {
+        entry:
+                %v = invoke int %thrower() to label %ok
+                      unwind label %caught
+        ok:
+                ret int %v
+        caught:
+                ret int 77
+        }
+        """
+        module = _module(source)
+        cache = _forced_cache(module)
+        interpreter = Interpreter(module, engine="fast", tier2=cache)
+        result = interpreter.run("main", [])
+        assert result.return_value == 77
+        assert cache.stats.tier3_pins >= 1
+        assert cache.pinned3_reason(
+            module.get_function("main")) is not None
+
+    def test_build_rejects_unwind_directly(self):
+        source = """
+        int %main() {
+        entry:
+                unwind
+        }
+        """
+        module = _module(source)
+        with pytest.raises(UnsupportedHosted):
+            build_tier3_unit(module.get_function("main"), module,
+                             make_target("x86"))
+
+
+class TestPersistence:
+    def test_round_trip_warm_start(self):
+        storage = MemStorage()
+        module = _module()
+        cache = _forced_cache(module)
+        cache.attach_storage(storage, "k1")
+        interpreter = Interpreter(module, engine="fast", tier2=cache)
+        cold = interpreter.run("main", [])
+        assert cache.flush_storage()
+        assert (TIER3_CACHE_NAME, "k1") in storage.blobs
+
+        module2 = _module()
+        cache2 = _forced_cache(module2)
+        cache2.attach_storage(storage, "k1")
+        interpreter2 = Interpreter(module2, engine="fast",
+                                   tier2=cache2)
+        warm = interpreter2.run("main", [])
+        assert cache2.tier3_cache_hit
+        assert cache2.stats.tier3_warm == 2
+        assert (warm.return_value, warm.output, warm.steps) == \
+            (cold.return_value, cold.output, cold.steps)
+
+    def test_corrupt_blob_falls_back_to_cold_compile(self):
+        storage = MemStorage()
+        module = _module()
+        cache = _forced_cache(module)
+        cache.attach_storage(storage, "k1")
+        Interpreter(module, engine="fast", tier2=cache).run("main", [])
+        cache.flush_storage()
+        storage.blobs[(TIER3_CACHE_NAME, "k1")] = b"not json"
+
+        module2 = _module()
+        cache2 = _forced_cache(module2)
+        cache2.attach_storage(storage, "k1")
+        result = Interpreter(module2, engine="fast",
+                             tier2=cache2).run("main", [])
+        assert not cache2.tier3_cache_hit
+        assert cache2.stats.tier3_warm == 0
+        assert cache2.stats.tier3_compiled == 2
+        assert result.return_value == Interpreter(
+            _module()).run("main", []).return_value
+
+    def test_target_mismatch_rejected(self):
+        storage = MemStorage()
+        module = _module()
+        cache = _forced_cache(module, "x86")
+        cache.attach_storage(storage, "k1")
+        Interpreter(module, engine="fast", tier2=cache).run("main", [])
+        cache.flush_storage()
+
+        module2 = _module()
+        cache2 = _forced_cache(module2, "sparc")
+        cache2.attach_storage(storage, "k1")
+        result = Interpreter(module2, engine="fast",
+                             tier2=cache2).run("main", [])
+        assert not cache2.tier3_cache_hit
+        assert result.return_value == Interpreter(
+            _module()).run("main", []).return_value
+
+
+class TestAsyncTier3:
+    def test_background_compiles_swap_in(self):
+        module = _module()
+        reference = Interpreter(_module()).run("main", [])
+        cache = _forced_cache(module, async_compile=True,
+                              escalate_step_threshold=64)
+        try:
+            interpreter = Interpreter(module, engine="fast",
+                                      tier2=cache)
+            result = interpreter.run("main", [])
+            assert (result.return_value, result.output,
+                    result.steps) == (reference.return_value,
+                                      reference.output,
+                                      reference.steps)
+            assert cache.drain(timeout=30.0)
+            assert cache.pending_compiles == 0
+            assert cache.stats.tier3_compiled > 0
+        finally:
+            cache.close()
+
+
+class TestTier3Unit:
+    def test_unit_kind_and_cycle_totals(self):
+        module = _module()
+        unit = build_tier3_unit(module.get_function("work"), module,
+                                make_target("x86"))
+        assert isinstance(unit, Tier3Unit)
+        assert unit.kind == "tier3"
+        assert unit.num_args == 1
+        assert set(unit.block_steps) == {"entry", "loop", "exit"}
+        # Per-block native cycle totals reconcile with the simulator's
+        # deterministic cost model: every block costs something.
+        assert all(cycles > 0
+                   for cycles in unit.block_cycles.values())
+
+    def test_profiler_reports_tier3_rows(self):
+        from repro.observe.profiler import StepProfiler
+
+        module = _module()
+        cache = _forced_cache(module)
+        profiler = StepProfiler()
+        interpreter = Interpreter(module, engine="fast", tier2=cache,
+                                  profiler=profiler)
+        result = interpreter.run("main", [])
+        data = profiler.to_dict()
+        assert data["tier3_steps"] == result.steps
+        assert "tier3" in data["tiers"]
+        assert data["tiers"]["tier3"]["steps"] == result.steps

@@ -133,3 +133,95 @@ class TestToolchain:
         code, _out, err = _capture(["run", str(bad)], capsys)
         assert code == 128 + 2  # divide-by-zero
         assert "trap" in err
+
+
+class TestTierFlagNormalization:
+    """Flag implications resolve before mutual-exclusion validation:
+    an implied --tier2 (from --superblocks/--osr/--async-compile/
+    --tier3) must hit the same rejections an explicit one does, for
+    run, stats, and profile alike."""
+
+    IMPLYING_FLAGS = ("--tier2", "--superblocks", "--osr",
+                      "--async-compile", "--tier3")
+
+    @pytest.fixture()
+    def prog(self, workdir, capsys):
+        bc = str(workdir / "prog.bc")
+        assert main(["cc", str(workdir / "prog.c"), "-o", bc]) == 0
+        capsys.readouterr()
+        return bc
+
+    @pytest.mark.parametrize("flag", IMPLYING_FLAGS)
+    def test_run_rejects_tiered_with_target(self, prog, capsys, flag):
+        code, _out, err = _capture(
+            ["run", prog, flag, "--target", "x86"], capsys)
+        assert code == 2
+        assert "--tier2" in err and "--target" in err
+
+    @pytest.mark.parametrize("flag", IMPLYING_FLAGS)
+    def test_run_rejects_tiered_with_sanitize(self, prog, capsys,
+                                              flag):
+        code, _out, err = _capture(
+            ["run", prog, flag, "--sanitize"], capsys)
+        assert code == 2
+        assert "--sanitize" in err
+
+    @pytest.mark.parametrize("flag", IMPLYING_FLAGS)
+    def test_stats_rejects_tiered_with_target(self, prog, capsys,
+                                              flag):
+        code, _out, err = _capture(
+            ["stats", prog, flag, "--target", "sparc"], capsys)
+        assert code == 2
+        assert "--tier2" in err
+
+    @pytest.mark.parametrize("flag", IMPLYING_FLAGS)
+    def test_stats_rejects_tiered_with_sanitize(self, prog, capsys,
+                                                flag):
+        code, _out, err = _capture(
+            ["stats", prog, flag, "--sanitize"], capsys)
+        assert code == 2
+
+    @pytest.mark.parametrize("flag", IMPLYING_FLAGS)
+    def test_run_implied_tier2_overrides_reference_engine(
+            self, prog, capsys, flag):
+        argv = ["run", prog, flag, "--engine", "reference", "--stats"]
+        if flag == "--tier3":
+            argv += ["--tier2-threshold", "0", "--tier3-threshold", "0"]
+        code, out, err = _capture(argv, capsys)
+        assert out.strip() == "36"
+        assert code == 36
+        assert "tier2.steps=" in err or "tier3.steps=" in err
+
+    def test_run_tier3_forced_reports_native_execution(self, prog,
+                                                       capsys):
+        code, out, err = _capture(
+            ["run", prog, "--tier3", "--tier2-threshold", "0",
+             "--tier3-threshold", "0", "--stats"], capsys)
+        assert out.strip() == "36"
+        assert code == 36
+        assert "[tier3]" in err
+        assert "tier3.functions_compiled=" in err
+
+    def test_stats_tier3_report_section(self, prog, capsys):
+        code, out, _err = _capture(
+            ["stats", prog, "--tier3", "--tier2-threshold", "0",
+             "--tier3-threshold", "0"], capsys)
+        assert code == 0
+        assert "tiered translation (tier 3)" in out
+        assert "tier3.functions_compiled" in out
+
+    def test_profile_reports_tier3_row(self, prog, capsys):
+        code, out, _err = _capture(
+            ["profile", prog, "--tier3", "--tier2-threshold", "0",
+             "--tier3-threshold", "0"], capsys)
+        assert code == 0
+        assert "tier3_steps=" in out
+        assert "tier3" in out.split("== tiers ==", 1)[1]
+        assert "== tier-3 lifecycle ==" in out
+
+    def test_profile_tier3_off_by_default(self, prog, capsys):
+        code, out, _err = _capture(
+            ["profile", prog, "--tier2-threshold", "0"], capsys)
+        assert code == 0
+        assert "tier3_steps=0" in out
+        assert "== tier-3 lifecycle ==" not in out
