@@ -26,7 +26,9 @@ to hosted native execution: the x86 (or ``--tier3-target sparc``) back
 end translates it and the hosted executor runs the machine code,
 yielding back to the tier-1 driver for calls, runtime requests, and
 traps.  The report gains the tier-3 step/compile columns and lands in
-``BENCH_tier3.json``.
+``BENCH_tier3.json``.  ``--tier3-backend step`` swaps the hosted units
+onto the one-instruction interpreter (the precise oracle the default
+block-compiled threaded backend is differential-tested against).
 ``--async-compile`` (implying ``--tier2``) moves tier-2 compilation
 onto the background compile service: the timed run keeps executing
 tier 1 while workers build units, which are swapped in at safe yield
@@ -70,6 +72,7 @@ def run_engine(module, engine, sanitize=False, repeat=1,
                tier2=False, tier2_threshold=0, superblocks=False,
                osr=False, async_compile=False, compile_workers=None,
                tier3=False, tier3_threshold=0, tier3_target=None,
+               tier3_backend="threaded",
                storage=None, storage_key=None):
     """Run *module* ``repeat`` times on one engine against shared
     decode/tier-2 caches; returns a measurement dict (seconds = min).
@@ -99,7 +102,8 @@ def run_engine(module, engine, sanitize=False, repeat=1,
                                      compile_workers=compile_workers,
                                      tier3=tier3,
                                      tier3_threshold=tier3_threshold,
-                                     tier3_target=tier3_target)
+                                     tier3_target=tier3_target,
+                                     tier3_backend=tier3_backend)
             if storage is not None:
                 tier2_cache.attach_storage(storage, storage_key
                                            or module.name)
@@ -191,6 +195,13 @@ def run_engine(module, engine, sanitize=False, repeat=1,
         "tier3_compile_seconds": (
             tier2_cache.stats.tier3_compile_seconds
             if tier2_cache is not None else 0.0),
+        "tier3_threaded_units": (
+            tier2_cache.stats.tier3_threaded_units
+            if tier2_cache is not None else 0),
+        "tier3_step_units": (tier2_cache.stats.tier3_step_units
+                             if tier2_cache is not None else 0),
+        "tier3_degraded": (tier2_cache.stats.tier3_degraded
+                           if tier2_cache is not None else 0),
         "faults": faults,
     }
 
@@ -198,7 +209,8 @@ def run_engine(module, engine, sanitize=False, repeat=1,
 def bench_program(name, scale, sanitize=False, repeat=1, tier2=False,
                   tier2_threshold=0, superblocks=False, osr=False,
                   async_compile=False, compile_workers=None,
-                  tier3=False, tier3_threshold=0, tier3_target=None):
+                  tier3=False, tier3_threshold=0, tier3_target=None,
+                  tier3_backend="threaded"):
     workload = load_workload(name, scale)
     module = compile_source(workload.source, name, optimization_level=2)
     ref = run_engine(module, "reference", sanitize, repeat=repeat)
@@ -208,7 +220,8 @@ def bench_program(name, scale, sanitize=False, repeat=1, tier2=False,
                       async_compile=async_compile,
                       compile_workers=compile_workers,
                       tier3=tier3, tier3_threshold=tier3_threshold,
-                      tier3_target=tier3_target)
+                      tier3_target=tier3_target,
+                      tier3_backend=tier3_backend)
     sync = warm = None
     async_first = sync_first = None
     if async_compile and not sanitize:
@@ -294,6 +307,10 @@ def bench_program(name, scale, sanitize=False, repeat=1, tier2=False,
         row["tier3_deopts"] = fast["tier3_deopts"]
         row["tier3_compile_seconds"] = round(
             fast["tier3_compile_seconds"], 6)
+        row["tier3_backend"] = tier3_backend
+        row["tier3_threaded_units"] = fast["tier3_threaded_units"]
+        row["tier3_step_units"] = fast["tier3_step_units"]
+        row["tier3_degraded"] = fast["tier3_degraded"]
     if superblocks or osr:
         row["tier2_superblocks"] = fast["superblocks_compiled"]
         row["tier2_osr_entries"] = fast["osr_entries"]
@@ -337,7 +354,7 @@ int main() { return work(64); }
 
 
 def warm_translator(async_compile=False, tier3=False,
-                    tier3_target=None):
+                    tier3_target=None, tier3_backend="threaded"):
     module = compile_source(_WARMUP_SOURCE, "benchwarm",
                             optimization_level=2)
     run_engine(module, "fast", repeat=1, tier2=True, tier2_threshold=0)
@@ -349,7 +366,8 @@ def warm_translator(async_compile=False, tier3=False,
         # the clock.
         run_engine(module, "fast", repeat=1, tier2=True,
                    tier2_threshold=0, tier3=True, tier3_threshold=0,
-                   tier3_target=tier3_target)
+                   tier3_target=tier3_target,
+                   tier3_backend=tier3_backend)
 
 
 def geomean(values):
@@ -410,6 +428,11 @@ def main(argv=None):
                         choices=("x86", "sparc"),
                         help="back end for tier-3 native units "
                              "(default x86)")
+    parser.add_argument("--tier3-backend", default="threaded",
+                        choices=("threaded", "step"),
+                        help="hosted execution backend: block-compiled "
+                             "direct-threaded code (default) or the "
+                             "one-instruction step interpreter")
     parser.add_argument("--repeat", type=int, default=1, metavar="N",
                         help="run each engine N times against shared "
                              "caches and report min-of-N (steady state)")
@@ -443,7 +466,8 @@ def main(argv=None):
     if args.tier2 and not args.sanitize:
         warm_translator(async_compile=args.async_compile,
                         tier3=args.tier3,
-                        tier3_target=args.tier3_target)
+                        tier3_target=args.tier3_target,
+                        tier3_backend=args.tier3_backend)
 
     rows = []
     diverged = False
@@ -460,7 +484,8 @@ def main(argv=None):
                             compile_workers=args.compile_workers,
                             tier3=args.tier3,
                             tier3_threshold=args.tier3_threshold,
-                            tier3_target=args.tier3_target)
+                            tier3_target=args.tier3_target,
+                            tier3_backend=args.tier3_backend)
         rows.append(row)
         if row["diverged"]:
             status = "DIVERGED"
@@ -472,8 +497,9 @@ def main(argv=None):
             status += "  [t2 {0:.0f}%]".format(
                 100.0 * row["tier2_steps"] / max(row["steps"], 1))
         if args.tier3 and not row["diverged"]:
-            status += "  [t3 {0:.0f}%]".format(
-                100.0 * row["tier3_steps"] / max(row["steps"], 1))
+            status += "  [t3 {0:.0f}% {1}]".format(
+                100.0 * row["tier3_steps"] / max(row["steps"], 1),
+                args.tier3_backend)
         if args.async_compile and not row["diverged"] \
                 and not args.sanitize:
             status += "  [first {0:.2f}x, warm {1} cmp]".format(
@@ -495,6 +521,7 @@ def main(argv=None):
         "osr": args.osr,
         "tier3": args.tier3,
         "tier3_target": args.tier3_target if args.tier3 else None,
+        "tier3_backend": args.tier3_backend if args.tier3 else None,
         "repeat": args.repeat,
         "programs": rows,
         "geomean_speedup": geomean([r["speedup"] for r in rows]),
@@ -526,6 +553,12 @@ def main(argv=None):
         report["tier3_deopts"] = sum(r["tier3_deopts"] for r in rows)
         report["tier3_compile_seconds"] = round(
             sum(r["tier3_compile_seconds"] for r in rows), 6)
+        report["tier3_threaded_units"] = sum(
+            r["tier3_threaded_units"] for r in rows)
+        report["tier3_step_units"] = sum(
+            r["tier3_step_units"] for r in rows)
+        report["tier3_degraded"] = sum(
+            r["tier3_degraded"] for r in rows)
     if args.superblocks or args.osr:
         report["tier2_superblocks"] = sum(
             r["tier2_superblocks"] for r in rows)

@@ -1698,6 +1698,7 @@ class FastInterpreter(Interpreter):
                  tier3=False,
                  tier3_threshold: Optional[int] = None,
                  tier3_target: Optional[str] = None,
+                 tier3_backend: Optional[str] = None,
                  profiler=None):
         super().__init__(module, target=target, privileged=privileged,
                          max_steps=max_steps, sanitize=sanitize,
@@ -1729,6 +1730,8 @@ class FastInterpreter(Interpreter):
                         kwargs["tier3_threshold"] = tier3_threshold
                     if tier3_target is not None:
                         kwargs["tier3_target"] = tier3_target
+                    if tier3_backend is not None:
+                        kwargs["tier3_backend"] = tier3_backend
                 self.tier2 = Tier2Cache(module, self.target, **kwargs)
             self.smc_listeners.append(self.tier2.listener())
         else:
@@ -1881,6 +1884,7 @@ class FastInterpreter(Interpreter):
                     if self.profiler is not None:
                         self.profiler.push(self.steps, function.name,
                                            "tier3")
+                        self.profiler.note_tier3_backend(unit.backend)
                     return frame
                 frame = _Tier2Frame(function, unit,
                                     unit.factory(self, *args),

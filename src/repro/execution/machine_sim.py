@@ -74,7 +74,15 @@ _MEM_OPERAND_EXTRA = 2
 
 def instr_cost(instr: MachineInstr) -> int:
     """Deterministic cycle cost of one machine instruction (shared by
-    the simulator's budget accounting and tier-3's per-block totals)."""
+    the simulator's budget accounting and tier-3's per-block totals).
+
+    Memoized on the instruction itself: the cost depends only on
+    decode-time facts (semantics, ALU op, operand shapes), so the
+    opcode dispatch runs once per instruction, not once per executed
+    cycle."""
+    cost = instr.cost
+    if cost is not None:
+        return cost
     cost = CYCLES.get(instr.semantics, 1)
     if instr.semantics == Semantics.ALU:
         op = instr.attrs.get("op")
@@ -86,12 +94,14 @@ def instr_cost(instr: MachineInstr) -> int:
             and instr.semantics in (Semantics.ALU, Semantics.CMP,
                                     Semantics.MOV):
         cost += _MEM_OPERAND_EXTRA
+    instr.cost = cost
     return cost
 
 
 class _MachineFrame:
     __slots__ = ("machine", "block_index", "instr_index", "fp",
-                 "caller_sp", "unwind_label", "saved_regs", "name")
+                 "caller_sp", "unwind_label", "saved_regs", "name",
+                 "blocks", "num_blocks", "frame_size")
 
     def __init__(self, machine: MachineFunction, fp: int, caller_sp: int):
         self.machine = machine
@@ -103,6 +113,11 @@ class _MachineFrame:
         self.unwind_label: Optional[str] = None
         #: Callee-saved register values ("save"/"restore" pseudo-stack).
         self.saved_regs: List[object] = []
+        # Hoisted at frame entry so the step loop and operand decoding
+        # never chase ``frame.machine.<attr>`` per executed instruction.
+        self.blocks = machine.blocks
+        self.num_blocks = len(machine.blocks)
+        self.frame_size = machine.frame_size
 
 
 class MachineSimulator:
@@ -211,15 +226,16 @@ class MachineSimulator:
         # instruction; op counts flush to the registry on loop exit.
         observing = observe.enabled()
         op_counts: Dict[str, int] = {}
+        frames = self._frames
         try:
-            while self._frames:
-                frame = self._frames[-1]
-                block = frame.machine.blocks[frame.block_index]
+            while frames:
+                frame = frames[-1]
+                block = frame.blocks[frame.block_index]
                 if frame.instr_index >= len(block.instructions):
                     # Fall through to the next block in layout order (the
                     # trace-layout optimization removes jumps to the
                     # lexically next block).
-                    if frame.block_index + 1 < len(frame.machine.blocks):
+                    if frame.block_index + 1 < frame.num_blocks:
                         frame.block_index += 1
                         frame.instr_index = 0
                         continue
@@ -228,7 +244,9 @@ class MachineSimulator:
                         "fell off the end of block {0} in {1}"
                         .format(block.name, frame.name))
                 instr = block.instructions[frame.instr_index]
-                cost = self._cost(instr)
+                cost = instr.cost
+                if cost is None:
+                    cost = instr_cost(instr)
                 if self.max_cycles is not None \
                         and self.cycles + cost > self.max_cycles:
                     # A budget of N cycles means N cycles may be *spent*:
@@ -271,7 +289,7 @@ class MachineSimulator:
     def _mem_address(self, frame: _MachineFrame, mem: Mem) -> int:
         address = 0
         if mem.symbol == INCOMING_ARGS:
-            address = frame.fp + frame.machine.frame_size + mem.offset
+            address = frame.fp + frame.frame_size + mem.offset
             return address
         if mem.symbol is not None:
             address += self.image.address_of(mem.symbol)
@@ -312,7 +330,7 @@ class MachineSimulator:
         frame.instr_index += 1
 
     def _jump(self, frame: _MachineFrame, label: str) -> None:
-        for index, block in enumerate(frame.machine.blocks):
+        for index, block in enumerate(frame.blocks):
             if block.name == label:
                 frame.block_index = index
                 frame.instr_index = 0
@@ -718,6 +736,13 @@ class UnsupportedHosted(Exception):
     """The function cannot be translated for the hosted executor."""
 
 
+#: Execution backends for tier-3 units.  ``threaded`` block-compiles the
+#: machine code to Python at build time (fast path); ``step`` interprets
+#: one machine instruction at a time (``_run_hosted``, the semantic
+#: oracle the threaded code must match byte for byte).
+TIER3_BACKENDS = ("threaded", "step")
+
+
 class Tier3Unit:
     """A hosted-mode translation plus the bookkeeping the tier-1 driver
     needs to enter, observe, and deoptimize it."""
@@ -726,12 +751,13 @@ class Tier3Unit:
 
     __slots__ = ("name", "machine", "smc_version", "num_args",
                  "num_slots", "block_steps", "block_cycles",
-                 "slot_by_site")
+                 "slot_by_site", "backend", "degraded", "_threaded")
 
     def __init__(self, name: str, machine: MachineFunction,
                  smc_version: int, num_args: int, num_slots: int,
                  block_steps: Dict[str, int],
-                 slot_by_site: Dict[str, int]):
+                 slot_by_site: Dict[str, int],
+                 backend: str = "threaded"):
         self.name = name
         self.machine = machine
         self.smc_version = smc_version
@@ -747,8 +773,26 @@ class Tier3Unit:
             block.name: sum(instr_cost(instr)
                             for instr in block.instructions)
             for block in machine.blocks}
+        if backend not in TIER3_BACKENDS:
+            raise ValueError(
+                "unknown tier-3 backend {0!r}".format(backend))
+        #: True when a requested threaded compile hit an instruction the
+        #: block compiler cannot express and fell back per-function to
+        #: the step backend (counted by the cache, never a pin reason).
+        self.degraded = False
+        self._threaded = None
+        if backend == "threaded":
+            try:
+                self._threaded = _compile_threaded(self)
+            except UnsupportedThreaded:
+                backend = "step"
+                self.degraded = True
+        self.backend = backend
 
     def factory(self, st, *args):
+        threaded = self._threaded
+        if threaded is not None:
+            return threaded(st, *args)
         return _run_hosted(st, self, list(args))
 
 
@@ -1069,8 +1113,820 @@ def _run_hosted(st, unit: Tier3Unit, args: list):
         ii += 1
 
 
-def build_tier3_unit(function, module: Module, target) -> Tier3Unit:
-    """Translate *function* in hosted mode and wrap it as a tier-3 unit.
+# ---------------------------------------------------------------------------
+# Tier-3 threaded backend: block-compiled direct-threaded execution
+# ---------------------------------------------------------------------------
+#
+# ``_run_hosted`` above re-decodes every machine instruction on every
+# executed cycle.  The threaded backend instead compiles each basic
+# block, once, at unit-build time, into straight-line Python source
+# (mirroring the tier-2 codegen idiom): operands are resolved at decode
+# time, registers and frame slots become Python locals, the per-block
+# cycle total is charged in one batched add at each edge, and branches
+# thread block-to-block through a single ``__blk`` dispatch loop.
+#
+# The compiled generator speaks the exact tier-2 yield protocol and must
+# be *observably byte-identical* to ``_run_hosted`` — same step counts,
+# same cycle totals, same deopt tuples, same trap reports.  Step
+# accounting uses a local ``__steps`` mirror of ``st.steps`` that is
+# written back at every observation point: before any yield, at returns,
+# and (via the outermost ``except BaseException``) whenever an exception
+# escapes.  After a ``call``/``rt``/``intr``/``icall`` yield resumes the
+# mirror is re-read, because the driver ran other code meanwhile.
+#
+# Anything the block compiler cannot express raises
+# :class:`UnsupportedThreaded` and the whole function degrades to the
+# step backend — a per-function fallback, never a pin.
+
+
+class UnsupportedThreaded(Exception):
+    """The machine function cannot be block-compiled; the tier-3 unit
+    degrades (per function) to the step backend."""
+
+
+def _div_int(lhs: int, rhs: int) -> int:
+    """C-style truncating division (same math as ``_raw_int_alu``)."""
+    quotient = abs(lhs) // abs(rhs)
+    if (lhs < 0) != (rhs < 0):
+        quotient = -quotient
+    return quotient
+
+
+def _rem_int(lhs: int, rhs: int) -> int:
+    """C-style remainder paired with :func:`_div_int`."""
+    quotient = abs(lhs) // abs(rhs)
+    if (lhs < 0) != (rhs < 0):
+        quotient = -quotient
+    return lhs - quotient * rhs
+
+
+#: Globals visible to every compiled tier-3 body.  Copied per function
+#: (plus the function's constant pool) so units never share mutable
+#: state — threaded compiles may run on background compile workers.
+_T3_NAMESPACE = {
+    "ExecutionTrap": ExecutionTrap,
+    "TrapKind": TrapKind,
+    "StepLimitExceeded": StepLimitExceeded,
+    "MemoryError_": MemoryError_,
+    "_float_arith": _float_arith,
+    "_round_f32": _round_f32,
+    "_cast_value": cast_value,
+    "_pointer_mask": _pointer_mask,
+    "_div_int": _div_int,
+    "_rem_int": _rem_int,
+    "__builtins__": {
+        "BaseException": BaseException,
+        "abs": abs, "bool": bool, "float": float, "int": int,
+        "len": len, "list": list, "max": max, "min": min,
+    },
+}
+
+
+class _ThreadedCodegen:
+    """Emits one machine function as Python generator source."""
+
+    _REL = {"eq": "==", "ne": "!=", "lt": "<", "gt": ">", "le": "<="}
+
+    def __init__(self, unit: Tier3Unit):
+        self.unit = unit
+        self.machine = unit.machine
+        target = self.machine.target
+        self.arg_regs = tuple(target.arg_regs)
+        self.return_reg = target.return_reg
+        self.blocks = self.machine.blocks
+        if not self.blocks:
+            raise UnsupportedThreaded("no blocks")
+        self.block_index = {block.name: position
+                            for position, block in enumerate(self.blocks)}
+        self.body: List[str] = []
+        self.depth = 3
+        #: register name -> local, frame offset -> local, symbol -> local
+        self.reg_locals: Dict[str, str] = {}
+        self.slot_locals: Dict[int, str] = {}
+        self.sym_locals: Dict[str, str] = {}
+        self.fn_locals: Dict[str, str] = {}
+        self.const_names: Dict[int, str] = {}
+        self.const_values: Dict[str, object] = {}
+        #: registers that are statically the destination of some write
+        #: (used to decide whether RET can return the local or ``None``).
+        self.dest_written = set()
+        self.uses_read = False
+        self.uses_write = False
+        self.uses_push_frame = False
+        self.uses_incoming = False
+        self.uses_arg_stack = False
+        self.uses_pmask = False
+        self.uses_target = False
+
+    # -- symbol tables ----------------------------------------------------
+
+    def reg(self, name: str) -> str:
+        local = self.reg_locals.get(name)
+        if local is None:
+            local = self.reg_locals[name] = "_r{0}".format(
+                len(self.reg_locals))
+        return local
+
+    def slot(self, offset: int) -> str:
+        local = self.slot_locals.get(offset)
+        if local is None:
+            local = self.slot_locals[offset] = "_s{0}".format(
+                len(self.slot_locals))
+        return local
+
+    def sym(self, name: str) -> str:
+        local = self.sym_locals.get(name)
+        if local is None:
+            local = self.sym_locals[name] = "_g{0}".format(
+                len(self.sym_locals))
+        return local
+
+    def fn(self, name: str) -> str:
+        local = self.fn_locals.get(name)
+        if local is None:
+            local = self.fn_locals[name] = "_f{0}".format(
+                len(self.fn_locals))
+        return local
+
+    def const(self, obj) -> str:
+        key = id(obj)
+        local = self.const_names.get(key)
+        if local is None:
+            local = "_c{0}".format(len(self.const_names))
+            self.const_names[key] = local
+            self.const_values[local] = obj
+        return local
+
+    def dest(self, operand) -> str:
+        if not isinstance(operand, PhysReg):
+            raise UnsupportedThreaded("non-register destination")
+        return self.reg(operand.name)
+
+    # -- expressions ------------------------------------------------------
+
+    @staticmethod
+    def int_literal(value: int) -> str:
+        return repr(value) if value >= 0 else "({0})".format(value)
+
+    @staticmethod
+    def zero_literal(type_: types.Type) -> str:
+        if type_.is_floating_point:
+            return "0.0"
+        if type_.is_bool:
+            return "False"
+        return "0"
+
+    @staticmethod
+    def is_frame_slot(mem: Mem) -> bool:
+        return mem.symbol is None and mem.index is None \
+            and mem.base is not None and getattr(mem.base, "name", None) \
+            == "fp"
+
+    def addr(self, mem: Mem) -> str:
+        """``real_address(mem)`` as an expression."""
+        parts = []
+        if mem.symbol is not None:
+            if mem.symbol == INCOMING_ARGS:
+                raise UnsupportedThreaded("address of incoming args")
+            parts.append(self.sym(mem.symbol))
+        if mem.base is not None:
+            if not isinstance(mem.base, PhysReg):
+                raise UnsupportedThreaded("virtual base register")
+            parts.append("int({0})".format(self.reg(mem.base.name)))
+        if mem.index is not None:
+            if not isinstance(mem.index, PhysReg):
+                raise UnsupportedThreaded("virtual index register")
+            parts.append("int({0}) * {1}".format(
+                self.reg(mem.index.name), self.int_literal(mem.scale)))
+        if mem.offset:
+            parts.append(self.int_literal(mem.offset))
+        if not parts:
+            return "0"
+        return "({0})".format(" + ".join(parts))
+
+    def mem_val(self, mem: Mem, value_type) -> str:
+        if mem.symbol == INCOMING_ARGS:
+            self.uses_incoming = True
+            return "__in[{0}]".format(mem.offset // 8)
+        if self.is_frame_slot(mem):
+            return self.slot(mem.offset)
+        self.uses_read = True
+        return "__read({0}, {1})".format(
+            self.addr(mem), self.const(value_type or types.ULONG))
+
+    def val(self, operand, value_type=None, as_int=False) -> str:
+        """``value_of(operand, value_type)`` as an expression; with
+        ``as_int`` the result is wrapped in ``int()`` unless it is
+        statically an int already."""
+        if isinstance(operand, Imm):
+            value = operand.value
+            if isinstance(value, bool):
+                return repr(int(value)) if as_int else repr(value)
+            if isinstance(value, int):
+                return self.int_literal(value)
+            if isinstance(value, float):
+                name = self.const(value)
+                return "int({0})".format(name) if as_int else name
+            raise UnsupportedThreaded(
+                "bad immediate {0!r}".format(value))
+        if isinstance(operand, PhysReg):
+            local = self.reg(operand.name)
+            return "int({0})".format(local) if as_int else local
+        if isinstance(operand, SymRef):
+            return self.sym(operand.name)  # addresses are already int
+        if isinstance(operand, Mem):
+            expr = self.mem_val(operand, value_type)
+            return "int({0})".format(expr) if as_int else expr
+        raise UnsupportedThreaded("bad operand {0!r}".format(operand))
+
+    @staticmethod
+    def fault_unmasked_expr(ee: bool) -> str:
+        """``not masked(ee, fault.unmaskable)`` with the static ``ee``
+        folded in (the fault is bound to ``__f``)."""
+        if ee:
+            return "__f.unmaskable or st.exceptions_dynamic"
+        return "__f.unmaskable"
+
+    def wrap_expr(self, expr: str, value_type) -> str:
+        mask = (1 << value_type.bits) - 1
+        if value_type.is_signed:
+            sign = 1 << (value_type.bits - 1)
+            return "((({0}) & {1}) ^ {2}) - {2}".format(expr, mask, sign)
+        return "({0}) & {1}".format(expr, mask)
+
+    def raw_alu_expr(self, op: str, lhs: str, rhs: str,
+                     value_type) -> str:
+        if op == "add":
+            return "{0} + {1}".format(lhs, rhs)
+        if op == "sub":
+            return "{0} - {1}".format(lhs, rhs)
+        if op == "mul":
+            return "{0} * {1}".format(lhs, rhs)
+        if op == "and":
+            return "{0} & {1}".format(lhs, rhs)
+        if op == "or":
+            return "{0} | {1}".format(lhs, rhs)
+        if op == "xor":
+            return "{0} ^ {1}".format(lhs, rhs)
+        amount = "({0} & {1})".format(rhs, value_type.bits - 1)
+        if op == "shl":
+            return "{0} << {1}".format(lhs, amount)
+        if op == "shr":
+            if value_type.is_signed:
+                return "{0} >> {1}".format(lhs, amount)
+            full = (1 << value_type.bits) - 1
+            return "(({0}) & {1}) >> {2}".format(lhs, full, amount)
+        raise UnsupportedThreaded("bad alu op {0!r}".format(op))
+
+    # -- statement emission -----------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.body.append("    " * self.depth + text)
+
+    def emit_deopt(self, extra_depth: int, site, trapno: str, info: str,
+                   detail: str, sync: bool = True) -> None:
+        self.depth += extra_depth
+        if sync:
+            self.emit("st.steps = __steps")
+        self.emit("yield ('deopt', {0!r}, list(__sh), {1}, {2}, {3})"
+                  .format(site, trapno, info, detail))
+        self.emit("return")
+        self.depth -= extra_depth
+
+    def emit_edge(self, label: str) -> None:
+        """One CFG edge: charge the target block's steps and cycles in a
+        batched add, check the limit, thread to the target's arm."""
+        position = self.block_index.get(label)
+        if position is None:
+            raise UnsupportedThreaded(
+                "jump to unknown label {0}".format(label))
+        steps = self.unit.block_steps.get(label, 0)
+        if steps:
+            self.emit("__steps += {0}".format(steps))
+        cycles = self.unit.block_cycles.get(label, 0)
+        if cycles:
+            self.emit("st.tier3_cycles += {0}".format(cycles))
+        self.emit("if __steps > __ms:")
+        self.emit("    raise StepLimitExceeded("
+                  "'exceeded {0} steps'.format(__ms))")
+        self.emit("__blk = {0}".format(position))
+        self.emit("continue")
+
+    def emit_block(self, position: int, block) -> None:
+        self.depth = 3
+        self.emit("{0} __blk == {1}:".format(
+            "if" if position == 0 else "elif", position))
+        self.depth = 4
+        for instr in block.instructions:
+            self.emit_instr(instr)
+        # Lexical fallthrough is a real CFG edge (the translator removed
+        # the jump to the next block in layout order).
+        if position + 1 < len(self.blocks):
+            self.emit_edge(self.blocks[position + 1].name)
+        else:
+            self.emit("raise ExecutionTrap(TrapKind.SOFTWARE_TRAP, {0!r})"
+                      .format("fell off the end of block {0} in {1}"
+                              .format(block.name, self.machine.name)))
+
+    def emit_instr(self, instr: MachineInstr) -> None:
+        attrs = instr.attrs
+        if "step" in attrs:
+            self.emit("__steps += 1")
+        handler = self._EMIT.get(instr.semantics)
+        if handler is None:
+            raise UnsupportedThreaded(
+                "cannot compile {0!r}".format(instr.semantics))
+        if handler(self, instr):
+            return  # control unconditionally left the instruction
+        slot = attrs.get("vabi")
+        if slot is not None:
+            self.emit_vabi(instr, slot)
+
+    def emit_vabi(self, instr: MachineInstr, slot) -> None:
+        if not isinstance(slot, int) or isinstance(slot, bool):
+            raise UnsupportedThreaded("unresolved vabi site")
+        ops = instr.operands
+        if not ops:
+            raise UnsupportedThreaded("vabi without operands")
+        if instr.semantics == Semantics.STORE:
+            expr = self.val(ops[0])
+        else:
+            name = getattr(ops[0], "name", None)
+            if name is None:
+                raise UnsupportedThreaded("vabi on unnamed operand")
+            # registers.get(name, 0): a never-written name reads as 0.
+            expr = self.reg_locals.get(name, "0")
+        self.emit("__sh[{0}] = {1}".format(slot, expr))
+
+    # -- per-semantics emitters -------------------------------------------
+
+    def emit_mov(self, instr) -> bool:
+        value_type = instr.attrs.get("mem_value_type") \
+            or instr.attrs.get("value_type")
+        self.emit("{0} = {1}".format(
+            self.dest(instr.operands[0]),
+            self.val(instr.operands[1], value_type)))
+        return False
+
+    def emit_alu(self, instr) -> bool:
+        attrs = instr.attrs
+        ops = instr.operands
+        value_type = attrs["value_type"]
+        mem_type = attrs.get("mem_value_type") or value_type
+        op = attrs["op"]
+        dst = self.dest(ops[0])
+        if value_type.is_floating_point:
+            expr = "_float_arith({0!r}, {1}, {2})".format(
+                op, self.val(ops[1], value_type),
+                self.val(ops[2], mem_type))
+            if value_type is types.FLOAT:
+                expr = "_round_f32({0})".format(expr)
+            self.emit("{0} = {1}".format(dst, expr))
+            return False
+        if value_type.is_bool:
+            pyop = "&" if op == "and" else ("|" if op == "or" else "^")
+            self.emit("{0} = {1} {2} {3}".format(
+                dst, self.val(ops[1], value_type), pyop,
+                self.val(ops[2], mem_type)))
+            return False
+        if not value_type.is_integer:
+            raise UnsupportedThreaded(
+                "alu on {0!r}".format(value_type))
+        ee = bool(attrs.get("ee", False))
+        site = attrs.get("site")
+        lhs = self.val(ops[1], value_type, as_int=True)
+        rhs = self.val(ops[2], mem_type, as_int=True)
+        if op in ("div", "rem"):
+            self.emit("__l = {0}".format(lhs))
+            self.emit("__r = {0}".format(rhs))
+            self.emit("if __r == 0:")
+            self.depth += 1
+            if ee:
+                self.emit("if st.exceptions_dynamic:")
+                self.emit_deopt(1, site, "TrapKind.DIVIDE_BY_ZERO",
+                                "0", "''")
+            self.emit("{0} = 0".format(dst))
+            self.depth -= 1
+            self.emit("else:")
+            self.depth += 1
+            helper = "_div_int" if op == "div" else "_rem_int"
+            self.emit_int_result(
+                dst, "{0}(__l, __r)".format(helper), value_type, op, ee,
+                site)
+            self.depth -= 1
+            return False
+        raw = self.raw_alu_expr(op, lhs, rhs, value_type)
+        self.emit_int_result(dst, raw, value_type, op, ee, site)
+        return False
+
+    def emit_int_result(self, dst: str, raw: str, value_type, op: str,
+                        ee: bool, site) -> None:
+        """Wrap ``raw`` into the type's range; with ExceptionsEnabled on
+        an overflow-capable op, deopt when wrapping changed the value
+        and exceptions are dynamically enabled."""
+        if ee and op in _OVERFLOW_OPS:
+            self.emit("__t = {0}".format(raw))
+            self.emit("__w = {0}".format(
+                self.wrap_expr("__t", value_type)))
+            self.emit("if __w != __t and st.exceptions_dynamic:")
+            self.emit_deopt(1, site, "TrapKind.INTEGER_OVERFLOW",
+                            "0", "''")
+            self.emit("{0} = __w".format(dst))
+        else:
+            self.emit("{0} = {1}".format(
+                dst, self.wrap_expr(raw, value_type)))
+
+    def emit_cmp(self, instr) -> bool:
+        attrs = instr.attrs
+        value_type = attrs.get("value_type")
+        mem_type = attrs.get("mem_value_type") or value_type
+        pyrel = self._REL.get(attrs["rel"], ">=")
+        self.emit("{0} = {1} {2} {3}".format(
+            self.dest(instr.operands[0]),
+            self.val(instr.operands[1], value_type), pyrel,
+            self.val(instr.operands[2], mem_type)))
+        return False
+
+    def emit_load(self, instr) -> bool:
+        attrs = instr.attrs
+        value_type = attrs.get("value_type") or types.ULONG
+        dst = self.dest(instr.operands[0])
+        mem = instr.operands[1]
+        if not isinstance(mem, Mem):
+            raise UnsupportedThreaded("load from non-memory operand")
+        if mem.symbol == INCOMING_ARGS:
+            self.uses_incoming = True
+            self.emit("{0} = __in[{1}]".format(dst, mem.offset // 8))
+            return False
+        if self.is_frame_slot(mem):
+            self.emit("{0} = {1}".format(dst, self.slot(mem.offset)))
+            return False
+        self.uses_read = True
+        self.emit("try:")
+        self.emit("    {0} = __read({1}, {2})".format(
+            dst, self.addr(mem), self.const(value_type)))
+        self.emit("except MemoryError_ as __f:")
+        self.depth += 1
+        self.emit("if {0}:".format(
+            self.fault_unmasked_expr(attrs.get("ee", False))))
+        self.emit_deopt(1, attrs.get("site"), "__f.trap_number",
+                        "__f.address or 0", "__f.detail")
+        self.emit("{0} = {1}".format(dst, self.zero_literal(value_type)))
+        self.depth -= 1
+        return False
+
+    def emit_store(self, instr) -> bool:
+        attrs = instr.attrs
+        value_type = attrs.get("value_type") or types.ULONG
+        ops = instr.operands
+        mem = ops[1]
+        if not isinstance(mem, Mem):
+            raise UnsupportedThreaded("store to non-memory operand")
+        value = self.val(ops[0])
+        if mem.symbol is None and self.is_frame_slot(mem):
+            self.emit("{0} = {1}".format(self.slot(mem.offset), value))
+            return False
+        if mem.symbol == INCOMING_ARGS:
+            raise UnsupportedThreaded("store to incoming args")
+        self.uses_write = True
+        self.emit("try:")
+        self.emit("    __write({0}, {1}, {2})".format(
+            self.addr(mem), self.const(value_type), value))
+        self.emit("except MemoryError_ as __f:")
+        self.depth += 1
+        self.emit("if {0}:".format(
+            self.fault_unmasked_expr(attrs.get("ee", False))))
+        self.emit_deopt(1, attrs.get("site"), "__f.trap_number",
+                        "__f.address or 0", "__f.detail")
+        self.depth -= 1
+        return False
+
+    def emit_lea(self, instr) -> bool:
+        mem = instr.operands[1]
+        if not isinstance(mem, Mem):
+            raise UnsupportedThreaded("lea of non-memory operand")
+        self.uses_pmask = True
+        self.emit("{0} = {1} & __pm".format(
+            self.dest(instr.operands[0]), self.addr(mem)))
+        return False
+
+    def emit_cvt(self, instr) -> bool:
+        attrs = instr.attrs
+        from_type = attrs["from_type"]
+        to_type = attrs["to_type"]
+        self.uses_target = True
+        self.emit("{0} = _cast_value({1}, {2}, {3}, __td)".format(
+            self.dest(instr.operands[0]),
+            self.val(instr.operands[1], from_type),
+            self.const(from_type), self.const(to_type)))
+        return False
+
+    def emit_jmp(self, instr) -> bool:
+        self.emit_edge(instr.operands[0].name)
+        return True
+
+    def emit_jcc(self, instr) -> bool:
+        self.emit("if {0}:".format(
+            self.val(instr.operands[0], types.BOOL)))
+        self.depth += 1
+        self.emit_edge(instr.operands[1].name)
+        self.depth -= 1
+        return False
+
+    def emit_call(self, instr) -> bool:
+        attrs = instr.attrs
+        ops = instr.operands
+        nargs = attrs.get("nargs", 0)
+        nreg = min(nargs, len(self.arg_regs))
+        self.emit("__args = [{0}]".format(", ".join(
+            self.reg(self.arg_regs[i]) for i in range(nreg))))
+        nstack = nargs - nreg
+        if nstack:
+            self.uses_arg_stack = True
+            self.emit("__args += __as[-{0}:][::-1]".format(nstack))
+        callee = ops[0]
+        return_type = attrs.get("return_type")
+        has_result = return_type is not None and not return_type.is_void
+        ee = attrs.get("ee", True)
+        site = attrs.get("site")
+        if isinstance(callee, SymRef):
+            callk = attrs.get("callk", "fn")
+            if callk == "intr":
+                yield_expr = "yield ('intr', {0!r}, __args)".format(
+                    callee.name)
+            elif callk == "rt":
+                yield_expr = "yield ('rt', {0!r}, __args)".format(
+                    callee.name)
+            else:
+                fn_local = self.fn(callee.name)
+                self.emit("if {0} is None:".format(fn_local))
+                self.emit("    raise ExecutionTrap("
+                          "TrapKind.SOFTWARE_TRAP, {0!r})".format(
+                              "call to undefined function %{0}"
+                              .format(callee.name)))
+                self.emit("if __steps > __ms:")
+                self.emit("    raise StepLimitExceeded("
+                          "'exceeded {0} steps'.format(__ms))")
+                yield_expr = "yield ('call', {0}, __args)".format(
+                    fn_local)
+        else:
+            yield_expr = "yield ('icall', int({0}), __args)".format(
+                self.val(callee))
+        self.emit("st.steps = __steps")
+        self.emit("try:")
+        self.emit("    __r = " + yield_expr)
+        self.emit("except MemoryError_ as __f:")
+        self.depth += 1
+        self.emit("__steps = st.steps")
+        self.emit("if {0}:".format(self.fault_unmasked_expr(ee)))
+        self.emit_deopt(1, site, "__f.trap_number", "__f.address or 0",
+                        "__f.detail", sync=False)
+        if has_result:
+            self.emit("{0} = {1}".format(
+                self.reg(self.return_reg),
+                self.zero_literal(return_type)))
+        self.depth -= 1
+        self.emit("except BaseException:")
+        self.emit("    __steps = st.steps")
+        self.emit("    raise")
+        self.emit("else:")
+        self.depth += 1
+        self.emit("__steps = st.steps")
+        if has_result:
+            self.emit("{0} = __r".format(self.reg(self.return_reg)))
+        self.depth -= 1
+        return False
+
+    def emit_ret(self, instr) -> bool:
+        self.emit("st.steps = __steps")
+        name = self.return_reg
+        if name in self.dest_written:
+            self.emit("return {0}".format(self.reg(name)))
+            return True
+        for position, arg in enumerate(self.arg_regs):
+            if arg == name:
+                # The return register doubles as an argument register
+                # (SPARC %o0): bound iff the caller passed that many.
+                self.emit("return {0} if __n > {1} else None".format(
+                    self.reg(name), position))
+                return True
+        self.emit("return None")
+        return True
+
+    def emit_push(self, instr) -> bool:
+        # Linear-scan "save" pseudo-pushes are no-ops (per-activation
+        # register file), exactly as in the step backend.
+        if instr.mnemonic != "save":
+            self.uses_arg_stack = True
+            self.emit("__as.append({0})".format(
+                self.val(instr.operands[0])))
+        return False
+
+    def emit_pop(self, instr) -> bool:
+        if instr.mnemonic != "restore":
+            self.uses_arg_stack = True
+            self.emit("{0} = __as.pop() if __as else 0".format(
+                self.dest(instr.operands[0])))
+        return False
+
+    def emit_adjsp(self, instr) -> bool:
+        attrs = instr.attrs
+        if attrs.get("negate"):
+            self.emit("raise ExecutionTrap(TrapKind.SOFTWARE_TRAP, "
+                      "'dynamic stack adjustment in hosted code')")
+            return True
+        operand = instr.operands[0]
+        self.uses_arg_stack = True
+        if isinstance(operand, Imm) and isinstance(operand.value, int):
+            drop = int(operand.value) // 8
+            if drop:
+                self.emit("del __as[-{0}:]".format(drop))
+            return False
+        self.emit("__d = int({0}) // 8".format(
+            self.val(operand, types.ULONG)))
+        self.emit("if __d:")
+        self.emit("    del __as[-__d:]")
+        return False
+
+    def emit_alloca(self, instr) -> bool:
+        attrs = instr.attrs
+        ops = instr.operands
+        dst = self.dest(ops[0])
+        esize = int(attrs["esize"])
+        align = max(int(attrs.get("align", 1)), 1)
+        self.uses_push_frame = True
+        self.emit("__c = int({0})".format(self.val(ops[1])))
+        self.emit("if __c < 0:")
+        self.emit("    __c = 0")
+        self.emit("__t = {0} * __c".format(esize))
+        self.emit("if __t < 1:")
+        self.emit("    __t = 1")
+        self.emit("try:")
+        self.emit("    {0} = __pf(__t, {1})".format(dst, align))
+        self.emit("except ExecutionTrap as __f:")
+        self.depth += 1
+        self.emit("if {0}:".format(
+            self.fault_unmasked_expr(attrs.get("ee", False))))
+        self.emit_deopt(1, attrs.get("site"), "__f.trap_number", "0",
+                        "__f.detail")
+        self.emit("{0} = 0".format(dst))
+        self.depth -= 1
+        return False
+
+    def emit_nop(self, instr) -> bool:
+        return False
+
+    _EMIT = {
+        Semantics.MOV: emit_mov,
+        Semantics.ALU: emit_alu,
+        Semantics.CMP: emit_cmp,
+        Semantics.LOAD: emit_load,
+        Semantics.STORE: emit_store,
+        Semantics.LEA: emit_lea,
+        Semantics.CVT: emit_cvt,
+        Semantics.JMP: emit_jmp,
+        Semantics.JCC: emit_jcc,
+        Semantics.CALL: emit_call,
+        Semantics.RET: emit_ret,
+        Semantics.PUSH: emit_push,
+        Semantics.POP: emit_pop,
+        Semantics.ADJSP: emit_adjsp,
+        Semantics.ALLOCA: emit_alloca,
+        Semantics.NOP: emit_nop,
+    }
+
+    # -- assembly ---------------------------------------------------------
+
+    def prescan(self) -> None:
+        """Collect the register universe and the statically-written set
+        before emission, so expression defaults (``registers.get(name,
+        0)``) and the RET policy see every block, not just earlier
+        ones."""
+        dest_sems = (Semantics.MOV, Semantics.ALU, Semantics.CMP,
+                     Semantics.LOAD, Semantics.LEA, Semantics.CVT,
+                     Semantics.ALLOCA)
+        for block in self.blocks:
+            for instr in block.instructions:
+                for _, reg in instr.registers():
+                    if not isinstance(reg, PhysReg):
+                        raise UnsupportedThreaded("virtual register")
+                    self.reg(reg.name)
+                sem = instr.semantics
+                ops = instr.operands
+                if ops and isinstance(ops[0], PhysReg) \
+                        and (sem in dest_sems
+                             or (sem == Semantics.POP
+                                 and instr.mnemonic != "restore")):
+                    self.dest_written.add(ops[0].name)
+                if sem == Semantics.CALL:
+                    nreg = min(instr.attrs.get("nargs", 0),
+                               len(self.arg_regs))
+                    for i in range(nreg):
+                        self.reg(self.arg_regs[i])
+                    return_type = instr.attrs.get("return_type")
+                    if return_type is not None \
+                            and not return_type.is_void:
+                        self.reg(self.return_reg)
+                        self.dest_written.add(self.return_reg)
+
+    def render(self) -> str:
+        lines = ["def __tier3(st, *__a):"]
+        emit = lines.append
+        emit("    __steps = st.steps")
+        emit("    __ms = st.max_steps")
+        emit("    if __ms is None:")
+        emit("        __ms = 0x7fffffffffffffff")
+        if self.uses_read or self.uses_write or self.uses_push_frame:
+            emit("    __mem = st.memory")
+            if self.uses_read:
+                emit("    __read = __mem.read_typed")
+            if self.uses_write:
+                emit("    __write = __mem.write_typed")
+            if self.uses_push_frame:
+                emit("    __pf = __mem.push_frame")
+        if self.sym_locals:
+            emit("    __ao = st.image.address_of")
+            for name, local in self.sym_locals.items():
+                emit("    {0} = __ao({1!r})".format(local, name))
+        if self.fn_locals:
+            emit("    __fns = st.module.functions")
+            for name, local in self.fn_locals.items():
+                emit("    {0} = __fns.get({1!r})".format(local, name))
+        if self.uses_target:
+            emit("    __td = st.target")
+        if self.uses_pmask:
+            emit("    __pm = _pointer_mask(st.target)")
+        emit("    __n = len(__a)")
+        if self.uses_incoming:
+            emit("    __in = __a[{0}:]".format(len(self.arg_regs)))
+        bound = set()
+        for position, name in enumerate(self.arg_regs):
+            local = self.reg_locals.get(name)
+            if local is not None and name not in bound:
+                bound.add(name)
+                emit("    {0} = __a[{1}] if __n > {1} else 0".format(
+                    local, position))
+        for name, local in self.reg_locals.items():
+            if name not in bound:
+                emit("    {0} = 0".format(local))
+        for local in self.slot_locals.values():
+            emit("    {0} = 0".format(local))
+        if self.uses_arg_stack:
+            emit("    __as = []")
+        emit("    __sh = [0] * {0}".format(self.unit.num_slots))
+        emit("    __sh[:__n] = __a")
+        entry_cycles = self.unit.block_cycles.get(self.blocks[0].name, 0)
+        if entry_cycles:
+            emit("    st.tier3_cycles += {0}".format(entry_cycles))
+        # A body with no calls and no trap exits would otherwise compile
+        # to a plain function; the driver requires a generator.
+        emit("    if False:")
+        emit("        yield None")
+        emit("    __blk = 0")
+        emit("    try:")
+        emit("        while True:")
+        lines.extend(self.body)
+        emit("            else:")
+        emit("                raise ExecutionTrap("
+             "TrapKind.SOFTWARE_TRAP, 'lost block index')")
+        emit("    except BaseException:")
+        emit("        st.steps = __steps")
+        emit("        raise")
+        return "\n".join(lines) + "\n"
+
+    def compile(self) -> Callable:
+        self.prescan()
+        for position, block in enumerate(self.blocks):
+            self.emit_block(position, block)
+        source = self.render()
+        code = compile(source, "<tier3:{0}>".format(self.machine.name),
+                       "exec")
+        namespace = dict(_T3_NAMESPACE)
+        namespace.update(self.const_values)
+        exec(code, namespace)
+        factory = namespace["__tier3"]
+        factory._source = source  # for tests and postmortems
+        return factory
+
+
+def _compile_threaded(unit: Tier3Unit) -> Callable:
+    """Block-compile *unit*; raises :class:`UnsupportedThreaded` when
+    any instruction cannot be expressed (malformed attrs included, so a
+    function the step backend would fault on at run time degrades
+    rather than failing at build time)."""
+    try:
+        return _ThreadedCodegen(unit).compile()
+    except UnsupportedThreaded:
+        raise
+    except (AttributeError, IndexError, KeyError, TypeError) as exc:
+        raise UnsupportedThreaded(str(exc))
+
+
+def build_tier3_unit(function, module: Module, target,
+                     backend: str = "threaded") -> Tier3Unit:
+    """Translate *function* in hosted mode and wrap it as a tier-3 unit
+    running on *backend* (threaded compiles degrade per-function to the
+    step backend when an instruction is unsupported).
 
     Raises :class:`UnsupportedHosted` for bodies the hosted executor
     cannot honour exactly (declarations, and invoke/unwind — whose
@@ -1108,7 +1964,8 @@ def build_tier3_unit(function, module: Module, target) -> Tier3Unit:
     machine = target.translate_function(clone, hosted=True)
     _finalize_hosted(machine, module, slot_by_site)
     return Tier3Unit(function.name, machine, function.smc_version,
-                     num_args, slot, block_steps, slot_by_site)
+                     num_args, slot, block_steps, slot_by_site,
+                     backend=backend)
 
 
 def _finalize_hosted(machine: MachineFunction, module: Module,

@@ -157,8 +157,9 @@ DEFAULT_TIER3_STEP_THRESHOLD = 250_000
 TIER3_CACHE_NAME = "llee-tier3"
 
 #: Bump whenever the hosted lowering annotations or the tier-3 blob
-#: format change shape.
-TIER3_VERSION = 1
+#: format change shape.  v2: units rebuild their block-compiled
+#: threaded bodies from the persisted machine code at warm load.
+TIER3_VERSION = 2
 
 class UnsupportedFunction(Exception):
     """Raised by the code generator for functions tier 2 cannot compile
@@ -214,7 +215,9 @@ class Tier2Stats:
                  "async_enqueued", "swap_ins", "swap_wait_seconds",
                  "stale_drops", "escalations", "tier3_compiled",
                  "tier3_warm", "tier3_compile_seconds", "tier3_deopts",
-                 "tier3_pins", "tier3_invalidations")
+                 "tier3_pins", "tier3_invalidations",
+                 "tier3_threaded_units", "tier3_step_units",
+                 "tier3_degraded")
 
     def __init__(self):
         self.functions_compiled = 0
@@ -258,6 +261,14 @@ class Tier2Stats:
         #: deopted), permanently routed back to tier 2.
         self.tier3_pins = 0
         self.tier3_invalidations = 0
+        #: Units running the block-compiled direct-threaded backend.
+        self.tier3_threaded_units = 0
+        #: Units running the one-instruction step backend (requested or
+        #: degraded).
+        self.tier3_step_units = 0
+        #: Threaded compiles that hit an unsupported instruction and
+        #: fell back per-function to the step backend (not a pin).
+        self.tier3_degraded = 0
 
 
 def function_hash(function: Function) -> str:
@@ -1223,7 +1234,8 @@ class Tier2Cache:
                  escalate_step_threshold: Optional[int] = None,
                  tier3: bool = False,
                  tier3_threshold: Optional[int] = None,
-                 tier3_target: Optional[str] = None):
+                 tier3_target: Optional[str] = None,
+                 tier3_backend: str = "threaded"):
         self.module = module
         self.target = target
         self.threshold = max(int(threshold), 0)
@@ -1298,6 +1310,14 @@ class Tier2Cache:
             tier3_threshold = DEFAULT_TIER3_STEP_THRESHOLD
         self.tier3_threshold = max(int(tier3_threshold), 0)
         self.tier3_target_name = tier3_target or "x86"
+        from repro.execution.machine_sim import TIER3_BACKENDS
+        if tier3_backend not in TIER3_BACKENDS:
+            raise ValueError(
+                "unknown tier-3 backend {0!r} (choose from {1})".format(
+                    tier3_backend, ", ".join(TIER3_BACKENDS)))
+        #: Execution backend for hosted units: "threaded"
+        #: (block-compiled, default) or "step" (one-instruction oracle).
+        self.tier3_backend = tier3_backend
         self._tier3_target = None
         #: id(function) -> machine_sim.Tier3Unit.
         self._units3: Dict[int, object] = {}
@@ -1974,10 +1994,12 @@ class Tier2Cache:
             machine, num_args, num_slots, block_steps, slot_by_site = \
                 warm
             unit = Tier3Unit(function.name, machine, 0, num_args,
-                             num_slots, block_steps, slot_by_site)
+                             num_slots, block_steps, slot_by_site,
+                             backend=self.tier3_backend)
             return unit, True
         unit = build_tier3_unit(function, self.module,
-                                self._tier3_target_info())
+                                self._tier3_target_info(),
+                                backend=self.tier3_backend)
         return unit, False
 
     def _install3(self, function: Function, unit, warm: bool,
@@ -1986,17 +2008,27 @@ class Tier2Cache:
         self._units3[id(function)] = unit
         self.stats.tier3_compiled += 1
         self.stats.tier3_compile_seconds += elapsed
+        if unit.backend == "threaded":
+            self.stats.tier3_threaded_units += 1
+        else:
+            self.stats.tier3_step_units += 1
+        if unit.degraded:
+            self.stats.tier3_degraded += 1
         if warm:
             self.stats.tier3_warm += 1
         else:
             self._dirty3 = True
         if observe.enabled():
             observe.counter("tier3.functions_compiled", 1)
+            observe.counter("tier3.backend." + unit.backend, 1)
         flight = observe.flight()
         if flight is not None:
             flight.record("tier3.compile.end", function=function.name,
                           kind="tier3", seconds=round(elapsed, 9),
                           warm=bool(warm))
+            flight.record("tier3.backend", function=function.name,
+                          backend=unit.backend,
+                          degraded=bool(unit.degraded))
         return unit
 
     def _fail3(self, function: Function, reason: str,

@@ -125,6 +125,15 @@ class InterpretedRunReport:
     tier3_pins: int = 0
     #: Did a persisted tier-3 native blob validate and load?
     tier3_cache_hit: bool = False
+    #: Requested tier-3 execution backend ("" unless ``tier3=True``).
+    tier3_backend: str = ""
+    #: Units running the block-compiled direct-threaded backend vs the
+    #: one-instruction step backend (requested or degraded).
+    tier3_threaded_units: int = 0
+    tier3_step_units: int = 0
+    #: Threaded compiles that fell back per-function to the step
+    #: backend (an unsupported instruction — counted, never pinned).
+    tier3_degraded: int = 0
 
 
 class LLEE:
@@ -235,6 +244,7 @@ class LLEE:
                         tier3: bool = False,
                         tier3_threshold: Optional[int] = None,
                         tier3_target: Optional[str] = None,
+                        tier3_backend: Optional[str] = None,
                         executable_timestamp: Optional[float] = None
                         ) -> InterpretedRunReport:
         """Run a virtual executable on an interpreter engine.
@@ -283,6 +293,9 @@ class LLEE:
         the back end) and executed by the hosted machine-code
         executor.  With a storage API the native units persist under
         the ``llee-tier3`` cache next to the ``llee-tier2`` blob.
+        ``tier3_backend`` picks how hosted units execute: the
+        block-compiled direct-threaded backend (``"threaded"``, the
+        default) or the one-instruction ``"step"`` oracle.
         """
         tier2_live = (bool(tier2) or bool(tier3)) and engine == "fast" \
             and not sanitize
@@ -301,6 +314,11 @@ class LLEE:
             parts.append("async")
         if use_tier3:
             parts.append("t3")
+            # Step-backend caches are keyed apart from the (default)
+            # threaded ones: a cached Tier2Cache carries already-built
+            # units for one backend.
+            if tier3_backend == "step":
+                parts.append("t3s")
         key = "-".join(parts) + "-" + self._cache_key(object_code)
         with observe.span("llee.run_interpreted", entry=entry,
                           engine=engine, tier2=bool(tier2)):
@@ -330,6 +348,8 @@ class LLEE:
                         kwargs["tier3_threshold"] = tier3_threshold
                     if tier3_target is not None:
                         kwargs["tier3_target"] = tier3_target
+                    if tier3_backend is not None:
+                        kwargs["tier3_backend"] = tier3_backend
                 tier2_cache = Tier2Cache(module, module.target_data,
                                          superblocks=use_superblocks,
                                          osr=use_osr,
@@ -418,6 +438,13 @@ class LLEE:
                 report.tier3_deopts = tier2_cache.stats.tier3_deopts
                 report.tier3_pins = tier2_cache.stats.tier3_pins
                 report.tier3_cache_hit = tier2_cache.tier3_cache_hit
+                report.tier3_backend = tier2_cache.tier3_backend
+                report.tier3_threaded_units = \
+                    tier2_cache.stats.tier3_threaded_units
+                report.tier3_step_units = \
+                    tier2_cache.stats.tier3_step_units
+                report.tier3_degraded = \
+                    tier2_cache.stats.tier3_degraded
         return report
 
     def offline_translate(self, object_code: bytes,

@@ -40,7 +40,10 @@ from typing import Deque, Dict, Iterable, List, Optional, Set
 #: v3: tier-3 hosted native execution (``tier3.promote`` /
 #: ``tier3.compile.*`` / ``tier3.pin`` / ``tier3.deopt``, and
 #: ``smc.invalidate`` events with ``layer="tier3"``).
-FLIGHT_FORMAT_VERSION = 3
+#: v4: tier-3 execution backends (``tier3.backend`` recording which
+#: backend — block-compiled ``threaded`` or one-instruction ``step`` —
+#: each hosted unit runs under, and whether it degraded).
+FLIGHT_FORMAT_VERSION = 4
 
 #: Default ring capacity — big enough to hold the full JIT lifecycle
 #: of a benchsuite run (a few hundred events) with room for chatty
@@ -76,6 +79,7 @@ EVENT_SCHEMA: Dict[str, Set[str]] = {
     "tier3.compile.end": {"function", "kind", "seconds", "warm"},
     "tier3.pin": {"function", "reason"},
     "tier3.deopt": {"function", "site", "trap"},
+    "tier3.backend": {"function", "backend", "degraded"},
     # trap delivery
     "trap.deliver": {"engine", "trap", "handler"},
     "trap.unhandled": {"engine", "trap"},

@@ -60,7 +60,7 @@ class StepProfiler:
                  "max_stack_events", "_frame_index", "_frame_names",
                  "_stack_events", "_event_recorded",
                  "background_compiles", "background_compile_seconds",
-                 "background_swap_wait_seconds")
+                 "background_swap_wait_seconds", "tier3_backends")
 
     def __init__(self, record_stack: bool = False,
                  max_stack_events: int = DEFAULT_MAX_STACK_EVENTS,
@@ -84,6 +84,12 @@ class StepProfiler:
         self.background_compiles = 0
         self.background_compile_seconds = 0.0
         self.background_swap_wait_seconds = 0.0
+        # Tier-3 frames all attribute under the one "tier3" label; the
+        # execution backend (block-compiled "threaded" vs the
+        # one-instruction "step" oracle) is a per-frame annotation the
+        # engine reports here instead, so profiles can still say which
+        # backend the native time ran under.
+        self.tier3_backends: Dict[str, int] = {}
 
     # -- frame-transition hooks (the hot path) -------------------------------
 
@@ -185,6 +191,14 @@ class StepProfiler:
         self.background_compile_seconds += seconds
         self.background_swap_wait_seconds += swap_wait_seconds
 
+    def note_tier3_backend(self, backend: str,
+                           count: int = 1) -> None:
+        """Record that *count* tier-3 frames ran under *backend*
+        ("threaded" or "step").  Kept beside the rows — the tier label
+        stays "tier3" so per-tier totals are backend-agnostic."""
+        self.tier3_backends[backend] = \
+            self.tier3_backends.get(backend, 0) + int(count)
+
     # -- reads ---------------------------------------------------------------
 
     def total_steps(self) -> int:
@@ -246,6 +260,8 @@ class StepProfiler:
                 "seconds": self.background_compile_seconds,
                 "swap_wait_seconds": self.background_swap_wait_seconds,
             }
+        if self.tier3_backends:
+            document["tier3_backends"] = dict(self.tier3_backends)
         return document
 
     # -- speedscope export ---------------------------------------------------

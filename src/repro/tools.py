@@ -223,6 +223,8 @@ def _make_tier2_cache(module, args):
             kwargs["tier3_threshold"] = args.tier3_threshold
         if getattr(args, "tier3_target", None):
             kwargs["tier3_target"] = args.tier3_target
+        if getattr(args, "tier3_backend", None):
+            kwargs["tier3_backend"] = args.tier3_backend
     cache = Tier2Cache(module, module.target_data, **kwargs)
     if args.translation_cache:
         import hashlib
@@ -656,6 +658,10 @@ def _profile_payload(profiler, interpreter, result, flight,
             "deopts": stats.tier3_deopts,
             "pins": stats.tier3_pins,
             "invalidations": stats.tier3_invalidations,
+            "backend": interpreter.tier2.tier3_backend,
+            "threaded_units": stats.tier3_threaded_units,
+            "step_units": stats.tier3_step_units,
+            "degraded": stats.tier3_degraded,
         }
         payload["tier3_pin_reasons"] = _flight_reasons(
             flight, "tier3.pin")
@@ -725,6 +731,13 @@ def _render_profile_report(payload: dict, out) -> None:
                 tier3["calls"], tier3["compile_seconds"]))
         out.write("  deopts={0} pins={1} invalidations={2}\n".format(
             tier3["deopts"], tier3["pins"], tier3["invalidations"]))
+        if "backend" in tier3:
+            out.write(
+                "  backend={0}: threaded_units={1} step_units={2} "
+                "degraded={3}\n".format(
+                    tier3["backend"], tier3.get("threaded_units", 0),
+                    tier3.get("step_units", 0),
+                    tier3.get("degraded", 0)))
     compile_info = payload["compile"]
     out.write(
         "  compile_seconds={0:.4f} ({1:.1f}% of run)\n".format(
@@ -836,6 +849,11 @@ def _add_tier3_flags(sub) -> None:
     sub.add_argument(
         "--tier3-target", choices=("x86", "sparc"), default=None,
         help="back end for tier-3 native units (default x86)")
+    sub.add_argument(
+        "--tier3-backend", choices=("threaded", "step"), default=None,
+        help="how hosted units execute: block-compiled direct-threaded "
+             "code (threaded, default) or the one-instruction step "
+             "interpreter (the precise oracle)")
 
 
 def _add_async_flags(sub) -> None:

@@ -226,6 +226,85 @@ class TestFramesAndArguments:
         assert simulator.instructions_executed >= 2  # mov + ret
 
 
+class TestInstrCostMemo:
+    def test_cost_memoized_on_instruction(self):
+        """instr_cost fills the per-instruction memo on first use and
+        serves it afterwards — no opcode re-dispatch per cycle."""
+        from repro.execution.machine_sim import instr_cost
+        from repro.targets.machine import MachineInstr
+
+        instr = MachineInstr("addl", Semantics.ALU, [])
+        first = instr_cost(instr)
+        assert first > 0
+        assert instr.cost == first
+        # The memo is authoritative: a pre-set cost is returned as-is.
+        instr.cost = 999
+        assert instr_cost(instr) == 999
+
+    def test_fresh_instruction_has_no_cost(self):
+        from repro.targets.machine import MachineInstr
+
+        assert MachineInstr("nop", Semantics.NOP).cost is None
+
+
+class TestFrameEntryHoisting:
+    """_MachineFrame hoists the machine-function attributes it needs
+    at frame entry; the step loop must never chase
+    ``frame.machine.<attr>`` per executed instruction."""
+
+    LOOP = """
+    int %spin(int %n) {
+    entry:
+            br label %loop
+    loop:
+            %i = phi int [0, %entry], [%next, %loop]
+            %next = add int %i, 1
+            %done = setge int %next, %n
+            br bool %done, label %exit, label %loop
+    exit:
+            ret int %next
+    }
+    int %main() {
+    entry:
+            %a = call int %spin(int 200)
+            %b = call int %spin(int 200)
+            %r = add int %a, %b
+            ret int %r
+    }
+    """
+
+    class _CountingMachine:
+        """Attribute-access-counting proxy around a MachineFunction."""
+
+        def __init__(self, machine):
+            object.__setattr__(self, "_machine", machine)
+            object.__setattr__(self, "reads", {})
+
+        def __getattr__(self, name):
+            reads = object.__getattribute__(self, "reads")
+            reads[name] = reads.get(name, 0) + 1
+            return getattr(object.__getattribute__(self, "_machine"),
+                           name)
+
+    def test_no_per_step_machine_attribute_chasing(self):
+        module = parse_module(self.LOOP)
+        verify_module(module)
+        native = translate_module(module, make_target("x86"))
+        counting = self._CountingMachine(native.functions["spin"])
+        native.functions["spin"] = counting
+        simulator = MachineSimulator(native, module)
+        value, _status = simulator.run("main")
+        assert value == 400
+        # %spin executes ~1200 instructions across two activations;
+        # machine-function attribute reads must scale with the two
+        # frame entries (plus the per-call SMC staleness check), not
+        # with the step count.
+        assert simulator.instructions_executed > 1000
+        reads = counting.reads
+        assert reads.get("blocks", 0) <= 6, reads
+        assert reads.get("frame_size", 0) <= 6, reads
+
+
 class TestStaleTranslationDetection:
     def test_smc_version_mismatch_forces_retranslation(self):
         module = parse_module("""

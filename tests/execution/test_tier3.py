@@ -394,6 +394,157 @@ class TestAsyncTier3:
             cache.close()
 
 
+class TestThreadedBackend:
+    """The block-compiled direct-threaded backend: selection,
+    trap-report parity with the step oracle, SMC invalidation of
+    compiled blocks, per-function degradation, and warm-load
+    regeneration under the bumped persistence version."""
+
+    def _trap_outcome(self, backend, target="x86"):
+        module = _module(TestDeopt.TRAP_LOOP)
+        cache = _forced_cache(module, target, tier3_backend=backend)
+        interpreter = Interpreter(module, engine="fast", tier2=cache)
+        try:
+            interpreter.run("main", [])
+            outcome = ("ok",)
+        except ExecutionTrap as trap:
+            outcome = ("trap", trap.trap_number, trap.detail,
+                       interpreter.steps)
+        return outcome, cache
+
+    def test_default_backend_is_threaded(self):
+        module = _module()
+        cache = _forced_cache(module)
+        assert cache.tier3_backend == "threaded"
+        Interpreter(module, engine="fast", tier2=cache).run("main", [])
+        assert cache.stats.tier3_threaded_units == 2
+        assert cache.stats.tier3_step_units == 0
+        assert cache.stats.tier3_degraded == 0
+
+    def test_unknown_backend_rejected(self):
+        module = _module()
+        with pytest.raises(ValueError):
+            _forced_cache(module, tier3_backend="turbo")
+        with pytest.raises(ValueError):
+            build_tier3_unit(module.get_function("work"), module,
+                             make_target("x86"), backend="turbo")
+
+    def test_threaded_unit_carries_compiled_source(self):
+        module = _module()
+        unit = build_tier3_unit(module.get_function("work"), module,
+                                make_target("x86"))
+        assert unit.backend == "threaded"
+        assert not unit.degraded
+        source = unit._threaded._source
+        # Block-threaded shape: a dispatch local, batched per-edge
+        # step charging, and no per-instruction dispatch loop.
+        assert "__blk" in source
+        assert "__steps +=" in source
+
+    @pytest.mark.parametrize("target", ("x86", "sparc"))
+    def test_mid_block_trap_report_matches_step_backend(self, target):
+        """The divide fault fires mid-block, deep in a threaded body:
+        the side exit must produce a byte-identical trap report (trap
+        number, detail, architectural step count) to the step oracle,
+        and deopt exactly like it."""
+        threaded, threaded_cache = self._trap_outcome("threaded",
+                                                      target)
+        step, step_cache = self._trap_outcome("step", target)
+        assert threaded[0] == "trap"
+        assert threaded == step
+        assert threaded_cache.stats.tier3_deopts == 1
+        assert step_cache.stats.tier3_deopts == 1
+        assert threaded_cache.stats.tier3_threaded_units > 0
+        assert step_cache.stats.tier3_step_units > 0
+
+    def test_smc_invalidates_compiled_blocks(self):
+        """llva.smc.replace must drop the installed threaded unit —
+        compiled block code and all — and the replacement body must
+        recompile threaded at the new SMC version."""
+        module = _module(TestSMCInvalidation.SMC)
+        cache = _forced_cache(module, tier3_backend="threaded")
+        interpreter = Interpreter(module, engine="fast", tier2=cache)
+        result = interpreter.run("main", [])
+        assert result.return_value == 494
+        assert cache.stats.tier3_invalidations >= 1
+        assert cache.stats.tier3_compiled >= 2
+        assert cache.stats.tier3_threaded_units \
+            == cache.stats.tier3_compiled
+        assert cache.stats.tier3_degraded == 0
+
+    def test_unsupported_instruction_degrades_per_function(self):
+        """A machine body the block compiler cannot express (here: a
+        virtual-register operand the step executor ignores) must
+        degrade that one unit to the step backend — counted, not
+        pinned — and still run correctly."""
+        from repro.ir import types as irtypes
+        from repro.targets.machine import (
+            MachineInstr,
+            Semantics,
+            VirtualReg,
+        )
+
+        module = _module()
+        unit = build_tier3_unit(module.get_function("work"), module,
+                                make_target("x86"))
+        assert unit.backend == "threaded"
+        machine = unit.machine
+        machine.blocks[0].instructions.insert(0, MachineInstr(
+            "nop", Semantics.NOP, [VirtualReg(0, irtypes.INT)]))
+        degraded = Tier3Unit(unit.name, machine, 0, unit.num_args,
+                             unit.num_slots, unit.block_steps,
+                             unit.slot_by_site, backend="threaded")
+        assert degraded.degraded
+        assert degraded.backend == "step"
+        assert degraded._threaded is None
+        # The degraded unit still executes — via the step oracle.
+        interpreter = Interpreter(_module(), engine="fast")
+        generator = degraded.factory(interpreter, 30)
+        try:
+            next(generator)
+            pytest.fail("leaf unit should not yield")
+        except StopIteration as stop:
+            assert stop.value == sum(3 * i for i in range(30))
+
+    def test_requested_step_backend_is_not_degradation(self):
+        module = _module()
+        cache = _forced_cache(module, tier3_backend="step")
+        Interpreter(module, engine="fast", tier2=cache).run("main", [])
+        assert cache.stats.tier3_step_units == 2
+        assert cache.stats.tier3_threaded_units == 0
+        assert cache.stats.tier3_degraded == 0
+
+    def test_warm_load_rebuilds_threaded_bodies(self):
+        """llee-tier3 blobs persist machine code only (version 2):
+        a warm start must deserialize the machine functions and
+        regenerate their block-compiled bodies, matching the cold
+        run exactly."""
+        from repro.execution.tier2 import TIER3_VERSION
+
+        assert TIER3_VERSION == 2
+        storage = MemStorage()
+        module = _module()
+        cache = _forced_cache(module, tier3_backend="threaded")
+        cache.attach_storage(storage, "k1")
+        cold = Interpreter(module, engine="fast",
+                           tier2=cache).run("main", [])
+        assert cache.flush_storage()
+
+        module2 = _module()
+        cache2 = _forced_cache(module2, tier3_backend="threaded")
+        cache2.attach_storage(storage, "k1")
+        interpreter2 = Interpreter(module2, engine="fast",
+                                   tier2=cache2)
+        warm = interpreter2.run("main", [])
+        assert cache2.tier3_cache_hit
+        assert cache2.stats.tier3_warm == 2
+        assert cache2.stats.tier3_threaded_units == 2
+        assert cache2.stats.tier3_degraded == 0
+        assert interpreter2.tier3_steps == warm.steps
+        assert (warm.return_value, warm.output, warm.steps) == \
+            (cold.return_value, cold.output, cold.steps)
+
+
 class TestTier3Unit:
     def test_unit_kind_and_cycle_totals(self):
         module = _module()
