@@ -4,7 +4,8 @@ the committed baseline.
 Usage::
 
     python benchmarks/compare_bench.py NEW.json \
-        [--baseline BENCH_superblock.json] [--tolerance 0.15]
+        [--baseline BENCH_superblock.json] [--tolerance 0.15] \
+        [--metric speedup|vector_geomean]
 
 The comparison is restricted to the programs present in *both* files
 (CI runs the quick subset against the committed full-suite baseline)
@@ -95,16 +96,29 @@ def compare_first_run(current: dict, baseline: dict,
     return 0
 
 
+#: Gate metric -> the per-program row key its geomean is taken over.
+_METRIC_ROW_KEYS = {
+    "speedup": "speedup",
+    "vector_geomean": "vector_speedup",
+}
+
+
 def compare(current: dict, baseline: dict,
-            tolerance: float = DEFAULT_TOLERANCE, out=sys.stdout) -> int:
+            tolerance: float = DEFAULT_TOLERANCE, out=sys.stdout,
+            metric: str = "speedup") -> int:
+    row_key = _METRIC_ROW_KEYS[metric]
     if current.get("diverged"):
         out.write("FAIL: the candidate run diverged between engines\n")
         return 1
     current_rows = _rows(current)
     baseline_rows = _rows(baseline)
-    common = sorted(set(current_rows) & set(baseline_rows))
+    common = sorted(name for name in set(current_rows)
+                    & set(baseline_rows)
+                    if current_rows[name].get(row_key)
+                    and baseline_rows[name].get(row_key))
     if not common:
-        out.write("FAIL: no programs in common with the baseline\n")
+        out.write("FAIL: no programs in common with the baseline "
+                  "(comparing {0!r})\n".format(row_key))
         return 1
     mismatched = [name for name in common
                   if current_rows[name].get("scale")
@@ -120,19 +134,19 @@ def compare(current: dict, baseline: dict,
     out.write("{0:<12} {1:>10} {2:>10} {3:>8}\n".format(
         "program", "baseline", "current", "ratio"))
     for name in common:
-        base = baseline_rows[name]["speedup"]
-        cur = current_rows[name]["speedup"]
+        base = baseline_rows[name][row_key]
+        cur = current_rows[name][row_key]
         out.write("{0:<12} {1:>9.2f}x {2:>9.2f}x {3:>8.3f}\n".format(
             name, base, cur, cur / base))
     baseline_geomean = _geomean(
-        [baseline_rows[n]["speedup"] for n in common])
+        [baseline_rows[n][row_key] for n in common])
     current_geomean = _geomean(
-        [current_rows[n]["speedup"] for n in common])
+        [current_rows[n][row_key] for n in common])
     ratio = current_geomean / baseline_geomean
-    out.write("geomean ({0} programs): baseline {1:.3f}x, current "
-              "{2:.3f}x, ratio {3:.3f} (tolerance {4:.0%})\n".format(
-                  len(common), baseline_geomean, current_geomean,
-                  ratio, tolerance))
+    out.write("{0} geomean ({1} programs): baseline {2:.3f}x, current "
+              "{3:.3f}x, ratio {4:.3f} (tolerance {5:.0%})\n".format(
+                  row_key, len(common), baseline_geomean,
+                  current_geomean, ratio, tolerance))
 
     if ratio < 1.0 - tolerance:
         out.write("FAIL: speedup regressed more than {0:.0%} against "
@@ -164,12 +178,19 @@ def main(argv=None) -> int:
                         help="also gate compile-inclusive first-run "
                              "latency against this bench JSON (e.g. "
                              "BENCH_asyncjit.json)")
+    parser.add_argument("--metric", default="speedup",
+                        choices=sorted(_METRIC_ROW_KEYS),
+                        help="which per-program geomean to gate on: "
+                             "'speedup' (fast engine vs reference) or "
+                             "'vector_geomean' (--vectorize A/B, "
+                             "against BENCH_vector.json)")
     args = parser.parse_args(argv)
     with open(args.current) as handle:
         current = json.load(handle)
     with open(args.baseline) as handle:
         baseline = json.load(handle)
-    status = compare(current, baseline, args.tolerance)
+    status = compare(current, baseline, args.tolerance,
+                     metric=args.metric)
     if args.first_run_baseline:
         with open(args.first_run_baseline) as handle:
             first_run_baseline = json.load(handle)

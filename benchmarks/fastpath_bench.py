@@ -343,6 +343,84 @@ def bench_program(name, scale, sanitize=False, repeat=1, tier2=False,
     return row
 
 
+#: The numeric rows whose inner loops the autovectorizer targets —
+#: the ``--vectorize`` mode's default selection.
+VECTOR_PROGRAMS = ["art", "equake", "ammp", "ft"]
+
+
+def _result_summary(observation):
+    """Architectural results minus the step count: vectorization
+    legitimately changes how many steps a program takes, and nothing
+    else."""
+    if observation[0] == "trap":
+        return observation
+    return (observation[0], observation[1], observation[3])
+
+
+def bench_vector_program(name, scale, repeat=1):
+    """One workload compiled twice — scalar -O2 and -O2 --vectorize —
+    measured on the fast engine and under forced tier 2.
+
+    The vectorized module must match the reference interpreter *on
+    itself* byte for byte (including steps), and must produce the same
+    return value, output, and exit status as the scalar build; the
+    speedup columns are vector-off wall time over vector-on."""
+    workload = load_workload(name, scale)
+    scalar_mod = compile_source(workload.source, name,
+                                optimization_level=2)
+    vector_mod = compile_source(workload.source, name,
+                                optimization_level=2, vectorize=True)
+    reference = run_engine(vector_mod, "reference", repeat=1)
+    runs = {}
+    for label, module in (("scalar", scalar_mod),
+                          ("vector", vector_mod)):
+        runs[label] = {
+            "fast": run_engine(module, "fast", repeat=repeat),
+            "tier2": run_engine(module, "fast", repeat=repeat,
+                                tier2=True, tier2_threshold=0),
+        }
+    ref_obs = reference["observation"]
+    vec_fast = runs["vector"]["fast"]
+    vec_tier2 = runs["vector"]["tier2"]
+    scalar_fast = runs["scalar"]["fast"]
+    scalar_tier2 = runs["scalar"]["tier2"]
+    diverged = (
+        vec_fast["observation"] != ref_obs
+        or vec_tier2["observation"] != ref_obs
+        or _result_summary(scalar_fast["observation"])
+        != _result_summary(ref_obs)
+        or scalar_fast["observation"] != scalar_tier2["observation"]
+        or not all(m["stable"] for engines in runs.values()
+                   for m in engines.values()))
+    scalar_steps = scalar_fast["observation"][2] \
+        if scalar_fast["observation"][0] != "trap" else 0
+    vector_steps = vec_fast["observation"][2] \
+        if vec_fast["observation"][0] != "trap" else 0
+    row = {
+        "program": name,
+        "scale": scale,
+        "scalar_steps": scalar_steps,
+        "vector_steps": vector_steps,
+        "step_ratio": round(scalar_steps / vector_steps, 3)
+        if vector_steps else None,
+        "scalar_fast_seconds": round(scalar_fast["seconds"], 6),
+        "vector_fast_seconds": round(vec_fast["seconds"], 6),
+        "vector_speedup": round(scalar_fast["seconds"]
+                                / vec_fast["seconds"], 3)
+        if vec_fast["seconds"] > 0 else None,
+        "scalar_tier2_seconds": round(scalar_tier2["seconds"], 6),
+        "vector_tier2_seconds": round(vec_tier2["seconds"], 6),
+        "vector_speedup_tier2": round(scalar_tier2["seconds"]
+                                      / vec_tier2["seconds"], 3)
+        if vec_tier2["seconds"] > 0 else None,
+        "diverged": diverged,
+    }
+    if diverged:
+        row["reference_observation"] = repr(ref_obs)
+        row["vector_fast_observation"] = repr(vec_fast["observation"])
+    return row
+
+
 #: Trivial program used to warm the translator machinery (codegen
 #: imports, compile-service thread spin-up) before any timed run, so
 #: the first measured program is not charged process one-time costs.
@@ -376,6 +454,57 @@ def geomean(values):
         return None
     return round(math.exp(sum(math.log(v) for v in values)
                           / len(values)), 3)
+
+
+def _vectorize_main(parser, args, programs, scale, out_path):
+    """The ``--vectorize`` A/B report: per-program scalar-vs-vector
+    wall time and step counts, gated by ``compare_bench.py
+    --metric vector_geomean``."""
+    warm_translator()
+    rows = []
+    diverged = False
+    for name in programs:
+        if name not in SUITE_ORDER:
+            parser.error("unknown workload {0!r} (choose from {1})"
+                         .format(name, ", ".join(SUITE_ORDER)))
+        row = bench_vector_program(name, scale, repeat=args.repeat)
+        rows.append(row)
+        if row["diverged"]:
+            status = "DIVERGED"
+        else:
+            status = ("fast {0:.2f}x  tier2 {1:.2f}x  steps "
+                      "{2:.3f}x".format(row["vector_speedup"] or 0.0,
+                                        row["vector_speedup_tier2"]
+                                        or 0.0,
+                                        row["step_ratio"] or 0.0))
+        print("{0:<10} {1:>12,} -> {2:>12,} steps  {3}".format(
+            name, row["scalar_steps"], row["vector_steps"], status))
+        diverged = diverged or row["diverged"]
+    report = {
+        "scale": scale,
+        "vectorize": True,
+        "repeat": args.repeat,
+        "programs": rows,
+        "vector_geomean": geomean(
+            [r["vector_speedup"] for r in rows]),
+        "vector_geomean_tier2": geomean(
+            [r["vector_speedup_tier2"] for r in rows]),
+        "step_ratio_geomean": geomean(
+            [r["step_ratio"] for r in rows]),
+        "diverged": diverged,
+    }
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print("vector geomean: fast {0}x, tier2 {1}x, steps {2}x -> {3}"
+          .format(report["vector_geomean"],
+                  report["vector_geomean_tier2"],
+                  report["step_ratio_geomean"], out_path))
+    if diverged:
+        print("ERROR: vectorization diverged; see {0}".format(
+            out_path), file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv=None):
@@ -433,6 +562,14 @@ def main(argv=None):
                         help="hosted execution backend: block-compiled "
                              "direct-threaded code (default) or the "
                              "one-instruction step interpreter")
+    parser.add_argument("--vectorize", action="store_true",
+                        help="A/B the loop autovectorizer: each "
+                             "program compiled -O2 with and without "
+                             "--vectorize, measured on the fast "
+                             "engine and under forced tier 2; the "
+                             "report (default programs: {0}) lands in "
+                             "BENCH_vector.json".format(
+                                 "/".join(VECTOR_PROGRAMS)))
     parser.add_argument("--repeat", type=int, default=1, metavar="N",
                         help="run each engine N times against shared "
                              "caches and report min-of-N (steady state)")
@@ -451,17 +588,23 @@ def main(argv=None):
     if args.osr or args.async_compile or args.tier3:
         args.tier2 = True
     out_path = args.out or (
-        "BENCH_tier3.json" if args.tier3
+        "BENCH_vector.json" if args.vectorize
+        else "BENCH_tier3.json" if args.tier3
         else "BENCH_asyncjit.json" if args.async_compile
         else "BENCH_superblock.json" if args.superblocks
         else "BENCH_tierjit.json" if args.tier2
         else "BENCH_fastpath.json")
 
-    programs = args.programs or list(SUITE_ORDER)
+    programs = args.programs or (
+        list(VECTOR_PROGRAMS) if args.vectorize else list(SUITE_ORDER))
     scale = args.scale
     if args.quick:
-        programs = args.programs or QUICK_PROGRAMS
+        programs = args.programs or (
+            VECTOR_PROGRAMS if args.vectorize else QUICK_PROGRAMS)
         scale = QUICK_SCALE
+
+    if args.vectorize:
+        return _vectorize_main(parser, args, programs, scale, out_path)
 
     if args.tier2 and not args.sanitize:
         warm_translator(async_compile=args.async_compile,

@@ -8,10 +8,63 @@ software trace cache's region selection.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
+from repro.ir import instructions as insts
 from repro.ir.cfg import DominatorTree
 from repro.ir.module import BasicBlock, Function
+from repro.ir.values import ConstantInt, Value
+
+
+@dataclass
+class InductionVariable:
+    """A counted loop's induction variable: ``i = phi(init, i + stride)``.
+
+    *phi* lives in the loop header; *init* is the loop-invariant value it
+    takes on entry; *step* is the in-loop ``add`` that advances it by the
+    constant *stride* each iteration.
+    """
+
+    phi: insts.PhiInst
+    init: Value
+    step: insts.Instruction
+    stride: int
+
+
+@dataclass
+class TripCount:
+    """A counted loop's symbolic trip structure.
+
+    The loop runs while ``relation(iv, bound)`` holds, where *bound* is
+    loop-invariant and *compare* is the header comparison feeding the
+    header's conditional branch (true edge enters the loop, false edge
+    exits).  ``constant_trips()`` folds the count when everything is
+    constant — useful to unrolling heuristics; the autovectorizer only
+    needs the symbolic form.
+    """
+
+    induction: InductionVariable
+    bound: Value
+    compare: insts.CompareInst
+    relation: str
+
+    def constant_trips(self) -> Optional[int]:
+        init = self.induction.init
+        if not isinstance(init, ConstantInt) \
+                or not isinstance(self.bound, ConstantInt):
+            return None
+        start, stop = init.value, self.bound.value
+        stride = self.induction.stride
+        if self.relation == "lt" and stride > 0:
+            if stop <= start:
+                return 0
+            return -(-(stop - start) // stride)
+        if self.relation == "gt" and stride < 0:
+            if stop >= start:
+                return 0
+            return -(-(start - stop) // -stride)
+        return None
 
 
 class Loop:
@@ -57,6 +110,86 @@ class Loop:
         if len(outside) == 1 and len(outside[0].successors()) == 1:
             return outside[0]
         return None
+
+    def is_invariant(self, value: Value) -> bool:
+        """True if *value* cannot change across iterations of this loop:
+        a constant, argument, global, or instruction defined outside."""
+        if isinstance(value, insts.Instruction):
+            return value.parent is not None \
+                and not self.contains(value.parent)
+        return not isinstance(value, BasicBlock)
+
+    def induction_variable(self) -> Optional[InductionVariable]:
+        """Recognize the loop's integer induction variable, if any.
+
+        Matches the canonical counted-loop shape the front-end emits: a
+        unique header phi of integer type with exactly two incoming
+        values — a loop-invariant init from outside and an in-loop
+        ``add %phi, <constant>`` step.  Returns ``None`` when no phi (or
+        more than one) matches, so callers never guess between
+        candidates.
+        """
+        found: Optional[InductionVariable] = None
+        for inst in self.header.instructions:
+            if not isinstance(inst, insts.PhiInst):
+                break
+            if not inst.type.is_integer or inst.num_incoming != 2:
+                continue
+            init: Optional[Value] = None
+            step: Optional[Value] = None
+            for value, pred in inst.incoming():
+                if self.contains(pred):
+                    step = value
+                else:
+                    init = value
+            if init is None or step is None \
+                    or not self.is_invariant(init):
+                continue
+            if not (isinstance(step, insts.AddInst)
+                    and step.parent is not None
+                    and self.contains(step.parent)
+                    and step.lhs is inst
+                    and isinstance(step.rhs, ConstantInt)):
+                continue
+            if found is not None:
+                return None  # ambiguous: two candidate counters
+            found = InductionVariable(inst, init, step, step.rhs.value)
+        return found
+
+    def trip_count(self) -> Optional[TripCount]:
+        """Recognize the loop's counted exit condition, if any.
+
+        Requires :meth:`induction_variable` plus a header of the form::
+
+            %cond = setlt int %iv, %bound   ; bound loop-invariant
+            br bool %cond, label %body, label %exit
+
+        where the true edge stays in the loop and the false edge leaves
+        it (``setgt`` with a negative stride is the mirrored form).
+        """
+        induction = self.induction_variable()
+        if induction is None:
+            return None
+        terminator = self.header.instructions[-1] \
+            if self.header.instructions else None
+        if not (isinstance(terminator, insts.BranchInst)
+                and terminator.is_conditional):
+            return None
+        condition = terminator.condition
+        if not (isinstance(condition, insts.CompareInst)
+                and condition.parent is self.header):
+            return None
+        if condition.lhs is not induction.phi \
+                or not self.is_invariant(condition.rhs):
+            return None
+        relation = condition.relation
+        if not ((relation == "lt" and induction.stride > 0)
+                or (relation == "gt" and induction.stride < 0)):
+            return None
+        on_true, on_false = terminator.successors()
+        if not (self.contains(on_true) and not self.contains(on_false)):
+            return None
+        return TripCount(induction, condition.rhs, condition, relation)
 
     def __repr__(self) -> str:
         return "<Loop header=%{0} blocks={1} depth={2}>".format(

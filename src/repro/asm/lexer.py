@@ -5,7 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-PUNCTUATION = ("...", "=", ",", "(", ")", "{", "}", "[", "]", "*", ":")
+PUNCTUATION = ("...", "=", ",", "(", ")", "{", "}", "[", "]", "<", ">",
+               "*", ":")
 
 
 class LexerError(Exception):

@@ -182,6 +182,15 @@ class _Parser:
             element = self.parse_type()
             self.expect("]")
             base = types.array_of(element, length)
+        elif token.kind == "<":
+            lanes = int(self.expect("int").text)
+            self.expect("word", "x")
+            element = self.parse_type()
+            self.expect(">")
+            try:
+                base = types.vector_of(element, lanes)
+            except types.LlvaTypeError as error:
+                raise ParseError(str(error), token)
         elif token.kind == "{":
             fields: List[types.Type] = []
             if not self.accept("}"):
@@ -460,8 +469,10 @@ class _FunctionBodyParser:
             self.p.expect("=")
         opcode_token = self.p.expect("word")
         opcode = opcode_token.text
-        if opcode in insts.BINARY_CLASSES or opcode in (
-                "seteq", "setne", "setlt", "setgt", "setle", "setge"):
+        if opcode in insts.BINARY_CLASSES \
+                or opcode in insts.VECTOR_BINARY_CLASSES \
+                or opcode in (
+                    "seteq", "setne", "setlt", "setgt", "setle", "setge"):
             self._parse_binary(opcode, result_name)
         elif opcode == "ret":
             self._parse_ret(result_name)
@@ -494,6 +505,29 @@ class _FunctionBodyParser:
             self._append(insts.CastInst(value, target), result_name)
         elif opcode == "phi":
             self._parse_phi(result_name)
+        elif opcode == "vsplat":
+            vec_type = self.p.parse_type()
+            if not vec_type.is_vector:
+                raise ParseError("vsplat requires a vector type",
+                                 opcode_token)
+            scalar = self._untyped_operand(vec_type.element)
+            self._append(insts.VSplatInst(vec_type, scalar), result_name)
+        elif opcode in insts.VREDUCE_CLASSES:
+            init = self._typed_operand()
+            self.p.expect(",")
+            vector = self._typed_operand()
+            self._append(insts.VREDUCE_CLASSES[opcode](init, vector),
+                         result_name)
+        elif opcode == "vload":
+            vec_type = self.p.parse_type()
+            self.p.expect(",")
+            pointer = self._typed_operand()
+            self._append(insts.VLoadInst(vec_type, pointer), result_name)
+        elif opcode == "vstore":
+            value = self._typed_operand()
+            self.p.expect(",")
+            pointer = self._typed_operand()
+            self._append(insts.VStoreInst(value, pointer), None)
         else:
             raise ParseError("unknown opcode", opcode_token)
 
@@ -509,6 +543,8 @@ class _FunctionBodyParser:
             rhs = self._untyped_operand(type_)
         if opcode in insts.BINARY_CLASSES:
             inst: insts.Instruction = insts.BINARY_CLASSES[opcode](lhs, rhs)
+        elif opcode in insts.VECTOR_BINARY_CLASSES:
+            inst = insts.VECTOR_BINARY_CLASSES[opcode](lhs, rhs)
         else:
             inst = insts.COMPARE_CLASSES[opcode[3:]](lhs, rhs)
         self._append(inst, result_name)

@@ -26,6 +26,7 @@ from repro.bitcode.writer import (
     KIND_FUNCTION,
     KIND_POINTER,
     KIND_STRUCT,
+    KIND_VECTOR,
     MAGIC,
     PRIMITIVE_ORDER,
     VERSION,
@@ -87,10 +88,10 @@ class _ModuleReader:
             kind = reader.u8()
             if kind == KIND_POINTER:
                 records.append((kind, [reader.vbr()], index))
-            elif kind == KIND_ARRAY:
-                pointee = reader.vbr()
+            elif kind in (KIND_ARRAY, KIND_VECTOR):
+                element = reader.vbr()
                 length = reader.vbr()
-                records.append((kind, [pointee, length], index))
+                records.append((kind, [element, length], index))
             elif kind == KIND_STRUCT:
                 count = reader.vbr()
                 fields = [reader.vbr() for _ in range(count)]
@@ -137,6 +138,9 @@ class _ModuleReader:
         elif kind == KIND_ARRAY:
             result = types.array_of(self._resolve_type(payload[0]),
                                     payload[1])
+        elif kind == KIND_VECTOR:
+            result = types.vector_of(self._resolve_type(payload[0]),
+                                     payload[1])
         elif kind == KIND_STRUCT:
             result = types.struct_of(
                 self._resolve_type(i) for i in payload)
@@ -352,6 +356,17 @@ class _ModuleReader:
             pairs = [(operands[i], operands[i + 1])
                      for i in range(0, len(operands), 2)]
             return insts.PhiInst(result_type, pairs)
+        if opcode in insts.VECTOR_BINARY_CLASSES:
+            return insts.VECTOR_BINARY_CLASSES[opcode](
+                operands[0], operands[1])
+        if opcode == "vsplat":
+            return insts.VSplatInst(result_type, operands[0])
+        if opcode in insts.VREDUCE_CLASSES:
+            return insts.VREDUCE_CLASSES[opcode](operands[0], operands[1])
+        if opcode == "vload":
+            return insts.VLoadInst(result_type, operands[0])
+        if opcode == "vstore":
+            return insts.VStoreInst(operands[0], operands[1])
         raise BitcodeError("bad opcode {0!r}".format(opcode))
 
 

@@ -42,6 +42,7 @@ KIND_POINTER = 0
 KIND_ARRAY = 1
 KIND_STRUCT = 2
 KIND_FUNCTION = 3
+KIND_VECTOR = 4
 
 CONST_INT = 0
 CONST_FP = 1
@@ -94,7 +95,7 @@ class _TypeTable:
             return index
         if isinstance(type_, types.PointerType):
             self.add(type_.pointee)
-        elif isinstance(type_, types.ArrayType):
+        elif isinstance(type_, (types.ArrayType, types.VectorType)):
             self.add(type_.element)
         elif isinstance(type_, types.StructType):
             for fieldtype in type_.fields:
@@ -206,6 +207,10 @@ class _ModuleWriter:
             out.u8(KIND_ARRAY)
             out.vbr(table.of(type_.element))
             out.vbr(type_.length)
+        elif isinstance(type_, types.VectorType):
+            out.u8(KIND_VECTOR)
+            out.vbr(table.of(type_.element))
+            out.vbr(type_.lanes)
         elif isinstance(type_, types.StructType):
             out.u8(KIND_STRUCT)
             out.vbr(len(type_.fields))

@@ -462,6 +462,43 @@ def _fuse_block(ops: List[Callable], flags: List[bool]) -> int:
 
 _INT_BIN_FN = {"add": operator.add, "sub": operator.sub,
                "mul": operator.mul}
+
+
+def _lane_bump(lanes: int, engine: str):
+    """Decode-time gate for the ``vec.lanes`` counter: returns a bound
+    bump when observability is on at decode time, else ``None`` so the
+    hot closures pay a single is-None test."""
+    if not observe.enabled():
+        return None
+
+    def bump(_c=observe.counter, _n=lanes, _e=engine):
+        _c("vec.lanes", _n, engine=_e)
+    return bump
+
+
+_INT_STRUCT_CODE = {(1, True): "b", (1, False): "B",
+                    (2, True): "h", (2, False): "H",
+                    (4, True): "i", (4, False): "I",
+                    (8, True): "q", (8, False): "Q"}
+
+
+def _vector_struct_format(element, esize: int, endian: str, lanes: int):
+    """One struct format transferring a whole contiguous vector in a
+    single bulk read/write, or ``None`` when the element has no
+    fixed-width struct code (the caller keeps its per-lane path).
+    Lane order within the format matches the 0..L-1 walk, and signed /
+    unsigned integer codes reproduce the per-lane sign extension."""
+    if element.is_floating_point:
+        code = {4: "f", 8: "d"}.get(esize)
+    elif getattr(element, "is_integer", False) \
+            and getattr(element, "bits", 0) == esize * 8 \
+            and not element.is_bool:
+        code = _INT_STRUCT_CODE.get((esize, element.is_signed))
+    else:
+        code = None
+    if code is None:
+        return None
+    return ("<" if endian == "little" else ">") + str(lanes) + code
 _LOGICAL_FN = {"and": operator.and_, "or": operator.or_,
                "xor": operator.xor}
 _CMP_FN = {"seteq": operator.eq, "setne": operator.ne,
@@ -653,6 +690,16 @@ class _Decoder:
             return self._compile_call(block, inst, index), False
         if opcode == "phi":
             return _phi_error_op, False
+        if opcode in ("vadd", "vsub", "vmul"):
+            return self._compile_vbinary(inst, index), True
+        if opcode == "vsplat":
+            return self._compile_vsplat(inst, index), True
+        if opcode in ("vreduce.add", "vreduce.min", "vreduce.max"):
+            return self._compile_vreduce(inst, index), True
+        if opcode == "vload":
+            return self._compile_vload(inst, index), True
+        if opcode == "vstore":
+            return self._compile_vstore(inst, index), True
         raise AssertionError("unknown opcode {0!r}".format(opcode))
 
     # -- integer / float arithmetic ------------------------------------
@@ -915,6 +962,319 @@ class _Decoder:
                 r = f.regs
                 r[dst] = geta(st, r) >> (getb(st, r) & bmask)
                 f.index = nxt
+        return op
+
+    # -- vector --------------------------------------------------------
+    #
+    # Vector values are host tuples, one entry per lane, and every lane
+    # walk runs 0..L-1 in order so results (and fault addresses) match
+    # the reference interpreter bit for bit.  ``vec.lanes`` counting is
+    # gated at decode time: closures decoded with observability off
+    # carry no bump at all (decode caches persist, so toggling
+    # observability mid-process does not retrofit counting).
+    #
+    # Contiguous vector memory traffic goes through ONE region lookup:
+    # the whole vector is read/written as a single bulk transfer and
+    # decoded with one struct format (``_vector_struct_format``).  A
+    # bulk transfer succeeds exactly when every per-lane transfer
+    # would (a lane range is a subrange of the bulk range within the
+    # same region), so results are unchanged; on a bulk fault the op
+    # replays lane by lane to recover the reference tier's exact
+    # faulting-lane address before delivering the trap.
+
+    def _compile_vbinary(self, inst, index: int):
+        dst = self.slot_of[id(inst)]
+        nxt = index + 1
+        element = inst.type.element
+        opcode = inst.opcode[1:]
+        bump = _lane_bump(inst.type.lanes, "fast")
+        fn = _INT_BIN_FN[opcode]
+        if element is types.FLOAT:
+            def lane(x, y, _f=fn):
+                return _round_f32(_f(x, y))
+        elif element.is_floating_point:
+            lane = fn
+        else:
+            mask = (1 << element.bits) - 1
+            sign = (1 << (element.bits - 1)) if element.is_signed else 0
+
+            def lane(x, y, _f=fn):
+                return ((_f(x, y) & mask) ^ sign) - sign
+        ka, va = self.resolve(inst.operand(0))
+        kb, vb = self.resolve(inst.operand(1))
+        if ka == "s" and kb == "s":
+            def op(st, f, _a=va, _b=vb):
+                st.steps += 1
+                r = f.regs
+                r[dst] = tuple(map(lane, r[_a], r[_b]))
+                if bump is not None:
+                    bump()
+                f.index = nxt
+        else:
+            geta = self.getter(inst.operand(0))
+            getb = self.getter(inst.operand(1))
+
+            def op(st, f):
+                st.steps += 1
+                r = f.regs
+                r[dst] = tuple(map(lane, geta(st, r), getb(st, r)))
+                if bump is not None:
+                    bump()
+                f.index = nxt
+        return op
+
+    def _compile_vsplat(self, inst, index: int):
+        dst = self.slot_of[id(inst)]
+        nxt = index + 1
+        lanes = inst.type.lanes
+        bump = _lane_bump(lanes, "fast")
+        kv, vv = self.resolve(inst.scalar)
+        if kv == "c":
+            value = (vv,) * lanes
+
+            def op(st, f):
+                st.steps += 1
+                f.regs[dst] = value
+                if bump is not None:
+                    bump()
+                f.index = nxt
+        elif kv == "s":
+            def op(st, f, _v=vv):
+                st.steps += 1
+                r = f.regs
+                r[dst] = (r[_v],) * lanes
+                if bump is not None:
+                    bump()
+                f.index = nxt
+        else:
+            getv = self.getter(inst.scalar)
+
+            def op(st, f):
+                st.steps += 1
+                r = f.regs
+                r[dst] = (getv(st, r),) * lanes
+                if bump is not None:
+                    bump()
+                f.index = nxt
+        return op
+
+    def _compile_vreduce(self, inst, index: int):
+        dst = self.slot_of[id(inst)]
+        nxt = index + 1
+        element = inst.type
+        kind = inst.kind
+        bump = _lane_bump(inst.vector.type.lanes, "fast")
+        if kind == "add":
+            if element is types.FLOAT:
+                def fold(acc, lanes):
+                    for lane in lanes:
+                        acc = _round_f32(acc + lane)
+                    return acc
+            elif element.is_floating_point:
+                def fold(acc, lanes):
+                    for lane in lanes:
+                        acc += lane
+                    return acc
+            else:
+                mask = (1 << element.bits) - 1
+                sign = (1 << (element.bits - 1)) \
+                    if element.is_signed else 0
+
+                def fold(acc, lanes):
+                    for lane in lanes:
+                        acc = (((acc + lane) & mask) ^ sign) - sign
+                    return acc
+        elif kind == "min":
+            # Explicit compare-and-keep (not host min/max): replays the
+            # scalar ``x < acc`` select exactly, NaN ordering included.
+            def fold(acc, lanes):
+                for lane in lanes:
+                    acc = lane if lane < acc else acc
+                return acc
+        else:  # max
+            def fold(acc, lanes):
+                for lane in lanes:
+                    acc = lane if lane > acc else acc
+                return acc
+        ki, vi = self.resolve(inst.init)
+        kv, vv = self.resolve(inst.vector)
+        if ki == "s" and kv == "s":
+            def op(st, f, _i=vi, _v=vv):
+                st.steps += 1
+                r = f.regs
+                r[dst] = fold(r[_i], r[_v])
+                if bump is not None:
+                    bump()
+                f.index = nxt
+        elif ki == "c" and kv == "s":
+            def op(st, f, _i=vi, _v=vv):
+                st.steps += 1
+                r = f.regs
+                r[dst] = fold(_i, r[_v])
+                if bump is not None:
+                    bump()
+                f.index = nxt
+        else:
+            geti = self.getter(inst.init)
+            getv = self.getter(inst.vector)
+
+            def op(st, f):
+                st.steps += 1
+                r = f.regs
+                r[dst] = fold(geti(st, r), getv(st, r))
+                if bump is not None:
+                    bump()
+                f.index = nxt
+        return op
+
+    def _compile_vload(self, inst, index: int):
+        dst = self.slot_of[id(inst)]
+        nxt = index + 1
+        element = inst.type.element
+        lanes = inst.type.lanes
+        target = self.target
+        esize = target.size_of(element)
+        endian = target.endianness
+        total = lanes * esize
+        offsets = tuple(range(0, total, esize))
+        bump = _lane_bump(lanes, "fast")
+        fmt = _vector_struct_format(element, esize, endian, lanes)
+        kp, vp = self.resolve(inst.pointer)
+        if kp != "s" or fmt is None:
+            getp = None if kp == "s" else self.getter(inst.pointer)
+
+            def op(st, f):
+                st.steps += 1
+                r = f.regs
+                base = r[vp] if getp is None else int(getp(st, r))
+                try:
+                    value = tuple(st.memory.read_typed(base + off, element)
+                                  for off in offsets)
+                except MemoryError_ as fault:
+                    return st._fast_fault(f, index, inst, dst,
+                                          fault.trap_number,
+                                          fault.address or 0,
+                                          fault.detail,
+                                          fault.unmaskable)
+                r[dst] = value
+                if bump is not None:
+                    bump()
+                f.index = nxt
+            return op
+        unpack = struct.unpack
+
+        def op(st, f, _p=vp):
+            st.steps += 1
+            r = f.regs
+            base = r[_p]
+            try:
+                value = unpack(fmt, st.memory.read_bytes(base, total))
+            except MemoryError_:
+                # Bulk fault: replay lane by lane for the exact
+                # faulting-lane address (or succeed, when the lanes
+                # straddle a region seam the bulk read cannot cross).
+                try:
+                    value = tuple(
+                        st.memory.read_typed(base + off, element)
+                        for off in offsets)
+                except MemoryError_ as fault:
+                    return st._fast_fault(f, index, inst, dst,
+                                          fault.trap_number,
+                                          fault.address or 0,
+                                          fault.detail,
+                                          fault.unmaskable)
+            r[dst] = value
+            if bump is not None:
+                bump()
+            f.index = nxt
+        return op
+
+    def _compile_vstore(self, inst, index: int):
+        nxt = index + 1
+        element = inst.value.type.element
+        lanes = inst.value.type.lanes
+        target = self.target
+        esize = target.size_of(element)
+        endian = target.endianness
+        offsets = tuple(range(0, lanes * esize, esize))
+        bump = _lane_bump(lanes, "fast")
+        fmt = _vector_struct_format(element, esize, endian, lanes)
+        pack = struct.pack
+        kp, vp = self.resolve(inst.pointer)
+        kv, vv = self.resolve(inst.value)
+        getv = None if kv == "s" else self.getter(inst.value)
+        getp = None if kp == "s" else self.getter(inst.pointer)
+        if element.is_floating_point:
+            one = _FP_FORMAT[(esize, endian)]
+
+            def lane_by_lane(st, base, value):
+                # Stop-at-fault order: lanes before the faulting lane
+                # stay written, exactly as the reference tier leaves
+                # them.
+                for slot, off in enumerate(offsets):
+                    st.memory.write_bytes(
+                        base + off, pack(one, float(value[slot])))
+
+            def bulk_bytes(value):
+                return pack(fmt, *value)
+        else:
+            mask = (1 << element.bits) - 1
+
+            def lane_by_lane(st, base, value):
+                for slot, off in enumerate(offsets):
+                    st.memory.write_bytes(
+                        base + off,
+                        (value[slot] & mask).to_bytes(esize, endian))
+
+            if fmt is not None and element.is_signed:
+                # Signed struct codes reject the unsigned masked image;
+                # encode through the unsigned code of the same width.
+                fmt = fmt[:-1] + fmt[-1].upper()
+
+            def bulk_bytes(value):
+                return pack(fmt, *[x & mask for x in value])
+
+        if fmt is None:
+            def op(st, f):
+                st.steps += 1
+                r = f.regs
+                base = r[vp] if getp is None else int(getp(st, r))
+                value = r[vv] if getv is None else getv(st, r)
+                try:
+                    lane_by_lane(st, base, value)
+                except MemoryError_ as fault:
+                    return st._fast_fault(f, index, inst, -1,
+                                          fault.trap_number,
+                                          fault.address or 0,
+                                          fault.detail,
+                                          fault.unmaskable)
+                if bump is not None:
+                    bump()
+                f.index = nxt
+            return op
+
+        def op(st, f):
+            st.steps += 1
+            r = f.regs
+            base = r[vp] if getp is None else int(getp(st, r))
+            value = r[vv] if getv is None else getv(st, r)
+            try:
+                st.memory.write_bytes(base, bulk_bytes(value))
+            except MemoryError_:
+                # Bulk fault: replay lane by lane so leading lanes land
+                # and the trap carries the exact faulting-lane address
+                # (or succeed across a region seam).
+                try:
+                    lane_by_lane(st, base, value)
+                except MemoryError_ as fault:
+                    return st._fast_fault(f, index, inst, -1,
+                                          fault.trap_number,
+                                          fault.address or 0,
+                                          fault.detail,
+                                          fault.unmaskable)
+            if bump is not None:
+                bump()
+            f.index = nxt
         return op
 
     # -- memory --------------------------------------------------------

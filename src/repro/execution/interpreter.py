@@ -171,6 +171,13 @@ class Interpreter:
             "getelementptr": self._exec_gep, "alloca": self._exec_alloca,
             "cast": self._exec_cast, "call": self._exec_call,
             "phi": self._exec_phi_error,
+            "vadd": self._exec_vbinary, "vsub": self._exec_vbinary,
+            "vmul": self._exec_vbinary,
+            "vsplat": self._exec_vsplat,
+            "vreduce.add": self._exec_vreduce,
+            "vreduce.min": self._exec_vreduce,
+            "vreduce.max": self._exec_vreduce,
+            "vload": self._exec_vload, "vstore": self._exec_vstore,
         }
 
     # ------------------------------------------------------------------
@@ -672,6 +679,93 @@ class Interpreter:
         return _NO_RESULT
 
     # ------------------------------------------------------------------
+    # Vector extension
+    # ------------------------------------------------------------------
+    #
+    # Vector register values are plain tuples of lane values.  Every
+    # executor walks lanes 0..L-1 in order and reuses the scalar
+    # arithmetic helpers, so a vectorized loop is bit-identical to its
+    # scalar original (including float association and per-lane fault
+    # addresses) — the property the differential harness checks.
+
+    def _exec_vbinary(self, frame: _Frame, inst):
+        lhs = self._value(frame, inst.operand(0))
+        rhs = self._value(frame, inst.operand(1))
+        opcode = inst.opcode[1:]  # vadd -> add, ...
+        element = inst.type.element
+        if element.is_floating_point:
+            result = tuple(_float_arith(opcode, a, b)
+                           for a, b in zip(lhs, rhs))
+            if element is _F32:
+                result = tuple(_round_f32(v) for v in result)
+        elif opcode == "add":
+            result = tuple(element.wrap(a + b) for a, b in zip(lhs, rhs))
+        elif opcode == "sub":
+            result = tuple(element.wrap(a - b) for a, b in zip(lhs, rhs))
+        else:
+            result = tuple(element.wrap(a * b) for a, b in zip(lhs, rhs))
+        observe.counter("vec.lanes", inst.type.lanes, engine="interp")
+        self._set(frame, inst, result)
+        frame.index += 1
+        return _NO_RESULT
+
+    def _exec_vsplat(self, frame: _Frame, inst):
+        scalar = self._value(frame, inst.scalar)
+        observe.counter("vec.lanes", inst.type.lanes, engine="interp")
+        self._set(frame, inst, (scalar,) * inst.type.lanes)
+        frame.index += 1
+        return _NO_RESULT
+
+    def _exec_vreduce(self, frame: _Frame, inst):
+        acc = self._value(frame, inst.init)
+        lanes = self._value(frame, inst.vector)
+        kind = inst.kind
+        element = inst.type
+        if kind == "add":
+            if element.is_floating_point:
+                for lane in lanes:
+                    acc = acc + lane
+                    if element is _F32:
+                        acc = _round_f32(acc)
+            else:
+                for lane in lanes:
+                    acc = element.wrap(acc + lane)
+        elif kind == "min":
+            for lane in lanes:
+                acc = lane if lane < acc else acc
+        else:
+            for lane in lanes:
+                acc = lane if lane > acc else acc
+        observe.counter("vec.lanes", len(lanes), engine="interp")
+        self._set(frame, inst, acc)
+        frame.index += 1
+        return _NO_RESULT
+
+    def _exec_vload(self, frame: _Frame, inst):
+        address = int(self._value(frame, inst.pointer))
+        element = inst.type.element
+        stride = self.target.size_of(element)
+        read = self.memory.read_typed
+        result = tuple(read(address + i * stride, element)
+                       for i in range(inst.type.lanes))
+        observe.counter("vec.lanes", inst.type.lanes, engine="interp")
+        self._set(frame, inst, result)
+        frame.index += 1
+        return _NO_RESULT
+
+    def _exec_vstore(self, frame: _Frame, inst):
+        address = int(self._value(frame, inst.pointer))
+        value = self._value(frame, inst.value)
+        element = inst.value.type.element
+        stride = self.target.size_of(element)
+        write = self.memory.write_typed
+        for i, lane in enumerate(value):
+            write(address + i * stride, element, lane)
+        observe.counter("vec.lanes", len(value), engine="interp")
+        frame.index += 1
+        return _NO_RESULT
+
+    # ------------------------------------------------------------------
     # Cast
     # ------------------------------------------------------------------
 
@@ -768,6 +862,8 @@ _NO_RESULT = object()
 
 def _zero_of(type_: types.Type):
     """The defined default result for a masked-exception instruction."""
+    if type_.is_vector:
+        return (_zero_of(type_.element),) * type_.lanes
     if type_.is_floating_point:
         return 0.0
     if type_.is_bool:
@@ -820,6 +916,14 @@ def _float_arith(opcode: str, lhs: float, rhs: float) -> float:
         return lhs - rhs
     if opcode == "mul":
         return lhs * rhs
+    if opcode == "min":
+        # The machine-level reduce fold: lhs is the accumulator, rhs the
+        # lane.  `lane if lane REL acc else acc`, exactly as the
+        # reference interpreter's vreduce walks lanes (keeps the
+        # accumulator on a NaN lane).
+        return rhs if rhs < lhs else lhs
+    if opcode == "max":
+        return rhs if rhs > lhs else lhs
     if opcode == "div":
         if rhs == 0.0:
             # IEEE: infinity / NaN, never a trap.

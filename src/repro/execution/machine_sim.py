@@ -55,6 +55,7 @@ from repro.targets.machine import (
     PhysReg,
     Semantics,
     SymRef,
+    spill_slot_type,
 )
 from repro.targets.native import NativeModule
 
@@ -66,6 +67,9 @@ CYCLES = {
     Semantics.RET: 2, Semantics.PUSH: 2, Semantics.POP: 2,
     Semantics.CVT: 2, Semantics.ADJSP: 1, Semantics.UNWIND: 10,
     Semantics.NOP: 1, Semantics.ALLOCA: 2,
+    # One wide memory access each: costlier than a scalar load/store,
+    # far cheaper than one scalar access per lane.
+    Semantics.VLOAD: 4, Semantics.VSTORE: 3,
 }
 _MUL_EXTRA = 2
 _DIV_EXTRA = 18
@@ -375,6 +379,55 @@ class MachineSimulator:
                 raise
         self._advance(frame)
 
+    # -- the vector extension ----------------------------------------------------------
+
+    def _lane_write(self, frame, operand, value, slot_type) -> None:
+        if isinstance(operand, Mem):
+            # A spilled lane bound to its frame slot by the allocator.
+            self.memory.write_typed(self._mem_address(frame, operand),
+                                    slot_type, value)
+        else:
+            self._reg_write(operand, value)
+
+    def _exec_vload(self, frame, instr) -> None:
+        element = instr.attrs["value_type"]
+        esize = instr.attrs.get("esize") or self.td.size_of(element)
+        lanes = instr.operands[:-1]
+        address = self._mem_address(frame, instr.operands[-1])
+        try:
+            values = [self.memory.read_typed(address + i * esize,
+                                             element)
+                      for i in range(len(lanes))]
+        except MemoryError_:
+            if instr.attrs.get("ee", True):
+                raise
+            # Atomic over lanes: a masked fault discards the whole
+            # vector and yields all-zero lanes.
+            values = [_zero_of(element)] * len(lanes)
+        slot_type = spill_slot_type(element)
+        for operand, value in zip(lanes, values):
+            self._lane_write(frame, operand, value, slot_type)
+        self._advance(frame)
+
+    def _exec_vstore(self, frame, instr) -> None:
+        element = instr.attrs["value_type"]
+        esize = instr.attrs.get("esize") or self.td.size_of(element)
+        lanes = instr.operands[:-1]
+        address = self._mem_address(frame, instr.operands[-1])
+        slot_type = spill_slot_type(element)
+        try:
+            for position, operand in enumerate(lanes):
+                value = self._value_of(frame, operand, slot_type)
+                self.memory.write_typed(address + position * esize,
+                                        element, value)
+        except MemoryError_:
+            if instr.attrs.get("ee", True):
+                raise
+            # Masked fault: lanes before the faulting one stay written,
+            # the faulting lane and everything after are dropped —
+            # byte-identical to the interpreters.
+        self._advance(frame)
+
     # -- arithmetic ------------------------------------------------------------------
 
     def _exec_alu(self, frame, instr) -> None:
@@ -630,6 +683,8 @@ MachineSimulator._handlers = {
     Semantics.ADJSP: MachineSimulator._exec_adjsp,
     Semantics.UNWIND: MachineSimulator._exec_unwind,
     Semantics.NOP: MachineSimulator._exec_nop,
+    Semantics.VLOAD: MachineSimulator._exec_vload,
+    Semantics.VSTORE: MachineSimulator._exec_vstore,
 }
 
 
@@ -665,6 +720,13 @@ def _raw_int_alu(op: str, lhs: int, rhs: int,
         return lhs | rhs
     if op == "xor":
         return lhs ^ rhs
+    if op in ("min", "max"):
+        # The vector-reduce fold op: lhs is the accumulator, rhs the
+        # lane — `lane if lane REL acc else acc`, matching the
+        # reference interpreter's ordered reduce exactly.
+        if op == "min":
+            return rhs if rhs < lhs else lhs
+        return rhs if rhs > lhs else lhs
     if op == "shl":
         return lhs << (rhs & (value_type.bits - 1))
     if op == "shr":
@@ -999,6 +1061,46 @@ def _run_hosted(st, unit: Tier3Unit, args: list):
                                fault.trap_number, fault.address or 0,
                                fault.detail)
                         return
+        elif sem == Semantics.VLOAD:
+            element = attrs["value_type"]
+            esize = attrs["esize"]
+            lane_ops = ops[:-1]
+            address = real_address(ops[-1])
+            try:
+                values = [memory.read_typed(address + i * esize,
+                                            element)
+                          for i in range(len(lane_ops))]
+            except MemoryError_ as fault:
+                if masked(attrs.get("ee", True), fault.unmaskable):
+                    # Atomic over lanes: all-zero result vector.
+                    values = [_zero_of(element)] * len(lane_ops)
+                else:
+                    yield ("deopt", attrs.get("site"), list(shadow),
+                           fault.trap_number, fault.address or 0,
+                           fault.detail)
+                    return
+            for operand, value in zip(lane_ops, values):
+                if isinstance(operand, Mem):
+                    slots[operand.offset] = value  # spilled lane
+                else:
+                    registers[operand.name] = value
+        elif sem == Semantics.VSTORE:
+            element = attrs["value_type"]
+            esize = attrs["esize"]
+            lane_ops = ops[:-1]
+            address = real_address(ops[-1])
+            try:
+                for position, operand in enumerate(lane_ops):
+                    memory.write_typed(address + position * esize,
+                                       element, value_of(operand))
+            except MemoryError_ as fault:
+                # Masked: lanes before the fault stay written, the rest
+                # are dropped — byte-identical to the interpreters.
+                if not masked(attrs.get("ee", True), fault.unmaskable):
+                    yield ("deopt", attrs.get("site"), list(shadow),
+                           fault.trap_number, fault.address or 0,
+                           fault.detail)
+                    return
         elif sem == Semantics.LEA:
             registers[ops[0].name] = real_address(ops[1]) & pmask
         elif sem == Semantics.CVT:
@@ -1368,6 +1470,14 @@ class _ThreadedCodegen:
             return "{0} | {1}".format(lhs, rhs)
         if op == "xor":
             return "{0} ^ {1}".format(lhs, rhs)
+        if op in ("min", "max"):
+            # The vector-reduce fold op: lhs is the accumulator, rhs
+            # the lane.  Operand expressions here are pure (locals,
+            # slot locals, literals), so repeating them in the
+            # conditional is safe.
+            rel = "<" if op == "min" else ">"
+            return "(({1}) if ({1}) {2} ({0}) else ({0}))".format(
+                lhs, rhs, rel)
         amount = "({0} & {1})".format(rhs, value_type.bits - 1)
         if op == "shl":
             return "{0} << {1}".format(lhs, amount)
@@ -1601,6 +1711,80 @@ class _ThreadedCodegen:
         self.depth -= 1
         return False
 
+    def lane_dest(self, operand) -> str:
+        """The assignable local for one vector lane operand: a register
+        local, or a slot local for a spilled lane."""
+        if isinstance(operand, PhysReg):
+            return self.reg(operand.name)
+        if isinstance(operand, Mem) and self.is_frame_slot(operand):
+            return self.slot(operand.offset)
+        raise UnsupportedThreaded(
+            "bad vector lane {0!r}".format(operand))
+
+    def emit_vload(self, instr) -> bool:
+        attrs = instr.attrs
+        element = attrs["value_type"]
+        esize = int(attrs["esize"])
+        ops = instr.operands
+        mem = ops[-1]
+        if not isinstance(mem, Mem):
+            raise UnsupportedThreaded("vload from non-memory operand")
+        targets = [self.lane_dest(op) for op in ops[:-1]]
+        self.uses_read = True
+        ce = self.const(element)
+        trailing = "," if len(targets) == 1 else ""
+        lhs = ", ".join(targets) + trailing
+        reads = ", ".join(
+            "__read(__b + {0}, {1})".format(i * esize, ce) if i
+            else "__read(__b, {0})".format(ce)
+            for i in range(len(targets)))
+        self.emit("__b = {0}".format(self.addr(mem)))
+        # The tuple RHS evaluates every lane read (in lane order)
+        # before any target is assigned: a fault leaves all lanes
+        # untouched, keeping the op atomic like the step backend.
+        self.emit("try:")
+        self.emit("    {0} = ({1}{2})".format(lhs, reads, trailing))
+        self.emit("except MemoryError_ as __f:")
+        self.depth += 1
+        self.emit("if {0}:".format(
+            self.fault_unmasked_expr(attrs.get("ee", True))))
+        self.emit_deopt(1, attrs.get("site"), "__f.trap_number",
+                        "__f.address or 0", "__f.detail")
+        zeros = ", ".join([self.zero_literal(element)] * len(targets))
+        self.emit("{0} = ({1}{2})".format(lhs, zeros, trailing))
+        self.depth -= 1
+        return False
+
+    def emit_vstore(self, instr) -> bool:
+        attrs = instr.attrs
+        element = attrs["value_type"]
+        esize = int(attrs["esize"])
+        ops = instr.operands
+        mem = ops[-1]
+        if not isinstance(mem, Mem):
+            raise UnsupportedThreaded("vstore to non-memory operand")
+        values = [self.val(op) for op in ops[:-1]]
+        self.uses_write = True
+        ce = self.const(element)
+        self.emit("__b = {0}".format(self.addr(mem)))
+        # Sequential lane writes: a masked fault keeps the lanes
+        # already written and drops the rest, like the step backend.
+        self.emit("try:")
+        for position, value in enumerate(values):
+            if position:
+                self.emit("    __write(__b + {0}, {1}, {2})".format(
+                    position * esize, ce, value))
+            else:
+                self.emit("    __write(__b, {0}, {1})".format(ce, value))
+        self.emit("except MemoryError_ as __f:")
+        self.depth += 1
+        self.emit("if {0}:".format(
+            self.fault_unmasked_expr(attrs.get("ee", True))))
+        self.emit_deopt(1, attrs.get("site"), "__f.trap_number",
+                        "__f.address or 0", "__f.detail")
+        self.depth -= 1
+        return False
+
     def emit_lea(self, instr) -> bool:
         mem = instr.operands[1]
         if not isinstance(mem, Mem):
@@ -1793,6 +1977,8 @@ class _ThreadedCodegen:
         Semantics.ADJSP: emit_adjsp,
         Semantics.ALLOCA: emit_alloca,
         Semantics.NOP: emit_nop,
+        Semantics.VLOAD: emit_vload,
+        Semantics.VSTORE: emit_vstore,
     }
 
     # -- assembly ---------------------------------------------------------
@@ -1818,6 +2004,10 @@ class _ThreadedCodegen:
                              or (sem == Semantics.POP
                                  and instr.mnemonic != "restore")):
                     self.dest_written.add(ops[0].name)
+                if sem == Semantics.VLOAD:
+                    for operand in ops[:-1]:
+                        if isinstance(operand, PhysReg):
+                            self.dest_written.add(operand.name)
                 if sem == Semantics.CALL:
                     nreg = min(instr.attrs.get("nargs", 0),
                                len(self.arg_regs))

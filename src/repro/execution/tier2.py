@@ -93,6 +93,7 @@ from repro.execution.interpreter import (
     _round_f32,
     _zero_of,
 )
+from repro.execution.fastpath import _vector_struct_format
 from repro.execution.memory import MemoryError_, _FP_FORMAT
 from repro.execution.runtime import is_runtime_name
 from repro.ir import instructions as insts
@@ -110,7 +111,12 @@ from repro.ir.values import (
 #: Bump whenever generated code or the yield protocol changes shape;
 #: persisted translations from other versions are discarded.
 #: v3: side exits report to the flight recorder (``st.flight``).
-TIER2_VERSION = 3
+#: v4: the vector extension (vadd/vsub/vmul, vsplat, vreduce.*,
+#: vload/vstore) lowers to tuple-valued registers, and generated code
+#: carries the ``__vlanes`` observability hook.
+#: v5: contiguous vload/vstore go through one bulk read/write (single
+#: region lookup, one struct format) with a per-lane replay on fault.
+TIER2_VERSION = 5
 
 #: Tier-1 invocations before a function is promoted (0 = immediately).
 DEFAULT_THRESHOLD = 16
@@ -897,13 +903,179 @@ class _FnCodegen:
         self.emit_exc_fault(ind + 1, inst, dst)
         self.w.emit(ind, "__steps = st.steps")
 
+    # -- vector emitters -----------------------------------------------
+    # Vector runtime values are host tuples (one entry per lane), and
+    # every lane walk is emitted 0..L-1 in order so results and fault
+    # addresses match tiers 0/1 bit for bit.  ``vec.lanes`` counting
+    # guards on the unit's ``__vlanes`` hook (None when the unit was
+    # built with observability off — one is-None test per vector op).
+
+    def _emit_vlanes(self, ind: int, lanes: int) -> None:
+        self.w.emit(ind, "if __vlanes is not None:")
+        self.w.emit(ind + 1, "__vlanes({0})".format(lanes))
+
+    def emit_vbinary(self, ind: int, inst) -> None:
+        dst = self.slot_of[id(inst)]
+        a = self.expr(inst.operand(0))
+        b = self.expr(inst.operand(1))
+        op = _BIN_OP[inst.opcode[1:]]
+        element = inst.type.element
+        if element is types.FLOAT:
+            lane = "_round_f32(__x {0} __y)".format(op)
+        elif element.is_floating_point:
+            lane = "__x {0} __y".format(op)
+        else:
+            # Vector integer arithmetic always wraps (no !ee overflow
+            # delivery on the lanes), matching the reference tier.
+            lane = self.wrap_expr("__x {0} __y".format(op), element)
+        self.w.emit(ind, "r{0} = tuple({1} for __x, __y in zip({2}, {3}))"
+                    .format(dst, lane, a, b))
+        self._emit_vlanes(ind, inst.type.lanes)
+
+    def emit_vsplat(self, ind: int, inst) -> None:
+        dst = self.slot_of[id(inst)]
+        lanes = inst.type.lanes
+        self.w.emit(ind, "r{0} = (({1}),) * {2}".format(
+            dst, self.expr(inst.scalar), lanes))
+        self._emit_vlanes(ind, lanes)
+
+    def emit_vreduce(self, ind: int, inst) -> None:
+        dst = self.slot_of[id(inst)]
+        kind = inst.kind
+        element = inst.type
+        self.w.emit(ind, "r{0} = {1}".format(dst, self.expr(inst.init)))
+        self.w.emit(ind, "for __lane in {0}:".format(
+            self.expr(inst.vector)))
+        if kind == "add":
+            if element is types.FLOAT:
+                self.w.emit(ind + 1,
+                            "r{0} = _round_f32(r{0} + __lane)".format(dst))
+            elif element.is_floating_point:
+                self.w.emit(ind + 1, "r{0} = r{0} + __lane".format(dst))
+            else:
+                self.w.emit(ind + 1, "r{0} = {1}".format(
+                    dst,
+                    self.wrap_expr("r{0} + __lane".format(dst), element)))
+        elif kind == "min":
+            # Explicit compare-and-keep (never host min/max): replays
+            # the scalar ``x < acc`` select, NaN ordering included.
+            self.w.emit(ind + 1, "if __lane < r{0}:".format(dst))
+            self.w.emit(ind + 2, "r{0} = __lane".format(dst))
+        else:
+            self.w.emit(ind + 1, "if __lane > r{0}:".format(dst))
+            self.w.emit(ind + 2, "r{0} = __lane".format(dst))
+        self._emit_vlanes(ind, inst.vector.type.lanes)
+
+    def emit_vload(self, ind: int, inst) -> None:
+        dst = self.slot_of[id(inst)]
+        element = inst.type.element
+        lanes = inst.type.lanes
+        esize = self.target.size_of(element)
+        endian = self.target.endianness
+        self.uses_mem = True
+        base = self.tmp()
+        self.w.emit(ind, "{0} = {1}".format(base,
+                                            self.expr(inst.pointer)))
+        reads = []
+        for off in range(0, lanes * esize, esize):
+            addr = base if off == 0 else "{0} + {1}".format(base, off)
+            raw = "__rb({0}, {1})".format(addr, esize)
+            if isinstance(element, types.IntegerType) \
+                    and element.is_signed:
+                sbit = 1 << (element.bits - 1)
+                reads.append("(__fb({0}, {1!r}) ^ {2}) - {2}".format(
+                    raw, endian, sbit))
+            elif element.is_integer:
+                reads.append("__fb({0}, {1!r})".format(raw, endian))
+            else:
+                fmt = _FP_FORMAT[(esize, endian)]
+                reads.append("__unpack({0!r}, {1})[0]".format(fmt, raw))
+        bulk = _vector_struct_format(element, esize, endian, lanes)
+        self.w.emit(ind, "try:")
+        if bulk is not None:
+            # One region lookup for the whole vector; a bulk fault
+            # replays lane by lane (still inside the outer try) so the
+            # delivered trap carries the reference tier's exact
+            # faulting-lane address.
+            self.w.emit(ind + 1, "try:")
+            self.w.emit(ind + 2, "r{0} = __unpack({1!r}, __rb({2}, {3}))"
+                        .format(dst, bulk, base, lanes * esize))
+            self.w.emit(ind + 1, "except MemoryError_:")
+            self.w.emit(ind + 2, "r{0} = ({1})".format(
+                dst, ", ".join(reads)))
+        else:
+            self.w.emit(ind + 1, "r{0} = ({1})".format(
+                dst, ", ".join(reads)))
+        self._emit_vlanes(ind + 1, lanes)
+        self.w.emit(ind, "except MemoryError_ as __f:")
+        self.emit_exc_fault(ind + 1, inst, dst)
+
+    def emit_vstore(self, ind: int, inst) -> None:
+        vtype = inst.value.type
+        element = vtype.element
+        lanes = vtype.lanes
+        esize = self.target.size_of(element)
+        endian = self.target.endianness
+        self.uses_mem = True
+        base = self.tmp()
+        val = self.tmp()
+        self.w.emit(ind, "{0} = {1}".format(base,
+                                            self.expr(inst.pointer)))
+        self.w.emit(ind, "{0} = {1}".format(val, self.expr(inst.value)))
+        if element.is_floating_point:
+            fmt = _FP_FORMAT[(esize, endian)]
+
+            def lane_bytes(slot: int) -> str:
+                return "__pack({0!r}, float({1}[{2}]))".format(fmt, val,
+                                                               slot)
+
+            def bulk_bytes(bulk: str) -> str:
+                return "__pack({0!r}, *{1})".format(bulk, val)
+        else:
+            mask = (1 << element.bits) - 1
+
+            def lane_bytes(slot: int) -> str:
+                return "({0}[{1}] & {2}).to_bytes({3}, {4!r})".format(
+                    val, slot, mask, esize, endian)
+
+            def bulk_bytes(bulk: str) -> str:
+                # Unsigned code of the same width: the lanes are packed
+                # as their masked (two's-complement) byte image.
+                bulk = bulk[:-1] + bulk[-1].upper()
+                return "__pack({0!r}, *[__x & {1} for __x in {2}])" \
+                    .format(bulk, mask, val)
+        bulk = _vector_struct_format(element, esize, endian, lanes)
+        self.w.emit(ind, "try:")
+        lane_ind = ind + 1
+        if bulk is not None:
+            # Bulk store first; on a bulk fault replay lane by lane so
+            # leading lanes land (stop-at-fault) and the trap carries
+            # the exact faulting-lane address.
+            self.w.emit(ind + 1, "try:")
+            self.w.emit(ind + 2, "__wb({0}, {1})".format(
+                base, bulk_bytes(bulk)))
+            self.w.emit(ind + 1, "except MemoryError_:")
+            lane_ind = ind + 2
+        for slot in range(lanes):
+            off = slot * esize
+            addr = base if off == 0 else "{0} + {1}".format(base, off)
+            self.w.emit(lane_ind, "__wb({0}, {1})".format(
+                addr, lane_bytes(slot)))
+        self._emit_vlanes(ind + 1, lanes)
+        self.w.emit(ind, "except MemoryError_ as __f:")
+        self.emit_exc_fault(ind + 1, inst, None)
+
     # -- the block walker ----------------------------------------------
 
     #: Opcodes whose generated code cannot fault, yield, or branch —
-    #: their step counts merge into one ``__steps += k``.
+    #: their step counts merge into one ``__steps += k``.  Vector
+    #: arithmetic wraps (and reductions fold) without trapping, so the
+    #: whole register-only vector group is pure.
     _PURE = frozenset(["and", "or", "xor", "shl", "shr", "seteq", "setne",
                        "setlt", "setgt", "setle", "setge",
-                       "getelementptr", "cast"])
+                       "getelementptr", "cast",
+                       "vadd", "vsub", "vmul", "vsplat",
+                       "vreduce.add", "vreduce.min", "vreduce.max"])
 
     def _is_pure(self, inst) -> bool:
         opcode = inst.opcode
@@ -1006,6 +1178,10 @@ class _FnCodegen:
                 self.emit_load(ind, inst)
             elif opcode == "store":
                 self.emit_store(ind, inst)
+            elif opcode == "vload":
+                self.emit_vload(ind, inst)
+            elif opcode == "vstore":
+                self.emit_vstore(ind, inst)
             elif opcode == "alloca":
                 self.emit_alloca(ind, inst)
             else:
@@ -1029,6 +1205,12 @@ class _FnCodegen:
             self.emit_gep(ind, inst)
         elif opcode == "cast":
             self.emit_cast(ind, inst)
+        elif opcode in ("vadd", "vsub", "vmul"):
+            self.emit_vbinary(ind, inst)
+        elif opcode == "vsplat":
+            self.emit_vsplat(ind, inst)
+        elif opcode in ("vreduce.add", "vreduce.min", "vreduce.max"):
+            self.emit_vreduce(ind, inst)
         else:  # pragma: no cover - guarded by _is_pure
             raise UnsupportedFunction(opcode)
 
@@ -1107,8 +1289,23 @@ class _FnCodegen:
         return head.text() + body.text(), num_slots
 
 
+def _vlanes_counter():
+    """Per-unit ``vec.lanes`` hook.  None when observability is off at
+    build time — generated vector ops then pay a single is-None test —
+    else a bound counter tagged with this tier's engine label.  Like
+    tier 1's decode-time gate, toggling observability does not retrofit
+    already-built units; the next (re)build picks the new state up."""
+    if not observe.enabled():
+        return None
+
+    def bump(lanes, _c=observe.counter):
+        _c("vec.lanes", lanes, engine="tier2")
+    return bump
+
+
 _BASE_NAMESPACE = {
     "MemoryError_": MemoryError_,
+    "__vlanes": None,
     "ExecutionTrap": ExecutionTrap,
     "StepLimitExceeded": StepLimitExceeded,
     "_float_arith": _float_arith,
@@ -1118,7 +1315,8 @@ _BASE_NAMESPACE = {
     "__inf": float("inf"),
     "__ninf": float("-inf"),
     "__builtins__": {"abs": abs, "max": max, "min": min, "bool": bool,
-                     "int": int, "float": float, "len": len},
+                     "int": int, "float": float, "len": len,
+                     "tuple": tuple, "zip": zip},
 }
 
 
@@ -1164,6 +1362,7 @@ def build_unit(function: Function, module: Module,
         code = compile(source, "<tier2:{0}>".format(function.name),
                        "exec")
     namespace = dict(_BASE_NAMESPACE)
+    namespace["__vlanes"] = _vlanes_counter()
     if block_counts is not None:
         namespace["__bc"] = block_counts
     for alias, name in func_refs.items():

@@ -37,14 +37,24 @@ OPCODE_GROUPS = {
     "control-flow": ("ret", "br", "mbr", "invoke", "unwind"),
     "memory": ("load", "store", "getelementptr", "alloca"),
     "other": ("cast", "call", "phi"),
+    # The vector extension rides after the paper's 28 opcodes so the
+    # bitcode opcode indices of the base ISA never move.
+    "vector": ("vadd", "vsub", "vmul", "vsplat",
+               "vreduce.add", "vreduce.min", "vreduce.max",
+               "vload", "vstore"),
 }
 
-#: Flat tuple of all 28 opcodes.
+#: Flat tuple of every opcode: the 28 of Table 1 plus the vector extension.
 ALL_OPCODES: Tuple[str, ...] = tuple(
     op for group in OPCODE_GROUPS.values() for op in group)
 
+#: The vector-extension opcodes.
+VECTOR_OPCODES: Tuple[str, ...] = OPCODE_GROUPS["vector"]
+
 #: Opcodes whose ExceptionsEnabled attribute defaults to true (Section 3.3).
-DEFAULT_EXCEPTIONS_ENABLED = frozenset({"load", "store", "div"})
+#: vload/vstore inherit the memory-access default of load/store.
+DEFAULT_EXCEPTIONS_ENABLED = frozenset(
+    {"load", "store", "div", "vload", "vstore"})
 
 #: Opcodes that terminate a basic block.
 TERMINATOR_OPCODES = frozenset({"ret", "br", "mbr", "invoke", "unwind"})
@@ -786,6 +796,186 @@ class PhiInst(Instruction):
 
 
 # ---------------------------------------------------------------------------
+# Vector extension
+# ---------------------------------------------------------------------------
+
+class VectorBinaryInst(BinaryInst):
+    """``vadd``/``vsub``/``vmul`` — element-wise arithmetic on vectors.
+
+    Both operands and the result share one vector type.  Integer lanes wrap
+    like scalar arithmetic with ``ExceptionsEnabled`` off, so a vectorized
+    loop computes bit-identical results to its scalar original.
+    """
+
+    __slots__ = ()
+
+    def _check_operand_types(self, lhs: Value, rhs: Value) -> None:
+        super()._check_operand_types(lhs, rhs)
+        if not lhs.type.is_vector:
+            raise LlvaTypeError(
+                "{0} requires vector operands, got {1}"
+                .format(self.OPCODE, lhs.type))
+
+
+class VAddInst(VectorBinaryInst):
+    OPCODE = "vadd"
+    __slots__ = ()
+
+
+class VSubInst(VectorBinaryInst):
+    OPCODE = "vsub"
+    __slots__ = ()
+
+
+class VMulInst(VectorBinaryInst):
+    OPCODE = "vmul"
+    __slots__ = ()
+
+
+class VSplatInst(Instruction):
+    """``vsplat <L x T> %scalar`` — broadcast a scalar into every lane."""
+
+    OPCODE = "vsplat"
+    __slots__ = ()
+
+    def __init__(self, vector_type: Type, scalar: Value,
+                 name: Optional[str] = None):
+        if not vector_type.is_vector:
+            raise LlvaTypeError(
+                "vsplat result must be a vector, got {0}".format(vector_type))
+        if scalar.type is not vector_type.element:  # type: ignore[attr-defined]
+            raise LlvaTypeError(
+                "vsplat of {0} into {1} lanes"
+                .format(scalar.type, vector_type))
+        super().__init__(vector_type, (scalar,), name)
+
+    @property
+    def scalar(self) -> Value:
+        return self.operand(0)
+
+
+class VReduceInst(Instruction):
+    """``vreduce.add/min/max T %init, <L x T> %v`` — ordered lane fold.
+
+    Folds lanes left-to-right into the scalar *init* accumulator:
+    ``((((init op v0) op v1) ...) op vL-1)``.  The explicit initial value
+    and the fixed lane order make a reduction bit-identical to the scalar
+    accumulation loop it replaces — floating-point association is
+    preserved, which the differential harness depends on.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, init: Value, vector: Value,
+                 name: Optional[str] = None):
+        if not vector.type.is_vector:
+            raise LlvaTypeError(
+                "{0} requires a vector operand, got {1}"
+                .format(self.OPCODE, vector.type))
+        element = vector.type.element  # type: ignore[attr-defined]
+        if init.type is not element:
+            raise LlvaTypeError(
+                "{0} accumulator has type {1}, vector lanes are {2}"
+                .format(self.OPCODE, init.type, element))
+        super().__init__(element, (init, vector), name)
+
+    @property
+    def init(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def vector(self) -> Value:
+        return self.operand(1)
+
+    @property
+    def kind(self) -> str:
+        """The fold operation: ``add``, ``min``, or ``max``."""
+        return self.OPCODE.rsplit(".", 1)[1]
+
+
+class VReduceAddInst(VReduceInst):
+    OPCODE = "vreduce.add"
+    __slots__ = ()
+
+
+class VReduceMinInst(VReduceInst):
+    OPCODE = "vreduce.min"
+    __slots__ = ()
+
+
+class VReduceMaxInst(VReduceInst):
+    OPCODE = "vreduce.max"
+    __slots__ = ()
+
+
+class VLoadInst(Instruction):
+    """``vload <L x T>, T* %ptr`` — load L contiguous lanes.
+
+    Reads lanes 0..L-1 from ``ptr + i*sizeof(T)`` in ascending order; a
+    fault on any lane delivers the memory-fault exception with that lane's
+    address, exactly as the equivalent scalar load sequence would.
+    """
+
+    OPCODE = "vload"
+    __slots__ = ()
+
+    def __init__(self, vector_type: Type, pointer: Value,
+                 name: Optional[str] = None):
+        if not vector_type.is_vector:
+            raise LlvaTypeError(
+                "vload result must be a vector, got {0}".format(vector_type))
+        pointee = _require_pointer(pointer, "vload")
+        if pointee is not vector_type.element:  # type: ignore[attr-defined]
+            raise LlvaTypeError(
+                "vload of {0} through pointer to {1}"
+                .format(vector_type, pointee))
+        super().__init__(vector_type, (pointer,), name)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operand(0)
+
+    def possible_exceptions(self) -> Tuple[str, ...]:
+        return ("memory-fault",)
+
+
+class VStoreInst(Instruction):
+    """``vstore <L x T> %v, T* %ptr`` — store L contiguous lanes.
+
+    Writes lanes in ascending order with the same per-lane fault rule as
+    :class:`VLoadInst`.
+    """
+
+    OPCODE = "vstore"
+    __slots__ = ()
+
+    def __init__(self, value: Value, pointer: Value):
+        if not value.type.is_vector:
+            raise LlvaTypeError(
+                "vstore requires a vector value, got {0}".format(value.type))
+        pointee = _require_pointer(pointer, "vstore")
+        if pointee is not value.type.element:  # type: ignore[attr-defined]
+            raise LlvaTypeError(
+                "vstore of {0} through pointer to {1}"
+                .format(value.type, pointee))
+        super().__init__(types.VOID, (value, pointer))
+
+    @property
+    def value(self) -> Value:
+        return self.operand(0)
+
+    @property
+    def pointer(self) -> Value:
+        return self.operand(1)
+
+    def possible_exceptions(self) -> Tuple[str, ...]:
+        return ("memory-fault",)
+
+    def has_side_effects(self) -> bool:
+        return True
+
+
+# ---------------------------------------------------------------------------
 # Helpers
 # ---------------------------------------------------------------------------
 
@@ -843,7 +1033,20 @@ INSTRUCTION_CLASSES = {
         RetInst, BranchInst, MultiwayBranchInst, InvokeInst, UnwindInst,
         LoadInst, StoreInst, GetElementPtrInst, AllocaInst,
         CastInst, CallInst, PhiInst,
+        VAddInst, VSubInst, VMulInst, VSplatInst,
+        VReduceAddInst, VReduceMinInst, VReduceMaxInst,
+        VLoadInst, VStoreInst,
     )
+}
+
+VECTOR_BINARY_CLASSES = {
+    "vadd": VAddInst, "vsub": VSubInst, "vmul": VMulInst,
+}
+
+VREDUCE_CLASSES = {
+    "vreduce.add": VReduceAddInst,
+    "vreduce.min": VReduceMinInst,
+    "vreduce.max": VReduceMaxInst,
 }
 
 COMPARE_CLASSES = {

@@ -248,4 +248,21 @@ def _instruction_body(inst: insts.Instruction, namer: _Namer) -> str:
             for value, block in inst.incoming())
         return "phi {0} {1}".format(inst.type, pairs)
 
+    if isinstance(inst, insts.VSplatInst):
+        return "vsplat {0} {1}".format(
+            inst.type, _operand(inst.scalar, namer, with_type=False))
+
+    if isinstance(inst, insts.VReduceInst):
+        return "{0} {1}, {2}".format(
+            opcode, _operand(inst.init, namer),
+            _operand(inst.vector, namer))
+
+    if isinstance(inst, insts.VLoadInst):
+        return "vload {0}, {1}".format(
+            inst.type, _operand(inst.pointer, namer))
+
+    if isinstance(inst, insts.VStoreInst):
+        return "vstore {0}, {1}".format(
+            _operand(inst.value, namer), _operand(inst.pointer, namer))
+
     raise NotImplementedError("cannot print {0!r}".format(inst))

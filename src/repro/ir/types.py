@@ -82,6 +82,10 @@ class Type:
         return isinstance(self, FunctionType)
 
     @property
+    def is_vector(self) -> bool:
+        return isinstance(self, VectorType)
+
+    @property
     def is_arithmetic(self) -> bool:
         """True for types valid as ``add``/``sub``/... operands."""
         return self.is_integer or self.is_floating_point
@@ -102,8 +106,15 @@ class Type:
 
     @property
     def is_first_class(self) -> bool:
-        """Types that may be produced by an instruction."""
-        return self.is_scalar
+        """Types that may be produced by an instruction.
+
+        Scalars (the register types of Section 3.1) plus the short vector
+        types of the vector extension.  Vectors are deliberately *not*
+        scalar: they cannot flow through phi nodes, calls, returns, loads,
+        casts, or comparisons — only the dedicated ``v*`` instructions
+        produce and consume them, which keeps vector values block-local.
+        """
+        return self.is_scalar or self.is_vector
 
     def __repr__(self) -> str:
         return "<llva type {0}>".format(self)
@@ -242,6 +253,32 @@ class ArrayType(Type):
         return "[{0} x {1}]".format(self.length, self.element)
 
 
+#: Lane-count ceiling for vector types.  Keeps the extension "short
+#: vector" shaped (SSE/AltiVec-era widths) and bounds the per-value cost
+#: of the scalarizing target lowerings.
+MAX_VECTOR_LANES = 16
+
+
+class VectorType(Type):
+    """A short vector of arithmetic lanes: ``<4 x double>``.
+
+    The lane count is part of the type (and thus of the instruction
+    encoding), mirroring how subword-SIMD ISAs encode element width in the
+    opcode.  Elements are restricted to the arithmetic primitives — no
+    vectors of pointers, bools, or aggregates — so every lane is a value
+    the scalar tiers already know how to compute.
+    """
+
+    __slots__ = ("element", "lanes")
+
+    def __init__(self, element: Type, lanes: int):
+        self.element = element
+        self.lanes = lanes
+
+    def __str__(self) -> str:
+        return "<{0} x {1}>".format(self.lanes, self.element)
+
+
 class StructType(Type):
     """A structure: an ordered tuple of member types.
 
@@ -330,6 +367,7 @@ LlvaTypeError = TypeError_
 # ---------------------------------------------------------------------------
 
 _pointer_cache: Dict[int, PointerType] = {}
+_vector_cache: Dict[Tuple[int, int], VectorType] = {}
 _array_cache: Dict[Tuple[int, int], ArrayType] = {}
 _struct_cache: Dict[Tuple[int, ...], StructType] = {}
 _function_cache: Dict[Tuple[int, Tuple[int, ...], bool], FunctionType] = {}
@@ -341,6 +379,11 @@ def pointer_to(pointee: Type) -> PointerType:
         # "void*" is spelled as sbyte* at the V-ISA level; the minic
         # front-end performs that lowering.  Disallow it here to keep the
         # type system closed.
+        raise LlvaTypeError("cannot form pointer to {0}".format(pointee))
+    if pointee.is_vector:
+        # Vectors are register-only values; vload/vstore address memory
+        # through element pointers, so a pointer-to-vector type never
+        # needs to exist.
         raise LlvaTypeError("cannot form pointer to {0}".format(pointee))
     key = id(pointee)
     cached = _pointer_cache.get(key)
@@ -360,6 +403,27 @@ def array_of(element: Type, length: int) -> ArrayType:
     cached = _array_cache.get(key)
     if cached is None:
         cached = _array_cache[key] = ArrayType(element, length)
+    return cached
+
+
+def vector_of(element: Type, lanes: int) -> VectorType:
+    """Return the interned vector type ``<lanes x element>``.
+
+    *element* must be an integer or floating-point primitive and *lanes*
+    must be in ``[2, MAX_VECTOR_LANES]``; a 1-lane vector is just a scalar
+    and is rejected to keep the canonical form unique.
+    """
+    if not element.is_arithmetic:
+        raise LlvaTypeError(
+            "invalid vector element type {0}".format(element))
+    if not isinstance(lanes, int) or lanes < 2 or lanes > MAX_VECTOR_LANES:
+        raise LlvaTypeError(
+            "vector lane count must be an integer in [2, {0}], got {1!r}"
+            .format(MAX_VECTOR_LANES, lanes))
+    key = (id(element), lanes)
+    cached = _vector_cache.get(key)
+    if cached is None:
+        cached = _vector_cache[key] = VectorType(element, lanes)
     return cached
 
 
@@ -456,6 +520,8 @@ class TargetData:
             return type_.size
         if isinstance(type_, ArrayType):
             return type_.length * self.size_of(type_.element)
+        if isinstance(type_, VectorType):
+            return type_.lanes * self.size_of(type_.element)
         if isinstance(type_, StructType):
             size, _offsets = self._struct_layout(type_)
             return size
@@ -470,6 +536,11 @@ class TargetData:
                 raise LlvaTypeError("{0} has no alignment".format(type_))
             return type_.size
         if isinstance(type_, ArrayType):
+            return self.align_of(type_.element)
+        if isinstance(type_, VectorType):
+            # Lane-aligned, not vector-aligned: vload/vstore are defined
+            # over any element-aligned address so the autovectorizer never
+            # needs alignment peeling.
             return self.align_of(type_.element)
         if isinstance(type_, StructType):
             if not type_.fields:

@@ -178,6 +178,16 @@ def _verify_ssa_uses(function: Function, inst: insts.Instruction,
                     prefix + "reachable use of unreachable definition "
                     "%{0}".format(operand.name))
                 continue
+            if operand.type.is_vector and def_block is not inst.parent:
+                # Vector registers are block-local by construction: they
+                # cannot cross phis, and keeping them out of cross-block
+                # liveness means no engine (OSR snapshots, V-ABI shadow
+                # state, tier-3 register allocation) ever has to spill
+                # one.
+                errors.append(
+                    prefix + "vector value %{0} used outside its "
+                    "defining block in '{1}'".format(
+                        operand.name, format_instruction(inst)))
             if not domtree.instruction_dominates(operand, inst, index):
                 errors.append(
                     prefix + "SSA violation: %{0} does not dominate its "

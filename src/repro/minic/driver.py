@@ -15,12 +15,14 @@ def compile_source(source: str, module_name: str = "minic",
                    optimization_level: int = 0,
                    pointer_size: int = 8,
                    endianness: str = "little",
-                   link_time: bool = False) -> Module:
+                   link_time: bool = False,
+                   vectorize: bool = False) -> Module:
     """Compile MiniC *source* into a verified LLVA module.
 
     ``optimization_level`` applies the standard machine-independent
     pipeline (Section 4.2 item 1) after code generation; ``link_time``
-    additionally runs the interprocedural link-time pipeline.
+    additionally runs the interprocedural link-time pipeline;
+    ``vectorize`` appends the loop autovectorizer to either pipeline.
     """
     with observe.span("minic.compile", module=module_name,
                       optimization_level=optimization_level,
@@ -31,11 +33,12 @@ def compile_source(source: str, module_name: str = "minic",
         with observe.span("minic.verify"):
             verify_module(module)
         if link_time:
-            optimize(module, link_time=True)
+            optimize(module, link_time=True, vectorize=vectorize)
             with observe.span("minic.verify"):
                 verify_module(module)
-        elif optimization_level > 0:
-            optimize(module, level=optimization_level)
+        elif optimization_level > 0 or vectorize:
+            optimize(module, level=optimization_level,
+                     vectorize=vectorize)
             with observe.span("minic.verify"):
                 verify_module(module)
     return module

@@ -43,7 +43,10 @@ from typing import Deque, Dict, Iterable, List, Optional, Set
 #: v4: tier-3 execution backends (``tier3.backend`` recording which
 #: backend — block-compiled ``threaded`` or one-instruction ``step`` —
 #: each hosted unit runs under, and whether it degraded).
-FLIGHT_FORMAT_VERSION = 4
+#: v5: loop autovectorization (``autovec.loop`` recording, per
+#: candidate loop, whether it was vectorized — with the lane count —
+#: or rejected, with the reason taxonomy of transforms/autovec.py).
+FLIGHT_FORMAT_VERSION = 5
 
 #: Default ring capacity — big enough to hold the full JIT lifecycle
 #: of a benchsuite run (a few hundred events) with room for chatty
@@ -91,6 +94,8 @@ EVENT_SCHEMA: Dict[str, Set[str]] = {
     # native (simulated) translation
     "jit.translate.begin": {"function", "target"},
     "jit.translate.end": {"function", "target", "seconds"},
+    # loop autovectorization (--vectorize)
+    "autovec.loop": {"function", "header", "vectorized"},
     # sanitizer
     "san.fault": {"kind", "detail"},
 }

@@ -122,6 +122,10 @@ class FunctionLowering:
         self.machine.smc_version = function.smc_version
         self.td = target.target_data
         self._value_regs: Dict[int, VirtualReg] = {}
+        #: Vector SSA values are scalarized: each lane lives in its own
+        #: scalar virtual register (machine value types stay scalar, so
+        #: spill slots, serialization, and the simulators are untouched).
+        self._vector_lane_regs: Dict[int, List[VirtualReg]] = {}
         self._alloca_offsets: Dict[int, int] = {}
         self._frame_cursor = 0
         self._block_map: Dict[int, MachineBasicBlock] = {}
@@ -376,6 +380,23 @@ class FunctionLowering:
         raise LoweringError("unknown terminator {0!r}".format(inst))
 
     def _lower_instruction(self, inst: insts.Instruction) -> None:
+        # Vector instructions first: VectorBinaryInst subclasses
+        # BinaryInst, so these arms must precede the scalar ALU arm.
+        if isinstance(inst, insts.VectorBinaryInst):
+            self._lower_vbinary(inst)
+            return
+        if isinstance(inst, insts.VSplatInst):
+            self._lower_vsplat(inst)
+            return
+        if isinstance(inst, insts.VReduceInst):
+            self._lower_vreduce(inst)
+            return
+        if isinstance(inst, insts.VLoadInst):
+            self._lower_vload(inst)
+            return
+        if isinstance(inst, insts.VStoreInst):
+            self._lower_vstore(inst)
+            return
         if isinstance(inst, insts.BinaryInst) \
                 and not isinstance(inst, insts.CompareInst):
             dest = self.vreg_for(inst)
@@ -418,6 +439,98 @@ class FunctionLowering:
             self._lower_call(inst, list(inst.args))
             return
         raise LoweringError("cannot lower {0!r}".format(inst))
+
+    # -- the vector extension -----------------------------------------------------------
+    #
+    # Vector values are scalarized into per-lane scalar registers.
+    # Register-to-register vector arithmetic becomes one scalar ALU op
+    # per lane (ee=False: the V-ISA contract is that lane arithmetic
+    # wraps without trapping), reductions become an ordered left fold
+    # over the lanes, and the memory ops lower to single atomic
+    # VLOAD/VSTORE micro-ops so masked-fault behaviour (all-zero result
+    # vector / stop at the faulting lane) is identical to the
+    # interpreters.  Caveat: lane registers carry no V-ABI annotation —
+    # a deliverable trap cannot fire inside a vectorized body (the
+    # autovectorizer only emits vector ops whose faults are the vload/
+    # vstore's own, and those deopt at the vector instruction's site
+    # before any lane register would be consulted); scalar reduction
+    # results do enter the deopt shadow.
+
+    def _lane_regs(self, value: Value) -> List[VirtualReg]:
+        regs = self._vector_lane_regs.get(id(value))
+        if regs is None:
+            element = value.type.element
+            regs = [self.machine.new_vreg(element)
+                    for _ in range(value.type.lanes)]
+            self._vector_lane_regs[id(value)] = regs
+        return regs
+
+    def _lane_operands(self, value: Value) -> List[object]:
+        """Per-lane machine operands for one vector-typed operand."""
+        if isinstance(value, UndefValue):
+            zero = Imm(0.0 if value.type.element.is_floating_point
+                       else 0)
+            return [zero] * value.type.lanes
+        if not value.type.is_vector:
+            raise LoweringError(
+                "expected a vector operand, got {0!r}".format(value))
+        return self._lane_regs(value)
+
+    def _lane_reg(self, operand, type_: types.Type) -> VirtualReg:
+        if isinstance(operand, VirtualReg):
+            return operand
+        reg = self.machine.new_vreg(type_)
+        self.emit(Semantics.MOV, [reg, operand], value_type=type_)
+        return reg
+
+    def _lower_vbinary(self, inst: insts.VectorBinaryInst) -> None:
+        element = inst.type.element
+        op = inst.opcode[1:]  # vadd -> add, ...
+        dests = self._lane_regs(inst)
+        lhs = self._lane_operands(inst.operand(0))
+        rhs = self._lane_operands(inst.operand(1))
+        for dest, a, b in zip(dests, lhs, rhs):
+            self.emit(Semantics.ALU,
+                      [dest, self._lane_reg(a, element), b],
+                      op=op, value_type=element, ee=False)
+
+    def _lower_vsplat(self, inst: insts.VSplatInst) -> None:
+        element = inst.type.element
+        source = self.operand(inst.scalar)
+        for dest in self._lane_regs(inst):
+            self.emit(Semantics.MOV, [dest, source],
+                      value_type=element)
+
+    def _lower_vreduce(self, inst: insts.VReduceInst) -> None:
+        # MOV init; then one ALU per lane — the same ordered left fold
+        # the interpreters perform, with "min"/"max" ALU ops defined as
+        # `lane if lane REL acc else acc` (NaN-propagation-free, like
+        # the reference reduce).
+        element = inst.type
+        dest = self.vreg_for(inst)
+        self.emit(Semantics.MOV, [dest, self.operand(inst.init)],
+                  value_type=element)
+        for lane in self._lane_operands(inst.vector):
+            self.emit(Semantics.ALU, [dest, dest, lane],
+                      op=inst.kind, value_type=element, ee=False)
+
+    def _lower_vload(self, inst: insts.VLoadInst) -> None:
+        element = inst.type.element
+        lanes = self._lane_regs(inst)
+        address = self._address_of(inst.pointer)
+        self.emit(Semantics.VLOAD, list(lanes) + [address],
+                  value_type=element, lanes=len(lanes),
+                  esize=self.td.size_of(element),
+                  ee=inst.exceptions_enabled)
+
+    def _lower_vstore(self, inst: insts.VStoreInst) -> None:
+        element = inst.value.type.element
+        sources = self._lane_operands(inst.value)
+        address = self._address_of(inst.pointer)
+        self.emit(Semantics.VSTORE, list(sources) + [address],
+                  value_type=element, lanes=len(sources),
+                  esize=self.td.size_of(element),
+                  ee=inst.exceptions_enabled)
 
     # -- addresses and geps -----------------------------------------------------------
 

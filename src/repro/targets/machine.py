@@ -41,6 +41,18 @@ class Semantics:
     ALLOCA = "alloca"    # rd <- push_frame(esize*count) (hosted tier-3
     #                      lowering only: keeps alloca addresses
     #                      identical to the interpreter's)
+    # Vector-extension memory ops.  Lane operands come first, the
+    # program address (a Mem) last; ``value_type``/``lanes``/``esize``
+    # attrs carry the element type and geometry.  The op is *atomic
+    # over lanes* so a masked fault matches the V-ISA contract exactly:
+    # a faulting vload yields the all-zero vector (no partial lanes), a
+    # faulting vstore stops at the faulting lane.  After register
+    # allocation a lane operand may be either a physical register or a
+    # frame-slot Mem — one vector op can name more lanes than either
+    # back end has scratch registers, so the allocators bind spilled
+    # lanes straight to their slots.
+    VLOAD = "vload"      # lane0..laneN-1 <- mem[addr + i*esize]
+    VSTORE = "vstore"    # mem[addr + i*esize] <- lane0..laneN-1
 
 
 class VirtualReg:

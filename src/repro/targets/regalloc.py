@@ -51,6 +51,16 @@ def instr_defs_uses(instr: MachineInstr
     """
     defs: List[int] = []
     uses: List[int] = []
+    if instr.semantics == Semantics.VLOAD:
+        # Every lane operand is a definition; the trailing address Mem
+        # is a use.  (VSTORE needs no arm: all its operands are uses,
+        # which is the default below.)
+        for index, operand in enumerate(instr.operands):
+            if isinstance(operand, Mem):
+                uses.append(index)
+            elif isinstance(operand, (VirtualReg, PhysReg)):
+                defs.append(index)
+        return defs, uses
     for index, operand in enumerate(instr.operands):
         if isinstance(operand, Mem):
             uses.append(index)
@@ -115,6 +125,29 @@ class SpillAllAllocator:
                     assigned[reg.index] = phys
                     return phys
 
+                if instr.semantics in (Semantics.VLOAD,
+                                       Semantics.VSTORE):
+                    # One atomic vector op can name more lanes than
+                    # there are scratch registers: bind each lane vreg
+                    # straight to its frame slot (the executor reads/
+                    # writes lane slots directly) and only scratch the
+                    # address registers.
+                    lane_loads: List[MachineInstr] = []
+                    for index, operand in enumerate(instr.operands):
+                        if isinstance(operand, VirtualReg):
+                            instr.operands[index] = Mem(
+                                base=_fp(), offset=slot_of(operand))
+                        elif isinstance(operand, Mem):
+                            for attr in ("base", "index"):
+                                reg = getattr(operand, attr)
+                                if isinstance(reg, VirtualReg):
+                                    phys = scratch_for(reg)
+                                    lane_loads.append(_reload(
+                                        phys, slot_of(reg), reg.type))
+                                    setattr(operand, attr, phys)
+                    rewritten.extend(lane_loads)
+                    rewritten.append(instr)
+                    continue
                 defs, uses = instr_defs_uses(instr)
                 loads: List[MachineInstr] = []
                 stores: List[MachineInstr] = []
@@ -460,6 +493,31 @@ class LinearScanAllocator:
                                              reg.type))
                     return phys
 
+                if instr.semantics in (Semantics.VLOAD,
+                                       Semantics.VSTORE):
+                    # Lane operands of the atomic vector ops never go
+                    # through scratch staging: allocated lanes become
+                    # their physical register, spilled lanes bind to
+                    # their frame slot directly (one vector op can name
+                    # more lanes than the scratch pool holds).
+                    for index, operand in enumerate(instr.operands):
+                        if isinstance(operand, VirtualReg):
+                            interval = assignment[operand.index]
+                            if interval.phys is not None:
+                                instr.operands[index] = interval.phys
+                            else:
+                                instr.operands[index] = Mem(
+                                    base=_fp(), offset=interval.slot)
+                        elif isinstance(operand, Mem):
+                            if isinstance(operand.base, VirtualReg):
+                                operand.base = resolve(operand.base,
+                                                       False)
+                            if isinstance(operand.index, VirtualReg):
+                                operand.index = resolve(operand.index,
+                                                        False)
+                    rewritten.extend(loads)
+                    rewritten.append(instr)
+                    continue
                 defs, uses = instr_defs_uses(instr)
                 for index in uses:
                     operand = instr.operands[index]

@@ -47,11 +47,13 @@ _MNEMONICS = {
     "rem": "srem",
     "and": "and", "or": "or", "xor": "xor", "shl": "sllx",
     "shr": "srax",
+    "min": "min", "max": "max",
 }
 
 _FP_MNEMONICS = {
     "add": "faddd", "sub": "fsubd", "mul": "fmuld", "div": "fdivd",
     "rem": "fremd",
+    "min": "fmind", "max": "fmaxd",
 }
 
 _LOAD_MNEMONIC = {1: "ldub", 2: "lduh", 4: "lduw", 8: "ldx"}
@@ -168,7 +170,8 @@ def _expand_one(machine: MachineFunction, instr: MachineInstr,
             value_type = instr.attrs.get("value_type")
             if value_type is not None and value_type.is_integer \
                     and value_type.size < 8 \
-                    and instr.attrs.get("op") not in ("and", "or", "xor"):
+                    and instr.attrs.get("op") not in (
+                        "and", "or", "xor", "min", "max"):
                 # V9 computes in 64-bit registers: sub-64-bit results
                 # are re-canonicalized with an explicit shift pair
                 # (sra/srl reg, 0) so wraparound and signedness match
@@ -186,6 +189,20 @@ def _expand_one(machine: MachineFunction, instr: MachineInstr,
         if isinstance(source, Imm) and not _fits_simm13(source.value):
             reg = _materialize(machine, source.value, out)
             instr.operands[1] = reg
+
+    # Vector block transfers: lane operands stay as allocated (register
+    # or frame slot); only the trailing program address needs the
+    # [reg + simm13] legalization.
+    if semantics in (Semantics.VLOAD, Semantics.VSTORE):
+        mem_index = len(instr.operands) - 1
+        operand = instr.operands[mem_index]
+        if isinstance(operand, Mem):
+            instr.operands[mem_index] = _legalize_mem(machine, operand,
+                                                      out)
+        instr.mnemonic = "ldblk" if semantics == Semantics.VLOAD \
+            else "stblk"
+        out.append(instr)
+        return
 
     # Addressing legalization: loads/stores take [reg + simm13] only.
     if semantics in (Semantics.LOAD, Semantics.STORE):

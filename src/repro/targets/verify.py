@@ -37,6 +37,7 @@ _MIN_OPERANDS = {
     Semantics.RET: 0, Semantics.PUSH: 1, Semantics.POP: 1,
     Semantics.CVT: 2, Semantics.ADJSP: 1, Semantics.UNWIND: 0,
     Semantics.NOP: 0,
+    Semantics.VLOAD: 2, Semantics.VSTORE: 2,
 }
 
 _FLOW = {Semantics.JMP, Semantics.RET, Semantics.UNWIND}
@@ -118,6 +119,19 @@ def _verify_instr(instr: MachineInstr, labels: Set[str], where: str,
         if instr.attrs.get("value_type") is None:
             errors.append("{0}: {1} missing value_type"
                           .format(where, instr.semantics))
+    if instr.semantics in (Semantics.VLOAD, Semantics.VSTORE):
+        if not isinstance(instr.operands[-1], Mem):
+            errors.append("{0}: {1} needs a trailing memory operand"
+                          .format(where, instr.semantics))
+        if instr.attrs.get("value_type") is None:
+            errors.append("{0}: {1} missing value_type"
+                          .format(where, instr.semantics))
+        if instr.attrs.get("lanes") != len(instr.operands) - 1:
+            errors.append("{0}: {1} lane count {2!r} does not match "
+                          "{3} lane operands".format(
+                              where, instr.semantics,
+                              instr.attrs.get("lanes"),
+                              len(instr.operands) - 1))
     if instr.semantics == Semantics.CALL:
         callee = instr.operands[0]
         if not isinstance(callee, (SymRef, PhysReg)):

@@ -35,11 +35,13 @@ _MNEMONICS = {
     "rem": "idivl",
     "and": "andl", "or": "orl", "xor": "xorl", "shl": "shll",
     "shr": "sarl",
+    "min": "minl", "max": "maxl",
 }
 
 _FP_MNEMONICS = {
     "add": "fadd", "sub": "fsub", "mul": "fmul", "div": "fdiv",
     "rem": "fprem",
+    "min": "minsd", "max": "maxsd",
 }
 
 
@@ -107,6 +109,8 @@ def _mnemonic_for(instr: MachineInstr) -> str:
         return "movl"
     if semantics == Semantics.STORE:
         return "movl"
+    if semantics in (Semantics.VLOAD, Semantics.VSTORE):
+        return "movups"
     if semantics == Semantics.LEA:
         return "leal"
     if semantics == Semantics.JMP:
@@ -233,6 +237,16 @@ class _X86SpillAll(SpillAllAllocator):
                     kept.append(instr)
                     continue
                 if instr.semantics == Semantics.CALL:
+                    known.clear()
+                    kept.append(instr)
+                    continue
+                if instr.semantics in (Semantics.VLOAD,
+                                       Semantics.VSTORE):
+                    # A vload writes its lane frame slots directly (the
+                    # post-rewrite lanes are Mem operands, invisible to
+                    # instr_defs_uses); a vstore writes arbitrary
+                    # memory like a store through a pointer.  Forget
+                    # everything either way.
                     known.clear()
                     kept.append(instr)
                     continue

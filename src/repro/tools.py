@@ -89,7 +89,8 @@ def _cmd_cc(args) -> int:
         module = compile_source(handle.read(), args.input,
                                 optimization_level=args.optimize,
                                 pointer_size=args.pointer_size,
-                                endianness=args.endian)
+                                endianness=args.endian,
+                                vectorize=args.vectorize)
     verify_module(module)
     _write_output(module, args.output)
     return 0
@@ -109,7 +110,8 @@ def _cmd_dis(args) -> int:
 
 def _cmd_opt(args) -> int:
     module = _load_module(args.input)
-    optimize(module, level=args.optimize, link_time=args.link_time)
+    optimize(module, level=args.optimize, link_time=args.link_time,
+             vectorize=args.vectorize)
     verify_module(module)
     _write_output(module, args.output)
     return 0
@@ -161,7 +163,7 @@ def _check_program_args(module, entry: str,
 
 #: Registry prefixes surfaced on the one-line ``--stats`` report.
 _STATS_PREFIXES = ("run.", "jit.", "llee.cache.", "llee.profile.",
-                   "fastpath.", "san.", "tier2.", "tier3.")
+                   "fastpath.", "san.", "tier2.", "tier3.", "vec.")
 
 
 def _format_stats_line(label: str, result: object) -> str:
@@ -240,6 +242,11 @@ def _make_tier2_cache(module, args):
 
 def _cmd_run(args) -> int:
     module = _load_module(args.input)
+    if args.vectorize:
+        # Compile-time rewrite: run the autovectorizer over the loaded
+        # module (loops must already be canonical — compile with -O).
+        optimize(module, level=0, vectorize=True)
+        verify_module(module)
     program_args = _parse_program_args(args.args)
     problem = _check_program_args(module, args.entry, program_args)
     if problem:
@@ -448,6 +455,16 @@ def _render_stats_report(profile, result_value, top: int, out) -> None:
             else:
                 out.write("  {0} = {1}\n".format(name, int(value)))
 
+    vec_rows = [(name, labels, value) for name, labels, value
+                in registry.counters("vec.")]
+    if vec_rows:
+        out.write("== vectorization ==\n")
+        for name, labels, value in vec_rows:
+            out.write("  {0}{1} = {2}\n".format(
+                name,
+                " [{0}]".format(_labels_text(labels)) if labels else "",
+                int(value)))
+
     san_rows = [(name, labels, value) for name, labels, value
                 in registry.counters("san.")]
     if san_rows:
@@ -504,8 +521,9 @@ def _cmd_stats(args) -> int:
     from repro.llee.profile import instrument_module, read_profile
 
     module = _load_module(args.input)
-    if args.optimize > 0:
-        optimize(module, level=args.optimize)
+    if args.optimize > 0 or args.vectorize:
+        optimize(module, level=args.optimize,
+                 vectorize=args.vectorize)
     profile_map = instrument_module(module)
     program_args = _parse_program_args(args.args)
     problem = _check_program_args(module, args.entry, program_args)
@@ -665,9 +683,34 @@ def _profile_payload(profiler, interpreter, result, flight,
         }
         payload["tier3_pin_reasons"] = _flight_reasons(
             flight, "tier3.pin")
+    vectorization = _vectorization_payload()
+    if vectorization is not None:
+        payload["vectorization"] = vectorization
     if flight is not None:
         payload["flight_events"] = flight.counts()
     return payload
+
+
+def _vectorization_payload() -> Optional[dict]:
+    """The ``vec.*`` counters folded into one report row: loops
+    vectorized, rejections by reason, and lanes executed per tier."""
+    rows = observe.registry().counters("vec.")
+    if not rows:
+        return None
+    info = {"loops_vectorized": 0, "loops_rejected": {}, "lanes": {}}
+    for name, labels, value in rows:
+        label_map = dict(labels)
+        if name == "vec.loops_vectorized":
+            info["loops_vectorized"] += int(value)
+        elif name == "vec.loops_rejected":
+            reason = label_map.get("reason", "?")
+            info["loops_rejected"][reason] = \
+                info["loops_rejected"].get(reason, 0) + int(value)
+        elif name == "vec.lanes":
+            engine = label_map.get("engine", "?")
+            info["lanes"][engine] = \
+                info["lanes"].get(engine, 0) + int(value)
+    return info
 
 
 def _render_profile_report(payload: dict, out) -> None:
@@ -738,6 +781,20 @@ def _render_profile_report(payload: dict, out) -> None:
                     tier3["backend"], tier3.get("threaded_units", 0),
                     tier3.get("step_units", 0),
                     tier3.get("degraded", 0)))
+    vectorization = payload.get("vectorization")
+    if vectorization:
+        out.write("== vectorization ==\n")
+        out.write("  loops_vectorized={0}\n".format(
+            vectorization["loops_vectorized"]))
+        lanes = vectorization.get("lanes") or {}
+        if lanes:
+            out.write("  lanes: {0}\n".format(" ".join(
+                "{0}={1}".format(engine, lanes[engine])
+                for engine in sorted(lanes))))
+        rejected = vectorization.get("loops_rejected") or {}
+        for reason in sorted(rejected, key=lambda r: -rejected[r]):
+            out.write("  rejected {0:>5}  {1}\n".format(
+                rejected[reason], reason))
     compile_info = payload["compile"]
     out.write(
         "  compile_seconds={0:.4f} ({1:.1f}% of run)\n".format(
@@ -758,8 +815,9 @@ def _cmd_profile(args) -> int:
     from repro.observe.profiler import StepProfiler
 
     module = _load_module(args.input)
-    if args.optimize > 0:
-        optimize(module, level=args.optimize)
+    if args.optimize > 0 or args.vectorize:
+        optimize(module, level=args.optimize,
+                 vectorize=args.vectorize)
     program_args = _parse_program_args(args.args)
     problem = _check_program_args(module, args.entry, program_args)
     if problem:
@@ -885,6 +943,9 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=(4, 8))
     cc.add_argument("--endian", default="little",
                     choices=("little", "big"))
+    cc.add_argument("--vectorize", action="store_true",
+                    help="append the loop autovectorizer to the "
+                         "optimization pipeline")
     _add_observe_flags(cc)
     cc.set_defaults(func=_cmd_cc)
 
@@ -905,6 +966,9 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("-o", "--output")
     opt.add_argument("-O", "--optimize", type=int, default=2)
     opt.add_argument("--link-time", action="store_true")
+    opt.add_argument("--vectorize", action="store_true",
+                     help="append the loop autovectorizer to the "
+                          "optimization pipeline")
     _add_observe_flags(opt)
     opt.set_defaults(func=_cmd_opt)
 
@@ -924,6 +988,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "engine, 'reference' the semantic oracle")
     run.add_argument("--entry", default="main")
     run.add_argument("--privileged", action="store_true")
+    run.add_argument("--vectorize", action="store_true",
+                     help="run the loop autovectorizer over the "
+                          "loaded module before execution (compose "
+                          "with any engine, tier, or --sanitize)")
     run.add_argument("--sanitize", action="store_true",
                      help="run under llva-san: shadow-memory checking "
                           "with redzones, a free quarantine, and "
@@ -978,6 +1046,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="reference",
                        help="interpreter engine (ignored with --target)")
     stats.add_argument("-O", "--optimize", type=int, default=0)
+    stats.add_argument("--vectorize", action="store_true",
+                       help="append the loop autovectorizer to the "
+                            "optimization pipeline")
     stats.add_argument("--entry", default="main")
     stats.add_argument("--privileged", action="store_true")
     stats.add_argument("--sanitize", action="store_true",
@@ -1024,6 +1095,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="interpreter engine (tier 2 requires "
                               "'fast', the default)")
     profile.add_argument("-O", "--optimize", type=int, default=0)
+    profile.add_argument("--vectorize", action="store_true",
+                         help="append the loop autovectorizer to the "
+                              "optimization pipeline")
     profile.add_argument("--entry", default="main")
     profile.add_argument("--privileged", action="store_true")
     profile.add_argument("--top", type=int, default=10,

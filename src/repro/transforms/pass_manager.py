@@ -137,12 +137,15 @@ class PassManager:
         return report
 
 
-def standard_pipeline(level: int = 2) -> List[object]:
+def standard_pipeline(level: int = 2,
+                      vectorize: bool = False) -> List[object]:
     """The per-module pipeline at a given -O level.
 
     * ``-O0`` — nothing.
     * ``-O1`` — mem2reg, local folding, CFG cleanup, DCE.
     * ``-O2`` — adds SCCP, GVN, LICM, and aggressive DCE.
+    * ``vectorize`` — appends the loop autovectorizer (and a cleanup
+      DCE) after the scalar pipeline, so it sees canonical loops.
     """
     from repro.transforms.adce import AggressiveDCE
     from repro.transforms.dce import DeadCodeElimination, InstSimplify
@@ -152,14 +155,14 @@ def standard_pipeline(level: int = 2) -> List[object]:
     from repro.transforms.sccp import SparseConditionalConstantProp
     from repro.transforms.simplifycfg import SimplifyCFG
 
-    if level <= 0:
-        return []
-    passes: List[object] = [
-        PromoteMemoryToRegisters(),
-        InstSimplify(),
-        SimplifyCFG(),
-        DeadCodeElimination(),
-    ]
+    passes: List[object] = []
+    if level > 0:
+        passes += [
+            PromoteMemoryToRegisters(),
+            InstSimplify(),
+            SimplifyCFG(),
+            DeadCodeElimination(),
+        ]
     if level >= 2:
         passes += [
             SparseConditionalConstantProp(),
@@ -169,22 +172,29 @@ def standard_pipeline(level: int = 2) -> List[object]:
             AggressiveDCE(),
             SimplifyCFG(),
         ]
+    if vectorize:
+        from repro.transforms.autovec import LoopAutovectorizer
+
+        passes += [LoopAutovectorizer(), DeadCodeElimination()]
     return passes
 
 
-def link_time_pipeline() -> List[object]:
+def link_time_pipeline(vectorize: bool = False) -> List[object]:
     """The whole-program, link-time pipeline of Section 4.2 (item 1):
     interprocedural inlining and global cleanup, then -O2 per function."""
     from repro.transforms.globalopt import GlobalOptimizer
     from repro.transforms.inline import FunctionInliner
 
-    return [FunctionInliner(), GlobalOptimizer()] + standard_pipeline(2) \
+    return [FunctionInliner(), GlobalOptimizer()] \
+        + standard_pipeline(2, vectorize=vectorize) \
         + [GlobalOptimizer()]
 
 
 def optimize(module: Module, level: int = 2,
              link_time: bool = False,
-             verify_each: bool = False) -> PipelineReport:
+             verify_each: bool = False,
+             vectorize: bool = False) -> PipelineReport:
     """One-call optimization entry point."""
-    passes = link_time_pipeline() if link_time else standard_pipeline(level)
+    passes = link_time_pipeline(vectorize) if link_time \
+        else standard_pipeline(level, vectorize=vectorize)
     return PassManager(passes, verify_each=verify_each).run(module)

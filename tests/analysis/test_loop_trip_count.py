@@ -1,0 +1,230 @@
+"""Counted-loop recognition: Loop.induction_variable / Loop.trip_count."""
+
+from repro.analysis import LoopInfo
+from repro.asm import parse_module
+from repro.ir import verify_module
+
+
+def _loop(source: str, name: str = "f"):
+    module = parse_module(source)
+    verify_module(module)
+    info = LoopInfo(module.get_function(name))
+    loops = info.all_loops()
+    assert len(loops) == 1
+    return loops[0]
+
+
+COUNTED = """
+int %f(int %n) {
+entry:
+        br label %header
+header:
+        %i = phi int [ 0, %entry ], [ %inext, %body ]
+        %acc = phi int [ 0, %entry ], [ %accnext, %body ]
+        %cond = setlt int %i, %n
+        br bool %cond, label %body, label %exit
+body:
+        %accnext = add int %acc, %i
+        %inext = add int %i, 1
+        br label %header
+exit:
+        ret int %acc
+}
+"""
+
+
+class TestInductionVariable:
+    def test_canonical_counted_loop(self):
+        loop = _loop(COUNTED)
+        induction = loop.induction_variable()
+        assert induction is not None
+        assert induction.phi.name == "i"
+        assert induction.stride == 1
+        assert induction.init.value == 0
+        assert induction.step.name == "inext"
+
+    def test_accumulator_phi_not_mistaken_for_counter(self):
+        # %acc is also int-typed with an in-loop add, but its step adds a
+        # varying value (%i), so only %i qualifies.
+        loop = _loop(COUNTED)
+        induction = loop.induction_variable()
+        assert induction.phi.name == "i"
+
+    def test_two_counters_is_ambiguous(self):
+        loop = _loop("""
+        int %f(int %n) {
+        entry:
+                br label %header
+        header:
+                %i = phi int [ 0, %entry ], [ %inext, %body ]
+                %j = phi int [ 9, %entry ], [ %jnext, %body ]
+                %cond = setlt int %i, %n
+                br bool %cond, label %body, label %exit
+        body:
+                %inext = add int %i, 1
+                %jnext = add int %j, 2
+                br label %header
+        exit:
+                ret int %j
+        }
+        """)
+        assert loop.induction_variable() is None
+
+    def test_pointer_chase_has_no_induction(self):
+        loop = _loop("""
+        %struct.N = type { int, %struct.N* }
+        int %f(%struct.N* %head) {
+        entry:
+                br label %header
+        header:
+                %p = phi %struct.N* [ %head, %entry ], [ %next, %body ]
+                %cond = setne %struct.N* %p, null
+                br bool %cond, label %body, label %exit
+        body:
+                %np = getelementptr %struct.N* %p, long 0, ubyte 1
+                %next = load %struct.N** %np
+                br label %header
+        exit:
+                ret int 0
+        }
+        """)
+        assert loop.induction_variable() is None
+
+    def test_variant_init_rejected(self):
+        # The "init" edge value must be invariant w.r.t. the loop it
+        # enters; here the inner loop's init is computed per outer
+        # iteration, which is still invariant for the *inner* loop.
+        module = parse_module("""
+        int %f(int %n) {
+        entry:
+                br label %outer
+        outer:
+                %o = phi int [ 0, %entry ], [ %onext, %inner.exit ]
+                %ocond = setlt int %o, %n
+                br bool %ocond, label %inner, label %exit
+        inner:
+                %i = phi int [ %o, %outer ], [ %inext, %inner ]
+                %icond = setlt int %i, %n
+                %inext = add int %i, 1
+                br bool %icond, label %inner, label %inner.exit
+        inner.exit:
+                %onext = add int %o, 1
+                br label %outer
+        exit:
+                ret int 0
+        }
+        """)
+        verify_module(module)
+        info = LoopInfo(module.get_function("f"))
+        inner = [lp for lp in info.all_loops()
+                 if lp.header.name == "inner"][0]
+        induction = inner.induction_variable()
+        assert induction is not None
+        assert induction.init.name == "o"
+
+
+class TestTripCount:
+    def test_symbolic_trip_structure(self):
+        loop = _loop(COUNTED)
+        trips = loop.trip_count()
+        assert trips is not None
+        assert trips.relation == "lt"
+        assert trips.bound.name == "n"
+        assert trips.constant_trips() is None  # %n is symbolic
+
+    def test_constant_trips(self):
+        loop = _loop("""
+        int %f() {
+        entry:
+                br label %header
+        header:
+                %i = phi int [ 3, %entry ], [ %inext, %body ]
+                %cond = setlt int %i, 10
+                br bool %cond, label %body, label %exit
+        body:
+                %inext = add int %i, 2
+                br label %header
+        exit:
+                ret int %i
+        }
+        """)
+        trips = loop.trip_count()
+        assert trips is not None
+        assert trips.constant_trips() == 4  # i = 3, 5, 7, 9
+
+    def test_zero_trips_when_bound_below_init(self):
+        loop = _loop("""
+        int %f() {
+        entry:
+                br label %header
+        header:
+                %i = phi int [ 5, %entry ], [ %inext, %body ]
+                %cond = setlt int %i, 5
+                br bool %cond, label %body, label %exit
+        body:
+                %inext = add int %i, 1
+                br label %header
+        exit:
+                ret int %i
+        }
+        """)
+        assert loop.trip_count().constant_trips() == 0
+
+    def test_varying_bound_rejected(self):
+        loop = _loop("""
+        int %f(int* %p) {
+        entry:
+                br label %header
+        header:
+                %i = phi int [ 0, %entry ], [ %inext, %body ]
+                %n = load int* %p
+                %cond = setlt int %i, %n
+                br bool %cond, label %body, label %exit
+        body:
+                %inext = add int %i, 1
+                br label %header
+        exit:
+                ret int %i
+        }
+        """)
+        assert loop.trip_count() is None
+
+    def test_wrong_direction_rejected(self):
+        # Counting up but exiting on setgt: not the canonical shape.
+        loop = _loop("""
+        int %f(int %n) {
+        entry:
+                br label %header
+        header:
+                %i = phi int [ 0, %entry ], [ %inext, %body ]
+                %cond = setgt int %i, %n
+                br bool %cond, label %body, label %exit
+        body:
+                %inext = add int %i, 1
+                br label %header
+        exit:
+                ret int %i
+        }
+        """)
+        assert loop.trip_count() is None
+
+    def test_downward_loop(self):
+        loop = _loop("""
+        int %f(int %n) {
+        entry:
+                br label %header
+        header:
+                %i = phi int [ %n, %entry ], [ %inext, %body ]
+                %cond = setgt int %i, 0
+                br bool %cond, label %body, label %exit
+        body:
+                %inext = add int %i, -1
+                br label %header
+        exit:
+                ret int %i
+        }
+        """)
+        trips = loop.trip_count()
+        assert trips is not None
+        assert trips.relation == "gt"
+        assert trips.induction.stride == -1

@@ -16,7 +16,19 @@ def _arg(type_, name="x", index=0):
 
 class TestTable1Inventory:
     def test_exactly_28_instructions(self):
-        assert len(I.ALL_OPCODES) == 28
+        base = [op for group, ops in I.OPCODE_GROUPS.items()
+                if group != "vector" for op in ops]
+        assert len(base) == 28
+
+    def test_vector_extension_appends_after_table_1(self):
+        # The vector group must stay last so base-ISA bitcode opcode
+        # indices never move.
+        assert list(I.OPCODE_GROUPS)[-1] == "vector"
+        assert I.ALL_OPCODES[28:] == I.OPCODE_GROUPS["vector"]
+        assert I.OPCODE_GROUPS["vector"] == (
+            "vadd", "vsub", "vmul", "vsplat",
+            "vreduce.add", "vreduce.min", "vreduce.max",
+            "vload", "vstore")
 
     def test_groups_match_table_1(self):
         assert I.OPCODE_GROUPS["arithmetic"] == (
